@@ -1,0 +1,691 @@
+//! Simulated smartphones: battery, sensor suite and the client runtime that
+//! executes deployed task scripts.
+//!
+//! The substitution for real Android devices (`DESIGN.md` §2): the
+//! middleware-visible surface — sensors queried by scripts, battery drain,
+//! user privacy preferences, record upload queues — is faithfully modelled;
+//! only the physical signal sources are synthetic (GPS fixes come from a
+//! mobility trajectory, network quality from a position-seeded propagation
+//! model).
+
+use crate::error::ApisenseError;
+use crate::hive::TaskId;
+use crate::privacy::PrivacyPreferences;
+use crate::script::{Host, Script, Value};
+use geo::GeoPoint;
+use mobility::{Timestamp, Trajectory, UserId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Identifier of a device in the fleet.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct DeviceId(pub u64);
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "device-{}", self.0)
+    }
+}
+
+/// The sensors a device can expose to crowd-sensing scripts.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub enum SensorKind {
+    /// Location fixes.
+    Gps,
+    /// Battery level.
+    Battery,
+    /// Acceleration magnitude.
+    Accelerometer,
+    /// Cellular signal quality (RSSI).
+    NetworkQuality,
+}
+
+impl SensorKind {
+    /// All sensor kinds.
+    pub const ALL: [SensorKind; 4] = [
+        SensorKind::Gps,
+        SensorKind::Battery,
+        SensorKind::Accelerometer,
+        SensorKind::NetworkQuality,
+    ];
+
+    /// The host-API path used by scripts (`sensor.<name>`).
+    pub fn script_name(&self) -> &'static str {
+        match self {
+            SensorKind::Gps => "gps",
+            SensorKind::Battery => "battery",
+            SensorKind::Accelerometer => "accelerometer",
+            SensorKind::NetworkQuality => "network",
+        }
+    }
+
+    /// Battery cost of one sample, as a fraction of a full charge.
+    pub fn sample_cost(&self) -> f64 {
+        match self {
+            SensorKind::Gps => 2.0e-5,
+            SensorKind::Battery => 1.0e-7,
+            SensorKind::Accelerometer => 2.0e-6,
+            SensorKind::NetworkQuality => 4.0e-6,
+        }
+    }
+}
+
+impl fmt::Display for SensorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.script_name())
+    }
+}
+
+/// A simple smartphone battery model.
+///
+/// Levels are fractions of a full charge. Drain sources: a constant idle
+/// draw plus per-sensor-sample and per-uploaded-byte costs. Devices recharge
+/// overnight (22:00–06:00) when their owner is home.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Battery {
+    level: f64,
+    /// Idle drain per hour of uptime.
+    pub idle_drain_per_hour: f64,
+    /// Charge rate per hour while charging.
+    pub charge_per_hour: f64,
+}
+
+impl Battery {
+    /// A full battery with typical smartphone parameters (~1 %/h idle,
+    /// 50 %/h charging).
+    pub fn full() -> Self {
+        Self {
+            level: 1.0,
+            idle_drain_per_hour: 0.01,
+            charge_per_hour: 0.5,
+        }
+    }
+
+    /// Creates a battery at a specific level in `[0, 1]`.
+    pub fn at_level(level: f64) -> Self {
+        Self {
+            level: level.clamp(0.0, 1.0),
+            ..Self::full()
+        }
+    }
+
+    /// Current level in `[0, 1]`.
+    pub fn level(&self) -> f64 {
+        self.level
+    }
+
+    /// Whether the battery is empty (device off).
+    pub fn is_depleted(&self) -> bool {
+        self.level <= 0.0
+    }
+
+    /// Removes `amount` of charge.
+    pub fn drain(&mut self, amount: f64) {
+        self.level = (self.level - amount.max(0.0)).max(0.0);
+    }
+
+    /// Adds `amount` of charge.
+    pub fn charge(&mut self, amount: f64) {
+        self.level = (self.level + amount.max(0.0)).min(1.0);
+    }
+
+    /// Advances time by `seconds`, draining idle power or charging.
+    pub fn advance(&mut self, seconds: i64, charging: bool) {
+        let hours = seconds.max(0) as f64 / 3_600.0;
+        if charging {
+            self.charge(self.charge_per_hour * hours);
+        } else {
+            self.drain(self.idle_drain_per_hour * hours);
+        }
+    }
+}
+
+/// A record produced by a task script on a device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensedRecord {
+    /// Task that produced the record.
+    pub task: TaskId,
+    /// The contributing participant.
+    pub user: UserId,
+    /// Device that produced the record.
+    pub device: DeviceId,
+    /// When the record was produced.
+    pub time: Timestamp,
+    /// The script-emitted payload.
+    pub payload: Value,
+}
+
+impl SensedRecord {
+    /// Extracts a location from the payload's `lat`/`lon` fields, if any.
+    pub fn location(&self) -> Option<GeoPoint> {
+        let m = self.payload.as_map()?;
+        let lat = m.get("lat")?.as_num()?;
+        let lon = m.get("lon")?.as_num()?;
+        GeoPoint::new(lat, lon).ok()
+    }
+
+    /// Converts into a mobility record when the payload carries a location.
+    pub fn to_location_record(&self) -> Option<mobility::LocationRecord> {
+        Some(mobility::LocationRecord::new(
+            self.user,
+            self.time,
+            self.location()?,
+        ))
+    }
+}
+
+/// A task deployed on a device.
+#[derive(Debug, Clone)]
+struct InstalledTask {
+    id: TaskId,
+    script: Script,
+    sampling_interval_s: i64,
+    min_battery: f64,
+    next_run: Timestamp,
+}
+
+/// A simulated smartphone participating in the crowd.
+#[derive(Debug)]
+pub struct Device {
+    id: DeviceId,
+    user: UserId,
+    trajectory: Trajectory,
+    battery: Battery,
+    prefs: PrivacyPreferences,
+    sensors: BTreeSet<SensorKind>,
+    installed: Vec<InstalledTask>,
+    outbox: Vec<SensedRecord>,
+    last_tick: Option<Timestamp>,
+    records_produced: u64,
+    records_suppressed: u64,
+    script_fuel: u64,
+}
+
+impl Device {
+    /// Creates a device for `user` whose GPS follows `trajectory`.
+    pub fn new(id: DeviceId, user: UserId, trajectory: Trajectory) -> Self {
+        Self {
+            id,
+            user,
+            trajectory,
+            battery: Battery::full(),
+            prefs: PrivacyPreferences::default(),
+            sensors: SensorKind::ALL.into_iter().collect(),
+            installed: Vec::new(),
+            outbox: Vec::new(),
+            last_tick: None,
+            records_produced: 0,
+            records_suppressed: 0,
+            script_fuel: 200_000,
+        }
+    }
+
+    /// Replaces the privacy preferences ("the user keeps the control of her
+    /// mobile phone", paper §2).
+    pub fn with_preferences(mut self, prefs: PrivacyPreferences) -> Self {
+        self.prefs = prefs;
+        self
+    }
+
+    /// Replaces the battery.
+    pub fn with_battery(mut self, battery: Battery) -> Self {
+        self.battery = battery;
+        self
+    }
+
+    /// Restricts the available sensors.
+    pub fn with_sensors<I: IntoIterator<Item = SensorKind>>(mut self, sensors: I) -> Self {
+        self.sensors = sensors.into_iter().collect();
+        self
+    }
+
+    /// The device id.
+    pub fn id(&self) -> DeviceId {
+        self.id
+    }
+
+    /// The owning participant.
+    pub fn user(&self) -> UserId {
+        self.user
+    }
+
+    /// Current battery state.
+    pub fn battery(&self) -> &Battery {
+        &self.battery
+    }
+
+    /// Mutable battery access (used by virtual-sensor orchestration).
+    pub fn battery_mut(&mut self) -> &mut Battery {
+        &mut self.battery
+    }
+
+    /// The device's sensors.
+    pub fn sensors(&self) -> &BTreeSet<SensorKind> {
+        &self.sensors
+    }
+
+    /// The user's privacy preferences.
+    pub fn preferences(&self) -> &PrivacyPreferences {
+        &self.prefs
+    }
+
+    /// Records produced so far (before privacy suppression).
+    pub fn records_produced(&self) -> u64 {
+        self.records_produced
+    }
+
+    /// Records suppressed by the privacy layer.
+    pub fn records_suppressed(&self) -> u64 {
+        self.records_suppressed
+    }
+
+    /// Position at `time` according to the device's trajectory.
+    pub fn position_at(&self, time: Timestamp) -> Option<GeoPoint> {
+        self.trajectory.position_at(time)
+    }
+
+    /// Installs a task script (offloaded from the Hive).
+    pub fn install(
+        &mut self,
+        id: TaskId,
+        script: Script,
+        sampling_interval_s: i64,
+        min_battery: f64,
+        start: Timestamp,
+    ) {
+        self.installed.push(InstalledTask {
+            id,
+            script,
+            sampling_interval_s: sampling_interval_s.max(1),
+            min_battery: min_battery.clamp(0.0, 1.0),
+            next_run: start,
+        });
+    }
+
+    /// Uninstalls a task.
+    pub fn uninstall(&mut self, id: TaskId) {
+        self.installed.retain(|t| t.id != id);
+    }
+
+    /// Number of installed tasks.
+    pub fn installed_count(&self) -> usize {
+        self.installed.len()
+    }
+
+    /// Whether the device is charging at `time` (overnight at home).
+    fn is_charging(&self, time: Timestamp) -> bool {
+        time.is_night()
+    }
+
+    /// Advances the device clock to `now`, running every installed task
+    /// whose schedule has come due. Emitted records pass the privacy layer
+    /// and are queued in the outbox.
+    pub fn tick(&mut self, now: Timestamp) {
+        if let Some(last) = self.last_tick {
+            let dt = now - last;
+            if dt > 0 {
+                let charging = self.is_charging(now);
+                self.battery.advance(dt, charging);
+            }
+        }
+        self.last_tick = Some(now);
+        if self.battery.is_depleted() {
+            return;
+        }
+        let mut due: Vec<usize> = Vec::new();
+        for (i, task) in self.installed.iter().enumerate() {
+            if now >= task.next_run && self.battery.level() >= task.min_battery {
+                due.push(i);
+            }
+        }
+        for i in due {
+            let (id, script, interval) = {
+                let t = &self.installed[i];
+                (t.id, t.script.clone(), t.sampling_interval_s)
+            };
+            self.installed[i].next_run = now + interval;
+            self.run_task(id, &script, now);
+        }
+    }
+
+    /// Runs one task script at `now`.
+    fn run_task(&mut self, task: TaskId, script: &Script, now: Timestamp) {
+        let position = self.position_at(now);
+        let mut host = DeviceHost {
+            device_sensors: &self.sensors,
+            prefs: &self.prefs,
+            battery_level: self.battery.level(),
+            position,
+            now,
+            speed: self.speed_at(now),
+            emitted: Vec::new(),
+            sensor_costs: 0.0,
+        };
+        // Script failures are logged, not fatal: one bad task must not take
+        // down the client (the platform is multi-tenant).
+        let _ = script.run(&mut host, self.script_fuel);
+        self.battery.drain(host.sensor_costs);
+        let emitted = host.emitted;
+        for value in emitted {
+            self.records_produced += 1;
+            let record = SensedRecord {
+                task,
+                user: self.user,
+                device: self.id,
+                time: now,
+                payload: value,
+            };
+            match self.prefs.filter_record(record) {
+                Some(filtered) => self.outbox.push(filtered),
+                None => self.records_suppressed += 1,
+            }
+        }
+    }
+
+    /// Approximate speed at `time` (m/s), for the accelerometer model.
+    fn speed_at(&self, time: Timestamp) -> f64 {
+        let a = self.trajectory.position_at(time - 30);
+        let b = self.trajectory.position_at(time + 30);
+        match (a, b) {
+            (Some(a), Some(b)) => a.haversine_distance(&b).get() / 60.0,
+            _ => 0.0,
+        }
+    }
+
+    /// Drains queued records for upload.
+    pub fn drain_outbox(&mut self) -> Vec<SensedRecord> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Number of records waiting for upload.
+    pub fn outbox_len(&self) -> usize {
+        self.outbox.len()
+    }
+}
+
+/// The script host exposing one device's sensors.
+struct DeviceHost<'a> {
+    device_sensors: &'a BTreeSet<SensorKind>,
+    prefs: &'a PrivacyPreferences,
+    battery_level: f64,
+    position: Option<GeoPoint>,
+    now: Timestamp,
+    speed: f64,
+    emitted: Vec<Value>,
+    sensor_costs: f64,
+}
+
+impl DeviceHost<'_> {
+    fn sensor_allowed(&self, kind: SensorKind) -> bool {
+        self.device_sensors.contains(&kind) && self.prefs.sensor_enabled(kind)
+    }
+
+    /// A deterministic pseudo-random value in `[0, 1)` derived from position
+    /// and time (propagation and vibration models need plausible texture,
+    /// not true randomness).
+    fn noise(&self, salt: u64) -> f64 {
+        let mut h = salt ^ (self.now.seconds() as u64).wrapping_mul(0x9E3779B97F4A7C15);
+        if let Some(p) = self.position {
+            h ^= (p.latitude().to_bits()).wrapping_mul(0xD6E8FEB86659FD93);
+            h ^= (p.longitude().to_bits()).rotate_left(17);
+        }
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xFF51AFD7ED558CCD);
+        h ^= h >> 33;
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Host for DeviceHost<'_> {
+    fn call(&mut self, path: &str, args: &[Value]) -> Result<Value, ApisenseError> {
+        match path {
+            "emit" => {
+                self.emitted
+                    .push(args.first().cloned().unwrap_or(Value::Null));
+                Ok(Value::Null)
+            }
+            "log" => Ok(Value::Null),
+            "time.now" => Ok(Value::Num(self.now.seconds() as f64)),
+            "time.hour" => Ok(Value::Num(self.now.hour_of_day() as f64)),
+            "sensor.gps" => {
+                if !self.sensor_allowed(SensorKind::Gps) {
+                    return Ok(Value::Null);
+                }
+                self.sensor_costs += SensorKind::Gps.sample_cost();
+                match self.position {
+                    Some(p) => {
+                        let mut m = std::collections::BTreeMap::new();
+                        m.insert("lat".to_string(), Value::Num(p.latitude()));
+                        m.insert("lon".to_string(), Value::Num(p.longitude()));
+                        m.insert(
+                            "accuracy".to_string(),
+                            Value::Num(5.0 + 10.0 * self.noise(1)),
+                        );
+                        Ok(Value::Map(m))
+                    }
+                    None => Ok(Value::Null),
+                }
+            }
+            "sensor.battery" => {
+                if !self.sensor_allowed(SensorKind::Battery) {
+                    return Ok(Value::Null);
+                }
+                self.sensor_costs += SensorKind::Battery.sample_cost();
+                Ok(Value::Num(self.battery_level))
+            }
+            "sensor.accelerometer" => {
+                if !self.sensor_allowed(SensorKind::Accelerometer) {
+                    return Ok(Value::Null);
+                }
+                self.sensor_costs += SensorKind::Accelerometer.sample_cost();
+                // Vibration magnitude grows with speed; 9.81 at rest.
+                let magnitude = 9.81 + self.speed * 0.3 + self.noise(2) * 0.5;
+                Ok(Value::Num(magnitude))
+            }
+            "sensor.network" => {
+                if !self.sensor_allowed(SensorKind::NetworkQuality) {
+                    return Ok(Value::Null);
+                }
+                self.sensor_costs += SensorKind::NetworkQuality.sample_cost();
+                // Log-distance path-loss flavoured RSSI in [-110, -50] dBm,
+                // spatially correlated via the position-seeded noise.
+                let rssi = -50.0 - 60.0 * self.noise(3);
+                Ok(Value::Num(rssi))
+            }
+            other => Err(ApisenseError::UnknownSensor(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobility::LocationRecord;
+
+    fn trajectory() -> Trajectory {
+        let records: Vec<LocationRecord> = (0..240)
+            .map(|i| {
+                LocationRecord::new(
+                    UserId(1),
+                    Timestamp::from_day_time(0, 10, 0, 0) + i * 60,
+                    GeoPoint::new(45.75, 4.85 + 0.0001 * i as f64).unwrap(),
+                )
+            })
+            .collect();
+        Trajectory::new(UserId(1), records)
+    }
+
+    fn gps_script() -> Script {
+        Script::compile(
+            r#"
+            let fix = sensor.gps();
+            if (fix != null) {
+                emit({ "lat": fix.lat, "lon": fix.lon, "battery": sensor.battery() });
+            }
+            "#,
+        )
+        .unwrap()
+    }
+
+    fn start() -> Timestamp {
+        Timestamp::from_day_time(0, 10, 0, 0)
+    }
+
+    #[test]
+    fn battery_model_drains_and_charges() {
+        let mut b = Battery::full();
+        assert_eq!(b.level(), 1.0);
+        b.advance(3_600, false);
+        assert!((b.level() - 0.99).abs() < 1e-9);
+        b.drain(0.5);
+        assert!((b.level() - 0.49).abs() < 1e-9);
+        b.advance(3_600, true);
+        assert!((b.level() - 0.99).abs() < 1e-9);
+        b.drain(5.0);
+        assert!(b.is_depleted());
+        b.charge(0.3);
+        assert!((b.level() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tick_runs_task_on_schedule() {
+        let mut device = Device::new(DeviceId(1), UserId(1), trajectory());
+        device.install(TaskId(7), gps_script(), 300, 0.0, start());
+        // Tick every minute for 30 minutes: the 300 s schedule fires 6 times
+        // (at t=0, 300, ..., 1500).
+        for i in 0..30 {
+            device.tick(start() + i * 60);
+        }
+        assert_eq!(device.outbox_len(), 6);
+        let records = device.drain_outbox();
+        assert_eq!(records.len(), 6);
+        assert_eq!(device.outbox_len(), 0);
+        for r in &records {
+            assert_eq!(r.task, TaskId(7));
+            assert_eq!(r.user, UserId(1));
+            let loc = r.location().expect("gps payload");
+            assert!((loc.latitude() - 45.75).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn low_battery_pauses_tasks() {
+        let mut device = Device::new(DeviceId(1), UserId(1), trajectory())
+            .with_battery(Battery::at_level(0.1));
+        device.install(TaskId(1), gps_script(), 60, 0.2, start());
+        for i in 0..10 {
+            device.tick(start() + i * 60);
+        }
+        assert_eq!(device.outbox_len(), 0, "below min_battery: no sampling");
+    }
+
+    #[test]
+    fn depleted_battery_stops_device() {
+        let mut device = Device::new(DeviceId(1), UserId(1), trajectory())
+            .with_battery(Battery::at_level(0.0));
+        device.install(TaskId(1), gps_script(), 60, 0.0, start());
+        device.tick(start());
+        assert_eq!(device.outbox_len(), 0);
+    }
+
+    #[test]
+    fn sensor_opt_out_returns_null_to_script() {
+        use crate::privacy::PrivacyPreferences;
+        let prefs = PrivacyPreferences::default().without_sensor(SensorKind::Gps);
+        let mut device = Device::new(DeviceId(1), UserId(1), trajectory())
+            .with_preferences(prefs);
+        device.install(TaskId(1), gps_script(), 60, 0.0, start());
+        device.tick(start());
+        // Script checks for null and emits nothing.
+        assert_eq!(device.outbox_len(), 0);
+        assert_eq!(device.records_produced(), 0);
+    }
+
+    #[test]
+    fn sampling_drains_battery() {
+        let mut device = Device::new(DeviceId(1), UserId(1), trajectory());
+        device.install(TaskId(1), gps_script(), 60, 0.0, start());
+        for i in 0..60 {
+            device.tick(start() + i * 60);
+        }
+        // One hour: idle drain ~1% plus 60 GPS+battery samples.
+        let expected_floor = 1.0 - 0.011 - 60.0 * 3.0e-5;
+        assert!(device.battery().level() < 0.999);
+        assert!(device.battery().level() > expected_floor - 0.01);
+    }
+
+    #[test]
+    fn night_ticks_charge_battery() {
+        let mut device = Device::new(DeviceId(1), UserId(1), trajectory())
+            .with_battery(Battery::at_level(0.5));
+        let night = Timestamp::from_day_time(0, 23, 0, 0);
+        device.tick(night);
+        device.tick(night + 3_600);
+        assert!(device.battery().level() > 0.9);
+    }
+
+    #[test]
+    fn accelerometer_and_network_sensors() {
+        let script = Script::compile(
+            r#"emit({ "acc": sensor.accelerometer(), "rssi": sensor.network() });"#,
+        )
+        .unwrap();
+        let mut device = Device::new(DeviceId(1), UserId(1), trajectory());
+        device.install(TaskId(2), script, 60, 0.0, start());
+        device.tick(start() + 3_600); // mid-trajectory: device is moving
+        let records = device.drain_outbox();
+        assert_eq!(records.len(), 1);
+        let m = records[0].payload.as_map().unwrap();
+        let acc = m["acc"].as_num().unwrap();
+        assert!(acc >= 9.81 && acc < 15.0, "acc {acc}");
+        let rssi = m["rssi"].as_num().unwrap();
+        assert!((-110.0..=-50.0).contains(&rssi), "rssi {rssi}");
+    }
+
+    #[test]
+    fn install_uninstall() {
+        let mut device = Device::new(DeviceId(1), UserId(1), trajectory());
+        device.install(TaskId(1), gps_script(), 60, 0.0, start());
+        device.install(TaskId(2), gps_script(), 60, 0.0, start());
+        assert_eq!(device.installed_count(), 2);
+        device.uninstall(TaskId(1));
+        assert_eq!(device.installed_count(), 1);
+    }
+
+    #[test]
+    fn failing_script_does_not_poison_device() {
+        let bad = Script::compile("boom.unknown();").unwrap();
+        let mut device = Device::new(DeviceId(1), UserId(1), trajectory());
+        device.install(TaskId(1), bad, 60, 0.0, start());
+        device.install(TaskId(2), gps_script(), 60, 0.0, start());
+        device.tick(start());
+        // The good task still produced its record.
+        assert_eq!(device.outbox_len(), 1);
+    }
+
+    #[test]
+    fn sensed_record_location_extraction() {
+        let mut payload = std::collections::BTreeMap::new();
+        payload.insert("lat".to_string(), Value::Num(45.0));
+        payload.insert("lon".to_string(), Value::Num(4.0));
+        let r = SensedRecord {
+            task: TaskId(1),
+            user: UserId(1),
+            device: DeviceId(1),
+            time: Timestamp::new(0),
+            payload: Value::Map(payload),
+        };
+        assert_eq!(r.location().unwrap(), GeoPoint::new(45.0, 4.0).unwrap());
+        assert!(r.to_location_record().is_some());
+        let no_loc = SensedRecord {
+            payload: Value::Num(1.0),
+            ..r
+        };
+        assert!(no_loc.location().is_none());
+    }
+}

@@ -1,0 +1,86 @@
+//! Error type for the APISENSE middleware.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the APISENSE platform.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ApisenseError {
+    /// A script failed to tokenize (message, line).
+    Lex {
+        /// Problem description.
+        message: String,
+        /// 1-based source line.
+        line: usize,
+    },
+    /// A script failed to parse (message, line).
+    Parse {
+        /// Problem description.
+        message: String,
+        /// 1-based source line.
+        line: usize,
+    },
+    /// A script failed at runtime.
+    Runtime(String),
+    /// A script exceeded its execution budget (possible infinite loop).
+    FuelExhausted,
+    /// A task referenced an unknown sensor.
+    UnknownSensor(String),
+    /// A registry lookup failed.
+    NotFound(&'static str, u64),
+    /// A parameter was invalid (name, offending value).
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value rendered as text.
+        value: String,
+    },
+}
+
+impl fmt::Display for ApisenseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApisenseError::Lex { message, line } => {
+                write!(f, "lex error at line {line}: {message}")
+            }
+            ApisenseError::Parse { message, line } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            ApisenseError::Runtime(m) => write!(f, "script runtime error: {m}"),
+            ApisenseError::FuelExhausted => {
+                write!(f, "script exceeded its execution budget")
+            }
+            ApisenseError::UnknownSensor(s) => write!(f, "unknown sensor: {s}"),
+            ApisenseError::NotFound(kind, id) => write!(f, "{kind} {id} not found"),
+            ApisenseError::InvalidParameter { name, value } => {
+                write!(f, "invalid parameter {name}: {value}")
+            }
+        }
+    }
+}
+
+impl Error for ApisenseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = ApisenseError::Parse {
+            message: "unexpected token".into(),
+            line: 3,
+        };
+        assert_eq!(e.to_string(), "parse error at line 3: unexpected token");
+        assert_eq!(
+            ApisenseError::NotFound("task", 9).to_string(),
+            "task 9 not found"
+        );
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<ApisenseError>();
+    }
+}

@@ -1,0 +1,345 @@
+//! The Hive: the central service of the APISENSE platform.
+//!
+//! "In its center sits the Hive service, that is responsible for managing
+//! the community of mobile users and publishing crowd-sensing tasks."
+//! (paper, §2). The Hive keeps the device registry, matches published tasks
+//! to eligible devices, tracks deployments, and routes collected records
+//! back to the owning Honeycomb.
+
+use crate::device::{DeviceId, SensedRecord, SensorKind};
+use crate::error::ApisenseError;
+use crate::honeycomb::SensingTask;
+use geo::{BoundingBox, GeoPoint};
+use mobility::UserId;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Identifier of a published crowd-sensing task.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct TaskId(pub u64);
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task-{}", self.0)
+    }
+}
+
+/// What the Hive knows about a registered device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceDescriptor {
+    /// The device.
+    pub device: DeviceId,
+    /// Its owner.
+    pub user: UserId,
+    /// Sensors the device offers (and the user shares).
+    pub sensors: BTreeSet<SensorKind>,
+    /// Rough home region declared at enrolment (used for region matching;
+    /// deliberately coarse — precise positions never reach the registry).
+    pub region_hint: Option<GeoPoint>,
+    /// Last reported battery level in `[0, 1]`.
+    pub battery_level: f64,
+}
+
+/// A deployment decision: which devices a task was offloaded to.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Deployment {
+    /// The task.
+    pub task: TaskId,
+    /// Devices selected for the task.
+    pub devices: Vec<DeviceId>,
+}
+
+/// The central Hive service.
+#[derive(Debug, Default)]
+pub struct Hive {
+    devices: BTreeMap<DeviceId, DeviceDescriptor>,
+    tasks: BTreeMap<TaskId, SensingTask>,
+    deployments: BTreeMap<TaskId, Deployment>,
+    collected: BTreeMap<TaskId, Vec<SensedRecord>>,
+    next_task_id: u64,
+}
+
+impl Hive {
+    /// Creates an empty Hive.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enrols a device into the community.
+    ///
+    /// Re-registration replaces the previous descriptor (device update).
+    pub fn register_device(&mut self, descriptor: DeviceDescriptor) {
+        self.devices.insert(descriptor.device, descriptor);
+    }
+
+    /// Removes a device from the community.
+    pub fn unregister_device(&mut self, device: DeviceId) {
+        self.devices.remove(&device);
+    }
+
+    /// Updates a device's battery report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApisenseError::NotFound`] for unknown devices.
+    pub fn report_battery(
+        &mut self,
+        device: DeviceId,
+        level: f64,
+    ) -> Result<(), ApisenseError> {
+        match self.devices.get_mut(&device) {
+            Some(d) => {
+                d.battery_level = level.clamp(0.0, 1.0);
+                Ok(())
+            }
+            None => Err(ApisenseError::NotFound("device", device.0)),
+        }
+    }
+
+    /// Number of enrolled devices.
+    pub fn community_size(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Publishes a task uploaded by a Honeycomb; returns its id.
+    pub fn publish_task(&mut self, mut task: SensingTask) -> TaskId {
+        self.next_task_id += 1;
+        let id = TaskId(self.next_task_id);
+        task.assign_id(id);
+        self.tasks.insert(id, task);
+        id
+    }
+
+    /// The published task, if known.
+    pub fn task(&self, id: TaskId) -> Option<&SensingTask> {
+        self.tasks.get(&id)
+    }
+
+    /// Devices eligible for a task: they must offer every required sensor,
+    /// have enough battery, and (when the task is regional) have a region
+    /// hint inside the task's region.
+    pub fn eligible_devices(&self, task: &SensingTask) -> Vec<DeviceId> {
+        self.devices
+            .values()
+            .filter(|d| {
+                task.required_sensors().iter().all(|s| d.sensors.contains(s))
+                    && d.battery_level >= task.min_battery()
+                    && match (task.region(), d.region_hint) {
+                        (Some(region), Some(hint)) => region.contains(&hint),
+                        (Some(_), None) => false,
+                        (None, _) => true,
+                    }
+            })
+            .map(|d| d.device)
+            .collect()
+    }
+
+    /// Deploys a published task to all eligible devices (up to the task's
+    /// participant cap).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApisenseError::NotFound`] for unknown task ids.
+    pub fn deploy(&mut self, id: TaskId) -> Result<Deployment, ApisenseError> {
+        let task = self
+            .tasks
+            .get(&id)
+            .ok_or(ApisenseError::NotFound("task", id.0))?;
+        let mut devices = self.eligible_devices(task);
+        if let Some(cap) = task.max_participants() {
+            devices.truncate(cap);
+        }
+        let deployment = Deployment { task: id, devices };
+        self.deployments.insert(id, deployment.clone());
+        Ok(deployment)
+    }
+
+    /// The recorded deployment of a task, if any.
+    pub fn deployment(&self, id: TaskId) -> Option<&Deployment> {
+        self.deployments.get(&id)
+    }
+
+    /// Ingests records uploaded by devices, grouped per task.
+    pub fn ingest(&mut self, records: Vec<SensedRecord>) {
+        for r in records {
+            self.collected.entry(r.task).or_default().push(r);
+        }
+    }
+
+    /// Drains everything collected for one task (forwarded to the
+    /// Honeycomb that owns it).
+    pub fn drain_collected(&mut self, id: TaskId) -> Vec<SensedRecord> {
+        self.collected.remove(&id).unwrap_or_default()
+    }
+
+    /// Number of records currently buffered for a task.
+    pub fn collected_count(&self, id: TaskId) -> usize {
+        self.collected.get(&id).map(Vec::len).unwrap_or(0)
+    }
+}
+
+/// Builds a [`DeviceDescriptor`] with all sensors and a full battery.
+pub fn descriptor(device: DeviceId, user: UserId) -> DeviceDescriptor {
+    DeviceDescriptor {
+        device,
+        user,
+        sensors: SensorKind::ALL.into_iter().collect(),
+        region_hint: None,
+        battery_level: 1.0,
+    }
+}
+
+/// Convenience: a bounding box centred on `center` with half-side `half_m`
+/// metres (task region definitions).
+pub fn square_region(center: GeoPoint, half_m: f64) -> BoundingBox {
+    let dlat = half_m / 111_320.0;
+    let cos_lat = center.latitude().to_radians().cos().max(0.01);
+    let dlon = half_m / (111_320.0 * cos_lat);
+    BoundingBox::new(
+        GeoPoint::clamped(center.latitude() - dlat, center.longitude() - dlon),
+        GeoPoint::clamped(center.latitude() + dlat, center.longitude() + dlon),
+    )
+    .expect("square region corners ordered")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::honeycomb::ExperimentBuilder;
+    use crate::script::Script;
+
+    fn gps_task() -> SensingTask {
+        ExperimentBuilder::new("t")
+            .script(Script::compile("emit(sensor.gps());").unwrap())
+            .require_sensor(SensorKind::Gps)
+            .build()
+    }
+
+    #[test]
+    fn registration_and_community_size() {
+        let mut hive = Hive::new();
+        hive.register_device(descriptor(DeviceId(1), UserId(1)));
+        hive.register_device(descriptor(DeviceId(2), UserId(2)));
+        assert_eq!(hive.community_size(), 2);
+        // Re-registration is an update, not a duplicate.
+        hive.register_device(descriptor(DeviceId(1), UserId(1)));
+        assert_eq!(hive.community_size(), 2);
+        hive.unregister_device(DeviceId(1));
+        assert_eq!(hive.community_size(), 1);
+    }
+
+    #[test]
+    fn publish_assigns_ids() {
+        let mut hive = Hive::new();
+        let a = hive.publish_task(gps_task());
+        let b = hive.publish_task(gps_task());
+        assert_ne!(a, b);
+        assert_eq!(hive.task(a).unwrap().id(), Some(a));
+    }
+
+    #[test]
+    fn eligibility_requires_sensors() {
+        let mut hive = Hive::new();
+        let mut no_gps = descriptor(DeviceId(1), UserId(1));
+        no_gps.sensors.remove(&SensorKind::Gps);
+        hive.register_device(no_gps);
+        hive.register_device(descriptor(DeviceId(2), UserId(2)));
+        let id = hive.publish_task(gps_task());
+        let task = hive.task(id).unwrap().clone();
+        assert_eq!(hive.eligible_devices(&task), vec![DeviceId(2)]);
+    }
+
+    #[test]
+    fn eligibility_respects_battery_floor() {
+        let mut hive = Hive::new();
+        let mut low = descriptor(DeviceId(1), UserId(1));
+        low.battery_level = 0.05;
+        hive.register_device(low);
+        hive.register_device(descriptor(DeviceId(2), UserId(2)));
+        let task = ExperimentBuilder::new("t")
+            .script(Script::compile("1;").unwrap())
+            .min_battery(0.2)
+            .build();
+        let id = hive.publish_task(task);
+        let task = hive.task(id).unwrap().clone();
+        assert_eq!(hive.eligible_devices(&task), vec![DeviceId(2)]);
+        // Battery report can re-qualify the device.
+        hive.report_battery(DeviceId(1), 0.9).unwrap();
+        assert_eq!(hive.eligible_devices(&task).len(), 2);
+        assert!(hive.report_battery(DeviceId(9), 0.5).is_err());
+    }
+
+    #[test]
+    fn eligibility_respects_region() {
+        let mut hive = Hive::new();
+        let lyon = GeoPoint::new(45.75, 4.85).unwrap();
+        let lille = GeoPoint::new(50.63, 3.06).unwrap();
+        let mut in_region = descriptor(DeviceId(1), UserId(1));
+        in_region.region_hint = Some(lyon);
+        let mut out_region = descriptor(DeviceId(2), UserId(2));
+        out_region.region_hint = Some(lille);
+        let no_hint = descriptor(DeviceId(3), UserId(3));
+        hive.register_device(in_region);
+        hive.register_device(out_region);
+        hive.register_device(no_hint);
+        let task = ExperimentBuilder::new("t")
+            .script(Script::compile("1;").unwrap())
+            .region(square_region(lyon, 10_000.0))
+            .build();
+        let id = hive.publish_task(task);
+        let task = hive.task(id).unwrap().clone();
+        // Only the Lyon device qualifies; devices without a hint are
+        // excluded from regional tasks.
+        assert_eq!(hive.eligible_devices(&task), vec![DeviceId(1)]);
+    }
+
+    #[test]
+    fn deploy_caps_participants() {
+        let mut hive = Hive::new();
+        for i in 0..10 {
+            hive.register_device(descriptor(DeviceId(i), UserId(i)));
+        }
+        let task = ExperimentBuilder::new("t")
+            .script(Script::compile("1;").unwrap())
+            .max_participants(4)
+            .build();
+        let id = hive.publish_task(task);
+        let deployment = hive.deploy(id).unwrap();
+        assert_eq!(deployment.devices.len(), 4);
+        assert_eq!(hive.deployment(id).unwrap().devices.len(), 4);
+        assert!(hive.deploy(TaskId(999)).is_err());
+    }
+
+    #[test]
+    fn ingest_and_drain() {
+        use crate::script::Value;
+        let mut hive = Hive::new();
+        let id = hive.publish_task(gps_task());
+        let record = SensedRecord {
+            task: id,
+            user: UserId(1),
+            device: DeviceId(1),
+            time: mobility::Timestamp::new(0),
+            payload: Value::Null,
+        };
+        hive.ingest(vec![record.clone(), record.clone()]);
+        assert_eq!(hive.collected_count(id), 2);
+        let drained = hive.drain_collected(id);
+        assert_eq!(drained.len(), 2);
+        assert_eq!(hive.collected_count(id), 0);
+    }
+
+    #[test]
+    fn square_region_contains_center() {
+        let c = GeoPoint::new(45.75, 4.85).unwrap();
+        let region = square_region(c, 5_000.0);
+        assert!(region.contains(&c));
+        let edge = c.destination(geo::Degrees::new(0.0), geo::Meters::new(4_900.0));
+        assert!(region.contains(&edge));
+        let outside = c.destination(geo::Degrees::new(0.0), geo::Meters::new(8_000.0));
+        assert!(!region.contains(&outside));
+    }
+}

@@ -1,0 +1,287 @@
+//! Tokenizer for the task-scripting DSL.
+
+use crate::error::ApisenseError;
+
+/// A lexical token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based line the token starts on.
+    pub line: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Numeric literal.
+    Num(f64),
+    /// String literal (quotes removed, escapes resolved).
+    Str(String),
+    /// Identifier.
+    Ident(String),
+    /// Keyword: `let`, `fn`, `if`, `else`, `while`, `return`, `true`,
+    /// `false`, `null`.
+    Keyword(&'static str),
+    /// Punctuation or operator, e.g. `+`, `==`, `{`.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+const KEYWORDS: &[&str] = &[
+    "let", "fn", "if", "else", "while", "return", "true", "false", "null",
+];
+
+/// Tokenizes source text.
+///
+/// # Errors
+///
+/// Returns [`ApisenseError::Lex`] for unterminated strings or unexpected
+/// characters.
+pub fn tokenize(source: &str) -> Result<Vec<Token>, ApisenseError> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0;
+    let mut line = 1;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                let value = text.parse::<f64>().map_err(|_| ApisenseError::Lex {
+                    message: format!("bad number literal '{text}'"),
+                    line,
+                })?;
+                tokens.push(Token {
+                    kind: TokenKind::Num(value),
+                    line,
+                });
+            }
+            '"' => {
+                i += 1;
+                let mut text = String::new();
+                let start_line = line;
+                loop {
+                    match chars.get(i) {
+                        None => {
+                            return Err(ApisenseError::Lex {
+                                message: "unterminated string".into(),
+                                line: start_line,
+                            })
+                        }
+                        Some('"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some('\\') => {
+                            let escaped = chars.get(i + 1).ok_or_else(|| ApisenseError::Lex {
+                                message: "unterminated escape".into(),
+                                line,
+                            })?;
+                            text.push(match escaped {
+                                'n' => '\n',
+                                't' => '\t',
+                                '"' => '"',
+                                '\\' => '\\',
+                                other => {
+                                    return Err(ApisenseError::Lex {
+                                        message: format!("unknown escape '\\{other}'"),
+                                        line,
+                                    })
+                                }
+                            });
+                            i += 2;
+                        }
+                        Some('\n') => {
+                            line += 1;
+                            text.push('\n');
+                            i += 1;
+                        }
+                        Some(other) => {
+                            text.push(*other);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Str(text),
+                    line: start_line,
+                });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                let kind = match KEYWORDS.iter().find(|k| **k == text) {
+                    Some(kw) => TokenKind::Keyword(kw),
+                    None => TokenKind::Ident(text),
+                };
+                tokens.push(Token { kind, line });
+            }
+            _ => {
+                // Two-character operators first.
+                let two: String = chars[i..chars.len().min(i + 2)].iter().collect();
+                let two_op = ["==", "!=", "<=", ">=", "&&", "||"]
+                    .iter()
+                    .find(|op| **op == two);
+                if let Some(op) = two_op {
+                    tokens.push(Token {
+                        kind: TokenKind::Punct(op),
+                        line,
+                    });
+                    i += 2;
+                    continue;
+                }
+                let one = [
+                    "+", "-", "*", "/", "%", "<", ">", "=", "!", "(", ")", "{", "}", "[",
+                    "]", ",", ";", ":", ".",
+                ]
+                .iter()
+                .find(|op| op.chars().next() == Some(c));
+                match one {
+                    Some(op) => {
+                        tokens.push(Token {
+                            kind: TokenKind::Punct(op),
+                            line,
+                        });
+                        i += 1;
+                    }
+                    None => {
+                        return Err(ApisenseError::Lex {
+                            message: format!("unexpected character '{c}'"),
+                            line,
+                        })
+                    }
+                }
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn numbers_and_idents() {
+        assert_eq!(
+            kinds("let x = 42.5;"),
+            vec![
+                TokenKind::Keyword("let"),
+                TokenKind::Ident("x".into()),
+                TokenKind::Punct("="),
+                TokenKind::Num(42.5),
+                TokenKind::Punct(";"),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            kinds(r#""a\nb\"c""#),
+            vec![TokenKind::Str("a\nb\"c".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("1 // comment\n2"),
+            vec![TokenKind::Num(1.0), TokenKind::Num(2.0), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(
+            kinds("a == b != c <= d >= e && f || g"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Punct("=="),
+                TokenKind::Ident("b".into()),
+                TokenKind::Punct("!="),
+                TokenKind::Ident("c".into()),
+                TokenKind::Punct("<="),
+                TokenKind::Ident("d".into()),
+                TokenKind::Punct(">="),
+                TokenKind::Ident("e".into()),
+                TokenKind::Punct("&&"),
+                TokenKind::Ident("f".into()),
+                TokenKind::Punct("||"),
+                TokenKind::Ident("g".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let tokens = tokenize("1\n2\n  3").unwrap();
+        assert_eq!(tokens[0].line, 1);
+        assert_eq!(tokens[1].line, 2);
+        assert_eq!(tokens[2].line, 3);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        match tokenize("\"abc") {
+            Err(ApisenseError::Lex { message, line }) => {
+                assert!(message.contains("unterminated"));
+                assert_eq!(line, 1);
+            }
+            other => panic!("expected lex error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unexpected_character_errors() {
+        assert!(matches!(tokenize("@"), Err(ApisenseError::Lex { .. })));
+        assert!(matches!(tokenize("1 # 2"), Err(ApisenseError::Lex { .. })));
+    }
+
+    #[test]
+    fn keywords_recognized() {
+        for kw in super::KEYWORDS {
+            let tokens = tokenize(kw).unwrap();
+            assert_eq!(tokens[0].kind, TokenKind::Keyword(kw));
+        }
+    }
+
+    #[test]
+    fn bad_number_errors() {
+        assert!(matches!(
+            tokenize("1.2.3"),
+            Err(ApisenseError::Lex { .. })
+        ));
+    }
+}

@@ -1,0 +1,252 @@
+//! The crowd-sensing task scripting DSL.
+//!
+//! APISENSE describes crowd-sensing tasks "as scripts (based on an extension
+//! of JavaScript) that are seamlessly offloaded onto mobile devices" (paper,
+//! §2). This module provides the equivalent code-as-data capability with a
+//! purpose-built language (see `DESIGN.md` §2 for the substitution
+//! rationale): a C-like expression language with `let`, `fn`, `if`, `while`,
+//! lists and maps, executed by a sandboxed tree-walking interpreter with an
+//! execution-fuel budget and a pluggable [`Host`] API exposing the device's
+//! sensors.
+//!
+//! # Example
+//!
+//! ```
+//! use apisense::script::{Script, Value, Host};
+//! use apisense::ApisenseError;
+//!
+//! struct FakeDevice;
+//! impl Host for FakeDevice {
+//!     fn call(&mut self, path: &str, _args: &[Value]) -> Result<Value, ApisenseError> {
+//!         match path {
+//!             "sensor.battery" => Ok(Value::Num(0.83)),
+//!             "emit" => Ok(Value::Null),
+//!             other => Err(ApisenseError::UnknownSensor(other.to_string())),
+//!         }
+//!     }
+//! }
+//!
+//! let script = Script::compile(r#"
+//!     let level = sensor.battery();
+//!     if (level > 0.5) { emit({ "battery": level }); }
+//!     level
+//! "#).unwrap();
+//! let result = script.run(&mut FakeDevice, 10_000).unwrap();
+//! assert_eq!(result, Value::Num(0.83));
+//! ```
+
+mod interp;
+mod lexer;
+mod parser;
+
+pub use interp::{Host, Interpreter};
+pub use parser::{BinaryOp, Expr, Program, Stmt, UnaryOp};
+
+use crate::error::ApisenseError;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A runtime value of the scripting language.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// The absent value.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A 64-bit float (the only numeric type, as in JavaScript).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An ordered list.
+    List(Vec<Value>),
+    /// A string-keyed map.
+    Map(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// JavaScript-style truthiness: `null`, `false`, `0`, `NaN` and `""`
+    /// are falsy; everything else is truthy.
+    pub fn is_truthy(&self) -> bool {
+        match self {
+            Value::Null => false,
+            Value::Bool(b) => *b,
+            Value::Num(n) => *n != 0.0 && !n.is_nan(),
+            Value::Str(s) => !s.is_empty(),
+            Value::List(_) | Value::Map(_) => true,
+        }
+    }
+
+    /// Numeric view of the value, if it is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// String view of the value, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Map view of the value, if it is a map.
+    pub fn as_map(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Num(n) => write!(f, "{n}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::List(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Map(m) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k}: {v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Self {
+        Value::Num(n)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+
+/// A compiled, reusable crowd-sensing script.
+///
+/// Compilation happens once on the Honeycomb; the compiled program is what
+/// the Hive offloads to devices (source travels with it for display and
+/// re-compilation on heterogeneous clients).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Script {
+    source: String,
+    program: Program,
+}
+
+impl Script {
+    /// Compiles source text into a script.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApisenseError::Lex`] / [`ApisenseError::Parse`] with
+    /// 1-based line numbers on malformed input.
+    pub fn compile(source: &str) -> Result<Self, ApisenseError> {
+        let tokens = lexer::tokenize(source)?;
+        let program = parser::parse(tokens)?;
+        Ok(Self {
+            source: source.to_string(),
+            program,
+        })
+    }
+
+    /// The original source text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// The parsed program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Runs the script against a host with an execution budget (`fuel` is
+    /// roughly the number of AST nodes evaluated).
+    ///
+    /// Returns the value of the last expression statement, or [`Value::Null`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates host errors, runtime type errors and
+    /// [`ApisenseError::FuelExhausted`] when the budget runs out.
+    pub fn run(&self, host: &mut dyn Host, fuel: u64) -> Result<Value, ApisenseError> {
+        Interpreter::new(host, fuel).run(&self.program)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness_rules() {
+        assert!(!Value::Null.is_truthy());
+        assert!(!Value::Bool(false).is_truthy());
+        assert!(Value::Bool(true).is_truthy());
+        assert!(!Value::Num(0.0).is_truthy());
+        assert!(!Value::Num(f64::NAN).is_truthy());
+        assert!(Value::Num(1.5).is_truthy());
+        assert!(!Value::Str(String::new()).is_truthy());
+        assert!(Value::Str("x".into()).is_truthy());
+        assert!(Value::List(vec![]).is_truthy());
+        assert!(Value::Map(BTreeMap::new()).is_truthy());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Null.to_string(), "null");
+        assert_eq!(Value::Num(2.5).to_string(), "2.5");
+        assert_eq!(
+            Value::List(vec![Value::Num(1.0), Value::Str("a".into())]).to_string(),
+            "[1, a]"
+        );
+        let mut m = BTreeMap::new();
+        m.insert("k".to_string(), Value::Bool(true));
+        assert_eq!(Value::Map(m).to_string(), "{k: true}");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(2.0), Value::Num(2.0));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("hi"), Value::Str("hi".into()));
+        assert_eq!(Value::Num(3.0).as_num(), Some(3.0));
+        assert_eq!(Value::Str("s".into()).as_str(), Some("s"));
+        assert!(Value::Null.as_map().is_none());
+    }
+
+    #[test]
+    fn compile_keeps_source() {
+        let s = Script::compile("1 + 2;").unwrap();
+        assert_eq!(s.source(), "1 + 2;");
+        assert!(!s.program().statements.is_empty());
+    }
+}

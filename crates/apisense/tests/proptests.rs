@@ -1,0 +1,147 @@
+//! Property-based tests of the APISENSE middleware.
+
+use apisense::privacy::{ExclusionZone, PrivacyPreferences, TimeWindow};
+use apisense::script::{Host, Script, Value};
+use apisense::ApisenseError;
+use geo::GeoPoint;
+use proptest::prelude::*;
+
+struct NullHost;
+impl Host for NullHost {
+    fn call(&mut self, _path: &str, args: &[Value]) -> Result<Value, ApisenseError> {
+        Ok(args.first().cloned().unwrap_or(Value::Null))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The compiler never panics, whatever the input text.
+    #[test]
+    fn compiler_never_panics(src in ".{0,200}") {
+        let _ = Script::compile(&src);
+    }
+
+    /// Valid arithmetic always evaluates without error and agrees with Rust.
+    #[test]
+    fn arithmetic_matches_rust(a in -1_000i32..1_000, b in -1_000i32..1_000) {
+        let src = format!("{a} + {b} * 2 - ({b} - {a})");
+        let script = Script::compile(&src).unwrap();
+        let result = script.run(&mut NullHost, 100_000).unwrap();
+        let expected = a as f64 + b as f64 * 2.0 - (b as f64 - a as f64);
+        prop_assert_eq!(result, Value::Num(expected));
+    }
+
+    /// Fuel always bounds execution: any script either finishes or reports
+    /// fuel exhaustion within the budget — no runaway loops.
+    #[test]
+    fn fuel_always_terminates(n in 0u32..30, fuel in 1u64..2_000) {
+        let src = format!("let i = 0; while (i < {n}) {{ i = i + 1; }} i");
+        let script = Script::compile(&src).unwrap();
+        match script.run(&mut NullHost, fuel) {
+            Ok(Value::Num(v)) => prop_assert_eq!(v, n as f64),
+            Ok(other) => prop_assert!(false, "unexpected value {other}"),
+            Err(ApisenseError::FuelExhausted) => {}
+            Err(e) => prop_assert!(false, "unexpected error {e}"),
+        }
+    }
+
+    /// String concatenation length is additive.
+    #[test]
+    fn string_concat(a in "[a-z]{0,20}", b in "[a-z]{0,20}") {
+        let src = format!(r#""{a}" + "{b}""#);
+        let script = Script::compile(&src).unwrap();
+        let result = script.run(&mut NullHost, 10_000).unwrap();
+        prop_assert_eq!(result, Value::Str(format!("{a}{b}")));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Blur displaces by a bounded, deterministic amount and never moves a
+    /// record's timestamp or non-spatial payload.
+    #[test]
+    fn blur_is_bounded_and_deterministic(
+        lat in 45.0..46.0f64,
+        lon in 4.0..5.0f64,
+        t in 0i64..1_000_000,
+        sigma in 1.0..300.0f64,
+        salt in any::<u64>(),
+    ) {
+        use apisense::device::{DeviceId, SensedRecord};
+        use apisense::hive::TaskId;
+        use mobility::{Timestamp, UserId};
+        use std::collections::BTreeMap;
+
+        let prefs = PrivacyPreferences::default()
+            .with_blur(geo::Meters::new(sigma))
+            .with_salt(salt);
+        let mut payload = BTreeMap::new();
+        payload.insert("lat".to_string(), Value::Num(lat));
+        payload.insert("lon".to_string(), Value::Num(lon));
+        payload.insert("extra".to_string(), Value::Num(42.0));
+        let record = SensedRecord {
+            task: TaskId(1),
+            user: UserId(1),
+            device: DeviceId(1),
+            time: Timestamp::new(t),
+            payload: Value::Map(payload),
+        };
+        let out1 = prefs.filter_record(record.clone()).unwrap();
+        let out2 = prefs.filter_record(record.clone()).unwrap();
+        prop_assert_eq!(&out1, &out2);
+        prop_assert_eq!(out1.time, record.time);
+        let original = record.location().unwrap();
+        let blurred = out1.location().unwrap();
+        let d = original.haversine_distance(&blurred).get();
+        // Gaussian tail: 6 sigma covers essentially everything.
+        prop_assert!(d <= sigma * 6.0 + 1.0, "blur {d} m at sigma {sigma}");
+        prop_assert_eq!(
+            out1.payload.as_map().unwrap().get("extra"),
+            Some(&Value::Num(42.0))
+        );
+    }
+
+    /// Exclusion zones and time windows are airtight: no published record
+    /// violates them.
+    #[test]
+    fn filters_are_airtight(
+        points in prop::collection::vec((45.0..45.1f64, 4.0..4.1f64, 0i64..604_800), 1..60),
+        zone_lat in 45.0..45.1f64,
+        zone_lon in 4.0..4.1f64,
+        radius in 50.0..2_000.0f64,
+        win_start in 0i64..23,
+    ) {
+        use apisense::device::{DeviceId, SensedRecord};
+        use apisense::hive::TaskId;
+        use mobility::{Timestamp, UserId};
+        use std::collections::BTreeMap;
+
+        let zone_center = GeoPoint::new(zone_lat, zone_lon).unwrap();
+        let window = TimeWindow::new(win_start, (win_start + 8).min(24));
+        let prefs = PrivacyPreferences::default()
+            .with_exclusion_zone(ExclusionZone::new(zone_center, geo::Meters::new(radius)))
+            .with_time_window(window);
+        for (la, lo, t) in points {
+            let mut payload = BTreeMap::new();
+            payload.insert("lat".to_string(), Value::Num(la));
+            payload.insert("lon".to_string(), Value::Num(lo));
+            let record = SensedRecord {
+                task: TaskId(1),
+                user: UserId(1),
+                device: DeviceId(1),
+                time: Timestamp::new(t),
+                payload: Value::Map(payload),
+            };
+            if let Some(out) = prefs.filter_record(record) {
+                let p = out.location().unwrap();
+                prop_assert!(
+                    zone_center.haversine_distance(&p).get() > radius,
+                    "published record inside the exclusion zone"
+                );
+                prop_assert!(window.contains_hour(out.time.hour_of_day()));
+            }
+        }
+    }
+}

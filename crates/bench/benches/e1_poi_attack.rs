@@ -1,0 +1,35 @@
+//! Criterion bench for E1: anonymization and attack throughput.
+
+use bench::data::dataset;
+use criterion::{criterion_group, criterion_main, Criterion};
+use privapi::attack::PoiAttack;
+use privapi::prelude::*;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_e1(c: &mut Criterion) {
+    let data = dataset(10, 3, 120, 0xE1);
+    let attack = PoiAttack::default();
+    let geo_i = GeoIndistinguishability::new(0.01).expect("static");
+    let reference = attack.extract(&data.dataset);
+    let protected = geo_i.anonymize(&data.dataset, 1);
+
+    let mut group = c.benchmark_group("e1_poi_attack");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    group.bench_function("geo_i_anonymize_10u3d", |b| {
+        b.iter(|| black_box(geo_i.anonymize(black_box(&data.dataset), 1)))
+    });
+    group.bench_function("poi_extract_10u3d", |b| {
+        b.iter(|| black_box(attack.extract(black_box(&data.dataset))))
+    });
+    group.bench_function("poi_evaluate_10u3d", |b| {
+        b.iter(|| black_box(attack.evaluate_reference(black_box(&protected), &reference)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_e1);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench for E2: speed-smoothing throughput at several epsilons.
+
+use bench::data::dataset;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use privapi::prelude::*;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_e2(c: &mut Criterion) {
+    let data = dataset(10, 3, 60, 0xE2);
+    let mut group = c.benchmark_group("e2_smoothing");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for eps in [50.0, 100.0, 200.0] {
+        let strategy = SpeedSmoothing::new(geo::Meters::new(eps)).expect("static");
+        group.bench_with_input(
+            BenchmarkId::new("anonymize_10u3d", eps as u64),
+            &strategy,
+            |b, s| b.iter(|| black_box(s.anonymize(black_box(&data.dataset), 0))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e2);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench for E3: utility metric computation.
+
+use bench::data::dataset;
+use criterion::{criterion_group, criterion_main, Criterion};
+use privapi::metrics::{crowded_places_utility, spatial_distortion, traffic_utility};
+use privapi::prelude::*;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_e3(c: &mut Criterion) {
+    let data = dataset(10, 3, 120, 0xE3);
+    let strategy = SpeedSmoothing::new(geo::Meters::new(100.0)).expect("static");
+    let protected = strategy.anonymize(&data.dataset, 0);
+
+    let mut group = c.benchmark_group("e3_utility");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    group.bench_function("crowded_places_10u3d", |b| {
+        b.iter(|| {
+            black_box(crowded_places_utility(
+                black_box(&data.dataset),
+                black_box(&protected),
+                geo::Meters::new(250.0),
+                20,
+            ))
+        })
+    });
+    group.bench_function("traffic_10u3d", |b| {
+        b.iter(|| {
+            black_box(traffic_utility(
+                black_box(&data.dataset),
+                black_box(&protected),
+                geo::Meters::new(500.0),
+            ))
+        })
+    });
+    group.bench_function("distortion_10u3d", |b| {
+        b.iter(|| black_box(spatial_distortion(black_box(&data.dataset), black_box(&protected))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_e3);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench for E4: end-to-end campaign simulation.
+
+use apisense::deploy::{run_campaign, CampaignConfig};
+use bench::e4;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_e4(c: &mut Criterion) {
+    let task = e4::task();
+    let mut group = c.benchmark_group("e4_platform");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    for devices in [10usize, 25] {
+        group.bench_with_input(
+            BenchmarkId::new("campaign_1h", devices),
+            &devices,
+            |b, &devices| {
+                b.iter(|| {
+                    black_box(run_campaign(
+                        &task,
+                        &CampaignConfig {
+                            devices,
+                            duration_s: 3_600,
+                            seed: 1,
+                            ..CampaignConfig::default()
+                        },
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e4);
+criterion_main!(benches);

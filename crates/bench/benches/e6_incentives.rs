@@ -1,0 +1,33 @@
+//! Criterion bench for E6: participation simulation.
+
+use apisense::incentives::{simulate_campaign, CampaignConfig, IncentiveStrategy};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_e6(c: &mut Criterion) {
+    let config = CampaignConfig {
+        users: 300,
+        days: 28,
+        records_per_active_day: 48,
+        seed: 1,
+    };
+    let mut group = c.benchmark_group("e6_incentives");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for strategy in [
+        IncentiveStrategy::None,
+        IncentiveStrategy::Ranking,
+        IncentiveStrategy::WinWin,
+    ] {
+        group.bench_function(format!("campaign_300u28d_{strategy}"), |b| {
+            b.iter(|| black_box(simulate_campaign(black_box(&strategy), &config)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e6);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench for E7: virtual-sensor query loops.
+
+use apisense::virtual_sensor::SelectionStrategy;
+use bench::e7::run_strategy;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_e7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_vsensor");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    for strategy in [
+        SelectionStrategy::RoundRobin,
+        SelectionStrategy::EnergyAware,
+        SelectionStrategy::CoverageAware,
+    ] {
+        group.bench_function(format!("120q_20dev_{strategy}"), |b| {
+            b.iter(|| black_box(run_strategy(strategy, 20, 120, 5, 1)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e7);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Regenerates every table/figure of the paper's evaluation.
+//!
+//! ```bash
+//! cargo run -p bench --bin experiments --release            # all, small scale
+//! cargo run -p bench --bin experiments --release -- e1 e3   # selected ids
+//! cargo run -p bench --bin experiments --release -- --full  # paper scale
+//! ```
+
+use bench::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--full") {
+        Scale::Full
+    } else {
+        Scale::Small
+    };
+    let selected: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.to_lowercase())
+        .collect();
+    let want = |id: &str| selected.is_empty() || selected.iter().any(|s| s == id);
+
+    println!(
+        "== crowdsense experiment suite (scale: {scale:?}) ==\n\
+         ids: e1 e2 e3 e4 e5 e6 e7 e8 f1; pass --full for paper scale\n"
+    );
+
+    if want("f1") {
+        println!("{}\n", bench::f1::run(scale));
+    }
+    if want("e1") {
+        println!("{}", bench::e1::run(scale));
+        println!(
+            "paper check: geo-I (practical ε) must leak ≥ 60 % of POIs — \
+             see the epsilon=0.0069/m row.\n"
+        );
+    }
+    if want("e2") {
+        println!("{}\n", bench::e2::run(scale));
+    }
+    if want("e3") {
+        println!("{}\n", bench::e3::run(scale));
+    }
+    if want("e4") {
+        println!("{}\n", bench::e4::run(scale));
+    }
+    if want("e5") {
+        let table = bench::e5::run(scale);
+        println!("{table}");
+        println!("full candidate evaluations:");
+        for report in &table.reports {
+            println!("{report}");
+        }
+    }
+    if want("e6") {
+        println!("{}\n", bench::e6::run(scale));
+    }
+    if want("e7") {
+        println!("{}\n", bench::e7::run(scale));
+    }
+    if want("e8") {
+        println!("{}\n", bench::e8::run(scale));
+    }
+}

@@ -1,0 +1,189 @@
+//! E8 — the device-side privacy layer.
+//!
+//! Paper anchor (§2): "a first layer is deployed on the mobile device and
+//! implements several algorithms to filter out and blur sensitive
+//! information (e.g., address book, location) depending on user
+//! preferences."
+
+use crate::data::dataset;
+use apisense::device::{Device, DeviceId};
+use apisense::hive::TaskId;
+use apisense::privacy::{ExclusionZone, PrivacyPreferences, TimeWindow};
+use apisense::script::Script;
+use mobility::poi::PoiKind;
+use mobility::{Dataset, Timestamp, Trajectory};
+use privapi::attack::PoiAttack;
+use std::fmt;
+
+/// One row of the E8 table.
+#[derive(Debug, Clone)]
+pub struct E8Row {
+    /// Preference profile description.
+    pub profile: String,
+    /// Records produced by scripts.
+    pub produced: u64,
+    /// Records actually published after filtering.
+    pub published: u64,
+    /// Suppression rate.
+    pub suppression: f64,
+    /// POI recall of the attack on the published device data.
+    pub residual_recall: f64,
+}
+
+/// The E8 result table.
+#[derive(Debug, Clone)]
+pub struct E8Table {
+    /// Rows per profile.
+    pub rows: Vec<E8Row>,
+}
+
+impl fmt::Display for E8Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "E8 — device-side privacy filters")?;
+        writeln!(
+            f,
+            "{:<42} {:>9} {:>10} {:>11} {:>12}",
+            "preference profile", "produced", "published", "suppressed", "POI recall"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<42} {:>9} {:>10} {:>10.1}% {:>11.1}%",
+                r.profile,
+                r.produced,
+                r.published,
+                r.suppression * 100.0,
+                r.residual_recall * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs E8: a population of devices replays its mobility under different
+/// preference profiles; the published stream is attacked.
+pub fn run(scale: crate::Scale) -> E8Table {
+    let (users, days) = match scale {
+        crate::Scale::Small => (8, 3),
+        crate::Scale::Full => (25, 7),
+    };
+    let data = dataset(users, days, 60, 0xE8);
+    let script = Script::compile(
+        r#"let fix = sensor.gps(); if (fix != null) { emit({ "lat": fix.lat, "lon": fix.lon }); }"#,
+    )
+    .expect("script compiles");
+
+    // Build per-user profiles keyed on their real home (the realistic use
+    // of an exclusion zone).
+    let homes: Vec<(mobility::UserId, geo::GeoPoint)> = data
+        .dataset
+        .users()
+        .into_iter()
+        .filter_map(|u| {
+            data.truth
+                .pois_of(u)
+                .iter()
+                .find(|p| p.kind == PoiKind::Home)
+                .map(|p| (u, p.site))
+        })
+        .collect();
+
+    let profiles: Vec<(String, Box<dyn Fn(geo::GeoPoint) -> PrivacyPreferences>)> = vec![
+        (
+            "share everything".to_string(),
+            Box::new(|_| PrivacyPreferences::default()),
+        ),
+        (
+            "home exclusion 250 m".to_string(),
+            Box::new(|home| {
+                PrivacyPreferences::default()
+                    .with_exclusion_zone(ExclusionZone::new(home, geo::Meters::new(250.0)))
+            }),
+        ),
+        (
+            "blur sigma 50 m".to_string(),
+            Box::new(|_| PrivacyPreferences::default().with_blur(geo::Meters::new(50.0))),
+        ),
+        (
+            "blur sigma 100 m".to_string(),
+            Box::new(|_| PrivacyPreferences::default().with_blur(geo::Meters::new(100.0))),
+        ),
+        (
+            "daytime only + home exclusion".to_string(),
+            Box::new(|home| {
+                PrivacyPreferences::default()
+                    .with_time_window(TimeWindow::new(7, 21))
+                    .with_exclusion_zone(ExclusionZone::new(home, geo::Meters::new(250.0)))
+            }),
+        ),
+    ];
+
+    let attack = PoiAttack::default();
+    let mut rows = Vec::new();
+    for (label, make_prefs) in &profiles {
+        let mut produced = 0;
+        let mut published_records = Vec::new();
+        for (i, (user, home)) in homes.iter().enumerate() {
+            let trajectory = Trajectory::new(*user, data.dataset.records_of(*user));
+            let mut device = Device::new(DeviceId(i as u64), *user, trajectory)
+                .with_preferences(make_prefs(*home));
+            let start = Timestamp::from_day_time(0, 0, 0, 0);
+            device.install(TaskId(1), script.clone(), 300, 0.0, start);
+            let end_minute = (days * 24 * 60) as i64;
+            let mut minute = 0;
+            while minute < end_minute {
+                device.tick(start + minute * 60);
+                minute += 5;
+            }
+            produced += device.records_produced();
+            published_records.extend(
+                device
+                    .drain_outbox()
+                    .iter()
+                    .filter_map(|r| r.to_location_record()),
+            );
+        }
+        let published = published_records.len() as u64;
+        let device_dataset = Dataset::from_records(published_records);
+        let report = attack.evaluate(&device_dataset, &data.truth);
+        rows.push(E8Row {
+            profile: label.clone(),
+            produced,
+            published,
+            suppression: if produced == 0 {
+                0.0
+            } else {
+                1.0 - published as f64 / produced as f64
+            },
+            residual_recall: report.recall,
+        });
+    }
+    E8Table { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e8_filters_trade_data_for_privacy() {
+        let table = run(crate::Scale::Small);
+        let open = &table.rows[0];
+        let home_zone = &table.rows[1];
+        assert_eq!(open.suppression, 0.0);
+        assert!(open.residual_recall > 0.4);
+        // Home exclusion suppresses a large share of records (the night is
+        // spent at home) and hides the home POI.
+        assert!(
+            home_zone.suppression > 0.3,
+            "suppression {}",
+            home_zone.suppression
+        );
+        assert!(
+            home_zone.residual_recall < open.residual_recall,
+            "home zone {} vs open {}",
+            home_zone.residual_recall,
+            open.residual_recall
+        );
+    }
+}

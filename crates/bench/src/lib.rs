@@ -1,0 +1,48 @@
+//! Experiment harness regenerating every table/figure of the paper.
+//!
+//! The poster's evaluation claims are indexed in `DESIGN.md` §4 (E1–E8 plus
+//! the Figure 1 architecture F1). Each experiment lives in its own module
+//! with a `run(scale)` entry point returning a printable table; the
+//! `experiments` binary drives them, and the Criterion benches under
+//! `benches/` measure the hot paths of each experiment.
+
+pub mod data;
+pub mod e1;
+pub mod e2;
+pub mod e3;
+pub mod e4;
+pub mod e5;
+pub mod e6;
+pub mod e7;
+pub mod e8;
+pub mod f1;
+
+/// Experiment scale: `Small` keeps every experiment under a few seconds,
+/// `Full` approaches the population sizes a real deployment would see.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// CI-friendly: tens of users, a week of data.
+    Small,
+    /// Paper-scale: hundreds of users, two weeks of data.
+    Full,
+}
+
+impl Scale {
+    /// (users, days, sampling interval seconds) for dataset-driven
+    /// experiments.
+    pub fn population(&self) -> (usize, usize, i64) {
+        match self {
+            Scale::Small => (30, 7, 120),
+            Scale::Full => (200, 14, 60),
+        }
+    }
+}
+
+/// Renders a markdown-style table row.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    let mut out = String::from("|");
+    for (cell, width) in cells.iter().zip(widths) {
+        out.push_str(&format!(" {cell:<width$} |"));
+    }
+    out
+}

@@ -1,0 +1,80 @@
+//! Error type for PRIVAPI operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the PRIVAPI middleware.
+#[derive(Debug)]
+pub enum PrivapiError {
+    /// A strategy parameter was invalid (name, offending value).
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value rendered as text.
+        value: String,
+    },
+    /// The selector had no candidate satisfying the privacy floor.
+    NoFeasibleStrategy {
+        /// The privacy floor that was requested (max tolerated POI recall).
+        floor: f64,
+        /// Best (lowest) POI recall achieved by any candidate.
+        best_recall: f64,
+    },
+    /// The dataset was empty where data was required.
+    EmptyDataset,
+    /// An underlying mobility-layer error.
+    Mobility(mobility::MobilityError),
+}
+
+impl fmt::Display for PrivapiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrivapiError::InvalidParameter { name, value } => {
+                write!(f, "invalid parameter {name}: {value}")
+            }
+            PrivapiError::NoFeasibleStrategy { floor, best_recall } => write!(
+                f,
+                "no strategy satisfies privacy floor {floor:.2} (best achievable POI recall {best_recall:.2})"
+            ),
+            PrivapiError::EmptyDataset => write!(f, "operation requires a non-empty dataset"),
+            PrivapiError::Mobility(e) => write!(f, "mobility error: {e}"),
+        }
+    }
+}
+
+impl Error for PrivapiError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PrivapiError::Mobility(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<mobility::MobilityError> for PrivapiError {
+    fn from(e: mobility::MobilityError) -> Self {
+        PrivapiError::Mobility(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = PrivapiError::NoFeasibleStrategy {
+            floor: 0.1,
+            best_recall: 0.4,
+        };
+        assert!(e.to_string().contains("0.10"));
+        assert!(e.to_string().contains("0.40"));
+        assert!(PrivapiError::EmptyDataset.to_string().contains("non-empty"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<PrivapiError>();
+    }
+}

@@ -1,0 +1,268 @@
+//! Traffic-prediction utility.
+//!
+//! The analyst trains an hourly per-cell visit forecast on the *protected*
+//! dataset (historical average per hour-of-day over all but the last day)
+//! and the forecast is scored against the *original* dataset's actual final
+//! day. If protection preserved where-and-when people move, the forecast
+//! stays accurate.
+
+use crate::error::PrivapiError;
+use geo::{CellId, Meters, UniformGrid};
+use mobility::Dataset;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Accuracy of the traffic forecast trained on protected data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficReport {
+    /// Total absolute forecast error normalized by total true volume
+    /// (0 = perfect; 1 = errors as large as the traffic itself).
+    pub relative_volume_error: f64,
+    /// Pearson correlation between forecast and truth across (cell, hour)
+    /// pairs; `None` when variance is degenerate.
+    pub correlation: Option<f64>,
+    /// Number of (cell, hour) pairs evaluated.
+    pub evaluated_pairs: usize,
+    /// The day index used as the evaluation target.
+    pub eval_day: i64,
+}
+
+impl TrafficReport {
+    /// A conventional `[0, 1]` utility score: `max(0, 1 − error)`.
+    pub fn utility_score(&self) -> f64 {
+        (1.0 - self.relative_volume_error).max(0.0)
+    }
+}
+
+/// Hourly visit counts per cell, keyed by `(cell, hour_of_day)`, restricted
+/// to a day filter.
+fn hourly_histogram<F>(dataset: &Dataset, grid: &UniformGrid, day_filter: F) -> HashMap<(CellId, i64), f64>
+where
+    F: Fn(i64) -> bool,
+{
+    let mut out: HashMap<(CellId, i64), f64> = HashMap::new();
+    for r in dataset.iter_records() {
+        let day = r.time.day_index();
+        if !day_filter(day) {
+            continue;
+        }
+        let key = (grid.cell_of(&r.point), r.time.hour_of_day());
+        *out.entry(key).or_insert(0.0) += 1.0;
+    }
+    out
+}
+
+/// Runs the traffic-forecast evaluation on a `cell_size` grid.
+///
+/// # Errors
+///
+/// Returns [`PrivapiError::EmptyDataset`] when either dataset is empty or
+/// spans fewer than two days (no train/test split possible).
+pub fn traffic_utility(
+    original: &Dataset,
+    protected: &Dataset,
+    cell_size: Meters,
+) -> Result<TrafficReport, PrivapiError> {
+    let bbox = original
+        .bounding_box()
+        .ok_or(PrivapiError::EmptyDataset)?
+        .expanded(0.001);
+    let grid = UniformGrid::new(bbox, cell_size).map_err(|e| PrivapiError::InvalidParameter {
+        name: "cell_size",
+        value: e.to_string(),
+    })?;
+    let days: Vec<i64> = {
+        let mut d: Vec<i64> = original.iter_records().map(|r| r.time.day_index()).collect();
+        d.sort_unstable();
+        d.dedup();
+        d
+    };
+    if days.len() < 2 {
+        return Err(PrivapiError::EmptyDataset);
+    }
+    let eval_day = *days.last().expect("non-empty");
+    let train_days = (days.len() - 1) as f64;
+
+    // Train on the protected dataset, all days but the last.
+    let train = hourly_histogram(protected, &grid, |d| d != eval_day);
+    // Truth: original dataset, last day only.
+    let truth = hourly_histogram(original, &grid, |d| d == eval_day);
+    if truth.is_empty() {
+        return Err(PrivapiError::EmptyDataset);
+    }
+
+    // Forecast for (cell, hour) = mean daily count over the training days.
+    let mut keys: Vec<(CellId, i64)> = truth.keys().copied().collect();
+    for k in train.keys() {
+        if !truth.contains_key(k) {
+            keys.push(*k);
+        }
+    }
+    keys.sort();
+
+    let mut abs_err = 0.0;
+    let mut total_truth = 0.0;
+    let mut pred_vec = Vec::with_capacity(keys.len());
+    let mut true_vec = Vec::with_capacity(keys.len());
+    for key in &keys {
+        let predicted = train.get(key).copied().unwrap_or(0.0) / train_days;
+        let actual = truth.get(key).copied().unwrap_or(0.0);
+        abs_err += (predicted - actual).abs();
+        total_truth += actual;
+        pred_vec.push(predicted);
+        true_vec.push(actual);
+    }
+    let relative = if total_truth == 0.0 {
+        1.0
+    } else {
+        abs_err / total_truth
+    };
+    Ok(TrafficReport {
+        relative_volume_error: relative,
+        correlation: pearson(&pred_vec, &true_vec),
+        evaluated_pairs: keys.len(),
+        eval_day,
+    })
+}
+
+/// Pearson correlation; `None` when either vector is degenerate.
+fn pearson(a: &[f64], b: &[f64]) -> Option<f64> {
+    if a.len() != b.len() || a.len() < 2 {
+        return None;
+    }
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma).powi(2);
+        vb += (y - mb).powi(2);
+    }
+    if va <= f64::EPSILON || vb <= f64::EPSILON {
+        return None;
+    }
+    Some(cov / (va * vb).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geo::GeoPoint;
+    use mobility::{LocationRecord, Timestamp, UserId, DAY_SECONDS};
+
+    /// Same commute pattern every day for `days` days: a busy morning cell A
+    /// (45 visits) and a quieter evening cell B (15 visits) — distinct
+    /// volumes so correlation is well-defined.
+    fn periodic_dataset(days: i64) -> Dataset {
+        let a = GeoPoint::new(45.70, 4.80).unwrap();
+        let b = GeoPoint::new(45.76, 4.88).unwrap();
+        let mut records = Vec::new();
+        for d in 0..days {
+            for i in 0..45 {
+                records.push(LocationRecord::new(
+                    UserId(1),
+                    Timestamp::new(d * DAY_SECONDS + 8 * 3_600 + i * 60),
+                    a,
+                ));
+            }
+            for i in 0..15 {
+                records.push(LocationRecord::new(
+                    UserId(1),
+                    Timestamp::new(d * DAY_SECONDS + 18 * 3_600 + i * 60),
+                    b,
+                ));
+            }
+        }
+        Dataset::from_records(records)
+    }
+
+    #[test]
+    fn perfectly_periodic_data_forecasts_well() {
+        let ds = periodic_dataset(5);
+        let report = traffic_utility(&ds, &ds, Meters::new(500.0)).unwrap();
+        assert!(
+            report.relative_volume_error < 0.05,
+            "error {}",
+            report.relative_volume_error
+        );
+        assert!(report.correlation.unwrap() > 0.95);
+        assert_eq!(report.eval_day, 4);
+        assert!(report.utility_score() > 0.95);
+    }
+
+    #[test]
+    fn displaced_training_data_forecasts_poorly() {
+        let ds = periodic_dataset(5);
+        // Train on data moved ~5.5 km north: forecast lands in wrong cells.
+        let moved = ds.map_trajectories(|t| {
+            let records: Vec<LocationRecord> = t
+                .records()
+                .iter()
+                .map(|r| {
+                    LocationRecord::new(
+                        r.user,
+                        r.time,
+                        GeoPoint::new(r.point.latitude() + 0.05, r.point.longitude()).unwrap(),
+                    )
+                })
+                .collect();
+            mobility::Trajectory::new(t.user(), records)
+        });
+        let report = traffic_utility(&ds, &moved, Meters::new(500.0)).unwrap();
+        assert!(
+            report.relative_volume_error > 0.9,
+            "error {}",
+            report.relative_volume_error
+        );
+        assert!(report.utility_score() < 0.1);
+    }
+
+    #[test]
+    fn single_day_errors() {
+        let ds = periodic_dataset(1);
+        assert!(matches!(
+            traffic_utility(&ds, &ds, Meters::new(500.0)),
+            Err(PrivapiError::EmptyDataset)
+        ));
+    }
+
+    #[test]
+    fn empty_dataset_errors() {
+        assert!(traffic_utility(&Dataset::new(), &Dataset::new(), Meters::new(500.0)).is_err());
+    }
+
+    #[test]
+    fn pearson_sanity() {
+        assert_eq!(pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]).unwrap(), 1.0);
+        let anti = pearson(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]).unwrap();
+        assert!((anti + 1.0).abs() < 1e-12);
+        assert!(pearson(&[1.0, 1.0], &[2.0, 3.0]).is_none());
+        assert!(pearson(&[1.0], &[2.0]).is_none());
+        assert!(pearson(&[1.0, 2.0], &[2.0]).is_none());
+    }
+
+    #[test]
+    fn missing_cells_penalized() {
+        let ds = periodic_dataset(4);
+        // Protected dataset drops the evening cluster entirely.
+        let censored = ds.map_trajectories(|t| {
+            let records: Vec<LocationRecord> = t
+                .records()
+                .iter()
+                .filter(|r| r.time.hour_of_day() < 12)
+                .copied()
+                .collect();
+            mobility::Trajectory::new(t.user(), records)
+        });
+        let report = traffic_utility(&ds, &censored, Meters::new(500.0)).unwrap();
+        // The evening quarter of the volume cannot be forecast.
+        assert!(
+            report.relative_volume_error > 0.2,
+            "error {}",
+            report.relative_volume_error
+        );
+    }
+}

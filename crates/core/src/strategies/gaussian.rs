@@ -1,0 +1,150 @@
+//! Independent Gaussian perturbation — the naive noise baseline.
+
+use crate::error::PrivapiError;
+use crate::strategies::trajectory_rng;
+use crate::strategy::{AnonymizationStrategy, StrategyInfo};
+use geo::{GeoPoint, Meters};
+use mobility::{Dataset, LocationRecord, Trajectory};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Adds iid Gaussian noise of standard deviation `sigma` to every fix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaussianPerturbation {
+    sigma: Meters,
+}
+
+impl GaussianPerturbation {
+    /// Creates the strategy with per-axis noise deviation `sigma`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrivapiError::InvalidParameter`] for negative or non-finite
+    /// `sigma`. A zero `sigma` is allowed (degenerates to identity), which
+    /// the selector uses as a grid anchor.
+    pub fn new(sigma: Meters) -> Result<Self, PrivapiError> {
+        if sigma.get() < 0.0 || !sigma.get().is_finite() {
+            return Err(PrivapiError::InvalidParameter {
+                name: "sigma",
+                value: format!("{}", sigma.get()),
+            });
+        }
+        Ok(Self { sigma })
+    }
+
+    /// The per-axis noise standard deviation.
+    pub fn sigma(&self) -> Meters {
+        self.sigma
+    }
+
+    fn perturb(&self, p: &GeoPoint, rng: &mut StdRng) -> GeoPoint {
+        if self.sigma.get() == 0.0 {
+            return *p;
+        }
+        let gauss = |rng: &mut StdRng| -> f64 {
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        };
+        let de = gauss(rng) * self.sigma.get();
+        let dn = gauss(rng) * self.sigma.get();
+        let cos_lat = p.latitude().to_radians().cos().max(0.01);
+        GeoPoint::clamped(
+            p.latitude() + dn / 111_320.0,
+            p.longitude() + de / (111_320.0 * cos_lat),
+        )
+    }
+}
+
+impl AnonymizationStrategy for GaussianPerturbation {
+    fn info(&self) -> StrategyInfo {
+        StrategyInfo {
+            name: "gaussian".into(),
+            params: format!("sigma={:.0}m", self.sigma.get()),
+        }
+    }
+
+    fn anonymize(&self, dataset: &Dataset, seed: u64) -> Dataset {
+        dataset.map_trajectories(|t| {
+            let mut rng = trajectory_rng(
+                seed,
+                t.user().0,
+                t.start_time().map(|ts| ts.seconds()).unwrap_or(0),
+            );
+            let records: Vec<LocationRecord> = t
+                .records()
+                .iter()
+                .map(|r| LocationRecord::new(r.user, r.time, self.perturb(&r.point, &mut rng)))
+                .collect();
+            Trajectory::new(t.user(), records)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobility::{Timestamp, UserId};
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_negative_sigma() {
+        assert!(GaussianPerturbation::new(Meters::new(-1.0)).is_err());
+        assert!(GaussianPerturbation::new(Meters::new(f64::NAN)).is_err());
+        assert!(GaussianPerturbation::new(Meters::new(0.0)).is_ok());
+    }
+
+    #[test]
+    fn zero_sigma_is_identity() {
+        let mech = GaussianPerturbation::new(Meters::new(0.0)).unwrap();
+        let origin = GeoPoint::new(45.0, 4.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(mech.perturb(&origin, &mut rng), origin);
+    }
+
+    #[test]
+    fn noise_scale_matches_sigma() {
+        let mech = GaussianPerturbation::new(Meters::new(50.0)).unwrap();
+        let origin = GeoPoint::new(45.0, 4.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 4_000;
+        // E[|displacement|] for 2-D isotropic Gaussian = sigma * sqrt(pi/2).
+        let mean: f64 = (0..n)
+            .map(|_| origin.haversine_distance(&mech.perturb(&origin, &mut rng)).get())
+            .sum::<f64>()
+            / n as f64;
+        let expected = 50.0 * (std::f64::consts::PI / 2.0).sqrt();
+        assert!(
+            (mean - expected).abs() / expected < 0.08,
+            "mean {mean} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn anonymize_preserves_times_and_determinism() {
+        let records: Vec<LocationRecord> = (0..20)
+            .map(|i| {
+                LocationRecord::new(
+                    UserId(1),
+                    Timestamp::new(i * 30),
+                    GeoPoint::new(45.0, 4.0).unwrap(),
+                )
+            })
+            .collect();
+        let ds = Dataset::from_trajectories(vec![Trajectory::new(UserId(1), records)]);
+        let mech = GaussianPerturbation::new(Meters::new(25.0)).unwrap();
+        let a = mech.anonymize(&ds, 3);
+        let b = mech.anonymize(&ds, 3);
+        assert_eq!(a, b);
+        for (x, y) in ds.iter_records().zip(a.iter_records()) {
+            assert_eq!(x.time, y.time);
+        }
+    }
+
+    #[test]
+    fn info_string() {
+        let mech = GaussianPerturbation::new(Meters::new(75.0)).unwrap();
+        assert_eq!(mech.info().to_string(), "gaussian(sigma=75m)");
+        assert_eq!(mech.sigma(), Meters::new(75.0));
+    }
+}

@@ -1,0 +1,52 @@
+//! The identity (no protection) control strategy.
+
+use crate::strategy::{AnonymizationStrategy, StrategyInfo};
+use mobility::Dataset;
+
+/// Publishes the dataset unchanged. Used as the utility upper bound and the
+/// privacy lower bound in every experiment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Identity;
+
+impl Identity {
+    /// Creates the identity strategy.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl AnonymizationStrategy for Identity {
+    fn info(&self) -> StrategyInfo {
+        StrategyInfo {
+            name: "identity".into(),
+            params: String::new(),
+        }
+    }
+
+    fn anonymize(&self, dataset: &Dataset, _seed: u64) -> Dataset {
+        dataset.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geo::GeoPoint;
+    use mobility::{LocationRecord, Timestamp, UserId};
+
+    #[test]
+    fn output_equals_input() {
+        let ds = Dataset::from_records(vec![LocationRecord::new(
+            UserId(1),
+            Timestamp::new(0),
+            GeoPoint::new(45.0, 4.0).unwrap(),
+        )]);
+        let out = Identity::new().anonymize(&ds, 123);
+        assert_eq!(out, ds);
+    }
+
+    #[test]
+    fn info_is_bare() {
+        assert_eq!(Identity::default().info().to_string(), "identity");
+    }
+}

@@ -1,0 +1,188 @@
+//! Property-based tests of the PRIVAPI mechanisms and metrics.
+
+use geo::GeoPoint;
+use mobility::{Dataset, LocationRecord, Timestamp, Trajectory, UserId};
+use privapi::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A plausible single-user trajectory: time-ordered records in a city box
+/// (~5 km × 4 km — keeps path lengths, and therefore test cost, bounded).
+fn trajectory() -> impl Strategy<Value = Trajectory> {
+    prop::collection::vec((45.0..45.05f64, 4.0..4.05f64), 2..40).prop_map(|points| {
+        let records: Vec<LocationRecord> = points
+            .into_iter()
+            .enumerate()
+            .map(|(i, (la, lo))| {
+                LocationRecord::new(
+                    UserId(1),
+                    Timestamp::new(i as i64 * 60),
+                    GeoPoint::new(la, lo).unwrap(),
+                )
+            })
+            .collect();
+        Trajectory::new(UserId(1), records)
+    })
+}
+
+fn small_dataset() -> impl Strategy<Value = Dataset> {
+    prop::collection::vec(trajectory(), 1..4)
+        .prop_map(|ts| {
+            // Re-key each trajectory to its own user.
+            let ts: Vec<Trajectory> = ts
+                .into_iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    let records: Vec<LocationRecord> = t
+                        .records()
+                        .iter()
+                        .map(|r| LocationRecord::new(UserId(i as u64), r.time, r.point))
+                        .collect();
+                    Trajectory::new(UserId(i as u64), records)
+                })
+                .collect();
+            Dataset::from_trajectories(ts)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The paper's guarantee: smoothed output has (near-)constant speed,
+    /// whatever the input. Timestamps are whole seconds, so the assertion
+    /// only applies when segments are long enough (≥ 10 s mean) for the
+    /// ±0.5 s quantization not to dominate the measurement.
+    #[test]
+    fn smoothing_speed_is_constant(t in trajectory(), eps in 30.0..300.0f64) {
+        let strategy = SpeedSmoothing::new(geo::Meters::new(eps)).unwrap();
+        let smoothed = strategy.smooth_trajectory(&t);
+        let long_enough = smoothed.len() >= 3
+            && smoothed.duration_s() >= smoothed.len() as i64 * 10;
+        if long_enough {
+            if let Some(cv) = smoothed.speed_cv() {
+                prop_assert!(cv < 0.35, "cv {cv} for eps {eps}");
+            }
+        }
+    }
+
+    /// Smoothing never invents points far from the original path.
+    #[test]
+    fn smoothing_stays_near_the_path(t in trajectory(), eps in 50.0..300.0f64) {
+        let strategy = SpeedSmoothing::new(geo::Meters::new(eps)).unwrap();
+        let smoothed = strategy.smooth_trajectory(&t);
+        // Densify the original polyline so distance-to-path (not merely
+        // distance-to-vertex) is measured.
+        let dense = geo::polyline::resample_by_distance(&t.points(), geo::Meters::new(50.0))
+            .unwrap_or_else(|_| t.points());
+        for r in smoothed.records() {
+            let min_d = dense
+                .iter()
+                .map(|p| p.haversine_distance(&r.point).get())
+                .fold(f64::INFINITY, f64::min);
+            // Within DP tolerance (eps/2) plus resampling/densify slack.
+            prop_assert!(min_d <= eps * 1.5 + 60.0, "point {min_d} m off-path");
+        }
+    }
+
+    /// Timestamps of smoothed trajectories stay within the original span
+    /// and are sorted.
+    #[test]
+    fn smoothing_preserves_time_span(t in trajectory(), eps in 30.0..300.0f64) {
+        let strategy = SpeedSmoothing::new(geo::Meters::new(eps)).unwrap();
+        let smoothed = strategy.smooth_trajectory(&t);
+        if smoothed.is_empty() { return Ok(()); }
+        prop_assert!(smoothed.start_time() >= t.start_time());
+        prop_assert!(smoothed.end_time() <= t.end_time());
+    }
+
+    /// Geo-I perturbs every point independently but keeps structure intact.
+    #[test]
+    fn geo_i_preserves_structure(ds in small_dataset(), eps_exp in -3.0..0.0f64, seed in any::<u64>()) {
+        let eps = 10f64.powf(eps_exp) / 10.0; // 1e-4 .. 1e-1 per metre
+        let mech = GeoIndistinguishability::new(eps).unwrap();
+        let out = mech.anonymize(&ds, seed);
+        prop_assert_eq!(out.record_count(), ds.record_count());
+        prop_assert_eq!(out.user_count(), ds.user_count());
+        for (a, b) in ds.iter_records().zip(out.iter_records()) {
+            prop_assert_eq!(a.time, b.time);
+            prop_assert_eq!(a.user, b.user);
+        }
+    }
+
+    /// Cloaking displacement is bounded by the cell half-diagonal.
+    #[test]
+    fn cloaking_displacement_bounded(ds in small_dataset(), cell in 100.0..1_000.0f64) {
+        let mech = SpatialCloaking::new(geo::Meters::new(cell)).unwrap();
+        let out = mech.anonymize(&ds, 0);
+        let bound = cell * std::f64::consts::SQRT_2 / 2.0 + 1.0;
+        for (a, b) in ds.iter_records().zip(out.iter_records()) {
+            let d = a.point.haversine_distance(&b.point).get();
+            prop_assert!(d <= bound, "displaced {d} m with {cell} m cells");
+        }
+    }
+
+    /// Downsampling output spacing respects the window and is a subset.
+    #[test]
+    fn downsampling_respects_window(ds in small_dataset(), window in 60i64..3_000) {
+        let mech = TemporalDownsampling::new(window).unwrap();
+        let out = mech.anonymize(&ds, 0);
+        prop_assert!(out.record_count() <= ds.record_count());
+        for t in out.trajectories() {
+            for w in t.records().windows(2) {
+                prop_assert!(w[1].time - w[0].time >= window);
+            }
+        }
+    }
+
+    /// Every strategy keeps the user population intact (no user is silently
+    /// dropped — pseudonym continuity is what re-identification tests need).
+    #[test]
+    fn strategies_preserve_users(ds in small_dataset(), seed in any::<u64>()) {
+        let strategies: Vec<Box<dyn privapi::strategy::AnonymizationStrategy>> = vec![
+            Box::new(Identity::new()),
+            Box::new(GeoIndistinguishability::new(0.01).unwrap()),
+            Box::new(SpeedSmoothing::new(geo::Meters::new(100.0)).unwrap()),
+            Box::new(SpatialCloaking::new(geo::Meters::new(250.0)).unwrap()),
+            Box::new(GaussianPerturbation::new(geo::Meters::new(50.0)).unwrap()),
+            Box::new(TemporalDownsampling::new(300).unwrap()),
+        ];
+        for s in &strategies {
+            let out = s.anonymize(&ds, seed);
+            prop_assert_eq!(out.user_count(), ds.user_count(), "{}", s.info());
+        }
+    }
+
+    /// Attack reports are well-formed probabilities.
+    #[test]
+    fn attack_reports_are_probabilities(ds in small_dataset()) {
+        let attack = PoiAttack::default();
+        let reference = attack.extract(&ds);
+        let report = attack.evaluate_reference(&ds, &reference);
+        prop_assert!((0.0..=1.0).contains(&report.recall));
+        prop_assert!((0.0..=1.0).contains(&report.precision));
+        prop_assert!((0.0..=1.0).contains(&report.f1));
+        prop_assert!(report.matched <= report.reference_pois);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The planar Laplace radius distribution has the theoretical mean 2/ε
+    /// (checked loosely over random epsilons).
+    #[test]
+    fn geo_i_noise_mean_tracks_epsilon(eps_mul in 1.0..20.0f64, seed in any::<u64>()) {
+        let eps = eps_mul / 1_000.0; // 0.001 .. 0.02
+        let mech = GeoIndistinguishability::new(eps).unwrap();
+        let origin = GeoPoint::new(45.2, 4.2).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 600;
+        let mean: f64 = (0..n)
+            .map(|_| origin.haversine_distance(&mech.perturb(&origin, &mut rng)).get())
+            .sum::<f64>() / n as f64;
+        let expected = 2.0 / eps;
+        prop_assert!((mean - expected).abs() / expected < 0.25,
+            "eps {eps}: mean {mean} vs {expected}");
+    }
+}

@@ -1,0 +1,206 @@
+//! Axis-aligned geographic bounding boxes.
+
+use crate::error::GeoError;
+use crate::point::GeoPoint;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An axis-aligned bounding box in latitude/longitude space.
+///
+/// The box never crosses the antimeridian; callers working near ±180°
+/// longitude should split their query into two boxes.
+///
+/// # Example
+///
+/// ```
+/// use geo::{BoundingBox, GeoPoint};
+///
+/// let sw = GeoPoint::new(45.0, 4.0).unwrap();
+/// let ne = GeoPoint::new(46.0, 5.0).unwrap();
+/// let bbox = BoundingBox::new(sw, ne).unwrap();
+/// assert!(bbox.contains(&GeoPoint::new(45.5, 4.5).unwrap()));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundingBox {
+    min: GeoPoint,
+    max: GeoPoint,
+}
+
+impl BoundingBox {
+    /// Creates a bounding box from its south-west and north-east corners.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::InvalidBoundingBox`] when `min` exceeds `max` on
+    /// either axis.
+    pub fn new(min: GeoPoint, max: GeoPoint) -> Result<Self, GeoError> {
+        if min.latitude() > max.latitude() || min.longitude() > max.longitude() {
+            return Err(GeoError::InvalidBoundingBox {
+                min: min.to_string(),
+                max: max.to_string(),
+            });
+        }
+        Ok(Self { min, max })
+    }
+
+    /// Smallest box covering every point in `points`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::EmptyPolyline`] when `points` is empty.
+    pub fn from_points<'a, I>(points: I) -> Result<Self, GeoError>
+    where
+        I: IntoIterator<Item = &'a GeoPoint>,
+    {
+        let mut iter = points.into_iter();
+        let first = iter.next().ok_or(GeoError::EmptyPolyline)?;
+        let (mut min_lat, mut max_lat) = (first.latitude(), first.latitude());
+        let (mut min_lon, mut max_lon) = (first.longitude(), first.longitude());
+        for p in iter {
+            min_lat = min_lat.min(p.latitude());
+            max_lat = max_lat.max(p.latitude());
+            min_lon = min_lon.min(p.longitude());
+            max_lon = max_lon.max(p.longitude());
+        }
+        Ok(Self {
+            min: GeoPoint::clamped(min_lat, min_lon),
+            max: GeoPoint::clamped(max_lat, max_lon),
+        })
+    }
+
+    /// South-west corner.
+    pub fn min(&self) -> GeoPoint {
+        self.min
+    }
+
+    /// North-east corner.
+    pub fn max(&self) -> GeoPoint {
+        self.max
+    }
+
+    /// Geometric centre of the box.
+    pub fn center(&self) -> GeoPoint {
+        GeoPoint::clamped(
+            (self.min.latitude() + self.max.latitude()) / 2.0,
+            (self.min.longitude() + self.max.longitude()) / 2.0,
+        )
+    }
+
+    /// Whether `point` lies inside the box (inclusive on all edges).
+    pub fn contains(&self, point: &GeoPoint) -> bool {
+        point.latitude() >= self.min.latitude()
+            && point.latitude() <= self.max.latitude()
+            && point.longitude() >= self.min.longitude()
+            && point.longitude() <= self.max.longitude()
+    }
+
+    /// Whether two boxes overlap (inclusive).
+    pub fn intersects(&self, other: &BoundingBox) -> bool {
+        self.min.latitude() <= other.max.latitude()
+            && self.max.latitude() >= other.min.latitude()
+            && self.min.longitude() <= other.max.longitude()
+            && self.max.longitude() >= other.min.longitude()
+    }
+
+    /// Returns a copy grown by `margin_deg` degrees on every side.
+    pub fn expanded(&self, margin_deg: f64) -> BoundingBox {
+        BoundingBox {
+            min: GeoPoint::clamped(
+                self.min.latitude() - margin_deg,
+                self.min.longitude() - margin_deg,
+            ),
+            max: GeoPoint::clamped(
+                self.max.latitude() + margin_deg,
+                self.max.longitude() + margin_deg,
+            ),
+        }
+    }
+
+    /// Latitude extent in degrees.
+    pub fn lat_span(&self) -> f64 {
+        self.max.latitude() - self.min.latitude()
+    }
+
+    /// Longitude extent in degrees.
+    pub fn lon_span(&self) -> f64 {
+        self.max.longitude() - self.min.longitude()
+    }
+}
+
+impl fmt::Display for BoundingBox {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} .. {}]", self.min, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(lat: f64, lon: f64) -> GeoPoint {
+        GeoPoint::new(lat, lon).unwrap()
+    }
+
+    #[test]
+    fn rejects_inverted_corners() {
+        assert!(BoundingBox::new(p(46.0, 4.0), p(45.0, 5.0)).is_err());
+        assert!(BoundingBox::new(p(45.0, 5.0), p(46.0, 4.0)).is_err());
+    }
+
+    #[test]
+    fn from_points_covers_all() {
+        let pts = [p(1.0, 1.0), p(-1.0, 3.0), p(0.5, -2.0)];
+        let bbox = BoundingBox::from_points(pts.iter()).unwrap();
+        for q in &pts {
+            assert!(bbox.contains(q));
+        }
+        assert_eq!(bbox.min().latitude(), -1.0);
+        assert_eq!(bbox.max().longitude(), 3.0);
+    }
+
+    #[test]
+    fn from_points_empty_errors() {
+        assert_eq!(
+            BoundingBox::from_points(std::iter::empty::<&GeoPoint>()),
+            Err(GeoError::EmptyPolyline)
+        );
+    }
+
+    #[test]
+    fn contains_edges_inclusive() {
+        let bbox = BoundingBox::new(p(0.0, 0.0), p(1.0, 1.0)).unwrap();
+        assert!(bbox.contains(&p(0.0, 0.0)));
+        assert!(bbox.contains(&p(1.0, 1.0)));
+        assert!(!bbox.contains(&p(1.0001, 0.5)));
+    }
+
+    #[test]
+    fn intersection_logic() {
+        let a = BoundingBox::new(p(0.0, 0.0), p(2.0, 2.0)).unwrap();
+        let b = BoundingBox::new(p(1.0, 1.0), p(3.0, 3.0)).unwrap();
+        let c = BoundingBox::new(p(5.0, 5.0), p(6.0, 6.0)).unwrap();
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        assert!(!a.intersects(&c));
+        // Touching edges intersect.
+        let d = BoundingBox::new(p(2.0, 0.0), p(3.0, 2.0)).unwrap();
+        assert!(a.intersects(&d));
+    }
+
+    #[test]
+    fn expanded_grows_box() {
+        let a = BoundingBox::new(p(10.0, 10.0), p(11.0, 11.0)).unwrap();
+        let e = a.expanded(0.5);
+        assert!(e.contains(&p(9.6, 9.6)));
+        assert!(e.contains(&p(11.4, 11.4)));
+        assert!((e.lat_span() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn center_is_centered() {
+        let a = BoundingBox::new(p(10.0, 20.0), p(12.0, 26.0)).unwrap();
+        let c = a.center();
+        assert!((c.latitude() - 11.0).abs() < 1e-9);
+        assert!((c.longitude() - 23.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,286 @@
+//! Algorithms on sequences of geographic points.
+//!
+//! The distance-regular resampling implemented here ([`resample_by_distance`])
+//! is the geometric core of PRIVAPI's speed-smoothing strategy: it rebuilds a
+//! path as points spaced exactly `step` metres apart, which — once uniform
+//! timestamps are reassigned — makes the apparent speed constant and erases
+//! dwell episodes.
+
+use crate::error::GeoError;
+use crate::point::GeoPoint;
+use crate::units::Meters;
+
+/// Total length of a polyline, in metres.
+///
+/// Returns zero for polylines with fewer than two points.
+pub fn length(points: &[GeoPoint]) -> Meters {
+    points
+        .windows(2)
+        .map(|w| w[0].haversine_distance(&w[1]))
+        .fold(Meters::new(0.0), |acc, d| acc + d)
+}
+
+/// Cumulative distance from the first point to every point, in metres.
+///
+/// The result has the same length as `points`; the first entry is `0.0`.
+pub fn cumulative_distances(points: &[GeoPoint]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(points.len());
+    let mut acc = 0.0;
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            acc += points[i - 1].haversine_distance(p).get();
+        }
+        out.push(acc);
+    }
+    out
+}
+
+/// The point located `distance` metres along the polyline.
+///
+/// Distances beyond the path length return the final point; negative
+/// distances return the first point.
+///
+/// # Errors
+///
+/// Returns [`GeoError::EmptyPolyline`] when `points` is empty.
+pub fn point_at_distance(points: &[GeoPoint], distance: Meters) -> Result<GeoPoint, GeoError> {
+    if points.is_empty() {
+        return Err(GeoError::EmptyPolyline);
+    }
+    if points.len() == 1 || distance.get() <= 0.0 {
+        return Ok(points[0]);
+    }
+    let mut remaining = distance.get();
+    for w in points.windows(2) {
+        let seg = w[0].haversine_distance(&w[1]).get();
+        if seg > 0.0 && remaining <= seg {
+            return Ok(w[0].lerp(&w[1], remaining / seg));
+        }
+        remaining -= seg;
+    }
+    Ok(*points.last().expect("non-empty checked above"))
+}
+
+/// Resamples a polyline into points spaced exactly `step` metres apart.
+///
+/// The first point of the input is always kept; the exact last point is
+/// appended when the path length is not a multiple of `step` (so the output
+/// always covers the full extent of the input). A single-point input is
+/// returned unchanged.
+///
+/// # Errors
+///
+/// Returns [`GeoError::EmptyPolyline`] for an empty input and
+/// [`GeoError::InvalidSize`] when `step` is not strictly positive.
+///
+/// # Example
+///
+/// ```
+/// use geo::{GeoPoint, Meters, polyline};
+///
+/// let path = vec![
+///     GeoPoint::new(45.0, 4.0).unwrap(),
+///     GeoPoint::new(45.0, 4.02).unwrap(),
+/// ];
+/// let resampled = polyline::resample_by_distance(&path, Meters::new(100.0)).unwrap();
+/// // Consecutive points are ~100 m apart.
+/// for w in resampled.windows(2) {
+///     let d = w[0].haversine_distance(&w[1]).get();
+///     assert!(d <= 100.0 + 1e-6);
+/// }
+/// ```
+pub fn resample_by_distance(
+    points: &[GeoPoint],
+    step: Meters,
+) -> Result<Vec<GeoPoint>, GeoError> {
+    if points.is_empty() {
+        return Err(GeoError::EmptyPolyline);
+    }
+    if step.get() <= 0.0 || !step.get().is_finite() {
+        return Err(GeoError::InvalidSize(step.get()));
+    }
+    if points.len() == 1 {
+        return Ok(vec![points[0]]);
+    }
+    let total = length(points).get();
+    if total == 0.0 {
+        // Degenerate path: all points identical.
+        return Ok(vec![points[0]]);
+    }
+    let mut out = vec![points[0]];
+    let mut d = step.get();
+    while d < total {
+        out.push(point_at_distance(points, Meters::new(d))?);
+        d += step.get();
+    }
+    let last = *points.last().expect("len >= 2");
+    if out
+        .last()
+        .map(|p| p.haversine_distance(&last).get() > 1e-9)
+        .unwrap_or(true)
+    {
+        out.push(last);
+    }
+    Ok(out)
+}
+
+/// Simplifies a polyline with the Douglas–Peucker algorithm.
+///
+/// Points whose perpendicular offset from the enclosing chord is below
+/// `tolerance` metres are dropped. The first and last points are always kept.
+pub fn douglas_peucker(points: &[GeoPoint], tolerance: Meters) -> Vec<GeoPoint> {
+    if points.len() <= 2 {
+        return points.to_vec();
+    }
+    let mut keep = vec![false; points.len()];
+    keep[0] = true;
+    keep[points.len() - 1] = true;
+    let mut stack = vec![(0usize, points.len() - 1)];
+    while let Some((start, end)) = stack.pop() {
+        if end <= start + 1 {
+            continue;
+        }
+        let mut max_dist = 0.0;
+        let mut max_idx = start;
+        for (i, p) in points.iter().enumerate().take(end).skip(start + 1) {
+            let d = perpendicular_distance(p, &points[start], &points[end]);
+            if d > max_dist {
+                max_dist = d;
+                max_idx = i;
+            }
+        }
+        if max_dist > tolerance.get() {
+            keep[max_idx] = true;
+            stack.push((start, max_idx));
+            stack.push((max_idx, end));
+        }
+    }
+    points
+        .iter()
+        .zip(keep.iter())
+        .filter_map(|(p, &k)| k.then_some(*p))
+        .collect()
+}
+
+/// Approximate perpendicular distance (metres) from `p` to segment `a`–`b`.
+fn perpendicular_distance(p: &GeoPoint, a: &GeoPoint, b: &GeoPoint) -> f64 {
+    // Work in a local planar frame centred on `a`; accurate at city scale.
+    let proj = crate::projection::LocalProjection::new(*a);
+    let pa = proj.project(p);
+    let pb = proj.project(b);
+    let seg_len2 = pb.x * pb.x + pb.y * pb.y;
+    if seg_len2 == 0.0 {
+        return (pa.x * pa.x + pa.y * pa.y).sqrt();
+    }
+    let t = ((pa.x * pb.x + pa.y * pb.y) / seg_len2).clamp(0.0, 1.0);
+    let dx = pa.x - t * pb.x;
+    let dy = pa.y - t * pb.y;
+    (dx * dx + dy * dy).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(lat: f64, lon: f64) -> GeoPoint {
+        GeoPoint::new(lat, lon).unwrap()
+    }
+
+    fn straight_path() -> Vec<GeoPoint> {
+        (0..=10).map(|i| p(45.0, 4.0 + 0.001 * i as f64)).collect()
+    }
+
+    #[test]
+    fn length_of_empty_and_single() {
+        assert_eq!(length(&[]).get(), 0.0);
+        assert_eq!(length(&[p(1.0, 1.0)]).get(), 0.0);
+    }
+
+    #[test]
+    fn cumulative_matches_length() {
+        let path = straight_path();
+        let cum = cumulative_distances(&path);
+        assert_eq!(cum.len(), path.len());
+        assert_eq!(cum[0], 0.0);
+        assert!((cum.last().unwrap() - length(&path).get()).abs() < 1e-9);
+        assert!(cum.windows(2).all(|w| w[1] >= w[0]));
+    }
+
+    #[test]
+    fn point_at_distance_endpoints() {
+        let path = straight_path();
+        assert_eq!(point_at_distance(&path, Meters::new(-5.0)).unwrap(), path[0]);
+        let total = length(&path);
+        assert_eq!(
+            point_at_distance(&path, total + Meters::new(100.0)).unwrap(),
+            *path.last().unwrap()
+        );
+        assert!(point_at_distance(&[], Meters::new(0.0)).is_err());
+    }
+
+    #[test]
+    fn point_at_distance_midway() {
+        let path = vec![p(45.0, 4.0), p(45.0, 4.01)];
+        let total = length(&path).get();
+        let mid = point_at_distance(&path, Meters::new(total / 2.0)).unwrap();
+        assert!((mid.longitude() - 4.005).abs() < 1e-6);
+    }
+
+    #[test]
+    fn resample_spacing_is_uniform() {
+        let path = straight_path();
+        let step = 50.0;
+        let res = resample_by_distance(&path, Meters::new(step)).unwrap();
+        assert!(res.len() > 2);
+        for w in res.windows(2).take(res.len().saturating_sub(2)) {
+            let d = w[0].haversine_distance(&w[1]).get();
+            assert!((d - step).abs() < 0.5, "spacing {d}");
+        }
+        // Endpoints preserved.
+        assert_eq!(res[0], path[0]);
+        assert!(res.last().unwrap().haversine_distance(path.last().unwrap()).get() < 1e-6);
+    }
+
+    #[test]
+    fn resample_rejects_bad_step() {
+        let path = straight_path();
+        assert!(resample_by_distance(&path, Meters::new(0.0)).is_err());
+        assert!(resample_by_distance(&path, Meters::new(-1.0)).is_err());
+        assert!(resample_by_distance(&[], Meters::new(10.0)).is_err());
+    }
+
+    #[test]
+    fn resample_degenerate_stationary_path() {
+        let path = vec![p(45.0, 4.0); 5];
+        let res = resample_by_distance(&path, Meters::new(10.0)).unwrap();
+        assert_eq!(res, vec![p(45.0, 4.0)]);
+    }
+
+    #[test]
+    fn resample_single_point() {
+        let res = resample_by_distance(&[p(1.0, 2.0)], Meters::new(10.0)).unwrap();
+        assert_eq!(res, vec![p(1.0, 2.0)]);
+    }
+
+    #[test]
+    fn douglas_peucker_collinear_collapses() {
+        let path = straight_path();
+        let simplified = douglas_peucker(&path, Meters::new(1.0));
+        assert_eq!(simplified.len(), 2);
+        assert_eq!(simplified[0], path[0]);
+        assert_eq!(simplified[1], *path.last().unwrap());
+    }
+
+    #[test]
+    fn douglas_peucker_keeps_corner() {
+        let path = vec![p(45.0, 4.0), p(45.0, 4.01), p(45.01, 4.01)];
+        let simplified = douglas_peucker(&path, Meters::new(1.0));
+        assert_eq!(simplified.len(), 3);
+    }
+
+    #[test]
+    fn douglas_peucker_short_input_unchanged() {
+        let path = vec![p(45.0, 4.0), p(45.0, 4.01)];
+        assert_eq!(douglas_peucker(&path, Meters::new(5.0)), path);
+    }
+}

@@ -1,0 +1,364 @@
+//! A point quadtree over geographic coordinates.
+//!
+//! Supports bulk insertion, rectangular range queries and nearest-neighbour
+//! search. Used by the mobility substrate to match extracted points of
+//! interest against ground truth, and by the coverage-aware virtual-sensor
+//! strategy.
+
+use crate::bbox::BoundingBox;
+use crate::point::GeoPoint;
+use crate::units::Meters;
+
+const NODE_CAPACITY: usize = 16;
+const MAX_DEPTH: usize = 24;
+
+/// A point quadtree storing a payload `T` per point.
+///
+/// # Example
+///
+/// ```
+/// use geo::{BoundingBox, GeoPoint, QuadTree};
+///
+/// let bbox = BoundingBox::new(
+///     GeoPoint::new(0.0, 0.0).unwrap(),
+///     GeoPoint::new(10.0, 10.0).unwrap(),
+/// ).unwrap();
+/// let mut tree = QuadTree::new(bbox);
+/// tree.insert(GeoPoint::new(1.0, 1.0).unwrap(), "a");
+/// tree.insert(GeoPoint::new(9.0, 9.0).unwrap(), "b");
+///
+/// let query = BoundingBox::new(
+///     GeoPoint::new(0.0, 0.0).unwrap(),
+///     GeoPoint::new(5.0, 5.0).unwrap(),
+/// ).unwrap();
+/// let found = tree.query_range(&query);
+/// assert_eq!(found.len(), 1);
+/// assert_eq!(*found[0].1, "a");
+/// ```
+#[derive(Debug, Clone)]
+pub struct QuadTree<T> {
+    root: Node<T>,
+    len: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Node<T> {
+    bbox: BoundingBox,
+    items: Vec<(GeoPoint, T)>,
+    children: Option<Box<[Node<T>; 4]>>,
+    depth: usize,
+}
+
+impl<T> QuadTree<T> {
+    /// Creates an empty quadtree covering `bbox`.
+    pub fn new(bbox: BoundingBox) -> Self {
+        Self {
+            root: Node {
+                bbox,
+                items: Vec::new(),
+                children: None,
+                depth: 0,
+            },
+            len: 0,
+        }
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts a point with its payload.
+    ///
+    /// Points outside the tree's bounding box are clamped into it (they are
+    /// stored at the nearest in-box location for indexing purposes but keep
+    /// their payload intact).
+    pub fn insert(&mut self, point: GeoPoint, value: T) {
+        let point = clamp_into(&self.root.bbox, point);
+        self.root.insert(point, value);
+        self.len += 1;
+    }
+
+    /// All `(point, payload)` pairs lying inside `range`.
+    pub fn query_range(&self, range: &BoundingBox) -> Vec<(GeoPoint, &T)> {
+        let mut out = Vec::new();
+        self.root.query_range(range, &mut out);
+        out
+    }
+
+    /// The stored point nearest to `target`, with its payload and distance.
+    ///
+    /// Returns `None` on an empty tree.
+    pub fn nearest(&self, target: &GeoPoint) -> Option<(GeoPoint, &T, Meters)> {
+        let mut best: Option<(GeoPoint, &T, f64)> = None;
+        self.root.nearest(target, &mut best);
+        best.map(|(p, v, d)| (p, v, Meters::new(d)))
+    }
+
+    /// All stored points within `radius` of `target`.
+    pub fn within_radius(&self, target: &GeoPoint, radius: Meters) -> Vec<(GeoPoint, &T)> {
+        // Conservative degree-space window around the target, then refine.
+        let lat_margin = radius.get() / 111_320.0;
+        let cos_lat = target.latitude().to_radians().cos().max(0.01);
+        let lon_margin = radius.get() / (111_320.0 * cos_lat);
+        let window = BoundingBox::new(
+            GeoPoint::clamped(
+                target.latitude() - lat_margin,
+                target.longitude() - lon_margin,
+            ),
+            GeoPoint::clamped(
+                target.latitude() + lat_margin,
+                target.longitude() + lon_margin,
+            ),
+        )
+        .expect("window corners ordered by construction");
+        self.query_range(&window)
+            .into_iter()
+            .filter(|(p, _)| target.haversine_distance(p).get() <= radius.get())
+            .collect()
+    }
+}
+
+fn clamp_into(bbox: &BoundingBox, p: GeoPoint) -> GeoPoint {
+    GeoPoint::clamped(
+        p.latitude()
+            .clamp(bbox.min().latitude(), bbox.max().latitude()),
+        p.longitude()
+            .clamp(bbox.min().longitude(), bbox.max().longitude()),
+    )
+}
+
+impl<T> Node<T> {
+    fn insert(&mut self, point: GeoPoint, value: T) {
+        if let Some(children) = self.children.as_mut() {
+            let idx = child_index(&self.bbox, &point);
+            children[idx].insert(point, value);
+            return;
+        }
+        self.items.push((point, value));
+        if self.items.len() > NODE_CAPACITY && self.depth < MAX_DEPTH {
+            self.subdivide();
+        }
+    }
+
+    fn subdivide(&mut self) {
+        let min = self.bbox.min();
+        let max = self.bbox.max();
+        let c = self.bbox.center();
+        let make = |min_lat: f64, min_lon: f64, max_lat: f64, max_lon: f64| Node {
+            bbox: BoundingBox::new(
+                GeoPoint::clamped(min_lat, min_lon),
+                GeoPoint::clamped(max_lat, max_lon),
+            )
+            .expect("quadrant corners ordered"),
+            items: Vec::new(),
+            children: None,
+            depth: self.depth + 1,
+        };
+        let children = Box::new([
+            // 0: south-west
+            make(min.latitude(), min.longitude(), c.latitude(), c.longitude()),
+            // 1: south-east
+            make(min.latitude(), c.longitude(), c.latitude(), max.longitude()),
+            // 2: north-west
+            make(c.latitude(), min.longitude(), max.latitude(), c.longitude()),
+            // 3: north-east
+            make(c.latitude(), c.longitude(), max.latitude(), max.longitude()),
+        ]);
+        self.children = Some(children);
+        let items = std::mem::take(&mut self.items);
+        let children = self.children.as_mut().expect("just set");
+        for (p, v) in items {
+            let idx = child_index(&self.bbox, &p);
+            children[idx].insert(p, v);
+        }
+    }
+
+    fn query_range<'a>(&'a self, range: &BoundingBox, out: &mut Vec<(GeoPoint, &'a T)>) {
+        if !self.bbox.intersects(range) {
+            return;
+        }
+        for (p, v) in &self.items {
+            if range.contains(p) {
+                out.push((*p, v));
+            }
+        }
+        if let Some(children) = self.children.as_ref() {
+            for child in children.iter() {
+                child.query_range(range, out);
+            }
+        }
+    }
+
+    fn nearest<'a>(&'a self, target: &GeoPoint, best: &mut Option<(GeoPoint, &'a T, f64)>) {
+        // Prune: lower-bound distance from target to this node's box.
+        let closest = clamp_into(&self.bbox, *target);
+        let lower_bound = target.haversine_distance(&closest).get();
+        if let Some((_, _, best_d)) = best {
+            if lower_bound > *best_d {
+                return;
+            }
+        }
+        for (p, v) in &self.items {
+            let d = target.haversine_distance(p).get();
+            if best.as_ref().map(|(_, _, bd)| d < *bd).unwrap_or(true) {
+                *best = Some((*p, v, d));
+            }
+        }
+        if let Some(children) = self.children.as_ref() {
+            // Visit children closest-first for better pruning.
+            let mut order: Vec<usize> = (0..4).collect();
+            order.sort_by(|&a, &b| {
+                let da = target
+                    .haversine_distance(&clamp_into(&children[a].bbox, *target))
+                    .get();
+                let db = target
+                    .haversine_distance(&clamp_into(&children[b].bbox, *target))
+                    .get();
+                da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            for i in order {
+                children[i].nearest(target, best);
+            }
+        }
+    }
+}
+
+fn child_index(bbox: &BoundingBox, p: &GeoPoint) -> usize {
+    let c = bbox.center();
+    let east = p.longitude() >= c.longitude();
+    let north = p.latitude() >= c.latitude();
+    match (north, east) {
+        (false, false) => 0,
+        (false, true) => 1,
+        (true, false) => 2,
+        (true, true) => 3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(lat: f64, lon: f64) -> GeoPoint {
+        GeoPoint::new(lat, lon).unwrap()
+    }
+
+    fn world() -> BoundingBox {
+        BoundingBox::new(p(40.0, 0.0), p(50.0, 10.0)).unwrap()
+    }
+
+    #[test]
+    fn empty_tree_behaviour() {
+        let tree: QuadTree<u32> = QuadTree::new(world());
+        assert!(tree.is_empty());
+        assert_eq!(tree.len(), 0);
+        assert!(tree.nearest(&p(45.0, 5.0)).is_none());
+        assert!(tree.query_range(&world()).is_empty());
+    }
+
+    #[test]
+    fn insert_and_range_query() {
+        let mut tree = QuadTree::new(world());
+        for i in 0..100 {
+            let lat = 40.0 + (i % 10) as f64;
+            let lon = (i / 10) as f64;
+            tree.insert(p(lat.min(50.0), lon), i);
+        }
+        assert_eq!(tree.len(), 100);
+        let q = BoundingBox::new(p(40.0, 0.0), p(42.0, 2.0)).unwrap();
+        let found = tree.query_range(&q);
+        for (pt, _) in &found {
+            assert!(q.contains(pt));
+        }
+        assert!(!found.is_empty());
+    }
+
+    #[test]
+    fn subdivision_preserves_items() {
+        let mut tree = QuadTree::new(world());
+        // Insert far more than NODE_CAPACITY points.
+        for i in 0..500u32 {
+            let lat = 40.0 + (i as f64 * 0.017) % 10.0;
+            let lon = (i as f64 * 0.031) % 10.0;
+            tree.insert(p(lat, lon), i);
+        }
+        let all = tree.query_range(&world());
+        assert_eq!(all.len(), 500);
+    }
+
+    #[test]
+    fn nearest_finds_closest() {
+        let mut tree = QuadTree::new(world());
+        let pts = [
+            (p(41.0, 1.0), "a"),
+            (p(45.0, 5.0), "b"),
+            (p(49.0, 9.0), "c"),
+        ];
+        for (pt, v) in pts {
+            tree.insert(pt, v);
+        }
+        let (found, v, d) = tree.nearest(&p(44.9, 5.1)).unwrap();
+        assert_eq!(*v, "b");
+        assert_eq!(found, p(45.0, 5.0));
+        assert!(d.get() < 20_000.0);
+    }
+
+    #[test]
+    fn nearest_agrees_with_brute_force() {
+        let mut tree = QuadTree::new(world());
+        let mut pts = Vec::new();
+        // Deterministic pseudo-random scatter.
+        let mut seed = 42u64;
+        for i in 0..300u32 {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let lat = 40.0 + (seed >> 33) as f64 / u32::MAX as f64 * 10.0;
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let lon = (seed >> 33) as f64 / u32::MAX as f64 * 10.0;
+            let q = p(lat.min(50.0), lon.min(10.0));
+            tree.insert(q, i);
+            pts.push(q);
+        }
+        for &(qlat, qlon) in &[(43.3, 2.2), (47.9, 8.8), (40.0, 0.0), (50.0, 10.0)] {
+            let target = p(qlat, qlon);
+            let brute = pts
+                .iter()
+                .map(|q| target.haversine_distance(q).get())
+                .fold(f64::INFINITY, f64::min);
+            let (_, _, d) = tree.nearest(&target).unwrap();
+            assert!(
+                (d.get() - brute).abs() < 1e-6,
+                "tree {} vs brute {}",
+                d.get(),
+                brute
+            );
+        }
+    }
+
+    #[test]
+    fn within_radius_filters_correctly() {
+        let mut tree = QuadTree::new(world());
+        tree.insert(p(45.0, 5.0), "center");
+        tree.insert(p(45.001, 5.0), "near"); // ~111 m north
+        tree.insert(p(45.1, 5.0), "far"); // ~11 km north
+        let found = tree.within_radius(&p(45.0, 5.0), Meters::new(500.0));
+        let labels: Vec<&str> = found.iter().map(|(_, v)| **v).collect();
+        assert!(labels.contains(&"center"));
+        assert!(labels.contains(&"near"));
+        assert!(!labels.contains(&"far"));
+    }
+
+    #[test]
+    fn out_of_box_points_are_clamped_not_lost() {
+        let mut tree = QuadTree::new(world());
+        tree.insert(p(60.0, 20.0), "outside");
+        assert_eq!(tree.len(), 1);
+        let all = tree.query_range(&world());
+        assert_eq!(all.len(), 1);
+    }
+}

@@ -1,0 +1,252 @@
+//! Strongly-typed physical quantities used throughout the workspace.
+//!
+//! Newtypes keep metres, kilometres and angular units from being mixed up
+//! silently (C-NEWTYPE). All wrappers are thin `f64`s with `Copy` semantics.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+macro_rules! quantity {
+    ($(#[$doc:meta])* $name:ident, $unit:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// Creates a new quantity from a raw `f64` value.
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// Returns the raw `f64` value.
+            pub const fn get(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the absolute value of the quantity.
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Returns the smaller of two quantities.
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Returns the larger of two quantities.
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Returns `true` when the value is finite (not NaN or infinite).
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:.3} {}", self.0, $unit)
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div for $name {
+            /// Dividing two like quantities yields a dimensionless ratio.
+            type Output = f64;
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl From<f64> for $name {
+            fn from(value: f64) -> Self {
+                Self(value)
+            }
+        }
+    };
+}
+
+quantity!(
+    /// A distance expressed in metres.
+    Meters,
+    "m"
+);
+quantity!(
+    /// A distance expressed in kilometres.
+    Kilometers,
+    "km"
+);
+quantity!(
+    /// A speed expressed in metres per second.
+    MetersPerSecond,
+    "m/s"
+);
+quantity!(
+    /// A speed expressed in kilometres per hour.
+    KmPerHour,
+    "km/h"
+);
+quantity!(
+    /// An angle expressed in decimal degrees.
+    Degrees,
+    "deg"
+);
+quantity!(
+    /// An angle expressed in radians.
+    Radians,
+    "rad"
+);
+
+impl Meters {
+    /// Converts this distance to kilometres.
+    pub fn to_kilometers(self) -> Kilometers {
+        Kilometers(self.0 / 1000.0)
+    }
+}
+
+impl Kilometers {
+    /// Converts this distance to metres.
+    pub fn to_meters(self) -> Meters {
+        Meters(self.0 * 1000.0)
+    }
+}
+
+impl MetersPerSecond {
+    /// Converts this speed to kilometres per hour.
+    pub fn to_km_per_hour(self) -> KmPerHour {
+        KmPerHour(self.0 * 3.6)
+    }
+}
+
+impl KmPerHour {
+    /// Converts this speed to metres per second.
+    pub fn to_meters_per_second(self) -> MetersPerSecond {
+        MetersPerSecond(self.0 / 3.6)
+    }
+}
+
+impl Degrees {
+    /// Converts this angle to radians.
+    pub fn to_radians(self) -> Radians {
+        Radians(self.0.to_radians())
+    }
+
+    /// Normalizes the angle into the `[0, 360)` range.
+    pub fn normalized(self) -> Degrees {
+        Degrees(self.0.rem_euclid(360.0))
+    }
+}
+
+impl Radians {
+    /// Converts this angle to decimal degrees.
+    pub fn to_degrees(self) -> Degrees {
+        Degrees(self.0.to_degrees())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meters_roundtrip_kilometers() {
+        let m = Meters::new(1500.0);
+        assert_eq!(m.to_kilometers(), Kilometers::new(1.5));
+        assert_eq!(m.to_kilometers().to_meters(), m);
+    }
+
+    #[test]
+    fn speed_conversion() {
+        let v = MetersPerSecond::new(10.0);
+        assert!((v.to_km_per_hour().get() - 36.0).abs() < 1e-12);
+        assert!((v.to_km_per_hour().to_meters_per_second().get() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let a = Meters::new(3.0);
+        let b = Meters::new(4.5);
+        assert_eq!(a + b, Meters::new(7.5));
+        assert_eq!(b - a, Meters::new(1.5));
+        assert_eq!(a * 2.0, Meters::new(6.0));
+        assert_eq!(b / 1.5, Meters::new(3.0));
+        assert!((b / a - 1.5).abs() < 1e-12);
+        assert_eq!(-a, Meters::new(-3.0));
+    }
+
+    #[test]
+    fn degree_normalization() {
+        assert_eq!(Degrees::new(-90.0).normalized(), Degrees::new(270.0));
+        assert_eq!(Degrees::new(720.5).normalized(), Degrees::new(0.5));
+    }
+
+    #[test]
+    fn angle_roundtrip() {
+        let d = Degrees::new(123.456);
+        let back = d.to_radians().to_degrees();
+        assert!((back.get() - d.get()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_includes_unit() {
+        assert_eq!(format!("{}", Meters::new(2.0)), "2.000 m");
+        assert_eq!(format!("{}", KmPerHour::new(50.0)), "50.000 km/h");
+    }
+
+    #[test]
+    fn min_max_abs() {
+        let a = Meters::new(-2.0);
+        let b = Meters::new(1.0);
+        assert_eq!(a.abs(), Meters::new(2.0));
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+    }
+}

@@ -1,0 +1,179 @@
+//! Property-based tests of the geospatial substrate.
+
+use geo::{polyline, BoundingBox, GeoPoint, LocalProjection, Meters, QuadTree, UniformGrid};
+use proptest::prelude::*;
+
+fn lat() -> impl Strategy<Value = f64> {
+    -80.0..80.0f64
+}
+
+fn lon() -> impl Strategy<Value = f64> {
+    -179.0..179.0f64
+}
+
+fn point() -> impl Strategy<Value = GeoPoint> {
+    (lat(), lon()).prop_map(|(la, lo)| GeoPoint::new(la, lo).unwrap())
+}
+
+/// Points within a ~city-sized box (for metric-accuracy properties).
+fn city_point() -> impl Strategy<Value = GeoPoint> {
+    (45.0..46.0f64, 4.0..5.0f64).prop_map(|(la, lo)| GeoPoint::new(la, lo).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn haversine_is_symmetric_and_nonnegative(a in point(), b in point()) {
+        let d1 = a.haversine_distance(&b).get();
+        let d2 = b.haversine_distance(&a).get();
+        prop_assert!(d1 >= 0.0);
+        prop_assert!((d1 - d2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn haversine_identity(a in point()) {
+        prop_assert!(a.haversine_distance(&a).get() < 1e-9);
+    }
+
+    #[test]
+    fn triangle_inequality_holds(a in point(), b in point(), c in point()) {
+        let ab = a.haversine_distance(&b).get();
+        let bc = b.haversine_distance(&c).get();
+        let ac = a.haversine_distance(&c).get();
+        // Great-circle distance is a metric (allow float slack).
+        prop_assert!(ac <= ab + bc + 1e-6);
+    }
+
+    #[test]
+    fn destination_travels_requested_distance(
+        a in city_point(),
+        bearing in 0.0..360.0f64,
+        dist in 1.0..50_000.0f64,
+    ) {
+        let dest = a.destination(geo::Degrees::new(bearing), Meters::new(dist));
+        let measured = a.haversine_distance(&dest).get();
+        prop_assert!((measured - dist).abs() / dist < 1e-3,
+            "asked {dist}, got {measured}");
+    }
+
+    #[test]
+    fn local_projection_roundtrips(origin in city_point(), p in city_point()) {
+        let proj = LocalProjection::new(origin);
+        let back = proj.unproject(&proj.project(&p));
+        prop_assert!(p.haversine_distance(&back).get() < 5.0);
+    }
+
+    #[test]
+    fn lerp_stays_between_endpoints(a in city_point(), b in city_point(), t in 0.0..1.0f64) {
+        let m = a.lerp(&b, t);
+        let bbox = BoundingBox::from_points([a, b].iter()).unwrap();
+        prop_assert!(bbox.expanded(1e-9).contains(&m));
+    }
+
+    #[test]
+    fn bbox_from_points_contains_all(points in prop::collection::vec(point(), 1..20)) {
+        let bbox = BoundingBox::from_points(points.iter()).unwrap();
+        for p in &points {
+            prop_assert!(bbox.contains(p));
+        }
+        prop_assert!(bbox.contains(&bbox.center()));
+    }
+
+    #[test]
+    fn grid_cell_center_roundtrips(p in city_point(), cell_m in 50.0..1_000.0f64) {
+        let bbox = BoundingBox::new(
+            GeoPoint::new(45.0, 4.0).unwrap(),
+            GeoPoint::new(46.0, 5.0).unwrap(),
+        ).unwrap();
+        let grid = UniformGrid::new(bbox, Meters::new(cell_m)).unwrap();
+        let cell = grid.cell_of(&p);
+        prop_assert_eq!(grid.cell_of(&grid.cell_center(&cell)), cell);
+        // The centre is within half a diagonal of the point.
+        let d = p.haversine_distance(&grid.cell_center(&cell)).get();
+        prop_assert!(d <= cell_m * std::f64::consts::SQRT_2 / 2.0 + 1.0);
+    }
+
+    #[test]
+    fn resample_spacing_never_exceeds_step(
+        points in prop::collection::vec(city_point(), 2..15),
+        step in 50.0..2_000.0f64,
+    ) {
+        let resampled = polyline::resample_by_distance(&points, Meters::new(step)).unwrap();
+        prop_assert!(!resampled.is_empty());
+        for w in resampled.windows(2) {
+            let d = w[0].haversine_distance(&w[1]).get();
+            prop_assert!(d <= step * 1.01 + 1.0, "spacing {d} > step {step}");
+        }
+    }
+
+    #[test]
+    fn resample_preserves_endpoints(
+        points in prop::collection::vec(city_point(), 2..15),
+        step in 50.0..2_000.0f64,
+    ) {
+        let resampled = polyline::resample_by_distance(&points, Meters::new(step)).unwrap();
+        prop_assert!(points[0].haversine_distance(&resampled[0]).get() < 1e-6);
+        let total = polyline::length(&points).get();
+        if total > 0.0 {
+            let last_in = points.last().unwrap();
+            let last_out = resampled.last().unwrap();
+            prop_assert!(last_in.haversine_distance(last_out).get() < 1.0);
+        }
+    }
+
+    #[test]
+    fn douglas_peucker_output_is_subset_with_endpoints(
+        points in prop::collection::vec(city_point(), 2..25),
+        tol in 1.0..5_000.0f64,
+    ) {
+        let simplified = polyline::douglas_peucker(&points, Meters::new(tol));
+        prop_assert!(simplified.len() >= 2 || points.len() < 2);
+        prop_assert_eq!(simplified[0], points[0]);
+        prop_assert_eq!(*simplified.last().unwrap(), *points.last().unwrap());
+        for p in &simplified {
+            prop_assert!(points.contains(p));
+        }
+    }
+
+    #[test]
+    fn quadtree_nearest_matches_brute_force(
+        points in prop::collection::vec(city_point(), 1..60),
+        target in city_point(),
+    ) {
+        let bbox = BoundingBox::new(
+            GeoPoint::new(45.0, 4.0).unwrap(),
+            GeoPoint::new(46.0, 5.0).unwrap(),
+        ).unwrap();
+        let mut tree = QuadTree::new(bbox);
+        for (i, p) in points.iter().enumerate() {
+            tree.insert(*p, i);
+        }
+        let brute = points
+            .iter()
+            .map(|p| target.haversine_distance(p).get())
+            .fold(f64::INFINITY, f64::min);
+        let (_, _, d) = tree.nearest(&target).unwrap();
+        prop_assert!((d.get() - brute).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quadtree_range_query_is_exact(
+        points in prop::collection::vec(city_point(), 0..60),
+        q_min in city_point(),
+    ) {
+        let bbox = BoundingBox::new(
+            GeoPoint::new(45.0, 4.0).unwrap(),
+            GeoPoint::new(46.0, 5.0).unwrap(),
+        ).unwrap();
+        let mut tree = QuadTree::new(bbox);
+        for (i, p) in points.iter().enumerate() {
+            tree.insert(*p, i);
+        }
+        let q_max = GeoPoint::clamped(q_min.latitude() + 0.2, q_min.longitude() + 0.2);
+        let range = BoundingBox::new(q_min, q_max).unwrap();
+        let found = tree.query_range(&range);
+        let expected = points.iter().filter(|p| range.contains(p)).count();
+        prop_assert_eq!(found.len(), expected);
+    }
+}

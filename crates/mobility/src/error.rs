@@ -1,0 +1,112 @@
+//! Error type for mobility-data operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the mobility substrate.
+#[derive(Debug)]
+pub enum MobilityError {
+    /// An operation required a non-empty trajectory.
+    EmptyTrajectory,
+    /// Records were not sorted by timestamp where required.
+    UnsortedRecords,
+    /// A parameter was invalid (name, offending value).
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value rendered as text.
+        value: String,
+    },
+    /// An underlying geospatial error.
+    Geo(geo::GeoError),
+    /// An I/O error while reading or writing datasets.
+    Io(std::io::Error),
+    /// A serialization error while reading or writing datasets.
+    Serde(serde_json::Error),
+    /// A malformed line in a CSV dataset file (1-based line number).
+    MalformedCsv {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for MobilityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MobilityError::EmptyTrajectory => {
+                write!(f, "operation requires a non-empty trajectory")
+            }
+            MobilityError::UnsortedRecords => {
+                write!(f, "records must be sorted by timestamp")
+            }
+            MobilityError::InvalidParameter { name, value } => {
+                write!(f, "invalid parameter {name}: {value}")
+            }
+            MobilityError::Geo(e) => write!(f, "geospatial error: {e}"),
+            MobilityError::Io(e) => write!(f, "i/o error: {e}"),
+            MobilityError::Serde(e) => write!(f, "serialization error: {e}"),
+            MobilityError::MalformedCsv { line, reason } => {
+                write!(f, "malformed csv at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for MobilityError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MobilityError::Geo(e) => Some(e),
+            MobilityError::Io(e) => Some(e),
+            MobilityError::Serde(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<geo::GeoError> for MobilityError {
+    fn from(e: geo::GeoError) -> Self {
+        MobilityError::Geo(e)
+    }
+}
+
+impl From<std::io::Error> for MobilityError {
+    fn from(e: std::io::Error) -> Self {
+        MobilityError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for MobilityError {
+    fn from(e: serde_json::Error) -> Self {
+        MobilityError::Serde(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MobilityError::InvalidParameter {
+            name: "users",
+            value: "0".into(),
+        };
+        assert_eq!(e.to_string(), "invalid parameter users: 0");
+        assert!(MobilityError::EmptyTrajectory.to_string().contains("non-empty"));
+    }
+
+    #[test]
+    fn source_chains() {
+        let inner = geo::GeoError::EmptyPolyline;
+        let e = MobilityError::from(inner);
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<MobilityError>();
+    }
+}

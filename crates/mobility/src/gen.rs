@@ -1,0 +1,811 @@
+//! Synthetic mobility-data generation.
+//!
+//! The paper evaluates its protection mechanisms on a proprietary real-life
+//! GPS dataset. This module is the documented substitute (`DESIGN.md` §2): a
+//! synthetic mid-size city with residential, business and leisure sites, and
+//! a population of commuters with per-user schedules. The generated traces
+//! have the structure the attacks exploit — long dwells at semantically
+//! meaningful places, commutes at realistic speeds, GPS jitter — together
+//! with exact ground truth, which makes privacy metrics measurable.
+//!
+//! Two auxiliary models, [`random_waypoint`] and [`levy_flight`], provide
+//! unstructured workloads for stress tests and benchmarks.
+
+use crate::poi::PoiKind;
+use crate::record::{Dataset, LocationRecord, Trajectory, UserId};
+use crate::time::{Timestamp, DAY_SECONDS, HOUR_SECONDS};
+use geo::{GeoPoint, Meters};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Samples a normally distributed value with the Box–Muller transform.
+///
+/// Kept local to avoid a `rand_distr` dependency.
+fn sample_normal(rng: &mut StdRng, mean: f64, std_dev: f64) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    mean + std_dev * z
+}
+
+/// Adds isotropic Gaussian jitter of standard deviation `sigma_m` metres.
+fn jitter(rng: &mut StdRng, p: GeoPoint, sigma_m: f64) -> GeoPoint {
+    if sigma_m <= 0.0 {
+        return p;
+    }
+    let dlat_m = sample_normal(rng, 0.0, sigma_m);
+    let dlon_m = sample_normal(rng, 0.0, sigma_m);
+    let cos_lat = p.latitude().to_radians().cos().max(0.01);
+    GeoPoint::clamped(
+        p.latitude() + dlat_m / 111_320.0,
+        p.longitude() + dlon_m / (111_320.0 * cos_lat),
+    )
+}
+
+/// A ground-truth point of interest a user actually frequented.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TruthPoi {
+    /// Site position.
+    pub site: GeoPoint,
+    /// Semantic kind of the site.
+    pub kind: PoiKind,
+}
+
+/// Ground truth of a generated dataset: per-user visited sites.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GroundTruth {
+    pois: BTreeMap<UserId, Vec<TruthPoi>>,
+}
+
+impl GroundTruth {
+    /// Registers a visited site, de-duplicating within 10 m.
+    fn record_visit(&mut self, user: UserId, site: GeoPoint, kind: PoiKind) {
+        let entry = self.pois.entry(user).or_default();
+        if !entry
+            .iter()
+            .any(|p| p.site.haversine_distance(&site).get() < 10.0)
+        {
+            entry.push(TruthPoi { site, kind });
+        }
+    }
+
+    /// Ground-truth POIs of one user.
+    pub fn pois_of(&self, user: UserId) -> &[TruthPoi] {
+        self.pois.get(&user).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Users with at least one ground-truth POI.
+    pub fn users(&self) -> impl Iterator<Item = UserId> + '_ {
+        self.pois.keys().copied()
+    }
+
+    /// Total number of ground-truth POIs across all users.
+    pub fn total_pois(&self) -> usize {
+        self.pois.values().map(Vec::len).sum()
+    }
+}
+
+/// A generated dataset together with its ground truth.
+#[derive(Debug, Clone)]
+pub struct GeneratedData {
+    /// The mobility dataset.
+    pub dataset: Dataset,
+    /// Per-user ground-truth POIs.
+    pub truth: GroundTruth,
+}
+
+/// Configuration of a population generation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PopulationConfig {
+    /// Number of participants.
+    pub users: usize,
+    /// Number of simulated days.
+    pub days: usize,
+    /// Sampling interval of the location sensor, in seconds.
+    pub sampling_interval_s: i64,
+    /// GPS noise standard deviation, in metres.
+    pub gps_noise_m: f64,
+    /// Probability of an evening leisure trip on a weekday.
+    pub leisure_probability: f64,
+}
+
+impl Default for PopulationConfig {
+    fn default() -> Self {
+        Self {
+            users: 50,
+            days: 7,
+            sampling_interval_s: 60,
+            gps_noise_m: 5.0,
+            leisure_probability: 0.35,
+        }
+    }
+}
+
+/// The daily agenda profile of one simulated commuter.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PersonProfile {
+    /// The participant.
+    pub user: UserId,
+    /// Home site.
+    pub home: GeoPoint,
+    /// Workplace site.
+    pub work: GeoPoint,
+    /// Favourite leisure sites (restaurants, gyms, cinemas...).
+    pub leisure: Vec<GeoPoint>,
+    /// Mean home-departure hour (e.g. 8.0 = 08:00).
+    pub departure_hour: f64,
+    /// Mean workday length in hours.
+    pub work_hours: f64,
+    /// Mean commute travel speed, metres per second.
+    pub speed_mps: f64,
+}
+
+/// A synthetic city: a set of home, work and leisure sites around a centre.
+///
+/// Built once (deterministically from a seed) and reused to generate any
+/// number of populations. See [`CityModel::builder`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CityModel {
+    center: GeoPoint,
+    radius_m: f64,
+    homes: Vec<GeoPoint>,
+    workplaces: Vec<GeoPoint>,
+    leisure_sites: Vec<GeoPoint>,
+    seed: u64,
+}
+
+/// Builder for [`CityModel`].
+#[derive(Debug, Clone)]
+pub struct CityBuilder {
+    center: GeoPoint,
+    radius_m: f64,
+    home_sites: usize,
+    work_sites: usize,
+    leisure_sites: usize,
+    seed: u64,
+}
+
+impl Default for CityBuilder {
+    fn default() -> Self {
+        Self {
+            // A mid-size European city centre (Lyon, where PRIVAPI was built).
+            center: GeoPoint::clamped(45.7578, 4.8320),
+            radius_m: 8_000.0,
+            home_sites: 400,
+            work_sites: 80,
+            leisure_sites: 120,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl CityBuilder {
+    /// Sets the RNG seed (site layout and population are derived from it).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the city centre.
+    pub fn center(mut self, center: GeoPoint) -> Self {
+        self.center = center;
+        self
+    }
+
+    /// Sets the city radius in metres.
+    pub fn radius_m(mut self, radius_m: f64) -> Self {
+        self.radius_m = radius_m;
+        self
+    }
+
+    /// Sets the number of candidate home sites.
+    pub fn home_sites(mut self, n: usize) -> Self {
+        self.home_sites = n.max(1);
+        self
+    }
+
+    /// Sets the number of candidate workplace sites.
+    pub fn work_sites(mut self, n: usize) -> Self {
+        self.work_sites = n.max(1);
+        self
+    }
+
+    /// Sets the number of candidate leisure sites.
+    pub fn leisure_sites(mut self, n: usize) -> Self {
+        self.leisure_sites = n.max(1);
+        self
+    }
+
+    /// Materializes the city: site positions are drawn deterministically.
+    pub fn build(self) -> CityModel {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x5EED_C117_u64);
+        let ring_site = |rng: &mut StdRng, r_min: f64, r_max: f64| -> GeoPoint {
+            let r = rng.gen_range(r_min..r_max);
+            let theta = rng.gen_range(0.0..std::f64::consts::TAU);
+            self.center
+                .destination(geo::Degrees::new(theta.to_degrees()), Meters::new(r))
+        };
+        // Homes in a residential annulus, workplaces packed near the centre,
+        // leisure anywhere.
+        let homes = (0..self.home_sites)
+            .map(|_| ring_site(&mut rng, 0.15 * self.radius_m, 0.95 * self.radius_m))
+            .collect();
+        let workplaces = (0..self.work_sites)
+            .map(|_| ring_site(&mut rng, 0.0, 0.35 * self.radius_m))
+            .collect();
+        let leisure_sites = (0..self.leisure_sites)
+            .map(|_| ring_site(&mut rng, 0.0, 0.9 * self.radius_m))
+            .collect();
+        CityModel {
+            center: self.center,
+            radius_m: self.radius_m,
+            homes,
+            workplaces,
+            leisure_sites,
+            seed: self.seed,
+        }
+    }
+}
+
+/// One scheduled activity in a simulated day.
+#[derive(Debug, Clone)]
+enum Segment {
+    /// Dwell at a site between two times.
+    Stay {
+        site: GeoPoint,
+        kind: PoiKind,
+        from: i64,
+        to: i64,
+    },
+    /// Travel along a path between two times.
+    Travel {
+        path: Vec<GeoPoint>,
+        from: i64,
+        to: i64,
+    },
+}
+
+impl CityModel {
+    /// Starts building a city.
+    pub fn builder() -> CityBuilder {
+        CityBuilder::default()
+    }
+
+    /// The city centre.
+    pub fn center(&self) -> GeoPoint {
+        self.center
+    }
+
+    /// The city radius in metres.
+    pub fn radius(&self) -> Meters {
+        Meters::new(self.radius_m)
+    }
+
+    /// Number of (home, work, leisure) candidate sites.
+    pub fn site_counts(&self) -> (usize, usize, usize) {
+        (
+            self.homes.len(),
+            self.workplaces.len(),
+            self.leisure_sites.len(),
+        )
+    }
+
+    /// Derives the persistent profile of user `id` for this city.
+    pub fn profile_of(&self, id: UserId) -> PersonProfile {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let home = self.homes[rng.gen_range(0..self.homes.len())];
+        let work = self.workplaces[rng.gen_range(0..self.workplaces.len())];
+        let mut leisure = Vec::new();
+        let favourites = rng.gen_range(1..=3usize);
+        for _ in 0..favourites {
+            leisure.push(self.leisure_sites[rng.gen_range(0..self.leisure_sites.len())]);
+        }
+        PersonProfile {
+            user: id,
+            home,
+            work,
+            leisure,
+            departure_hour: sample_normal(&mut rng, 8.2, 0.5).clamp(6.0, 10.5),
+            work_hours: sample_normal(&mut rng, 8.0, 0.6).clamp(6.0, 10.0),
+            speed_mps: sample_normal(&mut rng, 8.5, 1.5).clamp(4.0, 14.0),
+        }
+    }
+
+    /// Generates a population's mobility dataset (no ground truth).
+    pub fn generate_population(&self, config: &PopulationConfig) -> Dataset {
+        self.generate_with_truth(config).dataset
+    }
+
+    /// Generates a population's mobility dataset together with ground truth.
+    pub fn generate_with_truth(&self, config: &PopulationConfig) -> GeneratedData {
+        let mut dataset = Dataset::new();
+        let mut truth = GroundTruth::default();
+        for uid in 0..config.users {
+            let user = UserId(uid as u64);
+            let profile = self.profile_of(user);
+            for day in 0..config.days {
+                let mut rng = StdRng::seed_from_u64(
+                    self.seed
+                        ^ (uid as u64).wrapping_mul(0x51_7C_C1B7_2722_0A95)
+                        ^ (day as u64).wrapping_mul(0x2545_F491_4F6C_DD1D),
+                );
+                let segments = self.plan_day(&profile, day as i64, config, &mut rng);
+                for seg in &segments {
+                    if let Segment::Stay { site, kind, from, to } = seg {
+                        // Only dwell episodes long enough to be POIs count
+                        // as ground truth (matches the 15-min stay rule).
+                        if to - from >= 15 * 60 {
+                            truth.record_visit(user, *site, *kind);
+                        }
+                    }
+                }
+                let records = sample_segments(
+                    user,
+                    &segments,
+                    day as i64,
+                    config.sampling_interval_s,
+                    config.gps_noise_m,
+                    &mut rng,
+                );
+                dataset.push(Trajectory::new(user, records));
+            }
+        }
+        GeneratedData { dataset, truth }
+    }
+
+    /// Plans the activity segments of one user-day.
+    fn plan_day(
+        &self,
+        profile: &PersonProfile,
+        day: i64,
+        config: &PopulationConfig,
+        rng: &mut StdRng,
+    ) -> Vec<Segment> {
+        let day_start = day * DAY_SECONDS;
+        let day_end = (day + 1) * DAY_SECONDS;
+        let weekend = Timestamp::new(day_start).is_weekend();
+        let mut segments = Vec::new();
+        let mut clock = day_start;
+        let mut here = profile.home;
+
+        let travel_to =
+            |segments: &mut Vec<Segment>, clock: &mut i64, from: GeoPoint, to: GeoPoint, rng: &mut StdRng| {
+                let path = manhattan_path(from, to, rng);
+                let dist = geo::polyline::length(&path).get();
+                let speed = sample_normal(rng, profile.speed_mps, 0.8).clamp(3.0, 16.0);
+                let duration = (dist / speed).ceil() as i64;
+                segments.push(Segment::Travel {
+                    path,
+                    from: *clock,
+                    to: *clock + duration,
+                });
+                *clock += duration;
+            };
+
+        if !weekend {
+            // Morning at home.
+            let depart =
+                day_start + (sample_normal(rng, profile.departure_hour, 0.25) * 3_600.0) as i64;
+            let depart = depart.clamp(day_start + 4 * HOUR_SECONDS, day_start + 12 * HOUR_SECONDS);
+            segments.push(Segment::Stay {
+                site: profile.home,
+                kind: PoiKind::Home,
+                from: clock,
+                to: depart,
+            });
+            clock = depart;
+            // Commute to work.
+            travel_to(&mut segments, &mut clock, here, profile.work, rng);
+            here = profile.work;
+            // Work day.
+            let work_end = clock
+                + (sample_normal(rng, profile.work_hours, 0.4).clamp(4.0, 11.0) * 3_600.0) as i64;
+            let work_end = work_end.min(day_end - 2 * HOUR_SECONDS);
+            segments.push(Segment::Stay {
+                site: profile.work,
+                kind: PoiKind::Work,
+                from: clock,
+                to: work_end,
+            });
+            clock = work_end;
+            // Possibly an evening leisure trip.
+            if !profile.leisure.is_empty() && rng.gen_bool(config.leisure_probability) {
+                let spot = profile.leisure[rng.gen_range(0..profile.leisure.len())];
+                travel_to(&mut segments, &mut clock, here, spot, rng);
+                here = spot;
+                let leave =
+                    (clock + (sample_normal(rng, 2.0, 0.4).clamp(0.75, 3.5) * 3_600.0) as i64)
+                        .min(day_end - HOUR_SECONDS / 2);
+                if leave > clock {
+                    segments.push(Segment::Stay {
+                        site: spot,
+                        kind: PoiKind::Other,
+                        from: clock,
+                        to: leave,
+                    });
+                    clock = leave;
+                }
+            }
+            // Home for the night.
+            if here != profile.home {
+                travel_to(&mut segments, &mut clock, here, profile.home, rng);
+            }
+            if clock < day_end {
+                segments.push(Segment::Stay {
+                    site: profile.home,
+                    kind: PoiKind::Home,
+                    from: clock,
+                    to: day_end,
+                });
+            }
+        } else {
+            // Weekend: optional late-morning outing, otherwise home.
+            let outing = !profile.leisure.is_empty() && rng.gen_bool(0.6);
+            if outing {
+                let leave = day_start
+                    + (sample_normal(rng, 11.0, 1.0).clamp(8.0, 15.0) * 3_600.0) as i64;
+                segments.push(Segment::Stay {
+                    site: profile.home,
+                    kind: PoiKind::Home,
+                    from: clock,
+                    to: leave,
+                });
+                clock = leave;
+                let spot = profile.leisure[rng.gen_range(0..profile.leisure.len())];
+                travel_to(&mut segments, &mut clock, here, spot, rng);
+                here = spot;
+                let back =
+                    (clock + (sample_normal(rng, 2.5, 0.7).clamp(1.0, 5.0) * 3_600.0) as i64)
+                        .min(day_end - HOUR_SECONDS);
+                if back > clock {
+                    segments.push(Segment::Stay {
+                        site: spot,
+                        kind: PoiKind::Other,
+                        from: clock,
+                        to: back,
+                    });
+                    clock = back;
+                }
+                travel_to(&mut segments, &mut clock, here, profile.home, rng);
+            }
+            if clock < day_end {
+                segments.push(Segment::Stay {
+                    site: profile.home,
+                    kind: PoiKind::Home,
+                    from: clock,
+                    to: day_end,
+                });
+            }
+        }
+        segments
+    }
+}
+
+/// An L-shaped (Manhattan street grid) path between two points, with a small
+/// jitter on the corner so routes are not perfectly axis-aligned.
+fn manhattan_path(from: GeoPoint, to: GeoPoint, rng: &mut StdRng) -> Vec<GeoPoint> {
+    let corner = if rng.gen_bool(0.5) {
+        GeoPoint::clamped(from.latitude(), to.longitude())
+    } else {
+        GeoPoint::clamped(to.latitude(), from.longitude())
+    };
+    let corner = jitter(rng, corner, 30.0);
+    vec![from, corner, to]
+}
+
+/// Samples location records from activity segments at a fixed interval.
+fn sample_segments(
+    user: UserId,
+    segments: &[Segment],
+    day: i64,
+    interval_s: i64,
+    gps_noise_m: f64,
+    rng: &mut StdRng,
+) -> Vec<LocationRecord> {
+    let interval_s = interval_s.max(1);
+    let day_start = day * DAY_SECONDS;
+    let day_end = (day + 1) * DAY_SECONDS;
+    let mut records = Vec::with_capacity(((day_end - day_start) / interval_s) as usize);
+    let mut seg_idx = 0;
+    let mut t = day_start;
+    while t < day_end {
+        // Advance to the segment containing `t`.
+        while seg_idx < segments.len() {
+            let (_, to) = segment_bounds(&segments[seg_idx]);
+            if t < to {
+                break;
+            }
+            seg_idx += 1;
+        }
+        if seg_idx >= segments.len() {
+            break;
+        }
+        let pos = match &segments[seg_idx] {
+            Segment::Stay { site, .. } => *site,
+            Segment::Travel { path, from, to } => {
+                let span = (to - from).max(1);
+                let frac = ((t - from) as f64 / span as f64).clamp(0.0, 1.0);
+                let total = geo::polyline::length(path);
+                geo::polyline::point_at_distance(path, total * frac)
+                    .unwrap_or_else(|_| path[0])
+            }
+        };
+        records.push(LocationRecord::new(
+            user,
+            Timestamp::new(t),
+            jitter(rng, pos, gps_noise_m),
+        ));
+        t += interval_s;
+    }
+    records
+}
+
+fn segment_bounds(seg: &Segment) -> (i64, i64) {
+    match seg {
+        Segment::Stay { from, to, .. } => (*from, *to),
+        Segment::Travel { from, to, .. } => (*from, *to),
+    }
+}
+
+/// Generates a random-waypoint trace: pick a target uniformly in the disk,
+/// travel to it at constant speed, pause, repeat. Unstructured workload used
+/// by benchmarks.
+pub fn random_waypoint(
+    user: UserId,
+    center: GeoPoint,
+    radius_m: f64,
+    duration_s: i64,
+    interval_s: i64,
+    seed: u64,
+) -> Trajectory {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut records = Vec::new();
+    let mut pos = center;
+    let mut t: i64 = 0;
+    let interval_s = interval_s.max(1);
+    while t < duration_s {
+        let theta: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+        let r = radius_m * rng.gen_range(0.0f64..1.0).sqrt();
+        let target = center.destination(geo::Degrees::new(theta.to_degrees()), Meters::new(r));
+        let speed = rng.gen_range(1.0..12.0);
+        let dist = pos.haversine_distance(&target).get();
+        let travel = (dist / speed).ceil() as i64;
+        let steps = (travel / interval_s).max(1);
+        for s in 0..steps {
+            if t >= duration_s {
+                break;
+            }
+            let frac = s as f64 / steps as f64;
+            records.push(LocationRecord::new(
+                user,
+                Timestamp::new(t),
+                pos.lerp(&target, frac),
+            ));
+            t += interval_s;
+        }
+        pos = target;
+        let pause = rng.gen_range(0..600);
+        let pause_steps = pause / interval_s;
+        for _ in 0..pause_steps {
+            if t >= duration_s {
+                break;
+            }
+            records.push(LocationRecord::new(user, Timestamp::new(t), pos));
+            t += interval_s;
+        }
+    }
+    Trajectory::new(user, records)
+}
+
+/// Generates a Lévy-flight trace: step lengths follow a heavy-tailed Pareto
+/// distribution, producing the burst-and-dwell structure observed in human
+/// mobility studies.
+pub fn levy_flight(
+    user: UserId,
+    center: GeoPoint,
+    radius_m: f64,
+    steps: usize,
+    interval_s: i64,
+    seed: u64,
+) -> Trajectory {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut records = Vec::new();
+    let mut pos = center;
+    let alpha = 1.6; // Pareto tail exponent
+    let min_step = 20.0;
+    for i in 0..steps {
+        records.push(LocationRecord::new(
+            user,
+            Timestamp::new(i as i64 * interval_s.max(1)),
+            pos,
+        ));
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let step = (min_step / u.powf(1.0 / alpha)).min(radius_m);
+        let theta: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+        let next = pos.destination(geo::Degrees::new(theta.to_degrees()), Meters::new(step));
+        // Reflect back toward the centre when leaving the disk.
+        pos = if center.haversine_distance(&next).get() > radius_m {
+            center
+        } else {
+            next
+        };
+    }
+    Trajectory::new(user, records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::staypoint::{detect_all, StayPointConfig};
+
+    fn small_config() -> PopulationConfig {
+        PopulationConfig {
+            users: 4,
+            days: 2,
+            sampling_interval_s: 120,
+            gps_noise_m: 5.0,
+            leisure_probability: 0.5,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let city1 = CityModel::builder().seed(99).build();
+        let city2 = CityModel::builder().seed(99).build();
+        let a = city1.generate_population(&small_config());
+        let b = city2.generate_population(&small_config());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = CityModel::builder()
+            .seed(1)
+            .build()
+            .generate_population(&small_config());
+        let b = CityModel::builder()
+            .seed(2)
+            .build()
+            .generate_population(&small_config());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn counts_match_config() {
+        let cfg = small_config();
+        let data = CityModel::builder().seed(5).build().generate_with_truth(&cfg);
+        assert_eq!(data.dataset.user_count(), cfg.users);
+        assert_eq!(data.dataset.trajectory_count(), cfg.users * cfg.days);
+        // ~720 records per user-day at 120 s sampling.
+        let expected = (cfg.users * cfg.days) as f64 * (86_400.0 / 120.0);
+        let actual = data.dataset.record_count() as f64;
+        assert!(
+            (actual - expected).abs() / expected < 0.05,
+            "records: {actual} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn records_sorted_and_within_day() {
+        let data = CityModel::builder().seed(5).build().generate_with_truth(&small_config());
+        for traj in data.dataset.trajectories() {
+            let day = traj.records()[0].time.day_index();
+            for w in traj.records().windows(2) {
+                assert!(w[0].time <= w[1].time);
+            }
+            for r in traj.records() {
+                assert_eq!(r.time.day_index(), day, "record crossed day boundary");
+            }
+        }
+    }
+
+    #[test]
+    fn ground_truth_includes_home_and_work() {
+        let data = CityModel::builder().seed(7).build().generate_with_truth(&small_config());
+        for user in data.dataset.users() {
+            let pois = data.truth.pois_of(user);
+            assert!(
+                pois.iter().any(|p| p.kind == PoiKind::Home),
+                "{user} missing home"
+            );
+            // Two weekdays in the window → work must appear.
+            assert!(
+                pois.iter().any(|p| p.kind == PoiKind::Work),
+                "{user} missing work"
+            );
+        }
+    }
+
+    #[test]
+    fn stay_points_found_at_ground_truth_sites() {
+        let data = CityModel::builder().seed(11).build().generate_with_truth(&small_config());
+        let user = data.dataset.users()[0];
+        let trajs = data.dataset.trajectories_of(user);
+        let stays = detect_all(trajs.iter().copied(), &StayPointConfig::default());
+        assert!(!stays.is_empty(), "no stay points detected");
+        // Every ground-truth POI should have at least one nearby stay.
+        for poi in data.truth.pois_of(user) {
+            let found = stays
+                .iter()
+                .any(|s| s.centroid.haversine_distance(&poi.site).get() < 250.0);
+            assert!(found, "no stay near {:?}", poi.kind);
+        }
+    }
+
+    #[test]
+    fn city_sites_within_radius() {
+        let city = CityModel::builder().seed(3).radius_m(5_000.0).build();
+        let (h, w, l) = city.site_counts();
+        assert!(h > 0 && w > 0 && l > 0);
+        for site in city
+            .homes
+            .iter()
+            .chain(city.workplaces.iter())
+            .chain(city.leisure_sites.iter())
+        {
+            let d = city.center().haversine_distance(site).get();
+            assert!(d <= 5_000.0 * 0.96, "site {d} m from centre");
+        }
+    }
+
+    #[test]
+    fn profile_is_stable() {
+        let city = CityModel::builder().seed(21).build();
+        let p1 = city.profile_of(UserId(3));
+        let p2 = city.profile_of(UserId(3));
+        assert_eq!(p1.home, p2.home);
+        assert_eq!(p1.work, p2.work);
+        assert_eq!(p1.leisure.len(), p2.leisure.len());
+        assert!(p1.departure_hour >= 6.0 && p1.departure_hour <= 10.5);
+        assert!(p1.speed_mps >= 4.0 && p1.speed_mps <= 14.0);
+    }
+
+    #[test]
+    fn weekday_has_commute_speeds() {
+        // Day 0 is a Monday: traces must contain moving segments.
+        let data = CityModel::builder().seed(13).build().generate_with_truth(
+            &PopulationConfig {
+                users: 1,
+                days: 1,
+                ..small_config()
+            },
+        );
+        let traj = &data.dataset.trajectories()[0];
+        let max_speed = traj
+            .segment_speeds()
+            .iter()
+            .map(|s| s.get())
+            .fold(0.0, f64::max);
+        assert!(max_speed > 2.0, "no movement detected: {max_speed}");
+    }
+
+    #[test]
+    fn random_waypoint_stays_in_disk() {
+        let center = GeoPoint::clamped(45.75, 4.83);
+        let t = random_waypoint(UserId(9), center, 2_000.0, 3_600, 30, 77);
+        assert!(!t.is_empty());
+        for r in t.records() {
+            assert!(center.haversine_distance(&r.point).get() <= 2_100.0);
+        }
+    }
+
+    #[test]
+    fn levy_flight_is_bounded_and_sized() {
+        let center = GeoPoint::clamped(45.75, 4.83);
+        let t = levy_flight(UserId(9), center, 3_000.0, 200, 60, 123);
+        assert_eq!(t.len(), 200);
+        for r in t.records() {
+            assert!(center.haversine_distance(&r.point).get() <= 3_100.0);
+        }
+    }
+
+    #[test]
+    fn sample_normal_roughly_centred() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| sample_normal(&mut rng, 5.0, 2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+    }
+}

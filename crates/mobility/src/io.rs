@@ -1,0 +1,245 @@
+//! Dataset import and export.
+//!
+//! Two interchange formats are supported:
+//!
+//! * **JSON-lines** — one [`LocationRecord`] per line, the format the
+//!   Honeycomb uses to persist collected datasets and PRIVAPI uses to
+//!   publish anonymized ones;
+//! * **CSV** — `user,timestamp,latitude,longitude`, for spreadsheet-level
+//!   interoperability.
+
+use crate::error::MobilityError;
+use crate::record::{Dataset, LocationRecord, UserId};
+use crate::time::Timestamp;
+use geo::GeoPoint;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Writes a dataset as JSON-lines (one record per line).
+///
+/// A `&mut` reference can be passed for `writer` (C-RW-VALUE).
+///
+/// # Errors
+///
+/// Propagates I/O and serialization errors.
+pub fn write_jsonl<W: Write>(dataset: &Dataset, mut writer: W) -> Result<(), MobilityError> {
+    for record in dataset.iter_records() {
+        serde_json::to_writer(&mut writer, record)?;
+        writer.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Reads a dataset from JSON-lines, grouping records per user.
+///
+/// # Errors
+///
+/// Propagates I/O errors and fails on any malformed line.
+pub fn read_jsonl<R: Read>(reader: R) -> Result<Dataset, MobilityError> {
+    let buf = BufReader::new(reader);
+    let mut records = Vec::new();
+    for line in buf.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        records.push(serde_json::from_str::<LocationRecord>(&line)?);
+    }
+    Ok(Dataset::from_records(records))
+}
+
+/// Writes a dataset as CSV with a header line.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_csv<W: Write>(dataset: &Dataset, mut writer: W) -> Result<(), MobilityError> {
+    writeln!(writer, "user,timestamp,latitude,longitude")?;
+    for r in dataset.iter_records() {
+        writeln!(
+            writer,
+            "{},{},{:.7},{:.7}",
+            r.user.0,
+            r.time.seconds(),
+            r.point.latitude(),
+            r.point.longitude()
+        )?;
+    }
+    Ok(())
+}
+
+/// Reads a dataset from CSV produced by [`write_csv`] (header optional).
+///
+/// # Errors
+///
+/// Returns [`MobilityError::MalformedCsv`] with a 1-based line number on any
+/// malformed row.
+pub fn read_csv<R: Read>(reader: R) -> Result<Dataset, MobilityError> {
+    let buf = BufReader::new(reader);
+    let mut records = Vec::new();
+    for (idx, line) in buf.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || (idx == 0 && trimmed.starts_with("user")) {
+            continue;
+        }
+        let mut parts = trimmed.split(',');
+        let parse_err = |reason: &str| MobilityError::MalformedCsv {
+            line: idx + 1,
+            reason: reason.to_string(),
+        };
+        let user: u64 = parts
+            .next()
+            .ok_or_else(|| parse_err("missing user"))?
+            .trim()
+            .parse()
+            .map_err(|_| parse_err("bad user id"))?;
+        let ts: i64 = parts
+            .next()
+            .ok_or_else(|| parse_err("missing timestamp"))?
+            .trim()
+            .parse()
+            .map_err(|_| parse_err("bad timestamp"))?;
+        let lat: f64 = parts
+            .next()
+            .ok_or_else(|| parse_err("missing latitude"))?
+            .trim()
+            .parse()
+            .map_err(|_| parse_err("bad latitude"))?;
+        let lon: f64 = parts
+            .next()
+            .ok_or_else(|| parse_err("missing longitude"))?
+            .trim()
+            .parse()
+            .map_err(|_| parse_err("bad longitude"))?;
+        let point = GeoPoint::new(lat, lon).map_err(|e| MobilityError::MalformedCsv {
+            line: idx + 1,
+            reason: e.to_string(),
+        })?;
+        records.push(LocationRecord::new(UserId(user), Timestamp::new(ts), point));
+    }
+    Ok(Dataset::from_records(records))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Trajectory;
+
+    fn sample_dataset() -> Dataset {
+        let recs = vec![
+            LocationRecord::new(
+                UserId(1),
+                Timestamp::new(0),
+                GeoPoint::new(45.0, 4.0).unwrap(),
+            ),
+            LocationRecord::new(
+                UserId(1),
+                Timestamp::new(60),
+                GeoPoint::new(45.001, 4.001).unwrap(),
+            ),
+            LocationRecord::new(
+                UserId(2),
+                Timestamp::new(30),
+                GeoPoint::new(45.5, 4.5).unwrap(),
+            ),
+        ];
+        Dataset::from_records(recs)
+    }
+
+    #[test]
+    fn jsonl_roundtrip() {
+        let ds = sample_dataset();
+        let mut buf = Vec::new();
+        write_jsonl(&ds, &mut buf).unwrap();
+        let back = read_jsonl(buf.as_slice()).unwrap();
+        assert_eq!(back.record_count(), ds.record_count());
+        assert_eq!(back.user_count(), ds.user_count());
+        assert_eq!(back.records_of(UserId(1)), ds.records_of(UserId(1)));
+    }
+
+    #[test]
+    fn jsonl_skips_blank_lines() {
+        let ds = sample_dataset();
+        let mut buf = Vec::new();
+        write_jsonl(&ds, &mut buf).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        text.push_str("\n\n");
+        let back = read_jsonl(text.as_bytes()).unwrap();
+        assert_eq!(back.record_count(), 3);
+    }
+
+    #[test]
+    fn jsonl_rejects_garbage() {
+        let res = read_jsonl("not json\n".as_bytes());
+        assert!(matches!(res, Err(MobilityError::Serde(_))));
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let ds = sample_dataset();
+        let mut buf = Vec::new();
+        write_csv(&ds, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("user,timestamp,latitude,longitude"));
+        let back = read_csv(buf.as_slice()).unwrap();
+        assert_eq!(back.record_count(), 3);
+        assert_eq!(back.user_count(), 2);
+        // Positions survive the 7-decimal round trip to ~cm precision.
+        let orig = ds.records_of(UserId(2))[0].point;
+        let readback = back.records_of(UserId(2))[0].point;
+        assert!(orig.haversine_distance(&readback).get() < 0.05);
+    }
+
+    #[test]
+    fn csv_reports_line_numbers() {
+        let text = "user,timestamp,latitude,longitude\n1,0,45.0,4.0\n1,zzz,45.0,4.0\n";
+        match read_csv(text.as_bytes()) {
+            Err(MobilityError::MalformedCsv { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected MalformedCsv, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn csv_rejects_out_of_range_coordinates() {
+        let text = "1,0,95.0,4.0\n";
+        assert!(matches!(
+            read_csv(text.as_bytes()),
+            Err(MobilityError::MalformedCsv { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn empty_inputs_give_empty_datasets() {
+        assert_eq!(read_jsonl("".as_bytes()).unwrap().record_count(), 0);
+        assert_eq!(read_csv("".as_bytes()).unwrap().record_count(), 0);
+    }
+
+    #[test]
+    fn write_into_trajectory_order_independent() {
+        // Order of trajectories does not affect the parsed per-user data.
+        let t1 = Trajectory::new(
+            UserId(1),
+            vec![LocationRecord::new(
+                UserId(1),
+                Timestamp::new(0),
+                GeoPoint::new(45.0, 4.0).unwrap(),
+            )],
+        );
+        let t2 = Trajectory::new(
+            UserId(2),
+            vec![LocationRecord::new(
+                UserId(2),
+                Timestamp::new(0),
+                GeoPoint::new(46.0, 5.0).unwrap(),
+            )],
+        );
+        let mut buf1 = Vec::new();
+        write_jsonl(&Dataset::from_trajectories(vec![t1.clone(), t2.clone()]), &mut buf1).unwrap();
+        let mut buf2 = Vec::new();
+        write_jsonl(&Dataset::from_trajectories(vec![t2, t1]), &mut buf2).unwrap();
+        let a = read_jsonl(buf1.as_slice()).unwrap();
+        let b = read_jsonl(buf2.as_slice()).unwrap();
+        assert_eq!(a.records_of(UserId(1)), b.records_of(UserId(1)));
+        assert_eq!(a.records_of(UserId(2)), b.records_of(UserId(2)));
+    }
+}

@@ -1,0 +1,350 @@
+//! Points of interest: clustering stay points into the sensitive places the
+//! paper's mechanisms protect.
+//!
+//! "Points of interest […] are places where a user spends significant
+//! amounts of time like his home, his office, a cinema, etc. These places are
+//! highly sensitive because they convey rich semantic information." (paper,
+//! §3). POIs are obtained by clustering [`StayPoint`]s: repeated stays within
+//! `merge_distance` of each other collapse into one place.
+
+use crate::staypoint::StayPoint;
+use geo::{GeoPoint, Meters};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Semantic category of a POI, inferred from visit times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PoiKind {
+    /// Place with dominant overnight dwell.
+    Home,
+    /// Place with dominant weekday working-hours dwell.
+    Work,
+    /// Any other regularly visited place.
+    Other,
+}
+
+impl fmt::Display for PoiKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PoiKind::Home => write!(f, "home"),
+            PoiKind::Work => write!(f, "work"),
+            PoiKind::Other => write!(f, "other"),
+        }
+    }
+}
+
+/// A point of interest: a cluster of stay episodes at (roughly) one place.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Poi {
+    /// Mean position of the member stays.
+    pub centroid: GeoPoint,
+    /// Number of stay episodes merged into this POI.
+    pub visits: usize,
+    /// Total dwell time across all visits, in seconds.
+    pub total_dwell_s: i64,
+    /// Dwell time spent during night hours (22:00–06:00), in seconds.
+    pub night_dwell_s: i64,
+    /// Dwell time spent during weekday office hours (09:00–17:00), in seconds.
+    pub office_dwell_s: i64,
+    /// Inferred semantic category.
+    pub kind: PoiKind,
+}
+
+impl Poi {
+    /// Mean dwell per visit, in seconds.
+    pub fn mean_dwell_s(&self) -> i64 {
+        if self.visits == 0 {
+            0
+        } else {
+            self.total_dwell_s / self.visits as i64
+        }
+    }
+}
+
+/// Parameters of the POI clustering.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PoiConfig {
+    /// Two stays closer than this merge into the same POI.
+    pub merge_distance: Meters,
+    /// Minimum number of stay episodes for a cluster to become a POI.
+    pub min_visits: usize,
+}
+
+impl Default for PoiConfig {
+    fn default() -> Self {
+        Self {
+            merge_distance: Meters::new(250.0),
+            min_visits: 1,
+        }
+    }
+}
+
+/// Clusters stay points into POIs with greedy centroid clustering.
+///
+/// Stays are processed in chronological order; each joins the first existing
+/// cluster whose centroid is within `merge_distance`, otherwise it seeds a
+/// new cluster. Clusters with fewer than `min_visits` members are dropped.
+///
+/// # Example
+///
+/// ```
+/// use mobility::poi::{extract_pois, PoiConfig};
+/// use mobility::staypoint::StayPoint;
+/// use mobility::Timestamp;
+/// use geo::GeoPoint;
+///
+/// let home = GeoPoint::new(45.0, 4.0).unwrap();
+/// let stays = vec![
+///     StayPoint { centroid: home, arrival: Timestamp::new(0), departure: Timestamp::new(3600) },
+///     StayPoint { centroid: home, arrival: Timestamp::new(86_400), departure: Timestamp::new(90_000) },
+/// ];
+/// let pois = extract_pois(&stays, &PoiConfig::default());
+/// assert_eq!(pois.len(), 1);
+/// assert_eq!(pois[0].visits, 2);
+/// ```
+pub fn extract_pois(stays: &[StayPoint], config: &PoiConfig) -> Vec<Poi> {
+    struct Cluster {
+        lat_sum: f64,
+        lon_sum: f64,
+        members: Vec<StayPoint>,
+    }
+
+    impl Cluster {
+        fn centroid(&self) -> GeoPoint {
+            let n = self.members.len() as f64;
+            GeoPoint::clamped(self.lat_sum / n, self.lon_sum / n)
+        }
+    }
+
+    let mut clusters: Vec<Cluster> = Vec::new();
+    for stay in stays {
+        let mut joined = false;
+        for cluster in clusters.iter_mut() {
+            if cluster
+                .centroid()
+                .haversine_distance(&stay.centroid)
+                .get()
+                <= config.merge_distance.get()
+            {
+                cluster.lat_sum += stay.centroid.latitude();
+                cluster.lon_sum += stay.centroid.longitude();
+                cluster.members.push(*stay);
+                joined = true;
+                break;
+            }
+        }
+        if !joined {
+            clusters.push(Cluster {
+                lat_sum: stay.centroid.latitude(),
+                lon_sum: stay.centroid.longitude(),
+                members: vec![*stay],
+            });
+        }
+    }
+
+    let mut pois: Vec<Poi> = clusters
+        .into_iter()
+        .filter(|c| c.members.len() >= config.min_visits)
+        .map(|c| {
+            let centroid = c.centroid();
+            let visits = c.members.len();
+            let total: i64 = c.members.iter().map(|s| s.duration_s()).sum();
+            let night: i64 = c.members.iter().map(night_overlap_s).sum();
+            let office: i64 = c.members.iter().map(office_overlap_s).sum();
+            Poi {
+                centroid,
+                visits,
+                total_dwell_s: total,
+                night_dwell_s: night,
+                office_dwell_s: office,
+                kind: PoiKind::Other, // assigned below
+            }
+        })
+        .collect();
+
+    label_pois(&mut pois);
+    // Highest-dwell POIs first: deterministic, and attackers examine the
+    // strongest signals first.
+    pois.sort_by(|a, b| b.total_dwell_s.cmp(&a.total_dwell_s));
+    pois
+}
+
+/// Assigns Home/Work labels: the cluster with most night dwell becomes Home,
+/// the one with most weekday office-hours dwell (excluding Home) becomes
+/// Work. Everything else stays `Other`.
+fn label_pois(pois: &mut [Poi]) {
+    let home_idx = pois
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.night_dwell_s > 0)
+        .max_by_key(|(_, p)| p.night_dwell_s)
+        .map(|(i, _)| i);
+    if let Some(h) = home_idx {
+        pois[h].kind = PoiKind::Home;
+    }
+    let work_idx = pois
+        .iter()
+        .enumerate()
+        .filter(|(i, p)| Some(*i) != home_idx && p.office_dwell_s > 0)
+        .max_by_key(|(_, p)| p.office_dwell_s)
+        .map(|(i, _)| i);
+    if let Some(w) = work_idx {
+        pois[w].kind = PoiKind::Work;
+    }
+}
+
+/// Seconds of a stay overlapping night hours (22:00–06:00), day by day.
+fn night_overlap_s(stay: &StayPoint) -> i64 {
+    window_overlap_s(stay, 22, 30, false) // 22:00 → 06:00 next day
+}
+
+/// Seconds of a stay overlapping weekday office hours (09:00–17:00).
+fn office_overlap_s(stay: &StayPoint) -> i64 {
+    window_overlap_s(stay, 9, 17, true)
+}
+
+/// Overlap between `[stay.arrival, stay.departure]` and the daily window
+/// `[start_h, end_h)`; `end_h` may exceed 24 to denote wrap past midnight.
+/// When `weekdays_only`, weekend days contribute nothing.
+fn window_overlap_s(stay: &StayPoint, start_h: i64, end_h: i64, weekdays_only: bool) -> i64 {
+    use crate::time::{Timestamp, DAY_SECONDS, HOUR_SECONDS};
+    let mut total = 0;
+    let first_day = stay.arrival.day_index() - 1; // window may start previous day
+    let last_day = stay.departure.day_index();
+    for day in first_day..=last_day {
+        if weekdays_only {
+            let wd = Timestamp::new(day * DAY_SECONDS).weekday();
+            if wd >= 5 {
+                continue;
+            }
+        }
+        let win_start = day * DAY_SECONDS + start_h * HOUR_SECONDS;
+        let win_end = day * DAY_SECONDS + end_h * HOUR_SECONDS;
+        let lo = stay.arrival.seconds().max(win_start);
+        let hi = stay.departure.seconds().min(win_end);
+        if hi > lo {
+            total += hi - lo;
+        }
+    }
+    total
+}
+
+/// Returns the POI labelled `Home`, if any.
+pub fn home_of(pois: &[Poi]) -> Option<&Poi> {
+    pois.iter().find(|p| p.kind == PoiKind::Home)
+}
+
+/// Returns the POI labelled `Work`, if any.
+pub fn work_of(pois: &[Poi]) -> Option<&Poi> {
+    pois.iter().find(|p| p.kind == PoiKind::Work)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Timestamp;
+
+    fn stay(lat: f64, lon: f64, from: i64, to: i64) -> StayPoint {
+        StayPoint {
+            centroid: GeoPoint::new(lat, lon).unwrap(),
+            arrival: Timestamp::new(from),
+            departure: Timestamp::new(to),
+        }
+    }
+
+    #[test]
+    fn empty_input_no_pois() {
+        assert!(extract_pois(&[], &PoiConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn repeated_stays_merge() {
+        let stays = vec![
+            stay(45.0, 4.0, 0, 3_600),
+            stay(45.0005, 4.0, 86_400, 90_000), // ~55 m away: same place
+            stay(45.1, 4.1, 172_800, 176_400),  // far away: new place
+        ];
+        let pois = extract_pois(&stays, &PoiConfig::default());
+        assert_eq!(pois.len(), 2);
+        let merged = pois.iter().find(|p| p.visits == 2).unwrap();
+        assert_eq!(merged.total_dwell_s, 3_600 + 3_600);
+    }
+
+    #[test]
+    fn min_visits_filters_one_off_stays() {
+        let stays = vec![
+            stay(45.0, 4.0, 0, 3_600),
+            stay(45.0, 4.0, 86_400, 90_000),
+            stay(45.2, 4.2, 10_000, 13_600), // visited once
+        ];
+        let cfg = PoiConfig {
+            min_visits: 2,
+            ..PoiConfig::default()
+        };
+        let pois = extract_pois(&stays, &cfg);
+        assert_eq!(pois.len(), 1);
+        assert_eq!(pois[0].visits, 2);
+    }
+
+    #[test]
+    fn home_label_from_night_dwell() {
+        // Overnight stay 22:00 day0 → 07:00 day1 at home; office stay 9-17 at work.
+        let home = stay(45.0, 4.0, 22 * 3_600, 31 * 3_600);
+        let work = stay(45.05, 4.05, 86_400 + 9 * 3_600, 86_400 + 17 * 3_600);
+        let pois = extract_pois(&[home, work], &PoiConfig::default());
+        assert_eq!(pois.len(), 2);
+        let h = home_of(&pois).expect("home labelled");
+        assert!((h.centroid.latitude() - 45.0).abs() < 1e-6);
+        let w = work_of(&pois).expect("work labelled");
+        assert!((w.centroid.latitude() - 45.05).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weekend_office_hours_not_counted_as_work() {
+        // Day 5 = Saturday. A 9-17 stay on Saturday has zero office dwell.
+        let sat = 5 * 86_400;
+        let s = stay(45.0, 4.0, sat + 9 * 3_600, sat + 17 * 3_600);
+        assert_eq!(office_overlap_s(&s), 0);
+        // Same hours on Monday count fully.
+        let mon = stay(45.0, 4.0, 9 * 3_600, 17 * 3_600);
+        assert_eq!(office_overlap_s(&mon), 8 * 3_600);
+    }
+
+    #[test]
+    fn night_overlap_spans_midnight() {
+        // 23:00 → 01:00 is 2 h of night.
+        let s = stay(45.0, 4.0, 23 * 3_600, 25 * 3_600);
+        assert_eq!(night_overlap_s(&s), 2 * 3_600);
+        // 20:00 → 21:00 has no night overlap.
+        let s2 = stay(45.0, 4.0, 20 * 3_600, 21 * 3_600);
+        assert_eq!(night_overlap_s(&s2), 0);
+        // Early morning 04:00 → 07:00 overlaps 2 h (04:00–06:00) of the
+        // window that started the previous evening.
+        let s3 = stay(45.0, 4.0, 4 * 3_600, 7 * 3_600);
+        assert_eq!(night_overlap_s(&s3), 2 * 3_600);
+    }
+
+    #[test]
+    fn pois_sorted_by_dwell() {
+        let stays = vec![
+            stay(45.0, 4.0, 0, 1_000),
+            stay(45.1, 4.1, 2_000, 30_000),
+        ];
+        let pois = extract_pois(&stays, &PoiConfig::default());
+        assert!(pois[0].total_dwell_s >= pois[1].total_dwell_s);
+    }
+
+    #[test]
+    fn mean_dwell() {
+        let stays = vec![stay(45.0, 4.0, 0, 1_000), stay(45.0, 4.0, 5_000, 7_000)];
+        let pois = extract_pois(&stays, &PoiConfig::default());
+        assert_eq!(pois[0].mean_dwell_s(), 1_500);
+    }
+
+    #[test]
+    fn poi_kind_display() {
+        assert_eq!(PoiKind::Home.to_string(), "home");
+        assert_eq!(PoiKind::Work.to_string(), "work");
+        assert_eq!(PoiKind::Other.to_string(), "other");
+    }
+}

@@ -1,0 +1,199 @@
+//! Timestamps for mobility records.
+//!
+//! Mobility analyses care about *time-of-day* and *day boundaries* much more
+//! than calendar dates, so [`Timestamp`] is a plain count of seconds since an
+//! arbitrary epoch (day 0, 00:00). Weekdays are derived cyclically, with day
+//! 0 being a Monday.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// Number of seconds in one minute.
+pub const MINUTE_SECONDS: i64 = 60;
+/// Number of seconds in one hour.
+pub const HOUR_SECONDS: i64 = 3_600;
+/// Number of seconds in one day.
+pub const DAY_SECONDS: i64 = 86_400;
+
+/// A point in simulated time: seconds since epoch (day 0 at midnight).
+///
+/// # Example
+///
+/// ```
+/// use mobility::Timestamp;
+///
+/// let t = Timestamp::from_day_time(2, 8, 30, 0); // day 2, 08:30:00
+/// assert_eq!(t.day_index(), 2);
+/// assert_eq!(t.hour_of_day(), 8);
+/// assert_eq!(t.weekday(), 2); // Wednesday (day 0 = Monday)
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Timestamp(pub i64);
+
+impl Timestamp {
+    /// Creates a timestamp from raw seconds since epoch.
+    pub const fn new(seconds: i64) -> Self {
+        Self(seconds)
+    }
+
+    /// Creates a timestamp from a day index and a wall-clock time.
+    pub const fn from_day_time(day: i64, hour: i64, minute: i64, second: i64) -> Self {
+        Self(day * DAY_SECONDS + hour * HOUR_SECONDS + minute * MINUTE_SECONDS + second)
+    }
+
+    /// Seconds since epoch.
+    pub const fn seconds(self) -> i64 {
+        self.0
+    }
+
+    /// The day this timestamp falls in (floor division, so negative
+    /// timestamps land in negative days).
+    pub const fn day_index(self) -> i64 {
+        self.0.div_euclid(DAY_SECONDS)
+    }
+
+    /// Seconds elapsed since the start of the day, in `[0, 86400)`.
+    pub const fn seconds_of_day(self) -> i64 {
+        self.0.rem_euclid(DAY_SECONDS)
+    }
+
+    /// Hour of the day in `[0, 24)`.
+    pub const fn hour_of_day(self) -> i64 {
+        self.seconds_of_day() / HOUR_SECONDS
+    }
+
+    /// Day of week in `[0, 7)`; day 0 of the epoch is a Monday.
+    pub const fn weekday(self) -> i64 {
+        self.day_index().rem_euclid(7)
+    }
+
+    /// Whether this timestamp falls on a Saturday or Sunday.
+    pub const fn is_weekend(self) -> bool {
+        self.weekday() >= 5
+    }
+
+    /// Whether the time of day falls in the night window `[22:00, 06:00)`.
+    pub const fn is_night(self) -> bool {
+        let h = self.hour_of_day();
+        h >= 22 || h < 6
+    }
+
+    /// Index of the hour slot since epoch (used by traffic matrices).
+    pub const fn hour_slot(self) -> i64 {
+        self.0.div_euclid(HOUR_SECONDS)
+    }
+
+    /// Timestamp at the start of this timestamp's day.
+    pub const fn start_of_day(self) -> Timestamp {
+        Timestamp(self.day_index() * DAY_SECONDS)
+    }
+}
+
+impl Add<i64> for Timestamp {
+    type Output = Timestamp;
+    /// Adds a number of seconds.
+    fn add(self, seconds: i64) -> Timestamp {
+        Timestamp(self.0 + seconds)
+    }
+}
+
+impl Sub<i64> for Timestamp {
+    type Output = Timestamp;
+    /// Subtracts a number of seconds.
+    fn sub(self, seconds: i64) -> Timestamp {
+        Timestamp(self.0 - seconds)
+    }
+}
+
+impl Sub for Timestamp {
+    type Output = i64;
+    /// Difference between two timestamps, in seconds.
+    fn sub(self, other: Timestamp) -> i64 {
+        self.0 - other.0
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.seconds_of_day();
+        write!(
+            f,
+            "d{} {:02}:{:02}:{:02}",
+            self.day_index(),
+            s / HOUR_SECONDS,
+            (s % HOUR_SECONDS) / MINUTE_SECONDS,
+            s % MINUTE_SECONDS
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn day_time_construction() {
+        let t = Timestamp::from_day_time(3, 14, 45, 30);
+        assert_eq!(t.seconds(), 3 * DAY_SECONDS + 14 * 3600 + 45 * 60 + 30);
+        assert_eq!(t.day_index(), 3);
+        assert_eq!(t.hour_of_day(), 14);
+        assert_eq!(t.seconds_of_day(), 14 * 3600 + 45 * 60 + 30);
+    }
+
+    #[test]
+    fn weekday_cycles() {
+        assert_eq!(Timestamp::from_day_time(0, 12, 0, 0).weekday(), 0);
+        assert_eq!(Timestamp::from_day_time(5, 12, 0, 0).weekday(), 5);
+        assert!(Timestamp::from_day_time(5, 12, 0, 0).is_weekend());
+        assert!(Timestamp::from_day_time(6, 12, 0, 0).is_weekend());
+        assert!(!Timestamp::from_day_time(7, 12, 0, 0).is_weekend());
+        assert_eq!(Timestamp::from_day_time(7, 12, 0, 0).weekday(), 0);
+    }
+
+    #[test]
+    fn night_window() {
+        assert!(Timestamp::from_day_time(0, 23, 0, 0).is_night());
+        assert!(Timestamp::from_day_time(0, 2, 0, 0).is_night());
+        assert!(!Timestamp::from_day_time(0, 6, 0, 0).is_night());
+        assert!(!Timestamp::from_day_time(0, 12, 0, 0).is_night());
+        assert!(Timestamp::from_day_time(0, 22, 0, 0).is_night());
+    }
+
+    #[test]
+    fn negative_timestamps_floor_correctly() {
+        let t = Timestamp::new(-1);
+        assert_eq!(t.day_index(), -1);
+        assert_eq!(t.seconds_of_day(), DAY_SECONDS - 1);
+        assert_eq!(t.weekday(), 6);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = Timestamp::from_day_time(1, 0, 0, 0);
+        assert_eq!((t + 60).seconds(), DAY_SECONDS + 60);
+        assert_eq!((t - 60).seconds(), DAY_SECONDS - 60);
+        assert_eq!(t + 60 - t, 60);
+    }
+
+    #[test]
+    fn display_format() {
+        let t = Timestamp::from_day_time(2, 8, 5, 9);
+        assert_eq!(t.to_string(), "d2 08:05:09");
+    }
+
+    #[test]
+    fn hour_slot_advances_hourly() {
+        let t0 = Timestamp::from_day_time(0, 10, 59, 59);
+        let t1 = Timestamp::from_day_time(0, 11, 0, 0);
+        assert_eq!(t0.hour_slot() + 1, t1.hour_slot());
+    }
+
+    #[test]
+    fn start_of_day() {
+        let t = Timestamp::from_day_time(4, 13, 37, 21);
+        assert_eq!(t.start_of_day(), Timestamp::from_day_time(4, 0, 0, 0));
+    }
+}

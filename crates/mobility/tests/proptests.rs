@@ -1,0 +1,154 @@
+//! Property-based tests of the mobility substrate.
+
+use geo::GeoPoint;
+use mobility::io;
+use mobility::staypoint::{detect, StayPointConfig};
+use mobility::{Dataset, LocationRecord, Timestamp, Trajectory, UserId};
+use proptest::prelude::*;
+
+fn record() -> impl Strategy<Value = LocationRecord> {
+    (0u64..5, 0i64..200_000, 45.0..46.0f64, 4.0..5.0f64).prop_map(|(u, t, la, lo)| {
+        LocationRecord::new(
+            UserId(u),
+            Timestamp::new(t),
+            GeoPoint::new(la, lo).unwrap(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn trajectory_new_always_sorted(records in prop::collection::vec(record(), 0..50)) {
+        let t = Trajectory::new(UserId(1), records);
+        for w in t.records().windows(2) {
+            prop_assert!(w[0].time <= w[1].time);
+        }
+        // Every remaining record belongs to the owner.
+        for r in t.records() {
+            prop_assert_eq!(r.user, UserId(1));
+        }
+    }
+
+    #[test]
+    fn duration_is_nonnegative_and_consistent(records in prop::collection::vec(record(), 0..50)) {
+        let t = Trajectory::new(UserId(2), records);
+        prop_assert!(t.duration_s() >= 0);
+        if t.len() >= 2 {
+            prop_assert_eq!(
+                t.duration_s(),
+                t.end_time().unwrap() - t.start_time().unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn position_at_always_inside_bbox(
+        records in prop::collection::vec(record(), 1..50),
+        query_t in -10_000i64..300_000,
+    ) {
+        let t = Trajectory::new(UserId(3), records);
+        if t.is_empty() { return Ok(()); }
+        let p = t.position_at(Timestamp::new(query_t)).unwrap();
+        let bbox = geo::BoundingBox::from_points(
+            t.records().iter().map(|r| &r.point).collect::<Vec<_>>().into_iter()
+        ).unwrap();
+        prop_assert!(bbox.expanded(1e-9).contains(&p));
+    }
+
+    #[test]
+    fn split_by_gap_preserves_records(
+        records in prop::collection::vec(record(), 0..50),
+        gap in 1i64..10_000,
+    ) {
+        let t = Trajectory::new(UserId(1), records);
+        let parts = t.split_by_gap(gap);
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        prop_assert_eq!(total, t.len());
+        // No part contains an internal gap larger than the threshold.
+        for part in &parts {
+            for w in part.records().windows(2) {
+                prop_assert!(w[1].time - w[0].time <= gap);
+            }
+        }
+    }
+
+    #[test]
+    fn stay_points_meet_both_thresholds(records in prop::collection::vec(record(), 0..60)) {
+        let t = Trajectory::new(UserId(1), records);
+        let cfg = StayPointConfig::default();
+        for stay in detect(&t, &cfg) {
+            prop_assert!(stay.duration_s() >= cfg.time_threshold_s);
+            prop_assert!(stay.departure >= stay.arrival);
+        }
+    }
+
+    #[test]
+    fn jsonl_roundtrip_any_dataset(records in prop::collection::vec(record(), 0..60)) {
+        let ds = Dataset::from_records(records);
+        let mut buf = Vec::new();
+        io::write_jsonl(&ds, &mut buf).unwrap();
+        let back = io::read_jsonl(buf.as_slice()).unwrap();
+        prop_assert_eq!(back.record_count(), ds.record_count());
+        prop_assert_eq!(back.user_count(), ds.user_count());
+        for user in ds.users() {
+            for (a, b) in ds.records_of(user).iter().zip(back.records_of(user)) {
+                prop_assert_eq!(a.user, b.user);
+                prop_assert_eq!(a.time, b.time);
+                // The JSON float parser may lose the last ulp
+                // (sub-micrometre); positions must agree to < 1 µm.
+                prop_assert!(a.point.haversine_distance(&b.point).get() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn csv_roundtrip_positions_within_centimetres(records in prop::collection::vec(record(), 0..40)) {
+        let ds = Dataset::from_records(records);
+        let mut buf = Vec::new();
+        io::write_csv(&ds, &mut buf).unwrap();
+        let back = io::read_csv(buf.as_slice()).unwrap();
+        prop_assert_eq!(back.record_count(), ds.record_count());
+        for user in ds.users() {
+            for (a, b) in ds.records_of(user).iter().zip(back.records_of(user)) {
+                prop_assert_eq!(a.time, b.time);
+                prop_assert!(a.point.haversine_distance(&b.point).get() < 0.05);
+            }
+        }
+    }
+
+    #[test]
+    fn timestamp_decomposition_is_consistent(s in -1_000_000i64..1_000_000) {
+        let t = Timestamp::new(s);
+        prop_assert_eq!(t.day_index() * 86_400 + t.seconds_of_day(), s);
+        prop_assert!((0..24).contains(&t.hour_of_day()));
+        prop_assert!((0..7).contains(&t.weekday()));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The generator never produces records outside the city bounds, and is
+    /// stable under repeated invocation.
+    #[test]
+    fn generator_bounds_and_determinism(seed in 0u64..50) {
+        use mobility::gen::{CityModel, PopulationConfig};
+        let config = PopulationConfig {
+            users: 2,
+            days: 1,
+            sampling_interval_s: 600,
+            ..PopulationConfig::default()
+        };
+        let city = CityModel::builder().seed(seed).build();
+        let a = city.generate_population(&config);
+        let b = city.generate_population(&config);
+        prop_assert_eq!(&a, &b);
+        let center = city.center();
+        for r in a.iter_records() {
+            let d = center.haversine_distance(&r.point).get();
+            prop_assert!(d < city.radius().get() * 1.2 + 500.0, "record {d} m out");
+        }
+    }
+}

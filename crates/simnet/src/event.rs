@@ -1,0 +1,200 @@
+//! Virtual time and the simulator's event queue.
+
+use crate::message::Message;
+use crate::sim::NodeId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::ops::Add;
+
+/// A point in simulated time, in milliseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Simulation start.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates a time from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Self(ms)
+    }
+
+    /// Creates a time from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        Self(s * 1_000)
+    }
+
+    /// Milliseconds since simulation start.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since simulation start (fractional).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Saturating difference between two times, in milliseconds.
+    pub fn saturating_since(self, earlier: SimTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+    /// Advances the time by a number of milliseconds.
+    fn add(self, ms: u64) -> SimTime {
+        SimTime(self.0 + ms)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{:03}s", self.0 / 1_000, self.0 % 1_000)
+    }
+}
+
+/// What happens when an event fires.
+#[derive(Debug)]
+pub(crate) enum EventKind {
+    /// Deliver a message to a node.
+    Deliver {
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+        /// The message.
+        message: Message,
+    },
+    /// Fire a timer on a node.
+    Timer {
+        /// The node owning the timer.
+        node: NodeId,
+        /// Application-chosen timer identifier.
+        timer_id: u64,
+    },
+}
+
+/// A scheduled event. Ordered by `(time, seq)` so that simultaneous events
+/// fire in scheduling order — which keeps runs fully deterministic.
+#[derive(Debug)]
+pub(crate) struct ScheduledEvent {
+    pub time: SimTime,
+    pub seq: u64,
+    pub kind: EventKind,
+}
+
+impl PartialEq for ScheduledEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl Eq for ScheduledEvent {}
+
+impl PartialOrd for ScheduledEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ScheduledEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap but we need earliest-first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Earliest-first event queue with a deterministic tie-break.
+#[derive(Debug, Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<ScheduledEvent>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent { time, seq, kind });
+    }
+
+    pub fn pop(&mut self) -> Option<ScheduledEvent> {
+        self.heap.pop()
+    }
+
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    #[cfg(test)]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timer(node: u64) -> EventKind {
+        EventKind::Timer {
+            node: NodeId(node as u32),
+            timer_id: 0,
+        }
+    }
+
+    #[test]
+    fn sim_time_arithmetic_and_display() {
+        let t = SimTime::from_secs(2) + 250;
+        assert_eq!(t.as_millis(), 2_250);
+        assert_eq!(t.to_string(), "2.250s");
+        assert!((t.as_secs_f64() - 2.25).abs() < 1e-12);
+        assert_eq!(t.saturating_since(SimTime::from_millis(3_000)), 0);
+        assert_eq!(t.saturating_since(SimTime::from_millis(1_000)), 1_250);
+    }
+
+    #[test]
+    fn queue_pops_earliest_first() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(300), timer(1));
+        q.push(SimTime::from_millis(100), timer(2));
+        q.push(SimTime::from_millis(200), timer(3));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.time.as_millis())
+            .collect();
+        assert_eq!(order, vec![100, 200, 300]);
+    }
+
+    #[test]
+    fn ties_break_by_scheduling_order() {
+        let mut q = EventQueue::new();
+        for i in 0..10u64 {
+            q.push(SimTime::from_millis(50), timer(i));
+        }
+        let seqs: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.seq).collect();
+        assert_eq!(seqs, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_millis(7), timer(1));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(7)));
+    }
+}

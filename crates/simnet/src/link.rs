@@ -1,0 +1,181 @@
+//! Link models: latency, jitter, loss and bandwidth.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The quality model of a (directed) network link.
+///
+/// Delivery delay is `latency ± U(0, jitter)` plus serialization time at the
+/// configured bandwidth; each message is independently dropped with
+/// probability `loss`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkModel {
+    /// Base one-way latency, in milliseconds.
+    pub latency_ms: u64,
+    /// Maximum uniform jitter added to the latency, in milliseconds.
+    pub jitter_ms: u64,
+    /// Independent drop probability in `[0, 1]`.
+    pub loss: f64,
+    /// Link bandwidth in kilobits per second; `0` means infinite.
+    pub bandwidth_kbps: u64,
+}
+
+impl LinkModel {
+    /// A perfect link: zero latency, no jitter, no loss, infinite bandwidth.
+    pub fn perfect() -> Self {
+        Self {
+            latency_ms: 0,
+            jitter_ms: 0,
+            loss: 0.0,
+            bandwidth_kbps: 0,
+        }
+    }
+
+    /// A local-area link: 1 ms ± 1 ms, lossless.
+    pub fn lan() -> Self {
+        Self {
+            latency_ms: 1,
+            jitter_ms: 1,
+            loss: 0.0,
+            bandwidth_kbps: 0,
+        }
+    }
+
+    /// A wide-area link: 40 ms ± 20 ms, 0.1 % loss.
+    pub fn wan() -> Self {
+        Self {
+            latency_ms: 40,
+            jitter_ms: 20,
+            loss: 0.001,
+            bandwidth_kbps: 0,
+        }
+    }
+
+    /// A 3G-class mobile link: 80 ms ± 60 ms, 1 % loss, 2 Mbit/s.
+    ///
+    /// This is the default device↔Hive model in experiment E4: the paper's
+    /// population is smartphone-based.
+    pub fn mobile() -> Self {
+        Self {
+            latency_ms: 80,
+            jitter_ms: 60,
+            loss: 0.01,
+            bandwidth_kbps: 2_000,
+        }
+    }
+
+    /// Returns a copy with the loss probability replaced.
+    pub fn with_loss(mut self, loss: f64) -> Self {
+        self.loss = loss.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Returns a copy with the base latency replaced.
+    pub fn with_latency_ms(mut self, latency_ms: u64) -> Self {
+        self.latency_ms = latency_ms;
+        self
+    }
+
+    /// Samples the delivery delay for a message of `size_bytes`, or `None`
+    /// if the message is dropped.
+    pub fn sample_delay(&self, size_bytes: usize, rng: &mut StdRng) -> Option<u64> {
+        if self.loss > 0.0 && rng.gen_bool(self.loss.clamp(0.0, 1.0)) {
+            return None;
+        }
+        let jitter = if self.jitter_ms > 0 {
+            rng.gen_range(0..=self.jitter_ms)
+        } else {
+            0
+        };
+        let serialization_ms = if self.bandwidth_kbps > 0 {
+            // bits / (kbit/s) = ms
+            (size_bytes as u64 * 8).div_euclid(self.bandwidth_kbps).max(1)
+        } else {
+            0
+        };
+        Some(self.latency_ms + jitter + serialization_ms)
+    }
+}
+
+impl Default for LinkModel {
+    /// Defaults to [`LinkModel::lan`].
+    fn default() -> Self {
+        Self::lan()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn perfect_link_is_instant_and_lossless() {
+        let mut r = rng();
+        let link = LinkModel::perfect();
+        for _ in 0..100 {
+            assert_eq!(link.sample_delay(1_000, &mut r), Some(0));
+        }
+    }
+
+    #[test]
+    fn latency_and_jitter_bounds() {
+        let mut r = rng();
+        let link = LinkModel {
+            latency_ms: 50,
+            jitter_ms: 10,
+            loss: 0.0,
+            bandwidth_kbps: 0,
+        };
+        for _ in 0..200 {
+            let d = link.sample_delay(100, &mut r).unwrap();
+            assert!((50..=60).contains(&d), "delay {d}");
+        }
+    }
+
+    #[test]
+    fn full_loss_drops_everything() {
+        let mut r = rng();
+        let link = LinkModel::lan().with_loss(1.0);
+        for _ in 0..50 {
+            assert_eq!(link.sample_delay(10, &mut r), None);
+        }
+    }
+
+    #[test]
+    fn partial_loss_is_roughly_calibrated() {
+        let mut r = rng();
+        let link = LinkModel::perfect().with_loss(0.2);
+        let dropped = (0..5_000)
+            .filter(|_| link.sample_delay(10, &mut r).is_none())
+            .count();
+        let rate = dropped as f64 / 5_000.0;
+        assert!((rate - 0.2).abs() < 0.03, "observed loss {rate}");
+    }
+
+    #[test]
+    fn bandwidth_adds_serialization_delay() {
+        let mut r = rng();
+        // 8 kbit at 8 kbit/s = 1000 ms.
+        let link = LinkModel {
+            latency_ms: 0,
+            jitter_ms: 0,
+            loss: 0.0,
+            bandwidth_kbps: 8,
+        };
+        assert_eq!(link.sample_delay(1_000, &mut r), Some(1_000));
+        // Small messages still pay at least 1 ms.
+        assert_eq!(link.sample_delay(1, &mut r), Some(1));
+    }
+
+    #[test]
+    fn with_builders_clamp() {
+        let l = LinkModel::wan().with_loss(7.0);
+        assert_eq!(l.loss, 1.0);
+        assert_eq!(l.with_latency_ms(5).latency_ms, 5);
+    }
+}

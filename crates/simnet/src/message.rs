@@ -1,0 +1,116 @@
+//! The message envelope shared by the simulated and real transports.
+
+use bytes::Bytes;
+use std::fmt;
+
+/// A network message: an application-defined kind, an optional RPC
+/// correlation id, and an opaque payload.
+///
+/// `request_id == 0` denotes a one-way event; RPC requests and their
+/// responses carry the same non-zero id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Application-defined message kind (dispatch tag).
+    pub kind: u16,
+    /// RPC correlation id; `0` for fire-and-forget events.
+    pub request_id: u64,
+    /// Serialized payload (see [`crate::wire`]).
+    pub payload: Bytes,
+}
+
+impl Message {
+    /// Creates a fire-and-forget event message.
+    pub fn event(kind: u16, payload: Vec<u8>) -> Self {
+        Self {
+            kind,
+            request_id: 0,
+            payload: Bytes::from(payload),
+        }
+    }
+
+    /// Creates an RPC request with a non-zero correlation id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `request_id` is zero (reserved for events).
+    pub fn request(kind: u16, request_id: u64, payload: Vec<u8>) -> Self {
+        assert!(request_id != 0, "request_id 0 is reserved for events");
+        Self {
+            kind,
+            request_id,
+            payload: Bytes::from(payload),
+        }
+    }
+
+    /// Creates the response to a request, echoing its correlation id.
+    pub fn response_to(request: &Message, kind: u16, payload: Vec<u8>) -> Self {
+        Self {
+            kind,
+            request_id: request.request_id,
+            payload: Bytes::from(payload),
+        }
+    }
+
+    /// Whether this message is an RPC request/response (vs. an event).
+    pub fn is_rpc(&self) -> bool {
+        self.request_id != 0
+    }
+
+    /// Total size on the wire, in bytes (header + payload).
+    pub fn wire_size(&self) -> usize {
+        // 4-byte length prefix + 2-byte kind + 8-byte request id + payload.
+        4 + 2 + 8 + self.payload.len()
+    }
+}
+
+impl fmt::Display for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "msg(kind={}, rid={}, {}B)",
+            self.kind,
+            self.request_id,
+            self.payload.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_has_zero_request_id() {
+        let m = Message::event(3, vec![1, 2, 3]);
+        assert!(!m.is_rpc());
+        assert_eq!(m.kind, 3);
+        assert_eq!(m.payload.as_ref(), &[1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn request_rejects_zero_id() {
+        let _ = Message::request(1, 0, vec![]);
+    }
+
+    #[test]
+    fn response_echoes_correlation_id() {
+        let req = Message::request(1, 42, vec![]);
+        let resp = Message::response_to(&req, 2, vec![9]);
+        assert_eq!(resp.request_id, 42);
+        assert_eq!(resp.kind, 2);
+        assert!(resp.is_rpc());
+    }
+
+    #[test]
+    fn wire_size_accounts_for_header() {
+        let m = Message::event(1, vec![0; 100]);
+        assert_eq!(m.wire_size(), 114);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let m = Message::request(7, 9, vec![0; 5]);
+        assert_eq!(m.to_string(), "msg(kind=7, rid=9, 5B)");
+    }
+}

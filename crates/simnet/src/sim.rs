@@ -1,0 +1,521 @@
+//! The actor-style discrete-event simulation driver.
+
+use crate::event::{EventKind, EventQueue, SimTime};
+use crate::link::LinkModel;
+use crate::message::Message;
+use crate::stats::NetworkStats;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a node in the simulated network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node-{}", self.0)
+    }
+}
+
+/// Behaviour of a simulated node.
+///
+/// Actors react to messages and timers through a [`Context`] that lets them
+/// send messages and arm timers; they never block. The [`std::any::Any`]
+/// supertrait lets test and experiment harnesses downcast actors back to
+/// their concrete type after a run (see [`Simulation::actor_as`]).
+pub trait Actor: std::any::Any {
+    /// Called when a message is delivered to this node.
+    fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: Message);
+
+    /// Called when a timer armed via [`Context::set_timer`] fires.
+    fn on_timer(&mut self, ctx: &mut Context<'_>, timer_id: u64) {
+        let _ = (ctx, timer_id);
+    }
+}
+
+/// Deferred side effects an actor requests during a callback.
+#[derive(Debug)]
+enum Action {
+    Send { to: NodeId, msg: Message },
+    Timer { delay_ms: u64, timer_id: u64 },
+}
+
+/// Execution context handed to actors during callbacks.
+#[derive(Debug)]
+pub struct Context<'a> {
+    now: SimTime,
+    self_id: NodeId,
+    actions: &'a mut Vec<Action>,
+}
+
+impl Context<'_> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The node this callback runs on.
+    pub fn self_id(&self) -> NodeId {
+        self.self_id
+    }
+
+    /// Sends `msg` to `to` (scheduled when the callback returns).
+    pub fn send(&mut self, to: NodeId, msg: Message) {
+        self.actions.push(Action::Send { to, msg });
+    }
+
+    /// Arms a timer that fires on this node after `delay_ms` milliseconds.
+    pub fn set_timer(&mut self, delay_ms: u64, timer_id: u64) {
+        self.actions.push(Action::Timer { delay_ms, timer_id });
+    }
+}
+
+struct NodeSlot {
+    name: String,
+    actor: Option<Box<dyn Actor>>,
+}
+
+/// A deterministic discrete-event network simulation.
+///
+/// Nodes are [`Actor`]s; links between them follow [`LinkModel`]s. Runs with
+/// the same seed, topology and inputs replay identically.
+pub struct Simulation {
+    clock: SimTime,
+    queue: EventQueue,
+    nodes: Vec<NodeSlot>,
+    links: HashMap<(NodeId, NodeId), LinkModel>,
+    default_link: LinkModel,
+    rng: StdRng,
+    stats: NetworkStats,
+    inflight: Vec<Action>,
+}
+
+impl fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulation")
+            .field("clock", &self.clock)
+            .field("nodes", &self.nodes.len())
+            .field("pending_events", &self.queue.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Simulation {
+    /// Creates a simulation with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            clock: SimTime::ZERO,
+            queue: EventQueue::new(),
+            nodes: Vec::new(),
+            links: HashMap::new(),
+            default_link: LinkModel::perfect(),
+            rng: StdRng::seed_from_u64(seed),
+            stats: NetworkStats::default(),
+            inflight: Vec::new(),
+        }
+    }
+
+    /// Registers a node with its behaviour; returns its id.
+    pub fn add_node(&mut self, name: &str, actor: Box<dyn Actor>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeSlot {
+            name: name.to_string(),
+            actor: Some(actor),
+        });
+        id
+    }
+
+    /// Human-readable name of a node.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.nodes[id.0 as usize].name
+    }
+
+    /// Number of registered nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Sets the link model used when no per-pair link is configured.
+    pub fn set_default_link(&mut self, link: LinkModel) {
+        self.default_link = link;
+    }
+
+    /// Sets the link model for the directed pair `from → to`.
+    pub fn set_link(&mut self, from: NodeId, to: NodeId, link: LinkModel) {
+        self.links.insert((from, to), link);
+    }
+
+    /// Sets the link model in both directions between two nodes.
+    pub fn set_link_bidirectional(&mut self, a: NodeId, b: NodeId, link: LinkModel) {
+        self.links.insert((a, b), link);
+        self.links.insert((b, a), link);
+    }
+
+    fn link_for(&self, from: NodeId, to: NodeId) -> LinkModel {
+        self.links
+            .get(&(from, to))
+            .copied()
+            .unwrap_or(self.default_link)
+    }
+
+    /// Injects a message from `from` to `to` at the current time (external
+    /// stimulus, e.g. a Honeycomb uploading a task).
+    pub fn post(&mut self, from: NodeId, to: NodeId, msg: Message) {
+        self.stats.sent += 1;
+        self.stats.bytes_sent += msg.wire_size() as u64;
+        let link = self.link_for(from, to);
+        match link.sample_delay(msg.wire_size(), &mut self.rng) {
+            Some(delay) => self.queue.push(
+                self.clock + delay,
+                EventKind::Deliver {
+                    from,
+                    to,
+                    message: msg,
+                },
+            ),
+            None => self.stats.dropped += 1,
+        }
+    }
+
+    /// Arms a timer on `node` after `delay_ms` (external stimulus).
+    pub fn post_timer(&mut self, node: NodeId, delay_ms: u64, timer_id: u64) {
+        self.queue
+            .push(self.clock + delay_ms, EventKind::Timer { node, timer_id });
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Traffic statistics so far.
+    pub fn stats(&self) -> NetworkStats {
+        self.stats
+    }
+
+    /// Number of pending events.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Processes the next event, if any. Returns `false` when the queue is
+    /// empty.
+    pub fn step(&mut self) -> bool {
+        let Some(event) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(event.time >= self.clock, "time went backwards");
+        self.clock = event.time;
+        match event.kind {
+            EventKind::Deliver { from, to, message } => {
+                self.stats.delivered += 1;
+                self.stats.bytes_delivered += message.wire_size() as u64;
+                self.dispatch(to, |actor, ctx| actor.on_message(ctx, from, message));
+            }
+            EventKind::Timer { node, timer_id } => {
+                self.stats.timers_fired += 1;
+                self.dispatch(node, |actor, ctx| actor.on_timer(ctx, timer_id));
+            }
+        }
+        true
+    }
+
+    fn dispatch<F>(&mut self, node: NodeId, f: F)
+    where
+        F: FnOnce(&mut dyn Actor, &mut Context<'_>),
+    {
+        let idx = node.0 as usize;
+        if idx >= self.nodes.len() {
+            return; // message to an unknown node: dropped silently
+        }
+        // Temporarily take the actor out so it can borrow the simulation's
+        // action buffer without aliasing.
+        let Some(mut actor) = self.nodes[idx].actor.take() else {
+            return;
+        };
+        let mut actions = std::mem::take(&mut self.inflight);
+        {
+            let mut ctx = Context {
+                now: self.clock,
+                self_id: node,
+                actions: &mut actions,
+            };
+            f(actor.as_mut(), &mut ctx);
+        }
+        self.nodes[idx].actor = Some(actor);
+        for action in actions.drain(..) {
+            match action {
+                Action::Send { to, msg } => self.post(node, to, msg),
+                Action::Timer { delay_ms, timer_id } => {
+                    self.queue
+                        .push(self.clock + delay_ms, EventKind::Timer { node, timer_id });
+                }
+            }
+        }
+        self.inflight = actions;
+    }
+
+    /// Runs until the event queue drains. Returns the number of events
+    /// processed.
+    ///
+    /// A safety valve aborts after 50 million events to protect against
+    /// actors that endlessly re-arm timers.
+    pub fn run(&mut self) -> u64 {
+        let mut processed = 0;
+        while self.step() {
+            processed += 1;
+            if processed >= 50_000_000 {
+                break;
+            }
+        }
+        processed
+    }
+
+    /// Runs until simulated time reaches `deadline` (or the queue drains).
+    /// Returns the number of events processed.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let mut processed = 0;
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+            processed += 1;
+        }
+        if self.clock < deadline {
+            self.clock = deadline;
+        }
+        processed
+    }
+
+    /// Borrows a node's actor for inspection after (or between) runs.
+    ///
+    /// Returns `None` for unknown nodes or while the actor is executing.
+    pub fn actor(&self, id: NodeId) -> Option<&dyn Actor> {
+        self.nodes
+            .get(id.0 as usize)
+            .and_then(|slot| slot.actor.as_deref())
+    }
+
+    /// Mutably borrows a node's actor (e.g. to extract collected results).
+    pub fn actor_mut(&mut self, id: NodeId) -> Option<&mut (dyn Actor + 'static)> {
+        self.nodes
+            .get_mut(id.0 as usize)
+            .and_then(|slot| slot.actor.as_deref_mut())
+    }
+
+    /// Borrows a node's actor downcast to its concrete type.
+    ///
+    /// ```
+    /// # use simnet::{Actor, Context, Message, NodeId, Simulation};
+    /// struct Probe(u32);
+    /// impl Actor for Probe {
+    ///     fn on_message(&mut self, _: &mut Context<'_>, _: NodeId, _: Message) { self.0 += 1; }
+    /// }
+    /// let mut sim = Simulation::new(0);
+    /// let id = sim.add_node("probe", Box::new(Probe(0)));
+    /// assert_eq!(sim.actor_as::<Probe>(id).unwrap().0, 0);
+    /// ```
+    pub fn actor_as<T: Actor>(&self, id: NodeId) -> Option<&T> {
+        self.actor(id)
+            .and_then(|a| (a as &dyn std::any::Any).downcast_ref::<T>())
+    }
+
+    /// Mutably borrows a node's actor downcast to its concrete type.
+    pub fn actor_as_mut<T: Actor>(&mut self, id: NodeId) -> Option<&mut T> {
+        self.actor_mut(id)
+            .and_then(|a| (a as &mut dyn std::any::Any).downcast_mut::<T>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Counts received messages; replies to the first `replies` of them.
+    struct Responder {
+        received: u32,
+        replies: u32,
+    }
+
+    impl Actor for Responder {
+        fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: Message) {
+            self.received += 1;
+            if self.received <= self.replies {
+                ctx.send(from, Message::event(msg.kind + 1, vec![]));
+            }
+        }
+    }
+
+    /// Records everything it sees.
+    #[derive(Default)]
+    struct Sink {
+        received: Vec<(NodeId, u16)>,
+        timers: Vec<u64>,
+    }
+
+    impl Actor for Sink {
+        fn on_message(&mut self, _ctx: &mut Context<'_>, from: NodeId, msg: Message) {
+            self.received.push((from, msg.kind));
+        }
+        fn on_timer(&mut self, _ctx: &mut Context<'_>, timer_id: u64) {
+            self.timers.push(timer_id);
+        }
+    }
+
+    #[test]
+    fn request_reply_roundtrip() {
+        let mut sim = Simulation::new(1);
+        sim.set_default_link(LinkModel::lan());
+        let responder = sim.add_node(
+            "responder",
+            Box::new(Responder {
+                received: 0,
+                replies: 1,
+            }),
+        );
+        let sink = sim.add_node("sink", Box::new(Sink::default()));
+        sim.post(sink, responder, Message::event(10, vec![]));
+        sim.run();
+        assert_eq!(sim.stats().sent, 2);
+        assert_eq!(sim.stats().delivered, 2);
+        assert_eq!(sim.stats().dropped, 0);
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        let mut sim = Simulation::new(1);
+        let node = sim.add_node("sink", Box::new(Sink::default()));
+        sim.post_timer(node, 300, 3);
+        sim.post_timer(node, 100, 1);
+        sim.post_timer(node, 200, 2);
+        sim.run();
+        assert_eq!(sim.stats().timers_fired, 3);
+        assert_eq!(sim.now(), SimTime::from_millis(300));
+    }
+
+    #[test]
+    fn clock_advances_with_latency() {
+        let mut sim = Simulation::new(1);
+        sim.set_default_link(LinkModel {
+            latency_ms: 50,
+            jitter_ms: 0,
+            loss: 0.0,
+            bandwidth_kbps: 0,
+        });
+        let a = sim.add_node("a", Box::new(Sink::default()));
+        let b = sim.add_node("b", Box::new(Sink::default()));
+        sim.post(a, b, Message::event(1, vec![]));
+        sim.run();
+        assert_eq!(sim.now(), SimTime::from_millis(50));
+    }
+
+    #[test]
+    fn lossy_link_drops() {
+        let mut sim = Simulation::new(7);
+        sim.set_default_link(LinkModel::perfect().with_loss(1.0));
+        let a = sim.add_node("a", Box::new(Sink::default()));
+        let b = sim.add_node("b", Box::new(Sink::default()));
+        for _ in 0..10 {
+            sim.post(a, b, Message::event(1, vec![]));
+        }
+        sim.run();
+        assert_eq!(sim.stats().dropped, 10);
+        assert_eq!(sim.stats().delivered, 0);
+    }
+
+    #[test]
+    fn per_pair_link_overrides_default() {
+        let mut sim = Simulation::new(3);
+        sim.set_default_link(LinkModel::perfect());
+        let a = sim.add_node("a", Box::new(Sink::default()));
+        let b = sim.add_node("b", Box::new(Sink::default()));
+        sim.set_link(a, b, LinkModel::perfect().with_latency_ms(500));
+        sim.post(a, b, Message::event(1, vec![]));
+        sim.run();
+        assert_eq!(sim.now(), SimTime::from_millis(500));
+        // Reverse direction still uses the default (instant).
+        sim.post(b, a, Message::event(1, vec![]));
+        sim.run();
+        assert_eq!(sim.now(), SimTime::from_millis(500));
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        fn run_once(seed: u64) -> (u64, u64, u64) {
+            let mut sim = Simulation::new(seed);
+            sim.set_default_link(LinkModel::mobile());
+            let a = sim.add_node("a", Box::new(Sink::default()));
+            let b = sim.add_node(
+                "b",
+                Box::new(Responder {
+                    received: 0,
+                    replies: 50,
+                }),
+            );
+            for _ in 0..100 {
+                sim.post(a, b, Message::event(1, vec![0; 64]));
+            }
+            sim.run();
+            let s = sim.stats();
+            (s.delivered, s.dropped, sim.now().as_millis())
+        }
+        assert_eq!(run_once(99), run_once(99));
+        // Different seeds almost surely differ in at least the clock.
+        let x = run_once(1);
+        let y = run_once(2);
+        assert!(x != y, "expected different traces, got {x:?} / {y:?}");
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim = Simulation::new(1);
+        let node = sim.add_node("sink", Box::new(Sink::default()));
+        sim.post_timer(node, 100, 1);
+        sim.post_timer(node, 10_000, 2);
+        let processed = sim.run_until(SimTime::from_millis(1_000));
+        assert_eq!(processed, 1);
+        assert_eq!(sim.now(), SimTime::from_millis(1_000));
+        assert_eq!(sim.pending_events(), 1);
+    }
+
+    #[test]
+    fn message_to_unknown_node_is_ignored() {
+        let mut sim = Simulation::new(1);
+        let a = sim.add_node("a", Box::new(Sink::default()));
+        sim.post(a, NodeId(999), Message::event(1, vec![]));
+        sim.run(); // must not panic
+        assert_eq!(sim.stats().delivered, 1); // counted as delivered to the void
+    }
+
+    #[test]
+    fn node_metadata() {
+        let mut sim = Simulation::new(1);
+        let a = sim.add_node("alpha", Box::new(Sink::default()));
+        assert_eq!(sim.node_name(a), "alpha");
+        assert_eq!(sim.node_count(), 1);
+        assert!(sim.actor(a).is_some());
+        assert!(sim.actor(NodeId(42)).is_none());
+    }
+
+    #[test]
+    fn actor_downcast_roundtrip() {
+        let mut sim = Simulation::new(1);
+        let a = sim.add_node("a", Box::new(Sink::default()));
+        let b = sim.add_node("b", Box::new(Sink::default()));
+        sim.post(a, b, Message::event(9, vec![]));
+        sim.post_timer(b, 5, 77);
+        sim.run();
+        let sink = sim.actor_as::<Sink>(b).expect("downcast");
+        assert_eq!(sink.received, vec![(a, 9)]);
+        assert_eq!(sink.timers, vec![77]);
+        // Wrong type yields None.
+        assert!(sim.actor_as::<Responder>(b).is_none());
+        // Mutable access works too.
+        sim.actor_as_mut::<Sink>(b).unwrap().timers.clear();
+        assert!(sim.actor_as::<Sink>(b).unwrap().timers.is_empty());
+    }
+}

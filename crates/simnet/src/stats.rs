@@ -1,0 +1,75 @@
+//! Traffic counters.
+
+use std::fmt;
+
+/// Aggregate network statistics of a simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetworkStats {
+    /// Messages handed to the network.
+    pub sent: u64,
+    /// Messages delivered to their destination.
+    pub delivered: u64,
+    /// Messages dropped by lossy links.
+    pub dropped: u64,
+    /// Total bytes handed to the network (wire size).
+    pub bytes_sent: u64,
+    /// Total bytes delivered (wire size).
+    pub bytes_delivered: u64,
+    /// Timers fired.
+    pub timers_fired: u64,
+}
+
+impl NetworkStats {
+    /// Fraction of sent messages that were delivered (1.0 when none sent).
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.sent == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.sent as f64
+        }
+    }
+}
+
+impl fmt::Display for NetworkStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sent={} delivered={} dropped={} ({:.1}% delivery), {} B out",
+            self.sent,
+            self.delivered,
+            self.dropped,
+            self.delivery_ratio() * 100.0,
+            self.bytes_sent
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivery_ratio_edge_cases() {
+        let empty = NetworkStats::default();
+        assert_eq!(empty.delivery_ratio(), 1.0);
+        let s = NetworkStats {
+            sent: 10,
+            delivered: 9,
+            dropped: 1,
+            ..Default::default()
+        };
+        assert!((s.delivery_ratio() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_counts() {
+        let s = NetworkStats {
+            sent: 4,
+            delivered: 4,
+            ..Default::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("sent=4"));
+        assert!(text.contains("100.0%"));
+    }
+}

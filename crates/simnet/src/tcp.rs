@@ -1,0 +1,362 @@
+//! Real TCP loopback transport speaking the same frames as the simulator.
+//!
+//! The paper's platform is deployed over the Internet; the simulator covers
+//! scalability experiments, while this module demonstrates the identical
+//! protocol stack over real `std::net` sockets. Servers spawn one thread per
+//! connection; clients issue blocking RPC calls with timeouts.
+
+use crate::message::Message;
+use crate::wire::{decode_frame, encode_frame};
+use bytes::BytesMut;
+use parking_lot::Mutex;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Handler invoked for every inbound message; returning `Some` sends a
+/// response frame back on the same connection.
+pub type Handler = dyn Fn(Message) -> Option<Message> + Send + Sync + 'static;
+
+/// A framed TCP server.
+///
+/// # Example
+///
+/// ```
+/// use simnet::tcp::{TcpRpcServer, TcpRpcClient};
+/// use simnet::Message;
+/// use std::time::Duration;
+///
+/// let server = TcpRpcServer::bind("127.0.0.1:0", |msg| {
+///     Some(Message::response_to(&msg, 100, msg.payload.to_vec()))
+/// }).unwrap();
+/// let addr = server.local_addr();
+///
+/// let mut client = TcpRpcClient::connect(addr).unwrap();
+/// let reply = client
+///     .call(Message::request(1, 7, vec![1, 2, 3]), Duration::from_secs(2))
+///     .unwrap();
+/// assert_eq!(reply.kind, 100);
+/// assert_eq!(reply.payload.as_ref(), &[1, 2, 3]);
+/// server.shutdown();
+/// ```
+pub struct TcpRpcServer {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl std::fmt::Debug for TcpRpcServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpRpcServer")
+            .field("local_addr", &self.local_addr)
+            .finish()
+    }
+}
+
+impl TcpRpcServer {
+    /// Binds to `addr` (use port 0 for an ephemeral port) and starts
+    /// accepting connections, dispatching every inbound message to `handler`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from binding.
+    pub fn bind<A, F>(addr: A, handler: F) -> io::Result<Self>
+    where
+        A: std::net::ToSocketAddrs,
+        F: Fn(Message) -> Option<Message> + Send + Sync + 'static,
+    {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let handler: Arc<Handler> = Arc::new(handler);
+
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_connections = Arc::clone(&connections);
+        let accept_thread = std::thread::spawn(move || {
+            while !accept_shutdown.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let conn_handler = Arc::clone(&handler);
+                        let conn_shutdown = Arc::clone(&accept_shutdown);
+                        let handle = std::thread::spawn(move || {
+                            let _ = serve_connection(stream, conn_handler, conn_shutdown);
+                        });
+                        accept_connections.lock().push(handle);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+
+        Ok(Self {
+            local_addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+            connections,
+        })
+    }
+
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting and joins all threads.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.connections.lock());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for TcpRpcServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    handler: Arc<Handler>,
+    shutdown: Arc<AtomicBool>,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(50)))?;
+    let mut buf = BytesMut::with_capacity(4 * 1024);
+    let mut scratch = [0u8; 4096];
+    loop {
+        if shutdown.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        match stream.read(&mut scratch) {
+            Ok(0) => return Ok(()), // peer closed
+            Ok(n) => {
+                buf.extend_from_slice(&scratch[..n]);
+                while let Some(msg) = decode_frame(&mut buf)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?
+                {
+                    if let Some(response) = handler(msg) {
+                        stream.write_all(&encode_frame(&response))?;
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// A framed TCP client issuing blocking RPC calls.
+pub struct TcpRpcClient {
+    stream: TcpStream,
+    buf: BytesMut,
+    next_request_id: AtomicU64,
+}
+
+impl std::fmt::Debug for TcpRpcClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpRpcClient")
+            .field("peer", &self.stream.peer_addr().ok())
+            .finish()
+    }
+}
+
+impl TcpRpcClient {
+    /// Connects to a [`TcpRpcServer`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors.
+    pub fn connect<A: std::net::ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            stream,
+            buf: BytesMut::with_capacity(4 * 1024),
+            next_request_id: AtomicU64::new(1),
+        })
+    }
+
+    /// Allocates a fresh non-zero request id.
+    pub fn next_request_id(&self) -> u64 {
+        self.next_request_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Sends a one-way message without waiting for a response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write errors.
+    pub fn send(&mut self, msg: Message) -> io::Result<()> {
+        self.stream.write_all(&encode_frame(&msg))
+    }
+
+    /// Sends a request and blocks until its response arrives (matching
+    /// `request_id`) or `timeout` elapses.
+    ///
+    /// # Errors
+    ///
+    /// Returns `TimedOut` if no matching response arrives in time, and
+    /// propagates socket errors. Responses to other request ids received in
+    /// the meantime are discarded.
+    pub fn call(&mut self, msg: Message, timeout: Duration) -> io::Result<Message> {
+        let expected_id = msg.request_id;
+        self.stream.write_all(&encode_frame(&msg))?;
+        self.stream.set_read_timeout(Some(Duration::from_millis(20)))?;
+        let deadline = std::time::Instant::now() + timeout;
+        let mut scratch = [0u8; 4096];
+        loop {
+            // Check buffered frames first.
+            while let Some(frame) = decode_frame(&mut self.buf)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?
+            {
+                if frame.request_id == expected_id {
+                    return Ok(frame);
+                }
+            }
+            if std::time::Instant::now() >= deadline {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "rpc response timed out",
+                ));
+            }
+            match self.stream.read(&mut scratch) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed connection",
+                    ))
+                }
+                Ok(n) => self.buf.extend_from_slice(&scratch[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo_server() -> TcpRpcServer {
+        TcpRpcServer::bind("127.0.0.1:0", |msg| {
+            Some(Message::response_to(&msg, msg.kind + 1, msg.payload.to_vec()))
+        })
+        .expect("bind")
+    }
+
+    #[test]
+    fn rpc_roundtrip() {
+        let server = echo_server();
+        let mut client = TcpRpcClient::connect(server.local_addr()).unwrap();
+        let id = client.next_request_id();
+        let reply = client
+            .call(
+                Message::request(10, id, b"ping".to_vec()),
+                Duration::from_secs(2),
+            )
+            .unwrap();
+        assert_eq!(reply.kind, 11);
+        assert_eq!(reply.payload.as_ref(), b"ping");
+        server.shutdown();
+    }
+
+    #[test]
+    fn sequential_calls_on_one_connection() {
+        let server = echo_server();
+        let mut client = TcpRpcClient::connect(server.local_addr()).unwrap();
+        for i in 0..20u8 {
+            let id = client.next_request_id();
+            let reply = client
+                .call(Message::request(1, id, vec![i]), Duration::from_secs(2))
+                .unwrap();
+            assert_eq!(reply.payload.as_ref(), &[i]);
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients() {
+        let server = echo_server();
+        let addr = server.local_addr();
+        let mut handles = Vec::new();
+        for t in 0..4u8 {
+            handles.push(std::thread::spawn(move || {
+                let mut client = TcpRpcClient::connect(addr).unwrap();
+                for i in 0..10u8 {
+                    let id = client.next_request_id();
+                    let reply = client
+                        .call(Message::request(1, id, vec![t, i]), Duration::from_secs(2))
+                        .unwrap();
+                    assert_eq!(reply.payload.as_ref(), &[t, i]);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn one_way_messages_are_accepted() {
+        let received = Arc::new(AtomicU64::new(0));
+        let counter = Arc::clone(&received);
+        let server = TcpRpcServer::bind("127.0.0.1:0", move |_msg| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            None
+        })
+        .unwrap();
+        let mut client = TcpRpcClient::connect(server.local_addr()).unwrap();
+        for _ in 0..5 {
+            client.send(Message::event(3, vec![1])).unwrap();
+        }
+        // Wait for the handler to see all 5.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while received.load(Ordering::Relaxed) < 5 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(received.load(Ordering::Relaxed), 5);
+        server.shutdown();
+    }
+
+    #[test]
+    fn call_times_out_without_response() {
+        // Server that never responds.
+        let server = TcpRpcServer::bind("127.0.0.1:0", |_msg| None).unwrap();
+        let mut client = TcpRpcClient::connect(server.local_addr()).unwrap();
+        let err = client
+            .call(Message::request(1, 1, vec![]), Duration::from_millis(200))
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        server.shutdown();
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests of the network substrate.
+
+use bytes::BytesMut;
+use proptest::prelude::*;
+use simnet::wire::{decode_frame, encode_frame, Decode, Encode};
+use simnet::{Actor, Context, LinkModel, Message, NodeId, Simulation};
+
+#[derive(Default)]
+struct Counter(u64);
+impl Actor for Counter {
+    fn on_message(&mut self, _ctx: &mut Context<'_>, _from: NodeId, _msg: Message) {
+        self.0 += 1;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn u64_roundtrip(v in any::<u64>()) {
+        let encoded = v.encode_to_vec();
+        prop_assert_eq!(u64::decode_from_slice(&encoded).unwrap(), v);
+    }
+
+    #[test]
+    fn i64_and_f64_roundtrip(a in any::<i64>(), b in any::<f64>()) {
+        prop_assert_eq!(i64::decode_from_slice(&a.encode_to_vec()).unwrap(), a);
+        let back = f64::decode_from_slice(&b.encode_to_vec()).unwrap();
+        if b.is_nan() {
+            prop_assert!(back.is_nan());
+        } else {
+            prop_assert_eq!(back, b);
+        }
+    }
+
+    #[test]
+    fn string_roundtrip(s in ".{0,200}") {
+        let encoded = s.encode_to_vec();
+        prop_assert_eq!(String::decode_from_slice(&encoded).unwrap(), s);
+    }
+
+    #[test]
+    fn nested_collections_roundtrip(
+        items in prop::collection::vec((any::<u32>(), ".{0,20}"), 0..20),
+    ) {
+        let value: Vec<(u32, String)> = items;
+        let encoded = value.encode_to_vec();
+        let decoded = Vec::<(u32, String)>::decode_from_slice(&encoded).unwrap();
+        prop_assert_eq!(decoded, value);
+    }
+
+    #[test]
+    fn option_roundtrip(v in prop::option::of(any::<u64>())) {
+        let encoded = v.encode_to_vec();
+        prop_assert_eq!(Option::<u64>::decode_from_slice(&encoded).unwrap(), v);
+    }
+
+    #[test]
+    fn frames_roundtrip(kind in any::<u16>(), rid in any::<u64>(), payload in prop::collection::vec(any::<u8>(), 0..512)) {
+        let msg = Message { kind, request_id: rid, payload: payload.into() };
+        let framed = encode_frame(&msg);
+        let mut buf = BytesMut::from(framed.as_slice());
+        let decoded = decode_frame(&mut buf).unwrap().unwrap();
+        prop_assert_eq!(decoded, msg);
+        prop_assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn frame_decoder_never_panics_on_garbage(garbage in prop::collection::vec(any::<u8>(), 0..64)) {
+        let mut buf = BytesMut::from(garbage.as_slice());
+        // Must return Ok(None), Ok(Some) or Err — never panic.
+        let _ = decode_frame(&mut buf);
+    }
+
+    #[test]
+    fn truncated_values_error_not_panic(
+        v in any::<u64>(),
+        cut in 0usize..8,
+    ) {
+        let encoded = v.encode_to_vec();
+        let r = u64::decode_from_slice(&encoded[..cut]);
+        prop_assert!(r.is_err());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Conservation: every posted message is delivered or dropped, never both
+    /// or neither — under any latency/loss setting.
+    #[test]
+    fn simulation_conserves_messages(
+        seed in any::<u64>(),
+        latency in 0u64..200,
+        jitter in 0u64..100,
+        loss in 0.0..1.0f64,
+        n in 1usize..200,
+    ) {
+        let mut sim = Simulation::new(seed);
+        sim.set_default_link(LinkModel { latency_ms: latency, jitter_ms: jitter, loss, bandwidth_kbps: 0 });
+        let a = sim.add_node("a", Box::new(Counter::default()));
+        let b = sim.add_node("b", Box::new(Counter::default()));
+        for _ in 0..n {
+            sim.post(a, b, Message::event(1, vec![0; 16]));
+        }
+        sim.run();
+        let stats = sim.stats();
+        prop_assert_eq!(stats.sent, n as u64);
+        prop_assert_eq!(stats.delivered + stats.dropped, n as u64);
+        let received = sim.actor_as::<Counter>(b).unwrap().0;
+        prop_assert_eq!(received, stats.delivered);
+    }
+
+    /// Determinism: identical seeds and inputs yield identical traces.
+    #[test]
+    fn simulation_is_deterministic(seed in any::<u64>(), n in 1usize..100) {
+        let run = |seed: u64| {
+            let mut sim = Simulation::new(seed);
+            sim.set_default_link(LinkModel::mobile());
+            let a = sim.add_node("a", Box::new(Counter::default()));
+            let b = sim.add_node("b", Box::new(Counter::default()));
+            for _ in 0..n {
+                sim.post(a, b, Message::event(1, vec![0; 32]));
+            }
+            sim.run();
+            (sim.stats(), sim.now())
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+}

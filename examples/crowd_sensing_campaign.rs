@@ -1,0 +1,83 @@
+//! A full APISENSE campaign: a Honeycomb describes a network-quality task
+//! as a script, the Hive offloads it to a simulated smartphone fleet over a
+//! lossy mobile network, and the collected dataset flows back — exactly the
+//! architecture of the paper's Figure 1.
+//!
+//! ```bash
+//! cargo run --release --example crowd_sensing_campaign
+//! ```
+
+use crowdsense::apisense::deploy::{run_campaign, CampaignConfig};
+use crowdsense::apisense::device::SensorKind;
+use crowdsense::apisense::honeycomb::ExperimentBuilder;
+use crowdsense::apisense::incentives::{
+    simulate_campaign, CampaignConfig as IncentiveConfig, IncentiveStrategy,
+};
+use crowdsense::apisense::script::Script;
+use crowdsense::simnet::LinkModel;
+
+fn main() {
+    // The experimenter writes the sensing task as a script — the same
+    // "code-as-data" model as APISENSE's JavaScript tasks.
+    let script = Script::compile(
+        r#"
+        // Sample connectivity together with the location, but only when the
+        // battery can afford it.
+        let level = sensor.battery();
+        if (level > 0.2) {
+            let fix = sensor.gps();
+            if (fix != null) {
+                emit({
+                    "lat": fix.lat,
+                    "lon": fix.lon,
+                    "rssi": sensor.network(),
+                    "battery": level
+                });
+            }
+        }
+        "#,
+    )
+    .expect("script compiles");
+
+    let task = ExperimentBuilder::new("network-quality-map")
+        .script(script)
+        .require_sensor(SensorKind::Gps)
+        .require_sensor(SensorKind::NetworkQuality)
+        .sampling_interval_s(300)
+        .min_battery(0.2)
+        .incentive(IncentiveStrategy::WinWin)
+        .build();
+
+    println!("campaign: {}", task.name());
+    for devices in [10usize, 50, 100] {
+        let report = run_campaign(
+            &task,
+            &CampaignConfig {
+                devices,
+                duration_s: 4 * 3_600,
+                device_link: LinkModel::mobile(),
+                seed: 0xCAFE,
+                ..CampaignConfig::default()
+            },
+        );
+        println!(
+            "  {devices:>4} devices: {} records in 4 h ({:.2} rec/s), deploy p50 {} ms / p95 {} ms, delivery {:.1}%",
+            report.records_received,
+            report.throughput_rps,
+            report.deploy_latency_p50_ms,
+            report.deploy_latency_p95_ms,
+            report.delivery_ratio * 100.0
+        );
+    }
+
+    // What keeps the crowd contributing? The task declared a win-win
+    // incentive; compare against plain volunteering.
+    println!("\nincentive outlook over 28 days (300-user community):");
+    for strategy in [IncentiveStrategy::None, IncentiveStrategy::WinWin] {
+        let report = simulate_campaign(&strategy, &IncentiveConfig::default());
+        println!(
+            "  {:<8} mean daily contributors {:>5.1}, retention {:.2}",
+            report.strategy, report.mean_active, report.retention
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! Reproduces the paper's headline motivation (§3): a state-of-the-art
+//! protection mechanism (geo-indistinguishability) still lets an attacker
+//! re-identify over 60 % of the points of interest, while PRIVAPI's speed
+//! smoothing removes the dwell signal the attack needs.
+//!
+//! ```bash
+//! cargo run --release --example privacy_study
+//! ```
+
+use crowdsense::mobility::gen::{CityModel, PopulationConfig};
+use crowdsense::privapi::prelude::*;
+
+fn main() {
+    let city = CityModel::builder().seed(2014).build();
+    let data = city.generate_with_truth(&PopulationConfig {
+        users: 20,
+        days: 7,
+        sampling_interval_s: 60,
+        ..PopulationConfig::default()
+    });
+    let attack = PoiAttack::default();
+    // As in the paper's companion study, the reference is what the attack
+    // can extract from the *unprotected* dataset.
+    let reference = attack.extract(&data.dataset);
+
+    println!("POI retrieval attack against protection mechanisms");
+    println!("(reference: {} POIs extractable from raw data)\n",
+        reference.values().map(Vec::len).sum::<usize>());
+    println!("{:<48} {:>8} {:>10}", "mechanism", "recall", "precision");
+
+    let mut rows: Vec<(String, PoiAttackReportRow)> = Vec::new();
+    let strategies: Vec<Box<dyn crowdsense::privapi::strategy::AnonymizationStrategy>> = vec![
+        Box::new(Identity::new()),
+        Box::new(GeoIndistinguishability::new(0.01).unwrap()),
+        Box::new(GeoIndistinguishability::for_radius(geo::Meters::new(200.0)).unwrap()),
+        Box::new(GeoIndistinguishability::new(0.005).unwrap()),
+        Box::new(SpeedSmoothing::new(geo::Meters::new(50.0)).unwrap()),
+        Box::new(SpeedSmoothing::new(geo::Meters::new(100.0)).unwrap()),
+        Box::new(SpeedSmoothing::new(geo::Meters::new(200.0)).unwrap()),
+    ];
+    for strategy in &strategies {
+        let protected = strategy.anonymize(&data.dataset, 7);
+        let report = attack.evaluate_reference(&protected, &reference);
+        println!(
+            "{:<48} {:>7.1}% {:>9.1}%",
+            strategy.info().to_string(),
+            report.recall * 100.0,
+            report.precision * 100.0
+        );
+        rows.push((
+            strategy.info().to_string(),
+            PoiAttackReportRow {
+                recall: report.recall,
+            },
+        ));
+    }
+
+    // Re-identification: can pseudonyms be linked back to raw profiles?
+    println!("\nre-identification attack (linking pseudonyms to profiles)");
+    let reid = ReidentificationAttack::default();
+    for strategy in &strategies {
+        let protected = strategy.anonymize(&data.dataset, 7);
+        let report = reid.evaluate(&protected, &data.dataset);
+        println!(
+            "{:<48} {:>3}/{} users linked ({:.0}%)",
+            strategy.info().to_string(),
+            report.correct,
+            report.attempted,
+            report.accuracy * 100.0
+        );
+    }
+
+    // The paper's claim, checked programmatically.
+    let geo_i = rows
+        .iter()
+        .find(|(name, _)| name.contains("0.0069"))
+        .expect("geo-i row");
+    assert!(
+        geo_i.1.recall >= 0.6,
+        "expected the geo-I baseline to leak ≥ 60 % of POIs, got {:.2}",
+        geo_i.1.recall
+    );
+    println!(
+        "\n✔ paper claim reproduced: geo-indistinguishability at its practical \
+         setting leaks {:.0}% ≥ 60% of POIs; speed smoothing leaks only {:.0}%",
+        geo_i.1.recall * 100.0,
+        rows.last().expect("smoothing rows exist").1.recall * 100.0
+    );
+}
+
+struct PoiAttackReportRow {
+    recall: f64,
+}

@@ -1,0 +1,42 @@
+//! # crowdsense — privacy-preserving crowd-sensing platform
+//!
+//! Umbrella crate re-exporting the whole workspace: the APISENSE
+//! crowd-sensing middleware, the PRIVAPI privacy middleware and the
+//! substrates they build on.
+//!
+//! This is a from-scratch reproduction of:
+//!
+//! > N. Haderer, V. Primault, P. Raveneau, C. Ribeiro, R. Rouvoy,
+//! > S. Ben Mokhtar. *Towards a Practical Deployment of Privacy-preserving
+//! > Crowd-sensing Tasks.* Middleware 2014 Posters & Demos.
+//!
+//! See `DESIGN.md` for the system inventory and the per-experiment index,
+//! and `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use crowdsense::mobility::gen::{CityModel, PopulationConfig};
+//! use crowdsense::privapi::prelude::*;
+//!
+//! // 1. Generate a small synthetic mobility dataset.
+//! let city = CityModel::builder().seed(7).build();
+//! let dataset = city.generate_population(&PopulationConfig {
+//!     users: 5,
+//!     days: 2,
+//!     ..PopulationConfig::default()
+//! });
+//!
+//! // 2. Anonymize it with the paper's speed-smoothing strategy.
+//! let strategy = SpeedSmoothing::new(geo::Meters::new(150.0)).unwrap();
+//! let protected = strategy.anonymize(&dataset, 42);
+//! assert_eq!(protected.user_count(), dataset.user_count());
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use apisense;
+pub use geo;
+pub use mobility;
+pub use privapi;
+pub use simnet;
