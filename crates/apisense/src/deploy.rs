@@ -42,8 +42,7 @@ fn encode_records(records: &[SensedRecord]) -> Vec<u8> {
     let entries: Vec<WireRecord> = records
         .iter()
         .map(|r| {
-            let payload =
-                serde_json::to_string(&r.payload).unwrap_or_else(|_| "null".to_string());
+            let payload = r.payload.to_json();
             (r.user.0, (r.device.0, (r.time.seconds(), payload)))
         })
         .collect();
@@ -61,7 +60,7 @@ fn decode_records(task: TaskId, payload: &[u8]) -> Vec<SensedRecord> {
             user: UserId(user),
             device: DeviceId(device),
             time: Timestamp::new(time),
-            payload: serde_json::from_str::<Value>(&json).unwrap_or(Value::Null),
+            payload: Value::from_json(&json).unwrap_or(Value::Null),
         })
         .collect()
 }
@@ -151,8 +150,7 @@ impl Actor for HiveActor {
                 self.next_task += 1;
                 let task_id = self.next_task;
                 self.honeycomb_of.insert(task_id, from);
-                self.deploy_start_ms
-                    .insert(task_id, ctx.now().as_millis());
+                self.deploy_start_ms.insert(task_id, ctx.now().as_millis());
                 for device in self.devices.clone() {
                     // The deploy message carries the task id as the RPC
                     // correlation id so acks and records can be routed.

@@ -19,9 +19,7 @@ use std::collections::BTreeSet;
 use std::fmt;
 
 /// Identifier of a device in the fleet.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct DeviceId(pub u64);
 
 impl fmt::Display for DeviceId {
@@ -31,9 +29,7 @@ impl fmt::Display for DeviceId {
 }
 
 /// The sensors a device can expose to crowd-sensing scripts.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum SensorKind {
     /// Location fixes.
     Gps,
@@ -597,8 +593,8 @@ mod tests {
     fn sensor_opt_out_returns_null_to_script() {
         use crate::privacy::PrivacyPreferences;
         let prefs = PrivacyPreferences::default().without_sensor(SensorKind::Gps);
-        let mut device = Device::new(DeviceId(1), UserId(1), trajectory())
-            .with_preferences(prefs);
+        let mut device =
+            Device::new(DeviceId(1), UserId(1), trajectory()).with_preferences(prefs);
         device.install(TaskId(1), gps_script(), 60, 0.0, start());
         device.tick(start());
         // Script checks for null and emits nothing.
@@ -642,7 +638,7 @@ mod tests {
         assert_eq!(records.len(), 1);
         let m = records[0].payload.as_map().unwrap();
         let acc = m["acc"].as_num().unwrap();
-        assert!(acc >= 9.81 && acc < 15.0, "acc {acc}");
+        assert!((9.81..15.0).contains(&acc), "acc {acc}");
         let rssi = m["rssi"].as_num().unwrap();
         assert!((-110.0..=-50.0).contains(&rssi), "rssi {rssi}");
     }

@@ -16,9 +16,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// Identifier of a published crowd-sensing task.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct TaskId(pub u64);
 
 impl fmt::Display for TaskId {
@@ -125,7 +123,9 @@ impl Hive {
         self.devices
             .values()
             .filter(|d| {
-                task.required_sensors().iter().all(|s| d.sensors.contains(s))
+                task.required_sensors()
+                    .iter()
+                    .all(|s| d.sensors.contains(s))
                     && d.battery_level >= task.min_battery()
                     && match (task.region(), d.region_hint) {
                         (Some(region), Some(hint)) => region.contains(&hint),

@@ -216,8 +216,7 @@ impl Honeycomb {
         match self.store.get(&task) {
             None => CollectionStats::default(),
             Some(records) => {
-                let contributors: BTreeSet<UserId> =
-                    records.iter().map(|r| r.user).collect();
+                let contributors: BTreeSet<UserId> = records.iter().map(|r| r.user).collect();
                 CollectionStats {
                     records: records.len(),
                     contributors: contributors.len(),
@@ -302,7 +301,11 @@ mod tests {
         let mut hc = Honeycomb::new("lab");
         assert_eq!(hc.name(), "lab");
         let t = TaskId(1);
-        hc.receive(vec![record(t, 1, 45.0), record(t, 1, 45.1), record(t, 2, 45.2)]);
+        hc.receive(vec![
+            record(t, 1, 45.0),
+            record(t, 1, 45.1),
+            record(t, 2, 45.2),
+        ]);
         let stats = hc.stats(t);
         assert_eq!(stats.records, 3);
         assert_eq!(stats.contributors, 2);

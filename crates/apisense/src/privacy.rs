@@ -215,14 +215,82 @@ impl PrivacyPreferences {
     }
 }
 
+/// The platform-side publication gateway: the second privacy layer of the
+/// paper's architecture, bridging APISENSE data collection to the PRIVAPI
+/// middleware.
+///
+/// "A second [layer] is deployed in the cloud and enforces privacy before
+/// datasets are released" (paper, §2). Where [`PrivacyPreferences`] filters
+/// on the device, the gateway protects whole collected datasets: it hands a
+/// task's [`crate::honeycomb::Honeycomb`] data to PRIVAPI's parallel
+/// evaluation engine, which searches the **shared**
+/// [`privapi::pool::StrategyPool`] for the best-utility strategy under the
+/// configured privacy floor.
+#[derive(Debug)]
+pub struct PublicationGateway {
+    privapi: privapi::pipeline::PrivApi,
+}
+
+impl Default for PublicationGateway {
+    /// A gateway with PRIVAPI's default configuration and default pool.
+    fn default() -> Self {
+        Self::new(privapi::pipeline::PrivApiConfig::default())
+    }
+}
+
+impl PublicationGateway {
+    /// Creates a gateway enforcing `config` with the shared default pool.
+    pub fn new(config: privapi::pipeline::PrivApiConfig) -> Self {
+        Self {
+            privapi: privapi::pipeline::PrivApi::new(config),
+        }
+    }
+
+    /// Replaces the strategy pool searched on publication.
+    pub fn with_pool(mut self, pool: privapi::pool::StrategyPool) -> Self {
+        self.privapi = self.privapi.with_pool(pool);
+        self
+    }
+
+    /// The underlying PRIVAPI middleware.
+    pub fn privapi(&self) -> &privapi::pipeline::PrivApi {
+        &self.privapi
+    }
+
+    /// Protects and publishes one task's collected mobility data.
+    ///
+    /// # Errors
+    ///
+    /// * [`privapi::PrivapiError::EmptyDataset`] when the task has no
+    ///   located records;
+    /// * [`privapi::PrivapiError::NoFeasibleStrategy`] when no pooled
+    ///   strategy meets the privacy floor on this dataset.
+    pub fn publish_task(
+        &self,
+        honeycomb: &crate::honeycomb::Honeycomb,
+        task: crate::hive::TaskId,
+    ) -> Result<privapi::pipeline::PublishedDataset, privapi::PrivapiError> {
+        self.privapi.publish(&honeycomb.mobility_dataset(task))
+    }
+
+    /// Protects and publishes an already-assembled mobility dataset.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`privapi::pipeline::PrivApi::publish`].
+    pub fn publish_dataset(
+        &self,
+        dataset: &mobility::Dataset,
+    ) -> Result<privapi::pipeline::PublishedDataset, privapi::PrivapiError> {
+        self.privapi.publish(dataset)
+    }
+}
+
 /// Hash of (salt, point, time) mapped to `[0, 1)`.
 fn hash_unit(salt: u64, point: &GeoPoint, time_s: i64) -> f64 {
     let mut h = salt
         ^ point.latitude().to_bits().wrapping_mul(0x9E3779B97F4A7C15)
-        ^ point
-            .longitude()
-            .to_bits()
-            .wrapping_mul(0xD6E8FEB86659FD93)
+        ^ point.longitude().to_bits().wrapping_mul(0xD6E8FEB86659FD93)
         ^ (time_s as u64).rotate_left(23);
     h ^= h >> 33;
     h = h.wrapping_mul(0xFF51AFD7ED558CCD);
@@ -276,8 +344,7 @@ mod tests {
 
     #[test]
     fn time_window_filters_by_hour() {
-        let prefs =
-            PrivacyPreferences::default().with_time_window(TimeWindow::new(8, 20));
+        let prefs = PrivacyPreferences::default().with_time_window(TimeWindow::new(8, 20));
         let day = located_record(45.0, 4.0, Timestamp::from_day_time(0, 12, 0, 0));
         assert!(prefs.filter_record(day).is_some());
         let night = located_record(45.0, 4.0, Timestamp::from_day_time(0, 23, 0, 0));
@@ -301,13 +368,25 @@ mod tests {
             .with_time_window(TimeWindow::new(8, 10))
             .with_time_window(TimeWindow::new(18, 20));
         assert!(prefs
-            .filter_record(located_record(45.0, 4.0, Timestamp::from_day_time(0, 9, 0, 0)))
+            .filter_record(located_record(
+                45.0,
+                4.0,
+                Timestamp::from_day_time(0, 9, 0, 0)
+            ))
             .is_some());
         assert!(prefs
-            .filter_record(located_record(45.0, 4.0, Timestamp::from_day_time(0, 19, 0, 0)))
+            .filter_record(located_record(
+                45.0,
+                4.0,
+                Timestamp::from_day_time(0, 19, 0, 0)
+            ))
             .is_some());
         assert!(prefs
-            .filter_record(located_record(45.0, 4.0, Timestamp::from_day_time(0, 14, 0, 0)))
+            .filter_record(located_record(
+                45.0,
+                4.0,
+                Timestamp::from_day_time(0, 14, 0, 0)
+            ))
             .is_none());
     }
 
@@ -387,6 +466,68 @@ mod tests {
         let hashes = prefs_a.hash_contacts(many.iter().map(String::as_str));
         let unique: std::collections::BTreeSet<u64> = hashes.iter().copied().collect();
         assert_eq!(unique.len(), 1_000);
+    }
+
+    #[test]
+    fn publication_gateway_enforces_floor_on_task_data() {
+        use crate::hive::TaskId;
+        use crate::honeycomb::Honeycomb;
+        use mobility::gen::{CityModel, PopulationConfig};
+
+        // Collect a synthetic population's fixes into a honeycomb task.
+        let data =
+            CityModel::builder()
+                .seed(41)
+                .build()
+                .generate_population(&PopulationConfig {
+                    users: 4,
+                    days: 3,
+                    sampling_interval_s: 180,
+                    gps_noise_m: 5.0,
+                    leisure_probability: 0.4,
+                });
+        let task = TaskId(7);
+        let mut honeycomb = Honeycomb::new("gateway-test");
+        let sensed: Vec<SensedRecord> = data
+            .iter_records()
+            .map(|r| {
+                let mut payload = BTreeMap::new();
+                payload.insert("lat".to_string(), Value::Num(r.point.latitude()));
+                payload.insert("lon".to_string(), Value::Num(r.point.longitude()));
+                SensedRecord {
+                    task,
+                    user: r.user,
+                    device: crate::device::DeviceId(r.user.0),
+                    time: r.time,
+                    payload: Value::Map(payload),
+                }
+            })
+            .collect();
+        honeycomb.receive(sensed);
+
+        let gateway = PublicationGateway::default();
+        let published = gateway.publish_task(&honeycomb, task).unwrap();
+        let floor = gateway.privapi().config().privacy_floor;
+        assert!(
+            published.privacy.recall <= floor + 1e-9,
+            "gateway release leaks {} above floor {floor}",
+            published.privacy.recall
+        );
+        assert_eq!(published.dataset.user_count(), data.user_count());
+        assert!(published.selection.winner().is_some());
+    }
+
+    #[test]
+    fn publication_gateway_rejects_empty_task() {
+        use crate::hive::TaskId;
+        use crate::honeycomb::Honeycomb;
+
+        let honeycomb = Honeycomb::new("empty");
+        let gateway = PublicationGateway::default();
+        assert!(matches!(
+            gateway.publish_task(&honeycomb, TaskId(1)),
+            Err(privapi::PrivapiError::EmptyDataset)
+        ));
     }
 
     #[test]

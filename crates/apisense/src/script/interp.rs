@@ -196,9 +196,7 @@ impl<'h> Interpreter<'h> {
                 match op {
                     UnaryOp::Neg => match value {
                         Value::Num(n) => Ok(Value::Num(-n)),
-                        other => Err(ApisenseError::Runtime(format!(
-                            "cannot negate {other}"
-                        ))),
+                        other => Err(ApisenseError::Runtime(format!("cannot negate {other}"))),
                     },
                     UnaryOp::Not => Ok(Value::Bool(!value.is_truthy())),
                 }
@@ -230,9 +228,7 @@ impl<'h> Interpreter<'h> {
                     (Value::Map(m), Value::Str(k)) => {
                         Ok(m.get(&k).cloned().unwrap_or(Value::Null))
                     }
-                    (v, i) => Err(ApisenseError::Runtime(format!(
-                        "cannot index {v} with {i}"
-                    ))),
+                    (v, i) => Err(ApisenseError::Runtime(format!("cannot index {v} with {i}"))),
                 }
             }
             Expr::Call(callee, args) => self.eval_call(callee, args),
@@ -384,10 +380,9 @@ impl<'h> Interpreter<'h> {
                 let root = Self::root_ident(object).ok_or_else(|| {
                     ApisenseError::Runtime("unsupported assignment target".into())
                 })?;
-                let mut current = self
-                    .lookup(&root)
-                    .cloned()
-                    .ok_or_else(|| ApisenseError::Runtime(format!("undefined variable '{root}'")))?;
+                let mut current = self.lookup(&root).cloned().ok_or_else(|| {
+                    ApisenseError::Runtime(format!("undefined variable '{root}'"))
+                })?;
                 Self::set_path(&mut current, object, &Some(field.clone()), None, value)?;
                 self.assign_var(&root, current)
             }
@@ -396,10 +391,9 @@ impl<'h> Interpreter<'h> {
                 let root = Self::root_ident(object).ok_or_else(|| {
                     ApisenseError::Runtime("unsupported assignment target".into())
                 })?;
-                let mut current = self
-                    .lookup(&root)
-                    .cloned()
-                    .ok_or_else(|| ApisenseError::Runtime(format!("undefined variable '{root}'")))?;
+                let mut current = self.lookup(&root).cloned().ok_or_else(|| {
+                    ApisenseError::Runtime(format!("undefined variable '{root}'"))
+                })?;
                 Self::set_path(&mut current, object, &None, Some(idx), value)?;
                 self.assign_var(&root, current)
             }
@@ -476,7 +470,8 @@ mod tests {
             self.calls.push(path.to_string());
             match path {
                 "emit" => {
-                    self.emitted.push(args.first().cloned().unwrap_or(Value::Null));
+                    self.emitted
+                        .push(args.first().cloned().unwrap_or(Value::Null));
                     Ok(Value::Null)
                 }
                 "sensor.battery" => Ok(Value::Num(0.75)),
@@ -486,9 +481,7 @@ mod tests {
                     m.insert("lon".to_string(), Value::Num(4.85));
                     Ok(Value::Map(m))
                 }
-                "math.floor" => Ok(Value::Num(
-                    args[0].as_num().unwrap_or(f64::NAN).floor(),
-                )),
+                "math.floor" => Ok(Value::Num(args[0].as_num().unwrap_or(f64::NAN).floor())),
                 other => Err(ApisenseError::UnknownSensor(other.to_string())),
             }
         }
@@ -572,12 +565,10 @@ mod tests {
 
     #[test]
     fn emit_collects_records() {
-        let (_, host) = run(
-            r#"
+        let (_, host) = run(r#"
             let fix = sensor.gps();
             emit({ "lat": fix.lat, "lon": fix.lon, "battery": sensor.battery() });
-            "#,
-        );
+            "#);
         assert_eq!(host.emitted.len(), 1);
         let m = host.emitted[0].as_map().unwrap();
         assert_eq!(m["lat"], Value::Num(45.75));
@@ -622,7 +613,9 @@ mod tests {
         assert!(run_err("1()").to_string().contains("callee"));
         assert!(run_err("null + 1").to_string().contains("cannot add"));
         assert!(run_err("unknown.host()").to_string().contains("unknown"));
-        assert!(run_err("let xs = [1]; xs[5] = 0;").to_string().contains("out of bounds"));
+        assert!(run_err("let xs = [1]; xs[5] = 0;")
+            .to_string()
+            .contains("out of bounds"));
         assert!(run_err("x = 1;").to_string().contains("undeclared"));
     }
 
@@ -640,8 +633,7 @@ mod tests {
 
     #[test]
     fn realistic_sensing_script() {
-        let (_, host) = run(
-            r#"
+        let (_, host) = run(r#"
             // Sample GPS only when the battery allows it, and tag readings.
             fn classify(level) {
                 if (level > 0.6) { return "good"; }
@@ -660,8 +652,7 @@ mod tests {
                 });
                 i = i + 1;
             }
-            "#,
-        );
+            "#);
         assert_eq!(host.emitted.len(), 3);
         for (i, record) in host.emitted.iter().enumerate() {
             let m = record.as_map().unwrap();

@@ -91,10 +91,11 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, ApisenseError> {
                             break;
                         }
                         Some('\\') => {
-                            let escaped = chars.get(i + 1).ok_or_else(|| ApisenseError::Lex {
-                                message: "unterminated escape".into(),
-                                line,
-                            })?;
+                            let escaped =
+                                chars.get(i + 1).ok_or_else(|| ApisenseError::Lex {
+                                    message: "unterminated escape".into(),
+                                    line,
+                                })?;
                             text.push(match escaped {
                                 'n' => '\n',
                                 't' => '\t',
@@ -152,11 +153,11 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, ApisenseError> {
                     continue;
                 }
                 let one = [
-                    "+", "-", "*", "/", "%", "<", ">", "=", "!", "(", ")", "{", "}", "[",
-                    "]", ",", ";", ":", ".",
+                    "+", "-", "*", "/", "%", "<", ">", "=", "!", "(", ")", "{", "}", "[", "]",
+                    ",", ";", ":", ".",
                 ]
                 .iter()
-                .find(|op| op.chars().next() == Some(c));
+                .find(|op| op.starts_with(c));
                 match one {
                     Some(op) => {
                         tokens.push(Token {
@@ -279,9 +280,6 @@ mod tests {
 
     #[test]
     fn bad_number_errors() {
-        assert!(matches!(
-            tokenize("1.2.3"),
-            Err(ApisenseError::Lex { .. })
-        ));
+        assert!(matches!(tokenize("1.2.3"), Err(ApisenseError::Lex { .. })));
     }
 }

@@ -250,7 +250,10 @@ impl Parser {
         let expr = self.expression()?;
         // Trailing expression without semicolon is allowed at EOF (script
         // result value); otherwise a semicolon is required.
-        if !self.try_punct(";") && !self.check_eof() && !matches!(self.peek(), TokenKind::Punct("}")) {
+        if !self.try_punct(";")
+            && !self.check_eof()
+            && !matches!(self.peek(), TokenKind::Punct("}"))
+        {
             return Err(self.error("expected ';' after expression"));
         }
         Ok(Stmt::Expr(expr))
@@ -532,7 +535,10 @@ mod tests {
         let p = parse_src("let x = 1; x + 2;");
         assert_eq!(p.statements.len(), 2);
         assert!(matches!(&p.statements[0], Stmt::Let(name, _) if name == "x"));
-        assert!(matches!(&p.statements[1], Stmt::Expr(Expr::Binary(BinaryOp::Add, _, _))));
+        assert!(matches!(
+            &p.statements[1],
+            Stmt::Expr(Expr::Binary(BinaryOp::Add, _, _))
+        ));
     }
 
     #[test]
@@ -592,16 +598,22 @@ mod tests {
     fn list_and_map_literals() {
         let p = parse_src(r#"[1, "two", true]; { "a": 1, b: 2 };"#);
         assert!(matches!(&p.statements[0], Stmt::Expr(Expr::List(items)) if items.len() == 3));
-        assert!(matches!(&p.statements[1], Stmt::Expr(Expr::Map(entries)) if entries.len() == 2));
+        assert!(
+            matches!(&p.statements[1], Stmt::Expr(Expr::Map(entries)) if entries.len() == 2)
+        );
     }
 
     #[test]
     fn index_and_assignment() {
         let p = parse_src("xs[0] = 5; m.field = 2;");
-        assert!(matches!(&p.statements[0], Stmt::Expr(Expr::Assign(target, _))
-            if matches!(**target, Expr::Index(_, _))));
-        assert!(matches!(&p.statements[1], Stmt::Expr(Expr::Assign(target, _))
-            if matches!(**target, Expr::Member(_, _))));
+        assert!(
+            matches!(&p.statements[0], Stmt::Expr(Expr::Assign(target, _))
+            if matches!(**target, Expr::Index(_, _)))
+        );
+        assert!(
+            matches!(&p.statements[1], Stmt::Expr(Expr::Assign(target, _))
+            if matches!(**target, Expr::Member(_, _)))
+        );
     }
 
     #[test]

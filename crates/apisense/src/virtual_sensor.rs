@@ -178,9 +178,9 @@ impl VirtualSensor {
             let Some(position) = device.position_at(now) else {
                 continue;
             };
-            device
-                .battery_mut()
-                .drain(SensorKind::Gps.sample_cost() + SensorKind::NetworkQuality.sample_cost());
+            device.battery_mut().drain(
+                SensorKind::Gps.sample_cost() + SensorKind::NetworkQuality.sample_cost(),
+            );
             let mut payload = BTreeMap::new();
             payload.insert("lat".to_string(), Value::Num(position.latitude()));
             payload.insert("lon".to_string(), Value::Num(position.longitude()));
@@ -199,11 +199,7 @@ impl VirtualSensor {
     }
 }
 
-fn min_distance(
-    p: &GeoPoint,
-    chosen: &[usize],
-    positions: &BTreeMap<usize, GeoPoint>,
-) -> f64 {
+fn min_distance(p: &GeoPoint, chosen: &[usize], positions: &BTreeMap<usize, GeoPoint>) -> f64 {
     chosen
         .iter()
         .filter_map(|i| positions.get(i))

@@ -37,7 +37,12 @@ fn bench_e3(c: &mut Criterion) {
         })
     });
     group.bench_function("distortion_10u3d", |b| {
-        b.iter(|| black_box(spatial_distortion(black_box(&data.dataset), black_box(&protected))))
+        b.iter(|| {
+            black_box(spatial_distortion(
+                black_box(&data.dataset),
+                black_box(&protected),
+            ))
+        })
     });
     group.finish();
 }

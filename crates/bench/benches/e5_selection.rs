@@ -26,7 +26,7 @@ fn bench_e5(c: &mut Criterion) {
                 0.3,
                 1,
             )
-            .with_default_candidates();
+            .with_pool(StrategyPool::default_pool());
             black_box(selector.select(black_box(&data.dataset), &reference).ok());
         })
     });

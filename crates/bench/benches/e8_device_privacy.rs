@@ -12,7 +12,10 @@ use std::time::Duration;
 
 fn record(i: i64) -> SensedRecord {
     let mut payload = BTreeMap::new();
-    payload.insert("lat".to_string(), Value::Num(45.75 + (i % 100) as f64 * 1e-4));
+    payload.insert(
+        "lat".to_string(),
+        Value::Num(45.75 + (i % 100) as f64 * 1e-4),
+    );
     payload.insert("lon".to_string(), Value::Num(4.85));
     SensedRecord {
         task: TaskId(1),
@@ -46,12 +49,9 @@ fn bench_e8(c: &mut Criterion) {
         })
     });
     group.bench_function("hash_1000_contacts", |b| {
-        let contacts: Vec<String> = (0..1_000).map(|i| format!("user{i}@example.org")).collect();
-        b.iter(|| {
-            black_box(
-                full_chain.hash_contacts(contacts.iter().map(String::as_str)),
-            )
-        })
+        let contacts: Vec<String> =
+            (0..1_000).map(|i| format!("user{i}@example.org")).collect();
+        b.iter(|| black_box(full_chain.hash_contacts(contacts.iter().map(String::as_str))))
     });
     group.finish();
 }

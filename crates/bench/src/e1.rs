@@ -8,7 +8,6 @@
 use crate::data::standard_dataset;
 use crate::Scale;
 use privapi::attack::{PoiAttack, ReidentificationAttack};
-use privapi::prelude::*;
 use privapi::strategy::AnonymizationStrategy;
 use std::fmt;
 
@@ -80,23 +79,11 @@ impl fmt::Display for E1Table {
     }
 }
 
-/// The mechanism grid of E1.
+/// The mechanism grid of E1 — the shared measurement pool
+/// ([`privapi::pool::StrategyPool::evaluation_grid`]), so experiments and
+/// middleware draw candidates from one definition.
 pub fn mechanisms() -> Vec<Box<dyn AnonymizationStrategy>> {
-    vec![
-        Box::new(Identity::new()),
-        Box::new(GeoIndistinguishability::new(0.1).expect("static")),
-        Box::new(GeoIndistinguishability::new(0.01).expect("static")),
-        Box::new(GeoIndistinguishability::for_radius(geo::Meters::new(200.0)).expect("static")),
-        Box::new(GeoIndistinguishability::new(0.005).expect("static")),
-        Box::new(GeoIndistinguishability::new(0.001).expect("static")),
-        Box::new(SpeedSmoothing::new(geo::Meters::new(50.0)).expect("static")),
-        Box::new(SpeedSmoothing::new(geo::Meters::new(100.0)).expect("static")),
-        Box::new(SpeedSmoothing::new(geo::Meters::new(200.0)).expect("static")),
-        Box::new(SpeedSmoothing::new(geo::Meters::new(500.0)).expect("static")),
-        Box::new(SpatialCloaking::new(geo::Meters::new(250.0)).expect("static")),
-        Box::new(GaussianPerturbation::new(geo::Meters::new(200.0)).expect("static")),
-        Box::new(TemporalDownsampling::new(600).expect("static")),
-    ]
+    privapi::pool::StrategyPool::evaluation_grid().into_candidates()
 }
 
 /// Runs E1.

@@ -119,7 +119,11 @@ mod tests {
     fn e2_smoothing_flattens_speed() {
         let table = run(Scale::Small);
         // Raw commuter data has highly variable speed and half-day dwells.
-        assert!(table.raw.mean_speed_cv > 1.0, "raw cv {}", table.raw.mean_speed_cv);
+        assert!(
+            table.raw.mean_speed_cv > 1.0,
+            "raw cv {}",
+            table.raw.mean_speed_cv
+        );
         assert!(table.raw.max_dwell_min > 300.0);
         for row in &table.rows {
             // The paper's guarantee: speed is constant.

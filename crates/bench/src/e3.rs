@@ -121,10 +121,7 @@ mod tests {
         let strong_noise = table
             .row("geo-indistinguishability(epsilon=0.0010")
             .expect("strong geo-i row");
-        assert!(
-            best_smoothing > 0.4,
-            "best smoothing P@k {best_smoothing}"
-        );
+        assert!(best_smoothing > 0.4, "best smoothing P@k {best_smoothing}");
         assert!(
             best_smoothing > strong_noise.crowded_precision + 0.1,
             "smoothing {} vs strong noise {}",

@@ -7,6 +7,7 @@
 use crate::data::standard_dataset;
 use crate::Scale;
 use privapi::attack::PoiAttack;
+use privapi::pool::StrategyPool;
 use privapi::selection::{Objective, SelectionReport, StrategySelector};
 use std::fmt;
 
@@ -76,8 +77,8 @@ pub fn run(scale: Scale) -> E5Table {
     let mut reports = Vec::new();
     for floor in [0.25, 0.10] {
         for objective in objectives {
-            let selector =
-                StrategySelector::new(objective, floor, 0xE5).with_default_candidates();
+            let selector = StrategySelector::new(objective, floor, 0xE5)
+                .with_pool(StrategyPool::default_pool());
             match selector.select(&data.dataset, &reference) {
                 Ok((winner, report)) => {
                     let row = report.winner().expect("chosen row exists").clone();

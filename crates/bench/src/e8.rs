@@ -88,7 +88,9 @@ pub fn run(scale: crate::Scale) -> E8Table {
         })
         .collect();
 
-    let profiles: Vec<(String, Box<dyn Fn(geo::GeoPoint) -> PrivacyPreferences>)> = vec![
+    /// A named builder of per-user preferences from the user's home site.
+    type PreferenceProfile = (String, Box<dyn Fn(geo::GeoPoint) -> PrivacyPreferences>);
+    let profiles: Vec<PreferenceProfile> = vec![
         (
             "share everything".to_string(),
             Box::new(|_| PrivacyPreferences::default()),

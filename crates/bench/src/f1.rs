@@ -18,14 +18,23 @@ pub struct F1Figure {
 
 impl fmt::Display for F1Figure {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "F1 — architecture of the data collection platform (Figure 1)")?;
+        writeln!(
+            f,
+            "F1 — architecture of the data collection platform (Figure 1)"
+        )?;
         writeln!(f)?;
         writeln!(f, "   Honeycomb (experimenter)")?;
         writeln!(f, "       │  1. upload task script          ▲")?;
-        writeln!(f, "       ▼                                 │ 4. forward dataset")?;
+        writeln!(
+            f,
+            "       ▼                                 │ 4. forward dataset"
+        )?;
         writeln!(f, "     Hive (community management, task publishing)")?;
         writeln!(f, "       │  2. offload script              ▲")?;
-        writeln!(f, "       ▼                                 │ 3. stream records")?;
+        writeln!(
+            f,
+            "       ▼                                 │ 3. stream records"
+        )?;
         writeln!(
             f,
             "     {} mobile devices (scripts + device-side privacy layer)",

@@ -436,13 +436,16 @@ mod tests {
     use mobility::{LocationRecord, Timestamp, Trajectory};
 
     fn small_data() -> mobility::gen::GeneratedData {
-        CityModel::builder().seed(42).build().generate_with_truth(&PopulationConfig {
-            users: 5,
-            days: 5,
-            sampling_interval_s: 120,
-            gps_noise_m: 5.0,
-            leisure_probability: 0.4,
-        })
+        CityModel::builder()
+            .seed(42)
+            .build()
+            .generate_with_truth(&PopulationConfig {
+                users: 5,
+                days: 5,
+                sampling_interval_s: 120,
+                gps_noise_m: 5.0,
+                leisure_probability: 0.4,
+            })
     }
 
     #[test]

@@ -1,0 +1,465 @@
+//! The parallel, cache-aware strategy-evaluation engine.
+//!
+//! "Thanks to its knowledge on the whole dataset it can use an optimal
+//! anonymization strategy on mobility data while still offering a
+//! satisfactory level of utility" (paper, §1). Searching the strategy pool
+//! is the middleware's hottest path: every candidate must be anonymized,
+//! self-attacked and utility-scored. Two structural costs dominate a naive
+//! loop, and this module removes both:
+//!
+//! 1. **Per-candidate recomputation of original-dataset projections.** The
+//!    objective's view of the *original* dataset — the crowded-places grid
+//!    and top-k set, the traffic grid, day split and ground-truth histogram
+//!    — depends only on the original data, yet the legacy selector rebuilt
+//!    it inside `utility_of` for every candidate. [`EvalContext`] builds
+//!    each projection exactly once and shares it across the pool.
+//! 2. **Sequential candidate evaluation.** Candidates are independent given
+//!    the shared context, so [`EvaluationEngine`] scores them with rayon's
+//!    data parallelism. Results are collected in pool order and the winner
+//!    is chosen by the total, deterministic `(utility, −recall, index)`
+//!    ordering, so the parallel report is **identical** to the sequential
+//!    one — verified by a property test over seeds.
+
+use crate::attack::{PoiAttack, PoiAttackReport, ReferencePois};
+use crate::error::PrivapiError;
+use crate::metrics::{spatial_distortion, CrowdedBaseline, TrafficBaseline};
+use crate::pool::StrategyPool;
+use crate::selection::{CandidateResult, Objective, SelectionReport};
+use mobility::Dataset;
+use rayon::prelude::*;
+
+/// How the engine schedules candidate evaluations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionMode {
+    /// One candidate at a time, in pool order.
+    Sequential,
+    /// All candidates fanned out over the available cores (the default).
+    #[default]
+    Parallel,
+}
+
+/// Shared, read-only per-objective projections of the original dataset,
+/// computed once per selection run and reused by every candidate.
+#[derive(Debug)]
+pub struct EvalContext<'a> {
+    original: &'a Dataset,
+    reference: &'a ReferencePois,
+    baseline: ObjectiveBaseline,
+}
+
+/// The objective-specific precomputation.
+#[derive(Debug)]
+enum ObjectiveBaseline {
+    /// Crowded places: grid + original top-k hot cells.
+    Crowded(CrowdedBaseline),
+    /// Traffic: grid, day split and final-day ground truth.
+    Traffic(TrafficBaseline),
+    /// Distortion pairs original and protected trajectories directly;
+    /// there is no original-only projection worth caching.
+    Distortion,
+    /// The baseline could not be built (e.g. single-day data under the
+    /// traffic objective). Mirrors the legacy per-candidate error path:
+    /// every candidate scores utility 0.
+    Unavailable,
+}
+
+impl<'a> EvalContext<'a> {
+    /// Builds the shared projections for `objective` over `original`.
+    ///
+    /// `reference` is the POI set privacy is scored against — usually the
+    /// attack's own extraction from the raw data.
+    pub fn new(
+        original: &'a Dataset,
+        reference: &'a ReferencePois,
+        objective: Objective,
+    ) -> Self {
+        let baseline = match objective {
+            Objective::CrowdedPlaces { cell, k } => CrowdedBaseline::new(original, cell, k)
+                .map(ObjectiveBaseline::Crowded)
+                .unwrap_or(ObjectiveBaseline::Unavailable),
+            Objective::Traffic { cell } => TrafficBaseline::new(original, cell)
+                .map(ObjectiveBaseline::Traffic)
+                .unwrap_or(ObjectiveBaseline::Unavailable),
+            Objective::Distortion => ObjectiveBaseline::Distortion,
+        };
+        Self {
+            original,
+            reference,
+            baseline,
+        }
+    }
+
+    /// The original dataset under evaluation.
+    pub fn original(&self) -> &Dataset {
+        self.original
+    }
+
+    /// The reference POIs privacy is scored against.
+    pub fn reference(&self) -> &ReferencePois {
+        self.reference
+    }
+
+    /// Scores the utility of one protected candidate (in `[0, 1]`) against
+    /// the precomputed original-side projections.
+    pub fn utility_of(&self, protected: &Dataset) -> f64 {
+        match &self.baseline {
+            ObjectiveBaseline::Crowded(b) => b.score(protected).precision_at_k,
+            ObjectiveBaseline::Traffic(b) => b.score(protected).utility_score(),
+            ObjectiveBaseline::Distortion => spatial_distortion(self.original, protected)
+                .map(|r| r.utility_score())
+                .unwrap_or(0.0),
+            ObjectiveBaseline::Unavailable => 0.0,
+        }
+    }
+}
+
+/// Picks the winner index under the total `(utility, −recall, index)` order.
+///
+/// Among feasible candidates: highest utility wins; equal utility falls back
+/// to lowest POI recall (more privacy at no utility cost); a full tie keeps
+/// the lowest pool index. Because the order is total and independent of
+/// evaluation schedule, parallel and sequential runs agree bit-for-bit.
+pub fn choose_winner(candidates: &[CandidateResult]) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for (index, candidate) in candidates.iter().enumerate() {
+        if !candidate.feasible {
+            continue;
+        }
+        let better = match best {
+            None => true,
+            Some(b) => {
+                let incumbent = &candidates[b];
+                candidate.utility > incumbent.utility
+                    || (candidate.utility == incumbent.utility
+                        && candidate.poi_recall < incumbent.poi_recall)
+            }
+        };
+        if better {
+            best = Some(index);
+        }
+    }
+    best
+}
+
+/// The strategy-evaluation engine.
+///
+/// Owns the run parameters (objective, privacy floor, seed, attack) and
+/// turns a [`StrategyPool`] plus a dataset into a [`SelectionReport`].
+#[derive(Debug)]
+pub struct EvaluationEngine {
+    attack: PoiAttack,
+    objective: Objective,
+    privacy_floor: f64,
+    seed: u64,
+    mode: ExecutionMode,
+}
+
+impl EvaluationEngine {
+    /// Creates an engine evaluating `objective` under `privacy_floor`
+    /// (maximum tolerated POI recall, clamped to `[0, 1]`); `seed` drives
+    /// all randomized candidates. Parallel by default.
+    pub fn new(objective: Objective, privacy_floor: f64, seed: u64) -> Self {
+        Self {
+            attack: PoiAttack::default(),
+            objective,
+            privacy_floor: privacy_floor.clamp(0.0, 1.0),
+            seed,
+            mode: ExecutionMode::default(),
+        }
+    }
+
+    /// Replaces the attack used to score privacy.
+    pub fn with_attack(mut self, attack: PoiAttack) -> Self {
+        self.attack = attack;
+        self
+    }
+
+    /// Sets the execution mode (parallel by default).
+    pub fn with_mode(mut self, mode: ExecutionMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The configured objective.
+    pub fn objective(&self) -> Objective {
+        self.objective
+    }
+
+    /// The configured privacy floor.
+    pub fn privacy_floor(&self) -> f64 {
+        self.privacy_floor
+    }
+
+    /// Evaluates every candidate of `pool` against `dataset` and reports
+    /// per-candidate privacy/utility plus the deterministic winner.
+    ///
+    /// The report's `candidates` are in pool order and its `chosen` index
+    /// follows the `(utility, −recall, index)` ordering of
+    /// [`choose_winner`], regardless of [`ExecutionMode`]. A report with no
+    /// feasible candidate has `chosen == None` (turning that into an error
+    /// is the caller's policy — see [`crate::selection::StrategySelector`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrivapiError::EmptyDataset`] when the pool or the dataset
+    /// is empty.
+    pub fn evaluate(
+        &self,
+        pool: &StrategyPool,
+        dataset: &Dataset,
+        reference: &ReferencePois,
+    ) -> Result<SelectionReport, PrivapiError> {
+        Ok(self.sweep(pool, dataset, reference)?.0)
+    }
+
+    /// Like [`EvaluationEngine::evaluate`], but also returns the winner's
+    /// release artifacts: its protected dataset and full privacy report.
+    ///
+    /// The privacy report is the one measured during the sweep; only the
+    /// winner's `anonymize` is re-run (deterministic per `(dataset, seed)`,
+    /// so the release is bit-identical to what was scored) — this keeps
+    /// memory flat at thread-count × dataset instead of retaining every
+    /// candidate's protected copy, while sparing callers the *expensive*
+    /// duplicate, a second self-attack over the release.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrivapiError::EmptyDataset`] when the pool or the dataset
+    /// is empty.
+    pub fn evaluate_release(
+        &self,
+        pool: &StrategyPool,
+        dataset: &Dataset,
+        reference: &ReferencePois,
+    ) -> Result<(SelectionReport, Option<WinnerRelease>), PrivapiError> {
+        let (report, privacy_reports) = self.sweep(pool, dataset, reference)?;
+        let winner = report.chosen.map(|index| WinnerRelease {
+            index,
+            dataset: pool
+                .get(index)
+                .expect("chosen index in pool")
+                .anonymize(dataset, self.seed),
+            privacy: privacy_reports[index].clone(),
+        });
+        Ok((report, winner))
+    }
+
+    /// Scores the whole pool and assembles the report plus the full
+    /// per-candidate privacy measurements (pool order).
+    fn sweep(
+        &self,
+        pool: &StrategyPool,
+        dataset: &Dataset,
+        reference: &ReferencePois,
+    ) -> Result<(SelectionReport, Vec<PoiAttackReport>), PrivapiError> {
+        if pool.is_empty() || dataset.record_count() == 0 {
+            return Err(PrivapiError::EmptyDataset);
+        }
+        let context = EvalContext::new(dataset, reference, self.objective);
+        let candidates: Vec<&dyn crate::strategy::AnonymizationStrategy> =
+            pool.iter().collect();
+        let scored: Vec<(CandidateResult, PoiAttackReport)> = match self.mode {
+            ExecutionMode::Sequential => candidates
+                .iter()
+                .map(|s| self.evaluate_candidate(*s, &context))
+                .collect(),
+            ExecutionMode::Parallel => candidates
+                .par_iter()
+                .map(|s| self.evaluate_candidate(*s, &context))
+                .collect(),
+        };
+        let (results, privacy_reports): (Vec<_>, Vec<_>) = scored.into_iter().unzip();
+        let chosen = choose_winner(&results);
+        let report = SelectionReport {
+            candidates: results,
+            chosen,
+            privacy_floor: self.privacy_floor,
+            objective: self.objective,
+        };
+        Ok((report, privacy_reports))
+    }
+
+    /// Anonymize → self-attack → utility for one candidate.
+    fn evaluate_candidate(
+        &self,
+        strategy: &dyn crate::strategy::AnonymizationStrategy,
+        context: &EvalContext<'_>,
+    ) -> (CandidateResult, PoiAttackReport) {
+        let protected = strategy.anonymize(context.original(), self.seed);
+        let privacy = self
+            .attack
+            .evaluate_reference(&protected, context.reference());
+        let utility = context.utility_of(&protected);
+        let result = CandidateResult {
+            info: strategy.info(),
+            poi_recall: privacy.recall,
+            utility,
+            feasible: privacy.recall <= self.privacy_floor,
+        };
+        (result, privacy)
+    }
+}
+
+/// The winning candidate's release artifacts from
+/// [`EvaluationEngine::evaluate_release`].
+#[derive(Debug, Clone)]
+pub struct WinnerRelease {
+    /// Winner index into the evaluated pool (equals the report's `chosen`).
+    pub index: usize,
+    /// The winner's protected dataset, ready to publish.
+    pub dataset: Dataset,
+    /// The winner's full privacy measurement from the sweep.
+    pub privacy: PoiAttackReport,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attack::reference_from_truth;
+    use crate::strategy::StrategyInfo;
+    use geo::Meters;
+    use mobility::gen::{CityModel, PopulationConfig};
+
+    fn row(utility: f64, recall: f64, feasible: bool) -> CandidateResult {
+        CandidateResult {
+            info: StrategyInfo {
+                name: "fake".into(),
+                params: String::new(),
+            },
+            poi_recall: recall,
+            utility,
+            feasible,
+        }
+    }
+
+    #[test]
+    fn winner_prefers_highest_utility() {
+        let rows = [
+            row(0.2, 0.1, true),
+            row(0.9, 0.2, true),
+            row(0.5, 0.0, true),
+        ];
+        assert_eq!(choose_winner(&rows), Some(1));
+    }
+
+    #[test]
+    fn winner_breaks_utility_ties_by_lower_recall() {
+        let rows = [
+            row(0.9, 0.20, true),
+            row(0.9, 0.05, true),
+            row(0.9, 0.10, true),
+        ];
+        assert_eq!(choose_winner(&rows), Some(1));
+    }
+
+    #[test]
+    fn winner_breaks_full_ties_by_lowest_index() {
+        let rows = [
+            row(0.9, 0.1, true),
+            row(0.9, 0.1, true),
+            row(0.9, 0.1, true),
+        ];
+        assert_eq!(choose_winner(&rows), Some(0));
+    }
+
+    #[test]
+    fn winner_ignores_infeasible_candidates() {
+        let rows = [
+            row(1.0, 0.9, false),
+            row(0.3, 0.1, true),
+            row(1.0, 0.9, false),
+        ];
+        assert_eq!(choose_winner(&rows), Some(1));
+        let none = [row(1.0, 0.9, false)];
+        assert_eq!(choose_winner(&none), None);
+    }
+
+    #[test]
+    fn winner_is_schedule_independent() {
+        // The order relation must not depend on which comparison runs
+        // first: reversing the slice maps the winner to the mirrored index
+        // except for ties, which stay at the lowest original index.
+        let rows = [
+            row(0.4, 0.3, true),
+            row(0.9, 0.2, true),
+            row(0.4, 0.1, true),
+        ];
+        let mut reversed = rows.to_vec();
+        reversed.reverse();
+        assert_eq!(choose_winner(&rows), Some(1));
+        assert_eq!(choose_winner(&reversed), Some(1));
+    }
+
+    #[test]
+    fn parallel_and_sequential_reports_are_identical() {
+        let data =
+            CityModel::builder()
+                .seed(11)
+                .build()
+                .generate_with_truth(&PopulationConfig {
+                    users: 4,
+                    days: 3,
+                    sampling_interval_s: 180,
+                    gps_noise_m: 5.0,
+                    leisure_probability: 0.4,
+                });
+        let reference = reference_from_truth(&data.truth);
+        let pool = StrategyPool::default_pool();
+        let objective = Objective::CrowdedPlaces {
+            cell: Meters::new(250.0),
+            k: 10,
+        };
+        let sequential = EvaluationEngine::new(objective, 0.25, 7)
+            .with_mode(ExecutionMode::Sequential)
+            .evaluate(&pool, &data.dataset, &reference)
+            .unwrap();
+        let parallel = EvaluationEngine::new(objective, 0.25, 7)
+            .with_mode(ExecutionMode::Parallel)
+            .evaluate(&pool, &data.dataset, &reference)
+            .unwrap();
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn empty_pool_and_dataset_error() {
+        let reference = ReferencePois::new();
+        let engine = EvaluationEngine::new(Objective::Distortion, 0.5, 1);
+        assert!(matches!(
+            engine.evaluate(&StrategyPool::new(), &Dataset::new(), &reference),
+            Err(PrivapiError::EmptyDataset)
+        ));
+        assert!(matches!(
+            engine.evaluate(&StrategyPool::default_pool(), &Dataset::new(), &reference),
+            Err(PrivapiError::EmptyDataset)
+        ));
+    }
+
+    #[test]
+    fn unavailable_baseline_scores_zero_utility() {
+        // Single-day data cannot back a traffic forecast: the legacy path
+        // scored every candidate 0.0; the shared context must agree.
+        let data =
+            CityModel::builder()
+                .seed(5)
+                .build()
+                .generate_with_truth(&PopulationConfig {
+                    users: 3,
+                    days: 1,
+                    sampling_interval_s: 300,
+                    gps_noise_m: 5.0,
+                    leisure_probability: 0.2,
+                });
+        let reference = reference_from_truth(&data.truth);
+        let pool = StrategyPool::new().with_identity();
+        let report = EvaluationEngine::new(
+            Objective::Traffic {
+                cell: Meters::new(500.0),
+            },
+            1.0,
+            1,
+        )
+        .evaluate(&pool, &data.dataset, &reference)
+        .unwrap();
+        assert!(report.candidates.iter().all(|c| c.utility == 0.0));
+    }
+}

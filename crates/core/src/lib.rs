@@ -24,6 +24,9 @@
 //!   utility metrics;
 //! * [`selection`] — the utility-driven optimal strategy search under a
 //!   privacy floor;
+//! * [`pool`] — the shared registry of candidate-strategy pools;
+//! * [`engine`] — the parallel, cache-aware evaluation engine behind the
+//!   search;
 //! * [`pipeline`] — the [`pipeline::PrivApi`] middleware facade a platform
 //!   (e.g. APISENSE) plugs in before releasing datasets.
 //!
@@ -57,8 +60,10 @@
 mod error;
 
 pub mod attack;
+pub mod engine;
 pub mod metrics;
 pub mod pipeline;
+pub mod pool;
 pub mod selection;
 pub mod strategies;
 pub mod strategy;
@@ -68,11 +73,15 @@ pub use error::PrivapiError;
 /// Convenient single-import surface for the common PRIVAPI workflow.
 pub mod prelude {
     pub use crate::attack::{PoiAttack, ReidentificationAttack};
+    pub use crate::engine::{
+        choose_winner, EvalContext, EvaluationEngine, ExecutionMode, WinnerRelease,
+    };
     pub use crate::metrics::{
         crowded_places_utility, spatial_distortion, traffic_utility, CrowdedPlacesReport,
         DistortionReport, TrafficReport,
     };
     pub use crate::pipeline::{PrivApi, PrivApiConfig, PublishedDataset};
+    pub use crate::pool::StrategyPool;
     pub use crate::selection::{Objective, SelectionReport, StrategySelector};
     pub use crate::strategies::{
         GaussianPerturbation, GeoIndistinguishability, Identity, SpatialCloaking,

@@ -7,13 +7,13 @@ use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
 /// Distinct-visitor count per cell.
-fn visitor_histogram(
-    dataset: &Dataset,
-    grid: &UniformGrid,
-) -> HashMap<geo::CellId, u64> {
+fn visitor_histogram(dataset: &Dataset, grid: &UniformGrid) -> HashMap<geo::CellId, u64> {
     let mut visitors: HashMap<geo::CellId, HashSet<mobility::UserId>> = HashMap::new();
     for r in dataset.iter_records() {
-        visitors.entry(grid.cell_of(&r.point)).or_default().insert(r.user);
+        visitors
+            .entry(grid.cell_of(&r.point))
+            .or_default()
+            .insert(r.user);
     }
     visitors
         .into_iter()
@@ -35,6 +35,84 @@ pub struct CrowdedPlacesReport {
     pub cell_size_m: f64,
 }
 
+/// The original dataset's side of the crowded-places comparison, computed
+/// once and reusable across many protected candidates.
+///
+/// The analyst fixes the tessellation before receiving data, so the grid and
+/// the original top-`k` hot-cell set depend only on the original dataset —
+/// precomputing them here is what lets the selection engine score a whole
+/// strategy pool without re-gridding the original per candidate.
+#[derive(Debug, Clone)]
+pub struct CrowdedBaseline {
+    grid: UniformGrid,
+    top_orig: HashSet<geo::CellId>,
+    k: usize,
+    cell_size: Meters,
+}
+
+impl CrowdedBaseline {
+    /// Grids the original dataset and extracts its top-`k` crowded cells.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrivapiError::EmptyDataset`] when the original dataset is
+    /// empty and [`PrivapiError::InvalidParameter`] for a zero `k` or
+    /// non-positive cell size.
+    pub fn new(original: &Dataset, cell_size: Meters, k: usize) -> Result<Self, PrivapiError> {
+        if k == 0 {
+            return Err(PrivapiError::InvalidParameter {
+                name: "k",
+                value: "0".into(),
+            });
+        }
+        let bbox = original
+            .bounding_box()
+            .ok_or(PrivapiError::EmptyDataset)?
+            .expanded(0.001);
+        let grid =
+            UniformGrid::new(bbox, cell_size).map_err(|e| PrivapiError::InvalidParameter {
+                name: "cell_size",
+                value: e.to_string(),
+            })?;
+        let hist_orig = visitor_histogram(original, &grid);
+        let top_orig: HashSet<geo::CellId> = UniformGrid::top_k(&hist_orig, k)
+            .into_iter()
+            .map(|(c, _)| c)
+            .collect();
+        Ok(Self {
+            grid,
+            top_orig,
+            k,
+            cell_size,
+        })
+    }
+
+    /// Scores one protected dataset against the precomputed original top-k.
+    pub fn score(&self, protected: &Dataset) -> CrowdedPlacesReport {
+        let hist_prot = visitor_histogram(protected, &self.grid);
+        let top_prot: HashSet<geo::CellId> = UniformGrid::top_k(&hist_prot, self.k)
+            .into_iter()
+            .map(|(c, _)| c)
+            .collect();
+        let intersection = self.top_orig.intersection(&top_prot).count();
+        let union = self.top_orig.union(&top_prot).count();
+        CrowdedPlacesReport {
+            k: self.k,
+            precision_at_k: if self.top_orig.is_empty() {
+                0.0
+            } else {
+                intersection as f64 / self.top_orig.len() as f64
+            },
+            jaccard: if union == 0 {
+                0.0
+            } else {
+                intersection as f64 / union as f64
+            },
+            cell_size_m: self.cell_size.get(),
+        }
+    }
+}
+
 /// Computes crowded-places agreement on a `cell_size` grid.
 ///
 /// A cell's "crowdedness" is the number of **distinct users** observed in it
@@ -44,6 +122,9 @@ pub struct CrowdedPlacesReport {
 /// *original* dataset's grid (the analyst fixes the tessellation before
 /// receiving data), the top-`k` cells of each are intersected, and
 /// precision@k / Jaccard are reported.
+///
+/// One-shot wrapper over [`CrowdedBaseline`]; when scoring many candidates
+/// against the same original, build the baseline once instead.
 ///
 /// # Errors
 ///
@@ -56,46 +137,7 @@ pub fn crowded_places_utility(
     cell_size: Meters,
     k: usize,
 ) -> Result<CrowdedPlacesReport, PrivapiError> {
-    if k == 0 {
-        return Err(PrivapiError::InvalidParameter {
-            name: "k",
-            value: "0".into(),
-        });
-    }
-    let bbox = original
-        .bounding_box()
-        .ok_or(PrivapiError::EmptyDataset)?
-        .expanded(0.001);
-    let grid = UniformGrid::new(bbox, cell_size).map_err(|e| PrivapiError::InvalidParameter {
-        name: "cell_size",
-        value: e.to_string(),
-    })?;
-    let hist_orig = visitor_histogram(original, &grid);
-    let hist_prot = visitor_histogram(protected, &grid);
-    let top_orig: HashSet<geo::CellId> = UniformGrid::top_k(&hist_orig, k)
-        .into_iter()
-        .map(|(c, _)| c)
-        .collect();
-    let top_prot: HashSet<geo::CellId> = UniformGrid::top_k(&hist_prot, k)
-        .into_iter()
-        .map(|(c, _)| c)
-        .collect();
-    let intersection = top_orig.intersection(&top_prot).count();
-    let union = top_orig.union(&top_prot).count();
-    Ok(CrowdedPlacesReport {
-        k,
-        precision_at_k: if top_orig.is_empty() {
-            0.0
-        } else {
-            intersection as f64 / top_orig.len() as f64
-        },
-        jaccard: if union == 0 {
-            0.0
-        } else {
-            intersection as f64 / union as f64
-        },
-        cell_size_m: cell_size.get(),
-    })
+    Ok(CrowdedBaseline::new(original, cell_size, k)?.score(protected))
 }
 
 #[cfg(test)]

@@ -49,12 +49,17 @@ pub fn spatial_distortion(
     let mut index: BTreeMap<(UserId, i64), Vec<&Trajectory>> = BTreeMap::new();
     for t in protected.trajectories() {
         if let Some(start) = t.start_time() {
-            index.entry((t.user(), start.day_index())).or_default().push(t);
+            index
+                .entry((t.user(), start.day_index()))
+                .or_default()
+                .push(t);
         }
     }
     let mut displacements: Vec<f64> = Vec::new();
     for t in original.trajectories() {
-        let Some(start) = t.start_time() else { continue };
+        let Some(start) = t.start_time() else {
+            continue;
+        };
         let Some(candidates) = index.get(&(t.user(), start.day_index())) else {
             continue;
         };
@@ -147,7 +152,11 @@ mod tests {
             Trajectory::new(t.user(), records)
         });
         let report = spatial_distortion(&ds, &shifted).unwrap();
-        assert!((report.mean_m - 111.3).abs() < 1.0, "mean {}", report.mean_m);
+        assert!(
+            (report.mean_m - 111.3).abs() < 1.0,
+            "mean {}",
+            report.mean_m
+        );
         assert!((report.median_m - 111.3).abs() < 1.0);
         assert!(report.utility_score() < 0.75);
     }

@@ -17,6 +17,6 @@ mod crowded;
 mod distortion;
 mod traffic;
 
-pub use crowded::{crowded_places_utility, CrowdedPlacesReport};
+pub use crowded::{crowded_places_utility, CrowdedBaseline, CrowdedPlacesReport};
 pub use distortion::{spatial_distortion, DistortionReport};
-pub use traffic::{traffic_utility, TrafficReport};
+pub use traffic::{traffic_utility, TrafficBaseline, TrafficReport};

@@ -36,7 +36,11 @@ impl TrafficReport {
 
 /// Hourly visit counts per cell, keyed by `(cell, hour_of_day)`, restricted
 /// to a day filter.
-fn hourly_histogram<F>(dataset: &Dataset, grid: &UniformGrid, day_filter: F) -> HashMap<(CellId, i64), f64>
+fn hourly_histogram<F>(
+    dataset: &Dataset,
+    grid: &UniformGrid,
+    day_filter: F,
+) -> HashMap<(CellId, i64), f64>
 where
     F: Fn(i64) -> bool,
 {
@@ -52,7 +56,106 @@ where
     out
 }
 
+/// The original dataset's side of the traffic-forecast evaluation — grid,
+/// train/test day split and ground-truth histogram — computed once and
+/// reusable across many protected candidates.
+#[derive(Debug, Clone)]
+pub struct TrafficBaseline {
+    grid: UniformGrid,
+    eval_day: i64,
+    train_days: f64,
+    truth: HashMap<(CellId, i64), f64>,
+}
+
+impl TrafficBaseline {
+    /// Grids the original dataset and extracts the final-day ground truth.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrivapiError::EmptyDataset`] when the original dataset is
+    /// empty or spans fewer than two days (no train/test split possible).
+    pub fn new(original: &Dataset, cell_size: Meters) -> Result<Self, PrivapiError> {
+        let bbox = original
+            .bounding_box()
+            .ok_or(PrivapiError::EmptyDataset)?
+            .expanded(0.001);
+        let grid =
+            UniformGrid::new(bbox, cell_size).map_err(|e| PrivapiError::InvalidParameter {
+                name: "cell_size",
+                value: e.to_string(),
+            })?;
+        let days: Vec<i64> = {
+            let mut d: Vec<i64> = original
+                .iter_records()
+                .map(|r| r.time.day_index())
+                .collect();
+            d.sort_unstable();
+            d.dedup();
+            d
+        };
+        if days.len() < 2 {
+            return Err(PrivapiError::EmptyDataset);
+        }
+        let eval_day = *days.last().expect("non-empty");
+        let train_days = (days.len() - 1) as f64;
+        // Truth: original dataset, last day only.
+        let truth = hourly_histogram(original, &grid, |d| d == eval_day);
+        if truth.is_empty() {
+            return Err(PrivapiError::EmptyDataset);
+        }
+        Ok(Self {
+            grid,
+            eval_day,
+            train_days,
+            truth,
+        })
+    }
+
+    /// Trains the hourly forecast on one protected dataset and scores it
+    /// against the precomputed ground truth.
+    pub fn score(&self, protected: &Dataset) -> TrafficReport {
+        // Train on the protected dataset, all days but the last.
+        let train = hourly_histogram(protected, &self.grid, |d| d != self.eval_day);
+
+        // Forecast for (cell, hour) = mean daily count over training days.
+        let mut keys: Vec<(CellId, i64)> = self.truth.keys().copied().collect();
+        for k in train.keys() {
+            if !self.truth.contains_key(k) {
+                keys.push(*k);
+            }
+        }
+        keys.sort();
+
+        let mut abs_err = 0.0;
+        let mut total_truth = 0.0;
+        let mut pred_vec = Vec::with_capacity(keys.len());
+        let mut true_vec = Vec::with_capacity(keys.len());
+        for key in &keys {
+            let predicted = train.get(key).copied().unwrap_or(0.0) / self.train_days;
+            let actual = self.truth.get(key).copied().unwrap_or(0.0);
+            abs_err += (predicted - actual).abs();
+            total_truth += actual;
+            pred_vec.push(predicted);
+            true_vec.push(actual);
+        }
+        let relative = if total_truth == 0.0 {
+            1.0
+        } else {
+            abs_err / total_truth
+        };
+        TrafficReport {
+            relative_volume_error: relative,
+            correlation: pearson(&pred_vec, &true_vec),
+            evaluated_pairs: keys.len(),
+            eval_day: self.eval_day,
+        }
+    }
+}
+
 /// Runs the traffic-forecast evaluation on a `cell_size` grid.
+///
+/// One-shot wrapper over [`TrafficBaseline`]; when scoring many candidates
+/// against the same original, build the baseline once instead.
 ///
 /// # Errors
 ///
@@ -63,66 +166,7 @@ pub fn traffic_utility(
     protected: &Dataset,
     cell_size: Meters,
 ) -> Result<TrafficReport, PrivapiError> {
-    let bbox = original
-        .bounding_box()
-        .ok_or(PrivapiError::EmptyDataset)?
-        .expanded(0.001);
-    let grid = UniformGrid::new(bbox, cell_size).map_err(|e| PrivapiError::InvalidParameter {
-        name: "cell_size",
-        value: e.to_string(),
-    })?;
-    let days: Vec<i64> = {
-        let mut d: Vec<i64> = original.iter_records().map(|r| r.time.day_index()).collect();
-        d.sort_unstable();
-        d.dedup();
-        d
-    };
-    if days.len() < 2 {
-        return Err(PrivapiError::EmptyDataset);
-    }
-    let eval_day = *days.last().expect("non-empty");
-    let train_days = (days.len() - 1) as f64;
-
-    // Train on the protected dataset, all days but the last.
-    let train = hourly_histogram(protected, &grid, |d| d != eval_day);
-    // Truth: original dataset, last day only.
-    let truth = hourly_histogram(original, &grid, |d| d == eval_day);
-    if truth.is_empty() {
-        return Err(PrivapiError::EmptyDataset);
-    }
-
-    // Forecast for (cell, hour) = mean daily count over the training days.
-    let mut keys: Vec<(CellId, i64)> = truth.keys().copied().collect();
-    for k in train.keys() {
-        if !truth.contains_key(k) {
-            keys.push(*k);
-        }
-    }
-    keys.sort();
-
-    let mut abs_err = 0.0;
-    let mut total_truth = 0.0;
-    let mut pred_vec = Vec::with_capacity(keys.len());
-    let mut true_vec = Vec::with_capacity(keys.len());
-    for key in &keys {
-        let predicted = train.get(key).copied().unwrap_or(0.0) / train_days;
-        let actual = truth.get(key).copied().unwrap_or(0.0);
-        abs_err += (predicted - actual).abs();
-        total_truth += actual;
-        pred_vec.push(predicted);
-        true_vec.push(actual);
-    }
-    let relative = if total_truth == 0.0 {
-        1.0
-    } else {
-        abs_err / total_truth
-    };
-    Ok(TrafficReport {
-        relative_volume_error: relative,
-        correlation: pearson(&pred_vec, &true_vec),
-        evaluated_pairs: keys.len(),
-        eval_day,
-    })
+    Ok(TrafficBaseline::new(original, cell_size)?.score(protected))
 }
 
 /// Pearson correlation; `None` when either vector is degenerate.

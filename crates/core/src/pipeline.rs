@@ -12,8 +12,10 @@
 //! audit report.
 
 use crate::attack::{PoiAttack, PoiAttackReport};
+use crate::engine::{EvaluationEngine, ExecutionMode};
 use crate::error::PrivapiError;
-use crate::selection::{Objective, SelectionReport, StrategySelector};
+use crate::pool::StrategyPool;
+use crate::selection::{Objective, SelectionReport};
 use crate::strategy::StrategyInfo;
 use geo::Meters;
 use mobility::Dataset;
@@ -63,15 +65,32 @@ pub struct PublishedDataset {
 pub struct PrivApi {
     config: PrivApiConfig,
     attack: PoiAttack,
+    pool: StrategyPool,
+    mode: ExecutionMode,
 }
 
 impl PrivApi {
-    /// Creates the middleware with the given configuration.
+    /// Creates the middleware with the given configuration and the shared
+    /// [`StrategyPool::default_pool`].
     pub fn new(config: PrivApiConfig) -> Self {
         Self {
             config,
             attack: PoiAttack::default(),
+            pool: StrategyPool::default_pool(),
+            mode: ExecutionMode::default(),
         }
+    }
+
+    /// Replaces the strategy pool searched on every publication.
+    pub fn with_pool(mut self, pool: StrategyPool) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// Sets the evaluation schedule (parallel by default).
+    pub fn with_mode(mut self, mode: ExecutionMode) -> Self {
+        self.mode = mode;
+        self
     }
 
     /// The active configuration.
@@ -79,7 +98,15 @@ impl PrivApi {
         &self.config
     }
 
+    /// The strategy pool searched on every publication.
+    pub fn pool(&self) -> &StrategyPool {
+        &self.pool
+    }
+
     /// Protects and publishes a collected mobility dataset.
+    ///
+    /// The pool is searched by the parallel [`EvaluationEngine`] against
+    /// per-objective projections of the dataset computed once per call.
     ///
     /// # Errors
     ///
@@ -92,19 +119,22 @@ impl PrivApi {
         }
         // Global knowledge: measure the dataset's own POI exposure.
         let reference = self.attack.extract(dataset);
-        let selector = StrategySelector::new(
+        let engine = EvaluationEngine::new(
             self.config.objective,
             self.config.privacy_floor,
             self.config.seed,
         )
-        .with_default_candidates();
-        let (strategy, selection) = selector.select(dataset, &reference)?;
-        let protected = strategy.anonymize(dataset, self.config.seed);
-        let privacy = self.attack.evaluate_reference(&protected, &reference);
+        .with_attack(self.attack.clone())
+        .with_mode(self.mode);
+        let (selection, winner) = engine.evaluate_release(&self.pool, dataset, &reference)?;
+        let Some(winner) = winner else {
+            return Err(selection.no_feasible_error());
+        };
+        let strategy = self.pool.get(winner.index).expect("chosen index in pool");
         Ok(PublishedDataset {
-            dataset: protected,
+            dataset: winner.dataset,
             strategy: strategy.info(),
-            privacy,
+            privacy: winner.privacy,
             selection,
         })
     }
@@ -122,13 +152,16 @@ mod tests {
     use mobility::gen::{CityModel, PopulationConfig};
 
     fn dataset() -> Dataset {
-        CityModel::builder().seed(29).build().generate_population(&PopulationConfig {
-            users: 4,
-            days: 3,
-            sampling_interval_s: 120,
-            gps_noise_m: 5.0,
-            leisure_probability: 0.4,
-        })
+        CityModel::builder()
+            .seed(29)
+            .build()
+            .generate_population(&PopulationConfig {
+                users: 4,
+                days: 3,
+                sampling_interval_s: 120,
+                gps_noise_m: 5.0,
+                leisure_probability: 0.4,
+            })
     }
 
     #[test]

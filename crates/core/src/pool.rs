@@ -1,0 +1,274 @@
+//! The strategy-pool registry.
+//!
+//! "We believe there is not one unique anonymization strategy that always
+//! performs well but many from which we can choose" (paper, §3). The pool is
+//! the single place where that "many" is defined: named constructors return
+//! the canonical pools (the publication pool the middleware searches, the
+//! wider measurement grid the experiments sweep), and grid builders assemble
+//! custom pools family by family. Every consumer — the PRIVAPI pipeline,
+//! the APISENSE publication gateway, the bench experiment drivers and the
+//! examples — draws from these definitions instead of hard-coding its own
+//! candidate list.
+
+use crate::error::PrivapiError;
+use crate::strategies::{
+    GaussianPerturbation, GeoIndistinguishability, Identity, SpatialCloaking, SpeedSmoothing,
+    TemporalDownsampling,
+};
+use crate::strategy::{AnonymizationStrategy, StrategyInfo};
+use geo::Meters;
+use std::fmt;
+
+/// An ordered pool of candidate anonymization strategies.
+///
+/// Candidate order is part of the pool's contract: selection reports index
+/// into it, and deterministic tie-breaking prefers earlier candidates.
+#[derive(Default)]
+pub struct StrategyPool {
+    candidates: Vec<Box<dyn AnonymizationStrategy>>,
+}
+
+impl fmt::Debug for StrategyPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list()
+            .entries(self.candidates.iter().map(|c| c.info()))
+            .finish()
+    }
+}
+
+impl StrategyPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The paper's default *publication* pool: every mechanism family at
+    /// several parameter settings, **excluding** the identity control (a
+    /// release should never be a no-op).
+    ///
+    /// This is the pool [`crate::pipeline::PrivApi`] searches on `publish`.
+    pub fn default_pool() -> Self {
+        Self::new()
+            .with_speed_smoothing(&[50.0, 100.0, 200.0])
+            .expect("static params")
+            .with_geo_indistinguishability(&[0.1, 0.01, 0.005])
+            .expect("static params")
+            .with_spatial_cloaking(&[250.0, 500.0])
+            .expect("static params")
+            .with_gaussian_perturbation(&[100.0, 300.0])
+            .expect("static params")
+            .with_temporal_downsampling(&[600])
+            .expect("static params")
+    }
+
+    /// The *measurement* grid of the E1/E3 experiments: the identity
+    /// control, a geo-indistinguishability sweep (including the practical
+    /// ε = ln 4 / 200 m setting and the strong ε = 0.001 extreme), a
+    /// speed-smoothing sweep and one representative of each remaining
+    /// family.
+    pub fn evaluation_grid() -> Self {
+        let geo_i_practical =
+            GeoIndistinguishability::for_radius(Meters::new(200.0)).expect("static params");
+        let mut pool = Self::new().with_identity();
+        pool.push(Box::new(
+            GeoIndistinguishability::new(0.1).expect("static params"),
+        ));
+        pool.push(Box::new(
+            GeoIndistinguishability::new(0.01).expect("static params"),
+        ));
+        pool.push(Box::new(geo_i_practical));
+        pool.push(Box::new(
+            GeoIndistinguishability::new(0.005).expect("static params"),
+        ));
+        pool.push(Box::new(
+            GeoIndistinguishability::new(0.001).expect("static params"),
+        ));
+        pool.with_speed_smoothing(&[50.0, 100.0, 200.0, 500.0])
+            .expect("static params")
+            .with_spatial_cloaking(&[250.0])
+            .expect("static params")
+            .with_gaussian_perturbation(&[200.0])
+            .expect("static params")
+            .with_temporal_downsampling(&[600])
+            .expect("static params")
+    }
+
+    /// Appends one strategy.
+    pub fn push(&mut self, strategy: Box<dyn AnonymizationStrategy>) {
+        self.candidates.push(strategy);
+    }
+
+    /// Appends one strategy; returns `self` for chaining.
+    pub fn with(mut self, strategy: Box<dyn AnonymizationStrategy>) -> Self {
+        self.push(strategy);
+        self
+    }
+
+    /// Appends the identity (no-protection) control.
+    pub fn with_identity(self) -> Self {
+        self.with(Box::new(Identity::new()))
+    }
+
+    /// Appends a [`SpeedSmoothing`] candidate per ε (metres).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrivapiError::InvalidParameter`] for a non-positive ε.
+    pub fn with_speed_smoothing(mut self, epsilons_m: &[f64]) -> Result<Self, PrivapiError> {
+        for &eps in epsilons_m {
+            self.push(Box::new(SpeedSmoothing::new(Meters::new(eps))?));
+        }
+        Ok(self)
+    }
+
+    /// Appends a [`GeoIndistinguishability`] candidate per ε (per metre).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrivapiError::InvalidParameter`] for a non-positive ε.
+    pub fn with_geo_indistinguishability(
+        mut self,
+        epsilons: &[f64],
+    ) -> Result<Self, PrivapiError> {
+        for &eps in epsilons {
+            self.push(Box::new(GeoIndistinguishability::new(eps)?));
+        }
+        Ok(self)
+    }
+
+    /// Appends a [`SpatialCloaking`] candidate per cell size (metres).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrivapiError::InvalidParameter`] for a non-positive cell.
+    pub fn with_spatial_cloaking(mut self, cells_m: &[f64]) -> Result<Self, PrivapiError> {
+        for &cell in cells_m {
+            self.push(Box::new(SpatialCloaking::new(Meters::new(cell))?));
+        }
+        Ok(self)
+    }
+
+    /// Appends a [`GaussianPerturbation`] candidate per σ (metres).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrivapiError::InvalidParameter`] for a non-positive σ.
+    pub fn with_gaussian_perturbation(
+        mut self,
+        sigmas_m: &[f64],
+    ) -> Result<Self, PrivapiError> {
+        for &sigma in sigmas_m {
+            self.push(Box::new(GaussianPerturbation::new(Meters::new(sigma))?));
+        }
+        Ok(self)
+    }
+
+    /// Appends a [`TemporalDownsampling`] candidate per window (seconds).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrivapiError::InvalidParameter`] for a non-positive window.
+    pub fn with_temporal_downsampling(
+        mut self,
+        windows_s: &[i64],
+    ) -> Result<Self, PrivapiError> {
+        for &window in windows_s {
+            self.push(Box::new(TemporalDownsampling::new(window)?));
+        }
+        Ok(self)
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Whether the pool has no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.candidates.is_empty()
+    }
+
+    /// The candidate at `index`, if any.
+    pub fn get(&self, index: usize) -> Option<&dyn AnonymizationStrategy> {
+        self.candidates.get(index).map(Box::as_ref)
+    }
+
+    /// Iterates candidates in pool order.
+    pub fn iter(&self) -> impl Iterator<Item = &dyn AnonymizationStrategy> {
+        self.candidates.iter().map(Box::as_ref)
+    }
+
+    /// Identity cards of every candidate, in pool order.
+    pub fn infos(&self) -> Vec<StrategyInfo> {
+        self.candidates.iter().map(|c| c.info()).collect()
+    }
+
+    /// Consumes the pool into its boxed candidates.
+    pub fn into_candidates(self) -> Vec<Box<dyn AnonymizationStrategy>> {
+        self.candidates
+    }
+}
+
+impl From<Vec<Box<dyn AnonymizationStrategy>>> for StrategyPool {
+    fn from(candidates: Vec<Box<dyn AnonymizationStrategy>>) -> Self {
+        Self { candidates }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_pool_covers_all_families_without_identity() {
+        let pool = StrategyPool::default_pool();
+        assert_eq!(pool.len(), 11);
+        let names: Vec<String> = pool.infos().iter().map(|i| i.name.clone()).collect();
+        for family in [
+            "speed-smoothing",
+            "geo-indistinguishability",
+            "spatial-cloaking",
+            "gaussian",
+            "temporal-downsampling",
+        ] {
+            assert!(names.iter().any(|n| n == family), "missing {family}");
+        }
+        assert!(!names.iter().any(|n| n == "identity"));
+    }
+
+    #[test]
+    fn evaluation_grid_matches_e1_mechanisms() {
+        let pool = StrategyPool::evaluation_grid();
+        assert_eq!(pool.len(), 13);
+        let infos = pool.infos();
+        assert_eq!(infos[0].name, "identity");
+        // The practical geo-I setting carrying the paper's headline number.
+        assert!(
+            infos.iter().any(|i| i.params.contains("0.0069")),
+            "missing the eps = ln4/200m row: {infos:?}"
+        );
+    }
+
+    #[test]
+    fn grid_builders_reject_bad_parameters() {
+        assert!(StrategyPool::new().with_speed_smoothing(&[-1.0]).is_err());
+        assert!(StrategyPool::new()
+            .with_geo_indistinguishability(&[0.0])
+            .is_err());
+        assert!(StrategyPool::new()
+            .with_temporal_downsampling(&[0])
+            .is_err());
+    }
+
+    #[test]
+    fn pool_order_is_insertion_order() {
+        let pool = StrategyPool::new()
+            .with_identity()
+            .with_speed_smoothing(&[100.0])
+            .unwrap();
+        assert_eq!(pool.get(0).unwrap().info().name, "identity");
+        assert_eq!(pool.get(1).unwrap().info().name, "speed-smoothing");
+        assert!(pool.get(2).is_none());
+        assert_eq!(pool.iter().count(), 2);
+    }
+}

@@ -16,8 +16,9 @@
 //! below the privacy floor.
 
 use crate::attack::{PoiAttack, ReferencePois};
+use crate::engine::{EvaluationEngine, ExecutionMode};
 use crate::error::PrivapiError;
-use crate::metrics::{crowded_places_utility, spatial_distortion, traffic_utility};
+use crate::pool::StrategyPool;
 use crate::strategy::{AnonymizationStrategy, StrategyInfo};
 use geo::Meters;
 use mobility::Dataset;
@@ -25,7 +26,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The analysis the published dataset is destined for.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum Objective {
     /// Finding out crowded places: top-`k` hot cells on a `cell` grid.
     CrowdedPlaces {
@@ -77,14 +78,32 @@ pub struct SelectionReport {
     pub chosen: Option<usize>,
     /// The privacy floor that was enforced (max tolerated POI recall).
     pub privacy_floor: f64,
-    /// Human-readable objective description.
-    pub objective: String,
+    /// The analyst objective the utilities were scored under.
+    pub objective: Objective,
 }
 
 impl SelectionReport {
     /// The winning candidate's evaluation, if any.
     pub fn winner(&self) -> Option<&CandidateResult> {
         self.chosen.and_then(|i| self.candidates.get(i))
+    }
+
+    /// The best (lowest) POI recall any candidate achieved.
+    pub fn best_recall(&self) -> f64 {
+        self.candidates
+            .iter()
+            .map(|c| c.poi_recall)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// The error describing a winner-less report: no candidate satisfied
+    /// the privacy floor. Shared policy for every caller that must refuse
+    /// publication rather than release an infeasible dataset.
+    pub fn no_feasible_error(&self) -> PrivapiError {
+        PrivapiError::NoFeasibleStrategy {
+            floor: self.privacy_floor,
+            best_recall: self.best_recall(),
+        }
     }
 }
 
@@ -116,18 +135,23 @@ impl fmt::Display for SelectionReport {
 }
 
 /// The utility-driven strategy selector.
+///
+/// A thin policy layer over [`crate::engine::EvaluationEngine`]: it owns the
+/// candidate pool, runs the engine (parallel by default), and turns a
+/// winner-less report into [`PrivapiError::NoFeasibleStrategy`].
 pub struct StrategySelector {
-    candidates: Vec<Box<dyn AnonymizationStrategy>>,
+    pool: StrategyPool,
     attack: PoiAttack,
     privacy_floor: f64,
     objective: Objective,
     seed: u64,
+    mode: ExecutionMode,
 }
 
 impl fmt::Debug for StrategySelector {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("StrategySelector")
-            .field("candidates", &self.candidates.len())
+            .field("candidates", &self.pool.len())
             .field("privacy_floor", &self.privacy_floor)
             .field("objective", &self.objective)
             .finish()
@@ -141,47 +165,36 @@ impl StrategySelector {
     /// `seed` drives all randomized candidates.
     pub fn new(objective: Objective, privacy_floor: f64, seed: u64) -> Self {
         Self {
-            candidates: Vec::new(),
+            pool: StrategyPool::new(),
             attack: PoiAttack::default(),
             privacy_floor: privacy_floor.clamp(0.0, 1.0),
             objective,
             seed,
+            mode: ExecutionMode::default(),
         }
     }
 
     /// Adds a candidate strategy; returns `self` for chaining.
     pub fn candidate(mut self, strategy: Box<dyn AnonymizationStrategy>) -> Self {
-        self.candidates.push(strategy);
+        self.pool.push(strategy);
+        self
+    }
+
+    /// Replaces the candidate pool wholesale (see [`StrategyPool`]'s named
+    /// constructors for the canonical pools).
+    pub fn with_pool(mut self, pool: StrategyPool) -> Self {
+        self.pool = pool;
         self
     }
 
     /// Adds the default candidate grid covering every mechanism family at
     /// several parameter settings (the paper's "many [strategies] from which
-    /// we can choose").
+    /// we can choose") — [`StrategyPool::default_pool`] appended to any
+    /// candidates already registered.
     pub fn with_default_candidates(mut self) -> Self {
-        use crate::strategies::*;
-        for eps in [50.0, 100.0, 200.0] {
-            self.candidates.push(Box::new(
-                SpeedSmoothing::new(Meters::new(eps)).expect("static params"),
-            ));
+        for strategy in StrategyPool::default_pool().into_candidates() {
+            self.pool.push(strategy);
         }
-        for eps in [0.1, 0.01, 0.005] {
-            self.candidates.push(Box::new(
-                GeoIndistinguishability::new(eps).expect("static params"),
-            ));
-        }
-        for cell in [250.0, 500.0] {
-            self.candidates.push(Box::new(
-                SpatialCloaking::new(Meters::new(cell)).expect("static params"),
-            ));
-        }
-        for sigma in [100.0, 300.0] {
-            self.candidates.push(Box::new(
-                GaussianPerturbation::new(Meters::new(sigma)).expect("static params"),
-            ));
-        }
-        self.candidates
-            .push(Box::new(TemporalDownsampling::new(600).expect("static params")));
         self
     }
 
@@ -191,33 +204,27 @@ impl StrategySelector {
         self
     }
 
-    /// Number of registered candidates.
-    pub fn candidate_count(&self) -> usize {
-        self.candidates.len()
+    /// Sets the evaluation schedule (parallel by default). Reports are
+    /// identical either way; sequential mode exists for measurement and
+    /// verification.
+    pub fn with_mode(mut self, mode: ExecutionMode) -> Self {
+        self.mode = mode;
+        self
     }
 
-    /// Scores the utility of a protected dataset under the objective.
-    fn utility_of(&self, original: &Dataset, protected: &Dataset) -> f64 {
-        match self.objective {
-            Objective::CrowdedPlaces { cell, k } => {
-                crowded_places_utility(original, protected, cell, k)
-                    .map(|r| r.precision_at_k)
-                    .unwrap_or(0.0)
-            }
-            Objective::Traffic { cell } => traffic_utility(original, protected, cell)
-                .map(|r| r.utility_score())
-                .unwrap_or(0.0),
-            Objective::Distortion => spatial_distortion(original, protected)
-                .map(|r| r.utility_score())
-                .unwrap_or(0.0),
-        }
+    /// Number of registered candidates.
+    pub fn candidate_count(&self) -> usize {
+        self.pool.len()
     }
 
     /// Evaluates every candidate and picks the best feasible one.
     ///
     /// Privacy is scored against `reference` POIs — pass the attack's own
     /// extraction from the raw dataset (see [`PoiAttack::extract`]) or
-    /// generator ground truth.
+    /// generator ground truth. Candidates are scored by the parallel
+    /// [`EvaluationEngine`] against shared original-dataset projections;
+    /// the winner follows the deterministic `(utility, −recall, index)`
+    /// ordering of [`crate::engine::choose_winner`].
     ///
     /// # Errors
     ///
@@ -230,40 +237,13 @@ impl StrategySelector {
         dataset: &Dataset,
         reference: &ReferencePois,
     ) -> Result<(&dyn AnonymizationStrategy, SelectionReport), PrivapiError> {
-        if self.candidates.is_empty() || dataset.record_count() == 0 {
-            return Err(PrivapiError::EmptyDataset);
-        }
-        let mut results = Vec::with_capacity(self.candidates.len());
-        let mut best: Option<(usize, f64)> = None;
-        let mut best_recall = f64::INFINITY;
-        for (i, strategy) in self.candidates.iter().enumerate() {
-            let protected = strategy.anonymize(dataset, self.seed);
-            let privacy = self.attack.evaluate_reference(&protected, reference);
-            let utility = self.utility_of(dataset, &protected);
-            let feasible = privacy.recall <= self.privacy_floor;
-            best_recall = best_recall.min(privacy.recall);
-            if feasible && best.map(|(_, u)| utility > u).unwrap_or(true) {
-                best = Some((i, utility));
-            }
-            results.push(CandidateResult {
-                info: strategy.info(),
-                poi_recall: privacy.recall,
-                utility,
-                feasible,
-            });
-        }
-        let report = SelectionReport {
-            candidates: results,
-            chosen: best.map(|(i, _)| i),
-            privacy_floor: self.privacy_floor,
-            objective: self.objective.to_string(),
-        };
-        match best {
-            Some((i, _)) => Ok((self.candidates[i].as_ref(), report)),
-            None => Err(PrivapiError::NoFeasibleStrategy {
-                floor: self.privacy_floor,
-                best_recall,
-            }),
+        let engine = EvaluationEngine::new(self.objective, self.privacy_floor, self.seed)
+            .with_attack(self.attack.clone())
+            .with_mode(self.mode);
+        let report = engine.evaluate(&self.pool, dataset, reference)?;
+        match report.chosen {
+            Some(i) => Ok((self.pool.get(i).expect("chosen index in pool"), report)),
+            None => Err(report.no_feasible_error()),
         }
     }
 }
@@ -276,13 +256,16 @@ mod tests {
     use mobility::gen::{CityModel, PopulationConfig};
 
     fn data() -> mobility::gen::GeneratedData {
-        CityModel::builder().seed(17).build().generate_with_truth(&PopulationConfig {
-            users: 4,
-            days: 3,
-            sampling_interval_s: 120,
-            gps_noise_m: 5.0,
-            leisure_probability: 0.4,
-        })
+        CityModel::builder()
+            .seed(17)
+            .build()
+            .generate_with_truth(&PopulationConfig {
+                users: 4,
+                days: 3,
+                sampling_interval_s: 120,
+                gps_noise_m: 5.0,
+                leisure_probability: 0.4,
+            })
     }
 
     #[test]

@@ -110,7 +110,11 @@ mod tests {
         let n = 4_000;
         // E[|displacement|] for 2-D isotropic Gaussian = sigma * sqrt(pi/2).
         let mean: f64 = (0..n)
-            .map(|_| origin.haversine_distance(&mech.perturb(&origin, &mut rng)).get())
+            .map(|_| {
+                origin
+                    .haversine_distance(&mech.perturb(&origin, &mut rng))
+                    .get()
+            })
             .sum::<f64>()
             / n as f64;
         let expected = 50.0 * (std::f64::consts::PI / 2.0).sqrt();

@@ -47,6 +47,6 @@ mod tests {
 
     #[test]
     fn info_is_bare() {
-        assert_eq!(Identity::default().info().to_string(), "identity");
+        assert_eq!(Identity::new().info().to_string(), "identity");
     }
 }

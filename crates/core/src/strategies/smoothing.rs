@@ -139,7 +139,11 @@ impl SpeedSmoothing {
             .iter()
             .zip(cumulative.iter())
             .map(|(point, d)| {
-                let frac = if path_total > 0.0 { d / path_total } else { 0.0 };
+                let frac = if path_total > 0.0 {
+                    d / path_total
+                } else {
+                    0.0
+                };
                 let t = start.seconds() + ((total_span as f64) * frac).round() as i64;
                 LocationRecord::new(user, Timestamp::new(t), *point)
             })
@@ -273,9 +277,7 @@ mod tests {
         let o_first = original.records().first().unwrap().point;
         let s_first = smoothed.records().first().unwrap().point;
         assert!(o_first.haversine_distance(&s_first).get() < 1.0);
-        assert!(strategy
-            .with_endpoint_trim(Meters::new(-1.0))
-            .is_err());
+        assert!(strategy.with_endpoint_trim(Meters::new(-1.0)).is_err());
     }
 
     #[test]

@@ -91,10 +91,7 @@ mod tests {
         let mech = TemporalDownsampling::new(300).unwrap();
         let ds = Dataset::from_trajectories(vec![traj(&[0, 60, 120, 300, 400, 900])]);
         let out = mech.anonymize(&ds, 0);
-        let times: Vec<i64> = out
-            .iter_records()
-            .map(|r| r.time.seconds())
-            .collect();
+        let times: Vec<i64> = out.iter_records().map(|r| r.time.seconds()).collect();
         assert_eq!(times, vec![0, 300, 900]);
     }
 
@@ -121,7 +118,10 @@ mod tests {
     #[test]
     fn info_string() {
         let mech = TemporalDownsampling::new(120).unwrap();
-        assert_eq!(mech.info().to_string(), "temporal-downsampling(window=120s)");
+        assert_eq!(
+            mech.info().to_string(),
+            "temporal-downsampling(window=120s)"
+        );
         assert_eq!(mech.window_s(), 120);
     }
 }

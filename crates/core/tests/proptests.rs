@@ -27,23 +27,22 @@ fn trajectory() -> impl Strategy<Value = Trajectory> {
 }
 
 fn small_dataset() -> impl Strategy<Value = Dataset> {
-    prop::collection::vec(trajectory(), 1..4)
-        .prop_map(|ts| {
-            // Re-key each trajectory to its own user.
-            let ts: Vec<Trajectory> = ts
-                .into_iter()
-                .enumerate()
-                .map(|(i, t)| {
-                    let records: Vec<LocationRecord> = t
-                        .records()
-                        .iter()
-                        .map(|r| LocationRecord::new(UserId(i as u64), r.time, r.point))
-                        .collect();
-                    Trajectory::new(UserId(i as u64), records)
-                })
-                .collect();
-            Dataset::from_trajectories(ts)
-        })
+    prop::collection::vec(trajectory(), 1..4).prop_map(|ts| {
+        // Re-key each trajectory to its own user.
+        let ts: Vec<Trajectory> = ts
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let records: Vec<LocationRecord> = t
+                    .records()
+                    .iter()
+                    .map(|r| LocationRecord::new(UserId(i as u64), r.time, r.point))
+                    .collect();
+                Trajectory::new(UserId(i as u64), records)
+            })
+            .collect();
+        Dataset::from_trajectories(ts)
+    })
 }
 
 proptest! {
@@ -163,6 +162,53 @@ proptest! {
         prop_assert!((0.0..=1.0).contains(&report.precision));
         prop_assert!((0.0..=1.0).contains(&report.f1));
         prop_assert!(report.matched <= report.reference_pois);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The engine contract behind parallel selection: for any seed, privacy
+    /// floor and objective, the parallel schedule produces a
+    /// `SelectionReport` identical to the sequential one (same candidate
+    /// rows, same winner under the `(utility, −recall, index)` order).
+    #[test]
+    fn parallel_engine_matches_sequential(
+        seed in any::<u64>(),
+        floor in 0.05..0.9f64,
+        objective_pick in 0u8..3,
+    ) {
+        use privapi::engine::{EvaluationEngine, ExecutionMode};
+        use privapi::pool::StrategyPool;
+        use privapi::selection::Objective;
+
+        let data = mobility::gen::CityModel::builder()
+            .seed(seed ^ 0xE9)
+            .build()
+            .generate_with_truth(&mobility::gen::PopulationConfig {
+                users: 3,
+                days: 2,
+                sampling_interval_s: 300,
+                gps_noise_m: 5.0,
+                leisure_probability: 0.3,
+            });
+        let attack = PoiAttack::default();
+        let reference = attack.extract(&data.dataset);
+        let objective = match objective_pick {
+            0 => Objective::CrowdedPlaces { cell: geo::Meters::new(250.0), k: 10 },
+            1 => Objective::Traffic { cell: geo::Meters::new(500.0) },
+            _ => Objective::Distortion,
+        };
+        let pool = StrategyPool::default_pool();
+        let sequential = EvaluationEngine::new(objective, floor, seed)
+            .with_mode(ExecutionMode::Sequential)
+            .evaluate(&pool, &data.dataset, &reference)
+            .unwrap();
+        let parallel = EvaluationEngine::new(objective, floor, seed)
+            .with_mode(ExecutionMode::Parallel)
+            .evaluate(&pool, &data.dataset, &reference)
+            .unwrap();
+        prop_assert_eq!(&sequential, &parallel);
     }
 }
 

@@ -15,9 +15,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 /// Discrete grid-cell coordinates (column, row).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct CellId {
     /// Column index (west → east).
     pub ix: i32,
@@ -167,8 +165,7 @@ impl UniformGrid {
     ///
     /// Ties are broken by cell id so the result is deterministic.
     pub fn top_k(histogram: &HashMap<CellId, u64>, k: usize) -> Vec<(CellId, u64)> {
-        let mut entries: Vec<(CellId, u64)> =
-            histogram.iter().map(|(c, n)| (*c, *n)).collect();
+        let mut entries: Vec<(CellId, u64)> = histogram.iter().map(|(c, n)| (*c, *n)).collect();
         entries.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         entries.truncate(k);
         entries
@@ -230,7 +227,11 @@ mod tests {
         let g = grid();
         // 0.1 deg of latitude is ~11.1 km → ~45 cells of 250 m.
         assert!(g.rows() >= 44 && g.rows() <= 46, "rows = {}", g.rows());
-        assert!(g.columns() >= 29 && g.columns() <= 32, "cols = {}", g.columns());
+        assert!(
+            g.columns() >= 29 && g.columns() <= 32,
+            "cols = {}",
+            g.columns()
+        );
     }
 
     #[test]
@@ -238,7 +239,7 @@ mod tests {
         let g = grid();
         let a = GeoPoint::new(45.75, 4.85).unwrap();
         let b = GeoPoint::new(45.77, 4.87).unwrap();
-        let pts = vec![a, a, a, b];
+        let pts = [a, a, a, b];
         let h = g.histogram(pts.iter());
         assert_eq!(h.len(), 2);
         assert_eq!(h[&g.cell_of(&a)], 3);

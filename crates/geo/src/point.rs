@@ -126,8 +126,7 @@ impl GeoPoint {
         let theta = bearing.get().to_radians();
         let phi1 = self.lat.to_radians();
         let lambda1 = self.lon.to_radians();
-        let phi2 =
-            (phi1.sin() * delta.cos() + phi1.cos() * delta.sin() * theta.cos()).asin();
+        let phi2 = (phi1.sin() * delta.cos() + phi1.cos() * delta.sin() * theta.cos()).asin();
         let lambda2 = lambda1
             + (theta.sin() * delta.sin() * phi1.cos())
                 .atan2(delta.cos() - phi1.sin() * phi2.sin());
@@ -142,8 +141,8 @@ impl GeoPoint {
         let dlambda = (other.lon - self.lon).to_radians();
         let bx = phi2.cos() * dlambda.cos();
         let by = phi2.cos() * dlambda.sin();
-        let phi3 = (phi1.sin() + phi2.sin())
-            .atan2(((phi1.cos() + bx).powi(2) + by.powi(2)).sqrt());
+        let phi3 =
+            (phi1.sin() + phi2.sin()).atan2(((phi1.cos() + bx).powi(2) + by.powi(2)).sqrt());
         let lambda3 = lambda1 + by.atan2(phi1.cos() + bx);
         GeoPoint::clamped(phi3.to_degrees(), lambda3.to_degrees())
     }
@@ -230,10 +229,8 @@ mod tests {
         let dest = start.destination(Degrees::new(45.0), Meters::new(1000.0));
         let d = start.haversine_distance(&dest).get();
         assert!((d - 1000.0).abs() < 1.0, "distance was {d}");
-        let back = dest.destination(
-            Degrees::new(dest.bearing_to(&start).get()),
-            Meters::new(d),
-        );
+        let back =
+            dest.destination(Degrees::new(dest.bearing_to(&start).get()), Meters::new(d));
         assert!(start.haversine_distance(&back).get() < 1.0);
     }
 

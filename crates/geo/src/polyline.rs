@@ -209,7 +209,10 @@ mod tests {
     #[test]
     fn point_at_distance_endpoints() {
         let path = straight_path();
-        assert_eq!(point_at_distance(&path, Meters::new(-5.0)).unwrap(), path[0]);
+        assert_eq!(
+            point_at_distance(&path, Meters::new(-5.0)).unwrap(),
+            path[0]
+        );
         let total = length(&path);
         assert_eq!(
             point_at_distance(&path, total + Meters::new(100.0)).unwrap(),
@@ -238,7 +241,13 @@ mod tests {
         }
         // Endpoints preserved.
         assert_eq!(res[0], path[0]);
-        assert!(res.last().unwrap().haversine_distance(path.last().unwrap()).get() < 1e-6);
+        assert!(
+            res.last()
+                .unwrap()
+                .haversine_distance(path.last().unwrap())
+                .get()
+                < 1e-6
+        );
     }
 
     #[test]

@@ -66,10 +66,7 @@ impl LocalProjection {
     pub fn project(&self, p: &GeoPoint) -> ProjectedPoint {
         let dlat = (p.latitude() - self.origin.latitude()).to_radians();
         let dlon = (p.longitude() - self.origin.longitude()).to_radians();
-        ProjectedPoint::new(
-            EARTH_RADIUS_M * dlon * self.cos_lat0,
-            EARTH_RADIUS_M * dlat,
-        )
+        ProjectedPoint::new(EARTH_RADIUS_M * dlon * self.cos_lat0, EARTH_RADIUS_M * dlat)
     }
 
     /// Inverse projection back to geographic coordinates.
@@ -95,9 +92,7 @@ impl WebMercator {
     /// Projects to Web Mercator metres. Latitudes beyond
     /// [`Self::MAX_LATITUDE`] are clamped.
     pub fn project(p: &GeoPoint) -> ProjectedPoint {
-        let lat = p
-            .latitude()
-            .clamp(-Self::MAX_LATITUDE, Self::MAX_LATITUDE);
+        let lat = p.latitude().clamp(-Self::MAX_LATITUDE, Self::MAX_LATITUDE);
         let x = EARTH_RADIUS_M * p.longitude().to_radians();
         let y = EARTH_RADIUS_M
             * ((std::f64::consts::FRAC_PI_4 + lat.to_radians() / 2.0).tan()).ln();
@@ -107,8 +102,7 @@ impl WebMercator {
     /// Inverse Web Mercator projection.
     pub fn unproject(p: &ProjectedPoint) -> GeoPoint {
         let lon = (p.x / EARTH_RADIUS_M).to_degrees();
-        let lat = (2.0 * (p.y / EARTH_RADIUS_M).exp().atan()
-            - std::f64::consts::FRAC_PI_2)
+        let lat = (2.0 * (p.y / EARTH_RADIUS_M).exp().atan() - std::f64::consts::FRAC_PI_2)
             .to_degrees();
         GeoPoint::clamped(lat, lon)
     }

@@ -316,9 +316,13 @@ mod tests {
         // Deterministic pseudo-random scatter.
         let mut seed = 42u64;
         for i in 0..300u32 {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let lat = 40.0 + (seed >> 33) as f64 / u32::MAX as f64 * 10.0;
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let lon = (seed >> 33) as f64 / u32::MAX as f64 * 10.0;
             let q = p(lat.min(50.0), lon.min(10.0));
             tree.insert(q, i);

@@ -22,7 +22,7 @@ pub enum MobilityError {
     /// An I/O error while reading or writing datasets.
     Io(std::io::Error),
     /// A serialization error while reading or writing datasets.
-    Serde(serde_json::Error),
+    Serde(JsonError),
     /// A malformed line in a CSV dataset file (1-based line number).
     MalformedCsv {
         /// 1-based line number.
@@ -77,11 +77,35 @@ impl From<std::io::Error> for MobilityError {
     }
 }
 
-impl From<serde_json::Error> for MobilityError {
-    fn from(e: serde_json::Error) -> Self {
+impl From<JsonError> for MobilityError {
+    fn from(e: JsonError) -> Self {
         MobilityError::Serde(e)
     }
 }
+
+/// A malformed JSON record line (produced by the in-tree JSONL codec in
+/// [`crate::io`], which replaces `serde_json` in this offline build).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    message: String,
+}
+
+impl JsonError {
+    /// Creates an error with the given description.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl Error for JsonError {}
 
 #[cfg(test)]
 mod tests {
@@ -94,7 +118,9 @@ mod tests {
             value: "0".into(),
         };
         assert_eq!(e.to_string(), "invalid parameter users: 0");
-        assert!(MobilityError::EmptyTrajectory.to_string().contains("non-empty"));
+        assert!(MobilityError::EmptyTrajectory
+            .to_string()
+            .contains("non-empty"));
     }
 
     #[test]

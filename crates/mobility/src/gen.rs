@@ -294,7 +294,8 @@ impl CityModel {
 
     /// Derives the persistent profile of user `id` for this city.
     pub fn profile_of(&self, id: UserId) -> PersonProfile {
-        let mut rng = StdRng::seed_from_u64(self.seed ^ id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let home = self.homes[rng.gen_range(0..self.homes.len())];
         let work = self.workplaces[rng.gen_range(0..self.workplaces.len())];
         let mut leisure = Vec::new();
@@ -328,12 +329,18 @@ impl CityModel {
             for day in 0..config.days {
                 let mut rng = StdRng::seed_from_u64(
                     self.seed
-                        ^ (uid as u64).wrapping_mul(0x51_7C_C1B7_2722_0A95)
+                        ^ (uid as u64).wrapping_mul(0x517C_C1B7_2722_0A95)
                         ^ (day as u64).wrapping_mul(0x2545_F491_4F6C_DD1D),
                 );
                 let segments = self.plan_day(&profile, day as i64, config, &mut rng);
                 for seg in &segments {
-                    if let Segment::Stay { site, kind, from, to } = seg {
+                    if let Segment::Stay {
+                        site,
+                        kind,
+                        from,
+                        to,
+                    } = seg
+                    {
                         // Only dwell episodes long enough to be POIs count
                         // as ground truth (matches the 15-min stay rule).
                         if to - from >= 15 * 60 {
@@ -370,25 +377,29 @@ impl CityModel {
         let mut clock = day_start;
         let mut here = profile.home;
 
-        let travel_to =
-            |segments: &mut Vec<Segment>, clock: &mut i64, from: GeoPoint, to: GeoPoint, rng: &mut StdRng| {
-                let path = manhattan_path(from, to, rng);
-                let dist = geo::polyline::length(&path).get();
-                let speed = sample_normal(rng, profile.speed_mps, 0.8).clamp(3.0, 16.0);
-                let duration = (dist / speed).ceil() as i64;
-                segments.push(Segment::Travel {
-                    path,
-                    from: *clock,
-                    to: *clock + duration,
-                });
-                *clock += duration;
-            };
+        let travel_to = |segments: &mut Vec<Segment>,
+                         clock: &mut i64,
+                         from: GeoPoint,
+                         to: GeoPoint,
+                         rng: &mut StdRng| {
+            let path = manhattan_path(from, to, rng);
+            let dist = geo::polyline::length(&path).get();
+            let speed = sample_normal(rng, profile.speed_mps, 0.8).clamp(3.0, 16.0);
+            let duration = (dist / speed).ceil() as i64;
+            segments.push(Segment::Travel {
+                path,
+                from: *clock,
+                to: *clock + duration,
+            });
+            *clock += duration;
+        };
 
         if !weekend {
             // Morning at home.
             let depart =
                 day_start + (sample_normal(rng, profile.departure_hour, 0.25) * 3_600.0) as i64;
-            let depart = depart.clamp(day_start + 4 * HOUR_SECONDS, day_start + 12 * HOUR_SECONDS);
+            let depart =
+                depart.clamp(day_start + 4 * HOUR_SECONDS, day_start + 12 * HOUR_SECONDS);
             segments.push(Segment::Stay {
                 site: profile.home,
                 kind: PoiKind::Home,
@@ -401,7 +412,8 @@ impl CityModel {
             here = profile.work;
             // Work day.
             let work_end = clock
-                + (sample_normal(rng, profile.work_hours, 0.4).clamp(4.0, 11.0) * 3_600.0) as i64;
+                + (sample_normal(rng, profile.work_hours, 0.4).clamp(4.0, 11.0) * 3_600.0)
+                    as i64;
             let work_end = work_end.min(day_end - 2 * HOUR_SECONDS);
             segments.push(Segment::Stay {
                 site: profile.work,
@@ -415,9 +427,9 @@ impl CityModel {
                 let spot = profile.leisure[rng.gen_range(0..profile.leisure.len())];
                 travel_to(&mut segments, &mut clock, here, spot, rng);
                 here = spot;
-                let leave =
-                    (clock + (sample_normal(rng, 2.0, 0.4).clamp(0.75, 3.5) * 3_600.0) as i64)
-                        .min(day_end - HOUR_SECONDS / 2);
+                let leave = (clock
+                    + (sample_normal(rng, 2.0, 0.4).clamp(0.75, 3.5) * 3_600.0) as i64)
+                    .min(day_end - HOUR_SECONDS / 2);
                 if leave > clock {
                     segments.push(Segment::Stay {
                         site: spot,
@@ -456,9 +468,9 @@ impl CityModel {
                 let spot = profile.leisure[rng.gen_range(0..profile.leisure.len())];
                 travel_to(&mut segments, &mut clock, here, spot, rng);
                 here = spot;
-                let back =
-                    (clock + (sample_normal(rng, 2.5, 0.7).clamp(1.0, 5.0) * 3_600.0) as i64)
-                        .min(day_end - HOUR_SECONDS);
+                let back = (clock
+                    + (sample_normal(rng, 2.5, 0.7).clamp(1.0, 5.0) * 3_600.0) as i64)
+                    .min(day_end - HOUR_SECONDS);
                 if back > clock {
                     segments.push(Segment::Stay {
                         site: spot,
@@ -528,8 +540,7 @@ fn sample_segments(
                 let span = (to - from).max(1);
                 let frac = ((t - from) as f64 / span as f64).clamp(0.0, 1.0);
                 let total = geo::polyline::length(path);
-                geo::polyline::point_at_distance(path, total * frac)
-                    .unwrap_or_else(|_| path[0])
+                geo::polyline::point_at_distance(path, total * frac).unwrap_or_else(|_| path[0])
             }
         };
         records.push(LocationRecord::new(
@@ -675,7 +686,10 @@ mod tests {
     #[test]
     fn counts_match_config() {
         let cfg = small_config();
-        let data = CityModel::builder().seed(5).build().generate_with_truth(&cfg);
+        let data = CityModel::builder()
+            .seed(5)
+            .build()
+            .generate_with_truth(&cfg);
         assert_eq!(data.dataset.user_count(), cfg.users);
         assert_eq!(data.dataset.trajectory_count(), cfg.users * cfg.days);
         // ~720 records per user-day at 120 s sampling.
@@ -689,7 +703,10 @@ mod tests {
 
     #[test]
     fn records_sorted_and_within_day() {
-        let data = CityModel::builder().seed(5).build().generate_with_truth(&small_config());
+        let data = CityModel::builder()
+            .seed(5)
+            .build()
+            .generate_with_truth(&small_config());
         for traj in data.dataset.trajectories() {
             let day = traj.records()[0].time.day_index();
             for w in traj.records().windows(2) {
@@ -703,7 +720,10 @@ mod tests {
 
     #[test]
     fn ground_truth_includes_home_and_work() {
-        let data = CityModel::builder().seed(7).build().generate_with_truth(&small_config());
+        let data = CityModel::builder()
+            .seed(7)
+            .build()
+            .generate_with_truth(&small_config());
         for user in data.dataset.users() {
             let pois = data.truth.pois_of(user);
             assert!(
@@ -720,7 +740,10 @@ mod tests {
 
     #[test]
     fn stay_points_found_at_ground_truth_sites() {
-        let data = CityModel::builder().seed(11).build().generate_with_truth(&small_config());
+        let data = CityModel::builder()
+            .seed(11)
+            .build()
+            .generate_with_truth(&small_config());
         let user = data.dataset.users()[0];
         let trajs = data.dataset.trajectories_of(user);
         let stays = detect_all(trajs.iter().copied(), &StayPointConfig::default());
@@ -765,13 +788,15 @@ mod tests {
     #[test]
     fn weekday_has_commute_speeds() {
         // Day 0 is a Monday: traces must contain moving segments.
-        let data = CityModel::builder().seed(13).build().generate_with_truth(
-            &PopulationConfig {
-                users: 1,
-                days: 1,
-                ..small_config()
-            },
-        );
+        let data =
+            CityModel::builder()
+                .seed(13)
+                .build()
+                .generate_with_truth(&PopulationConfig {
+                    users: 1,
+                    days: 1,
+                    ..small_config()
+                });
         let traj = &data.dataset.trajectories()[0];
         let max_speed = traj
             .segment_speeds()
@@ -805,7 +830,10 @@ mod tests {
     fn sample_normal_roughly_centred() {
         let mut rng = StdRng::seed_from_u64(1);
         let n = 10_000;
-        let mean: f64 = (0..n).map(|_| sample_normal(&mut rng, 5.0, 2.0)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| sample_normal(&mut rng, 5.0, 2.0))
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
     }
 }

@@ -8,7 +8,7 @@
 //! * **CSV** — `user,timestamp,latitude,longitude`, for spreadsheet-level
 //!   interoperability.
 
-use crate::error::MobilityError;
+use crate::error::{JsonError, MobilityError};
 use crate::record::{Dataset, LocationRecord, UserId};
 use crate::time::Timestamp;
 use geo::GeoPoint;
@@ -23,8 +23,14 @@ use std::io::{BufRead, BufReader, Read, Write};
 /// Propagates I/O and serialization errors.
 pub fn write_jsonl<W: Write>(dataset: &Dataset, mut writer: W) -> Result<(), MobilityError> {
     for record in dataset.iter_records() {
-        serde_json::to_writer(&mut writer, record)?;
-        writer.write_all(b"\n")?;
+        writeln!(
+            writer,
+            r#"{{"user":{},"time":{},"lat":{:?},"lon":{:?}}}"#,
+            record.user.0,
+            record.time.seconds(),
+            record.point.latitude(),
+            record.point.longitude()
+        )?;
     }
     Ok(())
 }
@@ -42,9 +48,52 @@ pub fn read_jsonl<R: Read>(reader: R) -> Result<Dataset, MobilityError> {
         if line.trim().is_empty() {
             continue;
         }
-        records.push(serde_json::from_str::<LocationRecord>(&line)?);
+        records.push(record_from_json(&line)?);
     }
     Ok(Dataset::from_records(records))
+}
+
+/// Parses one record from the JSON object layout written by
+/// [`write_jsonl`]: `{"user":u64,"time":i64,"lat":f64,"lon":f64}`.
+///
+/// Field order is flexible and unknown fields are rejected; this in-tree
+/// codec replaces `serde_json`, which is unavailable in the offline build.
+fn record_from_json(line: &str) -> Result<LocationRecord, JsonError> {
+    let body = line
+        .trim()
+        .strip_prefix('{')
+        .and_then(|rest| rest.strip_suffix('}'))
+        .ok_or_else(|| JsonError::new(format!("expected a JSON object, got {line:?}")))?;
+    let mut user: Option<u64> = None;
+    let mut time: Option<i64> = None;
+    let mut lat: Option<f64> = None;
+    let mut lon: Option<f64> = None;
+    for field in body.split(',') {
+        let (key, value) = field
+            .split_once(':')
+            .ok_or_else(|| JsonError::new(format!("malformed field {field:?}")))?;
+        let key = key.trim().trim_matches('"');
+        let value = value.trim();
+        let bad_num = || JsonError::new(format!("bad number {value:?} for field {key:?}"));
+        match key {
+            "user" => user = Some(value.parse().map_err(|_| bad_num())?),
+            "time" => time = Some(value.parse().map_err(|_| bad_num())?),
+            "lat" => lat = Some(value.parse().map_err(|_| bad_num())?),
+            "lon" => lon = Some(value.parse().map_err(|_| bad_num())?),
+            other => return Err(JsonError::new(format!("unknown field {other:?}"))),
+        }
+    }
+    let missing = |name| JsonError::new(format!("missing field {name:?}"));
+    let point = GeoPoint::new(
+        lat.ok_or_else(|| missing("lat"))?,
+        lon.ok_or_else(|| missing("lon"))?,
+    )
+    .map_err(|e| JsonError::new(e.to_string()))?;
+    Ok(LocationRecord::new(
+        UserId(user.ok_or_else(|| missing("user"))?),
+        Timestamp::new(time.ok_or_else(|| missing("time"))?),
+        point,
+    ))
 }
 
 /// Writes a dataset as CSV with a header line.
@@ -234,7 +283,11 @@ mod tests {
             )],
         );
         let mut buf1 = Vec::new();
-        write_jsonl(&Dataset::from_trajectories(vec![t1.clone(), t2.clone()]), &mut buf1).unwrap();
+        write_jsonl(
+            &Dataset::from_trajectories(vec![t1.clone(), t2.clone()]),
+            &mut buf1,
+        )
+        .unwrap();
         let mut buf2 = Vec::new();
         write_jsonl(&Dataset::from_trajectories(vec![t2, t1]), &mut buf2).unwrap();
         let a = read_jsonl(buf1.as_slice()).unwrap();

@@ -120,10 +120,7 @@ pub fn extract_pois(stays: &[StayPoint], config: &PoiConfig) -> Vec<Poi> {
     for stay in stays {
         let mut joined = false;
         for cluster in clusters.iter_mut() {
-            if cluster
-                .centroid()
-                .haversine_distance(&stay.centroid)
-                .get()
+            if cluster.centroid().haversine_distance(&stay.centroid).get()
                 <= config.merge_distance.get()
             {
                 cluster.lat_sum += stay.centroid.latitude();
@@ -165,7 +162,7 @@ pub fn extract_pois(stays: &[StayPoint], config: &PoiConfig) -> Vec<Poi> {
     label_pois(&mut pois);
     // Highest-dwell POIs first: deterministic, and attackers examine the
     // strongest signals first.
-    pois.sort_by(|a, b| b.total_dwell_s.cmp(&a.total_dwell_s));
+    pois.sort_by_key(|p| std::cmp::Reverse(p.total_dwell_s));
     pois
 }
 
@@ -326,10 +323,7 @@ mod tests {
 
     #[test]
     fn pois_sorted_by_dwell() {
-        let stays = vec![
-            stay(45.0, 4.0, 0, 1_000),
-            stay(45.1, 4.1, 2_000, 30_000),
-        ];
+        let stays = vec![stay(45.0, 4.0, 0, 1_000), stay(45.1, 4.1, 2_000, 30_000)];
         let pois = extract_pois(&stays, &PoiConfig::default());
         assert!(pois[0].total_dwell_s >= pois[1].total_dwell_s);
     }

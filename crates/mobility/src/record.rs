@@ -12,9 +12,7 @@ use std::fmt;
 /// Identifiers are pseudonyms: the platform never stores names, and PRIVAPI's
 /// re-identification attack (see the `privapi` crate) measures how easily a
 /// pseudonym can be linked back to a mobility profile.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct UserId(pub u64);
 
 impl fmt::Display for UserId {
@@ -175,11 +173,8 @@ impl Trajectory {
         if mean <= f64::EPSILON {
             return None;
         }
-        let var: f64 = speeds
-            .iter()
-            .map(|s| (s.get() - mean).powi(2))
-            .sum::<f64>()
-            / speeds.len() as f64;
+        let var: f64 =
+            speeds.iter().map(|s| (s.get() - mean).powi(2)).sum::<f64>() / speeds.len() as f64;
         Some(var.sqrt() / mean)
     }
 
@@ -196,9 +191,7 @@ impl Trajectory {
             return Some(last.point);
         }
         // Binary search for the segment containing `t`.
-        let idx = self
-            .records
-            .partition_point(|r| r.time <= t);
+        let idx = self.records.partition_point(|r| r.time <= t);
         let before = &self.records[idx - 1];
         let after = &self.records[idx];
         let span = after.time - before.time;
@@ -345,12 +338,12 @@ impl Dataset {
     ///
     /// This is the hook anonymization strategies use: each trajectory is
     /// rewritten independently.
-    pub fn map_trajectories<F>(&self, mut f: F) -> Dataset
+    pub fn map_trajectories<F>(&self, f: F) -> Dataset
     where
         F: FnMut(&Trajectory) -> Trajectory,
     {
         Dataset {
-            trajectories: self.trajectories.iter().map(|t| f(t)).collect(),
+            trajectories: self.trajectories.iter().map(f).collect(),
         }
     }
 }
@@ -474,7 +467,9 @@ mod tests {
         assert_eq!(parts.len(), 2);
         assert_eq!(parts[0].len(), 2);
         assert_eq!(parts[1].len(), 2);
-        assert!(Trajectory::new(UserId(1), vec![]).split_by_gap(60).is_empty());
+        assert!(Trajectory::new(UserId(1), vec![])
+            .split_by_gap(60)
+            .is_empty());
     }
 
     #[test]
@@ -543,14 +538,20 @@ mod tests {
         let q = t.position_at(Timestamp::new(25)).unwrap();
         assert!((q.longitude() - 4.025).abs() < 1e-9);
         // Empty trajectory → None.
-        assert!(Trajectory::new(UserId(1), vec![]).position_at(Timestamp::new(0)).is_none());
+        assert!(Trajectory::new(UserId(1), vec![])
+            .position_at(Timestamp::new(0))
+            .is_none());
     }
 
     #[test]
     fn position_at_handles_duplicate_times() {
         let t = Trajectory::new(
             UserId(1),
-            vec![rec(1, 10, 45.0, 4.0), rec(1, 10, 45.0, 4.2), rec(1, 20, 45.0, 4.4)],
+            vec![
+                rec(1, 10, 45.0, 4.0),
+                rec(1, 10, 45.0, 4.2),
+                rec(1, 20, 45.0, 4.4),
+            ],
         );
         let p = t.position_at(Timestamp::new(10)).unwrap();
         assert!(p.longitude() <= 4.4);

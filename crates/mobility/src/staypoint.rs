@@ -80,10 +80,7 @@ pub fn detect(trajectory: &Trajectory, config: &StayPointConfig) -> Vec<StayPoin
         // Find the longest window [i, j) staying within the radius of p_i.
         let mut j = i + 1;
         while j < n {
-            let d = records[i]
-                .point
-                .haversine_distance(&records[j].point)
-                .get();
+            let d = records[i].point.haversine_distance(&records[j].point).get();
             if d > config.distance_threshold.get() {
                 break;
             }
@@ -165,21 +162,25 @@ mod tests {
 
     #[test]
     fn single_long_stay_detected() {
-        let records: Vec<LocationRecord> =
-            (0..60).map(|i| rec(i * 60, 45.0, 4.0)).collect();
+        let records: Vec<LocationRecord> = (0..60).map(|i| rec(i * 60, 45.0, 4.0)).collect();
         let t = Trajectory::new(UserId(1), records);
         let stays = detect(&t, &cfg());
         assert_eq!(stays.len(), 1);
         assert_eq!(stays[0].arrival, Timestamp::new(0));
         assert_eq!(stays[0].departure, Timestamp::new(59 * 60));
-        assert!(stays[0].centroid.haversine_distance(&GeoPoint::new(45.0, 4.0).unwrap()).get() < 1.0);
+        assert!(
+            stays[0]
+                .centroid
+                .haversine_distance(&GeoPoint::new(45.0, 4.0).unwrap())
+                .get()
+                < 1.0
+        );
     }
 
     #[test]
     fn short_pause_ignored() {
         // Only 10 minutes of dwell: below the 15-minute threshold.
-        let records: Vec<LocationRecord> =
-            (0..10).map(|i| rec(i * 60, 45.0, 4.0)).collect();
+        let records: Vec<LocationRecord> = (0..10).map(|i| rec(i * 60, 45.0, 4.0)).collect();
         let t = Trajectory::new(UserId(1), records);
         assert!(detect(&t, &cfg()).is_empty());
     }
@@ -224,9 +225,8 @@ mod tests {
     #[test]
     fn detect_all_merges_and_sorts() {
         let day0: Vec<LocationRecord> = (0..30).map(|i| rec(i * 60, 45.0, 4.0)).collect();
-        let day1: Vec<LocationRecord> = (0..30)
-            .map(|i| rec(86_400 + i * 60, 45.0, 4.1))
-            .collect();
+        let day1: Vec<LocationRecord> =
+            (0..30).map(|i| rec(86_400 + i * 60, 45.0, 4.1)).collect();
         let t0 = Trajectory::new(UserId(1), day0);
         let t1 = Trajectory::new(UserId(1), day1);
         // Pass them in reverse order; output must still be time-sorted.
@@ -237,8 +237,7 @@ mod tests {
 
     #[test]
     fn custom_thresholds() {
-        let records: Vec<LocationRecord> =
-            (0..10).map(|i| rec(i * 60, 45.0, 4.0)).collect();
+        let records: Vec<LocationRecord> = (0..10).map(|i| rec(i * 60, 45.0, 4.0)).collect();
         let t = Trajectory::new(UserId(1), records);
         let lenient = StayPointConfig {
             distance_threshold: Meters::new(200.0),

@@ -8,11 +8,7 @@ use proptest::prelude::*;
 
 fn record() -> impl Strategy<Value = LocationRecord> {
     (0u64..5, 0i64..200_000, 45.0..46.0f64, 4.0..5.0f64).prop_map(|(u, t, la, lo)| {
-        LocationRecord::new(
-            UserId(u),
-            Timestamp::new(t),
-            GeoPoint::new(la, lo).unwrap(),
-        )
+        LocationRecord::new(UserId(u), Timestamp::new(t), GeoPoint::new(la, lo).unwrap())
     })
 }
 

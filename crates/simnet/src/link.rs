@@ -89,7 +89,9 @@ impl LinkModel {
         };
         let serialization_ms = if self.bandwidth_kbps > 0 {
             // bits / (kbit/s) = ms
-            (size_bytes as u64 * 8).div_euclid(self.bandwidth_kbps).max(1)
+            (size_bytes as u64 * 8)
+                .div_euclid(self.bandwidth_kbps)
+                .max(1)
         } else {
             0
         };

@@ -224,7 +224,8 @@ impl TcpRpcClient {
     pub fn call(&mut self, msg: Message, timeout: Duration) -> io::Result<Message> {
         let expected_id = msg.request_id;
         self.stream.write_all(&encode_frame(&msg))?;
-        self.stream.set_read_timeout(Some(Duration::from_millis(20)))?;
+        self.stream
+            .set_read_timeout(Some(Duration::from_millis(20)))?;
         let deadline = std::time::Instant::now() + timeout;
         let mut scratch = [0u8; 4096];
         loop {
@@ -268,7 +269,11 @@ mod tests {
 
     fn echo_server() -> TcpRpcServer {
         TcpRpcServer::bind("127.0.0.1:0", |msg| {
-            Some(Message::response_to(&msg, msg.kind + 1, msg.payload.to_vec()))
+            Some(Message::response_to(
+                &msg,
+                msg.kind + 1,
+                msg.payload.to_vec(),
+            ))
         })
         .expect("bind")
     }

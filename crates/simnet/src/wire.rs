@@ -373,6 +373,8 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(WireError::UnexpectedEof.to_string().contains("unexpected"));
-        assert!(WireError::InvalidTag("bool", 9).to_string().contains("bool"));
+        assert!(WireError::InvalidTag("bool", 9)
+            .to_string()
+            .contains("bool"));
     }
 }

@@ -37,7 +37,10 @@ fn main() {
     .expect("script compiles");
 
     let scenarios: Vec<(&str, PrivacyPreferences)> = vec![
-        ("no preferences (share everything)", PrivacyPreferences::default()),
+        (
+            "no preferences (share everything)",
+            PrivacyPreferences::default(),
+        ),
         (
             "home exclusion zone (250 m)",
             PrivacyPreferences::default()

@@ -24,8 +24,10 @@ fn main() {
     let reference = attack.extract(&data.dataset);
 
     println!("POI retrieval attack against protection mechanisms");
-    println!("(reference: {} POIs extractable from raw data)\n",
-        reference.values().map(Vec::len).sum::<usize>());
+    println!(
+        "(reference: {} POIs extractable from raw data)\n",
+        reference.values().map(Vec::len).sum::<usize>()
+    );
     println!("{:<48} {:>8} {:>10}", "mechanism", "recall", "precision");
 
     let mut rows: Vec<(String, PoiAttackReportRow)> = Vec::new();

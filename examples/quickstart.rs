@@ -47,13 +47,9 @@ fn main() {
     );
 
     // 4. Utility check: can an analyst still find crowded places?
-    let utility = crowded_places_utility(
-        &data.dataset,
-        &protected,
-        geo::Meters::new(250.0),
-        20,
-    )
-    .expect("non-empty dataset");
+    let utility =
+        crowded_places_utility(&data.dataset, &protected, geo::Meters::new(250.0), 20)
+            .expect("non-empty dataset");
     println!(
         "utility       : {:.0}% of the top-20 crowded cells preserved",
         utility.precision_at_k * 100.0

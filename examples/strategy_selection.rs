@@ -32,15 +32,15 @@ fn main() {
         Objective::Distortion,
     ];
 
+    // One shared pool definition drives middleware, experiments and
+    // examples alike; the engine evaluates it in parallel.
     for objective in objectives {
-        let selector = StrategySelector::new(objective, 0.25, 7).with_default_candidates();
+        let selector =
+            StrategySelector::new(objective, 0.25, 7).with_pool(StrategyPool::default_pool());
         match selector.select(&data.dataset, &reference) {
             Ok((winner, report)) => {
                 println!("{report}");
-                println!(
-                    "→ for {objective}, PRIVAPI deploys: {}\n",
-                    winner.info()
-                );
+                println!("→ for {objective}, PRIVAPI deploys: {}\n", winner.info());
             }
             Err(e) => println!("objective {objective}: {e}\n"),
         }

@@ -30,17 +30,24 @@ fn collect_protect_publish_pipeline() {
             ..CampaignConfig::default()
         },
     );
-    assert!(report.records_received > 200, "collected {}", report.records_received);
+    assert!(
+        report.records_received > 200,
+        "collected {}",
+        report.records_received
+    );
 
     // --- assemble the dataset on the honeycomb side ---
     // (run_campaign returns platform metrics; rebuild the dataset through a
     // local Honeycomb to exercise its storage path too.)
-    let data = CityModel::builder().seed(99).build().generate_with_truth(&PopulationConfig {
-        users: 12,
-        days: 3,
-        sampling_interval_s: 120,
-        ..PopulationConfig::default()
-    });
+    let data = CityModel::builder()
+        .seed(99)
+        .build()
+        .generate_with_truth(&PopulationConfig {
+            users: 12,
+            days: 3,
+            sampling_interval_s: 120,
+            ..PopulationConfig::default()
+        });
 
     // --- protect and publish (PRIVAPI) ---
     let privapi = PrivApi::default();
@@ -75,12 +82,15 @@ fn hive_deploys_and_ingests_locally() {
     use crowdsense::apisense::device::DeviceId;
     use crowdsense::mobility::{Timestamp, Trajectory};
 
-    let data = CityModel::builder().seed(3).build().generate_with_truth(&PopulationConfig {
-        users: 5,
-        days: 1,
-        sampling_interval_s: 60,
-        ..PopulationConfig::default()
-    });
+    let data = CityModel::builder()
+        .seed(3)
+        .build()
+        .generate_with_truth(&PopulationConfig {
+            users: 5,
+            days: 1,
+            sampling_interval_s: 60,
+            ..PopulationConfig::default()
+        });
 
     let mut hive = Hive::new();
     let mut devices: Vec<Device> = data
@@ -143,12 +153,15 @@ fn hive_deploys_and_ingests_locally() {
 fn io_roundtrip_preserves_analysis() {
     use crowdsense::mobility::io;
 
-    let data = CityModel::builder().seed(8).build().generate_with_truth(&PopulationConfig {
-        users: 3,
-        days: 2,
-        sampling_interval_s: 300,
-        ..PopulationConfig::default()
-    });
+    let data = CityModel::builder()
+        .seed(8)
+        .build()
+        .generate_with_truth(&PopulationConfig {
+            users: 3,
+            days: 2,
+            sampling_interval_s: 300,
+            ..PopulationConfig::default()
+        });
     let mut jsonl = Vec::new();
     io::write_jsonl(&data.dataset, &mut jsonl).unwrap();
     let back = io::read_jsonl(jsonl.as_slice()).unwrap();
@@ -173,12 +186,15 @@ fn io_roundtrip_preserves_analysis() {
 /// The selector's choice is stable across runs (determinism end to end).
 #[test]
 fn selection_is_deterministic() {
-    let data = CityModel::builder().seed(13).build().generate_with_truth(&PopulationConfig {
-        users: 6,
-        days: 3,
-        sampling_interval_s: 120,
-        ..PopulationConfig::default()
-    });
+    let data = CityModel::builder()
+        .seed(13)
+        .build()
+        .generate_with_truth(&PopulationConfig {
+            users: 6,
+            days: 3,
+            sampling_interval_s: 120,
+            ..PopulationConfig::default()
+        });
     let attack = PoiAttack::default();
     let reference = attack.extract(&data.dataset);
     let run = || {
@@ -203,12 +219,15 @@ fn selection_is_deterministic() {
 /// Smoothed speed really is constant across a realistic population.
 #[test]
 fn speed_smoothing_invariant_population_wide() {
-    let data = CityModel::builder().seed(21).build().generate_with_truth(&PopulationConfig {
-        users: 6,
-        days: 2,
-        sampling_interval_s: 60,
-        ..PopulationConfig::default()
-    });
+    let data = CityModel::builder()
+        .seed(21)
+        .build()
+        .generate_with_truth(&PopulationConfig {
+            users: 6,
+            days: 2,
+            sampling_interval_s: 60,
+            ..PopulationConfig::default()
+        });
     let strategy = SpeedSmoothing::new(geo::Meters::new(100.0)).unwrap();
     let protected = strategy.anonymize(&data.dataset, 1);
     let mut checked = 0;
@@ -219,4 +238,80 @@ fn speed_smoothing_invariant_population_wide() {
         }
     }
     assert!(checked > 0, "no trajectory had measurable speed");
+}
+
+/// The new engine end to end: `PrivApi::publish` (parallel by default)
+/// still meets the privacy floor, and forcing the sequential schedule
+/// produces the byte-identical selection report and release.
+#[test]
+fn publish_through_engine_is_schedule_independent_and_meets_floor() {
+    use crowdsense::privapi::engine::ExecutionMode;
+
+    let data = CityModel::builder()
+        .seed(57)
+        .build()
+        .generate_with_truth(&PopulationConfig {
+            users: 8,
+            days: 3,
+            sampling_interval_s: 120,
+            ..PopulationConfig::default()
+        });
+    let parallel = PrivApi::default();
+    let sequential = PrivApi::default().with_mode(ExecutionMode::Sequential);
+    let a = parallel.publish(&data.dataset).expect("publishable");
+    let b = sequential.publish(&data.dataset).expect("publishable");
+
+    // Floor holds on the actual release.
+    let floor = parallel.config().privacy_floor;
+    assert!(
+        a.privacy.recall <= floor + 1e-9,
+        "leaked {}",
+        a.privacy.recall
+    );
+
+    // Parallel and sequential middleware runs agree exactly.
+    assert_eq!(a.selection, b.selection);
+    assert_eq!(a.strategy, b.strategy);
+    assert_eq!(a.dataset, b.dataset);
+
+    // The report's winner row is consistent with the applied strategy and
+    // the typed objective survived into the report.
+    let winner = a.selection.winner().expect("winner row");
+    assert_eq!(winner.info, a.strategy);
+    assert_eq!(a.selection.objective, parallel.config().objective);
+}
+
+/// The APISENSE publication gateway releases a campaign's data through the
+/// shared strategy pool and the privacy floor holds on the release.
+#[test]
+fn gateway_publishes_campaign_data_under_floor() {
+    use crowdsense::apisense::privacy::PublicationGateway;
+    use crowdsense::privapi::pool::StrategyPool;
+
+    let data = CityModel::builder()
+        .seed(63)
+        .build()
+        .generate_with_truth(&PopulationConfig {
+            users: 6,
+            days: 3,
+            sampling_interval_s: 120,
+            ..PopulationConfig::default()
+        });
+    // A custom pool assembled from the shared registry's grid builders.
+    let pool = StrategyPool::new()
+        .with_speed_smoothing(&[100.0, 200.0])
+        .unwrap()
+        .with_geo_indistinguishability(&[0.01])
+        .unwrap()
+        .with_temporal_downsampling(&[600])
+        .unwrap();
+    let gateway = PublicationGateway::default().with_pool(pool);
+    let published = gateway.publish_dataset(&data.dataset).expect("publishable");
+    let floor = gateway.privapi().config().privacy_floor;
+    assert!(
+        published.privacy.recall <= floor + 1e-9,
+        "gateway leaked {}",
+        published.privacy.recall
+    );
+    assert_eq!(published.dataset.user_count(), data.dataset.user_count());
 }

@@ -1,0 +1,552 @@
+//! Offline stand-in for `proptest`.
+//!
+//! crates.io is unreachable in this build environment, so the workspace
+//! vendors a compact property-testing engine covering the API subset its
+//! test suites use:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(...)]`),
+//! * [`Strategy`] with `prop_map`, range strategies, tuple strategies,
+//!   `any::<T>()`, `prop::collection::vec`, `prop::option::of`, and
+//!   `.{a,b}`-style string patterns,
+//! * [`prop_assert!`] / [`prop_assert_eq!`].
+//!
+//! Unlike the real crate there is no shrinking: a failing case reports the
+//! generated inputs verbatim. Case generation is fully deterministic (the
+//! seed is derived from the test name and case index), so failures are
+//! reproducible run over run.
+
+use std::fmt;
+use std::ops::Range;
+
+/// Deterministic generator backing every strategy (xoshiro256**).
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Builds the generator for one (test, case) pair.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        // FNV-1a over the test name, mixed with the case index.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in test_name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x1_0000_0000_01B3);
+        }
+        h ^= (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut sm = h;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            *slot = z ^ (z >> 31);
+        }
+        if s == [0, 0, 0, 0] {
+            s[0] = 1;
+        }
+        Self { s }
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw from `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw from `[0, bound)`; `bound` must be positive.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// Failure of a single property case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Drives one property over `config.cases` deterministic cases.
+///
+/// # Panics
+///
+/// Panics (failing the enclosing `#[test]`) on the first failing case.
+pub fn run_proptest<F>(config: ProptestConfig, name: &str, mut property: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    for case in 0..config.cases {
+        let mut rng = TestRng::for_case(name, case);
+        if let Err(e) = property(&mut rng) {
+            panic!(
+                "property {name} failed at case {case}/{}:\n{e}",
+                config.cases
+            );
+        }
+    }
+}
+
+/// A generator of random values.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy_int {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $ty
+            }
+        }
+    )*};
+}
+impl_range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, G);
+
+/// Pattern-string strategy: supports the `<atom>{min,max}` regex subset,
+/// where `<atom>` is `.` (any char except newline) or a character class
+/// such as `[a-z]` / `[a-z0-9_]`.
+///
+/// `.` draws from printable ASCII with an occasional multi-byte character.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let parsed = parse_repeat_pattern(self).unwrap_or_else(|| {
+            panic!(
+                "unsupported string pattern {self:?}; this stand-in knows \
+                 `.{{min,max}}` and `[class]{{min,max}}` only"
+            )
+        });
+        let (atom, min, max) = parsed;
+        let len = min + rng.below((max - min + 1) as u64) as usize;
+        let mut out = String::with_capacity(len);
+        for _ in 0..len {
+            match &atom {
+                PatternAtom::AnyChar => {
+                    let roll = rng.below(100);
+                    if roll < 92 {
+                        out.push((0x20 + rng.below(0x5F) as u8) as char);
+                    } else {
+                        const EXOTIC: [char; 8] = ['é', 'ü', 'λ', '中', '—', '😀', '\t', '§'];
+                        out.push(EXOTIC[rng.below(EXOTIC.len() as u64) as usize]);
+                    }
+                }
+                PatternAtom::Class(chars) => {
+                    out.push(chars[rng.below(chars.len() as u64) as usize]);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One repeatable unit of a string pattern.
+enum PatternAtom {
+    /// `.` — any character except newline.
+    AnyChar,
+    /// `[...]` — the expanded member set of a character class.
+    Class(Vec<char>),
+}
+
+/// Parses `<atom>{min,max}` into its atom and bounds.
+fn parse_repeat_pattern(pattern: &str) -> Option<(PatternAtom, usize, usize)> {
+    let (atom, rest) = if let Some(rest) = pattern.strip_prefix('.') {
+        (PatternAtom::AnyChar, rest)
+    } else if let Some(after) = pattern.strip_prefix('[') {
+        let (class, rest) = after.split_once(']')?;
+        let members = expand_class(class)?;
+        (PatternAtom::Class(members), rest)
+    } else {
+        return None;
+    };
+    let bounds = rest.strip_prefix('{')?.strip_suffix('}')?;
+    let (min, max) = bounds.split_once(',')?;
+    let min: usize = min.trim().parse().ok()?;
+    let max: usize = max.trim().parse().ok()?;
+    (min <= max).then_some((atom, min, max))
+}
+
+/// Expands a character class body (`a-z0-9_`) into its members.
+fn expand_class(class: &str) -> Option<Vec<char>> {
+    let chars: Vec<char> = class.chars().collect();
+    let mut members = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let (lo, hi) = (chars[i], chars[i + 2]);
+            if lo > hi {
+                return None;
+            }
+            for c in lo..=hi {
+                members.push(c);
+            }
+            i += 3;
+        } else {
+            members.push(chars[i]);
+            i += 1;
+        }
+    }
+    (!members.is_empty()).then_some(members)
+}
+
+/// Types with a canonical "anything goes" strategy (see [`any`]).
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Like proptest's default f64 strategy, excludes NaN/infinities.
+        loop {
+            let v = f64::from_bits(rng.next_u64());
+            if v.is_finite() {
+                return v;
+            }
+        }
+    }
+}
+
+/// The canonical strategy for `T` (proptest's `any::<T>()`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Combinator modules mirroring `proptest::prelude::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+        use std::ops::Range;
+
+        /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+            assert!(len.start < len.end, "empty length range");
+            VecStrategy { element, len }
+        }
+
+        /// Strategy returned by [`vec`].
+        pub struct VecStrategy<S> {
+            element: S,
+            len: Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let span = (self.len.end - self.len.start) as u64;
+                let len = self.len.start + rng.below(span) as usize;
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// Option strategies.
+    pub mod option {
+        use crate::{Strategy, TestRng};
+
+        /// Strategy for `Option<S::Value>` (half `None`, half `Some`).
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+
+        /// Strategy returned by [`of`].
+        pub struct OptionStrategy<S> {
+            inner: S,
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                if rng.next_u64() & 1 == 0 {
+                    None
+                } else {
+                    Some(self.inner.generate(rng))
+                }
+            }
+        }
+    }
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+}
+
+/// Defines property tests (subset of proptest's macro of the same name).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal muncher expanding each property into a `#[test]` fn.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr); $(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_proptest($cfg, stringify!($name), |__rng| {
+                $(let $arg = $crate::Strategy::generate(&($strat), __rng);)+
+                let __inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}; "),+),
+                    $(&$arg),+
+                );
+                let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (move || {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                __outcome.map_err(|e| {
+                    $crate::TestCaseError::fail(format!("{e}\n  inputs: {}", __inputs))
+                })
+            });
+        }
+        $crate::__proptest_fns! { ($cfg); $($rest)* }
+    };
+    (($cfg:expr);) => {};
+}
+
+/// Property-style assertion: fails the case (not the process) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Property-style equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn dot_repeat_parsing() {
+        assert!(matches!(
+            super::parse_repeat_pattern(".{0,20}"),
+            Some((super::PatternAtom::AnyChar, 0, 20))
+        ));
+        assert!(matches!(
+            super::parse_repeat_pattern("[a-z]{1,3}"),
+            Some((super::PatternAtom::Class(_), 1, 3))
+        ));
+        assert!(super::parse_repeat_pattern("[a-z]+").is_none());
+        assert_eq!(super::expand_class("a-c_"), Some(vec!['a', 'b', 'c', '_']));
+    }
+
+    #[test]
+    fn determinism_per_name_and_case() {
+        let a = crate::TestRng::for_case("x", 0).next_u64();
+        let b = crate::TestRng::for_case("x", 0).next_u64();
+        let c = crate::TestRng::for_case("x", 1).next_u64();
+        let d = crate::TestRng::for_case("y", 0).next_u64();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3..10i64, f in -1.0..1.0f64) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_and_map_compose(
+            v in prop::collection::vec((0u64..5, ".{0,4}"), 0..6).prop_map(|pairs| pairs.len()),
+            o in prop::option::of(any::<u64>()),
+        ) {
+            prop_assert!(v < 6);
+            if o.is_none() { return Ok(()); }
+            prop_assert_eq!(o.is_some(), true);
+        }
+    }
+}

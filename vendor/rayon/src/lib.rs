@@ -1,0 +1,160 @@
+//! Offline stand-in for `rayon`.
+//!
+//! crates.io is unreachable in this build environment, so the workspace
+//! vendors the small API subset it uses: `par_iter()` over slices and
+//! `Vec`s, `map`, and order-preserving `collect()` into a `Vec`. Unlike a
+//! mock, the implementation is genuinely parallel: work is split into one
+//! contiguous chunk per available core and executed on scoped OS threads,
+//! so data-parallel speedups are real on multi-core hosts while results
+//! stay in input order (bit-identical to a sequential run for pure maps).
+
+use std::num::NonZeroUsize;
+
+/// Entry points re-exported the way rayon's prelude does.
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParSlice, ParSliceMap};
+}
+
+/// Number of worker threads a parallel operation will use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Types whose references can be iterated in parallel.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item yielded by the parallel iterator.
+    type Item: 'a;
+    /// The parallel iterator type.
+    type Iter;
+
+    /// Creates a parallel iterator over `&self`.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = ParSlice<'a, T>;
+
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = ParSlice<'a, T>;
+
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { items: self }
+    }
+}
+
+/// A borrowed slice awaiting a parallel transformation.
+pub struct ParSlice<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParSlice<'a, T> {
+    /// Lazily attaches the mapping function.
+    pub fn map<R, F>(self, f: F) -> ParSliceMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParSliceMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Number of items to process.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether there is nothing to process.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// A mapped parallel iterator; consumed by [`ParSliceMap::collect`].
+pub struct ParSliceMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, F, R> ParSliceMap<'a, T, F>
+where
+    T: Sync,
+    F: Fn(&'a T) -> R + Sync,
+    R: Send,
+{
+    /// Runs the map on scoped threads and gathers results in input order.
+    ///
+    /// `C` is anything constructible from the ordered `Vec` of results
+    /// (in practice `Vec<R>` itself), mirroring how call sites write
+    /// `collect::<Vec<_>>()` against real rayon.
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        C::from(self.run())
+    }
+
+    fn run(self) -> Vec<R> {
+        let n = self.items.len();
+        let threads = current_num_threads().min(n.max(1));
+        if threads <= 1 || n <= 1 {
+            return self.items.iter().map(&self.f).collect();
+        }
+        let chunk = n.div_ceil(threads);
+        let f = &self.f;
+        let mut chunks: Vec<Vec<R>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .items
+                .chunks(chunk)
+                .map(|part| scope.spawn(move || part.iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            for handle in handles {
+                chunks.push(handle.join().expect("worker thread panicked"));
+            }
+        });
+        let mut out = Vec::with_capacity(n);
+        for part in chunks {
+            out.extend(part);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..10_000).collect();
+        let out: Vec<u64> = input.par_iter().map(|x| x * 2).collect();
+        let expected: Vec<u64> = input.iter().map(|x| x * 2).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|x| x + 1).collect();
+        assert!(out.is_empty());
+        let one = [41u32];
+        let out: Vec<u32> = one.par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn closures_capture_environment() {
+        let offset = 100;
+        let input = vec![1, 2, 3];
+        let out: Vec<i32> = input.par_iter().map(|x| x + offset).collect();
+        assert_eq!(out, vec![101, 102, 103]);
+    }
+}

@@ -1,0 +1,28 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors this minimal facade. It provides:
+//!
+//! * [`Serialize`] / [`Deserialize`] marker traits, blanket-implemented for
+//!   every type, so generic bounds written against serde still compile;
+//! * re-exports of the no-op derive macros from `serde_derive`, so
+//!   `#[derive(Serialize, Deserialize)]` resolves.
+//!
+//! No actual (de)serialization is performed anywhere in the workspace today;
+//! when a real serde becomes available, deleting `vendor/serde*` and
+//! pointing the workspace dependency at crates.io restores full behaviour
+//! without touching any consuming code.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for serializable types. Blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for deserializable types. Blanket-implemented for all types.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker mirroring serde's owned-deserialization helper trait.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real crates.io registry is unreachable in this build environment, so
+//! the workspace vendors a minimal substitute. The `serde` facade crate
+//! provides blanket implementations of `Serialize` / `Deserialize` for every
+//! type, which means these derive macros only need to *exist* (so that
+//! `#[derive(Serialize, Deserialize)]` resolves) — they expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; the `serde` facade blanket-implements the trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; the `serde` facade blanket-implements the trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
