@@ -252,6 +252,19 @@ impl PublicationGateway {
         self
     }
 
+    /// Replaces the attack measuring POI exposure (custom parameters, or an
+    /// instrumented probe for extraction accounting).
+    pub fn with_attack(mut self, attack: privapi::attack::PoiAttack) -> Self {
+        self.privapi = self.privapi.with_attack(attack);
+        self
+    }
+
+    /// Sets the evaluation schedule (parallel by default).
+    pub fn with_mode(mut self, mode: privapi::engine::ExecutionMode) -> Self {
+        self.privapi = self.privapi.with_mode(mode);
+        self
+    }
+
     /// The underlying PRIVAPI middleware.
     pub fn privapi(&self) -> &privapi::pipeline::PrivApi {
         &self.privapi
@@ -515,6 +528,13 @@ mod tests {
         );
         assert_eq!(published.dataset.user_count(), data.user_count());
         assert!(published.selection.winner().is_some());
+        // The platform-side publish path attacks the original exactly once:
+        // one extraction for the reference plus one per pooled candidate.
+        assert_eq!(
+            gateway.privapi().attack().extractions(),
+            gateway.privapi().pool().len() + 1,
+            "gateway publish must extract the original dataset exactly once"
+        );
     }
 
     #[test]

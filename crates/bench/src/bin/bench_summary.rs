@@ -1,0 +1,51 @@
+//! Attack-path perf summary: runs E10 and emits `BENCH_e10.json`.
+//!
+//! ```bash
+//! cargo run -p bench --bin bench_summary --release -- --scale smoke
+//! cargo run -p bench --bin bench_summary --release -- --scale medium --out BENCH_e10.json
+//! ```
+//!
+//! CI runs the smoke shape on every PR and uploads the JSON as an
+//! artifact, so the perf trajectory of the attack pipeline (serial vs
+//! sharded extraction, scan vs indexed matching, publish end to end)
+//! accumulates data points instead of anecdotes. Every run also asserts
+//! the pipeline's invariants — extraction parity, matcher parity, and the
+//! single-original-extraction-per-publish budget — and fails loudly if any
+//! regresses.
+
+use bench::e10::{run, E10Config};
+use bench::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let value_of = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let scale = value_of("--scale").unwrap_or_else(|| "smoke".into());
+    let out = value_of("--out").unwrap_or_else(|| "BENCH_e10.json".into());
+    let config = match scale.as_str() {
+        "smoke" => E10Config::smoke(),
+        "small" => E10Config::from_scale(Scale::Small),
+        "medium" => E10Config::from_scale(Scale::Medium),
+        "full" => E10Config::from_scale(Scale::Full),
+        other => {
+            eprintln!("unknown --scale {other:?}; use smoke|small|medium|full");
+            std::process::exit(2);
+        }
+    };
+
+    eprintln!(
+        "e10 attack-path summary: scale={}, {} users x {} days @ {} s",
+        config.label, config.users, config.days, config.interval_s
+    );
+    let report = run(&config);
+    println!("{report}");
+    std::fs::write(&out, report.to_json()).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("wrote {out}");
+}

@@ -1,10 +1,14 @@
 //! Regenerates every table/figure of the paper's evaluation.
 //!
 //! ```bash
-//! cargo run -p bench --bin experiments --release            # all, small scale
-//! cargo run -p bench --bin experiments --release -- e1 e3   # selected ids
-//! cargo run -p bench --bin experiments --release -- --full  # paper scale
+//! cargo run -p bench --bin experiments --release              # all, small scale
+//! cargo run -p bench --bin experiments --release -- e1 e3     # selected ids
+//! cargo run -p bench --bin experiments --release -- --medium  # regression scale
+//! cargo run -p bench --bin experiments --release -- --full    # paper scale
 //! ```
+//!
+//! The attack-path experiment E10 has its own driver (`bench_summary`),
+//! which also emits `BENCH_e10.json`.
 
 use bench::Scale;
 
@@ -12,6 +16,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = if args.iter().any(|a| a == "--full") {
         Scale::Full
+    } else if args.iter().any(|a| a == "--medium") {
+        Scale::Medium
     } else {
         Scale::Small
     };
@@ -24,7 +30,7 @@ fn main() {
 
     println!(
         "== crowdsense experiment suite (scale: {scale:?}) ==\n\
-         ids: e1 e2 e3 e4 e5 e6 e7 e8 f1; pass --full for paper scale\n"
+         ids: e1 e2 e3 e4 e5 e6 e7 e8 f1; pass --medium or --full to scale up\n"
     );
 
     if want("f1") {

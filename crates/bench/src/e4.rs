@@ -94,6 +94,7 @@ pub fn run_sweep(populations: &[usize], duration_s: u64) -> E4Table {
 pub fn run(scale: crate::Scale) -> E4Table {
     match scale {
         crate::Scale::Small => run_sweep(&[10, 25, 50], 2 * 3_600),
+        crate::Scale::Medium => run_sweep(&[10, 50, 100, 250], 4 * 3_600),
         crate::Scale::Full => run_sweep(&[10, 50, 100, 250, 500], 6 * 3_600),
     }
 }

@@ -52,6 +52,12 @@ pub fn run(scale: crate::Scale) -> E6Table {
             records_per_active_day: 48,
             seed: 0xE6,
         },
+        crate::Scale::Medium => CampaignConfig {
+            users: 200,
+            days: 21,
+            records_per_active_day: 48,
+            seed: 0xE6,
+        },
         crate::Scale::Full => CampaignConfig {
             users: 300,
             days: 28,

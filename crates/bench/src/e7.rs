@@ -134,6 +134,7 @@ pub fn run_strategy(
 pub fn run(scale: crate::Scale) -> E7Table {
     let (fleet, queries) = match scale {
         crate::Scale::Small => (40, 480),
+        crate::Scale::Medium => (70, 1_440),
         crate::Scale::Full => (100, 2_880),
     };
     let per_query = 5;

@@ -65,6 +65,7 @@ impl fmt::Display for E8Table {
 pub fn run(scale: crate::Scale) -> E8Table {
     let (users, days) = match scale {
         crate::Scale::Small => (8, 3),
+        crate::Scale::Medium => (15, 5),
         crate::Scale::Full => (25, 7),
     };
     let data = dataset(users, days, 60, 0xE8);

@@ -53,6 +53,7 @@ impl fmt::Display for F1Figure {
 pub fn run(scale: crate::Scale) -> F1Figure {
     let devices = match scale {
         crate::Scale::Small => 10,
+        crate::Scale::Medium => 25,
         crate::Scale::Full => 50,
     };
     let report = run_campaign(

@@ -8,6 +8,7 @@
 
 pub mod data;
 pub mod e1;
+pub mod e10;
 pub mod e2;
 pub mod e3;
 pub mod e4;
@@ -18,11 +19,15 @@ pub mod e8;
 pub mod f1;
 
 /// Experiment scale: `Small` keeps every experiment under a few seconds,
-/// `Full` approaches the population sizes a real deployment would see.
+/// `Medium` is the attack-path regression point (large enough for the
+/// indexed-vs-scan and parallel-vs-serial gaps to be visible), and `Full`
+/// approaches the population sizes a real deployment would see.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
     /// CI-friendly: tens of users, a week of data.
     Small,
+    /// Attack-path regression scale: most of a hundred users, ten days.
+    Medium,
     /// Paper-scale: hundreds of users, two weeks of data.
     Full,
 }
@@ -33,6 +38,7 @@ impl Scale {
     pub fn population(&self) -> (usize, usize, i64) {
         match self {
             Scale::Small => (30, 7, 120),
+            Scale::Medium => (80, 10, 90),
             Scale::Full => (200, 14, 60),
         }
     }

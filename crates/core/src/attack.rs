@@ -27,14 +27,36 @@
 //! constant-speed resampling, dwell is spread uniformly along the path, so
 //! nothing stands out, while geo-indistinguishability merely blurs the
 //! concentration over neighbouring cells without removing it.
+//!
+//! # Sharding and indexing (the scaling architecture)
+//!
+//! The attack is the dominant term of every candidate evaluation in the
+//! selection engine, so its two hot paths are structured for scale:
+//!
+//! * **Per-user shards.** Extraction decomposes into one independent
+//!   [`UserAttackShard`] per user ([`PoiAttack::extract_user`]);
+//!   [`PoiAttack::extract`] fans the shards out over the available cores and
+//!   reassembles them in `UserId` order, so the result is byte-identical to
+//!   the sequential reference path ([`PoiAttack::extract_serial`]). Shards
+//!   are also the unit a streaming/incremental deployment would cache.
+//! * **Spatial-indexed matching.** Reference POIs are bucketed once into a
+//!   [`ReferenceIndex`] (a [`geo::PointIndex`] per user, cell side =
+//!   [`PoiAttackConfig::match_distance`]); matching a candidate's extraction
+//!   probes neighbor cells instead of scanning every (reference, extracted)
+//!   pair. Distance comparisons stay exact haversine, so the indexed report
+//!   equals the scan matcher's ([`PoiAttack::match_extracted_scan`])
+//!   bit-for-bit, boundary distances included.
 
-use geo::{GeoPoint, Meters, UniformGrid};
+use geo::{GeoPoint, Meters, PointIndex, UniformGrid};
 use mobility::gen::GroundTruth;
 use mobility::poi::{extract_pois, PoiConfig};
 use mobility::staypoint::{detect_all, StayPointConfig};
 use mobility::{Dataset, UserId};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Per-user reference POI positions (ground truth or extracted from raw
 /// data) that attack reports are measured against.
@@ -112,23 +134,100 @@ pub struct PoiAttackReport {
 
 /// Per-user dwell statistics backing the concentration filter.
 #[derive(Debug, Clone)]
-struct DwellField {
+pub struct DwellField {
     /// Dwell mass per cell.
     mass: HashMap<geo::CellId, f64>,
     /// Mean mass across positive cells (the "background" dwell level).
     mean_positive: f64,
 }
 
+impl DwellField {
+    /// Dwell mass (seconds) accumulated per grid cell.
+    pub fn mass(&self) -> &HashMap<geo::CellId, f64> {
+        &self.mass
+    }
+
+    /// Mean mass across positive cells — the user's background dwell level
+    /// the concentration filter is anchored to.
+    pub fn mean_positive(&self) -> f64 {
+        self.mean_positive
+    }
+
+    /// Number of cells holding positive dwell.
+    pub fn cell_count(&self) -> usize {
+        self.mass.len()
+    }
+}
+
+/// One user's slice of the attack: their dwell field and the POIs extracted
+/// from it. Shards are independent — [`PoiAttack::extract`] computes them in
+/// parallel — and are the natural cache unit for streaming per-day releases.
+#[derive(Debug, Clone)]
+pub struct UserAttackShard {
+    /// The user this shard belongs to.
+    pub user: UserId,
+    /// The user's dwell-density field over the dataset grid.
+    pub dwell: DwellField,
+    /// The dwell threshold (seconds) POI candidates had to exceed.
+    pub threshold_s: f64,
+    /// POIs extracted for this user (density ∪ stay-point, de-duplicated).
+    pub pois: Vec<GeoPoint>,
+}
+
+/// Per-user spatial index over reference POIs, built once per evaluation
+/// run ([`PoiAttack::index_reference`]) and probed by every candidate's
+/// [`PoiAttack::evaluate_with_index`].
+#[derive(Debug, Clone)]
+pub struct ReferenceIndex {
+    match_distance: Meters,
+    users: BTreeMap<UserId, PointIndex>,
+}
+
+impl ReferenceIndex {
+    /// Total reference POIs across all users.
+    pub fn total_pois(&self) -> usize {
+        self.users.values().map(PointIndex::len).sum()
+    }
+
+    /// Number of indexed users.
+    pub fn user_count(&self) -> usize {
+        self.users.len()
+    }
+
+    /// The match distance the index was keyed with.
+    pub fn match_distance(&self) -> Meters {
+        self.match_distance
+    }
+
+    /// One user's POI index, if present.
+    pub fn get(&self, user: &UserId) -> Option<&PointIndex> {
+        self.users.get(user)
+    }
+
+    /// Iterates the per-user indexes in `UserId` order.
+    pub fn iter(&self) -> impl Iterator<Item = (&UserId, &PointIndex)> {
+        self.users.iter()
+    }
+}
+
 /// The POI retrieval attack.
 #[derive(Debug, Clone, Default)]
 pub struct PoiAttack {
     config: PoiAttackConfig,
+    /// Counts full-dataset extractions. Shared across clones (the engine
+    /// clones the attack into its workers), so callers can assert
+    /// extraction budgets — e.g. exactly one original-side extraction per
+    /// publish — end to end.
+    extractions: Arc<AtomicUsize>,
 }
 
 impl PoiAttack {
     /// Creates the attack with explicit parameters.
     pub fn new(config: PoiAttackConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            extractions: Arc::new(AtomicUsize::new(0)),
+        }
     }
 
     /// The attack parameters.
@@ -136,29 +235,93 @@ impl PoiAttack {
         &self.config
     }
 
+    /// How many full-dataset extractions this attack (and every clone of
+    /// it) has performed. Per-user [`PoiAttack::extract_user`] calls are
+    /// not counted — only whole-dataset passes.
+    pub fn extractions(&self) -> usize {
+        self.extractions.load(Ordering::Relaxed)
+    }
+
+    /// The dataset-wide density grid every per-user extraction shares, or
+    /// `None` for an empty dataset.
+    pub fn extraction_grid(&self, dataset: &Dataset) -> Option<UniformGrid> {
+        let bbox = dataset.bounding_box()?.expanded(0.001);
+        Some(
+            UniformGrid::new(bbox, self.config.density_cell)
+                .expect("cell size validated by config"),
+        )
+    }
+
+    /// Extracts one user's [`UserAttackShard`] against the shared dataset
+    /// `grid` (see [`PoiAttack::extraction_grid`]).
+    ///
+    /// Per-user work is fully deterministic and independent of every other
+    /// user, which is what lets [`PoiAttack::extract`] fan users out in
+    /// parallel without changing any result.
+    pub fn extract_user(
+        &self,
+        dataset: &Dataset,
+        user: UserId,
+        grid: &UniformGrid,
+    ) -> UserAttackShard {
+        let dwell = self.dwell_field(dataset, user, grid);
+        let threshold_s = self.poi_threshold(&dwell);
+        let mut pois = self.extract_density_pois(&dwell, grid, threshold_s);
+        for p in self.extract_staypoint_pois(dataset, user, threshold_s) {
+            let dup = pois
+                .iter()
+                .any(|q| q.haversine_distance(&p).get() < self.config.poi.merge_distance.get());
+            if !dup {
+                pois.push(p);
+            }
+        }
+        UserAttackShard {
+            user,
+            dwell,
+            threshold_s,
+            pois,
+        }
+    }
+
+    /// Extracts every user's shard, fanned out over the available cores.
+    ///
+    /// Shards come back in `UserId` order (users are iterated sorted and
+    /// results collected in input order), so downstream consumers see the
+    /// exact sequential result regardless of scheduling.
+    pub fn extract_shards(&self, dataset: &Dataset) -> Vec<UserAttackShard> {
+        self.extractions.fetch_add(1, Ordering::Relaxed);
+        let Some(grid) = self.extraction_grid(dataset) else {
+            return Vec::new();
+        };
+        let users = dataset.users();
+        users
+            .par_iter()
+            .map(|&user| self.extract_user(dataset, user, &grid))
+            .collect()
+    }
+
     /// Extracts POI positions for every user of `dataset` (union of the
     /// stay-point and dwell-density extractors, de-duplicated).
+    ///
+    /// Parallel over users; byte-identical to [`PoiAttack::extract_serial`].
     pub fn extract(&self, dataset: &Dataset) -> ReferencePois {
+        self.extract_shards(dataset)
+            .into_iter()
+            .map(|s| (s.user, s.pois))
+            .collect()
+    }
+
+    /// The sequential reference implementation of [`PoiAttack::extract`],
+    /// kept for parity tests and serial-vs-parallel benchmarks.
+    pub fn extract_serial(&self, dataset: &Dataset) -> ReferencePois {
+        self.extractions.fetch_add(1, Ordering::Relaxed);
         let mut out = ReferencePois::new();
-        let Some(bbox) = dataset.bounding_box() else {
+        let Some(grid) = self.extraction_grid(dataset) else {
             return out;
         };
-        let bbox = bbox.expanded(0.001);
-        let grid = UniformGrid::new(bbox, self.config.density_cell)
-            .expect("cell size validated by config");
         for user in dataset.users() {
-            let field = self.dwell_field(dataset, user, &grid);
-            let threshold = self.poi_threshold(&field);
-            let mut pois = self.extract_density_pois(&field, &grid, threshold);
-            for p in self.extract_staypoint_pois(dataset, user, threshold) {
-                let dup = pois.iter().any(|q| {
-                    q.haversine_distance(&p).get() < self.config.poi.merge_distance.get()
-                });
-                if !dup {
-                    pois.push(p);
-                }
-            }
-            out.insert(user, pois);
+            let shard = self.extract_user(dataset, user, &grid);
+            out.insert(shard.user, shard.pois);
         }
         out
     }
@@ -228,36 +391,35 @@ impl PoiAttack {
         grid: &UniformGrid,
         threshold_s: f64,
     ) -> Vec<GeoPoint> {
-        let candidates: HashMap<geo::CellId, f64> = field
+        let candidate =
+            |cell: &geo::CellId| field.mass.get(cell).is_some_and(|m| *m >= threshold_s);
+        let mut visited: HashSet<geo::CellId> = HashSet::new();
+        let mut pois = Vec::new();
+        let mut starts: Vec<geo::CellId> = field
             .mass
             .iter()
             .filter(|(_, m)| **m >= threshold_s)
-            .map(|(c, m)| (*c, *m))
+            .map(|(c, _)| *c)
             .collect();
-        let mut visited: HashMap<geo::CellId, bool> = HashMap::new();
-        let mut pois = Vec::new();
-        let mut starts: Vec<geo::CellId> = candidates.keys().copied().collect();
         starts.sort(); // deterministic order
         for start in starts {
-            if visited.get(&start).copied().unwrap_or(false) {
+            if visited.contains(&start) {
                 continue;
             }
             let mut queue = VecDeque::from([start]);
-            visited.insert(start, true);
+            visited.insert(start);
             let mut weight_sum = 0.0;
             let mut lat_sum = 0.0;
             let mut lon_sum = 0.0;
             while let Some(cell) = queue.pop_front() {
-                let w = candidates[&cell];
+                let w = field.mass[&cell];
                 let c = grid.cell_center(&cell);
                 weight_sum += w;
                 lat_sum += c.latitude() * w;
                 lon_sum += c.longitude() * w;
                 for nb in cell.neighbors() {
-                    if candidates.contains_key(&nb)
-                        && !visited.get(&nb).copied().unwrap_or(false)
-                    {
-                        visited.insert(nb, true);
+                    if candidate(&nb) && !visited.contains(&nb) {
+                        visited.insert(nb);
                         queue.push_back(nb);
                     }
                 }
@@ -272,13 +434,66 @@ impl PoiAttack {
         pois
     }
 
-    /// Runs the attack against reference POIs.
-    pub fn evaluate_reference(
+    /// Buckets `reference` POIs into per-user spatial indexes keyed by the
+    /// configured match distance. Build once per evaluation run; probe once
+    /// per candidate.
+    pub fn index_reference(&self, reference: &ReferencePois) -> ReferenceIndex {
+        let users = reference
+            .iter()
+            .map(|(user, pois)| {
+                let index = PointIndex::build(pois.clone(), self.config.match_distance)
+                    .expect("match distance validated by config");
+                (*user, index)
+            })
+            .collect();
+        ReferenceIndex {
+            match_distance: self.config.match_distance,
+            users,
+        }
+    }
+
+    /// Matches an already-extracted observation set against an indexed
+    /// reference. One pass over the extracted POIs marks matched reference
+    /// POIs (recall) and counts true extractions (precision) via
+    /// neighbor-cell lookups; equals [`PoiAttack::match_extracted_scan`]
+    /// bit-for-bit.
+    pub fn match_extracted(
         &self,
-        protected: &Dataset,
+        extracted: &ReferencePois,
+        index: &ReferenceIndex,
+    ) -> PoiAttackReport {
+        let match_d = index.match_distance;
+        let mut reference_pois = 0;
+        let mut matched = 0;
+        let mut extracted_total = 0;
+        let mut extracted_true = 0;
+        for (user, user_index) in &index.users {
+            let found = extracted.get(user).map(Vec::as_slice).unwrap_or(&[]);
+            reference_pois += user_index.len();
+            extracted_total += found.len();
+            let mut hit = vec![false; user_index.len()];
+            for e in found {
+                let mut any = false;
+                user_index.for_each_within(e, match_d, |i| {
+                    hit[i] = true;
+                    any = true;
+                });
+                if any {
+                    extracted_true += 1;
+                }
+            }
+            matched += hit.iter().filter(|h| **h).count();
+        }
+        assemble_report(reference_pois, matched, extracted_total, extracted_true)
+    }
+
+    /// The pairwise O(R·E) scan matcher — the reference implementation
+    /// [`PoiAttack::match_extracted`] is verified against.
+    pub fn match_extracted_scan(
+        &self,
+        extracted: &ReferencePois,
         reference: &ReferencePois,
     ) -> PoiAttackReport {
-        let extracted = self.extract(protected);
         let match_d = self.config.match_distance.get();
         let mut reference_pois = 0;
         let mut matched = 0;
@@ -305,34 +520,76 @@ impl PoiAttack {
                 }
             }
         }
-        let recall = if reference_pois == 0 {
-            0.0
-        } else {
-            matched as f64 / reference_pois as f64
-        };
-        let precision = if extracted_total == 0 {
-            0.0
-        } else {
-            extracted_true as f64 / extracted_total as f64
-        };
-        let f1 = if recall + precision == 0.0 {
-            0.0
-        } else {
-            2.0 * recall * precision / (recall + precision)
-        };
-        PoiAttackReport {
-            recall,
-            precision,
-            f1,
-            reference_pois,
-            extracted_pois: extracted_total,
-            matched,
-        }
+        assemble_report(reference_pois, matched, extracted_total, extracted_true)
+    }
+
+    /// Runs the attack against reference POIs (extract + indexed matching).
+    pub fn evaluate_reference(
+        &self,
+        protected: &Dataset,
+        reference: &ReferencePois,
+    ) -> PoiAttackReport {
+        self.evaluate_with_index(protected, &self.index_reference(reference))
+    }
+
+    /// Runs the attack against a pre-built [`ReferenceIndex`] — the hot
+    /// path of the selection engine, where the same reference is probed by
+    /// every candidate.
+    pub fn evaluate_with_index(
+        &self,
+        protected: &Dataset,
+        index: &ReferenceIndex,
+    ) -> PoiAttackReport {
+        let extracted = self.extract(protected);
+        self.match_extracted(&extracted, index)
+    }
+
+    /// Scan-matching twin of [`PoiAttack::evaluate_reference`], kept as the
+    /// verification baseline for the indexed path.
+    pub fn evaluate_reference_scan(
+        &self,
+        protected: &Dataset,
+        reference: &ReferencePois,
+    ) -> PoiAttackReport {
+        let extracted = self.extract(protected);
+        self.match_extracted_scan(&extracted, reference)
     }
 
     /// Runs the attack against generator ground truth.
     pub fn evaluate(&self, protected: &Dataset, truth: &GroundTruth) -> PoiAttackReport {
         self.evaluate_reference(protected, &reference_from_truth(truth))
+    }
+}
+
+/// Folds the four match counters into a report.
+fn assemble_report(
+    reference_pois: usize,
+    matched: usize,
+    extracted_total: usize,
+    extracted_true: usize,
+) -> PoiAttackReport {
+    let recall = if reference_pois == 0 {
+        0.0
+    } else {
+        matched as f64 / reference_pois as f64
+    };
+    let precision = if extracted_total == 0 {
+        0.0
+    } else {
+        extracted_true as f64 / extracted_total as f64
+    };
+    let f1 = if recall + precision == 0.0 {
+        0.0
+    } else {
+        2.0 * recall * precision / (recall + precision)
+    };
+    PoiAttackReport {
+        recall,
+        precision,
+        f1,
+        reference_pois,
+        extracted_pois: extracted_total,
+        matched,
     }
 }
 
@@ -347,6 +604,34 @@ pub struct ReidentReport {
     pub correct: usize,
     /// Users for whom no POIs could be extracted (counted as failures).
     pub unattributable: usize,
+}
+
+/// Background POI profiles, indexed per user, built once from the
+/// adversary's knowledge base ([`ReidentificationAttack::build_profiles`])
+/// and reused across every protected release linked against it.
+///
+/// A thin wrapper over [`ReferenceIndex`]: each profile's points live in
+/// its [`PointIndex`] (see [`geo::PointIndex::points`]), stored once.
+#[derive(Debug, Clone)]
+pub struct BackgroundProfiles {
+    index: ReferenceIndex,
+}
+
+impl BackgroundProfiles {
+    /// The per-user profile indexes.
+    pub fn index(&self) -> &ReferenceIndex {
+        &self.index
+    }
+
+    /// Number of profiled users.
+    pub fn user_count(&self) -> usize {
+        self.index.user_count()
+    }
+
+    /// Total profile POIs across all users.
+    pub fn total_pois(&self) -> usize {
+        self.index.total_pois()
+    }
 }
 
 /// The POI-profile re-identification (AP-attack style) adversary.
@@ -367,18 +652,42 @@ impl ReidentificationAttack {
         }
     }
 
+    /// Extracts and indexes the adversary's background profiles. One
+    /// extraction, reusable across every candidate release evaluated
+    /// against the same background.
+    pub fn build_profiles(&self, background: &Dataset) -> BackgroundProfiles {
+        BackgroundProfiles {
+            index: self
+                .attack
+                .index_reference(&self.attack.extract(background)),
+        }
+    }
+
     /// Links users of `protected` against profiles built from `background`.
     ///
     /// Both datasets must use the same user pseudonyms for scoring (the
     /// generator guarantees this), which lets the report count exact hits.
     pub fn evaluate(&self, protected: &Dataset, background: &Dataset) -> ReidentReport {
-        let profiles = self.attack.extract(background);
+        self.evaluate_with_profiles(protected, &self.build_profiles(background))
+    }
+
+    /// Links users of `protected` against pre-built background profiles.
+    ///
+    /// Profile distances go through each profile's spatial index
+    /// ([`geo::PointIndex::nearest_distance`] is exact), so the linkage is
+    /// identical to the pairwise scan while the profiles amortize across
+    /// candidates.
+    pub fn evaluate_with_profiles(
+        &self,
+        protected: &Dataset,
+        profiles: &BackgroundProfiles,
+    ) -> ReidentReport {
         let observations = self.attack.extract(protected);
         let mut attempted = 0;
         let mut correct = 0;
         let mut unattributable = 0;
         for (user, observed) in &observations {
-            if !profiles.contains_key(user) {
+            if profiles.index.get(user).is_none() {
                 continue;
             }
             attempted += 1;
@@ -387,11 +696,11 @@ impl ReidentificationAttack {
                 continue;
             }
             let mut best: Option<(UserId, f64)> = None;
-            for (candidate, profile) in &profiles {
-                if profile.is_empty() {
+            for (candidate, index) in profiles.index.iter() {
+                if index.is_empty() {
                     continue;
                 }
-                let score = profile_distance(observed, profile);
+                let score = indexed_profile_distance(observed, index);
                 if best.map(|(_, s)| score < s).unwrap_or(true) {
                     best = Some((*candidate, score));
                 }
@@ -415,8 +724,10 @@ impl ReidentificationAttack {
     }
 }
 
-/// Mean distance from each observed POI to its nearest profile POI.
-fn profile_distance(observed: &[GeoPoint], profile: &[GeoPoint]) -> f64 {
+/// Mean distance from each observed POI to its nearest profile POI
+/// (pairwise-scan reference implementation; see
+/// [`indexed_profile_distance`] for the production path).
+pub fn profile_distance(observed: &[GeoPoint], profile: &[GeoPoint]) -> f64 {
     let total: f64 = observed
         .iter()
         .map(|o| {
@@ -429,9 +740,25 @@ fn profile_distance(observed: &[GeoPoint], profile: &[GeoPoint]) -> f64 {
     total / observed.len() as f64
 }
 
+/// Indexed twin of [`profile_distance`]: identical value, nearest-neighbor
+/// lookups instead of pairwise scans.
+pub fn indexed_profile_distance(observed: &[GeoPoint], profile: &PointIndex) -> f64 {
+    let total: f64 = observed
+        .iter()
+        .map(|o| {
+            profile
+                .nearest_distance(o)
+                .map(|d| d.get())
+                .unwrap_or(f64::INFINITY)
+        })
+        .sum();
+    total / observed.len() as f64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use geo::Degrees;
     use mobility::gen::{CityModel, PopulationConfig};
     use mobility::{LocationRecord, Timestamp, Trajectory};
 
@@ -504,9 +831,114 @@ mod tests {
     fn extract_is_empty_for_empty_dataset() {
         let attack = PoiAttack::default();
         assert!(attack.extract(&Dataset::new()).is_empty());
+        assert!(attack.extract_serial(&Dataset::new()).is_empty());
+        assert!(attack.extract_shards(&Dataset::new()).is_empty());
         let report = attack.evaluate_reference(&Dataset::new(), &ReferencePois::new());
         assert_eq!(report.recall, 0.0);
         assert_eq!(report.extracted_pois, 0);
+    }
+
+    #[test]
+    fn parallel_extract_equals_serial() {
+        let data = small_data();
+        let attack = PoiAttack::default();
+        assert_eq!(
+            attack.extract(&data.dataset),
+            attack.extract_serial(&data.dataset)
+        );
+    }
+
+    #[test]
+    fn shards_come_back_in_user_order() {
+        let data = small_data();
+        let attack = PoiAttack::default();
+        let shards = attack.extract_shards(&data.dataset);
+        let users: Vec<UserId> = shards.iter().map(|s| s.user).collect();
+        assert_eq!(users, data.dataset.users());
+        for shard in &shards {
+            assert!(shard.threshold_s >= attack.config().min_poi_dwell_s as f64);
+            assert!(shard.dwell.cell_count() > 0);
+            assert!(shard.dwell.mean_positive() > 0.0);
+        }
+    }
+
+    #[test]
+    fn extraction_counter_counts_full_passes_across_clones() {
+        let data = small_data();
+        let attack = PoiAttack::default();
+        assert_eq!(attack.extractions(), 0);
+        let clone = attack.clone();
+        let _ = attack.extract(&data.dataset);
+        let _ = clone.extract_serial(&data.dataset);
+        let _ = attack.extract_shards(&data.dataset);
+        assert_eq!(attack.extractions(), 3, "clones share the probe");
+        assert_eq!(clone.extractions(), 3);
+    }
+
+    #[test]
+    fn indexed_matcher_equals_scan_matcher_on_real_data() {
+        use crate::strategy::AnonymizationStrategy;
+        let data = small_data();
+        let attack = PoiAttack::default();
+        let reference = attack.extract(&data.dataset);
+        for strategy_seed in [1u64, 2, 3] {
+            let protected = crate::strategies::GaussianPerturbation::new(Meters::new(120.0))
+                .unwrap()
+                .anonymize(&data.dataset, strategy_seed);
+            let indexed = attack.evaluate_reference(&protected, &reference);
+            let scan = attack.evaluate_reference_scan(&protected, &reference);
+            assert_eq!(indexed, scan);
+        }
+    }
+
+    #[test]
+    fn indexed_matcher_equals_scan_matcher_at_boundary_distance() {
+        // A POI at *exactly* match_distance must count as matched (<=) in
+        // both matchers; one at a hair beyond must not. The exact boundary
+        // is manufactured by setting match_distance to the measured
+        // haversine distance itself.
+        let site = GeoPoint::new(45.75, 4.85).unwrap();
+        let offset = site.destination(Degrees::new(73.0), Meters::new(350.0));
+        let exact = site.haversine_distance(&offset);
+        let mut reference = ReferencePois::new();
+        reference.insert(UserId(1), vec![site]);
+        // A user with no extraction and an extraction with no reference.
+        reference.insert(UserId(2), vec![offset]);
+        let mut extracted = ReferencePois::new();
+        extracted.insert(UserId(1), vec![offset]);
+        extracted.insert(UserId(3), vec![site]);
+
+        for (match_d, expect_matched) in [
+            (exact, 1),                           // boundary: inclusive
+            (Meters::new(exact.get() - 1e-6), 0), // just inside the gap
+            (Meters::new(exact.get() + 1e-6), 1), // just beyond the gap
+        ] {
+            let attack = PoiAttack::new(PoiAttackConfig {
+                match_distance: match_d,
+                ..PoiAttackConfig::default()
+            });
+            let index = attack.index_reference(&reference);
+            let indexed = attack.match_extracted(&extracted, &index);
+            let scan = attack.match_extracted_scan(&extracted, &reference);
+            assert_eq!(indexed, scan, "match_d {match_d:?}");
+            assert_eq!(indexed.matched, expect_matched, "match_d {match_d:?}");
+            assert_eq!(indexed.reference_pois, 2);
+            assert_eq!(indexed.extracted_pois, 1, "UserId(3) is not referenced");
+        }
+    }
+
+    #[test]
+    fn reference_index_reports_shape() {
+        let data = small_data();
+        let attack = PoiAttack::default();
+        let reference = attack.extract(&data.dataset);
+        let index = attack.index_reference(&reference);
+        assert_eq!(index.user_count(), reference.len());
+        assert_eq!(
+            index.total_pois(),
+            reference.values().map(Vec::len).sum::<usize>()
+        );
+        assert_eq!(index.match_distance(), attack.config().match_distance);
     }
 
     #[test]
@@ -585,6 +1017,36 @@ mod tests {
             report.accuracy
         );
         assert_eq!(report.unattributable, 0);
+    }
+
+    #[test]
+    fn reidentification_profiles_amortize_across_candidates() {
+        let data = small_data();
+        let attack = ReidentificationAttack::default();
+        let profiles = attack.build_profiles(&data.dataset);
+        let direct = attack.evaluate(&data.dataset, &data.dataset);
+        let reused = attack.evaluate_with_profiles(&data.dataset, &profiles);
+        assert_eq!(direct, reused);
+        assert_eq!(profiles.user_count(), 5);
+    }
+
+    #[test]
+    fn indexed_profile_distance_equals_scan() {
+        let data = small_data();
+        let attack = PoiAttack::default();
+        let extracted = attack.extract(&data.dataset);
+        let users: Vec<&Vec<GeoPoint>> = extracted.values().filter(|p| !p.is_empty()).collect();
+        for observed in &users {
+            for profile in &users {
+                let index =
+                    PointIndex::build((*profile).clone(), attack.config().match_distance)
+                        .unwrap();
+                assert_eq!(
+                    profile_distance(observed, profile),
+                    indexed_profile_distance(observed, &index)
+                );
+            }
+        }
     }
 
     #[test]

@@ -19,14 +19,24 @@
 //!    is chosen by the total, deterministic `(utility, −recall, index)`
 //!    ordering, so the parallel report is **identical** to the sequential
 //!    one — verified by a property test over seeds.
+//! 3. **Per-candidate original-side attack work.** The reference POIs and
+//!    their spatial index depend only on the original dataset, yet the
+//!    legacy publish path extracted them outside the engine and every
+//!    candidate rebuilt its own matching scan. [`EvalContext`] now carries
+//!    the original extraction (per-user [`UserAttackShard`]s, built at most
+//!    once per run via [`EvalContext::extracting`]) and a shared
+//!    [`ReferenceIndex`] every candidate probes.
 
-use crate::attack::{PoiAttack, PoiAttackReport, ReferencePois};
+use crate::attack::{
+    PoiAttack, PoiAttackReport, ReferenceIndex, ReferencePois, UserAttackShard,
+};
 use crate::error::PrivapiError;
 use crate::metrics::{spatial_distortion, CrowdedBaseline, TrafficBaseline};
 use crate::pool::StrategyPool;
 use crate::selection::{CandidateResult, Objective, SelectionReport};
 use mobility::Dataset;
 use rayon::prelude::*;
+use std::borrow::Cow;
 
 /// How the engine schedules candidate evaluations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -38,12 +48,22 @@ pub enum ExecutionMode {
     Parallel,
 }
 
-/// Shared, read-only per-objective projections of the original dataset,
-/// computed once per selection run and reused by every candidate.
+/// Shared, read-only original-dataset state, computed once per selection
+/// run and reused by every candidate:
+///
+/// * the per-objective utility projection (crowded/traffic baselines);
+/// * the reference POIs privacy is scored against — either borrowed from
+///   the caller or **extracted here exactly once**
+///   ([`EvalContext::extracting`]), together with the per-user
+///   [`UserAttackShard`]s the extraction decomposed into;
+/// * the [`ReferenceIndex`] bucketing those POIs for neighbor-cell matching,
+///   probed by every candidate instead of rebuilt per candidate.
 #[derive(Debug)]
 pub struct EvalContext<'a> {
     original: &'a Dataset,
-    reference: &'a ReferencePois,
+    reference: Cow<'a, ReferencePois>,
+    shards: Option<Vec<UserAttackShard>>,
+    reference_index: ReferenceIndex,
     baseline: ObjectiveBaseline,
 }
 
@@ -63,17 +83,10 @@ enum ObjectiveBaseline {
     Unavailable,
 }
 
-impl<'a> EvalContext<'a> {
-    /// Builds the shared projections for `objective` over `original`.
-    ///
-    /// `reference` is the POI set privacy is scored against — usually the
-    /// attack's own extraction from the raw data.
-    pub fn new(
-        original: &'a Dataset,
-        reference: &'a ReferencePois,
-        objective: Objective,
-    ) -> Self {
-        let baseline = match objective {
+impl ObjectiveBaseline {
+    /// Precomputes the original-side projection for `objective`.
+    fn build(original: &Dataset, objective: Objective) -> Self {
+        match objective {
             Objective::CrowdedPlaces { cell, k } => CrowdedBaseline::new(original, cell, k)
                 .map(ObjectiveBaseline::Crowded)
                 .unwrap_or(ObjectiveBaseline::Unavailable),
@@ -81,11 +94,57 @@ impl<'a> EvalContext<'a> {
                 .map(ObjectiveBaseline::Traffic)
                 .unwrap_or(ObjectiveBaseline::Unavailable),
             Objective::Distortion => ObjectiveBaseline::Distortion,
-        };
+        }
+    }
+}
+
+impl<'a> EvalContext<'a> {
+    /// Builds the shared projections for `objective` over `original`,
+    /// scoring privacy against a caller-supplied `reference` (usually the
+    /// attack's own extraction from the raw data, or ground truth).
+    ///
+    /// `attack` supplies the match distance the [`ReferenceIndex`] is keyed
+    /// with — pass the same attack the engine will evaluate with.
+    pub fn new(
+        attack: &PoiAttack,
+        original: &'a Dataset,
+        reference: &'a ReferencePois,
+        objective: Objective,
+    ) -> Self {
+        let reference_index = attack.index_reference(reference);
         Self {
             original,
-            reference,
-            baseline,
+            reference: Cow::Borrowed(reference),
+            shards: None,
+            reference_index,
+            baseline: ObjectiveBaseline::build(original, objective),
+        }
+    }
+
+    /// Like [`EvalContext::new`], but the context *owns* the reference:
+    /// `attack` extracts the original dataset's per-user shards here —
+    /// exactly once per selection run — and the reference POIs and their
+    /// index are derived from those shards. This is the publish path: no
+    /// caller-side extraction, no duplicate original-side attack.
+    ///
+    /// The full shards (dwell fields included) are retained for the run's
+    /// lifetime: they are the cache unit the streaming/incremental
+    /// publication path (ROADMAP) reuses across per-day releases, and
+    /// their memory is bounded by the original dataset's visited-cell
+    /// count — small next to the protected dataset copies the sweep holds
+    /// per worker. Callers that only need matching can stay on
+    /// [`EvalContext::new`], which stores no shards.
+    pub fn extracting(attack: &PoiAttack, original: &'a Dataset, objective: Objective) -> Self {
+        let shards = attack.extract_shards(original);
+        let reference: ReferencePois =
+            shards.iter().map(|s| (s.user, s.pois.clone())).collect();
+        let reference_index = attack.index_reference(&reference);
+        Self {
+            original,
+            reference: Cow::Owned(reference),
+            shards: Some(shards),
+            reference_index,
+            baseline: ObjectiveBaseline::build(original, objective),
         }
     }
 
@@ -96,7 +155,19 @@ impl<'a> EvalContext<'a> {
 
     /// The reference POIs privacy is scored against.
     pub fn reference(&self) -> &ReferencePois {
-        self.reference
+        &self.reference
+    }
+
+    /// The spatial index over the reference POIs, shared by every
+    /// candidate evaluation.
+    pub fn reference_index(&self) -> &ReferenceIndex {
+        &self.reference_index
+    }
+
+    /// The original dataset's per-user attack shards, when this context
+    /// performed the extraction itself ([`EvalContext::extracting`]).
+    pub fn shards(&self) -> Option<&[UserAttackShard]> {
+        self.shards.as_deref()
     }
 
     /// Scores the utility of one protected candidate (in `[0, 1]`) against
@@ -209,7 +280,9 @@ impl EvaluationEngine {
         dataset: &Dataset,
         reference: &ReferencePois,
     ) -> Result<SelectionReport, PrivapiError> {
-        Ok(self.sweep(pool, dataset, reference)?.0)
+        Self::check_nonempty(pool, dataset)?;
+        let context = EvalContext::new(&self.attack, dataset, reference, self.objective);
+        Ok(self.sweep(pool, &context).0)
     }
 
     /// Like [`EvaluationEngine::evaluate`], but also returns the winner's
@@ -232,40 +305,78 @@ impl EvaluationEngine {
         dataset: &Dataset,
         reference: &ReferencePois,
     ) -> Result<(SelectionReport, Option<WinnerRelease>), PrivapiError> {
-        let (report, privacy_reports) = self.sweep(pool, dataset, reference)?;
+        Self::check_nonempty(pool, dataset)?;
+        let context = EvalContext::new(&self.attack, dataset, reference, self.objective);
+        Ok(self.release_from_context(pool, &context))
+    }
+
+    /// The publish path: extracts the original dataset's POI exposure
+    /// **exactly once** (inside [`EvalContext::extracting`]), scores every
+    /// candidate against it, and returns the winner's release artifacts.
+    ///
+    /// Unlike [`EvaluationEngine::evaluate_release`], no caller-side
+    /// reference extraction is needed — this is what keeps
+    /// [`crate::pipeline::PrivApi::publish`] at a single original-side
+    /// attack per run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrivapiError::EmptyDataset`] when the pool or the dataset
+    /// is empty.
+    pub fn evaluate_release_extracting(
+        &self,
+        pool: &StrategyPool,
+        dataset: &Dataset,
+    ) -> Result<(SelectionReport, Option<WinnerRelease>), PrivapiError> {
+        Self::check_nonempty(pool, dataset)?;
+        let context = EvalContext::extracting(&self.attack, dataset, self.objective);
+        Ok(self.release_from_context(pool, &context))
+    }
+
+    /// Shared guard for the public entry points.
+    fn check_nonempty(pool: &StrategyPool, dataset: &Dataset) -> Result<(), PrivapiError> {
+        if pool.is_empty() || dataset.record_count() == 0 {
+            return Err(PrivapiError::EmptyDataset);
+        }
+        Ok(())
+    }
+
+    /// Sweeps the pool and materializes the winner's release.
+    fn release_from_context(
+        &self,
+        pool: &StrategyPool,
+        context: &EvalContext<'_>,
+    ) -> (SelectionReport, Option<WinnerRelease>) {
+        let (report, privacy_reports) = self.sweep(pool, context);
         let winner = report.chosen.map(|index| WinnerRelease {
             index,
             dataset: pool
                 .get(index)
                 .expect("chosen index in pool")
-                .anonymize(dataset, self.seed),
+                .anonymize(context.original(), self.seed),
             privacy: privacy_reports[index].clone(),
         });
-        Ok((report, winner))
+        (report, winner)
     }
 
-    /// Scores the whole pool and assembles the report plus the full
-    /// per-candidate privacy measurements (pool order).
+    /// Scores the whole pool against a prepared context and assembles the
+    /// report plus the full per-candidate privacy measurements (pool
+    /// order).
     fn sweep(
         &self,
         pool: &StrategyPool,
-        dataset: &Dataset,
-        reference: &ReferencePois,
-    ) -> Result<(SelectionReport, Vec<PoiAttackReport>), PrivapiError> {
-        if pool.is_empty() || dataset.record_count() == 0 {
-            return Err(PrivapiError::EmptyDataset);
-        }
-        let context = EvalContext::new(dataset, reference, self.objective);
+        context: &EvalContext<'_>,
+    ) -> (SelectionReport, Vec<PoiAttackReport>) {
         let candidates: Vec<&dyn crate::strategy::AnonymizationStrategy> =
             pool.iter().collect();
         let scored: Vec<(CandidateResult, PoiAttackReport)> = match self.mode {
             ExecutionMode::Sequential => candidates
                 .iter()
-                .map(|s| self.evaluate_candidate(*s, &context))
+                .map(|s| self.evaluate_candidate(*s, context))
                 .collect(),
             ExecutionMode::Parallel => candidates
                 .par_iter()
-                .map(|s| self.evaluate_candidate(*s, &context))
+                .map(|s| self.evaluate_candidate(*s, context))
                 .collect(),
         };
         let (results, privacy_reports): (Vec<_>, Vec<_>) = scored.into_iter().unzip();
@@ -276,7 +387,7 @@ impl EvaluationEngine {
             privacy_floor: self.privacy_floor,
             objective: self.objective,
         };
-        Ok((report, privacy_reports))
+        (report, privacy_reports)
     }
 
     /// Anonymize → self-attack → utility for one candidate.
@@ -288,7 +399,7 @@ impl EvaluationEngine {
         let protected = strategy.anonymize(context.original(), self.seed);
         let privacy = self
             .attack
-            .evaluate_reference(&protected, context.reference());
+            .evaluate_with_index(&protected, context.reference_index());
         let utility = context.utility_of(&protected);
         let result = CandidateResult {
             info: strategy.info(),
@@ -418,6 +529,72 @@ mod tests {
             .evaluate(&pool, &data.dataset, &reference)
             .unwrap();
         assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn extracting_release_matches_explicit_reference_release() {
+        // The publish path (context extracts the reference itself) must
+        // produce the same report and release as the legacy shape where the
+        // caller extracts the reference and passes it in.
+        let data =
+            CityModel::builder()
+                .seed(23)
+                .build()
+                .generate_with_truth(&PopulationConfig {
+                    users: 4,
+                    days: 3,
+                    sampling_interval_s: 180,
+                    gps_noise_m: 5.0,
+                    leisure_probability: 0.4,
+                });
+        let pool = StrategyPool::default_pool();
+        let objective = Objective::CrowdedPlaces {
+            cell: Meters::new(250.0),
+            k: 10,
+        };
+        let engine = EvaluationEngine::new(objective, 0.25, 9);
+        let reference = PoiAttack::default().extract(&data.dataset);
+        let (explicit_report, explicit_winner) = engine
+            .evaluate_release(&pool, &data.dataset, &reference)
+            .unwrap();
+        let (extracting_report, extracting_winner) = engine
+            .evaluate_release_extracting(&pool, &data.dataset)
+            .unwrap();
+        assert_eq!(explicit_report, extracting_report);
+        let (a, b) = (explicit_winner.unwrap(), extracting_winner.unwrap());
+        assert_eq!(a.index, b.index);
+        assert_eq!(a.privacy, b.privacy);
+        assert_eq!(a.dataset, b.dataset);
+    }
+
+    #[test]
+    fn extracting_context_exposes_shards_and_index() {
+        let data =
+            CityModel::builder()
+                .seed(31)
+                .build()
+                .generate_with_truth(&PopulationConfig {
+                    users: 3,
+                    days: 2,
+                    sampling_interval_s: 300,
+                    gps_noise_m: 5.0,
+                    leisure_probability: 0.3,
+                });
+        let attack = PoiAttack::default();
+        let context = EvalContext::extracting(&attack, &data.dataset, Objective::Distortion);
+        let shards = context.shards().expect("extracting context owns shards");
+        assert_eq!(shards.len(), data.dataset.user_count());
+        assert_eq!(context.reference().len(), shards.len());
+        assert_eq!(
+            context.reference_index().total_pois(),
+            context.reference().values().map(Vec::len).sum::<usize>()
+        );
+        // A borrowed context carries no shards.
+        let reference = attack.extract(&data.dataset);
+        let borrowed =
+            EvalContext::new(&attack, &data.dataset, &reference, Objective::Distortion);
+        assert!(borrowed.shards().is_none());
+        assert_eq!(borrowed.reference(), &reference);
     }
 
     #[test]

@@ -72,7 +72,10 @@ pub use error::PrivapiError;
 
 /// Convenient single-import surface for the common PRIVAPI workflow.
 pub mod prelude {
-    pub use crate::attack::{PoiAttack, ReidentificationAttack};
+    pub use crate::attack::{
+        BackgroundProfiles, PoiAttack, PoiAttackConfig, PoiAttackReport, ReferenceIndex,
+        ReidentificationAttack, UserAttackShard,
+    };
     pub use crate::engine::{
         choose_winner, EvalContext, EvaluationEngine, ExecutionMode, WinnerRelease,
     };

@@ -87,6 +87,13 @@ impl PrivApi {
         self
     }
 
+    /// Replaces the attack used to measure POI exposure (e.g. with custom
+    /// parameters, or an instrumented probe for extraction accounting).
+    pub fn with_attack(mut self, attack: PoiAttack) -> Self {
+        self.attack = attack;
+        self
+    }
+
     /// Sets the evaluation schedule (parallel by default).
     pub fn with_mode(mut self, mode: ExecutionMode) -> Self {
         self.mode = mode;
@@ -103,10 +110,21 @@ impl PrivApi {
         &self.pool
     }
 
+    /// The attack measuring POI exposure (its extraction counter is shared
+    /// with the engine's workers, so [`crate::attack::PoiAttack::extractions`]
+    /// accounts for the whole publish path).
+    pub fn attack(&self) -> &PoiAttack {
+        &self.attack
+    }
+
     /// Protects and publishes a collected mobility dataset.
     ///
     /// The pool is searched by the parallel [`EvaluationEngine`] against
     /// per-objective projections of the dataset computed once per call.
+    /// The dataset's own POI exposure (the "global knowledge" reference the
+    /// self-attack scores against) is extracted **exactly once**, inside
+    /// the engine's evaluation context — enforced by a counting test, not
+    /// just by construction.
     ///
     /// # Errors
     ///
@@ -117,8 +135,6 @@ impl PrivApi {
         if dataset.record_count() == 0 {
             return Err(PrivapiError::EmptyDataset);
         }
-        // Global knowledge: measure the dataset's own POI exposure.
-        let reference = self.attack.extract(dataset);
         let engine = EvaluationEngine::new(
             self.config.objective,
             self.config.privacy_floor,
@@ -126,7 +142,7 @@ impl PrivApi {
         )
         .with_attack(self.attack.clone())
         .with_mode(self.mode);
-        let (selection, winner) = engine.evaluate_release(&self.pool, dataset, &reference)?;
+        let (selection, winner) = engine.evaluate_release_extracting(&self.pool, dataset)?;
         let Some(winner) = winner else {
             return Err(selection.no_feasible_error());
         };
@@ -190,6 +206,30 @@ mod tests {
             PrivApi::default().publish(&Dataset::new()),
             Err(PrivapiError::EmptyDataset)
         ));
+    }
+
+    #[test]
+    fn publish_extracts_original_exactly_once() {
+        // The invariant behind the EvalContext fold: one publish performs
+        // exactly one full-dataset extraction of the *original* (inside the
+        // extracting context) plus one per candidate self-attack — nothing
+        // more. A regression that re-extracts the original (the legacy
+        // double-extraction) shows up as pool_size + 2.
+        let privapi = PrivApi::default();
+        let ds = dataset();
+        assert_eq!(privapi.attack().extractions(), 0);
+        privapi.publish(&ds).unwrap();
+        assert_eq!(
+            privapi.attack().extractions(),
+            privapi.pool().len() + 1,
+            "expected exactly one original-side extraction plus one per candidate"
+        );
+        // And the accounting is per publish, not cumulative drift.
+        privapi.publish(&ds).unwrap();
+        assert_eq!(
+            privapi.attack().extractions(),
+            2 * (privapi.pool().len() + 1)
+        );
     }
 
     #[test]

@@ -163,6 +163,48 @@ proptest! {
         prop_assert!((0.0..=1.0).contains(&report.f1));
         prop_assert!(report.matched <= report.reference_pois);
     }
+
+    /// The indexed matcher is bit-identical to the pairwise scan matcher on
+    /// arbitrary datasets (same extraction, two matching paths).
+    #[test]
+    fn indexed_matcher_matches_scan_matcher(ds in small_dataset()) {
+        let attack = PoiAttack::default();
+        let reference = attack.extract(&ds);
+        let indexed = attack.evaluate_reference(&ds, &reference);
+        let scan = attack.evaluate_reference_scan(&ds, &reference);
+        prop_assert_eq!(indexed, scan);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The shard contract behind parallel extraction: for any generator
+    /// seed and population shape, the per-user rayon fan-out returns
+    /// `ReferencePois` byte-identical to the sequential reference path
+    /// (mirrors `parallel_engine_matches_sequential` one layer down).
+    #[test]
+    fn parallel_extract_matches_serial(
+        seed in any::<u64>(),
+        users in 1usize..5,
+        days in 1usize..4,
+    ) {
+        let data = mobility::gen::CityModel::builder()
+            .seed(seed ^ 0xE10)
+            .build()
+            .generate_with_truth(&mobility::gen::PopulationConfig {
+                users,
+                days,
+                sampling_interval_s: 240,
+                gps_noise_m: 5.0,
+                leisure_probability: 0.3,
+            });
+        let attack = PoiAttack::default();
+        prop_assert_eq!(
+            attack.extract(&data.dataset),
+            attack.extract_serial(&data.dataset)
+        );
+    }
 }
 
 proptest! {

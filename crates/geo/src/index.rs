@@ -1,0 +1,441 @@
+//! A hash-grid neighbor index over geographic points.
+//!
+//! [`PointIndex`] buckets points into square metric cells (via a
+//! [`LocalProjection`]) and answers fixed-radius and nearest-neighbor
+//! queries by inspecting only nearby cells instead of scanning every point.
+//! All *distance comparisons* are exact haversine — the grid only prunes
+//! candidates — so query results are identical to a brute-force scan over
+//! the same points, provided the indexed extent keeps the equirectangular
+//! projection's distortion inside the built-in safety margins: the
+//! latitude-scale ratio `cos(lat)/cos(anchor_lat)` of every indexed point
+//! *and every query point* must stay within
+//! `[PRUNE_MARGIN, 1/PRUNE_MARGIN]` = `[0.75, 1.33]` (checked by
+//! `debug_assert`s at build and query time). That comfortably covers
+//! city- and region-scale extents — hundreds of kilometres at mid
+//! latitudes, the working set of every mobility analysis here — but *not*
+//! arbitrary continental spans. Bucket keys are computed from *wrapped*
+//! longitude deltas against the anchor point, so datasets straddling the
+//! antimeridian bucket correctly; points and queries must lie within a
+//! hemisphere of the anchor (longitude extent < 180°), as any flat
+//! projection needs.
+//!
+//! The index is the matching substrate of PRIVAPI's POI attack: reference
+//! POIs are bucketed once per evaluation run and probed per candidate,
+//! turning the O(R·E) pairwise matching scans into neighbor-cell lookups.
+
+use crate::error::GeoError;
+use crate::point::{GeoPoint, EARTH_RADIUS_M};
+use crate::units::Meters;
+use std::collections::HashMap;
+
+/// Planar east-west distances inflate true ground distances by
+/// `cos(anchor_lat)/cos(lat)` — at most `1 / PRUNE_MARGIN ≈ 1.33` inside
+/// the asserted latitude band — so a haversine radius of `r` projects
+/// under `r * REACH_MARGIN` planar metres (the extra slack absorbs
+/// second-order equirectangular error) and radius queries scanning cells
+/// out to that inflated reach miss nothing.
+const REACH_MARGIN: f64 = 1.5;
+
+/// Latitude-band bound backing both directions of the planar/haversine
+/// sandwich: every indexed point and every query must keep
+/// `cos(lat)/cos(anchor_lat)` within `[PRUNE_MARGIN, 1/PRUNE_MARGIN]`
+/// (debug-asserted). Then a point at planar distance `d` lies at haversine
+/// distance at least `d * PRUNE_MARGIN`, so nearest-neighbor ring
+/// expansion can stop once the best hit beats that lower bound.
+const PRUNE_MARGIN: f64 = 0.75;
+
+/// Below this population a brute-force scan beats ring expansion for
+/// nearest-neighbor queries (and is trivially exact), so the index falls
+/// back to it.
+const NEAREST_SCAN_THRESHOLD: usize = 64;
+
+/// A spatial hash grid over a fixed set of points.
+///
+/// # Example
+///
+/// ```
+/// use geo::{GeoPoint, Meters, PointIndex};
+///
+/// let site = GeoPoint::new(45.75, 4.85).unwrap();
+/// let near = site.destination(geo::Degrees::new(90.0), Meters::new(100.0));
+/// let far = site.destination(geo::Degrees::new(90.0), Meters::new(5_000.0));
+/// let index = PointIndex::build(vec![near, far], Meters::new(350.0)).unwrap();
+/// assert!(index.has_within(&site, Meters::new(350.0)));
+/// let nearest = index.nearest_distance(&site).unwrap();
+/// assert!((nearest.get() - 100.0).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PointIndex {
+    anchor: GeoPoint,
+    cos_lat0: f64,
+    cell_m: f64,
+    buckets: HashMap<(i32, i32), Vec<u32>>,
+    /// `(min_x, min_y, max_x, max_y)` over occupied bucket keys; `None`
+    /// when the index is empty. Lets nearest-neighbor queries start their
+    /// ring walk at the indexed extent instead of probing empty rings.
+    key_bounds: Option<(i32, i32, i32, i32)>,
+    points: Vec<GeoPoint>,
+}
+
+impl PointIndex {
+    /// Indexes `points` into square cells of side `cell`.
+    ///
+    /// The projection is anchored on the first point (queries and points are
+    /// projected consistently, so the anchor choice only affects bucket
+    /// labels, never results).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::InvalidSize`] when `cell` is not strictly
+    /// positive and finite.
+    pub fn build(points: Vec<GeoPoint>, cell: Meters) -> Result<Self, GeoError> {
+        if cell.get() <= 0.0 || !cell.get().is_finite() {
+            return Err(GeoError::InvalidSize(cell.get()));
+        }
+        let anchor = points
+            .first()
+            .copied()
+            .unwrap_or_else(|| GeoPoint::clamped(0.0, 0.0));
+        let cos_lat0 = anchor.latitude().to_radians().cos();
+        debug_assert!(
+            points
+                .iter()
+                .all(|p| Self::within_latitude_band(cos_lat0, p)),
+            "indexed latitude extent exceeds the exactness margins (see module docs)"
+        );
+        let cell_m = cell.get();
+        let mut buckets: HashMap<(i32, i32), Vec<u32>> = HashMap::new();
+        let mut key_bounds: Option<(i32, i32, i32, i32)> = None;
+        for (i, p) in points.iter().enumerate() {
+            let key = Self::key_for(&anchor, cos_lat0, cell_m, p);
+            key_bounds = Some(match key_bounds {
+                None => (key.0, key.1, key.0, key.1),
+                Some((min_x, min_y, max_x, max_y)) => (
+                    min_x.min(key.0),
+                    min_y.min(key.1),
+                    max_x.max(key.0),
+                    max_y.max(key.1),
+                ),
+            });
+            buckets.entry(key).or_default().push(i as u32);
+        }
+        Ok(Self {
+            anchor,
+            cos_lat0,
+            cell_m,
+            buckets,
+            key_bounds,
+            points,
+        })
+    }
+
+    /// Bucket key of `p`: a local equirectangular projection around the
+    /// anchor, with the longitude delta wrapped into `[-180°, 180°)` so
+    /// clusters straddling the antimeridian stay adjacent.
+    fn key_for(anchor: &GeoPoint, cos_lat0: f64, cell_m: f64, p: &GeoPoint) -> (i32, i32) {
+        let dlat = p.latitude() - anchor.latitude();
+        let mut dlon = p.longitude() - anchor.longitude();
+        if dlon >= 180.0 {
+            dlon -= 360.0;
+        } else if dlon < -180.0 {
+            dlon += 360.0;
+        }
+        let x = EARTH_RADIUS_M * dlon.to_radians() * cos_lat0;
+        let y = EARTH_RADIUS_M * dlat.to_radians();
+        ((x / cell_m).floor() as i32, (y / cell_m).floor() as i32)
+    }
+
+    fn key(&self, p: &GeoPoint) -> (i32, i32) {
+        Self::key_for(&self.anchor, self.cos_lat0, self.cell_m, p)
+    }
+
+    /// Whether `p` keeps the planar/haversine sandwich inside the margins.
+    fn within_latitude_band(cos_lat0: f64, p: &GeoPoint) -> bool {
+        let ratio = p.latitude().to_radians().cos() / cos_lat0.max(f64::EPSILON);
+        (PRUNE_MARGIN..=1.0 / PRUNE_MARGIN).contains(&ratio)
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the index holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The indexed points, in insertion order (query callbacks receive
+    /// indices into this slice).
+    pub fn points(&self) -> &[GeoPoint] {
+        &self.points
+    }
+
+    /// The cell side the index was built with.
+    pub fn cell_size(&self) -> Meters {
+        Meters::new(self.cell_m)
+    }
+
+    /// Calls `f` with the index of every point whose haversine distance to
+    /// `query` is at most `radius` (inclusive — boundary points count).
+    ///
+    /// Visit order is unspecified; callers must not depend on it.
+    pub fn for_each_within<F: FnMut(usize)>(&self, query: &GeoPoint, radius: Meters, mut f: F) {
+        let r = radius.get();
+        if self.points.is_empty() || r < 0.0 || !r.is_finite() {
+            return;
+        }
+        debug_assert!(
+            Self::within_latitude_band(self.cos_lat0, query),
+            "query latitude outside the exactness margins (see module docs)"
+        );
+        let reach = (((r / self.cell_m) * REACH_MARGIN).ceil() as i64 + 1).min(1 << 20);
+        let center = self.key(query);
+        let window = (2 * reach + 1).saturating_mul(2 * reach + 1);
+        if (self.buckets.len() as i64) <= window {
+            // Fewer occupied cells than the query window: walk the buckets.
+            for (key, ids) in &self.buckets {
+                if i64::from(key.0 - center.0).abs() <= reach
+                    && i64::from(key.1 - center.1).abs() <= reach
+                {
+                    for &i in ids {
+                        if self.points[i as usize].haversine_distance(query).get() <= r {
+                            f(i as usize);
+                        }
+                    }
+                }
+            }
+        } else {
+            let reach = reach as i32;
+            for ky in (center.1.saturating_sub(reach))..=(center.1.saturating_add(reach)) {
+                for kx in (center.0.saturating_sub(reach))..=(center.0.saturating_add(reach)) {
+                    if let Some(ids) = self.buckets.get(&(kx, ky)) {
+                        for &i in ids {
+                            if self.points[i as usize].haversine_distance(query).get() <= r {
+                                f(i as usize);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether any indexed point lies within `radius` of `query`
+    /// (inclusive).
+    pub fn has_within(&self, query: &GeoPoint, radius: Meters) -> bool {
+        let mut hit = false;
+        self.for_each_within(query, radius, |_| hit = true);
+        hit
+    }
+
+    /// The exact haversine distance from `query` to its nearest indexed
+    /// point, or `None` for an empty index.
+    ///
+    /// Equals the brute-force minimum bit-for-bit: small indexes are
+    /// scanned outright, large ones ring-expand with a pruning bound that
+    /// only skips points provably farther than the best hit.
+    pub fn nearest_distance(&self, query: &GeoPoint) -> Option<Meters> {
+        if self.points.is_empty() {
+            return None;
+        }
+        if self.points.len() <= NEAREST_SCAN_THRESHOLD {
+            let best = self
+                .points
+                .iter()
+                .map(|p| p.haversine_distance(query).get())
+                .fold(f64::INFINITY, f64::min);
+            return Some(Meters::new(best));
+        }
+        debug_assert!(
+            Self::within_latitude_band(self.cos_lat0, query),
+            "query latitude outside the exactness margins (see module docs)"
+        );
+        let center = self.key(query);
+        let (min_x, min_y, max_x, max_y) = self.key_bounds.expect("non-empty index has bounds");
+        // Occupied cells only exist inside the key bounds: the first ring
+        // that can touch them is the Chebyshev distance from the query's
+        // cell to the bounds box (0 when inside), and no ring beyond the
+        // farthest corner holds anything.
+        let axis_gap = |c: i32, lo: i32, hi: i32| {
+            i64::from(lo)
+                .saturating_sub(i64::from(c))
+                .max(i64::from(c).saturating_sub(i64::from(hi)))
+                .max(0)
+        };
+        let start_ring = axis_gap(center.0, min_x, max_x).max(axis_gap(center.1, min_y, max_y));
+        let axis_span = |c: i32, lo: i32, hi: i32| {
+            (i64::from(c) - i64::from(lo))
+                .abs()
+                .max((i64::from(c) - i64::from(hi)).abs())
+        };
+        let max_ring = axis_span(center.0, min_x, max_x).max(axis_span(center.1, min_y, max_y));
+        let mut best = f64::INFINITY;
+        for ring in start_ring..=max_ring {
+            self.scan_ring(center, ring, query, &mut best);
+            if best <= ring as f64 * self.cell_m * PRUNE_MARGIN {
+                break;
+            }
+        }
+        Some(Meters::new(best))
+    }
+
+    /// Folds the minimum haversine distance over every point bucketed at
+    /// Chebyshev distance exactly `ring` from `center`.
+    fn scan_ring(&self, center: (i32, i32), ring: i64, query: &GeoPoint, best: &mut f64) {
+        let mut visit = |kx: i64, ky: i64| {
+            let (Ok(kx), Ok(ky)) = (i32::try_from(kx), i32::try_from(ky)) else {
+                return;
+            };
+            if let Some(ids) = self.buckets.get(&(kx, ky)) {
+                for &i in ids {
+                    let d = self.points[i as usize].haversine_distance(query).get();
+                    *best = best.min(d);
+                }
+            }
+        };
+        let (cx, cy) = (i64::from(center.0), i64::from(center.1));
+        if ring == 0 {
+            visit(cx, cy);
+            return;
+        }
+        for kx in (cx - ring)..=(cx + ring) {
+            visit(kx, cy - ring);
+            visit(kx, cy + ring);
+        }
+        for ky in (cy - ring + 1)..=(cy + ring - 1) {
+            visit(cx - ring, ky);
+            visit(cx + ring, ky);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::Degrees;
+
+    fn site() -> GeoPoint {
+        GeoPoint::new(45.75, 4.85).unwrap()
+    }
+
+    /// A deterministic scatter of points around the site, tens of metres to
+    /// tens of kilometres out.
+    fn scatter(n: usize) -> Vec<GeoPoint> {
+        (0..n)
+            .map(|i| {
+                let bearing = Degrees::new((i * 37 % 360) as f64);
+                let dist = Meters::new(10.0 + (i * i * 97 % 30_000) as f64);
+                site().destination(bearing, dist)
+            })
+            .collect()
+    }
+
+    fn brute_within(points: &[GeoPoint], q: &GeoPoint, r: f64) -> Vec<usize> {
+        let mut out: Vec<usize> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.haversine_distance(q).get() <= r)
+            .map(|(i, _)| i)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn rejects_bad_cell_size() {
+        assert!(PointIndex::build(vec![site()], Meters::new(0.0)).is_err());
+        assert!(PointIndex::build(vec![site()], Meters::new(-5.0)).is_err());
+        assert!(PointIndex::build(vec![site()], Meters::new(f64::NAN)).is_err());
+    }
+
+    #[test]
+    fn empty_index_answers_nothing() {
+        let index = PointIndex::build(Vec::new(), Meters::new(100.0)).unwrap();
+        assert!(index.is_empty());
+        assert!(!index.has_within(&site(), Meters::new(1e9)));
+        assert!(index.nearest_distance(&site()).is_none());
+    }
+
+    #[test]
+    fn radius_query_matches_brute_force() {
+        let points = scatter(120);
+        let index = PointIndex::build(points.clone(), Meters::new(350.0)).unwrap();
+        for qi in [0usize, 7, 31, 63] {
+            let q = points[qi].destination(Degrees::new(13.0), Meters::new(123.0));
+            for r in [50.0, 350.0, 2_000.0, 20_000.0] {
+                let mut got = Vec::new();
+                index.for_each_within(&q, Meters::new(r), |i| got.push(i));
+                got.sort_unstable();
+                assert_eq!(got, brute_within(&points, &q, r), "radius {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_distance_is_inclusive() {
+        let a = site();
+        let b = a.destination(Degrees::new(73.0), Meters::new(350.0));
+        let exact = a.haversine_distance(&b);
+        let index = PointIndex::build(vec![b], Meters::new(350.0)).unwrap();
+        assert!(index.has_within(&a, exact), "point exactly at radius");
+        assert!(
+            !index.has_within(&a, Meters::new(exact.get() - 1e-6)),
+            "point just beyond radius"
+        );
+    }
+
+    #[test]
+    fn nearest_matches_brute_force_small_and_large() {
+        for n in [5usize, 200] {
+            let points = scatter(n);
+            let index = PointIndex::build(points.clone(), Meters::new(350.0)).unwrap();
+            for qi in [0usize, 2, 4] {
+                let q = points[qi].destination(Degrees::new(211.0), Meters::new(777.0));
+                let brute = points
+                    .iter()
+                    .map(|p| p.haversine_distance(&q).get())
+                    .fold(f64::INFINITY, f64::min);
+                let got = index.nearest_distance(&q).unwrap().get();
+                assert_eq!(got, brute, "n={n} qi={qi}");
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_from_far_away_still_exact() {
+        let points = scatter(200);
+        let index = PointIndex::build(points.clone(), Meters::new(350.0)).unwrap();
+        let q = site().destination(Degrees::new(300.0), Meters::new(80_000.0));
+        let brute = points
+            .iter()
+            .map(|p| p.haversine_distance(&q).get())
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(index.nearest_distance(&q).unwrap().get(), brute);
+    }
+
+    #[test]
+    fn antimeridian_neighbors_are_found() {
+        // A 22 m gap across longitude ±180 must behave like any other
+        // 22 m gap: wrapped bucket keys keep the two sides adjacent.
+        let east = GeoPoint::new(0.0, 179.9999).unwrap();
+        let west = GeoPoint::new(0.0, -179.9999).unwrap();
+        let gap = east.haversine_distance(&west);
+        assert!(gap.get() < 30.0, "test premise: {gap:?}");
+        let index = PointIndex::build(vec![east], Meters::new(350.0)).unwrap();
+        assert!(index.has_within(&west, Meters::new(350.0)));
+        assert_eq!(index.nearest_distance(&west).unwrap(), gap);
+        let mut hits = Vec::new();
+        index.for_each_within(&west, Meters::new(350.0), |i| hits.push(i));
+        assert_eq!(hits, vec![0]);
+    }
+
+    #[test]
+    fn points_accessor_preserves_order() {
+        let points = scatter(9);
+        let index = PointIndex::build(points.clone(), Meters::new(100.0)).unwrap();
+        assert_eq!(index.points(), points.as_slice());
+        assert_eq!(index.len(), 9);
+        assert_eq!(index.cell_size(), Meters::new(100.0));
+    }
+}

@@ -11,6 +11,9 @@
 //! * [`UniformGrid`] — a uniform metric cell index used for heat-maps and
 //!   crowded-place analyses;
 //! * [`QuadTree`] — a point quadtree for range and nearest-neighbour queries;
+//! * [`PointIndex`] — a hash-grid neighbor index answering fixed-radius and
+//!   nearest-neighbor queries with exact haversine results (the matching
+//!   substrate of PRIVAPI's POI attack);
 //! * [`polyline`] — algorithms on point sequences: length, interpolation,
 //!   distance-regular resampling (the core primitive behind PRIVAPI's speed
 //!   smoothing) and Douglas–Peucker simplification.
@@ -32,6 +35,7 @@
 mod bbox;
 mod error;
 mod grid;
+mod index;
 mod point;
 mod projection;
 mod quadtree;
@@ -42,6 +46,7 @@ pub mod polyline;
 pub use bbox::BoundingBox;
 pub use error::GeoError;
 pub use grid::{CellId, UniformGrid};
+pub use index::PointIndex;
 pub use point::{GeoPoint, EARTH_RADIUS_M};
 pub use projection::{LocalProjection, ProjectedPoint, WebMercator};
 pub use quadtree::QuadTree;
