@@ -219,16 +219,19 @@ impl PrivacyPreferences {
 /// paper's architecture, bridging APISENSE data collection to the PRIVAPI
 /// middleware.
 ///
-/// "A second [layer] is deployed in the cloud and enforces privacy before
+/// "A second \[layer\] is deployed in the cloud and enforces privacy before
 /// datasets are released" (paper, §2). Where [`PrivacyPreferences`] filters
 /// on the device, the gateway protects whole collected datasets: it hands a
 /// task's [`crate::honeycomb::Honeycomb`] data to PRIVAPI's parallel
 /// evaluation engine, which searches the **shared**
 /// [`privapi::pool::StrategyPool`] for the best-utility strategy under the
-/// configured privacy floor.
+/// configured privacy floor. Continuously collected data goes through the
+/// streaming entry point [`PublicationGateway::publish_window`], which
+/// reuses the gateway's session cache across daily releases.
 #[derive(Debug)]
 pub struct PublicationGateway {
     privapi: privapi::pipeline::PrivApi,
+    session: privapi::streaming::SessionCache,
 }
 
 impl Default for PublicationGateway {
@@ -239,10 +242,12 @@ impl Default for PublicationGateway {
 }
 
 impl PublicationGateway {
-    /// Creates a gateway enforcing `config` with the shared default pool.
+    /// Creates a gateway enforcing `config` with the shared default pool
+    /// and an empty streaming session.
     pub fn new(config: privapi::pipeline::PrivApiConfig) -> Self {
         Self {
             privapi: privapi::pipeline::PrivApi::new(config),
+            session: privapi::streaming::SessionCache::new(),
         }
     }
 
@@ -296,6 +301,35 @@ impl PublicationGateway {
         dataset: &mobility::Dataset,
     ) -> Result<privapi::pipeline::PublishedDataset, privapi::PrivapiError> {
         self.privapi.publish(dataset)
+    }
+
+    /// The streaming entry point: protects and publishes one **day
+    /// window** incrementally, reusing the gateway's session cache (per-
+    /// user attack shards and the amended reference index) across calls.
+    ///
+    /// Scripted sensors that report continuously should feed their data
+    /// through here — each window's release is byte-identical to a batch
+    /// [`PublicationGateway::publish_dataset`] of everything collected so
+    /// far, without re-running the original-side extraction for users that
+    /// produced no new records. See
+    /// [`privapi::pipeline::PrivApi::publish_window`].
+    ///
+    /// # Errors
+    ///
+    /// * [`privapi::PrivapiError::EmptyDataset`] for an empty window;
+    /// * [`privapi::PrivapiError::NoFeasibleStrategy`] when no pooled
+    ///   strategy meets the privacy floor on the accumulated prefix.
+    pub fn publish_window(
+        &mut self,
+        window: &mobility::DatasetWindow,
+    ) -> Result<privapi::streaming::PublishedWindow, privapi::PrivapiError> {
+        self.privapi.publish_window(&mut self.session, window)
+    }
+
+    /// The streaming session state accumulated by
+    /// [`PublicationGateway::publish_window`].
+    pub fn session(&self) -> &privapi::streaming::SessionCache {
+        &self.session
     }
 }
 
@@ -535,6 +569,47 @@ mod tests {
             gateway.privapi().pool().len() + 1,
             "gateway publish must extract the original dataset exactly once"
         );
+    }
+
+    #[test]
+    fn publication_gateway_streams_windows_incrementally() {
+        use mobility::gen::{CityModel, PopulationConfig};
+        use mobility::WindowedDataset;
+
+        let data =
+            CityModel::builder()
+                .seed(53)
+                .build()
+                .generate_population(&PopulationConfig {
+                    users: 3,
+                    days: 2,
+                    sampling_interval_s: 240,
+                    gps_noise_m: 5.0,
+                    leisure_probability: 0.4,
+                });
+        let windows = WindowedDataset::partition(&data);
+        assert!(windows.len() >= 2);
+
+        let mut gateway = PublicationGateway::default();
+        let floor = gateway.privapi().config().privacy_floor;
+        let pool = gateway.privapi().pool().len();
+        let probe = gateway.privapi().attack().clone();
+        for (i, window) in windows.iter().enumerate() {
+            let before = probe.extractions();
+            let release = gateway.publish_window(window).unwrap();
+            assert!(
+                release.published.privacy.recall <= floor + 1e-9,
+                "window {i} leaks above the floor"
+            );
+            // The streaming path never pays the original-side full
+            // extraction batch publish does: pool self-attacks only.
+            assert_eq!(probe.extractions() - before, pool, "window {i}");
+            // Parity with a batch release of everything collected so far.
+            let batch = gateway.publish_dataset(&windows.prefix(i)).unwrap();
+            assert_eq!(release.published.selection, batch.selection, "window {i}");
+            assert_eq!(release.published.dataset, batch.dataset, "window {i}");
+        }
+        assert_eq!(gateway.session().windows_ingested(), windows.len());
     }
 
     #[test]

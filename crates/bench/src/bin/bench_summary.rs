@@ -1,51 +1,91 @@
-//! Attack-path perf summary: runs E10 and emits `BENCH_e10.json`.
+//! Attack-path and streaming-publication perf summary: runs E10 and E11
+//! and emits `BENCH_e10.json` + `BENCH_e11.json`.
 //!
 //! ```bash
 //! cargo run -p bench --bin bench_summary --release -- --scale smoke
-//! cargo run -p bench --bin bench_summary --release -- --scale medium --out BENCH_e10.json
+//! cargo run -p bench --bin bench_summary --release -- --scale medium \
+//!     --out BENCH_e10.json --out-e11 BENCH_e11.json
 //! ```
 //!
-//! CI runs the smoke shape on every PR and uploads the JSON as an
-//! artifact, so the perf trajectory of the attack pipeline (serial vs
-//! sharded extraction, scan vs indexed matching, publish end to end)
-//! accumulates data points instead of anecdotes. Every run also asserts
-//! the pipeline's invariants — extraction parity, matcher parity, and the
-//! single-original-extraction-per-publish budget — and fails loudly if any
-//! regresses.
+//! CI runs the smoke shape on every PR and uploads both JSON files as
+//! artifacts, so the perf trajectories of the attack pipeline (serial vs
+//! sharded extraction, scan vs indexed matching, publish end to end) and
+//! of streaming publication (batch re-publish vs incremental day windows)
+//! accumulate data points instead of anecdotes. Every run also asserts
+//! the pipelines' invariants — extraction parity, matcher parity, the
+//! single-original-extraction-per-publish budget, and streaming winner
+//! parity — and fails loudly if any regresses. Unknown `--scale` values
+//! (and unknown flags) are rejected, never silently defaulted.
 
-use bench::e10::{run, E10Config};
+use bench::e10::{self, E10Config};
+use bench::e11::{self, E11Config};
 use bench::Scale;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Every argument must be a known flag or the value right after one —
+    // a stray positional (`bench_summary medium`, missing the `--scale`)
+    // must not silently run the default scale.
+    let mut expects_value = false;
+    for arg in &args {
+        if std::mem::take(&mut expects_value) {
+            continue;
+        }
+        match arg.as_str() {
+            "--scale" | "--out" | "--out-e11" => expects_value = true,
+            other => {
+                eprintln!("unexpected argument {other:?}; use --scale, --out, --out-e11");
+                std::process::exit(2);
+            }
+        }
+    }
     let value_of = |flag: &str| {
-        args.iter()
-            .position(|a| a == flag)
-            .and_then(|i| args.get(i + 1))
-            .cloned()
+        let position = args.iter().position(|a| a == flag)?;
+        match args.get(position + 1) {
+            // A trailing flag or a flag followed by another flag has no
+            // value — erroring beats silently running the default scale.
+            Some(value) if !value.starts_with("--") => Some(value.clone()),
+            _ => {
+                eprintln!("{flag} requires a value");
+                std::process::exit(2);
+            }
+        }
     };
     let scale = value_of("--scale").unwrap_or_else(|| "smoke".into());
-    let out = value_of("--out").unwrap_or_else(|| "BENCH_e10.json".into());
-    let config = match scale.as_str() {
-        "smoke" => E10Config::smoke(),
-        "small" => E10Config::from_scale(Scale::Small),
-        "medium" => E10Config::from_scale(Scale::Medium),
-        "full" => E10Config::from_scale(Scale::Full),
-        other => {
-            eprintln!("unknown --scale {other:?}; use smoke|small|medium|full");
-            std::process::exit(2);
-        }
+    let out_e10 = value_of("--out").unwrap_or_else(|| "BENCH_e10.json".into());
+    let out_e11 = value_of("--out-e11").unwrap_or_else(|| "BENCH_e11.json".into());
+    let (e10_config, e11_config) = match scale.as_str() {
+        "smoke" => (E10Config::smoke(), E11Config::smoke()),
+        other => match Scale::parse(other) {
+            Ok(scale) => (E10Config::from_scale(scale), E11Config::from_scale(scale)),
+            Err(_) => {
+                eprintln!("unknown --scale {other:?}; use smoke|small|medium|full");
+                std::process::exit(2);
+            }
+        },
+    };
+
+    let write = |path: &str, json: String| {
+        std::fs::write(path, json).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("wrote {path}");
     };
 
     eprintln!(
         "e10 attack-path summary: scale={}, {} users x {} days @ {} s",
-        config.label, config.users, config.days, config.interval_s
+        e10_config.label, e10_config.users, e10_config.days, e10_config.interval_s
     );
-    let report = run(&config);
-    println!("{report}");
-    std::fs::write(&out, report.to_json()).unwrap_or_else(|e| {
-        eprintln!("cannot write {out}: {e}");
-        std::process::exit(1);
-    });
-    eprintln!("wrote {out}");
+    let e10_report = e10::run(&e10_config);
+    println!("{e10_report}");
+    write(&out_e10, e10_report.to_json());
+
+    eprintln!(
+        "e11 streaming summary: scale={}, {} users x {} days @ {} s",
+        e11_config.label, e11_config.users, e11_config.days, e11_config.interval_s
+    );
+    let e11_report = e11::run(&e11_config);
+    println!("{e11_report}");
+    write(&out_e11, e11_report.to_json());
 }

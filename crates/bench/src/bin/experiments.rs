@@ -3,34 +3,69 @@
 //! ```bash
 //! cargo run -p bench --bin experiments --release              # all, small scale
 //! cargo run -p bench --bin experiments --release -- e1 e3     # selected ids
-//! cargo run -p bench --bin experiments --release -- --medium  # regression scale
+//! cargo run -p bench --bin experiments --release -- --scale medium
 //! cargo run -p bench --bin experiments --release -- --full    # paper scale
 //! ```
 //!
-//! The attack-path experiment E10 has its own driver (`bench_summary`),
-//! which also emits `BENCH_e10.json`.
+//! Unknown flags and unknown `--scale` values are rejected with an error —
+//! a typo must never silently fall back to the default scale.
+//!
+//! The attack-path experiment E10 and the streaming-publication experiment
+//! E11 have their own driver (`bench_summary`), which also emits
+//! `BENCH_e10.json` / `BENCH_e11.json`.
 
 use bench::Scale;
 
+/// The experiment ids this driver knows how to run.
+const KNOWN_IDS: [&str; 9] = ["f1", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8"];
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = if args.iter().any(|a| a == "--full") {
-        Scale::Full
-    } else if args.iter().any(|a| a == "--medium") {
-        Scale::Medium
-    } else {
-        Scale::Small
-    };
-    let selected: Vec<String> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(|a| a.to_lowercase())
-        .collect();
+    let mut scale = Scale::Small;
+    let mut selected: Vec<String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let Some(value) = iter.next() else {
+                    eprintln!("--scale requires a value: small|medium|full");
+                    std::process::exit(2);
+                };
+                scale = Scale::parse(value).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                });
+            }
+            "--small" => scale = Scale::Small,
+            "--medium" => scale = Scale::Medium,
+            "--full" => scale = Scale::Full,
+            flag if flag.starts_with("--") => {
+                eprintln!(
+                    "unknown flag {flag:?}; use --scale small|medium|full \
+                     (or the shorthands --small/--medium/--full)"
+                );
+                std::process::exit(2);
+            }
+            id => {
+                let id = id.to_lowercase();
+                // An unknown id (or a scale typed without --scale) would
+                // match nothing and the run would silently do no work.
+                if !KNOWN_IDS.contains(&id.as_str()) {
+                    eprintln!(
+                        "unknown experiment id {id:?}; known ids: {}",
+                        KNOWN_IDS.join(" ")
+                    );
+                    std::process::exit(2);
+                }
+                selected.push(id);
+            }
+        }
+    }
     let want = |id: &str| selected.is_empty() || selected.iter().any(|s| s == id);
 
     println!(
         "== crowdsense experiment suite (scale: {scale:?}) ==\n\
-         ids: e1 e2 e3 e4 e5 e6 e7 e8 f1; pass --medium or --full to scale up\n"
+         ids: e1 e2 e3 e4 e5 e6 e7 e8 f1; pass --scale medium or --scale full to scale up\n"
     );
 
     if want("f1") {

@@ -3,6 +3,17 @@
 use crate::Scale;
 use mobility::gen::{CityModel, GeneratedData, PopulationConfig};
 
+/// Picks the per-experiment parameter set for `scale` — the one place the
+/// `Small`/`Medium`/`Full` fan-out lives, so adding a scale (or an
+/// experiment) never grows another three-armed `match`.
+pub fn by_scale<T>(scale: Scale, small: T, medium: T, full: T) -> T {
+    match scale {
+        Scale::Small => small,
+        Scale::Medium => medium,
+        Scale::Full => full,
+    }
+}
+
 /// The canonical synthetic dataset of the experiment suite (deterministic).
 pub fn standard_dataset(scale: Scale) -> GeneratedData {
     let (users, days, interval) = scale.population();

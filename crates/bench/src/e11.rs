@@ -1,0 +1,396 @@
+//! E11 — streaming publication: batch re-publish vs incremental
+//! day-window publish with cross-release shard and index reuse.
+//!
+//! This experiment is the measured counterpart of `privapi::streaming`:
+//! the same dataset is released day by day twice —
+//!
+//! * **batch**: every day re-publishes the whole accumulated prefix from
+//!   scratch through `PrivApi::publish` (the pre-streaming deployment
+//!   model: one original-side extraction plus one self-attack per
+//!   candidate, every day);
+//! * **incremental**: a `StreamingPublisher` ingests each `DatasetWindow`,
+//!   reusing yesterday's per-user shards and amended reference index, and
+//!   only re-extracts users with new records.
+//!
+//! Winner parity is asserted per window before any number is reported, so
+//! the speedup is never bought with drift. The `bench_summary` binary
+//! drives [`run`] and emits the numbers as `BENCH_e11.json` next to
+//! `BENCH_e10.json`.
+
+use crate::Scale;
+use mobility::WindowedDataset;
+use privapi::prelude::*;
+use std::fmt;
+use std::time::Instant;
+
+/// Workload shape for one E11 run.
+#[derive(Debug, Clone)]
+pub struct E11Config {
+    /// Label recorded in the report (`smoke`, `small`, `medium`, `full`).
+    pub label: String,
+    /// Synthetic population size.
+    pub users: usize,
+    /// Days of data per user (= number of windows).
+    pub days: usize,
+    /// Sampling interval, seconds.
+    pub interval_s: i64,
+    /// Percentage of users reporting on any day after the first (the
+    /// generator produces everyone-every-day data; real crowd-sensing
+    /// participation is sparse, and sparse days are exactly where the
+    /// session cache's shard reuse pays — 100 keeps the dense shape).
+    pub participation_pct: u64,
+}
+
+impl E11Config {
+    /// Tiny CI smoke shape: seconds end to end, still exercising the
+    /// parity and budget invariants (and the shard-reuse path) on every
+    /// window.
+    pub fn smoke() -> Self {
+        Self {
+            label: "smoke".into(),
+            users: 6,
+            days: 3,
+            interval_s: 300,
+            participation_pct: 50,
+        }
+    }
+
+    /// The canonical population for `scale`, at a realistic 40 % daily
+    /// participation.
+    pub fn from_scale(scale: Scale) -> Self {
+        let (users, days, interval_s) = scale.population();
+        Self {
+            label: format!("{scale:?}").to_lowercase(),
+            users,
+            days,
+            interval_s,
+            participation_pct: 40,
+        }
+    }
+}
+
+/// Thins a dataset to a sparse-participation shape: every record of the
+/// first day is kept (so the session starts with everyone's history), and
+/// each later (user, day) pair is kept with probability
+/// `participation_pct` % under a deterministic hash — the same records
+/// are dropped on every run.
+pub fn thin_participation(
+    dataset: &mobility::Dataset,
+    participation_pct: u64,
+) -> mobility::Dataset {
+    let Some(first_day) = dataset.iter_records().map(|r| r.time.day_index()).min() else {
+        return mobility::Dataset::new();
+    };
+    let keep = |user: mobility::UserId, day: i64| {
+        day == first_day
+            || user
+                .0
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add((day as u64).wrapping_mul(0x85EB_CA6B))
+                % 100
+                < participation_pct
+    };
+    mobility::Dataset::from_records(
+        dataset
+            .iter_records()
+            .filter(|r| keep(r.user, r.time.day_index()))
+            .copied()
+            .collect(),
+    )
+}
+
+/// Measured streaming-vs-batch numbers plus the invariants they were
+/// taken under.
+#[derive(Debug, Clone)]
+pub struct E11Report {
+    /// Workload label.
+    pub label: String,
+    /// Worker threads available.
+    pub threads: usize,
+    /// Population size.
+    pub users: usize,
+    /// Records in the (participation-thinned) dataset.
+    pub records: usize,
+    /// Daily participation percentage the workload was thinned to.
+    pub participation_pct: u64,
+    /// Day windows published.
+    pub windows: usize,
+    /// Total wall time of publishing every prefix from scratch, ms.
+    pub batch_total_ms: f64,
+    /// Total wall time of the incremental window publishes, ms.
+    pub incremental_total_ms: f64,
+    /// Wall time of the *last* batch prefix publish, ms (the steady-state
+    /// daily cost of the batch deployment model).
+    pub batch_last_window_ms: f64,
+    /// Wall time of the last incremental window publish, ms.
+    pub incremental_last_window_ms: f64,
+    /// Full-dataset extractions the batch replay performed.
+    pub batch_extractions: usize,
+    /// Full-dataset extractions the incremental replay performed.
+    pub incremental_extractions: usize,
+    /// Candidates in the strategy pool.
+    pub pool_size: usize,
+    /// Sum over windows of users whose cached shard was reused untouched.
+    pub shard_reuses: usize,
+    /// Sum over windows of users re-extracted via the per-user delta path.
+    pub shard_refreshes: usize,
+    /// Windows that widened the bounding box and forced a grid rebuild.
+    pub grid_rebuilds: usize,
+}
+
+impl E11Report {
+    /// End-to-end speedup of the incremental path over batch re-publish.
+    pub fn total_speedup(&self) -> f64 {
+        self.batch_total_ms / self.incremental_total_ms.max(1e-9)
+    }
+
+    /// Renders the report as a JSON object (hand-rolled: the workspace has
+    /// no JSON serializer dependency).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"experiment\": \"e11_streaming_publication\",\n  \"scale\": \"{}\",\n  \
+             \"threads\": {},\n  \"users\": {},\n  \"records\": {},\n  \
+             \"participation_pct\": {},\n  \"windows\": {},\n  \
+             \"batch_total_ms\": {:.3},\n  \"incremental_total_ms\": {:.3},\n  \
+             \"total_speedup\": {:.3},\n  \"batch_last_window_ms\": {:.3},\n  \
+             \"incremental_last_window_ms\": {:.3},\n  \"batch_extractions\": {},\n  \
+             \"incremental_extractions\": {},\n  \"pool_size\": {},\n  \
+             \"shard_reuses\": {},\n  \"shard_refreshes\": {},\n  \"grid_rebuilds\": {}\n}}\n",
+            self.label,
+            self.threads,
+            self.users,
+            self.records,
+            self.participation_pct,
+            self.windows,
+            self.batch_total_ms,
+            self.incremental_total_ms,
+            self.total_speedup(),
+            self.batch_last_window_ms,
+            self.incremental_last_window_ms,
+            self.batch_extractions,
+            self.incremental_extractions,
+            self.pool_size,
+            self.shard_reuses,
+            self.shard_refreshes,
+            self.grid_rebuilds,
+        )
+    }
+}
+
+impl fmt::Display for E11Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "E11 streaming publication ({}, {} users, {} records, {} % participation, \
+             {} windows, {} threads)",
+            self.label,
+            self.users,
+            self.records,
+            self.participation_pct,
+            self.windows,
+            self.threads
+        )?;
+        let widths = [26, 14, 14, 9];
+        writeln!(
+            f,
+            "{}",
+            crate::row(
+                &[
+                    "path".into(),
+                    "batch ms".into(),
+                    "incremental ms".into(),
+                    "speedup".into()
+                ],
+                &widths
+            )
+        )?;
+        writeln!(
+            f,
+            "{}",
+            crate::row(
+                &[
+                    "all windows".into(),
+                    format!("{:.3}", self.batch_total_ms),
+                    format!("{:.3}", self.incremental_total_ms),
+                    format!("{:.2}x", self.total_speedup()),
+                ],
+                &widths
+            )
+        )?;
+        writeln!(
+            f,
+            "{}",
+            crate::row(
+                &[
+                    "last window".into(),
+                    format!("{:.3}", self.batch_last_window_ms),
+                    format!("{:.3}", self.incremental_last_window_ms),
+                    format!(
+                        "{:.2}x",
+                        self.batch_last_window_ms / self.incremental_last_window_ms.max(1e-9)
+                    ),
+                ],
+                &widths
+            )
+        )?;
+        write!(
+            f,
+            "extractions: {} batch vs {} incremental (pool {}); \
+             shards: {} reused, {} refreshed, {} grid rebuilds",
+            self.batch_extractions,
+            self.incremental_extractions,
+            self.pool_size,
+            self.shard_reuses,
+            self.shard_refreshes,
+            self.grid_rebuilds
+        )
+    }
+}
+
+/// Runs E11: replays the dataset's day windows through both deployment
+/// models and asserts winner parity plus the streaming extraction budget
+/// on every window before reporting any timing.
+pub fn run(config: &E11Config) -> E11Report {
+    let data = crate::data::dataset(config.users, config.days, config.interval_s, 0xE11);
+    let dataset = thin_participation(&data.dataset, config.participation_pct);
+    let windows = WindowedDataset::partition(&dataset);
+    assert!(
+        !windows.is_empty(),
+        "generated data must span at least a day"
+    );
+
+    // Batch model: every day re-publishes the whole prefix from scratch.
+    let batch_api = PrivApi::default();
+    let mut batch_total_ms = 0.0;
+    let mut batch_last_window_ms = 0.0;
+    let mut batch_releases = Vec::with_capacity(windows.len());
+    for i in 0..windows.len() {
+        let prefix = windows.prefix(i);
+        let start = Instant::now();
+        let release = batch_api.publish(&prefix).expect("batch publish succeeds");
+        batch_last_window_ms = start.elapsed().as_secs_f64() * 1e3;
+        batch_total_ms += batch_last_window_ms;
+        batch_releases.push(release);
+    }
+    let batch_extractions = batch_api.attack().extractions();
+
+    // Incremental model: one streaming session ingesting window deltas.
+    let mut publisher = StreamingPublisher::new(*batch_api.config());
+    let pool_size = publisher.privapi().pool().len();
+    let probe = publisher.privapi().attack().clone();
+    let mut incremental_total_ms = 0.0;
+    let mut incremental_last_window_ms = 0.0;
+    let mut shard_reuses = 0;
+    let mut shard_refreshes = 0;
+    let mut grid_rebuilds = 0;
+    for (i, window) in windows.iter().enumerate() {
+        let before = probe.extractions();
+        let start = Instant::now();
+        let release = publisher
+            .publish_window(window)
+            .expect("incremental publish succeeds");
+        incremental_last_window_ms = start.elapsed().as_secs_f64() * 1e3;
+        incremental_total_ms += incremental_last_window_ms;
+        let spent = probe.extractions() - before;
+        assert!(
+            spent < pool_size + 1,
+            "window {i}: {spent} extractions breaks the streaming budget"
+        );
+        let batch = &batch_releases[i];
+        assert_eq!(
+            release.published.selection, batch.selection,
+            "window {i}: streaming winners drifted from batch"
+        );
+        assert_eq!(release.published.dataset, batch.dataset, "window {i}");
+        shard_reuses += release.delta.users_reused;
+        shard_refreshes += release.delta.users_refreshed;
+        grid_rebuilds += usize::from(release.delta.grid_rebuilt);
+    }
+    let incremental_extractions = probe.extractions();
+
+    E11Report {
+        label: config.label.clone(),
+        threads: std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+        users: config.users,
+        records: dataset.record_count(),
+        participation_pct: config.participation_pct,
+        windows: windows.len(),
+        batch_total_ms,
+        incremental_total_ms,
+        batch_last_window_ms,
+        incremental_last_window_ms,
+        batch_extractions,
+        incremental_extractions,
+        pool_size,
+        shard_reuses,
+        shard_refreshes,
+        grid_rebuilds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_upholds_invariants_and_renders() {
+        let report = run(&E11Config::smoke());
+        assert_eq!(report.windows, 3);
+        // Batch pays pool + 1 per window; incremental pays pool per window.
+        assert_eq!(
+            report.batch_extractions,
+            report.windows * (report.pool_size + 1)
+        );
+        assert_eq!(
+            report.incremental_extractions,
+            report.windows * report.pool_size
+        );
+        assert!(report.batch_total_ms > 0.0);
+        assert!(report.incremental_total_ms > 0.0);
+        let json = report.to_json();
+        for key in [
+            "\"experiment\": \"e11_streaming_publication\"",
+            "\"batch_total_ms\"",
+            "\"incremental_total_ms\"",
+            "\"shard_reuses\"",
+            "\"grid_rebuilds\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        let text = report.to_string();
+        assert!(text.contains("all windows"));
+        assert!(text.contains("extractions:"));
+    }
+
+    #[test]
+    fn config_constructors_cover_scales() {
+        assert_eq!(E11Config::smoke().users, 6);
+        let medium = E11Config::from_scale(Scale::Medium);
+        assert_eq!(medium.label, "medium");
+        assert_eq!(medium.users, 80);
+        assert_eq!(medium.days, 10);
+        assert_eq!(medium.participation_pct, 40);
+    }
+
+    #[test]
+    fn thinning_is_deterministic_and_keeps_day_zero() {
+        let data = crate::data::dataset(5, 3, 300, 0xE11);
+        let thinned = thin_participation(&data.dataset, 50);
+        assert_eq!(thinned, thin_participation(&data.dataset, 50));
+        assert!(thinned.record_count() < data.dataset.record_count());
+        // Day 0 keeps every user.
+        let first = WindowedDataset::partition(&thinned);
+        assert_eq!(first.windows()[0].users().len(), 5);
+        // 100 % participation keeps every record (regrouped per user);
+        // 0 % keeps only day 0.
+        assert_eq!(
+            thin_participation(&data.dataset, 100).record_count(),
+            data.dataset.record_count()
+        );
+        let only_day0 = thin_participation(&data.dataset, 0);
+        assert_eq!(WindowedDataset::partition(&only_day0).len(), 1);
+        assert!(thin_participation(&mobility::Dataset::new(), 50).record_count() == 0);
+    }
+}

@@ -92,11 +92,13 @@ pub fn run_sweep(populations: &[usize], duration_s: u64) -> E4Table {
 
 /// Runs E4 at the default sweep for the chosen scale.
 pub fn run(scale: crate::Scale) -> E4Table {
-    match scale {
-        crate::Scale::Small => run_sweep(&[10, 25, 50], 2 * 3_600),
-        crate::Scale::Medium => run_sweep(&[10, 50, 100, 250], 4 * 3_600),
-        crate::Scale::Full => run_sweep(&[10, 50, 100, 250, 500], 6 * 3_600),
-    }
+    let (fleets, duration_s): (&[usize], u64) = crate::data::by_scale(
+        scale,
+        (&[10, 25, 50], 2 * 3_600),
+        (&[10, 50, 100, 250], 4 * 3_600),
+        (&[10, 50, 100, 250, 500], 6 * 3_600),
+    );
+    run_sweep(fleets, duration_s)
 }
 
 #[cfg(test)]

@@ -45,25 +45,12 @@ impl fmt::Display for E6Table {
 
 /// Runs E6.
 pub fn run(scale: crate::Scale) -> E6Table {
-    let config = match scale {
-        crate::Scale::Small => CampaignConfig {
-            users: 150,
-            days: 21,
-            records_per_active_day: 48,
-            seed: 0xE6,
-        },
-        crate::Scale::Medium => CampaignConfig {
-            users: 200,
-            days: 21,
-            records_per_active_day: 48,
-            seed: 0xE6,
-        },
-        crate::Scale::Full => CampaignConfig {
-            users: 300,
-            days: 28,
-            records_per_active_day: 48,
-            seed: 0xE6,
-        },
+    let (users, days) = crate::data::by_scale(scale, (150, 21), (200, 21), (300, 28));
+    let config = CampaignConfig {
+        users,
+        days,
+        records_per_active_day: 48,
+        seed: 0xE6,
     };
     let strategies = [
         IncentiveStrategy::None,

@@ -51,11 +51,7 @@ impl fmt::Display for F1Figure {
 
 /// Runs the demonstration topology.
 pub fn run(scale: crate::Scale) -> F1Figure {
-    let devices = match scale {
-        crate::Scale::Small => 10,
-        crate::Scale::Medium => 25,
-        crate::Scale::Full => 50,
-    };
+    let devices = crate::data::by_scale(scale, 10, 25, 50);
     let report = run_campaign(
         &e4::task(),
         &CampaignConfig {

@@ -9,6 +9,7 @@
 pub mod data;
 pub mod e1;
 pub mod e10;
+pub mod e11;
 pub mod e2;
 pub mod e3;
 pub mod e4;
@@ -36,10 +37,18 @@ impl Scale {
     /// (users, days, sampling interval seconds) for dataset-driven
     /// experiments.
     pub fn population(&self) -> (usize, usize, i64) {
-        match self {
-            Scale::Small => (30, 7, 120),
-            Scale::Medium => (80, 10, 90),
-            Scale::Full => (200, 14, 60),
+        data::by_scale(*self, (30, 7, 120), (80, 10, 90), (200, 14, 60))
+    }
+
+    /// Parses a `--scale` argument. Unknown values are an *error*, never a
+    /// silent fallback — a typo like `--scale mediun` must not quietly run
+    /// the default scale and masquerade as a regression data point.
+    pub fn parse(value: &str) -> Result<Scale, String> {
+        match value {
+            "small" => Ok(Scale::Small),
+            "medium" => Ok(Scale::Medium),
+            "full" => Ok(Scale::Full),
+            other => Err(format!("unknown --scale {other:?}; use small|medium|full")),
         }
     }
 }
@@ -51,4 +60,29 @@ pub fn row(cells: &[String], widths: &[usize]) -> String {
         out.push_str(&format!(" {cell:<width$} |"));
     }
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parse_accepts_known_and_rejects_unknown() {
+        assert_eq!(Scale::parse("small"), Ok(Scale::Small));
+        assert_eq!(Scale::parse("medium"), Ok(Scale::Medium));
+        assert_eq!(Scale::parse("full"), Ok(Scale::Full));
+        for bad in ["smoke", "mediun", "MEDIUM", "", "large"] {
+            let err = Scale::parse(bad).unwrap_err();
+            assert!(err.contains("unknown --scale"), "{err}");
+            assert!(err.contains("small|medium|full"), "{err}");
+        }
+    }
+
+    #[test]
+    fn population_matches_by_scale_helper() {
+        assert_eq!(Scale::Small.population(), (30, 7, 120));
+        assert_eq!(Scale::Medium.population(), (80, 10, 90));
+        assert_eq!(Scale::Full.population(), (200, 14, 60));
+        assert_eq!(data::by_scale(Scale::Medium, 1, 2, 3), 2);
+    }
 }

@@ -1,6 +1,6 @@
 //! Privacy attacks against published mobility datasets.
 //!
-//! These implement the threat model of the paper's §3 (refs [2,3]): an
+//! These implement the threat model of the paper's §3 (refs \[2,3\]): an
 //! adversary mining a published dataset for *points of interest* and linking
 //! pseudonyms back to individuals through their POI profiles. The paper's
 //! headline motivation — "even a recent state-of-the-art protection mechanism
@@ -184,6 +184,56 @@ pub struct ReferenceIndex {
 }
 
 impl ReferenceIndex {
+    /// Creates an empty index keyed by `match_distance` — the seed of an
+    /// incrementally amended index (see [`ReferenceIndex::update_user`]).
+    pub fn empty(match_distance: Meters) -> Self {
+        Self {
+            match_distance,
+            users: BTreeMap::new(),
+        }
+    }
+
+    /// Amends one user's entry with their current POI set, reusing the
+    /// existing per-user [`PointIndex`] where possible instead of
+    /// rebuilding it:
+    ///
+    /// * new POIs strictly *append* to the indexed ones → the index is
+    ///   extended in place ([`PointIndex::extend`]; returns `true` iff at
+    ///   least one POI was actually appended — an unchanged set is a
+    ///   no-op, not an "extension");
+    /// * anything else (first sighting of the user, or POIs that moved or
+    ///   disappeared as dwell mass accumulated) → the user's index is
+    ///   rebuilt from scratch (returns `false`).
+    ///
+    /// Either way the resulting per-user index is structurally identical
+    /// to a fresh [`PoiAttack::index_reference`] build over the same POIs,
+    /// so matching reports are unaffected by *how* the index got there —
+    /// the invariant the streaming publisher's cross-window reuse rests on.
+    pub fn update_user(&mut self, user: UserId, pois: &[GeoPoint]) -> bool {
+        let build = |pois: &[GeoPoint]| {
+            PointIndex::build(pois.to_vec(), self.match_distance)
+                .expect("match distance validated by config")
+        };
+        match self.users.entry(user) {
+            std::collections::btree_map::Entry::Occupied(mut slot) => {
+                let existing = slot.get_mut();
+                if pois.len() >= existing.len() && existing.points() == &pois[..existing.len()]
+                {
+                    let appended = pois.len() > existing.len();
+                    existing.extend(pois[existing.len()..].iter().copied());
+                    appended
+                } else {
+                    *existing = build(pois);
+                    false
+                }
+            }
+            std::collections::btree_map::Entry::Vacant(slot) => {
+                slot.insert(build(pois));
+                false
+            }
+        }
+    }
+
     /// Total reference POIs across all users.
     pub fn total_pois(&self) -> usize {
         self.users.values().map(PointIndex::len).sum()
@@ -245,11 +295,18 @@ impl PoiAttack {
     /// The dataset-wide density grid every per-user extraction shares, or
     /// `None` for an empty dataset.
     pub fn extraction_grid(&self, dataset: &Dataset) -> Option<UniformGrid> {
-        let bbox = dataset.bounding_box()?.expanded(0.001);
-        Some(
-            UniformGrid::new(bbox, self.config.density_cell)
-                .expect("cell size validated by config"),
-        )
+        Some(self.grid_for(dataset.bounding_box()?))
+    }
+
+    /// The density grid anchored on an already-known bounding box — what
+    /// a streaming session uses to avoid rescanning its whole accumulated
+    /// prefix per window: the prefix bbox is maintained incrementally
+    /// ([`geo::BoundingBox::union`] is exact under append) and the grid
+    /// derived from it here is identical to
+    /// [`PoiAttack::extraction_grid`] over the full dataset.
+    pub fn grid_for(&self, bbox: geo::BoundingBox) -> UniformGrid {
+        UniformGrid::new(bbox.expanded(0.001), self.config.density_cell)
+            .expect("cell size validated by config")
     }
 
     /// Extracts one user's [`UserAttackShard`] against the shared dataset
@@ -924,6 +981,55 @@ mod tests {
             assert_eq!(indexed.matched, expect_matched, "match_d {match_d:?}");
             assert_eq!(indexed.reference_pois, 2);
             assert_eq!(indexed.extracted_pois, 1, "UserId(3) is not referenced");
+        }
+    }
+
+    #[test]
+    fn reference_index_amendment_matches_fresh_build() {
+        use crate::strategy::AnonymizationStrategy;
+        let data = small_data();
+        let attack = PoiAttack::default();
+        let reference = attack.extract(&data.dataset);
+        let fresh = attack.index_reference(&reference);
+
+        // Grow an empty index user by user, in two halves per user so both
+        // the rebuild path (first sighting) and the extend path (appended
+        // POIs) are exercised.
+        let mut amended = ReferenceIndex::empty(attack.config().match_distance);
+        for (user, pois) in &reference {
+            let half = pois.len() / 2;
+            assert!(!amended.update_user(*user, &pois[..half]), "first insert");
+            assert_eq!(
+                amended.update_user(*user, pois),
+                pois.len() > half,
+                "a real append takes the extend path"
+            );
+            assert!(
+                !amended.update_user(*user, pois),
+                "an unchanged set is a no-op, not an extension"
+            );
+        }
+        assert_eq!(amended.user_count(), fresh.user_count());
+        assert_eq!(amended.total_pois(), fresh.total_pois());
+        assert_eq!(amended.match_distance(), fresh.match_distance());
+        // The amended index must answer matching queries identically.
+        let protected = crate::strategies::GaussianPerturbation::new(Meters::new(120.0))
+            .unwrap()
+            .anonymize(&data.dataset, 7);
+        let extracted = attack.extract(&protected);
+        assert_eq!(
+            attack.match_extracted(&extracted, &amended),
+            attack.match_extracted(&extracted, &fresh)
+        );
+
+        // A changed (non-append) POI set forces a rebuild and replaces the
+        // entry wholesale.
+        let user = *reference.keys().next().unwrap();
+        let mut moved: Vec<GeoPoint> = reference[&user].clone();
+        moved.reverse();
+        if moved.len() > 1 {
+            assert!(!amended.update_user(user, &moved), "reorder must rebuild");
+            assert_eq!(amended.get(&user).unwrap().points(), moved.as_slice());
         }
     }
 

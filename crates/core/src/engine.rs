@@ -63,7 +63,7 @@ pub struct EvalContext<'a> {
     original: &'a Dataset,
     reference: Cow<'a, ReferencePois>,
     shards: Option<Vec<UserAttackShard>>,
-    reference_index: ReferenceIndex,
+    reference_index: Cow<'a, ReferenceIndex>,
     baseline: ObjectiveBaseline,
 }
 
@@ -116,7 +116,33 @@ impl<'a> EvalContext<'a> {
             original,
             reference: Cow::Borrowed(reference),
             shards: None,
-            reference_index,
+            reference_index: Cow::Owned(reference_index),
+            baseline: ObjectiveBaseline::build(original, objective),
+        }
+    }
+
+    /// Builds a context around *cached* extraction state: the reference
+    /// POIs and their spatial index come from a caller-maintained cache
+    /// (the streaming publisher's session cache, amended window by window)
+    /// instead of being extracted or indexed here.
+    ///
+    /// Only the objective baseline is (re)computed — it projects the whole
+    /// accumulated `original`, which grows every window, so it cannot be
+    /// carried across windows without changing results. This is how the
+    /// engine advances from one day window to the next with warm
+    /// original-side attack state: zero extraction work for unchanged
+    /// users, one baseline build per window.
+    pub fn from_cache(
+        original: &'a Dataset,
+        reference: &'a ReferencePois,
+        reference_index: &'a ReferenceIndex,
+        objective: Objective,
+    ) -> Self {
+        Self {
+            original,
+            reference: Cow::Borrowed(reference),
+            shards: None,
+            reference_index: Cow::Borrowed(reference_index),
             baseline: ObjectiveBaseline::build(original, objective),
         }
     }
@@ -143,7 +169,7 @@ impl<'a> EvalContext<'a> {
             original,
             reference: Cow::Owned(reference),
             shards: Some(shards),
-            reference_index,
+            reference_index: Cow::Owned(reference_index),
             baseline: ObjectiveBaseline::build(original, objective),
         }
     }
@@ -331,6 +357,29 @@ impl EvaluationEngine {
         Self::check_nonempty(pool, dataset)?;
         let context = EvalContext::extracting(&self.attack, dataset, self.objective);
         Ok(self.release_from_context(pool, &context))
+    }
+
+    /// Evaluates every candidate of `pool` against a caller-prepared
+    /// [`EvalContext`] and returns the winner's release artifacts.
+    ///
+    /// This is the streaming publish path: the context carries cached
+    /// original-side extraction state ([`EvalContext::from_cache`]) that a
+    /// session cache amends across day windows, so no extraction happens
+    /// here at all. The report is identical to what
+    /// [`EvaluationEngine::evaluate_release_extracting`] would produce on
+    /// the same dataset — verified by the streaming parity property tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrivapiError::EmptyDataset`] when the pool or the
+    /// context's dataset is empty.
+    pub fn evaluate_release_with(
+        &self,
+        pool: &StrategyPool,
+        context: &EvalContext<'_>,
+    ) -> Result<(SelectionReport, Option<WinnerRelease>), PrivapiError> {
+        Self::check_nonempty(pool, context.original())?;
+        Ok(self.release_from_context(pool, context))
     }
 
     /// Shared guard for the public entry points.

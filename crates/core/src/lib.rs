@@ -28,7 +28,10 @@
 //! * [`engine`] — the parallel, cache-aware evaluation engine behind the
 //!   search;
 //! * [`pipeline`] — the [`pipeline::PrivApi`] middleware facade a platform
-//!   (e.g. APISENSE) plugs in before releasing datasets.
+//!   (e.g. APISENSE) plugs in before releasing datasets;
+//! * [`streaming`] — day-windowed incremental publication
+//!   ([`streaming::StreamingPublisher`]) reusing per-user attack shards and
+//!   the reference index across releases.
 //!
 //! # Example
 //!
@@ -67,6 +70,7 @@ pub mod pool;
 pub mod selection;
 pub mod strategies;
 pub mod strategy;
+pub mod streaming;
 
 pub use error::PrivapiError;
 
@@ -91,4 +95,7 @@ pub mod prelude {
         SpeedSmoothing, TemporalDownsampling,
     };
     pub use crate::strategy::{AnonymizationStrategy, StrategyInfo};
+    pub use crate::streaming::{
+        PublishedWindow, SessionCache, StreamingPublisher, WindowDelta,
+    };
 }

@@ -12,13 +12,14 @@
 //! audit report.
 
 use crate::attack::{PoiAttack, PoiAttackReport};
-use crate::engine::{EvaluationEngine, ExecutionMode};
+use crate::engine::{EvalContext, EvaluationEngine, ExecutionMode};
 use crate::error::PrivapiError;
 use crate::pool::StrategyPool;
 use crate::selection::{Objective, SelectionReport};
 use crate::strategy::StrategyInfo;
+use crate::streaming::{PublishedWindow, SessionCache};
 use geo::Meters;
-use mobility::Dataset;
+use mobility::{Dataset, DatasetWindow};
 
 /// Configuration of the PRIVAPI middleware.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -135,17 +136,95 @@ impl PrivApi {
         if dataset.record_count() == 0 {
             return Err(PrivapiError::EmptyDataset);
         }
-        let engine = EvaluationEngine::new(
+        let (selection, winner) = self
+            .engine()
+            .evaluate_release_extracting(&self.pool, dataset)?;
+        let Some(winner) = winner else {
+            return Err(selection.no_feasible_error());
+        };
+        self.assemble(selection, winner)
+    }
+
+    /// Protects and publishes one **day window** incrementally: the window
+    /// is folded into `cache` (per-user shard reuse, amended reference
+    /// index — see [`SessionCache::advance`]) and the release is selected
+    /// over the full accumulated prefix with **zero** original-side
+    /// extraction passes.
+    ///
+    /// The release is byte-identical to [`PrivApi::publish`] over the same
+    /// prefix — only cheaper: the original's POI exposure is amended from
+    /// the session state instead of re-extracted, so the
+    /// [`PoiAttack::extractions`] probe stays strictly below the batch
+    /// budget of `pool + 1` on every window.
+    ///
+    /// Use [`crate::streaming::StreamingPublisher`] when one session owns
+    /// both the middleware and the cache; this lower-level entry point
+    /// exists for callers (like the APISENSE gateway) that manage session
+    /// state themselves.
+    ///
+    /// A successful ingest is permanent: if the *release* then fails
+    /// (e.g. [`PrivapiError::NoFeasibleStrategy`]), the window's records
+    /// remain part of the session prefix and are **not** rolled back —
+    /// re-sending the same window is rejected as a non-ascending day by
+    /// [`SessionCache::advance`], so a retry loop can never silently
+    /// double-ingest a day and corrupt the batch-parity invariant.
+    ///
+    /// # Errors
+    ///
+    /// * [`PrivapiError::EmptyDataset`] for an empty window;
+    /// * [`PrivapiError::InvalidParameter`] for a duplicate or
+    ///   out-of-order window day (nothing ingested);
+    /// * [`PrivapiError::NoFeasibleStrategy`] when no pooled strategy can
+    ///   meet the privacy floor on the accumulated prefix (window
+    ///   ingested).
+    pub fn publish_window(
+        &self,
+        cache: &mut SessionCache,
+        window: &DatasetWindow,
+    ) -> Result<PublishedWindow, PrivapiError> {
+        if window.record_count() == 0 {
+            return Err(PrivapiError::EmptyDataset);
+        }
+        let delta = cache.advance(&self.attack, window)?;
+        let engine = self.engine();
+        let context = EvalContext::from_cache(
+            cache.prefix(),
+            cache.reference(),
+            cache
+                .reference_index()
+                .expect("non-empty window was just ingested"),
+            self.config.objective,
+        );
+        let (selection, winner) = engine.evaluate_release_with(&self.pool, &context)?;
+        let Some(winner) = winner else {
+            return Err(selection.no_feasible_error());
+        };
+        let published = self.assemble(selection, winner)?;
+        Ok(PublishedWindow {
+            day: window.day(),
+            delta,
+            published,
+        })
+    }
+
+    /// The evaluation engine every publish entry point drives, configured
+    /// with this middleware's objective, floor, seed, attack and schedule.
+    fn engine(&self) -> EvaluationEngine {
+        EvaluationEngine::new(
             self.config.objective,
             self.config.privacy_floor,
             self.config.seed,
         )
         .with_attack(self.attack.clone())
-        .with_mode(self.mode);
-        let (selection, winner) = engine.evaluate_release_extracting(&self.pool, dataset)?;
-        let Some(winner) = winner else {
-            return Err(selection.no_feasible_error());
-        };
+        .with_mode(self.mode)
+    }
+
+    /// Folds a winning release into the published audit record.
+    fn assemble(
+        &self,
+        selection: SelectionReport,
+        winner: crate::engine::WinnerRelease,
+    ) -> Result<PublishedDataset, PrivapiError> {
         let strategy = self.pool.get(winner.index).expect("chosen index in pool");
         Ok(PublishedDataset {
             dataset: winner.dataset,

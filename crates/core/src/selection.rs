@@ -188,7 +188,7 @@ impl StrategySelector {
     }
 
     /// Adds the default candidate grid covering every mechanism family at
-    /// several parameter settings (the paper's "many [strategies] from which
+    /// several parameter settings (the paper's "many \[strategies\] from which
     /// we can choose") — [`StrategyPool::default_pool`] appended to any
     /// candidates already registered.
     pub fn with_default_candidates(mut self) -> Self {

@@ -3,7 +3,7 @@
 //! * [`SpeedSmoothing`] — the paper's novel contribution (§3): constant-speed
 //!   trajectory resampling that erases stops;
 //! * [`GeoIndistinguishability`] — the state-of-the-art differentially
-//!   private baseline of the paper's companion study (ref [3]), which still
+//!   private baseline of the paper's companion study (ref \[3\]), which still
 //!   leaks ≥ 60 % of POIs;
 //! * [`SpatialCloaking`] — grid generalization;
 //! * [`GaussianPerturbation`] — naive iid noise;

@@ -1,0 +1,545 @@
+//! Streaming publication: day windows with cross-release shard and index
+//! reuse.
+//!
+//! The batch path ([`crate::pipeline::PrivApi::publish`]) treats every
+//! release as a from-scratch job: it re-extracts every user's POI exposure
+//! and rebuilds the reference index even when yesterday's release already
+//! computed almost all of it. A continuously running deployment publishes
+//! *day windows* instead, and almost everything about the original-side
+//! attack state carries over from one window to the next:
+//!
+//! * the per-user [`UserAttackShard`]s — a user without new records today
+//!   has exactly yesterday's shard;
+//! * the [`ReferenceIndex`] — unchanged users keep their per-user
+//!   [`geo::PointIndex`]; changed users are amended in place
+//!   ([`ReferenceIndex::update_user`]).
+//!
+//! [`SessionCache`] owns that cross-window state and
+//! [`SessionCache::advance`] folds one [`DatasetWindow`] into it, tracking
+//! what was reused vs. re-extracted in a [`WindowDelta`].
+//! [`StreamingPublisher`] pairs a cache with a
+//! [`crate::pipeline::PrivApi`] and publishes window after window through
+//! [`crate::pipeline::PrivApi::publish_window`].
+//!
+//! # Invalidation rules
+//!
+//! A cached shard for user `u` is valid for the grown prefix iff
+//!
+//! 1. `u` has **no records in the new window** (their merged record
+//!    history, and hence their dwell field, is unchanged), **and**
+//! 2. the **extraction grid is unchanged** — the dwell grid is anchored on
+//!    the prefix's bounding box, so a window that widens the bounding box
+//!    shifts every user's cell boundaries and invalidates *all* shards.
+//!
+//! Either way no *full-dataset* extraction pass runs on the original side:
+//! refreshes go through the per-user [`PoiAttack::extract_user`] delta
+//! path (fanned out over the cores), which keeps the
+//! [`PoiAttack::extractions`] probe strictly below `pool + 1` per window
+//! after the first — the budget batch publish pays on every release.
+//!
+//! # The winners-parity invariant
+//!
+//! Publishing window `i` incrementally selects **byte-identical** winners
+//! (same [`crate::selection::SelectionReport`], same released dataset) as
+//! a batch [`crate::pipeline::PrivApi::publish`] over the concatenated
+//! prefix [`mobility::WindowedDataset::prefix`]`(i)`. The cache never
+//! approximates: refreshed shards are extracted from the *full* accumulated
+//! prefix (cross-midnight dwell included), and amended per-user indexes
+//! are structurally identical to freshly built ones. Property tests across
+//! generator seeds enforce this.
+
+use crate::attack::{PoiAttack, ReferenceIndex, ReferencePois, UserAttackShard};
+use crate::error::PrivapiError;
+use crate::pipeline::{PrivApi, PrivApiConfig, PublishedDataset};
+use mobility::{Dataset, DatasetWindow, UserId, WindowedDataset};
+use rayon::prelude::*;
+use std::collections::BTreeMap;
+
+/// What [`SessionCache::advance`] did with one day window — the audit
+/// record of the incremental path's cache behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowDelta {
+    /// Day index of the ingested window.
+    pub day: i64,
+    /// Users re-extracted over the grown prefix (new records, or a grid
+    /// rebuild touched everyone).
+    pub users_refreshed: usize,
+    /// Users whose cached shard (and per-user index) was reused untouched.
+    pub users_reused: usize,
+    /// Refreshed users whose per-user [`geo::PointIndex`] was extended in
+    /// place (new POIs appended) instead of rebuilt.
+    pub indexes_extended: usize,
+    /// Whether the window widened the prefix bounding box, forcing a new
+    /// extraction grid and a full per-user refresh.
+    pub grid_rebuilt: bool,
+}
+
+/// Cross-window original-side attack state: the accumulated prefix, the
+/// per-user shards extracted from it, and the reference POIs + spatial
+/// index the engine scores candidates against.
+///
+/// The cache is pure state — it holds no attack of its own.
+/// [`SessionCache::advance`] borrows the publisher's [`PoiAttack`] so the
+/// extraction accounting (and any custom attack parameters) stay with the
+/// publisher that owns the session.
+#[derive(Debug, Default)]
+pub struct SessionCache {
+    prefix: Dataset,
+    /// The prefix's bounding box, maintained incrementally
+    /// ([`geo::BoundingBox::union`] per window — exact under append, so
+    /// the derived grid equals a from-scratch scan's without re-touching
+    /// old records).
+    bbox: Option<geo::BoundingBox>,
+    shards: BTreeMap<UserId, UserAttackShard>,
+    reference: ReferencePois,
+    index: Option<ReferenceIndex>,
+    windows_ingested: usize,
+    last_day: Option<i64>,
+}
+
+impl SessionCache {
+    /// Creates an empty session (no windows ingested).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The accumulated prefix: every ingested window's trajectories,
+    /// concatenated in ingestion order. Equals
+    /// [`mobility::WindowedDataset::prefix`] of the same windows.
+    pub fn prefix(&self) -> &Dataset {
+        &self.prefix
+    }
+
+    /// The cached per-user shards, keyed by user.
+    pub fn shards(&self) -> &BTreeMap<UserId, UserAttackShard> {
+        &self.shards
+    }
+
+    /// The reference POIs extracted from the prefix (one entry per user).
+    pub fn reference(&self) -> &ReferencePois {
+        &self.reference
+    }
+
+    /// The amended spatial index over [`SessionCache::reference`], or
+    /// `None` before the first window.
+    pub fn reference_index(&self) -> Option<&ReferenceIndex> {
+        self.index.as_ref()
+    }
+
+    /// Number of windows folded into this session.
+    pub fn windows_ingested(&self) -> usize {
+        self.windows_ingested
+    }
+
+    /// Day index of the most recently ingested window.
+    pub fn last_day(&self) -> Option<i64> {
+        self.last_day
+    }
+
+    /// Folds one day window into the session: appends its trajectories to
+    /// the prefix, re-extracts (only) the invalidated users' shards over
+    /// the grown prefix via the [`PoiAttack::extract_user`] delta path,
+    /// and amends the reference POIs and their spatial index.
+    ///
+    /// Per-window cost is `O(window + refreshed users)`: the prefix
+    /// bounding box is maintained by [`geo::BoundingBox::union`] (exact
+    /// under append), never by rescanning the accumulated records.
+    /// Refreshes are fanned out over the available cores; results are
+    /// folded back in `UserId` order, so the cache state is deterministic
+    /// regardless of scheduling.
+    ///
+    /// # Errors
+    ///
+    /// Windows must arrive in strictly ascending day order. A window
+    /// whose day is not past [`SessionCache::last_day`] — a duplicate
+    /// ingest, or an out-of-order replay — is rejected with
+    /// [`PrivapiError::InvalidParameter`] *before* touching any state, so
+    /// the prefix can never silently double-count a day's records.
+    pub fn advance(
+        &mut self,
+        attack: &PoiAttack,
+        window: &DatasetWindow,
+    ) -> Result<WindowDelta, PrivapiError> {
+        if let Some(last) = self.last_day {
+            if window.day() <= last {
+                return Err(PrivapiError::InvalidParameter {
+                    name: "window.day",
+                    value: format!(
+                        "day {} after day {last}: windows must ascend strictly \
+                         (duplicate ingest of an already-published window?)",
+                        window.day()
+                    ),
+                });
+            }
+        }
+        let changed = window.users();
+        self.prefix
+            .extend(window.dataset().trajectories().iter().cloned());
+        self.windows_ingested += 1;
+        self.last_day = Some(window.day());
+        let merged_bbox = match (self.bbox, window.dataset().bounding_box()) {
+            (Some(a), Some(b)) => Some(a.union(&b)),
+            (a, None) => a,
+            (None, b) => b,
+        };
+        let Some(bbox) = merged_bbox else {
+            // Empty prefix: nothing to extract yet.
+            return Ok(WindowDelta {
+                day: window.day(),
+                users_refreshed: 0,
+                users_reused: 0,
+                indexes_extended: 0,
+                grid_rebuilt: false,
+            });
+        };
+        let grid_rebuilt = self.bbox.is_some() && self.bbox != Some(bbox);
+        let grid = attack.grid_for(bbox);
+        let to_refresh: Vec<UserId> = if grid_rebuilt {
+            self.prefix.users()
+        } else {
+            changed
+        };
+        let refreshed: Vec<UserAttackShard> = to_refresh
+            .par_iter()
+            .map(|&user| attack.extract_user(&self.prefix, user, &grid))
+            .collect();
+        let index = self
+            .index
+            .get_or_insert_with(|| ReferenceIndex::empty(attack.config().match_distance));
+        let mut indexes_extended = 0;
+        for shard in refreshed {
+            if index.update_user(shard.user, &shard.pois) {
+                indexes_extended += 1;
+            }
+            self.reference.insert(shard.user, shard.pois.clone());
+            self.shards.insert(shard.user, shard);
+        }
+        self.bbox = Some(bbox);
+        Ok(WindowDelta {
+            day: window.day(),
+            users_refreshed: to_refresh.len(),
+            users_reused: self.shards.len() - to_refresh.len(),
+            indexes_extended,
+            grid_rebuilt,
+        })
+    }
+}
+
+/// One incremental release: the protected prefix plus the audit trail of
+/// both the selection and the cache behaviour that produced it.
+#[derive(Debug)]
+pub struct PublishedWindow {
+    /// Day index of the window that triggered this release.
+    pub day: i64,
+    /// What the session cache reused vs. refreshed for this window.
+    pub delta: WindowDelta,
+    /// The release over the full accumulated prefix — same shape as a
+    /// batch [`crate::pipeline::PrivApi::publish`] of that prefix.
+    pub published: PublishedDataset,
+}
+
+/// A [`PrivApi`] paired with a [`SessionCache`]: the streaming publication
+/// front end.
+///
+/// # Example
+///
+/// ```
+/// use mobility::gen::{CityModel, PopulationConfig};
+/// use mobility::WindowedDataset;
+/// use privapi::streaming::StreamingPublisher;
+/// use privapi::pipeline::PrivApiConfig;
+///
+/// let data = CityModel::builder().seed(3).build().generate_population(
+///     &PopulationConfig { users: 3, days: 2, ..PopulationConfig::default() },
+/// );
+/// let windows = WindowedDataset::partition(&data);
+/// let mut publisher = StreamingPublisher::new(PrivApiConfig::default());
+/// for window in &windows {
+///     let release = publisher.publish_window(window).unwrap();
+///     assert_eq!(release.day, window.day());
+/// }
+/// assert_eq!(publisher.cache().windows_ingested(), windows.len());
+/// ```
+#[derive(Debug)]
+pub struct StreamingPublisher {
+    privapi: PrivApi,
+    cache: SessionCache,
+}
+
+impl StreamingPublisher {
+    /// Creates a publisher with the given configuration and the shared
+    /// default pool, starting an empty session.
+    pub fn new(config: PrivApiConfig) -> Self {
+        Self::from_privapi(PrivApi::new(config))
+    }
+
+    /// Wraps an already-configured middleware (custom pool, attack or
+    /// execution mode), starting an empty session.
+    pub fn from_privapi(privapi: PrivApi) -> Self {
+        Self {
+            privapi,
+            cache: SessionCache::new(),
+        }
+    }
+
+    /// The wrapped middleware.
+    pub fn privapi(&self) -> &PrivApi {
+        &self.privapi
+    }
+
+    /// The session's cross-window cache state.
+    pub fn cache(&self) -> &SessionCache {
+        &self.cache
+    }
+
+    /// Publishes one day window incrementally — see
+    /// [`crate::pipeline::PrivApi::publish_window`].
+    ///
+    /// # Errors
+    ///
+    /// * [`PrivapiError::EmptyDataset`] for an empty window;
+    /// * [`PrivapiError::NoFeasibleStrategy`] when no pooled strategy can
+    ///   meet the privacy floor on the accumulated prefix.
+    pub fn publish_window(
+        &mut self,
+        window: &DatasetWindow,
+    ) -> Result<PublishedWindow, PrivapiError> {
+        self.privapi.publish_window(&mut self.cache, window)
+    }
+
+    /// Replays every window of a partitioned dataset through
+    /// [`StreamingPublisher::publish_window`], oldest first, returning the
+    /// per-window releases.
+    ///
+    /// # Errors
+    ///
+    /// Stops at (and returns) the first window-publication error.
+    pub fn publish_all(
+        &mut self,
+        windows: &WindowedDataset,
+    ) -> Result<Vec<PublishedWindow>, PrivapiError> {
+        windows.iter().map(|w| self.publish_window(w)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::PrivApi;
+    use mobility::gen::{CityModel, PopulationConfig};
+
+    fn dataset(seed: u64, users: usize, days: usize) -> Dataset {
+        CityModel::builder()
+            .seed(seed)
+            .build()
+            .generate_population(&PopulationConfig {
+                users,
+                days,
+                sampling_interval_s: 240,
+                gps_noise_m: 5.0,
+                leisure_probability: 0.4,
+            })
+    }
+
+    #[test]
+    fn streaming_matches_batch_prefix_publish() {
+        // The acceptance invariant, exercised window by window: the
+        // incremental release of window i is byte-identical (selection
+        // report, strategy, privacy report, released data) to a batch
+        // publish of the concatenated prefix 0..=i.
+        let ds = dataset(61, 4, 3);
+        let windows = WindowedDataset::partition(&ds);
+        assert!(windows.len() >= 3, "want several windows");
+        let mut publisher = StreamingPublisher::new(PrivApiConfig::default());
+        for (i, window) in windows.iter().enumerate() {
+            let incremental = publisher.publish_window(window).unwrap();
+            let batch = PrivApi::default().publish(&windows.prefix(i)).unwrap();
+            assert_eq!(
+                incremental.published.selection, batch.selection,
+                "window {i}"
+            );
+            assert_eq!(incremental.published.strategy, batch.strategy, "window {i}");
+            assert_eq!(incremental.published.privacy, batch.privacy, "window {i}");
+            assert_eq!(incremental.published.dataset, batch.dataset, "window {i}");
+        }
+    }
+
+    #[test]
+    fn subsequent_windows_skip_the_full_original_extraction() {
+        // Batch publish costs pool + 1 full extractions per release (one
+        // original-side pass plus one self-attack per candidate). The
+        // streaming path must never pay the original-side pass: every
+        // window stays at pool full extractions — strictly fewer than
+        // pool + 1 — because original-side refreshes go through the
+        // per-user delta path, which the probe does not count.
+        let ds = dataset(93, 4, 3);
+        let windows = WindowedDataset::partition(&ds);
+        let mut publisher = StreamingPublisher::new(PrivApiConfig::default());
+        let pool = publisher.privapi().pool().len();
+        let probe = publisher.privapi().attack().clone();
+        for (i, window) in windows.iter().enumerate() {
+            let before = probe.extractions();
+            publisher.publish_window(window).unwrap();
+            let per_window = probe.extractions() - before;
+            assert!(
+                per_window < pool + 1,
+                "window {i}: {per_window} full extractions, batch budget is {}",
+                pool + 1
+            );
+            assert_eq!(
+                per_window, pool,
+                "window {i}: one self-attack per candidate"
+            );
+        }
+    }
+
+    #[test]
+    fn cache_reuses_unchanged_users_and_tracks_deltas() {
+        // Two users on day 0; only one of them has day-1 records that stay
+        // inside the day-0 bounding box, so day 1 must refresh exactly that
+        // user and reuse the other's shard.
+        use geo::GeoPoint;
+        use mobility::{LocationRecord, Timestamp, DAY_SECONDS};
+        let site = |lon: f64| GeoPoint::new(45.75, lon).unwrap();
+        let mut records = Vec::new();
+        // User 1: a commute plus long dwells on both days, spanning the box.
+        for day in 0..2i64 {
+            for i in 0..240i64 {
+                let lon = 4.80 + 0.0004 * (i.min(60)) as f64;
+                records.push(LocationRecord::new(
+                    UserId(1),
+                    Timestamp::new(day * DAY_SECONDS + i * 300),
+                    site(lon),
+                ));
+            }
+        }
+        // User 2: day 0 only, dwelling inside the same box.
+        for i in 0..240i64 {
+            records.push(LocationRecord::new(
+                UserId(2),
+                Timestamp::new(i * 300),
+                site(4.81),
+            ));
+        }
+        let ds = Dataset::from_records(records);
+        let windows = WindowedDataset::partition(&ds);
+        assert_eq!(windows.len(), 2);
+
+        let attack = PoiAttack::default();
+        let mut cache = SessionCache::new();
+        let d0 = cache.advance(&attack, &windows.windows()[0]).unwrap();
+        assert_eq!(d0.users_refreshed, 2);
+        assert_eq!(d0.users_reused, 0);
+        assert!(!d0.grid_rebuilt, "first window never reports a rebuild");
+        let user2_day0 = cache.shards()[&UserId(2)].clone();
+
+        let d1 = cache.advance(&attack, &windows.windows()[1]).unwrap();
+        assert!(!d1.grid_rebuilt, "day 1 stays inside the day-0 bbox");
+        assert_eq!(d1.users_refreshed, 1, "only user 1 has new records");
+        assert_eq!(d1.users_reused, 1);
+        // The reused shard is bitwise yesterday's.
+        assert_eq!(cache.shards()[&UserId(2)].pois, user2_day0.pois);
+        assert_eq!(
+            cache.shards()[&UserId(2)].threshold_s,
+            user2_day0.threshold_s
+        );
+        assert_eq!(cache.windows_ingested(), 2);
+        assert_eq!(cache.reference().len(), 2);
+        assert_eq!(
+            cache.reference_index().unwrap().user_count(),
+            2,
+            "index covers both users"
+        );
+    }
+
+    #[test]
+    fn bbox_growth_invalidates_every_shard() {
+        use geo::GeoPoint;
+        use mobility::{LocationRecord, Timestamp, DAY_SECONDS};
+        let mut records = Vec::new();
+        for user in 1..=2u64 {
+            for i in 0..60i64 {
+                records.push(LocationRecord::new(
+                    UserId(user),
+                    Timestamp::new(i * 300),
+                    GeoPoint::new(45.75, 4.80 + 0.001 * user as f64).unwrap(),
+                ));
+            }
+        }
+        // Day 1: user 1 wanders far outside the day-0 box.
+        for i in 0..60i64 {
+            records.push(LocationRecord::new(
+                UserId(1),
+                Timestamp::new(DAY_SECONDS + i * 300),
+                GeoPoint::new(45.95, 5.10).unwrap(),
+            ));
+        }
+        let windows = WindowedDataset::partition(&Dataset::from_records(records));
+        let attack = PoiAttack::default();
+        let mut cache = SessionCache::new();
+        cache.advance(&attack, &windows.windows()[0]).unwrap();
+        let d1 = cache.advance(&attack, &windows.windows()[1]).unwrap();
+        assert!(d1.grid_rebuilt, "widened bbox must rebuild the grid");
+        assert_eq!(d1.users_refreshed, 2, "a grid rebuild touches everyone");
+        assert_eq!(d1.users_reused, 0);
+    }
+
+    #[test]
+    fn duplicate_or_out_of_order_windows_are_rejected_without_ingesting() {
+        let ds = dataset(29, 3, 2);
+        let windows = WindowedDataset::partition(&ds);
+        let mut publisher = StreamingPublisher::new(PrivApiConfig::default());
+        publisher.publish_window(&windows.windows()[1]).unwrap();
+        let records_before = publisher.cache().prefix().record_count();
+        // Re-sending the same window (a retry after a failed release, or a
+        // bug) must fail loudly and leave the session untouched.
+        for stale in [&windows.windows()[1], &windows.windows()[0]] {
+            let err = publisher.publish_window(stale).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    PrivapiError::InvalidParameter {
+                        name: "window.day",
+                        ..
+                    }
+                ),
+                "got {err}"
+            );
+            assert_eq!(publisher.cache().prefix().record_count(), records_before);
+            assert_eq!(publisher.cache().windows_ingested(), 1);
+        }
+        assert_eq!(
+            publisher.cache().last_day(),
+            Some(windows.windows()[1].day())
+        );
+    }
+
+    #[test]
+    fn fresh_session_is_empty() {
+        let cache = SessionCache::new();
+        assert_eq!(cache.windows_ingested(), 0);
+        assert!(cache.reference_index().is_none());
+        assert_eq!(cache.prefix().record_count(), 0);
+        assert!(cache.shards().is_empty());
+        assert!(cache.reference().is_empty());
+        assert!(WindowedDataset::partition(&Dataset::new()).is_empty());
+    }
+
+    #[test]
+    fn publish_all_replays_every_window() {
+        let ds = dataset(17, 3, 2);
+        let windows = WindowedDataset::partition(&ds);
+        let mut publisher = StreamingPublisher::new(PrivApiConfig::default());
+        let releases = publisher.publish_all(&windows).unwrap();
+        assert_eq!(releases.len(), windows.len());
+        assert_eq!(
+            releases.iter().map(|r| r.day).collect::<Vec<_>>(),
+            windows.days()
+        );
+        assert_eq!(publisher.cache().windows_ingested(), windows.len());
+        // The final release covers the whole dataset's record count.
+        let last = releases.last().unwrap();
+        assert_eq!(publisher.cache().prefix().record_count(), ds.record_count());
+        assert!(last.published.selection.winner().is_some());
+    }
+}

@@ -102,6 +102,26 @@ impl BoundingBox {
             && self.max.longitude() >= other.min.longitude()
     }
 
+    /// Smallest box covering both boxes.
+    ///
+    /// Exact: the union's corners are plain `min`/`max` folds of the two
+    /// boxes' corners, so unioning per-batch boxes yields bit-identical
+    /// corners to [`BoundingBox::from_points`] over the concatenated
+    /// points — what lets an append-only dataset maintain its bounding
+    /// box incrementally instead of rescanning every point.
+    pub fn union(&self, other: &BoundingBox) -> BoundingBox {
+        BoundingBox {
+            min: GeoPoint::clamped(
+                self.min.latitude().min(other.min.latitude()),
+                self.min.longitude().min(other.min.longitude()),
+            ),
+            max: GeoPoint::clamped(
+                self.max.latitude().max(other.max.latitude()),
+                self.max.longitude().max(other.max.longitude()),
+            ),
+        }
+    }
+
     /// Returns a copy grown by `margin_deg` degrees on every side.
     pub fn expanded(&self, margin_deg: f64) -> BoundingBox {
         BoundingBox {
@@ -139,6 +159,22 @@ mod tests {
 
     fn p(lat: f64, lon: f64) -> GeoPoint {
         GeoPoint::new(lat, lon).unwrap()
+    }
+
+    #[test]
+    fn union_equals_from_points_over_concatenation() {
+        let a = [p(45.1, 4.2), p(45.3, 4.9)];
+        let b = [p(44.9, 4.5), p(45.2, 5.1)];
+        let ab = BoundingBox::from_points(a.iter())
+            .unwrap()
+            .union(&BoundingBox::from_points(b.iter()).unwrap());
+        let batch = BoundingBox::from_points(a.iter().chain(b.iter())).unwrap();
+        assert_eq!(ab, batch);
+        // Union with a contained box is the identity.
+        assert_eq!(
+            batch.union(&BoundingBox::from_points(a.iter()).unwrap()),
+            batch
+        );
     }
 
     #[test]

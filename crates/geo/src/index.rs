@@ -49,7 +49,10 @@ const PRUNE_MARGIN: f64 = 0.75;
 /// back to it.
 const NEAREST_SCAN_THRESHOLD: usize = 64;
 
-/// A spatial hash grid over a fixed set of points.
+/// A spatial hash grid over a set of points, built in one pass
+/// ([`PointIndex::build`]) or grown incrementally
+/// ([`PointIndex::insert`] / [`PointIndex::extend`]) — both construction
+/// orders yield structurally identical indexes.
 ///
 /// # Example
 ///
@@ -147,6 +150,49 @@ impl PointIndex {
 
     fn key(&self, p: &GeoPoint) -> (i32, i32) {
         Self::key_for(&self.anchor, self.cos_lat0, self.cell_m, p)
+    }
+
+    /// Appends one point to the index.
+    ///
+    /// Inserting into an empty index re-anchors the projection on the new
+    /// point — exactly the anchor [`PointIndex::build`] would have chosen —
+    /// so an index grown incrementally from empty is *structurally
+    /// identical* (anchor, bucket keys, bucket order, key bounds) to one
+    /// built from the same points in one pass, and therefore answers every
+    /// query bit-for-bit the same. The same latitude-band margins as
+    /// [`PointIndex::build`] apply (debug-asserted).
+    pub fn insert(&mut self, point: GeoPoint) {
+        if self.points.is_empty() {
+            self.anchor = point;
+            self.cos_lat0 = point.latitude().to_radians().cos();
+        }
+        debug_assert!(
+            Self::within_latitude_band(self.cos_lat0, &point),
+            "inserted latitude extent exceeds the exactness margins (see module docs)"
+        );
+        let key = self.key(&point);
+        self.key_bounds = Some(match self.key_bounds {
+            None => (key.0, key.1, key.0, key.1),
+            Some((min_x, min_y, max_x, max_y)) => (
+                min_x.min(key.0),
+                min_y.min(key.1),
+                max_x.max(key.0),
+                max_y.max(key.1),
+            ),
+        });
+        self.buckets
+            .entry(key)
+            .or_default()
+            .push(self.points.len() as u32);
+        self.points.push(point);
+    }
+
+    /// Appends every point of `points` to the index, in order
+    /// (see [`PointIndex::insert`]).
+    pub fn extend<I: IntoIterator<Item = GeoPoint>>(&mut self, points: I) {
+        for p in points {
+            self.insert(p);
+        }
     }
 
     /// Whether `p` keeps the planar/haversine sandwich inside the margins.
@@ -428,6 +474,49 @@ mod tests {
         let mut hits = Vec::new();
         index.for_each_within(&west, Meters::new(350.0), |i| hits.push(i));
         assert_eq!(hits, vec![0]);
+    }
+
+    #[test]
+    fn incremental_build_is_structurally_identical_to_batch() {
+        let points = scatter(120);
+        let batch = PointIndex::build(points.clone(), Meters::new(350.0)).unwrap();
+        // Grown from empty, one insert at a time.
+        let mut grown = PointIndex::build(Vec::new(), Meters::new(350.0)).unwrap();
+        for p in &points {
+            grown.insert(*p);
+        }
+        // Split build + extend.
+        let mut split = PointIndex::build(points[..40].to_vec(), Meters::new(350.0)).unwrap();
+        split.extend(points[40..].iter().copied());
+        for index in [&grown, &split] {
+            assert_eq!(index.len(), batch.len());
+            assert_eq!(index.points(), batch.points());
+            let q = site().destination(Degrees::new(77.0), Meters::new(444.0));
+            for r in [50.0, 350.0, 5_000.0] {
+                let mut a = Vec::new();
+                batch.for_each_within(&q, Meters::new(r), |i| a.push(i));
+                let mut b = Vec::new();
+                index.for_each_within(&q, Meters::new(r), |i| b.push(i));
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "radius {r}");
+            }
+            assert_eq!(index.nearest_distance(&q), batch.nearest_distance(&q));
+        }
+    }
+
+    #[test]
+    fn insert_into_empty_reanchors_on_first_point() {
+        // An empty index anchors at (0, 0); inserting a mid-latitude point
+        // must re-anchor there (as build() would), or the latitude-band
+        // margins would be violated and bucket geometry would be distorted.
+        let mut index = PointIndex::build(Vec::new(), Meters::new(350.0)).unwrap();
+        index.insert(site());
+        let batch = PointIndex::build(vec![site()], Meters::new(350.0)).unwrap();
+        assert_eq!(index.points(), batch.points());
+        assert!(index.has_within(&site(), Meters::new(1.0)));
+        let near = site().destination(Degrees::new(10.0), Meters::new(100.0));
+        assert_eq!(index.nearest_distance(&near), batch.nearest_distance(&near));
     }
 
     #[test]

@@ -177,3 +177,116 @@ proptest! {
         prop_assert_eq!(found.len(), expected);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// An index grown incrementally (`insert`/`extend`) must answer radius
+    /// and nearest-neighbor queries identically to one built from the same
+    /// points in a single pass — the contract the streaming publisher's
+    /// amended reference index rests on.
+    #[test]
+    fn incremental_point_index_matches_single_pass(
+        points in prop::collection::vec(city_point(), 1..80),
+        queries in prop::collection::vec(city_point(), 1..6),
+        split in 0usize..80,
+        cell in 50.0..2_000.0f64,
+        radius in 10.0..30_000.0f64,
+    ) {
+        let split = split.min(points.len());
+        let batch = geo::PointIndex::build(points.clone(), Meters::new(cell)).unwrap();
+        let mut grown =
+            geo::PointIndex::build(points[..split].to_vec(), Meters::new(cell)).unwrap();
+        grown.extend(points[split..].iter().copied());
+        prop_assert_eq!(grown.points(), batch.points());
+        for q in &queries {
+            let mut a = Vec::new();
+            batch.for_each_within(q, Meters::new(radius), |i| a.push(i));
+            let mut b = Vec::new();
+            grown.for_each_within(q, Meters::new(radius), |i| b.push(i));
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b);
+            prop_assert_eq!(grown.nearest_distance(q), batch.nearest_distance(q));
+        }
+    }
+
+    /// The same parity across the antimeridian: inserted points straddling
+    /// longitude ±180 must bucket adjacently, exactly as a batch build does.
+    #[test]
+    fn incremental_index_handles_antimeridian(
+        east_off in 0.0001..0.01f64,
+        west_off in 0.0001..0.01f64,
+        n in 1usize..20,
+    ) {
+        let points: Vec<GeoPoint> = (0..n)
+            .map(|i| {
+                if i % 2 == 0 {
+                    GeoPoint::new(0.1 * (i as f64), 180.0 - east_off).unwrap()
+                } else {
+                    GeoPoint::new(0.1 * (i as f64), -180.0 + west_off).unwrap()
+                }
+            })
+            .collect();
+        let batch = geo::PointIndex::build(points.clone(), Meters::new(350.0)).unwrap();
+        let mut grown = geo::PointIndex::build(Vec::new(), Meters::new(350.0)).unwrap();
+        grown.extend(points.iter().copied());
+        let west_probe = GeoPoint::new(0.0, -179.999).unwrap();
+        let east_probe = GeoPoint::new(0.0, 179.999).unwrap();
+        for q in [&west_probe, &east_probe] {
+            for r in [500.0, 5_000.0, 100_000.0] {
+                let mut a = Vec::new();
+                batch.for_each_within(q, Meters::new(r), |i| a.push(i));
+                let mut b = Vec::new();
+                grown.for_each_within(q, Meters::new(r), |i| b.push(i));
+                a.sort_unstable();
+                b.sort_unstable();
+                prop_assert_eq!(a, b, "radius {}", r);
+            }
+            prop_assert_eq!(grown.nearest_distance(q), batch.nearest_distance(q));
+        }
+    }
+
+    /// Points landing exactly on grid-cell boundaries (offsets that are
+    /// integer multiples of the cell size from the anchor) keep the
+    /// incremental/batch parity: bucket keys are computed the same way in
+    /// both construction orders, and boundary distances stay inclusive.
+    #[test]
+    fn incremental_index_cell_boundary_parity(
+        cells_x in 0i32..6,
+        cells_y in 0i32..6,
+        cell in 100.0..1_000.0f64,
+    ) {
+        let anchor = GeoPoint::new(45.75, 4.85).unwrap();
+        // March in exact cell-size multiples east and north of the anchor,
+        // so points sit on (or numerically next to) cell boundaries.
+        let east = anchor.destination(
+            geo::Degrees::new(90.0),
+            Meters::new(cell * cells_x as f64),
+        );
+        let boundary = east.destination(
+            geo::Degrees::new(0.0),
+            Meters::new(cell * cells_y as f64),
+        );
+        let points = vec![anchor, east, boundary];
+        let batch = geo::PointIndex::build(points.clone(), Meters::new(cell)).unwrap();
+        let mut grown = geo::PointIndex::build(Vec::new(), Meters::new(cell)).unwrap();
+        for p in &points {
+            grown.insert(*p);
+        }
+        let exact = anchor.haversine_distance(&boundary);
+        for index in [&batch, &grown] {
+            prop_assert!(index.has_within(&anchor, exact), "boundary inclusive");
+        }
+        for q in &points {
+            prop_assert_eq!(grown.nearest_distance(q), batch.nearest_distance(q));
+            let mut a = Vec::new();
+            batch.for_each_within(q, exact, |i| a.push(i));
+            let mut b = Vec::new();
+            grown.for_each_within(q, exact, |i| b.push(i));
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b);
+        }
+    }
+}

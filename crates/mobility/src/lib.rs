@@ -11,7 +11,9 @@
 //!   mechanisms protect;
 //! * [`gen`] — a synthetic city and population generator standing in for the
 //!   proprietary real-life dataset used in the paper (see `DESIGN.md` §2);
-//! * [`io`] — JSON-lines / CSV import & export.
+//! * [`io`] — JSON-lines / CSV import & export;
+//! * [`window`] — day-window partitioning ([`WindowedDataset`]) that replays
+//!   a dataset as a stream of daily deltas for streaming publication.
 //!
 //! # Example
 //!
@@ -39,7 +41,9 @@ pub mod gen;
 pub mod io;
 pub mod poi;
 pub mod staypoint;
+pub mod window;
 
 pub use error::MobilityError;
 pub use record::{Dataset, LocationRecord, Trajectory, UserId};
 pub use time::{Timestamp, DAY_SECONDS, HOUR_SECONDS, MINUTE_SECONDS};
+pub use window::{DatasetWindow, WindowedDataset};

@@ -1,0 +1,285 @@
+//! Day-windowed datasets for streaming publication.
+//!
+//! A continuously running crowd-sensing deployment does not collect one
+//! static dataset — it accumulates records day after day and must publish
+//! *rolling releases*. This module provides the partitioning the streaming
+//! publication pipeline is built on:
+//!
+//! * [`DatasetWindow`] — all records of one day, re-grouped into one
+//!   trajectory per user (users sorted, records time-sorted), so every
+//!   window has a canonical, order-stable shape;
+//! * [`WindowedDataset`] — a dataset partitioned into its day windows,
+//!   iterable as a stream of daily deltas and able to reconstruct any
+//!   *concatenated prefix* (`windows[0..=i]` re-assembled into one
+//!   [`Dataset`]).
+//!
+//! The prefix reconstruction is the correctness anchor of the streaming
+//! publisher: publishing window `i` incrementally must select exactly the
+//! same winner as a batch publish of [`WindowedDataset::prefix`]`(i)`.
+//! Because both the incremental path and the batch path build their input
+//! by concatenating the same windows in the same order, the comparison is
+//! byte-for-byte meaningful.
+
+use crate::record::{Dataset, LocationRecord, Trajectory, UserId};
+use std::collections::BTreeMap;
+
+/// One day of a partitioned dataset: every record whose
+/// [`crate::Timestamp::day_index`] equals [`DatasetWindow::day`], re-grouped
+/// into one time-sorted trajectory per user (users in ascending `UserId`
+/// order).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetWindow {
+    day: i64,
+    dataset: Dataset,
+}
+
+impl DatasetWindow {
+    /// The day index this window covers.
+    pub fn day(&self) -> i64 {
+        self.day
+    }
+
+    /// The window's records as a dataset (one trajectory per user).
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// Users active in this window, sorted.
+    pub fn users(&self) -> Vec<UserId> {
+        self.dataset.users()
+    }
+
+    /// Number of records in this window.
+    pub fn record_count(&self) -> usize {
+        self.dataset.record_count()
+    }
+}
+
+/// A dataset partitioned into day windows, in ascending day order.
+///
+/// # Example
+///
+/// ```
+/// use mobility::gen::{CityModel, PopulationConfig};
+/// use mobility::WindowedDataset;
+///
+/// let city = CityModel::builder().seed(7).build();
+/// let dataset = city.generate_population(&PopulationConfig {
+///     users: 2,
+///     days: 3,
+///     ..PopulationConfig::default()
+/// });
+/// let windowed = WindowedDataset::partition(&dataset);
+/// assert_eq!(windowed.len(), 3);
+/// // Replaying every window reconstructs the full record multiset.
+/// let total: usize = windowed.iter().map(|w| w.record_count()).sum();
+/// assert_eq!(total, dataset.record_count());
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WindowedDataset {
+    windows: Vec<DatasetWindow>,
+}
+
+impl WindowedDataset {
+    /// Partitions `dataset` into day windows.
+    ///
+    /// Records are bucketed by [`crate::Timestamp::day_index`]; within a
+    /// window each user's records form one trajectory, time-sorted with the
+    /// dataset's original iteration order as the tiebreak for equal
+    /// timestamps (the sort is stable). Days with no records produce no
+    /// window, so every window is non-empty.
+    pub fn partition(dataset: &Dataset) -> Self {
+        let mut by_day: BTreeMap<i64, BTreeMap<UserId, Vec<LocationRecord>>> = BTreeMap::new();
+        for record in dataset.iter_records() {
+            by_day
+                .entry(record.time.day_index())
+                .or_default()
+                .entry(record.user)
+                .or_default()
+                .push(*record);
+        }
+        let windows = by_day
+            .into_iter()
+            .map(|(day, users)| DatasetWindow {
+                day,
+                dataset: users
+                    .into_iter()
+                    .map(|(user, records)| Trajectory::new(user, records))
+                    .collect(),
+            })
+            .collect();
+        Self { windows }
+    }
+
+    /// The windows, in ascending day order.
+    pub fn windows(&self) -> &[DatasetWindow] {
+        &self.windows
+    }
+
+    /// Number of (non-empty) day windows.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Whether the partition holds no windows.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// The day indexes covered, ascending.
+    pub fn days(&self) -> Vec<i64> {
+        self.windows.iter().map(DatasetWindow::day).collect()
+    }
+
+    /// Replays the partition as a stream of daily deltas, oldest first —
+    /// the shape a streaming publisher consumes.
+    pub fn iter(&self) -> impl Iterator<Item = &DatasetWindow> {
+        self.windows.iter()
+    }
+
+    /// Reconstructs the concatenated prefix `windows[0..=upto]` as one
+    /// dataset: window trajectories appended in window order.
+    ///
+    /// This is the batch-side twin of incremental publication — a streaming
+    /// publisher that has ingested windows `0..=upto` holds exactly this
+    /// dataset as its accumulated state, so batch-vs-streaming parity tests
+    /// compare like with like. `upto` is clamped to the last window.
+    pub fn prefix(&self, upto: usize) -> Dataset {
+        let mut out = Dataset::new();
+        for window in self.windows.iter().take(upto.saturating_add(1)) {
+            out.extend(window.dataset.trajectories().iter().cloned());
+        }
+        out
+    }
+}
+
+impl<'a> IntoIterator for &'a WindowedDataset {
+    type Item = &'a DatasetWindow;
+    type IntoIter = std::slice::Iter<'a, DatasetWindow>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.windows.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{Timestamp, DAY_SECONDS};
+    use geo::GeoPoint;
+
+    fn rec(user: u64, t: i64, lon: f64) -> LocationRecord {
+        LocationRecord::new(
+            UserId(user),
+            Timestamp::new(t),
+            GeoPoint::new(45.0, lon).unwrap(),
+        )
+    }
+
+    fn multi_day_dataset() -> Dataset {
+        Dataset::from_records(vec![
+            rec(2, 10, 4.0),
+            rec(1, 20, 4.1),
+            rec(1, DAY_SECONDS + 30, 4.2),
+            rec(2, DAY_SECONDS + 40, 4.3),
+            // Day 3 is empty; day 4 has only user 1.
+            rec(1, 4 * DAY_SECONDS + 50, 4.4),
+        ])
+    }
+
+    #[test]
+    fn partition_buckets_by_day_and_skips_empty_days() {
+        let windowed = WindowedDataset::partition(&multi_day_dataset());
+        assert_eq!(windowed.days(), vec![0, 1, 4]);
+        assert_eq!(windowed.len(), 3);
+        assert!(!windowed.is_empty());
+        let w0 = &windowed.windows()[0];
+        assert_eq!(w0.day(), 0);
+        assert_eq!(w0.users(), vec![UserId(1), UserId(2)]);
+        assert_eq!(w0.record_count(), 2);
+        let w4 = &windowed.windows()[2];
+        assert_eq!(w4.users(), vec![UserId(1)]);
+        assert_eq!(w4.record_count(), 1);
+    }
+
+    #[test]
+    fn partition_preserves_the_record_multiset() {
+        let ds = multi_day_dataset();
+        let windowed = WindowedDataset::partition(&ds);
+        let mut original: Vec<LocationRecord> = ds.iter_records().copied().collect();
+        let mut replayed: Vec<LocationRecord> = windowed
+            .iter()
+            .flat_map(|w| w.dataset().iter_records().copied())
+            .collect();
+        let key = |r: &LocationRecord| (r.user, r.time, r.point.latitude().to_bits());
+        original.sort_by_key(key);
+        replayed.sort_by_key(key);
+        assert_eq!(original, replayed);
+    }
+
+    #[test]
+    fn windows_have_stable_per_user_ordering() {
+        let windowed = WindowedDataset::partition(&multi_day_dataset());
+        for window in &windowed {
+            let users: Vec<UserId> = window
+                .dataset()
+                .trajectories()
+                .iter()
+                .map(|t| t.user())
+                .collect();
+            let mut sorted = users.clone();
+            sorted.sort();
+            assert_eq!(users, sorted, "day {}", window.day());
+            for t in window.dataset().trajectories() {
+                assert!(!t.is_empty());
+                assert!(t
+                    .records()
+                    .iter()
+                    .all(|r| r.time.day_index() == window.day()));
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_concatenates_windows_in_order() {
+        let windowed = WindowedDataset::partition(&multi_day_dataset());
+        let p0 = windowed.prefix(0);
+        assert_eq!(p0.record_count(), 2);
+        let p1 = windowed.prefix(1);
+        assert_eq!(p1.record_count(), 4);
+        // Clamped past the end: the full dataset.
+        let full = windowed.prefix(usize::MAX);
+        assert_eq!(full.record_count(), 5);
+        assert_eq!(windowed.prefix(2), full);
+        // Prefix trajectories come in window order, then user order.
+        let owners: Vec<UserId> = p1.trajectories().iter().map(|t| t.user()).collect();
+        assert_eq!(owners, vec![UserId(1), UserId(2), UserId(1), UserId(2)]);
+    }
+
+    #[test]
+    fn prefix_equals_incremental_extension() {
+        // The invariant the streaming publisher's accumulated state relies
+        // on: extending a dataset window-by-window equals prefix().
+        let windowed = WindowedDataset::partition(&multi_day_dataset());
+        let mut accumulated = Dataset::new();
+        for (i, window) in windowed.iter().enumerate() {
+            accumulated.extend(window.dataset().trajectories().iter().cloned());
+            assert_eq!(accumulated, windowed.prefix(i), "prefix {i}");
+        }
+    }
+
+    #[test]
+    fn partition_of_empty_dataset_is_empty() {
+        let windowed = WindowedDataset::partition(&Dataset::new());
+        assert!(windowed.is_empty());
+        assert_eq!(windowed.prefix(0), Dataset::new());
+        assert!(windowed.days().is_empty());
+    }
+
+    #[test]
+    fn negative_days_window_correctly() {
+        let ds = Dataset::from_records(vec![rec(1, -10, 4.0), rec(1, 10, 4.1)]);
+        let windowed = WindowedDataset::partition(&ds);
+        assert_eq!(windowed.days(), vec![-1, 0]);
+    }
+}
