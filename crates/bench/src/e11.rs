@@ -128,6 +128,10 @@ pub struct E11Report {
     pub batch_extractions: usize,
     /// Full-dataset extractions the incremental replay performed.
     pub incremental_extractions: usize,
+    /// Single-user extraction passes the batch replay performed.
+    pub batch_user_extractions: usize,
+    /// Single-user extraction passes the incremental replay performed.
+    pub incremental_user_extractions: usize,
     /// Candidates in the strategy pool.
     pub pool_size: usize,
     /// Sum over windows of users whose cached shard was reused untouched.
@@ -136,6 +140,23 @@ pub struct E11Report {
     pub shard_refreshes: usize,
     /// Windows that widened the bounding box and forced a grid rebuild.
     pub grid_rebuilds: usize,
+    /// Sum over windows and candidates of users whose cached *protected*
+    /// trajectories were reused instead of re-anonymized.
+    pub strategy_users_reused: usize,
+    /// Sum over windows and candidates of users re-anonymized via
+    /// `anonymize_user`.
+    pub strategy_users_refreshed: usize,
+    /// Sum over windows and candidates of protected-side shards reused.
+    pub strategy_shard_reuses: usize,
+    /// Sum over windows and candidates of protected-side shards
+    /// re-extracted via the per-user delta path.
+    pub strategy_shard_refreshes: usize,
+    /// Sum over windows of candidates whose protected bounding box moved
+    /// (full per-user shard refresh for that candidate).
+    pub strategy_grid_rebuilds: usize,
+    /// Sum over windows of candidates that fell back to the full uncached
+    /// path (non-local strategies; zero for the default pool).
+    pub strategy_full_fallbacks: usize,
 }
 
 impl E11Report {
@@ -154,8 +175,12 @@ impl E11Report {
              \"batch_total_ms\": {:.3},\n  \"incremental_total_ms\": {:.3},\n  \
              \"total_speedup\": {:.3},\n  \"batch_last_window_ms\": {:.3},\n  \
              \"incremental_last_window_ms\": {:.3},\n  \"batch_extractions\": {},\n  \
-             \"incremental_extractions\": {},\n  \"pool_size\": {},\n  \
-             \"shard_reuses\": {},\n  \"shard_refreshes\": {},\n  \"grid_rebuilds\": {}\n}}\n",
+             \"incremental_extractions\": {},\n  \"batch_user_extractions\": {},\n  \
+             \"incremental_user_extractions\": {},\n  \"pool_size\": {},\n  \
+             \"shard_reuses\": {},\n  \"shard_refreshes\": {},\n  \"grid_rebuilds\": {},\n  \
+             \"strategy_users_reused\": {},\n  \"strategy_users_refreshed\": {},\n  \
+             \"strategy_shard_reuses\": {},\n  \"strategy_shard_refreshes\": {},\n  \
+             \"strategy_grid_rebuilds\": {},\n  \"strategy_full_fallbacks\": {}\n}}\n",
             self.label,
             self.threads,
             self.users,
@@ -169,10 +194,18 @@ impl E11Report {
             self.incremental_last_window_ms,
             self.batch_extractions,
             self.incremental_extractions,
+            self.batch_user_extractions,
+            self.incremental_user_extractions,
             self.pool_size,
             self.shard_reuses,
             self.shard_refreshes,
             self.grid_rebuilds,
+            self.strategy_users_reused,
+            self.strategy_users_refreshed,
+            self.strategy_shard_reuses,
+            self.strategy_shard_refreshes,
+            self.strategy_grid_rebuilds,
+            self.strategy_full_fallbacks,
         )
     }
 }
@@ -233,16 +266,29 @@ impl fmt::Display for E11Report {
                 &widths
             )
         )?;
-        write!(
+        writeln!(
             f,
-            "extractions: {} batch vs {} incremental (pool {}); \
-             shards: {} reused, {} refreshed, {} grid rebuilds",
+            "extractions: {} batch vs {} incremental full passes, {} vs {} per-user \
+             (pool {}); original shards: {} reused, {} refreshed, {} grid rebuilds",
             self.batch_extractions,
             self.incremental_extractions,
+            self.batch_user_extractions,
+            self.incremental_user_extractions,
             self.pool_size,
             self.shard_reuses,
             self.shard_refreshes,
             self.grid_rebuilds
+        )?;
+        write!(
+            f,
+            "protected side: {} anonymizations reused / {} refreshed, {} shards reused / \
+             {} refreshed, {} protected-grid rebuilds, {} full fallbacks",
+            self.strategy_users_reused,
+            self.strategy_users_refreshed,
+            self.strategy_shard_reuses,
+            self.strategy_shard_refreshes,
+            self.strategy_grid_rebuilds,
+            self.strategy_full_fallbacks
         )
     }
 }
@@ -273,6 +319,7 @@ pub fn run(config: &E11Config) -> E11Report {
         batch_releases.push(release);
     }
     let batch_extractions = batch_api.attack().extractions();
+    let batch_user_extractions = batch_api.attack().user_extractions();
 
     // Incremental model: one streaming session ingesting window deltas.
     let mut publisher = StreamingPublisher::new(*batch_api.config());
@@ -283,6 +330,7 @@ pub fn run(config: &E11Config) -> E11Report {
     let mut shard_reuses = 0;
     let mut shard_refreshes = 0;
     let mut grid_rebuilds = 0;
+    let mut strategy_totals = privapi::streaming::StrategyCacheDelta::default();
     for (i, window) in windows.iter().enumerate() {
         let before = probe.extractions();
         let start = Instant::now();
@@ -296,6 +344,10 @@ pub fn run(config: &E11Config) -> E11Report {
             spent < pool_size + 1,
             "window {i}: {spent} extractions breaks the streaming budget"
         );
+        assert_eq!(
+            spent, release.strategies.full_fallbacks,
+            "window {i}: only non-local candidates may pay a full pass"
+        );
         let batch = &batch_releases[i];
         assert_eq!(
             release.published.selection, batch.selection,
@@ -305,8 +357,15 @@ pub fn run(config: &E11Config) -> E11Report {
         shard_reuses += release.delta.users_reused;
         shard_refreshes += release.delta.users_refreshed;
         grid_rebuilds += usize::from(release.delta.grid_rebuilt);
+        strategy_totals.users_reused += release.strategies.users_reused;
+        strategy_totals.users_refreshed += release.strategies.users_refreshed;
+        strategy_totals.shards_reused += release.strategies.shards_reused;
+        strategy_totals.shards_refreshed += release.strategies.shards_refreshed;
+        strategy_totals.protected_grid_rebuilds += release.strategies.protected_grid_rebuilds;
+        strategy_totals.full_fallbacks += release.strategies.full_fallbacks;
     }
     let incremental_extractions = probe.extractions();
+    let incremental_user_extractions = probe.user_extractions();
 
     E11Report {
         label: config.label.clone(),
@@ -323,10 +382,18 @@ pub fn run(config: &E11Config) -> E11Report {
         incremental_last_window_ms,
         batch_extractions,
         incremental_extractions,
+        batch_user_extractions,
+        incremental_user_extractions,
         pool_size,
         shard_reuses,
         shard_refreshes,
         grid_rebuilds,
+        strategy_users_reused: strategy_totals.users_reused,
+        strategy_users_refreshed: strategy_totals.users_refreshed,
+        strategy_shard_reuses: strategy_totals.shards_reused,
+        strategy_shard_refreshes: strategy_totals.shards_refreshed,
+        strategy_grid_rebuilds: strategy_totals.protected_grid_rebuilds,
+        strategy_full_fallbacks: strategy_totals.full_fallbacks,
     }
 }
 
@@ -338,14 +405,29 @@ mod tests {
     fn smoke_run_upholds_invariants_and_renders() {
         let report = run(&E11Config::smoke());
         assert_eq!(report.windows, 3);
-        // Batch pays pool + 1 per window; incremental pays pool per window.
+        // Batch pays pool + 1 full passes per window; incremental pays
+        // none at all — both caches (original-side session, per-strategy
+        // protected side) route everything through the per-user delta
+        // paths, and the default pool has no non-local candidate.
         assert_eq!(
             report.batch_extractions,
             report.windows * (report.pool_size + 1)
         );
+        assert_eq!(report.incremental_extractions, 0);
+        assert_eq!(report.strategy_full_fallbacks, 0);
+        // Sparse participation means inactive users: both the protected
+        // anonymizations and the per-user extraction totals must come in
+        // under batch.
+        assert!(report.strategy_users_reused > 0, "{report:?}");
+        assert!(
+            report.incremental_user_extractions < report.batch_user_extractions,
+            "per-user work {} must undercut batch {}",
+            report.incremental_user_extractions,
+            report.batch_user_extractions
+        );
         assert_eq!(
-            report.incremental_extractions,
-            report.windows * report.pool_size
+            report.strategy_users_reused + report.strategy_users_refreshed,
+            report.windows * report.pool_size * report.users
         );
         assert!(report.batch_total_ms > 0.0);
         assert!(report.incremental_total_ms > 0.0);
@@ -356,12 +438,18 @@ mod tests {
             "\"incremental_total_ms\"",
             "\"shard_reuses\"",
             "\"grid_rebuilds\"",
+            "\"batch_user_extractions\"",
+            "\"incremental_user_extractions\"",
+            "\"strategy_users_reused\"",
+            "\"strategy_shard_reuses\"",
+            "\"strategy_full_fallbacks\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
         let text = report.to_string();
         assert!(text.contains("all windows"));
         assert!(text.contains("extractions:"));
+        assert!(text.contains("protected side:"));
     }
 
     #[test]

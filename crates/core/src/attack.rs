@@ -269,6 +269,12 @@ pub struct PoiAttack {
     /// extraction budgets — e.g. exactly one original-side extraction per
     /// publish — end to end.
     extractions: Arc<AtomicUsize>,
+    /// Counts single-user extraction passes ([`PoiAttack::extract_user`]),
+    /// whether issued directly (the streaming delta paths) or as part of a
+    /// full-dataset pass. Shared across clones like `extractions`, so
+    /// callers can assert the *per-user* work a window actually performed
+    /// — the unit the per-strategy shard caches save.
+    user_extractions: Arc<AtomicUsize>,
 }
 
 impl PoiAttack {
@@ -277,6 +283,7 @@ impl PoiAttack {
         Self {
             config,
             extractions: Arc::new(AtomicUsize::new(0)),
+            user_extractions: Arc::new(AtomicUsize::new(0)),
         }
     }
 
@@ -290,6 +297,15 @@ impl PoiAttack {
     /// not counted — only whole-dataset passes.
     pub fn extractions(&self) -> usize {
         self.extractions.load(Ordering::Relaxed)
+    }
+
+    /// How many single-user extraction passes this attack (and every clone
+    /// of it) has performed — a full-dataset pass over `n` users counts
+    /// `n`. This is the probe behind the per-strategy cache counting
+    /// tests: on a sparse window the delta paths keep it proportional to
+    /// the *changed* users instead of `users × (pool + 1)`.
+    pub fn user_extractions(&self) -> usize {
+        self.user_extractions.load(Ordering::Relaxed)
     }
 
     /// The dataset-wide density grid every per-user extraction shares, or
@@ -321,6 +337,7 @@ impl PoiAttack {
         user: UserId,
         grid: &UniformGrid,
     ) -> UserAttackShard {
+        self.user_extractions.fetch_add(1, Ordering::Relaxed);
         let dwell = self.dwell_field(dataset, user, grid);
         let threshold_s = self.poi_threshold(&dwell);
         let mut pois = self.extract_density_pois(&dwell, grid, threshold_s);

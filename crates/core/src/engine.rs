@@ -34,6 +34,7 @@ use crate::error::PrivapiError;
 use crate::metrics::{spatial_distortion, CrowdedBaseline, TrafficBaseline};
 use crate::pool::StrategyPool;
 use crate::selection::{CandidateResult, Objective, SelectionReport};
+use crate::streaming::{CandidateDelta, CandidateState, StrategySessionCache, WindowUpdate};
 use mobility::Dataset;
 use rayon::prelude::*;
 use std::borrow::Cow;
@@ -360,14 +361,26 @@ impl EvaluationEngine {
     }
 
     /// Evaluates every candidate of `pool` against a caller-prepared
-    /// [`EvalContext`] and returns the winner's release artifacts.
+    /// [`EvalContext`] with **both** streaming caches warm, and returns
+    /// the winner's release artifacts.
     ///
-    /// This is the streaming publish path: the context carries cached
-    /// original-side extraction state ([`EvalContext::from_cache`]) that a
-    /// session cache amends across day windows, so no extraction happens
-    /// here at all. The report is identical to what
+    /// This is the streaming publish path. The context carries cached
+    /// *original-side* extraction state ([`EvalContext::from_cache`]) that
+    /// a session cache amends across day windows, so no original-side
+    /// extraction happens here at all. `strategies` carries the
+    /// *protected-side* per-candidate caches: each candidate is refreshed
+    /// per its declared [`crate::strategy::UserLocality`] — only the
+    /// `update`-listed changed users are re-anonymized and re-extracted
+    /// for local candidates, while non-local candidates fall back to the
+    /// full anonymize + self-attack. The winner's release dataset is
+    /// re-assembled from its cache by pure clones instead of re-running
+    /// its strategy over the whole prefix.
+    ///
+    /// The report is identical to what
     /// [`EvaluationEngine::evaluate_release_extracting`] would produce on
     /// the same dataset — verified by the streaming parity property tests.
+    /// The per-candidate audit of what was reused lands in
+    /// [`StrategySessionCache::last_deltas`].
     ///
     /// # Errors
     ///
@@ -377,9 +390,94 @@ impl EvaluationEngine {
         &self,
         pool: &StrategyPool,
         context: &EvalContext<'_>,
+        strategies: &mut StrategySessionCache,
+        update: &WindowUpdate,
     ) -> Result<(SelectionReport, Option<WinnerRelease>), PrivapiError> {
         Self::check_nonempty(pool, context.original())?;
-        Ok(self.release_from_context(pool, context))
+        strategies.align(pool, self.seed, &self.attack);
+        let candidates: Vec<&dyn crate::strategy::AnonymizationStrategy> =
+            pool.iter().collect();
+        let mut work: Vec<(usize, &mut CandidateState)> =
+            strategies.states.iter_mut().enumerate().collect();
+        let eval = |slot: &mut (usize, &mut CandidateState)| {
+            let (index, state) = slot;
+            self.evaluate_candidate_cached(candidates[*index], state, context, update)
+        };
+        let scored: Vec<(CandidateResult, PoiAttackReport, CandidateDelta)> = match self.mode {
+            ExecutionMode::Sequential => work.iter_mut().map(eval).collect(),
+            ExecutionMode::Parallel => work.par_iter_mut().map(eval).collect(),
+        };
+        let mut results = Vec::with_capacity(scored.len());
+        let mut privacy_reports = Vec::with_capacity(scored.len());
+        let mut deltas = Vec::with_capacity(scored.len());
+        for (result, privacy, delta) in scored {
+            results.push(result);
+            privacy_reports.push(privacy);
+            deltas.push(delta);
+        }
+        strategies.last_deltas = deltas;
+        let chosen = choose_winner(&results);
+        let report = SelectionReport {
+            candidates: results,
+            chosen,
+            privacy_floor: self.privacy_floor,
+            objective: self.objective,
+        };
+        let winner = report.chosen.map(|index| WinnerRelease {
+            index,
+            // Cached candidates re-materialize the release by cloning their
+            // per-user protected trajectories; only an uncached (non-local
+            // or fallback) winner re-runs its strategy over the prefix.
+            dataset: strategies.states[index]
+                .assembled_release(context.original())
+                .unwrap_or_else(|| {
+                    pool.get(index)
+                        .expect("chosen index in pool")
+                        .anonymize(context.original(), self.seed)
+                }),
+            privacy: privacy_reports[index].clone(),
+        });
+        Ok((report, winner))
+    }
+
+    /// One candidate of the cached streaming sweep: refresh its
+    /// protected-side cache per the declared locality, then score privacy
+    /// from the cached shards and utility from the assembled protected
+    /// prefix. Falls back to the full [`EvaluationEngine::evaluate_candidate`]
+    /// path when the candidate cannot be cached.
+    fn evaluate_candidate_cached(
+        &self,
+        strategy: &dyn crate::strategy::AnonymizationStrategy,
+        state: &mut CandidateState,
+        context: &EvalContext<'_>,
+        update: &WindowUpdate,
+    ) -> (CandidateResult, PoiAttackReport, CandidateDelta) {
+        let (cached, delta) = state.refresh(
+            strategy,
+            &self.attack,
+            context.original(),
+            update,
+            self.seed,
+        );
+        match cached {
+            Some((protected, extracted)) => {
+                let privacy = self
+                    .attack
+                    .match_extracted(&extracted, context.reference_index());
+                let utility = context.utility_of(&protected);
+                let result = CandidateResult {
+                    info: strategy.info(),
+                    poi_recall: privacy.recall,
+                    utility,
+                    feasible: privacy.recall <= self.privacy_floor,
+                };
+                (result, privacy, delta)
+            }
+            None => {
+                let (result, privacy) = self.evaluate_candidate(strategy, context);
+                (result, privacy, delta)
+            }
+        }
     }
 
     /// Shared guard for the public entry points.

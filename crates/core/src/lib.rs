@@ -30,8 +30,12 @@
 //! * [`pipeline`] — the [`pipeline::PrivApi`] middleware facade a platform
 //!   (e.g. APISENSE) plugs in before releasing datasets;
 //! * [`streaming`] — day-windowed incremental publication
-//!   ([`streaming::StreamingPublisher`]) reusing per-user attack shards and
-//!   the reference index across releases.
+//!   ([`streaming::StreamingPublisher`]): the original-side
+//!   [`streaming::SessionCache`] reuses per-user attack shards and the
+//!   reference index across releases, and the per-candidate
+//!   [`streaming::StrategySessionCache`] extends the same reuse to every
+//!   pooled strategy's protected data and self-attack shards, per the
+//!   [`strategy::UserLocality`] contract each strategy declares.
 //!
 //! # Example
 //!
@@ -94,8 +98,9 @@ pub mod prelude {
         GaussianPerturbation, GeoIndistinguishability, Identity, SpatialCloaking,
         SpeedSmoothing, TemporalDownsampling,
     };
-    pub use crate::strategy::{AnonymizationStrategy, StrategyInfo};
+    pub use crate::strategy::{AnonymizationStrategy, StrategyInfo, UserLocality};
     pub use crate::streaming::{
-        PublishedWindow, SessionCache, StreamingPublisher, WindowDelta,
+        CandidateDelta, PublishedWindow, SessionCache, StrategyCacheDelta,
+        StrategySessionCache, StreamingPublisher, WindowDelta, WindowUpdate,
     };
 }

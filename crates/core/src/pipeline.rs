@@ -17,7 +17,7 @@ use crate::error::PrivapiError;
 use crate::pool::StrategyPool;
 use crate::selection::{Objective, SelectionReport};
 use crate::strategy::StrategyInfo;
-use crate::streaming::{PublishedWindow, SessionCache};
+use crate::streaming::{PublishedWindow, SessionCache, WindowUpdate};
 use geo::Meters;
 use mobility::{Dataset, DatasetWindow};
 
@@ -127,6 +127,22 @@ impl PrivApi {
     /// the engine's evaluation context — enforced by a counting test, not
     /// just by construction.
     ///
+    /// # Example
+    ///
+    /// ```
+    /// use mobility::gen::{CityModel, PopulationConfig};
+    /// use privapi::prelude::*;
+    ///
+    /// let data = CityModel::builder().seed(9).build().generate_population(
+    ///     &PopulationConfig { users: 3, days: 2, ..PopulationConfig::default() },
+    /// );
+    /// let privapi = PrivApi::default();
+    /// let release = privapi.publish(&data).unwrap();
+    /// assert!(release.privacy.recall <= privapi.config().privacy_floor + 1e-9);
+    /// assert_eq!(release.dataset.user_count(), data.user_count());
+    /// println!("released under {}", release.strategy);
+    /// ```
+    ///
     /// # Errors
     ///
     /// * [`PrivapiError::EmptyDataset`] for an empty input;
@@ -149,13 +165,20 @@ impl PrivApi {
     /// is folded into `cache` (per-user shard reuse, amended reference
     /// index — see [`SessionCache::advance`]) and the release is selected
     /// over the full accumulated prefix with **zero** original-side
-    /// extraction passes.
+    /// extraction passes; the per-candidate self-attacks then run against
+    /// the session's per-strategy protected-side caches
+    /// ([`crate::streaming::StrategySessionCache`]), re-anonymizing and
+    /// re-extracting only the users the window changed for every candidate
+    /// whose [`crate::strategy::UserLocality`] permits it.
     ///
     /// The release is byte-identical to [`PrivApi::publish`] over the same
     /// prefix — only cheaper: the original's POI exposure is amended from
-    /// the session state instead of re-extracted, so the
-    /// [`PoiAttack::extractions`] probe stays strictly below the batch
-    /// budget of `pool + 1` on every window.
+    /// the session state instead of re-extracted, and cached candidates
+    /// skip their full protected-side extraction, so the
+    /// [`PoiAttack::extractions`] probe counts only the non-local
+    /// candidates per window (zero for the default pool) against the batch
+    /// budget of `pool + 1`, and [`PoiAttack::user_extractions`] scales
+    /// with the *changed* users instead of the population.
     ///
     /// Use [`crate::streaming::StreamingPublisher`] when one session owns
     /// both the middleware and the cache; this lower-level entry point
@@ -168,6 +191,28 @@ impl PrivApi {
     /// re-sending the same window is rejected as a non-ascending day by
     /// [`SessionCache::advance`], so a retry loop can never silently
     /// double-ingest a day and corrupt the batch-parity invariant.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mobility::gen::{CityModel, PopulationConfig};
+    /// use mobility::WindowedDataset;
+    /// use privapi::prelude::*;
+    ///
+    /// let data = CityModel::builder().seed(5).build().generate_population(
+    ///     &PopulationConfig { users: 3, days: 2, ..PopulationConfig::default() },
+    /// );
+    /// let windows = WindowedDataset::partition(&data);
+    /// let privapi = PrivApi::default();
+    /// let mut session = SessionCache::new();
+    /// for window in &windows {
+    ///     let release = privapi.publish_window(&mut session, window).unwrap();
+    ///     assert_eq!(release.day, window.day());
+    /// }
+    /// // No full extraction pass ran: the original side and every pooled
+    /// // candidate's self-attack went through the per-user cache deltas.
+    /// assert_eq!(privapi.attack().extractions(), 0);
+    /// ```
     ///
     /// # Errors
     ///
@@ -185,17 +230,26 @@ impl PrivApi {
         if window.record_count() == 0 {
             return Err(PrivapiError::EmptyDataset);
         }
+        let update = WindowUpdate {
+            changed_users: window.users(),
+            grid_rebuilt: false,
+        };
         let delta = cache.advance(&self.attack, window)?;
+        let update = WindowUpdate {
+            grid_rebuilt: delta.grid_rebuilt,
+            ..update
+        };
         let engine = self.engine();
+        let (prefix, reference, index, strategies) = cache.split_for_evaluation();
         let context = EvalContext::from_cache(
-            cache.prefix(),
-            cache.reference(),
-            cache
-                .reference_index()
-                .expect("non-empty window was just ingested"),
+            prefix,
+            reference,
+            index.expect("non-empty window was just ingested"),
             self.config.objective,
         );
-        let (selection, winner) = engine.evaluate_release_with(&self.pool, &context)?;
+        let (selection, winner) =
+            engine.evaluate_release_with(&self.pool, &context, strategies, &update)?;
+        let strategy_delta = strategies.last_window();
         let Some(winner) = winner else {
             return Err(selection.no_feasible_error());
         };
@@ -203,6 +257,7 @@ impl PrivApi {
         Ok(PublishedWindow {
             day: window.day(),
             delta,
+            strategies: strategy_delta,
             published,
         })
     }

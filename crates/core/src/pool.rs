@@ -47,6 +47,19 @@ impl StrategyPool {
     /// release should never be a no-op).
     ///
     /// This is the pool [`crate::pipeline::PrivApi`] searches on `publish`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use privapi::pool::StrategyPool;
+    ///
+    /// let pool = StrategyPool::default_pool();
+    /// assert!(!pool.is_empty());
+    /// // Candidate order is stable: reports index into it.
+    /// let names: Vec<String> = pool.infos().iter().map(|i| i.name.clone()).collect();
+    /// assert!(names.contains(&"speed-smoothing".to_string()));
+    /// assert!(!names.contains(&"identity".to_string()));
+    /// ```
     pub fn default_pool() -> Self {
         Self::new()
             .with_speed_smoothing(&[50.0, 100.0, 200.0])

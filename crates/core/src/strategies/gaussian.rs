@@ -1,10 +1,10 @@
 //! Independent Gaussian perturbation — the naive noise baseline.
 
 use crate::error::PrivapiError;
-use crate::strategies::trajectory_rng;
-use crate::strategy::{AnonymizationStrategy, StrategyInfo};
+use crate::strategies::{map_user_trajectories, perturb_trajectory};
+use crate::strategy::{AnonymizationStrategy, StrategyInfo, UserLocality};
 use geo::{GeoPoint, Meters};
-use mobility::{Dataset, LocationRecord, Trajectory};
+use mobility::{Dataset, Trajectory, UserId};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -65,18 +65,19 @@ impl AnonymizationStrategy for GaussianPerturbation {
     }
 
     fn anonymize(&self, dataset: &Dataset, seed: u64) -> Dataset {
-        dataset.map_trajectories(|t| {
-            let mut rng = trajectory_rng(
-                seed,
-                t.user().0,
-                t.start_time().map(|ts| ts.seconds()).unwrap_or(0),
-            );
-            let records: Vec<LocationRecord> = t
-                .records()
-                .iter()
-                .map(|r| LocationRecord::new(r.user, r.time, self.perturb(&r.point, &mut rng)))
-                .collect();
-            Trajectory::new(t.user(), records)
+        dataset.map_trajectories(|t| perturb_trajectory(t, seed, |p, rng| self.perturb(p, rng)))
+    }
+
+    /// Noise is drawn from a per-trajectory RNG keyed by `(seed, user,
+    /// start time)`, so user `u`'s output is a function of `u`'s own
+    /// records alone.
+    fn locality(&self) -> UserLocality {
+        UserLocality::UserLocal
+    }
+
+    fn anonymize_user(&self, dataset: &Dataset, user: UserId, seed: u64) -> Vec<Trajectory> {
+        map_user_trajectories(dataset, user, |t| {
+            perturb_trajectory(t, seed, |p, rng| self.perturb(p, rng))
         })
     }
 }
@@ -84,7 +85,7 @@ impl AnonymizationStrategy for GaussianPerturbation {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mobility::{Timestamp, UserId};
+    use mobility::{LocationRecord, Timestamp, UserId};
     use rand::SeedableRng;
 
     #[test]

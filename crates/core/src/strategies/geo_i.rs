@@ -10,10 +10,10 @@
 //! inverting the Gamma(2, ε) CDF via the Lambert W₋₁ function.
 
 use crate::error::PrivapiError;
-use crate::strategies::trajectory_rng;
-use crate::strategy::{AnonymizationStrategy, StrategyInfo};
+use crate::strategies::{map_user_trajectories, perturb_trajectory};
+use crate::strategy::{AnonymizationStrategy, StrategyInfo, UserLocality};
 use geo::{Degrees, GeoPoint, Meters};
-use mobility::{Dataset, LocationRecord, Trajectory};
+use mobility::{Dataset, Trajectory, UserId};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -123,18 +123,21 @@ impl AnonymizationStrategy for GeoIndistinguishability {
     }
 
     fn anonymize(&self, dataset: &Dataset, seed: u64) -> Dataset {
-        dataset.map_trajectories(|t| {
-            let mut rng = trajectory_rng(
-                seed,
-                t.user().0,
-                t.start_time().map(|ts| ts.seconds()).unwrap_or(0),
-            );
-            let records: Vec<LocationRecord> = t
-                .records()
-                .iter()
-                .map(|r| LocationRecord::new(r.user, r.time, self.perturb(&r.point, &mut rng)))
-                .collect();
-            Trajectory::new(t.user(), records)
+        dataset.map_trajectories(|t| perturb_trajectory(t, seed, |p, rng| self.perturb(p, rng)))
+    }
+
+    /// The planar Laplace noise is drawn from a per-trajectory RNG keyed
+    /// by `(seed, user, start time)` — **not** from one dataset-wide
+    /// stream — so user `u`'s output is a function of `u`'s own records
+    /// alone. An implementation sharing a single RNG across users would
+    /// have to declare [`UserLocality::NonLocal`] instead.
+    fn locality(&self) -> UserLocality {
+        UserLocality::UserLocal
+    }
+
+    fn anonymize_user(&self, dataset: &Dataset, user: UserId, seed: u64) -> Vec<Trajectory> {
+        map_user_trajectories(dataset, user, |t| {
+            perturb_trajectory(t, seed, |p, rng| self.perturb(p, rng))
         })
     }
 }
@@ -142,7 +145,7 @@ impl AnonymizationStrategy for GeoIndistinguishability {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mobility::{Timestamp, UserId};
+    use mobility::{LocationRecord, Timestamp, UserId};
     use rand::SeedableRng;
 
     fn rng() -> StdRng {

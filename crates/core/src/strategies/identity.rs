@@ -1,7 +1,8 @@
 //! The identity (no protection) control strategy.
 
-use crate::strategy::{AnonymizationStrategy, StrategyInfo};
-use mobility::Dataset;
+use crate::strategies::map_user_trajectories;
+use crate::strategy::{AnonymizationStrategy, StrategyInfo, UserLocality};
+use mobility::{Dataset, Trajectory, UserId};
 
 /// Publishes the dataset unchanged. Used as the utility upper bound and the
 /// privacy lower bound in every experiment.
@@ -25,6 +26,15 @@ impl AnonymizationStrategy for Identity {
 
     fn anonymize(&self, dataset: &Dataset, _seed: u64) -> Dataset {
         dataset.clone()
+    }
+
+    /// The no-op trivially depends on nothing but the user's own records.
+    fn locality(&self) -> UserLocality {
+        UserLocality::UserLocal
+    }
+
+    fn anonymize_user(&self, dataset: &Dataset, user: UserId, _seed: u64) -> Vec<Trajectory> {
+        map_user_trajectories(dataset, user, Trajectory::clone)
     }
 }
 

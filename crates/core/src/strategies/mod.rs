@@ -24,17 +24,63 @@ pub use smoothing::SpeedSmoothing;
 pub use spatial_cloaking::SpatialCloaking;
 pub use temporal::TemporalDownsampling;
 
+use geo::GeoPoint;
+use mobility::{Dataset, LocationRecord, Trajectory, UserId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// Derives a per-trajectory RNG from the run seed, the user id and the
 /// trajectory's start time, so each trajectory's randomness is independent
 /// yet fully reproducible.
+///
+/// This derivation is what lets the randomized mechanisms declare
+/// [`crate::strategy::UserLocality::UserLocal`]: user `u`'s noise depends
+/// only on `u`'s own trajectories and the seed, never on how many other
+/// users (or records) the dataset holds — so the streaming per-strategy
+/// cache can re-anonymize one user without touching the rest.
 pub(crate) fn trajectory_rng(seed: u64, user: u64, start_s: i64) -> StdRng {
     let mix = seed
         ^ user.wrapping_mul(0x9E37_79B9_7F4A_7C15)
         ^ (start_s as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93);
     StdRng::seed_from_u64(mix)
+}
+
+/// Maps `user`'s trajectories (in dataset order) through `f` — the shared
+/// body of the per-trajectory strategies' `anonymize_user` overrides, kept
+/// in one place so the filter semantics the locality contract depends on
+/// cannot drift between mechanisms.
+pub(crate) fn map_user_trajectories<F>(dataset: &Dataset, user: UserId, f: F) -> Vec<Trajectory>
+where
+    F: FnMut(&Trajectory) -> Trajectory,
+{
+    dataset
+        .trajectories()
+        .iter()
+        .filter(|t| t.user() == user)
+        .map(f)
+        .collect()
+}
+
+/// Rewrites one trajectory's points through `perturb`, drawing randomness
+/// from the per-trajectory [`trajectory_rng`] stream — the unit both noise
+/// mechanisms (gaussian, geo-I) build their full and per-user paths from,
+/// and the reason they can declare
+/// [`crate::strategy::UserLocality::UserLocal`].
+pub(crate) fn perturb_trajectory<F>(t: &Trajectory, seed: u64, mut perturb: F) -> Trajectory
+where
+    F: FnMut(&GeoPoint, &mut StdRng) -> GeoPoint,
+{
+    let mut rng = trajectory_rng(
+        seed,
+        t.user().0,
+        t.start_time().map(|ts| ts.seconds()).unwrap_or(0),
+    );
+    let records: Vec<LocationRecord> = t
+        .records()
+        .iter()
+        .map(|r| LocationRecord::new(r.user, r.time, perturb(&r.point, &mut rng)))
+        .collect();
+    Trajectory::new(t.user(), records)
 }
 
 #[cfg(test)]

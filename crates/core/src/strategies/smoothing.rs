@@ -31,9 +31,10 @@
 //! so step 1 can separate jitter from real movement.
 
 use crate::error::PrivapiError;
-use crate::strategy::{AnonymizationStrategy, StrategyInfo};
+use crate::strategies::map_user_trajectories;
+use crate::strategy::{AnonymizationStrategy, StrategyInfo, UserLocality};
 use geo::Meters;
-use mobility::{Dataset, LocationRecord, Timestamp, Trajectory};
+use mobility::{Dataset, LocationRecord, Timestamp, Trajectory, UserId};
 
 /// The speed-smoothing (Promesse) strategy.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -188,6 +189,16 @@ impl AnonymizationStrategy for SpeedSmoothing {
     fn anonymize(&self, dataset: &Dataset, _seed: u64) -> Dataset {
         // Deterministic: no randomness involved.
         dataset.map_trajectories(|t| self.smooth_trajectory(t))
+    }
+
+    /// Smoothing is deterministic per trajectory (no randomness, no grid):
+    /// user `u`'s output depends only on `u`'s own records.
+    fn locality(&self) -> UserLocality {
+        UserLocality::UserLocal
+    }
+
+    fn anonymize_user(&self, dataset: &Dataset, user: UserId, _seed: u64) -> Vec<Trajectory> {
+        map_user_trajectories(dataset, user, |t| self.smooth_trajectory(t))
     }
 }
 

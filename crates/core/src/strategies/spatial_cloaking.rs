@@ -5,9 +5,10 @@
 //! for the utility-driven selector.
 
 use crate::error::PrivapiError;
-use crate::strategy::{AnonymizationStrategy, StrategyInfo};
+use crate::strategies::map_user_trajectories;
+use crate::strategy::{AnonymizationStrategy, StrategyInfo, UserLocality};
 use geo::{BoundingBox, Meters, UniformGrid};
-use mobility::{Dataset, LocationRecord, Trajectory};
+use mobility::{Dataset, LocationRecord, Trajectory, UserId};
 
 /// Grid-cloaking strategy with a configurable cell size.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -35,6 +36,29 @@ impl SpatialCloaking {
     pub fn cell_size(&self) -> Meters {
         self.cell_size
     }
+
+    /// The dataset-wide tessellation every trajectory is snapped to, or
+    /// `None` when the dataset cannot anchor one (empty, or a degenerate
+    /// box the grid constructor rejects) — in which case cloaking is a
+    /// no-op.
+    fn cloaking_grid(&self, dataset: &Dataset) -> Option<UniformGrid> {
+        let bbox = grow_degenerate(dataset.bounding_box()?);
+        UniformGrid::new(bbox, self.cell_size).ok()
+    }
+
+    /// Snaps one trajectory to the shared grid — the unit both the full
+    /// and the per-user anonymization paths are built from.
+    fn cloak_trajectory(&self, t: &Trajectory, grid: &UniformGrid) -> Trajectory {
+        let records: Vec<LocationRecord> = t
+            .records()
+            .iter()
+            .map(|r| {
+                let cell = grid.cell_of(&r.point);
+                LocationRecord::new(r.user, r.time, grid.cell_center(&cell))
+            })
+            .collect();
+        Trajectory::new(t.user(), records)
+    }
 }
 
 impl AnonymizationStrategy for SpatialCloaking {
@@ -48,24 +72,25 @@ impl AnonymizationStrategy for SpatialCloaking {
     fn anonymize(&self, dataset: &Dataset, _seed: u64) -> Dataset {
         // Global knowledge: the grid is anchored on the dataset's own
         // bounding box so the whole release shares one tessellation.
-        let Some(bbox) = dataset.bounding_box() else {
+        let Some(grid) = self.cloaking_grid(dataset) else {
             return dataset.clone();
         };
-        let bbox = grow_degenerate(bbox);
-        let grid = match UniformGrid::new(bbox, self.cell_size) {
-            Ok(g) => g,
-            Err(_) => return dataset.clone(),
-        };
-        dataset.map_trajectories(|t| {
-            let records: Vec<LocationRecord> = t
-                .records()
-                .iter()
-                .map(|r| {
-                    let cell = grid.cell_of(&r.point);
-                    LocationRecord::new(r.user, r.time, grid.cell_center(&cell))
-                })
-                .collect();
-            Trajectory::new(t.user(), records)
+        dataset.map_trajectories(|t| self.cloak_trajectory(t, &grid))
+    }
+
+    /// Snapping is per record, but the grid it snaps to is anchored on the
+    /// **dataset** bounding box: user `u`'s output depends on `u`'s records
+    /// plus that box. A window that widens the box shifts every cell
+    /// boundary and invalidates every user's cached output.
+    fn locality(&self) -> UserLocality {
+        UserLocality::GridAnchored
+    }
+
+    fn anonymize_user(&self, dataset: &Dataset, user: UserId, _seed: u64) -> Vec<Trajectory> {
+        let grid = self.cloaking_grid(dataset);
+        map_user_trajectories(dataset, user, |t| match &grid {
+            Some(grid) => self.cloak_trajectory(t, grid),
+            None => t.clone(),
         })
     }
 }

@@ -1,8 +1,9 @@
 //! Temporal downsampling: publish at most one fix per time window.
 
 use crate::error::PrivapiError;
-use crate::strategy::{AnonymizationStrategy, StrategyInfo};
-use mobility::{Dataset, LocationRecord, Trajectory};
+use crate::strategies::map_user_trajectories;
+use crate::strategy::{AnonymizationStrategy, StrategyInfo, UserLocality};
+use mobility::{Dataset, LocationRecord, Trajectory, UserId};
 
 /// Keeps at most one record per `window_s`-second window per trajectory.
 ///
@@ -33,6 +34,19 @@ impl TemporalDownsampling {
     pub fn window_s(&self) -> i64 {
         self.window_s
     }
+
+    /// Thins one trajectory — the unit both the full and the per-user
+    /// anonymization paths are built from.
+    fn thin_trajectory(&self, t: &Trajectory) -> Trajectory {
+        let mut kept: Vec<LocationRecord> = Vec::new();
+        for r in t.records() {
+            match kept.last() {
+                Some(last) if r.time - last.time < self.window_s => {}
+                _ => kept.push(*r),
+            }
+        }
+        Trajectory::new(t.user(), kept)
+    }
 }
 
 impl AnonymizationStrategy for TemporalDownsampling {
@@ -44,16 +58,17 @@ impl AnonymizationStrategy for TemporalDownsampling {
     }
 
     fn anonymize(&self, dataset: &Dataset, _seed: u64) -> Dataset {
-        dataset.map_trajectories(|t| {
-            let mut kept: Vec<LocationRecord> = Vec::new();
-            for r in t.records() {
-                match kept.last() {
-                    Some(last) if r.time - last.time < self.window_s => {}
-                    _ => kept.push(*r),
-                }
-            }
-            Trajectory::new(t.user(), kept)
-        })
+        dataset.map_trajectories(|t| self.thin_trajectory(t))
+    }
+
+    /// Thinning is deterministic per trajectory: user `u`'s output depends
+    /// only on `u`'s own records.
+    fn locality(&self) -> UserLocality {
+        UserLocality::UserLocal
+    }
+
+    fn anonymize_user(&self, dataset: &Dataset, user: UserId, _seed: u64) -> Vec<Trajectory> {
+        map_user_trajectories(dataset, user, |t| self.thin_trajectory(t))
     }
 }
 

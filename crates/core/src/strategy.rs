@@ -6,9 +6,49 @@
 //! (paper, §3). Every mechanism implements [`AnonymizationStrategy`]; the
 //! [`crate::selection`] module searches over boxed strategies.
 
-use mobility::Dataset;
+use mobility::{Dataset, Trajectory, UserId};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// How much of the dataset one user's protected output depends on — the
+/// determinism contract behind per-user incremental re-anonymization.
+///
+/// A streaming deployment re-publishes a growing prefix every day. Whether
+/// yesterday's protected output (and the self-attack shards derived from
+/// it) can be reused for a user who contributed no new records depends on
+/// what [`AnonymizationStrategy::anonymize`] actually reads, so every
+/// strategy *declares* it here and the per-strategy session cache
+/// ([`crate::streaming::StrategySessionCache`]) turns the declaration into
+/// an invalidation rule:
+///
+/// * [`UserLocality::UserLocal`] — user `u`'s output trajectories depend
+///   only on `u`'s own records and the run seed. Unchanged users keep
+///   their cached protected trajectories across windows. Randomized
+///   mechanisms qualify only when their randomness is derived per
+///   user/trajectory (as the strategies' shared `trajectory_rng` seed
+///   derivation does) — a
+///   mechanism drawing from one dataset-wide RNG stream would couple users
+///   through record ordering and must declare [`UserLocality::NonLocal`].
+/// * [`UserLocality::GridAnchored`] — like `UserLocal`, plus the dataset's
+///   bounding box (the strategy anchors a grid/tessellation on it, e.g.
+///   [`crate::strategies::SpatialCloaking`]). A window that widens the
+///   prefix bounding box shifts every cell and invalidates **every**
+///   user's cached output for this strategy; otherwise only changed users
+///   are re-anonymized.
+/// * [`UserLocality::NonLocal`] — the output may depend on anything in the
+///   dataset. Nothing is cached: every window re-runs the full
+///   [`AnonymizationStrategy::anonymize`] and a full protected-side
+///   extraction. This is the safe default for external implementations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UserLocality {
+    /// Output for user `u` is a function of (`u`'s records, seed) only.
+    UserLocal,
+    /// Output for user `u` is a function of (`u`'s records, seed, dataset
+    /// bounding box) only.
+    GridAnchored,
+    /// Output may depend on the whole dataset (the conservative default).
+    NonLocal,
+}
 
 /// Identity card of a strategy instance: mechanism name plus the parameter
 /// setting, used in reports and tables.
@@ -47,6 +87,44 @@ pub trait AnonymizationStrategy: Send + Sync {
     /// knowledge of the whole system" (paper, §3) — though most mechanisms
     /// rewrite trajectories independently.
     fn anonymize(&self, dataset: &Dataset, seed: u64) -> Dataset;
+
+    /// The declared determinism scope of per-user output — see
+    /// [`UserLocality`]. Defaults to the conservative
+    /// [`UserLocality::NonLocal`] (no per-user reuse).
+    fn locality(&self) -> UserLocality {
+        UserLocality::NonLocal
+    }
+
+    /// The per-user incremental surface: protected trajectories of `user`,
+    /// equal to filtering [`AnonymizationStrategy::anonymize`]'s output to
+    /// that user.
+    ///
+    /// # Contract
+    ///
+    /// For *any* strategy, `anonymize_user(d, u, s)` must equal the
+    /// trajectories of user `u` in `anonymize(d, s)`, in the same relative
+    /// order. Strategies declaring [`UserLocality::UserLocal`] or
+    /// [`UserLocality::GridAnchored`] additionally promise:
+    ///
+    /// * **locality** — the result depends only on `u`'s records, the
+    ///   seed and (for `GridAnchored`) the dataset bounding box, so an
+    ///   unchanged user's cached output stays valid as the dataset grows;
+    /// * **shape preservation** — `anonymize` maps each input trajectory
+    ///   to exactly one output trajectory (possibly emptied), preserving
+    ///   dataset order, so per-user outputs can be re-interleaved into the
+    ///   full protected dataset byte-identically.
+    ///
+    /// The default implementation anonymizes the whole dataset and filters
+    /// — always correct, never cheaper; local strategies override it to
+    /// touch only `user`'s trajectories.
+    fn anonymize_user(&self, dataset: &Dataset, user: UserId, seed: u64) -> Vec<Trajectory> {
+        self.anonymize(dataset, seed)
+            .trajectories()
+            .iter()
+            .filter(|t| t.user() == user)
+            .cloned()
+            .collect()
+    }
 }
 
 impl fmt::Debug for dyn AnonymizationStrategy {
@@ -91,5 +169,42 @@ mod tests {
         assert_eq!(format!("{boxed:?}"), "AnonymizationStrategy(noop)");
         let ds = Dataset::new();
         assert_eq!(boxed.anonymize(&ds, 0), ds);
+        // External implementations default to the conservative contract.
+        assert_eq!(boxed.locality(), UserLocality::NonLocal);
+    }
+
+    #[test]
+    fn default_anonymize_user_filters_the_full_output() {
+        use geo::GeoPoint;
+        use mobility::{LocationRecord, Timestamp};
+        struct Noop;
+        impl AnonymizationStrategy for Noop {
+            fn info(&self) -> StrategyInfo {
+                StrategyInfo {
+                    name: "noop".into(),
+                    params: String::new(),
+                }
+            }
+            fn anonymize(&self, dataset: &Dataset, _seed: u64) -> Dataset {
+                dataset.clone()
+            }
+        }
+        let rec = |u: u64, t: i64| {
+            LocationRecord::new(
+                UserId(u),
+                Timestamp::new(t),
+                GeoPoint::new(45.0, 4.0).unwrap(),
+            )
+        };
+        let ds = Dataset::from_trajectories(vec![
+            Trajectory::new(UserId(1), vec![rec(1, 0)]),
+            Trajectory::new(UserId(2), vec![rec(2, 0)]),
+            Trajectory::new(UserId(1), vec![rec(1, 86_400)]),
+        ]);
+        let out = Noop.anonymize_user(&ds, UserId(1), 0);
+        assert_eq!(out.len(), 2, "both of user 1's trajectories, in order");
+        assert_eq!(out[0].records()[0].time, Timestamp::new(0));
+        assert_eq!(out[1].records()[0].time, Timestamp::new(86_400));
+        assert!(Noop.anonymize_user(&ds, UserId(9), 0).is_empty());
     }
 }

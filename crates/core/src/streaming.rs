@@ -33,9 +33,31 @@
 //!
 //! Either way no *full-dataset* extraction pass runs on the original side:
 //! refreshes go through the per-user [`PoiAttack::extract_user`] delta
-//! path (fanned out over the cores), which keeps the
-//! [`PoiAttack::extractions`] probe strictly below `pool + 1` per window
-//! after the first — the budget batch publish pays on every release.
+//! path (fanned out over the cores).
+//!
+//! # The protected side: per-strategy caches
+//!
+//! The original-side cache alone still leaves the dominant per-window
+//! cost untouched: every candidate strategy re-anonymizes the whole
+//! prefix and re-extracts every user's protected POIs on every window.
+//! [`StrategySessionCache`] extends the same per-user reuse to each
+//! candidate's *protected* data, keyed on the determinism contract the
+//! strategy declares through
+//! [`crate::strategy::AnonymizationStrategy::locality`]:
+//!
+//! * a [`UserLocality::UserLocal`] candidate re-anonymizes only users
+//!   with new records; everyone else's cached protected trajectories —
+//!   and, while the candidate's protected bounding box holds still, their
+//!   protected-side [`UserAttackShard`]s — carry over;
+//! * a [`UserLocality::GridAnchored`] candidate additionally re-anonymizes
+//!   everyone when the prefix bounding box widens (its tessellation moved);
+//! * a [`UserLocality::NonLocal`] candidate is never cached and re-runs
+//!   the full anonymize + self-attack, exactly as batch publish would.
+//!
+//! Together the two layers make the [`PoiAttack::extractions`] probe read
+//! **zero** full passes per window for a fully-local pool (batch pays
+//! `pool + 1` per release), and keep [`PoiAttack::user_extractions`]
+//! proportional to the users a window actually changed.
 //!
 //! # The winners-parity invariant
 //!
@@ -48,10 +70,14 @@
 //! are structurally identical to freshly built ones. Property tests across
 //! generator seeds enforce this.
 
-use crate::attack::{PoiAttack, ReferenceIndex, ReferencePois, UserAttackShard};
+use crate::attack::{
+    PoiAttack, PoiAttackConfig, ReferenceIndex, ReferencePois, UserAttackShard,
+};
 use crate::error::PrivapiError;
 use crate::pipeline::{PrivApi, PrivApiConfig, PublishedDataset};
-use mobility::{Dataset, DatasetWindow, UserId, WindowedDataset};
+use crate::pool::StrategyPool;
+use crate::strategy::{AnonymizationStrategy, StrategyInfo, UserLocality};
+use mobility::{Dataset, DatasetWindow, Trajectory, UserId, WindowedDataset};
 use rayon::prelude::*;
 use std::collections::BTreeMap;
 
@@ -95,6 +121,15 @@ pub struct SessionCache {
     index: Option<ReferenceIndex>,
     windows_ingested: usize,
     last_day: Option<i64>,
+    /// Fingerprint of the attack parameters the cached shards, reference
+    /// and index were derived under. A session advanced by an attack with
+    /// a different configuration drops the derived state (the prefix
+    /// itself stays valid) and re-extracts everyone instead of silently
+    /// matching at stale parameters.
+    attack_config: Option<PoiAttackConfig>,
+    /// The protected-side twin: per-candidate caches of each strategy's
+    /// protected prefix and self-attack shards.
+    strategies: StrategySessionCache,
 }
 
 impl SessionCache {
@@ -136,6 +171,35 @@ impl SessionCache {
         self.last_day
     }
 
+    /// The per-strategy protected-side caches this session maintains
+    /// alongside the original-side state.
+    pub fn strategies(&self) -> &StrategySessionCache {
+        &self.strategies
+    }
+
+    /// Splits the session into the borrow shape
+    /// [`crate::pipeline::PrivApi::publish_window`] needs: the original-side
+    /// state read-only (it feeds [`crate::engine::EvalContext::from_cache`])
+    /// and the per-strategy caches mutably (the engine refreshes them while
+    /// sweeping the pool). The index is `None` before the first non-empty
+    /// window.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn split_for_evaluation(
+        &mut self,
+    ) -> (
+        &Dataset,
+        &ReferencePois,
+        Option<&ReferenceIndex>,
+        &mut StrategySessionCache,
+    ) {
+        (
+            &self.prefix,
+            &self.reference,
+            self.index.as_ref(),
+            &mut self.strategies,
+        )
+    }
+
     /// Folds one day window into the session: appends its trajectories to
     /// the prefix, re-extracts (only) the invalidated users' shards over
     /// the grown prefix via the [`PoiAttack::extract_user`] delta path,
@@ -147,6 +211,14 @@ impl SessionCache {
     /// Refreshes are fanned out over the available cores; results are
     /// folded back in `UserId` order, so the cache state is deterministic
     /// regardless of scheduling.
+    ///
+    /// The session fingerprints the attack configuration it was advanced
+    /// with: ingesting a window through an attack with *different*
+    /// parameters (grid cell, thresholds, match distance) drops all
+    /// derived state — shards, reference POIs, index — and re-extracts
+    /// every user under the new parameters (reported as a grid rebuild),
+    /// so a mid-session attack swap can never silently match at stale
+    /// distances.
     ///
     /// # Errors
     ///
@@ -172,6 +244,21 @@ impl SessionCache {
                 });
             }
         }
+        // The cached shards, reference POIs and index were all derived
+        // under the attack parameters of the sessions before this one: a
+        // different configuration (grid cell, thresholds, match distance)
+        // makes every derived value stale even though the prefix itself is
+        // still good. Drop the derived state and re-extract everyone.
+        let config_changed = self.attack_config.is_some()
+            && self.attack_config.as_ref() != Some(attack.config());
+        if config_changed {
+            self.shards.clear();
+            self.reference.clear();
+            self.index = None;
+        }
+        if self.attack_config.as_ref() != Some(attack.config()) {
+            self.attack_config = Some(attack.config().clone());
+        }
         let changed = window.users();
         self.prefix
             .extend(window.dataset().trajectories().iter().cloned());
@@ -192,7 +279,7 @@ impl SessionCache {
                 grid_rebuilt: false,
             });
         };
-        let grid_rebuilt = self.bbox.is_some() && self.bbox != Some(bbox);
+        let grid_rebuilt = config_changed || (self.bbox.is_some() && self.bbox != Some(bbox));
         let grid = attack.grid_for(bbox);
         let to_refresh: Vec<UserId> = if grid_rebuilt {
             self.prefix.users()
@@ -225,6 +312,372 @@ impl SessionCache {
     }
 }
 
+/// What one window changed about the accumulated prefix, from the
+/// perspective of the per-strategy caches: which users contributed new
+/// records, and whether the prefix bounding box (and with it every
+/// grid anchored on it) moved.
+///
+/// Produced by [`crate::pipeline::PrivApi::publish_window`] right after
+/// [`SessionCache::advance`] and consumed by
+/// [`crate::engine::EvaluationEngine::evaluate_release_with`] to decide,
+/// per candidate strategy, which cached protected outputs survive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowUpdate {
+    /// Users with records in the ingested window (sorted, deduplicated).
+    pub changed_users: Vec<UserId>,
+    /// Whether the window widened the prefix bounding box — which
+    /// invalidates every [`UserLocality::GridAnchored`] candidate's cached
+    /// output wholesale.
+    pub grid_rebuilt: bool,
+}
+
+/// Protected-side audit of one candidate strategy for one window: what its
+/// [`StrategySessionCache`] entry reused vs. recomputed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateDelta {
+    /// The candidate this delta describes.
+    pub info: StrategyInfo,
+    /// The locality contract the candidate declared.
+    pub locality: UserLocality,
+    /// Users re-anonymized over the grown prefix
+    /// ([`AnonymizationStrategy::anonymize_user`] calls).
+    pub users_refreshed: usize,
+    /// Users whose cached protected trajectories were reused untouched.
+    pub users_reused: usize,
+    /// Users whose protected-side [`UserAttackShard`] was re-extracted via
+    /// the per-user delta path.
+    pub shards_refreshed: usize,
+    /// Users whose cached protected-side shard was reused untouched.
+    pub shards_reused: usize,
+    /// Whether the candidate's **protected** bounding box moved, forcing a
+    /// new extraction grid and a full per-user shard refresh (independent
+    /// of the original-side grid: noise can widen a protected box on a
+    /// window that left the original box alone).
+    pub protected_grid_rebuilt: bool,
+    /// Whether the candidate fell back to the uncached path (declared
+    /// [`UserLocality::NonLocal`], or violated the shape contract): a full
+    /// re-anonymization plus a full protected-side extraction.
+    pub full_fallback: bool,
+}
+
+/// Pool-wide aggregate of [`CandidateDelta`]s for one window — the
+/// protected-side counterpart of [`WindowDelta`], reported in
+/// [`PublishedWindow::strategies`] and summed by the e11 bench.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StrategyCacheDelta {
+    /// Candidates evaluated.
+    pub candidates: usize,
+    /// Total per-candidate users re-anonymized.
+    pub users_refreshed: usize,
+    /// Total per-candidate users whose protected trajectories were reused.
+    pub users_reused: usize,
+    /// Total per-candidate protected-side shard re-extractions.
+    pub shards_refreshed: usize,
+    /// Total per-candidate protected-side shards reused untouched.
+    pub shards_reused: usize,
+    /// Candidates whose protected extraction grid moved this window.
+    pub protected_grid_rebuilds: usize,
+    /// Candidates that took the full uncached path.
+    pub full_fallbacks: usize,
+}
+
+impl StrategyCacheDelta {
+    /// Sums per-candidate deltas into the pool-wide aggregate.
+    pub fn aggregate(deltas: &[CandidateDelta]) -> Self {
+        let mut total = Self {
+            candidates: deltas.len(),
+            ..Self::default()
+        };
+        for d in deltas {
+            total.users_refreshed += d.users_refreshed;
+            total.users_reused += d.users_reused;
+            total.shards_refreshed += d.shards_refreshed;
+            total.shards_reused += d.shards_reused;
+            total.protected_grid_rebuilds += usize::from(d.protected_grid_rebuilt);
+            total.full_fallbacks += usize::from(d.full_fallback);
+        }
+        total
+    }
+}
+
+/// One candidate strategy's cross-window protected-side state: the
+/// per-user protected trajectories of the accumulated prefix, the
+/// protected bounding box the extraction grid is anchored on, and the
+/// per-user self-attack shards extracted from the protected data.
+#[derive(Debug, Default)]
+pub(crate) struct CandidateState {
+    /// Identity card of the candidate this state belongs to (`None` until
+    /// first primed). A pool edit that changes the candidate at this slot
+    /// resets the state.
+    pub(crate) info: Option<StrategyInfo>,
+    /// Protected trajectories per user, each in the user's prefix order.
+    protected: BTreeMap<UserId, Vec<Trajectory>>,
+    /// Bounding box of the assembled protected prefix after the last
+    /// window — the anchor of the protected-side extraction grid.
+    bbox: Option<geo::BoundingBox>,
+    /// Per-user protected-side shards (the candidate's own self-attack
+    /// decomposition).
+    shards: BTreeMap<UserId, UserAttackShard>,
+    /// Whether this state has absorbed at least one window.
+    primed: bool,
+}
+
+impl CandidateState {
+    /// Drops all cached data (keeps the identity card).
+    fn clear(&mut self) {
+        self.protected.clear();
+        self.bbox = None;
+        self.shards.clear();
+        self.primed = false;
+    }
+
+    /// Re-interleaves the cached per-user protected trajectories into the
+    /// full protected dataset, in `original`'s trajectory order — the
+    /// inverse of the per-user decomposition, byte-identical to
+    /// [`AnonymizationStrategy::anonymize`] under the shape-preservation
+    /// contract.
+    ///
+    /// Returns `None` when the cached shape cannot be aligned with
+    /// `original` (a strategy violating the one-output-per-input-trajectory
+    /// contract, or a stale cache) — the caller must fall back to a full
+    /// re-anonymization.
+    fn assemble(&self, original: &Dataset) -> Option<Dataset> {
+        let mut cursors: BTreeMap<UserId, usize> =
+            self.protected.keys().map(|u| (*u, 0usize)).collect();
+        let mut trajectories = Vec::with_capacity(original.trajectory_count());
+        for t in original.trajectories() {
+            let cursor = cursors.get_mut(&t.user())?;
+            trajectories.push(self.protected.get(&t.user())?.get(*cursor)?.clone());
+            *cursor += 1;
+        }
+        // Every cached trajectory must have been consumed: leftovers mean
+        // the cache holds users or trajectories the prefix no longer has.
+        for (user, cursor) in &cursors {
+            if self.protected[user].len() != *cursor {
+                return None;
+            }
+        }
+        Some(Dataset::from_trajectories(trajectories))
+    }
+
+    /// The assembled protected prefix of a *primed* state — what the last
+    /// [`CandidateState::refresh`] scored, re-materialized from the cache
+    /// by pure clones. This is how the winner's release dataset is
+    /// produced without re-running its strategy over the whole prefix.
+    pub(crate) fn assembled_release(&self, original: &Dataset) -> Option<Dataset> {
+        if !self.primed {
+            return None;
+        }
+        self.assemble(original)
+    }
+
+    /// Folds one window into this candidate's cache: re-anonymizes the
+    /// invalidated users (per the declared [`UserLocality`]), re-extracts
+    /// the invalidated protected-side shards, and returns the assembled
+    /// protected prefix together with its extracted POIs — exactly what
+    /// [`PoiAttack::extract`] over a fresh
+    /// [`AnonymizationStrategy::anonymize`] would produce, without paying
+    /// for the unchanged users.
+    ///
+    /// Returns `(None, delta)` when the candidate cannot be cached
+    /// ([`UserLocality::NonLocal`], or a shape-contract violation): the
+    /// caller must evaluate it through the full uncached path.
+    pub(crate) fn refresh(
+        &mut self,
+        strategy: &dyn AnonymizationStrategy,
+        attack: &PoiAttack,
+        original: &Dataset,
+        update: &WindowUpdate,
+        seed: u64,
+    ) -> (Option<(Dataset, ReferencePois)>, CandidateDelta) {
+        let info = strategy.info();
+        let locality = strategy.locality();
+        let mut delta = CandidateDelta {
+            info: info.clone(),
+            locality,
+            users_refreshed: 0,
+            users_reused: 0,
+            shards_refreshed: 0,
+            shards_reused: 0,
+            protected_grid_rebuilt: false,
+            full_fallback: false,
+        };
+        self.info = Some(info);
+        if locality == UserLocality::NonLocal {
+            self.clear();
+            delta.full_fallback = true;
+            return (None, delta);
+        }
+        let all_users = original.users();
+        let to_refresh: &[UserId] = if !self.primed
+            || (locality == UserLocality::GridAnchored && update.grid_rebuilt)
+        {
+            &all_users
+        } else {
+            &update.changed_users
+        };
+        delta.users_refreshed = to_refresh.len();
+        delta.users_reused = all_users.len() - to_refresh.len();
+        if to_refresh.len() == all_users.len() {
+            // Full refresh (first window, or a grid-anchored candidate
+            // after a bbox widening): one whole-dataset `anonymize` pass,
+            // decomposed per user, beats `users` separate
+            // `anonymize_user` scans over the full trajectory list — and
+            // is the canonical output the per-user surface must agree
+            // with anyway.
+            let mut grouped: BTreeMap<UserId, Vec<Trajectory>> = BTreeMap::new();
+            for trajectory in strategy.anonymize(original, seed).into_trajectories() {
+                grouped
+                    .entry(trajectory.user())
+                    .or_default()
+                    .push(trajectory);
+            }
+            self.protected = grouped;
+        } else {
+            let refreshed: Vec<(UserId, Vec<Trajectory>)> = to_refresh
+                .par_iter()
+                .map(|&user| (user, strategy.anonymize_user(original, user, seed)))
+                .collect();
+            for (user, trajectories) in refreshed {
+                self.protected.insert(user, trajectories);
+            }
+        }
+        let Some(protected) = self.assemble(original) else {
+            // Shape-contract violation: drop everything and let the caller
+            // take the always-correct full path.
+            self.clear();
+            delta.full_fallback = true;
+            delta.users_refreshed = 0;
+            delta.users_reused = 0;
+            return (None, delta);
+        };
+        // The protected-side extraction grid is anchored on the *protected*
+        // bounding box: if it moved, every user's shard is invalid no
+        // matter whose records changed.
+        let bbox = protected.bounding_box();
+        delta.protected_grid_rebuilt = self.primed && bbox != self.bbox;
+        let shard_refresh: &[UserId] = if !self.primed || delta.protected_grid_rebuilt {
+            &all_users
+        } else {
+            to_refresh
+        };
+        delta.shards_refreshed = shard_refresh.len();
+        delta.shards_reused = all_users.len() - shard_refresh.len();
+        match bbox {
+            Some(bbox) => {
+                let grid = attack.grid_for(bbox);
+                let shards: Vec<UserAttackShard> = shard_refresh
+                    .par_iter()
+                    .map(|&user| attack.extract_user(&protected, user, &grid))
+                    .collect();
+                for shard in shards {
+                    self.shards.insert(shard.user, shard);
+                }
+            }
+            None => {
+                // An entirely emptied protected prefix extracts nothing —
+                // mirror `PoiAttack::extract` on a record-less dataset.
+                delta.shards_refreshed = 0;
+                delta.shards_reused = 0;
+                self.shards.clear();
+            }
+        }
+        self.bbox = bbox;
+        self.primed = true;
+        let extracted: ReferencePois = self
+            .shards
+            .iter()
+            .map(|(user, shard)| (*user, shard.pois.clone()))
+            .collect();
+        (Some((protected, extracted)), delta)
+    }
+}
+
+/// Cross-window **protected-side** attack state, one entry per candidate
+/// strategy of the evaluated pool: each candidate's protected prefix
+/// (per-user trajectories) and the [`UserAttackShard`]s of its self-attack.
+///
+/// This is the protected-side twin of [`SessionCache`]. The original-side
+/// cache makes the *reference* extraction incremental; this one makes the
+/// per-candidate *self-attacks* — the measured dominant per-window cost —
+/// incremental too, under the determinism contract each strategy declares
+/// through [`AnonymizationStrategy::locality`]:
+///
+/// * [`UserLocality::UserLocal`] candidates refresh only the users with
+///   new records;
+/// * [`UserLocality::GridAnchored`] candidates additionally refresh
+///   everyone when the prefix bounding box widens;
+/// * [`UserLocality::NonLocal`] candidates are never cached — every window
+///   re-runs their full anonymize + self-attack, exactly as batch publish
+///   would.
+///
+/// Whatever a candidate's locality, its protected-side *shards* are only
+/// reused while the candidate's own protected bounding box (which anchors
+/// the extraction grid) is unchanged — tracked per candidate, since noise
+/// mechanisms can widen their protected box on a window that leaves the
+/// original box alone.
+///
+/// The cache is self-validating: it fingerprints the pool (per-slot
+/// [`StrategyInfo`]), the selection seed and the attack parameters, and
+/// resets any entry whose fingerprint no longer matches, so a session that
+/// swaps pools, seeds or attacks mid-stream degrades to correct full
+/// recomputation instead of reusing stale state.
+#[derive(Debug, Default)]
+pub struct StrategySessionCache {
+    seed: Option<u64>,
+    attack_config: Option<PoiAttackConfig>,
+    pub(crate) states: Vec<CandidateState>,
+    pub(crate) last_deltas: Vec<CandidateDelta>,
+}
+
+impl StrategySessionCache {
+    /// Creates an empty cache (sized lazily to the evaluated pool).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Per-candidate audit of the most recent window, in pool order.
+    /// Empty before the first cached evaluation.
+    pub fn last_deltas(&self) -> &[CandidateDelta] {
+        &self.last_deltas
+    }
+
+    /// Pool-wide aggregate of [`StrategySessionCache::last_deltas`].
+    pub fn last_window(&self) -> StrategyCacheDelta {
+        StrategyCacheDelta::aggregate(&self.last_deltas)
+    }
+
+    /// Number of candidate slots currently tracked.
+    pub fn candidates(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the cache holds no candidate state yet.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Sizes the cache to `pool` and resets every slot whose fingerprint
+    /// (candidate identity, seed, attack parameters) no longer matches —
+    /// called by the engine before each cached sweep.
+    pub(crate) fn align(&mut self, pool: &StrategyPool, seed: u64, attack: &PoiAttack) {
+        if self.seed != Some(seed) || self.attack_config.as_ref() != Some(attack.config()) {
+            self.states.clear();
+            self.seed = Some(seed);
+            self.attack_config = Some(attack.config().clone());
+        }
+        let infos = pool.infos();
+        self.states.truncate(infos.len());
+        self.states
+            .resize_with(infos.len(), CandidateState::default);
+        for (state, info) in self.states.iter_mut().zip(&infos) {
+            if state.info.as_ref() != Some(info) {
+                *state = CandidateState::default();
+            }
+        }
+    }
+}
+
 /// One incremental release: the protected prefix plus the audit trail of
 /// both the selection and the cache behaviour that produced it.
 #[derive(Debug)]
@@ -233,6 +686,9 @@ pub struct PublishedWindow {
     pub day: i64,
     /// What the session cache reused vs. refreshed for this window.
     pub delta: WindowDelta,
+    /// What the per-strategy protected-side caches reused vs. recomputed
+    /// for this window, summed over the pool.
+    pub strategies: StrategyCacheDelta,
     /// The release over the full accumulated prefix — same shape as a
     /// batch [`crate::pipeline::PrivApi::publish`] of that prefix.
     pub published: PublishedDataset,
@@ -365,13 +821,16 @@ mod tests {
     }
 
     #[test]
-    fn subsequent_windows_skip_the_full_original_extraction() {
+    fn windows_skip_every_full_extraction_with_a_local_pool() {
         // Batch publish costs pool + 1 full extractions per release (one
-        // original-side pass plus one self-attack per candidate). The
-        // streaming path must never pay the original-side pass: every
-        // window stays at pool full extractions — strictly fewer than
-        // pool + 1 — because original-side refreshes go through the
-        // per-user delta path, which the probe does not count.
+        // original-side pass plus one full self-attack per candidate). The
+        // streaming path pays neither: the original side goes through the
+        // session cache's per-user delta path, and every default-pool
+        // candidate declares a cacheable locality, so its self-attack goes
+        // through the per-strategy shard cache. The full-pass probe must
+        // therefore read zero on every window — the only full passes left
+        // are those of non-local candidates, of which the default pool has
+        // none.
         let ds = dataset(93, 4, 3);
         let windows = WindowedDataset::partition(&ds);
         let mut publisher = StreamingPublisher::new(PrivApiConfig::default());
@@ -379,18 +838,82 @@ mod tests {
         let probe = publisher.privapi().attack().clone();
         for (i, window) in windows.iter().enumerate() {
             let before = probe.extractions();
-            publisher.publish_window(window).unwrap();
+            let release = publisher.publish_window(window).unwrap();
             let per_window = probe.extractions() - before;
             assert!(
-                per_window < pool + 1,
-                "window {i}: {per_window} full extractions, batch budget is {}",
-                pool + 1
+                per_window < pool,
+                "window {i}: {per_window} full extractions, want fewer than pool = {pool}"
             );
-            assert_eq!(
-                per_window, pool,
-                "window {i}: one self-attack per candidate"
-            );
+            assert_eq!(per_window, 0, "window {i}: every candidate is cached");
+            assert_eq!(release.strategies.candidates, pool);
+            assert_eq!(release.strategies.full_fallbacks, 0);
         }
+    }
+
+    #[test]
+    fn sparse_window_costs_scale_with_changed_users() {
+        // Two users on day 0; only user 1 has day-1 records (inside the
+        // day-0 box), so day 1 must re-anonymize and re-extract exactly
+        // one user per user-local candidate — the acceptance counting
+        // test: strictly fewer than `pool` full protected-side
+        // extractions, and per-user work proportional to the *changed*
+        // users rather than the population.
+        use geo::GeoPoint;
+        use mobility::{LocationRecord, Timestamp, DAY_SECONDS};
+        let site = |lon: f64| GeoPoint::new(45.75, lon).unwrap();
+        let mut records = Vec::new();
+        for day in 0..2i64 {
+            for i in 0..240i64 {
+                let lon = 4.80 + 0.0004 * (i.min(60)) as f64;
+                records.push(LocationRecord::new(
+                    UserId(1),
+                    Timestamp::new(day * DAY_SECONDS + i * 300),
+                    site(lon),
+                ));
+            }
+        }
+        for i in 0..240i64 {
+            records.push(LocationRecord::new(
+                UserId(2),
+                Timestamp::new(i * 300),
+                site(4.81),
+            ));
+        }
+        let windows = WindowedDataset::partition(&Dataset::from_records(records));
+        assert_eq!(windows.len(), 2);
+        let mut publisher = StreamingPublisher::new(PrivApiConfig::default());
+        let pool = publisher.privapi().pool().len();
+        let probe = publisher.privapi().attack().clone();
+        publisher.publish_window(&windows.windows()[0]).unwrap();
+
+        let full_before = probe.extractions();
+        let per_user_before = probe.user_extractions();
+        let release = publisher.publish_window(&windows.windows()[1]).unwrap();
+        assert!(
+            probe.extractions() - full_before < pool,
+            "an inactive user must spare full protected-side extractions"
+        );
+        // Batch would pay (pool + 1) full passes × 2 users of per-user
+        // extraction work; the delta paths must beat that.
+        let per_user_spent = probe.user_extractions() - per_user_before;
+        assert!(
+            per_user_spent < (pool + 1) * 2,
+            "{per_user_spent} per-user extractions is no better than batch"
+        );
+        // Every user-local candidate re-anonymized exactly the changed
+        // user and reused the inactive one's protected trajectories.
+        assert!(!release.delta.grid_rebuilt);
+        for candidate in publisher.cache().strategies().last_deltas() {
+            assert!(!candidate.full_fallback, "{}", candidate.info);
+            assert_eq!(
+                candidate.users_refreshed, 1,
+                "{}: only user 1 changed",
+                candidate.info
+            );
+            assert_eq!(candidate.users_reused, 1, "{}", candidate.info);
+        }
+        assert_eq!(release.strategies.users_refreshed, pool);
+        assert_eq!(release.strategies.users_reused, pool);
     }
 
     #[test]
@@ -485,14 +1008,239 @@ mod tests {
     }
 
     #[test]
+    fn bbox_growth_invalidates_only_grid_anchored_anonymizations() {
+        // Same shape as `bbox_growth_invalidates_every_shard`, driven
+        // through the full publish path: when day 1 widens the prefix
+        // bounding box, only the grid-anchored candidates (spatial
+        // cloaking) must re-anonymize *everyone*; user-local candidates
+        // re-anonymize just the user who moved. (Their protected-side
+        // *shards* may still refresh wholesale — the protected box of a
+        // noise mechanism widens with the original — which is what the
+        // separate shard counters track.)
+        use crate::strategy::UserLocality;
+        use geo::GeoPoint;
+        use mobility::{LocationRecord, Timestamp, DAY_SECONDS};
+        let mut records = Vec::new();
+        for user in 1..=2u64 {
+            for i in 0..240i64 {
+                records.push(LocationRecord::new(
+                    UserId(user),
+                    Timestamp::new(i * 300),
+                    GeoPoint::new(45.75, 4.80 + 0.001 * user as f64 + 0.0004 * (i % 50) as f64)
+                        .unwrap(),
+                ));
+            }
+        }
+        for i in 0..240i64 {
+            records.push(LocationRecord::new(
+                UserId(1),
+                Timestamp::new(DAY_SECONDS + i * 300),
+                GeoPoint::new(45.95, 5.10 + 0.0004 * (i % 50) as f64).unwrap(),
+            ));
+        }
+        let windows = WindowedDataset::partition(&Dataset::from_records(records));
+        let mut publisher = StreamingPublisher::new(PrivApiConfig::default());
+        publisher.publish_window(&windows.windows()[0]).unwrap();
+        let release = publisher.publish_window(&windows.windows()[1]).unwrap();
+        assert!(release.delta.grid_rebuilt, "day 1 widens the prefix box");
+        let deltas = publisher.cache().strategies().last_deltas();
+        assert!(!deltas.is_empty());
+        for candidate in deltas {
+            match candidate.locality {
+                UserLocality::GridAnchored => {
+                    assert_eq!(
+                        candidate.users_refreshed, 2,
+                        "{}: a widened box shifts every cloaking cell",
+                        candidate.info
+                    );
+                    assert_eq!(candidate.users_reused, 0, "{}", candidate.info);
+                }
+                UserLocality::UserLocal => {
+                    assert_eq!(
+                        candidate.users_refreshed, 1,
+                        "{}: only user 1 moved",
+                        candidate.info
+                    );
+                    assert_eq!(candidate.users_reused, 1, "{}", candidate.info);
+                }
+                UserLocality::NonLocal => {
+                    panic!(
+                        "{}: default pool has no non-local candidate",
+                        candidate.info
+                    )
+                }
+            }
+        }
+    }
+
+    /// A strategy that never overrides the incremental surface: the
+    /// conservative [`UserLocality::NonLocal`] default.
+    struct OpaqueShift;
+    impl crate::strategy::AnonymizationStrategy for OpaqueShift {
+        fn info(&self) -> crate::strategy::StrategyInfo {
+            crate::strategy::StrategyInfo {
+                name: "opaque-shift".into(),
+                params: String::new(),
+            }
+        }
+        fn anonymize(&self, dataset: &Dataset, _seed: u64) -> Dataset {
+            // A whole-dataset rewrite (translate everything towards the
+            // dataset centroid) that genuinely couples users.
+            let n = dataset.record_count().max(1) as f64;
+            let mean_lat = dataset
+                .iter_records()
+                .map(|r| r.point.latitude())
+                .sum::<f64>()
+                / n;
+            let mean_lon = dataset
+                .iter_records()
+                .map(|r| r.point.longitude())
+                .sum::<f64>()
+                / n;
+            dataset.map_trajectories(|t| {
+                let records = t
+                    .records()
+                    .iter()
+                    .map(|r| {
+                        mobility::LocationRecord::new(
+                            r.user,
+                            r.time,
+                            geo::GeoPoint::clamped(
+                                r.point.latitude() * 0.7 + mean_lat * 0.3,
+                                r.point.longitude() * 0.7 + mean_lon * 0.3,
+                            ),
+                        )
+                    })
+                    .collect();
+                mobility::Trajectory::new(t.user(), records)
+            })
+        }
+    }
+
+    #[test]
+    fn non_local_candidates_always_fall_back_to_full_extraction() {
+        use crate::pipeline::PrivApi;
+        use crate::pool::StrategyPool;
+        let ds = dataset(7, 3, 3);
+        let windows = WindowedDataset::partition(&ds);
+        let make = || {
+            PrivApi::new(PrivApiConfig {
+                privacy_floor: 1.0, // keep every candidate feasible
+                ..PrivApiConfig::default()
+            })
+            .with_pool(
+                StrategyPool::new()
+                    .with_speed_smoothing(&[100.0])
+                    .unwrap()
+                    .with(Box::new(OpaqueShift)),
+            )
+        };
+        let privapi = make();
+        let probe = privapi.attack().clone();
+        let mut cache = SessionCache::new();
+        for (i, window) in windows.iter().enumerate() {
+            let before = probe.extractions();
+            let release = privapi.publish_window(&mut cache, window).unwrap();
+            // Exactly one full protected-side extraction per window: the
+            // non-local candidate. The local candidate stays cached.
+            assert_eq!(
+                probe.extractions() - before,
+                1,
+                "window {i}: only the non-local candidate pays a full pass"
+            );
+            assert_eq!(release.strategies.full_fallbacks, 1, "window {i}");
+            let deltas = cache.strategies().last_deltas();
+            assert!(deltas[1].full_fallback, "window {i}");
+            assert!(!deltas[0].full_fallback, "window {i}");
+            // And the cached sweep still matches a batch publish.
+            let batch = make().publish(&windows.prefix(i)).unwrap();
+            assert_eq!(release.published.selection, batch.selection, "window {i}");
+            assert_eq!(release.published.dataset, batch.dataset, "window {i}");
+        }
+    }
+
+    #[test]
+    fn attack_config_change_mid_session_resets_derived_state() {
+        // The original-side cache fingerprints the attack parameters:
+        // advancing the same session with a different configuration must
+        // drop the cached shards/reference/index and re-extract under the
+        // new parameters instead of silently matching at stale distances.
+        // Parity with a batch publish under the new attack is the proof.
+        let ds = dataset(31, 3, 2);
+        let windows = WindowedDataset::partition(&ds);
+        let mut cache = SessionCache::new();
+        PrivApi::default()
+            .publish_window(&mut cache, &windows.windows()[0])
+            .unwrap();
+        let custom = PoiAttack::new(PoiAttackConfig {
+            match_distance: geo::Meters::new(500.0),
+            ..PoiAttackConfig::default()
+        });
+        let release = PrivApi::default()
+            .with_attack(custom.clone())
+            .publish_window(&mut cache, &windows.windows()[1])
+            .unwrap();
+        let batch = PrivApi::default()
+            .with_attack(custom)
+            .publish(&windows.prefix(1))
+            .unwrap();
+        assert_eq!(release.published.selection, batch.selection);
+        assert_eq!(release.published.privacy, batch.privacy);
+        assert_eq!(release.published.dataset, batch.dataset);
+        assert!(
+            release.delta.grid_rebuilt,
+            "a config change must be reported as a grid rebuild"
+        );
+        assert_eq!(release.delta.users_reused, 0, "nothing stale survives");
+    }
+
+    #[test]
+    fn seed_change_mid_session_resets_the_strategy_cache() {
+        // The cache fingerprints the selection seed: publishing the same
+        // session through a middleware with a different seed must not
+        // reuse protected data anonymized under the old one. Parity with a
+        // batch publish at the *new* seed is the proof.
+        let ds = dataset(47, 3, 2);
+        let windows = WindowedDataset::partition(&ds);
+        let mut cache = SessionCache::new();
+        let first = PrivApi::new(PrivApiConfig {
+            seed: 1,
+            ..PrivApiConfig::default()
+        });
+        first
+            .publish_window(&mut cache, &windows.windows()[0])
+            .unwrap();
+        let second = PrivApi::new(PrivApiConfig {
+            seed: 2,
+            ..PrivApiConfig::default()
+        });
+        let release = second
+            .publish_window(&mut cache, &windows.windows()[1])
+            .unwrap();
+        let batch = PrivApi::new(PrivApiConfig {
+            seed: 2,
+            ..PrivApiConfig::default()
+        })
+        .publish(&windows.prefix(1))
+        .unwrap();
+        assert_eq!(release.published.selection, batch.selection);
+        assert_eq!(release.published.dataset, batch.dataset);
+        // The reset shows up as a full re-prime: nothing reused.
+        assert_eq!(release.strategies.users_reused, 0);
+    }
+
+    #[test]
     fn duplicate_or_out_of_order_windows_are_rejected_without_ingesting() {
         let ds = dataset(29, 3, 2);
         let windows = WindowedDataset::partition(&ds);
         let mut publisher = StreamingPublisher::new(PrivApiConfig::default());
         publisher.publish_window(&windows.windows()[1]).unwrap();
         let records_before = publisher.cache().prefix().record_count();
+        let strategy_deltas_before = publisher.cache().strategies().last_deltas().to_vec();
+        assert!(!strategy_deltas_before.is_empty());
         // Re-sending the same window (a retry after a failed release, or a
-        // bug) must fail loudly and leave the session untouched.
+        // bug) must fail loudly and leave the session untouched — the
+        // original-side prefix *and* the per-strategy protected caches.
         for stale in [&windows.windows()[1], &windows.windows()[0]] {
             let err = publisher.publish_window(stale).unwrap_err();
             assert!(
@@ -507,6 +1255,11 @@ mod tests {
             );
             assert_eq!(publisher.cache().prefix().record_count(), records_before);
             assert_eq!(publisher.cache().windows_ingested(), 1);
+            assert_eq!(
+                publisher.cache().strategies().last_deltas(),
+                strategy_deltas_before.as_slice(),
+                "a rejected window must not touch the strategy caches"
+            );
         }
         assert_eq!(
             publisher.cache().last_day(),
@@ -522,6 +1275,13 @@ mod tests {
         assert_eq!(cache.prefix().record_count(), 0);
         assert!(cache.shards().is_empty());
         assert!(cache.reference().is_empty());
+        assert!(cache.strategies().is_empty());
+        assert_eq!(cache.strategies().candidates(), 0);
+        assert!(cache.strategies().last_deltas().is_empty());
+        assert_eq!(
+            cache.strategies().last_window(),
+            StrategyCacheDelta::default()
+        );
         assert!(WindowedDataset::partition(&Dataset::new()).is_empty());
     }
 

@@ -281,8 +281,16 @@ proptest! {
     /// The streaming-publication contract: replaying a dataset as day
     /// windows selects byte-identical winners (same selection report, same
     /// released data) as batch-publishing each concatenated prefix, for
-    /// any generator seed and population shape — and never pays the batch
-    /// path's original-side full extraction after ingesting the window.
+    /// any generator seed and population shape — and never pays a full
+    /// extraction pass after ingesting the window: the original side goes
+    /// through the session cache's per-user delta path and every
+    /// default-pool candidate's self-attack goes through its per-strategy
+    /// shard cache ([`privapi::streaming::StrategySessionCache`]).
+    ///
+    /// Participation is thinned deterministically per (user, day) so some
+    /// windows genuinely miss users — without that, generated data keeps
+    /// everyone active daily and the caches' reuse paths would never be
+    /// exercised across seeds.
     #[test]
     fn streaming_windows_match_batch_prefix_publish(
         seed in any::<u64>(),
@@ -302,6 +310,23 @@ proptest! {
                 gps_noise_m: 5.0,
                 leisure_probability: 0.3,
             });
+        // Keep day 0 complete, then drop roughly half the later
+        // (user, day) pairs so shard reuse actually triggers.
+        let first_day = data
+            .iter_records()
+            .map(|r| r.time.day_index())
+            .min()
+            .unwrap_or(0);
+        let data = mobility::Dataset::from_records(
+            data.iter_records()
+                .filter(|r| {
+                    let day = r.time.day_index();
+                    day == first_day
+                        || (r.user.0 ^ seed).wrapping_add(day as u64) % 2 == 0
+                })
+                .copied()
+                .collect(),
+        );
         let windows = WindowedDataset::partition(&data);
         let mut publisher = StreamingPublisher::new(PrivApiConfig::default());
         let pool = publisher.privapi().pool().len();
@@ -315,6 +340,12 @@ proptest! {
                 "window {}: {} extractions breaks the streaming budget",
                 i,
                 extractions
+            );
+            prop_assert_eq!(
+                extractions,
+                0,
+                "window {}: both cache layers must spare every full pass",
+                i
             );
             let batch = PrivApi::default().publish(&windows.prefix(i));
             match (incremental, batch) {

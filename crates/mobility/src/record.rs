@@ -280,6 +280,11 @@ impl Dataset {
         &self.trajectories
     }
 
+    /// Consumes the dataset into its trajectories, in dataset order.
+    pub fn into_trajectories(self) -> Vec<Trajectory> {
+        self.trajectories
+    }
+
     /// Number of trajectories (one per user *per day* for generated data).
     pub fn trajectory_count(&self) -> usize {
         self.trajectories.len()

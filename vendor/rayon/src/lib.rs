@@ -1,18 +1,22 @@
 //! Offline stand-in for `rayon`.
 //!
 //! crates.io is unreachable in this build environment, so the workspace
-//! vendors the small API subset it uses: `par_iter()` over slices and
-//! `Vec`s, `map`, and order-preserving `collect()` into a `Vec`. Unlike a
-//! mock, the implementation is genuinely parallel: work is split into one
-//! contiguous chunk per available core and executed on scoped OS threads,
-//! so data-parallel speedups are real on multi-core hosts while results
-//! stay in input order (bit-identical to a sequential run for pure maps).
+//! vendors the small API subset it uses: `par_iter()`/`par_iter_mut()`
+//! over slices and `Vec`s, `map`, and order-preserving `collect()` into a
+//! `Vec`. Unlike a mock, the implementation is genuinely parallel: work is
+//! split into one contiguous chunk per available core and executed on
+//! scoped OS threads, so data-parallel speedups are real on multi-core
+//! hosts while results stay in input order (bit-identical to a sequential
+//! run for pure maps).
 
 use std::num::NonZeroUsize;
 
 /// Entry points re-exported the way rayon's prelude does.
 pub mod prelude {
-    pub use crate::{IntoParallelRefIterator, ParSlice, ParSliceMap};
+    pub use crate::{
+        IntoParallelRefIterator, IntoParallelRefMutIterator, ParSlice, ParSliceMap,
+        ParSliceMut, ParSliceMutMap,
+    };
 }
 
 /// Number of worker threads a parallel operation will use.
@@ -128,6 +132,109 @@ where
     }
 }
 
+/// Types whose mutable references can be iterated in parallel.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Item yielded by the parallel iterator.
+    type Item: 'a;
+    /// The parallel iterator type.
+    type Iter;
+
+    /// Creates a parallel iterator over `&mut self`.
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+    type Iter = ParSliceMut<'a, T>;
+
+    fn par_iter_mut(&'a mut self) -> ParSliceMut<'a, T> {
+        ParSliceMut { items: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = &'a mut T;
+    type Iter = ParSliceMut<'a, T>;
+
+    fn par_iter_mut(&'a mut self) -> ParSliceMut<'a, T> {
+        ParSliceMut { items: self }
+    }
+}
+
+/// A mutably borrowed slice awaiting a parallel transformation.
+pub struct ParSliceMut<'a, T> {
+    items: &'a mut [T],
+}
+
+impl<'a, T: Send> ParSliceMut<'a, T> {
+    /// Lazily attaches the mapping function.
+    pub fn map<R, F>(self, f: F) -> ParSliceMutMap<'a, T, F>
+    where
+        F: Fn(&'a mut T) -> R + Sync,
+        R: Send,
+    {
+        ParSliceMutMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Number of items to process.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether there is nothing to process.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// A mapped mutable parallel iterator; consumed by
+/// [`ParSliceMutMap::collect`].
+pub struct ParSliceMutMap<'a, T, F> {
+    items: &'a mut [T],
+    f: F,
+}
+
+impl<'a, T, F, R> ParSliceMutMap<'a, T, F>
+where
+    T: Send,
+    F: Fn(&'a mut T) -> R + Sync,
+    R: Send,
+{
+    /// Runs the map on scoped threads and gathers results in input order.
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        C::from(self.run())
+    }
+
+    fn run(self) -> Vec<R> {
+        let n = self.items.len();
+        let threads = current_num_threads().min(n.max(1));
+        if threads <= 1 || n <= 1 {
+            return self.items.iter_mut().map(&self.f).collect();
+        }
+        let chunk = n.div_ceil(threads);
+        let f = &self.f;
+        let mut chunks: Vec<Vec<R>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .items
+                .chunks_mut(chunk)
+                .map(|part| scope.spawn(move || part.iter_mut().map(f).collect::<Vec<R>>()))
+                .collect();
+            for handle in handles {
+                chunks.push(handle.join().expect("worker thread panicked"));
+            }
+        });
+        let mut out = Vec::with_capacity(n);
+        for part in chunks {
+            out.extend(part);
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
@@ -156,5 +263,38 @@ mod tests {
         let input = vec![1, 2, 3];
         let out: Vec<i32> = input.par_iter().map(|x| x + offset).collect();
         assert_eq!(out, vec![101, 102, 103]);
+    }
+
+    #[test]
+    fn mut_map_mutates_in_place_and_preserves_order() {
+        let mut items: Vec<u64> = (0..10_000).collect();
+        let out: Vec<u64> = items
+            .par_iter_mut()
+            .map(|x| {
+                *x *= 2;
+                *x + 1
+            })
+            .collect();
+        let expected_items: Vec<u64> = (0..10_000).map(|x| x * 2).collect();
+        let expected_out: Vec<u64> = expected_items.iter().map(|x| x + 1).collect();
+        assert_eq!(items, expected_items);
+        assert_eq!(out, expected_out);
+    }
+
+    #[test]
+    fn mut_map_on_empty_and_single() {
+        let mut empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter_mut().map(|x| *x).collect();
+        assert!(out.is_empty());
+        let mut one = [41u32];
+        let out: Vec<u32> = one
+            .par_iter_mut()
+            .map(|x| {
+                *x += 1;
+                *x
+            })
+            .collect();
+        assert_eq!(out, vec![42]);
+        assert_eq!(one, [42]);
     }
 }
