@@ -162,6 +162,29 @@ impl Hive {
         self.deployments.get(&id)
     }
 
+    /// The users recruited by a task's recorded deployment (owners of the
+    /// deployed devices, sorted and de-duplicated) — the participant set a
+    /// multi-campaign publication gateway scopes the task's releases to.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApisenseError::NotFound`] when the task was never
+    /// deployed.
+    pub fn participants(&self, id: TaskId) -> Result<Vec<UserId>, ApisenseError> {
+        let deployment = self
+            .deployments
+            .get(&id)
+            .ok_or(ApisenseError::NotFound("deployment", id.0))?;
+        let mut users: Vec<UserId> = deployment
+            .devices
+            .iter()
+            .filter_map(|d| self.devices.get(d).map(|desc| desc.user))
+            .collect();
+        users.sort();
+        users.dedup();
+        Ok(users)
+    }
+
     /// Ingests records uploaded by devices, grouped per task.
     pub fn ingest(&mut self, records: Vec<SensedRecord>) {
         for r in records {

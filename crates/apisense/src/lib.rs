@@ -31,7 +31,11 @@
 //! * [`incentives`] — user feedback, ranking, rewarding and win-win
 //!   incentive strategies with a participation model;
 //! * [`deploy`] — end-to-end campaigns over the [`simnet`] network
-//!   simulator (experiment E4) .
+//!   simulator (experiment E4);
+//! * [`campaigns`] — the multi-campaign publication surface: every
+//!   deployed task mapped onto a [`campaign::Orchestrator`] campaign, so
+//!   N concurrent tasks release daily over one shared population stream
+//!   with the original-side attack extraction paid once.
 //!
 //! # Example
 //!
@@ -55,6 +59,7 @@
 
 mod error;
 
+pub mod campaigns;
 pub mod deploy;
 pub mod device;
 pub mod hive;

@@ -627,6 +627,43 @@ mod tests {
     }
 
     #[test]
+    fn publication_gateway_rejects_replayed_windows_with_typed_error() {
+        use mobility::gen::{CityModel, PopulationConfig};
+        use mobility::WindowedDataset;
+
+        let data =
+            CityModel::builder()
+                .seed(71)
+                .build()
+                .generate_population(&PopulationConfig {
+                    users: 3,
+                    days: 2,
+                    sampling_interval_s: 300,
+                    gps_noise_m: 5.0,
+                    leisure_probability: 0.3,
+                });
+        let windows = WindowedDataset::partition(&data);
+        let mut gateway = PublicationGateway::default();
+        gateway.publish_window(&windows.windows()[1]).unwrap();
+        // A replayed or out-of-order window surfaces as the typed
+        // `StreamError` at the platform layer too — carrying the
+        // offending day, so an operator retry loop can branch on it
+        // without string matching.
+        for stale in [&windows.windows()[1], &windows.windows()[0]] {
+            let err = gateway.publish_window(stale).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    privapi::PrivapiError::StreamError { day, last_day }
+                        if day == stale.day() && last_day == windows.windows()[1].day()
+                ),
+                "got {err}"
+            );
+        }
+        assert_eq!(gateway.session().windows_ingested(), 1);
+    }
+
+    #[test]
     fn publication_gateway_rejects_empty_task() {
         use crate::hive::TaskId;
         use crate::honeycomb::Honeycomb;

@@ -1,24 +1,29 @@
-//! Attack-path and streaming-publication perf summary: runs E10 and E11
-//! and emits `BENCH_e10.json` + `BENCH_e11.json`.
+//! Attack-path, streaming-publication and multi-campaign perf summary:
+//! runs E10, E11 and E12 and emits `BENCH_e10.json` + `BENCH_e11.json` +
+//! `BENCH_e12.json`.
 //!
 //! ```bash
 //! cargo run -p bench --bin bench_summary --release -- --scale smoke
 //! cargo run -p bench --bin bench_summary --release -- --scale medium \
-//!     --out BENCH_e10.json --out-e11 BENCH_e11.json
+//!     --out BENCH_e10.json --out-e11 BENCH_e11.json --out-e12 BENCH_e12.json
 //! ```
 //!
-//! CI runs the smoke shape on every PR and uploads both JSON files as
+//! CI runs the smoke shape on every PR and uploads the JSON files as
 //! artifacts, so the perf trajectories of the attack pipeline (serial vs
-//! sharded extraction, scan vs indexed matching, publish end to end) and
-//! of streaming publication (batch re-publish vs incremental day windows)
-//! accumulate data points instead of anecdotes. Every run also asserts
-//! the pipelines' invariants — extraction parity, matcher parity, the
-//! single-original-extraction-per-publish budget, and streaming winner
-//! parity — and fails loudly if any regresses. Unknown `--scale` values
-//! (and unknown flags) are rejected, never silently defaulted.
+//! sharded extraction, scan vs indexed matching, publish end to end), of
+//! streaming publication (batch re-publish vs incremental day windows)
+//! and of multi-campaign orchestration (N independent sessions vs one
+//! shared-population orchestrator) accumulate data points instead of
+//! anecdotes. Every run also asserts the pipelines' invariants —
+//! extraction parity, matcher parity, the
+//! single-original-extraction-per-publish budget, streaming winner
+//! parity, and per-campaign orchestration parity — and fails loudly if
+//! any regresses. Unknown `--scale` values (and unknown flags) are
+//! rejected, never silently defaulted.
 
 use bench::e10::{self, E10Config};
 use bench::e11::{self, E11Config};
+use bench::e12::{self, E12Config};
 use bench::Scale;
 
 fn main() {
@@ -32,9 +37,11 @@ fn main() {
             continue;
         }
         match arg.as_str() {
-            "--scale" | "--out" | "--out-e11" => expects_value = true,
+            "--scale" | "--out" | "--out-e11" | "--out-e12" => expects_value = true,
             other => {
-                eprintln!("unexpected argument {other:?}; use --scale, --out, --out-e11");
+                eprintln!(
+                    "unexpected argument {other:?}; use --scale, --out, --out-e11, --out-e12"
+                );
                 std::process::exit(2);
             }
         }
@@ -54,10 +61,15 @@ fn main() {
     let scale = value_of("--scale").unwrap_or_else(|| "smoke".into());
     let out_e10 = value_of("--out").unwrap_or_else(|| "BENCH_e10.json".into());
     let out_e11 = value_of("--out-e11").unwrap_or_else(|| "BENCH_e11.json".into());
-    let (e10_config, e11_config) = match scale.as_str() {
-        "smoke" => (E10Config::smoke(), E11Config::smoke()),
+    let out_e12 = value_of("--out-e12").unwrap_or_else(|| "BENCH_e12.json".into());
+    let (e10_config, e11_config, e12_config) = match scale.as_str() {
+        "smoke" => (E10Config::smoke(), E11Config::smoke(), E12Config::smoke()),
         other => match Scale::parse(other) {
-            Ok(scale) => (E10Config::from_scale(scale), E11Config::from_scale(scale)),
+            Ok(scale) => (
+                E10Config::from_scale(scale),
+                E11Config::from_scale(scale),
+                E12Config::from_scale(scale),
+            ),
             Err(_) => {
                 eprintln!("unknown --scale {other:?}; use smoke|small|medium|full");
                 std::process::exit(2);
@@ -88,4 +100,12 @@ fn main() {
     let e11_report = e11::run(&e11_config);
     println!("{e11_report}");
     write(&out_e11, e11_report.to_json());
+
+    eprintln!(
+        "e12 multi-campaign summary: scale={}, {} users x {} days, {} same-config campaigns",
+        e12_config.label, e12_config.users, e12_config.days, e12_config.same_config_campaigns
+    );
+    let e12_report = e12::run(&e12_config);
+    println!("{e12_report}");
+    write(&out_e12, e12_report.to_json());
 }

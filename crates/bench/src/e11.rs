@@ -69,35 +69,7 @@ impl E11Config {
     }
 }
 
-/// Thins a dataset to a sparse-participation shape: every record of the
-/// first day is kept (so the session starts with everyone's history), and
-/// each later (user, day) pair is kept with probability
-/// `participation_pct` % under a deterministic hash — the same records
-/// are dropped on every run.
-pub fn thin_participation(
-    dataset: &mobility::Dataset,
-    participation_pct: u64,
-) -> mobility::Dataset {
-    let Some(first_day) = dataset.iter_records().map(|r| r.time.day_index()).min() else {
-        return mobility::Dataset::new();
-    };
-    let keep = |user: mobility::UserId, day: i64| {
-        day == first_day
-            || user
-                .0
-                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                .wrapping_add((day as u64).wrapping_mul(0x85EB_CA6B))
-                % 100
-                < participation_pct
-    };
-    mobility::Dataset::from_records(
-        dataset
-            .iter_records()
-            .filter(|r| keep(r.user, r.time.day_index()))
-            .copied()
-            .collect(),
-    )
-}
+pub use mobility::gen::thin_participation;
 
 /// Measured streaming-vs-batch numbers plus the invariants they were
 /// taken under.
@@ -460,25 +432,5 @@ mod tests {
         assert_eq!(medium.users, 80);
         assert_eq!(medium.days, 10);
         assert_eq!(medium.participation_pct, 40);
-    }
-
-    #[test]
-    fn thinning_is_deterministic_and_keeps_day_zero() {
-        let data = crate::data::dataset(5, 3, 300, 0xE11);
-        let thinned = thin_participation(&data.dataset, 50);
-        assert_eq!(thinned, thin_participation(&data.dataset, 50));
-        assert!(thinned.record_count() < data.dataset.record_count());
-        // Day 0 keeps every user.
-        let first = WindowedDataset::partition(&thinned);
-        assert_eq!(first.windows()[0].users().len(), 5);
-        // 100 % participation keeps every record (regrouped per user);
-        // 0 % keeps only day 0.
-        assert_eq!(
-            thin_participation(&data.dataset, 100).record_count(),
-            data.dataset.record_count()
-        );
-        let only_day0 = thin_participation(&data.dataset, 0);
-        assert_eq!(WindowedDataset::partition(&only_day0).len(), 1);
-        assert!(thin_participation(&mobility::Dataset::new(), 50).record_count() == 0);
     }
 }

@@ -1,0 +1,42 @@
+//! # campaign — multi-campaign orchestration over a shared population
+//!
+//! The paper deploys PRIVAPI inside APISENSE, a platform that runs *many*
+//! crowd-sensing campaigns at once over the same user community — yet a
+//! [`privapi::streaming::StreamingPublisher`] serves exactly one campaign
+//! per session. This crate multiplexes them: a [`CampaignRegistry`] of
+//! concurrent [`Campaign`]s — each with its own objective, privacy floor,
+//! seed, strategy pool, attack parameters, participant filter and
+//! lifetime — driven by an [`Orchestrator`] over one day-window stream,
+//! with the original-side extraction work **shared** across campaigns
+//! instead of repeated per campaign.
+//!
+//! What is shared and what is not:
+//!
+//! * same attack configuration + full population → one shared
+//!   original-side session, K campaigns read it (the per-user extraction
+//!   cost is ~1/K of running K independent publishers);
+//! * same attack configuration + user-subset filter → a private view that
+//!   *derives* shards from the shared session whenever the extraction
+//!   grids agree;
+//! * different attack configuration → the campaign pays exactly its own
+//!   original-side pass, nothing more;
+//! * the protected side (per-candidate anonymizations and self-attacks)
+//!   is always per campaign — it depends on the campaign's pool and seed.
+//!
+//! Every campaign's releases stay **byte-identical** to running that
+//! campaign alone through a `StreamingPublisher` on its filtered stream
+//! (property-tested across seeds, sparse participation and subset
+//! filters).
+//!
+//! See [`Orchestrator`] for the end-to-end example.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod campaign;
+mod orchestrator;
+mod registry;
+
+pub use campaign::{Campaign, CampaignError, CampaignId, CampaignStatus};
+pub use orchestrator::{CampaignOutcome, CampaignRelease, DayReport, Orchestrator, SkipReason};
+pub use registry::CampaignRegistry;

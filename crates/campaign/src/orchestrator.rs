@@ -1,0 +1,471 @@
+//! The multi-campaign orchestrator: N concurrent campaigns, one
+//! population stream, shared original-side extraction.
+//!
+//! # Why sharing works
+//!
+//! Every campaign's per-window cost splits into two halves:
+//!
+//! * **original side** — extracting the population's own POI exposure
+//!   (per-user [`privapi::attack::UserAttackShard`]s + the reference
+//!   index) over the accumulated prefix. This depends only on *(stream,
+//!   attack configuration)* — not on the campaign's objective, pool, seed
+//!   or privacy floor. K campaigns with the same attack configuration
+//!   need it exactly once.
+//! * **protected side** — anonymizing and self-attacking every candidate
+//!   strategy. This depends on the campaign's pool and seed and is never
+//!   shared; each campaign keeps its own
+//!   [`privapi::streaming::StrategySessionCache`].
+//!
+//! The orchestrator therefore keeps one [`SharedSession`] (a
+//! [`PopulationCache`] plus the attack that maintains it) per distinct
+//! *(attack configuration, start day, stream position)* group.
+//! [`Orchestrator::advance_day`] advances each consumed session **once**,
+//! then fans the per-campaign evaluations out across the cores — campaigns
+//! × candidate strategies — collecting outcomes in registration order so
+//! the winner schedule is deterministic regardless of scheduling.
+//!
+//! Filtered campaigns own a private [`PopulationCache`] over their
+//! filtered stream. A pure user-subset campaign additionally names a
+//! matching shared session as *donor*: whenever the donor is in lockstep
+//! (same attack configuration, same day, same extraction grid — i.e. the
+//! subset spans the population's bounding box), invalidated shards are
+//! **derived** (cloned) from the donor instead of re-extracted
+//! ([`PopulationCache::advance_derived`]); any mismatch falls back to a
+//! real extraction, so derivation can never change results.
+//!
+//! # The parity invariant
+//!
+//! Each campaign's releases are **byte-identical** to running that
+//! campaign alone through a [`privapi::streaming::StreamingPublisher`]
+//! fed its filtered windows (skipping days its filter empties). This is
+//! by construction — the orchestrator drives the exact
+//! [`privapi::pipeline::PrivApi::publish_session`] path a standalone
+//! session runs — and enforced by property tests across seeds, sparse
+//! participation and subset filters.
+
+use crate::campaign::{Campaign, CampaignError, CampaignId, CampaignStatus};
+use crate::registry::{CampaignEntry, CampaignRegistry, View};
+use mobility::{DatasetWindow, UserId};
+use privapi::attack::{PoiAttack, PoiAttackConfig};
+use privapi::pipeline::PublishedDataset;
+use privapi::streaming::{
+    PopulationCache, StrategyCacheDelta, StrategySessionCache, WindowDelta, WindowUpdate,
+};
+use privapi::PrivapiError;
+use rayon::prelude::*;
+
+/// One shared original-side extraction session: the population's
+/// [`PopulationCache`] under one attack configuration, advanced once per
+/// window and read by every attached campaign.
+#[derive(Debug)]
+pub(crate) struct SharedSession {
+    /// The attack maintaining the cache (a clone of the first attached
+    /// campaign's, so its extraction accounting lands on that campaign's
+    /// probe).
+    pub(crate) attack: PoiAttack,
+    pub(crate) config: PoiAttackConfig,
+    pub(crate) cache: PopulationCache,
+    /// First day the session ingests (the attached campaigns' common
+    /// `start_day`).
+    pub(crate) start_day: Option<i64>,
+}
+
+/// Why a campaign produced no release for a day.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SkipReason {
+    /// The campaign's `start_day` lies in the future.
+    NotStarted,
+    /// The campaign's `end_day` has passed.
+    Ended,
+    /// The campaign was retired by the operator.
+    Retired,
+    /// The campaign's filter left no record in this window.
+    NoParticipants,
+}
+
+/// One campaign's result for one orchestrated day.
+#[derive(Debug)]
+pub enum CampaignOutcome {
+    /// The campaign ingested the (filtered) window and released.
+    /// (Boxed: a release carries the full protected dataset, orders of
+    /// magnitude larger than the other variants.)
+    Published(Box<CampaignRelease>),
+    /// The campaign did not observe this window.
+    Skipped(SkipReason),
+    /// The campaign observed the window but could not release (e.g.
+    /// [`PrivapiError::NoFeasibleStrategy`] on its prefix). The window
+    /// *was* ingested into the campaign's view; later days continue from
+    /// the grown prefix, exactly as a standalone session would.
+    Failed(PrivapiError),
+}
+
+impl CampaignOutcome {
+    /// The release, when this outcome published one.
+    pub fn release(&self) -> Option<&CampaignRelease> {
+        match self {
+            CampaignOutcome::Published(release) => Some(release.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+/// One campaign's release for one day, with the audit of what its caches
+/// reused, derived or recomputed.
+#[derive(Debug)]
+pub struct CampaignRelease {
+    /// The campaign that released.
+    pub id: CampaignId,
+    /// The day that triggered the release.
+    pub day: i64,
+    /// Original-side cache audit for the campaign's view. For a shared
+    /// campaign this is the shared session's delta (paid once, reported
+    /// to every sharer); [`WindowDelta::users_derived`] counts shards
+    /// cloned from a donor session.
+    pub delta: WindowDelta,
+    /// Protected-side audit summed over the campaign's candidate pool.
+    pub strategies: StrategyCacheDelta,
+    /// Whether the campaign read a shared session (original-side work
+    /// amortized across campaigns) rather than a private cache.
+    pub shared: bool,
+    /// The release itself — same shape as a standalone
+    /// [`privapi::pipeline::PrivApi::publish`] of the campaign's prefix.
+    pub published: PublishedDataset,
+}
+
+/// Everything one [`Orchestrator::advance_day`] call did.
+#[derive(Debug)]
+pub struct DayReport {
+    /// The day processed.
+    pub day: i64,
+    /// Audit of every shared session advanced this day (one entry per
+    /// session that had an attached consuming campaign).
+    pub sessions: Vec<WindowDelta>,
+    /// Per-campaign outcomes, in registration order.
+    pub outcomes: Vec<(CampaignId, CampaignOutcome)>,
+}
+
+impl DayReport {
+    /// The releases published this day, in registration order.
+    pub fn published(&self) -> impl Iterator<Item = &CampaignRelease> {
+        self.outcomes.iter().filter_map(|(_, o)| o.release())
+    }
+
+    /// The release of one campaign, if it published.
+    pub fn release_of(&self, id: CampaignId) -> Option<&CampaignRelease> {
+        self.outcomes
+            .iter()
+            .find(|(c, _)| *c == id)
+            .and_then(|(_, o)| o.release())
+    }
+}
+
+/// Runs N concurrent campaigns over one shared population window stream.
+///
+/// # Example
+///
+/// ```
+/// use campaign::{Campaign, Orchestrator};
+/// use mobility::gen::{CityModel, PopulationConfig};
+/// use mobility::WindowedDataset;
+/// use privapi::pipeline::PrivApiConfig;
+///
+/// let data = CityModel::builder().seed(3).build().generate_population(
+///     &PopulationConfig { users: 3, days: 2, ..PopulationConfig::default() },
+/// );
+/// let mut orchestrator = Orchestrator::new();
+/// orchestrator.register(Campaign::new(1, "city-wide", PrivApiConfig::default())).unwrap();
+/// orchestrator.register(Campaign::new(2, "replica", PrivApiConfig::default())).unwrap();
+/// for window in &WindowedDataset::partition(&data) {
+///     let report = orchestrator.advance_day(window).unwrap();
+///     // Both campaigns release; the original-side extraction ran once.
+///     assert_eq!(report.published().count(), 2);
+///     assert_eq!(report.sessions.len(), 1);
+/// }
+/// ```
+#[derive(Debug, Default)]
+pub struct Orchestrator {
+    registry: CampaignRegistry,
+    sessions: Vec<SharedSession>,
+    last_day: Option<i64>,
+}
+
+impl Orchestrator {
+    /// Creates an orchestrator with no campaigns.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The campaign registry (ids, statuses, per-campaign counters).
+    pub fn registry(&self) -> &CampaignRegistry {
+        &self.registry
+    }
+
+    /// Day index of the most recently processed window.
+    pub fn last_day(&self) -> Option<i64> {
+        self.last_day
+    }
+
+    /// Number of shared original-side sessions currently maintained (one
+    /// per distinct attack-configuration × start-day × stream-position
+    /// group with at least one full-population campaign).
+    pub fn shared_sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Lifecycle status of a campaign relative to the stream position.
+    pub fn status(&self, id: CampaignId) -> Option<CampaignStatus> {
+        self.registry.status(id, self.last_day)
+    }
+
+    /// Registers a campaign. Campaigns may join mid-stream: their view of
+    /// the population starts at the next window (optionally further
+    /// bounded by [`Campaign::with_start_day`]).
+    ///
+    /// A full-population campaign joins (or creates) the shared session
+    /// matching its attack configuration, start day and stream position,
+    /// so K same-configuration campaigns pay the original-side extraction
+    /// once. A filtered campaign gets a private view; a pure user-subset
+    /// filter additionally links the matching shared session as shard
+    /// donor **if one already exists** — register the full-population
+    /// campaign first to give its subsets a donor.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::DuplicateId`] when an active campaign already
+    /// holds the id (retired ids are reusable).
+    pub fn register(&mut self, campaign: Campaign) -> Result<CampaignId, CampaignError> {
+        if self.registry.is_active(campaign.id()) {
+            return Err(CampaignError::DuplicateId(campaign.id()));
+        }
+        let view = if campaign.filter().is_all() {
+            View::Shared(self.find_or_create_session(&campaign))
+        } else {
+            View::Private {
+                cache: Box::new(PopulationCache::new()),
+                donor: if campaign.filter().is_user_subset() {
+                    self.find_session(&campaign)
+                } else {
+                    None
+                },
+            }
+        };
+        self.registry.push(CampaignEntry {
+            campaign,
+            retired: false,
+            view,
+            strategies: StrategySessionCache::new(),
+            windows_published: 0,
+            last_published_day: None,
+        })
+    }
+
+    /// Retires an active campaign: it stops observing the stream
+    /// immediately and its id becomes reusable. Its shared session lives
+    /// on while other campaigns consume it (and stops advancing once none
+    /// do).
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Unknown`] when no active campaign holds the id.
+    pub fn retire(&mut self, id: CampaignId) -> Result<(), CampaignError> {
+        self.registry.retire(id)
+    }
+
+    /// Processes one population day window: advances every consumed shared
+    /// session exactly once, then evaluates all campaigns — campaigns ×
+    /// candidate strategies fanned out over the available cores — and
+    /// reports per-campaign outcomes in registration order (the
+    /// deterministic winner schedule).
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Stream`] when the window's day is not past the
+    /// orchestrator's last processed day (nothing is ingested anywhere).
+    /// Per-campaign publication failures are reported as
+    /// [`CampaignOutcome::Failed`], never as an `advance_day` error.
+    pub fn advance_day(&mut self, window: &DatasetWindow) -> Result<DayReport, CampaignError> {
+        let day = window.day();
+        if let Some(last) = self.last_day {
+            if day <= last {
+                return Err(CampaignError::Stream {
+                    day,
+                    last_day: last,
+                });
+            }
+        }
+        self.last_day = Some(day);
+        if window.record_count() == 0 {
+            // An empty day changes nothing: every campaign skips it, each
+            // for its own lifecycle reason (mirrors a standalone publisher
+            // never seeing a window for a record-less day).
+            let outcomes = self
+                .registry
+                .entries
+                .iter()
+                .map(|e| {
+                    let reason = if e.retired {
+                        SkipReason::Retired
+                    } else if e.campaign.start_day().is_some_and(|s| day < s) {
+                        SkipReason::NotStarted
+                    } else if e.campaign.end_day().is_some_and(|end| day > end) {
+                        SkipReason::Ended
+                    } else {
+                        SkipReason::NoParticipants
+                    };
+                    (e.campaign.id(), CampaignOutcome::Skipped(reason))
+                })
+                .collect();
+            return Ok(DayReport {
+                day,
+                sessions: Vec::new(),
+                outcomes,
+            });
+        }
+
+        // Phase 1 — advance each shared session consumed by at least one
+        // campaign observing this day. Donor-only links do not keep a
+        // session alive: extracting the whole population to spare a
+        // subset would cost more than it saves.
+        let mut session_deltas: Vec<Option<WindowDelta>> = Vec::new();
+        session_deltas.resize_with(self.sessions.len(), || None);
+        for (index, session) in self.sessions.iter_mut().enumerate() {
+            if session.start_day.is_some_and(|s| day < s) {
+                continue;
+            }
+            let consumed = self.registry.entries.iter().any(|e| {
+                !e.retired && e.campaign.covers(day) && e.view.shared_session() == Some(index)
+            });
+            if !consumed {
+                continue;
+            }
+            let delta = session
+                .cache
+                .advance(&session.attack, window)
+                .expect("sessions follow the orchestrator's strictly ascending days");
+            session_deltas[index] = Some(delta);
+        }
+
+        // Phase 2 — evaluate every campaign against its view, in
+        // parallel, collecting in registration order.
+        let sessions = &self.sessions;
+        let deltas = &session_deltas;
+        let outcomes: Vec<(CampaignId, CampaignOutcome)> = self
+            .registry
+            .entries
+            .par_iter_mut()
+            .map(|entry| {
+                let id = entry.campaign.id();
+                (id, evaluate_campaign(entry, window, sessions, deltas))
+            })
+            .collect();
+        Ok(DayReport {
+            day,
+            sessions: session_deltas.into_iter().flatten().collect(),
+            outcomes,
+        })
+    }
+
+    /// An existing, joinable session matching the campaign's attack
+    /// configuration, start day and stream position (nothing ingested
+    /// yet — a session that already absorbed windows holds a prefix the
+    /// newcomer never saw).
+    fn find_session(&self, campaign: &Campaign) -> Option<usize> {
+        self.sessions.iter().position(|s| {
+            s.cache.windows_ingested() == 0
+                && s.start_day == campaign.start_day()
+                && &s.config == campaign.privapi().attack().config()
+        })
+    }
+
+    fn find_or_create_session(&mut self, campaign: &Campaign) -> usize {
+        if let Some(index) = self.find_session(campaign) {
+            return index;
+        }
+        let attack = campaign.privapi().attack().clone();
+        self.sessions.push(SharedSession {
+            config: attack.config().clone(),
+            attack,
+            cache: PopulationCache::new(),
+            start_day: campaign.start_day(),
+        });
+        self.sessions.len() - 1
+    }
+}
+
+/// One campaign's step for one day: scope checks, view ingest (shared
+/// read / private advance with optional donor derivation), then the
+/// standard [`privapi::pipeline::PrivApi::publish_session`] evaluation.
+fn evaluate_campaign(
+    entry: &mut CampaignEntry,
+    window: &DatasetWindow,
+    sessions: &[SharedSession],
+    session_deltas: &[Option<WindowDelta>],
+) -> CampaignOutcome {
+    let day = window.day();
+    if entry.retired {
+        return CampaignOutcome::Skipped(SkipReason::Retired);
+    }
+    let CampaignEntry {
+        campaign,
+        view,
+        strategies,
+        ..
+    } = entry;
+    if campaign.start_day().is_some_and(|s| day < s) {
+        return CampaignOutcome::Skipped(SkipReason::NotStarted);
+    }
+    if campaign.end_day().is_some_and(|e| day > e) {
+        return CampaignOutcome::Skipped(SkipReason::Ended);
+    }
+    let filtered_window;
+    let (population, delta, changed_users, shared): (
+        &PopulationCache,
+        WindowDelta,
+        Vec<UserId>,
+        bool,
+    ) = match view {
+        View::Shared(index) => {
+            let delta = session_deltas[*index]
+                .expect("an active shared campaign's session advanced this day");
+            (&sessions[*index].cache, delta, window.users(), true)
+        }
+        View::Private { cache, donor } => {
+            let Some(filtered) = campaign.filter().filter_window(window) else {
+                return CampaignOutcome::Skipped(SkipReason::NoParticipants);
+            };
+            filtered_window = filtered;
+            let donor_cache = donor.map(|index| &sessions[index].cache);
+            let delta = match cache.advance_derived(
+                campaign.privapi().attack(),
+                &filtered_window,
+                donor_cache,
+            ) {
+                Ok(delta) => delta,
+                Err(error) => return CampaignOutcome::Failed(error),
+            };
+            (&**cache, delta, filtered_window.users(), false)
+        }
+    };
+    let update = WindowUpdate {
+        changed_users,
+        grid_rebuilt: delta.grid_rebuilt,
+    };
+    match campaign
+        .privapi()
+        .publish_session(population, strategies, &update)
+    {
+        Ok((published, strategy_delta)) => {
+            entry.windows_published += 1;
+            entry.last_published_day = Some(day);
+            CampaignOutcome::Published(Box::new(CampaignRelease {
+                id: entry.campaign.id(),
+                day,
+                delta,
+                strategies: strategy_delta,
+                shared,
+                published,
+            }))
+        }
+        Err(error) => CampaignOutcome::Failed(error),
+    }
+}

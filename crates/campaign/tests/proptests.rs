@@ -1,0 +1,132 @@
+//! The orchestrator's governing property: every campaign's per-window
+//! winners are **byte-identical** to running that campaign alone through
+//! a [`privapi::streaming::StreamingPublisher`] fed its filtered window
+//! stream — across generator seeds, sparse participation and subset
+//! filters.
+
+use campaign::{Campaign, CampaignId, CampaignOutcome, Orchestrator};
+use mobility::gen::{thin_participation_salted, CityModel, PopulationConfig};
+use mobility::{ParticipantFilter, UserId, WindowedDataset};
+use privapi::pipeline::{PrivApi, PrivApiConfig};
+use privapi::streaming::StreamingPublisher;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// For each registered campaign — a full-population one, a
+    /// user-subset one, and a full-population one at a different
+    /// selection seed (same attack configuration, so all three lean on
+    /// one shared original-side session) — the orchestrated releases
+    /// must equal the standalone streaming releases bit for bit, day by
+    /// day, including which days are skipped (filter emptied the window)
+    /// and which days fail (no feasible strategy on the prefix).
+    #[test]
+    fn orchestrated_winners_match_standalone_streaming(
+        seed in any::<u64>(),
+        users in 2usize..5,
+        days in 2usize..4,
+    ) {
+        let data = CityModel::builder()
+            .seed(seed ^ 0xE12)
+            .build()
+            .generate_population(&PopulationConfig {
+                users,
+                days,
+                sampling_interval_s: 300,
+                gps_noise_m: 5.0,
+                leisure_probability: 0.3,
+            });
+        // Sparse participation: some windows genuinely miss users, so the
+        // reuse and derivation paths execute.
+        let data = thin_participation_salted(&data, 50, seed);
+        let windows = WindowedDataset::partition(&data);
+        let subset = ParticipantFilter::users(
+            (0..users as u64 / 2 + 1).map(UserId).collect::<Vec<_>>(),
+        );
+        let other_seed = PrivApiConfig {
+            seed: seed ^ 0x5EED,
+            ..PrivApiConfig::default()
+        };
+        let campaigns: Vec<(u64, PrivApiConfig, ParticipantFilter)> = vec![
+            (1, PrivApiConfig::default(), ParticipantFilter::All),
+            (2, PrivApiConfig::default(), subset),
+            (3, other_seed, ParticipantFilter::All),
+        ];
+
+        let mut orchestrator = Orchestrator::new();
+        for (id, config, filter) in &campaigns {
+            orchestrator
+                .register(
+                    Campaign::new(*id, format!("c{id}"), *config)
+                        .with_filter(filter.clone()),
+                )
+                .unwrap();
+        }
+        prop_assert_eq!(orchestrator.shared_sessions(), 1,
+            "same attack configuration must share one session");
+
+        let mut reports = Vec::new();
+        for window in &windows {
+            reports.push(orchestrator.advance_day(window).unwrap());
+        }
+
+        for (id, config, filter) in &campaigns {
+            let mut standalone =
+                StreamingPublisher::from_privapi(PrivApi::new(*config));
+            for (window, report) in windows.iter().zip(&reports) {
+                let outcome = report
+                    .outcomes
+                    .iter()
+                    .find(|(c, _)| *c == CampaignId(*id))
+                    .map(|(_, o)| o)
+                    .expect("every campaign reports every day");
+                match filter.filter_window(window) {
+                    None => {
+                        prop_assert!(
+                            matches!(outcome, CampaignOutcome::Skipped(_)),
+                            "campaign {} day {}: empty filtered window must skip, got {:?}",
+                            id, window.day(), outcome
+                        );
+                    }
+                    Some(filtered) => match (outcome, standalone.publish_window(&filtered)) {
+                        (CampaignOutcome::Published(release), Ok(expected)) => {
+                            prop_assert_eq!(
+                                &release.published.selection, &expected.published.selection,
+                                "campaign {} day {}", id, window.day()
+                            );
+                            prop_assert_eq!(
+                                &release.published.strategy, &expected.published.strategy,
+                                "campaign {} day {}", id, window.day()
+                            );
+                            prop_assert_eq!(
+                                &release.published.privacy, &expected.published.privacy,
+                                "campaign {} day {}", id, window.day()
+                            );
+                            prop_assert_eq!(
+                                &release.published.dataset, &expected.published.dataset,
+                                "campaign {} day {}", id, window.day()
+                            );
+                            prop_assert_eq!(release.day, window.day());
+                        }
+                        (CampaignOutcome::Failed(a), Err(b)) => {
+                            prop_assert_eq!(
+                                format!("{a}"), format!("{b}"),
+                                "campaign {} day {}: both paths must fail alike",
+                                id, window.day()
+                            );
+                        }
+                        (outcome, expected) => {
+                            return Err(TestCaseError::fail(format!(
+                                "campaign {} day {}: orchestrated {outcome:?} vs \
+                                 standalone {expected:?} disagree",
+                                id,
+                                window.day()
+                            )));
+                        }
+                    },
+                }
+            }
+        }
+    }
+}

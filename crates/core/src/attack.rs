@@ -133,7 +133,7 @@ pub struct PoiAttackReport {
 }
 
 /// Per-user dwell statistics backing the concentration filter.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DwellField {
     /// Dwell mass per cell.
     mass: HashMap<geo::CellId, f64>,
@@ -162,7 +162,7 @@ impl DwellField {
 /// One user's slice of the attack: their dwell field and the POIs extracted
 /// from it. Shards are independent — [`PoiAttack::extract`] computes them in
 /// parallel — and are the natural cache unit for streaming per-day releases.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct UserAttackShard {
     /// The user this shard belongs to.
     pub user: UserId,

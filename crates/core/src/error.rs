@@ -22,6 +22,15 @@ pub enum PrivapiError {
     },
     /// The dataset was empty where data was required.
     EmptyDataset,
+    /// A streaming day window arrived out of order: its day is not past
+    /// the session's most recently ingested day (a duplicate ingest, or an
+    /// out-of-order replay). Nothing was ingested.
+    StreamError {
+        /// Day index of the rejected window.
+        day: i64,
+        /// Day index of the most recently ingested window.
+        last_day: i64,
+    },
     /// An underlying mobility-layer error.
     Mobility(mobility::MobilityError),
 }
@@ -37,6 +46,11 @@ impl fmt::Display for PrivapiError {
                 "no strategy satisfies privacy floor {floor:.2} (best achievable POI recall {best_recall:.2})"
             ),
             PrivapiError::EmptyDataset => write!(f, "operation requires a non-empty dataset"),
+            PrivapiError::StreamError { day, last_day } => write!(
+                f,
+                "window for day {day} arrived after day {last_day}: streaming windows must \
+                 ascend strictly (duplicate ingest of an already-published window?)"
+            ),
             PrivapiError::Mobility(e) => write!(f, "mobility error: {e}"),
         }
     }
@@ -70,6 +84,13 @@ mod tests {
         assert!(e.to_string().contains("0.10"));
         assert!(e.to_string().contains("0.40"));
         assert!(PrivapiError::EmptyDataset.to_string().contains("non-empty"));
+        let stream = PrivapiError::StreamError {
+            day: 3,
+            last_day: 5,
+        };
+        assert!(stream.to_string().contains("day 3"));
+        assert!(stream.to_string().contains("day 5"));
+        assert!(stream.to_string().contains("ascend strictly"));
     }
 
     #[test]

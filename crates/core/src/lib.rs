@@ -100,7 +100,7 @@ pub mod prelude {
     };
     pub use crate::strategy::{AnonymizationStrategy, StrategyInfo, UserLocality};
     pub use crate::streaming::{
-        CandidateDelta, PublishedWindow, SessionCache, StrategyCacheDelta,
+        CandidateDelta, PopulationCache, PublishedWindow, SessionCache, StrategyCacheDelta,
         StrategySessionCache, StreamingPublisher, WindowDelta, WindowUpdate,
     };
 }

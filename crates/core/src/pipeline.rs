@@ -17,7 +17,10 @@ use crate::error::PrivapiError;
 use crate::pool::StrategyPool;
 use crate::selection::{Objective, SelectionReport};
 use crate::strategy::StrategyInfo;
-use crate::streaming::{PublishedWindow, SessionCache, WindowUpdate};
+use crate::streaming::{
+    PopulationCache, PublishedWindow, SessionCache, StrategyCacheDelta, StrategySessionCache,
+    WindowUpdate,
+};
 use geo::Meters;
 use mobility::{Dataset, DatasetWindow};
 
@@ -188,9 +191,10 @@ impl PrivApi {
     /// A successful ingest is permanent: if the *release* then fails
     /// (e.g. [`PrivapiError::NoFeasibleStrategy`]), the window's records
     /// remain part of the session prefix and are **not** rolled back —
-    /// re-sending the same window is rejected as a non-ascending day by
-    /// [`SessionCache::advance`], so a retry loop can never silently
-    /// double-ingest a day and corrupt the batch-parity invariant.
+    /// re-sending the same window is rejected with the typed
+    /// [`PrivapiError::StreamError`] by [`SessionCache::advance`], so a
+    /// retry loop can never silently double-ingest a day and corrupt the
+    /// batch-parity invariant.
     ///
     /// # Example
     ///
@@ -217,8 +221,8 @@ impl PrivApi {
     /// # Errors
     ///
     /// * [`PrivapiError::EmptyDataset`] for an empty window;
-    /// * [`PrivapiError::InvalidParameter`] for a duplicate or
-    ///   out-of-order window day (nothing ingested);
+    /// * [`PrivapiError::StreamError`] for a duplicate or out-of-order
+    ///   window day (nothing ingested);
     /// * [`PrivapiError::NoFeasibleStrategy`] when no pooled strategy can
     ///   meet the privacy floor on the accumulated prefix (window
     ///   ingested).
@@ -239,27 +243,61 @@ impl PrivApi {
             grid_rebuilt: delta.grid_rebuilt,
             ..update
         };
-        let engine = self.engine();
-        let (prefix, reference, index, strategies) = cache.split_for_evaluation();
-        let context = EvalContext::from_cache(
-            prefix,
-            reference,
-            index.expect("non-empty window was just ingested"),
-            self.config.objective,
-        );
-        let (selection, winner) =
-            engine.evaluate_release_with(&self.pool, &context, strategies, &update)?;
-        let strategy_delta = strategies.last_window();
-        let Some(winner) = winner else {
-            return Err(selection.no_feasible_error());
-        };
-        let published = self.assemble(selection, winner)?;
+        let (population, strategies) = cache.split_for_evaluation();
+        let (published, strategy_delta) =
+            self.publish_session(population, strategies, &update)?;
         Ok(PublishedWindow {
             day: window.day(),
             delta,
             strategies: strategy_delta,
             published,
         })
+    }
+
+    /// The evaluation-only half of a streaming step: selects and releases
+    /// over an **already-advanced** [`PopulationCache`], refreshing the
+    /// caller's per-strategy caches along the way. This is what
+    /// [`PrivApi::publish_window`] runs right after
+    /// [`SessionCache::advance`], split out so callers that *share* one
+    /// population cache across several consumers — the multi-campaign
+    /// orchestrator, which advances the population once per window and
+    /// then evaluates N campaigns against it — can drive the exact same
+    /// code path (winner parity with a standalone session is by
+    /// construction, not by re-implementation).
+    ///
+    /// `update` must describe what the window that advanced `population`
+    /// changed (its active users, and whether the extraction grid was
+    /// rebuilt), exactly as [`PrivApi::publish_window`] would build it.
+    ///
+    /// # Errors
+    ///
+    /// * [`PrivapiError::EmptyDataset`] when the population cache holds no
+    ///   records yet;
+    /// * [`PrivapiError::NoFeasibleStrategy`] when no pooled strategy can
+    ///   meet the privacy floor on the accumulated prefix.
+    pub fn publish_session(
+        &self,
+        population: &PopulationCache,
+        strategies: &mut StrategySessionCache,
+        update: &WindowUpdate,
+    ) -> Result<(PublishedDataset, StrategyCacheDelta), PrivapiError> {
+        let Some(index) = population.reference_index() else {
+            return Err(PrivapiError::EmptyDataset);
+        };
+        let context = EvalContext::from_cache(
+            population.prefix(),
+            population.reference(),
+            index,
+            self.config.objective,
+        );
+        let (selection, winner) = self
+            .engine()
+            .evaluate_release_with(&self.pool, &context, strategies, update)?;
+        let strategy_delta = strategies.last_window();
+        let Some(winner) = winner else {
+            return Err(selection.no_feasible_error());
+        };
+        Ok((self.assemble(selection, winner)?, strategy_delta))
     }
 
     /// The evaluation engine every publish entry point drives, configured

@@ -98,18 +98,31 @@ pub struct WindowDelta {
     /// Whether the window widened the prefix bounding box, forcing a new
     /// extraction grid and a full per-user refresh.
     pub grid_rebuilt: bool,
+    /// Users whose shard was **derived** from a donor cache's extraction
+    /// ([`PopulationCache::advance_derived`]) instead of re-extracted —
+    /// the multi-campaign orchestrator's shared-extraction savings.
+    /// Always zero on the single-session [`PopulationCache::advance`]
+    /// path.
+    pub users_derived: usize,
 }
 
-/// Cross-window original-side attack state: the accumulated prefix, the
-/// per-user shards extracted from it, and the reference POIs + spatial
+/// Cross-window **original-side** attack state: the accumulated prefix,
+/// the per-user shards extracted from it, and the reference POIs + spatial
 /// index the engine scores candidates against.
 ///
+/// This is the population-level half of the streaming state, usable on its
+/// own: the multi-campaign orchestrator keeps *one* `PopulationCache` per
+/// attack configuration and lets every same-configuration campaign read
+/// it, so the original-side extraction work is paid once per window
+/// instead of once per campaign. The single-campaign [`SessionCache`]
+/// pairs one `PopulationCache` with one [`StrategySessionCache`].
+///
 /// The cache is pure state — it holds no attack of its own.
-/// [`SessionCache::advance`] borrows the publisher's [`PoiAttack`] so the
+/// [`PopulationCache::advance`] borrows the caller's [`PoiAttack`] so the
 /// extraction accounting (and any custom attack parameters) stay with the
 /// publisher that owns the session.
 #[derive(Debug, Default)]
-pub struct SessionCache {
+pub struct PopulationCache {
     prefix: Dataset,
     /// The prefix's bounding box, maintained incrementally
     /// ([`geo::BoundingBox::union`] per window — exact under append, so
@@ -127,13 +140,10 @@ pub struct SessionCache {
     /// itself stays valid) and re-extracts everyone instead of silently
     /// matching at stale parameters.
     attack_config: Option<PoiAttackConfig>,
-    /// The protected-side twin: per-candidate caches of each strategy's
-    /// protected prefix and self-attack shards.
-    strategies: StrategySessionCache,
 }
 
-impl SessionCache {
-    /// Creates an empty session (no windows ingested).
+impl PopulationCache {
+    /// Creates an empty cache (no windows ingested).
     pub fn new() -> Self {
         Self::default()
     }
@@ -155,13 +165,13 @@ impl SessionCache {
         &self.reference
     }
 
-    /// The amended spatial index over [`SessionCache::reference`], or
+    /// The amended spatial index over [`PopulationCache::reference`], or
     /// `None` before the first window.
     pub fn reference_index(&self) -> Option<&ReferenceIndex> {
         self.index.as_ref()
     }
 
-    /// Number of windows folded into this session.
+    /// Number of windows folded into this cache.
     pub fn windows_ingested(&self) -> usize {
         self.windows_ingested
     }
@@ -171,36 +181,18 @@ impl SessionCache {
         self.last_day
     }
 
-    /// The per-strategy protected-side caches this session maintains
-    /// alongside the original-side state.
-    pub fn strategies(&self) -> &StrategySessionCache {
-        &self.strategies
+    /// The prefix's bounding box after the last ingested window.
+    pub fn bounding_box(&self) -> Option<geo::BoundingBox> {
+        self.bbox
     }
 
-    /// Splits the session into the borrow shape
-    /// [`crate::pipeline::PrivApi::publish_window`] needs: the original-side
-    /// state read-only (it feeds [`crate::engine::EvalContext::from_cache`])
-    /// and the per-strategy caches mutably (the engine refreshes them while
-    /// sweeping the pool). The index is `None` before the first non-empty
-    /// window.
-    #[allow(clippy::type_complexity)]
-    pub(crate) fn split_for_evaluation(
-        &mut self,
-    ) -> (
-        &Dataset,
-        &ReferencePois,
-        Option<&ReferenceIndex>,
-        &mut StrategySessionCache,
-    ) {
-        (
-            &self.prefix,
-            &self.reference,
-            self.index.as_ref(),
-            &mut self.strategies,
-        )
+    /// The attack configuration the cached extraction was derived under
+    /// (`None` before the first window).
+    pub fn attack_config(&self) -> Option<&PoiAttackConfig> {
+        self.attack_config.as_ref()
     }
 
-    /// Folds one day window into the session: appends its trajectories to
+    /// Folds one day window into the cache: appends its trajectories to
     /// the prefix, re-extracts (only) the invalidated users' shards over
     /// the grown prefix via the [`PoiAttack::extract_user`] delta path,
     /// and amends the reference POIs and their spatial index.
@@ -212,7 +204,7 @@ impl SessionCache {
     /// folded back in `UserId` order, so the cache state is deterministic
     /// regardless of scheduling.
     ///
-    /// The session fingerprints the attack configuration it was advanced
+    /// The cache fingerprints the attack configuration it was advanced
     /// with: ingesting a window through an attack with *different*
     /// parameters (grid cell, thresholds, match distance) drops all
     /// derived state — shards, reference POIs, index — and re-extracts
@@ -223,24 +215,51 @@ impl SessionCache {
     /// # Errors
     ///
     /// Windows must arrive in strictly ascending day order. A window
-    /// whose day is not past [`SessionCache::last_day`] — a duplicate
+    /// whose day is not past [`PopulationCache::last_day`] — a duplicate
     /// ingest, or an out-of-order replay — is rejected with
-    /// [`PrivapiError::InvalidParameter`] *before* touching any state, so
-    /// the prefix can never silently double-count a day's records.
+    /// [`PrivapiError::StreamError`] *before* touching any state, so the
+    /// prefix can never silently double-count a day's records.
     pub fn advance(
         &mut self,
         attack: &PoiAttack,
         window: &DatasetWindow,
     ) -> Result<WindowDelta, PrivapiError> {
+        self.advance_derived(attack, window, None)
+    }
+
+    /// [`PopulationCache::advance`] with a **donor**: a cache holding the
+    /// same attack configuration over a *superset* population whose
+    /// per-user record histories bitwise contain this cache's (a
+    /// user-subset view of the same window stream). When the donor has
+    /// already ingested this window and both caches agree on the prefix
+    /// bounding box (hence on the extraction grid), invalidated users'
+    /// shards are **cloned from the donor** instead of re-extracted —
+    /// byte-identical by determinism of [`PoiAttack::extract_user`], and
+    /// free of [`PoiAttack::user_extractions`] cost. Users the donor does
+    /// not hold, or any mismatch in configuration, day, or bounding box,
+    /// fall back to a real extraction, so a donor can never change
+    /// results — only skip work. The derived count is reported in
+    /// [`WindowDelta::users_derived`].
+    ///
+    /// The *caller* is responsible for the superset-records contract
+    /// (e.g. only passing a donor when this cache's view is a pure
+    /// user-subset filter of the donor's stream); everything else is
+    /// verified here.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`PopulationCache::advance`].
+    pub fn advance_derived(
+        &mut self,
+        attack: &PoiAttack,
+        window: &DatasetWindow,
+        donor: Option<&PopulationCache>,
+    ) -> Result<WindowDelta, PrivapiError> {
         if let Some(last) = self.last_day {
             if window.day() <= last {
-                return Err(PrivapiError::InvalidParameter {
-                    name: "window.day",
-                    value: format!(
-                        "day {} after day {last}: windows must ascend strictly \
-                         (duplicate ingest of an already-published window?)",
-                        window.day()
-                    ),
+                return Err(PrivapiError::StreamError {
+                    day: window.day(),
+                    last_day: last,
                 });
             }
         }
@@ -277,16 +296,40 @@ impl SessionCache {
                 users_reused: 0,
                 indexes_extended: 0,
                 grid_rebuilt: false,
+                users_derived: 0,
             });
         };
         let grid_rebuilt = config_changed || (self.bbox.is_some() && self.bbox != Some(bbox));
-        let grid = attack.grid_for(bbox);
         let to_refresh: Vec<UserId> = if grid_rebuilt {
             self.prefix.users()
         } else {
             changed
         };
-        let refreshed: Vec<UserAttackShard> = to_refresh
+        // A donor's shard for user `u` equals our own extraction iff the
+        // donor extracted under the same attack parameters, over the same
+        // accumulated stream position, on the same grid (same bounding
+        // box) — and, per the caller's contract, holds bitwise our
+        // records for `u`. Anything else disqualifies the donor entirely.
+        let donor = donor.filter(|d| {
+            d.attack_config.as_ref() == Some(attack.config())
+                && d.last_day == Some(window.day())
+                && d.bbox == Some(bbox)
+        });
+        let mut derived: Vec<UserAttackShard> = Vec::new();
+        let mut to_extract: Vec<UserId> = Vec::new();
+        match donor {
+            Some(donor) => {
+                for &user in &to_refresh {
+                    match donor.shards.get(&user) {
+                        Some(shard) => derived.push(shard.clone()),
+                        None => to_extract.push(user),
+                    }
+                }
+            }
+            None => to_extract = to_refresh.clone(),
+        }
+        let grid = attack.grid_for(bbox);
+        let refreshed: Vec<UserAttackShard> = to_extract
             .par_iter()
             .map(|&user| attack.extract_user(&self.prefix, user, &grid))
             .collect();
@@ -294,7 +337,8 @@ impl SessionCache {
             .index
             .get_or_insert_with(|| ReferenceIndex::empty(attack.config().match_distance));
         let mut indexes_extended = 0;
-        for shard in refreshed {
+        let users_derived = derived.len();
+        for shard in derived.into_iter().chain(refreshed) {
             if index.update_user(shard.user, &shard.pois) {
                 indexes_extended += 1;
             }
@@ -304,11 +348,100 @@ impl SessionCache {
         self.bbox = Some(bbox);
         Ok(WindowDelta {
             day: window.day(),
-            users_refreshed: to_refresh.len(),
+            users_refreshed: to_refresh.len() - users_derived,
             users_reused: self.shards.len() - to_refresh.len(),
             indexes_extended,
             grid_rebuilt,
+            users_derived,
         })
+    }
+}
+
+/// Cross-window state of one streaming publication session: the
+/// original-side [`PopulationCache`] paired with the per-candidate
+/// protected-side [`StrategySessionCache`].
+#[derive(Debug, Default)]
+pub struct SessionCache {
+    population: PopulationCache,
+    /// The protected-side twin: per-candidate caches of each strategy's
+    /// protected prefix and self-attack shards.
+    strategies: StrategySessionCache,
+}
+
+impl SessionCache {
+    /// Creates an empty session (no windows ingested).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The original-side half of the session.
+    pub fn population(&self) -> &PopulationCache {
+        &self.population
+    }
+
+    /// The accumulated prefix: every ingested window's trajectories,
+    /// concatenated in ingestion order. Equals
+    /// [`mobility::WindowedDataset::prefix`] of the same windows.
+    pub fn prefix(&self) -> &Dataset {
+        self.population.prefix()
+    }
+
+    /// The cached per-user shards, keyed by user.
+    pub fn shards(&self) -> &BTreeMap<UserId, UserAttackShard> {
+        self.population.shards()
+    }
+
+    /// The reference POIs extracted from the prefix (one entry per user).
+    pub fn reference(&self) -> &ReferencePois {
+        self.population.reference()
+    }
+
+    /// The amended spatial index over [`SessionCache::reference`], or
+    /// `None` before the first window.
+    pub fn reference_index(&self) -> Option<&ReferenceIndex> {
+        self.population.reference_index()
+    }
+
+    /// Number of windows folded into this session.
+    pub fn windows_ingested(&self) -> usize {
+        self.population.windows_ingested()
+    }
+
+    /// Day index of the most recently ingested window.
+    pub fn last_day(&self) -> Option<i64> {
+        self.population.last_day()
+    }
+
+    /// The per-strategy protected-side caches this session maintains
+    /// alongside the original-side state.
+    pub fn strategies(&self) -> &StrategySessionCache {
+        &self.strategies
+    }
+
+    /// Splits the session into the borrow shape
+    /// [`crate::pipeline::PrivApi::publish_window`] needs: the
+    /// original-side state read-only (it feeds
+    /// [`crate::engine::EvalContext::from_cache`]) and the per-strategy
+    /// caches mutably (the engine refreshes them while sweeping the pool).
+    pub(crate) fn split_for_evaluation(
+        &mut self,
+    ) -> (&PopulationCache, &mut StrategySessionCache) {
+        (&self.population, &mut self.strategies)
+    }
+
+    /// Folds one day window into the session's original-side state — see
+    /// [`PopulationCache::advance`].
+    ///
+    /// # Errors
+    ///
+    /// [`PrivapiError::StreamError`] for a duplicate or out-of-order
+    /// window day (nothing ingested).
+    pub fn advance(
+        &mut self,
+        attack: &PoiAttack,
+        window: &DatasetWindow,
+    ) -> Result<WindowDelta, PrivapiError> {
+        self.population.advance(attack, window)
     }
 }
 
@@ -1243,13 +1376,13 @@ mod tests {
         // original-side prefix *and* the per-strategy protected caches.
         for stale in [&windows.windows()[1], &windows.windows()[0]] {
             let err = publisher.publish_window(stale).unwrap_err();
+            // The typed rejection carries both the offending day and the
+            // session's high-water mark, at every layer of the stack.
             assert!(
                 matches!(
                     err,
-                    PrivapiError::InvalidParameter {
-                        name: "window.day",
-                        ..
-                    }
+                    PrivapiError::StreamError { day, last_day }
+                        if day == stale.day() && last_day == windows.windows()[1].day()
                 ),
                 "got {err}"
             );
@@ -1265,6 +1398,89 @@ mod tests {
             publisher.cache().last_day(),
             Some(windows.windows()[1].day())
         );
+    }
+
+    #[test]
+    fn donor_derivation_is_byte_identical_and_skips_extraction() {
+        // A population of three users where users 1 and 2 attain the
+        // bounding-box extremes; the {1, 2} subset view therefore shares
+        // the population's extraction grid, and its shards can be cloned
+        // from the population cache instead of re-extracted.
+        use geo::GeoPoint;
+        use mobility::{LocationRecord, Timestamp, DAY_SECONDS};
+        let mut records = Vec::new();
+        for day in 0..2i64 {
+            for i in 0..120i64 {
+                let t = |s: i64| Timestamp::new(day * DAY_SECONDS + s * 300);
+                records.push(LocationRecord::new(
+                    UserId(1),
+                    t(i),
+                    GeoPoint::new(45.70, 4.78).unwrap(),
+                ));
+                records.push(LocationRecord::new(
+                    UserId(2),
+                    t(i),
+                    GeoPoint::new(45.80, 4.90).unwrap(),
+                ));
+                records.push(LocationRecord::new(
+                    UserId(3),
+                    t(i),
+                    GeoPoint::new(45.75, 4.85).unwrap(),
+                ));
+            }
+        }
+        let population = Dataset::from_records(records);
+        let filter = mobility::ParticipantFilter::users([UserId(1), UserId(2)]);
+        let subset = filter.filter_dataset(&population);
+        assert_eq!(subset.bounding_box(), population.bounding_box());
+        let pop_windows = WindowedDataset::partition(&population);
+        let sub_windows = WindowedDataset::partition(&subset);
+
+        let attack = PoiAttack::default();
+        let mut donor = PopulationCache::new();
+        let mut derived = PopulationCache::new();
+        let mut standalone = PopulationCache::new();
+        for (pop_w, sub_w) in pop_windows.iter().zip(sub_windows.iter()) {
+            donor.advance(&attack, pop_w).unwrap();
+            let before = attack.user_extractions();
+            let delta = derived
+                .advance_derived(&attack, sub_w, Some(&donor))
+                .unwrap();
+            assert_eq!(delta.users_derived, 2, "both subset users derive");
+            assert_eq!(delta.users_refreshed, 0, "nothing re-extracted");
+            assert_eq!(
+                attack.user_extractions(),
+                before,
+                "derivation must not pay the per-user probe"
+            );
+            standalone.advance(&attack, sub_w).unwrap();
+            assert_eq!(derived.shards(), standalone.shards(), "shards drifted");
+            assert_eq!(derived.reference(), standalone.reference());
+        }
+
+        // A donor whose grid does not match (here: a fresh cache that
+        // never ingested the window) is ignored, not trusted.
+        let mut no_donor_match = PopulationCache::new();
+        let stale_donor = PopulationCache::new();
+        let delta = no_donor_match
+            .advance_derived(&attack, &sub_windows.windows()[0], Some(&stale_donor))
+            .unwrap();
+        assert_eq!(delta.users_derived, 0);
+        assert_eq!(delta.users_refreshed, 2);
+        assert_eq!(
+            no_donor_match.shards(),
+            &standalone_prefix_shards(&attack, &sub_windows)
+        );
+    }
+
+    /// Shards of a from-scratch cache over the first window only.
+    fn standalone_prefix_shards(
+        attack: &PoiAttack,
+        windows: &WindowedDataset,
+    ) -> BTreeMap<UserId, UserAttackShard> {
+        let mut cache = PopulationCache::new();
+        cache.advance(attack, &windows.windows()[0]).unwrap();
+        cache.shards().clone()
     }
 
     #[test]

@@ -311,22 +311,10 @@ proptest! {
                 leisure_probability: 0.3,
             });
         // Keep day 0 complete, then drop roughly half the later
-        // (user, day) pairs so shard reuse actually triggers.
-        let first_day = data
-            .iter_records()
-            .map(|r| r.time.day_index())
-            .min()
-            .unwrap_or(0);
-        let data = mobility::Dataset::from_records(
-            data.iter_records()
-                .filter(|r| {
-                    let day = r.time.day_index();
-                    day == first_day
-                        || (r.user.0 ^ seed).wrapping_add(day as u64) % 2 == 0
-                })
-                .copied()
-                .collect(),
-        );
+        // (user, day) pairs so shard reuse actually triggers — through
+        // the shared deterministic thinning helper, salted by the case's
+        // seed so the dropout pattern varies across cases.
+        let data = mobility::gen::thin_participation_salted(&data, 50, seed);
         let windows = WindowedDataset::partition(&data);
         let mut publisher = StreamingPublisher::new(PrivApiConfig::default());
         let pool = publisher.privapi().pool().len();

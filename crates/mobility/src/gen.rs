@@ -249,6 +249,198 @@ impl CityBuilder {
     }
 }
 
+/// A named population scenario: a deterministic bundle of city layout,
+/// schedule parameters and daily participation density.
+///
+/// Multi-campaign deployments and the benchmark drivers need *diverse*
+/// populations without every call site hand-tuning a [`CityBuilder`] and a
+/// [`PopulationConfig`]; a preset names the whole bundle so two callers
+/// asking for `Commuter` at the same seed get byte-identical data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScenarioPreset {
+    /// Dense weekday commuters: compact city, frequent sampling, few
+    /// leisure trips, near-daily participation.
+    Commuter,
+    /// Leisure-heavy visitors: wide city, many leisure sites, long dwell
+    /// at attractions, moderate participation.
+    Tourist,
+    /// A blend of the above — the default "whole population" shape.
+    Mixed,
+    /// A sparse rural area: large radius, few sites, coarse sampling and
+    /// low daily participation (most users silent on most days).
+    SparseRural,
+}
+
+impl ScenarioPreset {
+    /// Every preset, in a stable order.
+    pub const ALL: [ScenarioPreset; 4] = [
+        ScenarioPreset::Commuter,
+        ScenarioPreset::Tourist,
+        ScenarioPreset::Mixed,
+        ScenarioPreset::SparseRural,
+    ];
+
+    /// Parses a preset name (`commuter`, `tourist`, `mixed`,
+    /// `sparse_rural`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending name (unknown presets must never silently
+    /// fall back to a default scenario).
+    pub fn parse(name: &str) -> Result<Self, String> {
+        match name {
+            "commuter" => Ok(ScenarioPreset::Commuter),
+            "tourist" => Ok(ScenarioPreset::Tourist),
+            "mixed" => Ok(ScenarioPreset::Mixed),
+            "sparse_rural" => Ok(ScenarioPreset::SparseRural),
+            other => Err(format!(
+                "unknown scenario preset {other:?}; use commuter|tourist|mixed|sparse_rural"
+            )),
+        }
+    }
+
+    /// The preset's canonical name (inverse of [`ScenarioPreset::parse`]).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScenarioPreset::Commuter => "commuter",
+            ScenarioPreset::Tourist => "tourist",
+            ScenarioPreset::Mixed => "mixed",
+            ScenarioPreset::SparseRural => "sparse_rural",
+        }
+    }
+
+    /// The preset's city layout, derived deterministically from `seed`.
+    pub fn city(&self, seed: u64) -> CityModel {
+        let builder = CityModel::builder().seed(seed);
+        match self {
+            ScenarioPreset::Commuter => builder
+                .radius_m(5_000.0)
+                .home_sites(300)
+                .work_sites(60)
+                .leisure_sites(40),
+            ScenarioPreset::Tourist => builder
+                .radius_m(10_000.0)
+                .home_sites(150)
+                .work_sites(30)
+                .leisure_sites(240),
+            ScenarioPreset::Mixed => builder,
+            ScenarioPreset::SparseRural => builder
+                .radius_m(20_000.0)
+                .home_sites(120)
+                .work_sites(15)
+                .leisure_sites(25),
+        }
+        .build()
+    }
+
+    /// The preset's schedule parameters for a `users × days` population.
+    pub fn population(&self, users: usize, days: usize) -> PopulationConfig {
+        match self {
+            ScenarioPreset::Commuter => PopulationConfig {
+                users,
+                days,
+                sampling_interval_s: 90,
+                gps_noise_m: 5.0,
+                leisure_probability: 0.15,
+            },
+            ScenarioPreset::Tourist => PopulationConfig {
+                users,
+                days,
+                sampling_interval_s: 120,
+                gps_noise_m: 8.0,
+                leisure_probability: 0.8,
+            },
+            ScenarioPreset::Mixed => PopulationConfig {
+                users,
+                days,
+                sampling_interval_s: 120,
+                gps_noise_m: 5.0,
+                leisure_probability: 0.35,
+            },
+            ScenarioPreset::SparseRural => PopulationConfig {
+                users,
+                days,
+                sampling_interval_s: 300,
+                gps_noise_m: 12.0,
+                leisure_probability: 0.2,
+            },
+        }
+    }
+
+    /// The preset's daily participation percentage, applied through
+    /// [`thin_participation`] (the generator itself produces
+    /// everyone-every-day data; real crowd-sensing participation is
+    /// sparse, and sparser still in rural deployments).
+    pub fn participation_pct(&self) -> u64 {
+        match self {
+            ScenarioPreset::Commuter => 70,
+            ScenarioPreset::Tourist => 45,
+            ScenarioPreset::Mixed => 50,
+            ScenarioPreset::SparseRural => 20,
+        }
+    }
+
+    /// Generates the preset's dataset (with ground truth) for
+    /// `users × days` at `seed`, participation already thinned to
+    /// [`ScenarioPreset::participation_pct`]. Fully deterministic per
+    /// `(preset, users, days, seed)`.
+    pub fn generate(&self, users: usize, days: usize, seed: u64) -> GeneratedData {
+        let data = self
+            .city(seed)
+            .generate_with_truth(&self.population(users, days));
+        GeneratedData {
+            dataset: thin_participation(&data.dataset, self.participation_pct()),
+            truth: data.truth,
+        }
+    }
+}
+
+impl std::fmt::Display for ScenarioPreset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Thins a dataset to a sparse-participation shape: every record of the
+/// first day is kept (so a streaming session starts with everyone's
+/// history), and each later `(user, day)` pair is kept with probability
+/// `participation_pct` % under a deterministic hash — the same records
+/// are dropped on every run. Equivalent to
+/// [`thin_participation_salted`] at salt `0`.
+pub fn thin_participation(dataset: &Dataset, participation_pct: u64) -> Dataset {
+    thin_participation_salted(dataset, participation_pct, 0)
+}
+
+/// [`thin_participation`] with an explicit hash salt, so property tests
+/// can vary *which* `(user, day)` pairs drop out across seeds while every
+/// caller shares one thinning implementation.
+pub fn thin_participation_salted(
+    dataset: &Dataset,
+    participation_pct: u64,
+    salt: u64,
+) -> Dataset {
+    let Some(first_day) = dataset.iter_records().map(|r| r.time.day_index()).min() else {
+        return Dataset::new();
+    };
+    let keep = |user: UserId, day: i64| {
+        day == first_day
+            || user
+                .0
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add((day as u64).wrapping_mul(0x85EB_CA6B))
+                .wrapping_add(salt.wrapping_mul(0xC2B2_AE3D))
+                % 100
+                < participation_pct
+    };
+    Dataset::from_records(
+        dataset
+            .iter_records()
+            .filter(|r| keep(r.user, r.time.day_index()))
+            .copied()
+            .collect(),
+    )
+}
+
 /// One scheduled activity in a simulated day.
 #[derive(Debug, Clone)]
 enum Segment {
@@ -824,6 +1016,58 @@ mod tests {
         for r in t.records() {
             assert!(center.haversine_distance(&r.point).get() <= 3_100.0);
         }
+    }
+
+    #[test]
+    fn scenario_presets_are_deterministic_and_distinct() {
+        for preset in ScenarioPreset::ALL {
+            let a = preset.generate(4, 3, 7);
+            let b = preset.generate(4, 3, 7);
+            assert_eq!(a.dataset, b.dataset, "{preset}");
+            assert!(a.dataset.record_count() > 0, "{preset}");
+            assert_eq!(ScenarioPreset::parse(preset.name()), Ok(preset));
+        }
+        // Different presets at the same seed give different data.
+        let commuter = ScenarioPreset::Commuter.generate(4, 3, 7);
+        let rural = ScenarioPreset::SparseRural.generate(4, 3, 7);
+        assert_ne!(commuter.dataset, rural.dataset);
+        // Rural data is sparser both in sampling and participation.
+        assert!(rural.dataset.record_count() < commuter.dataset.record_count());
+        assert!(ScenarioPreset::parse("urban").is_err());
+    }
+
+    #[test]
+    fn thinning_is_deterministic_and_keeps_the_first_day() {
+        let data =
+            CityModel::builder()
+                .seed(5)
+                .build()
+                .generate_population(&PopulationConfig {
+                    users: 5,
+                    days: 3,
+                    sampling_interval_s: 300,
+                    ..small_config()
+                });
+        let thinned = thin_participation(&data, 50);
+        assert_eq!(thinned, thin_participation(&data, 50));
+        assert!(thinned.record_count() < data.record_count());
+        // Day 0 keeps every user; 100 % keeps every record; 0 % keeps only
+        // day 0.
+        let windows = crate::window::WindowedDataset::partition(&thinned);
+        assert_eq!(windows.windows()[0].users().len(), 5);
+        assert_eq!(
+            thin_participation(&data, 100).record_count(),
+            data.record_count()
+        );
+        assert_eq!(
+            crate::window::WindowedDataset::partition(&thin_participation(&data, 0)).len(),
+            1
+        );
+        assert_eq!(thin_participation(&Dataset::new(), 50).record_count(), 0);
+        // A different salt drops a different (user, day) set; salt 0 is
+        // the unsalted helper.
+        assert_eq!(thin_participation_salted(&data, 50, 0), thinned);
+        assert_ne!(thin_participation_salted(&data, 50, 1), thinned);
     }
 
     #[test]

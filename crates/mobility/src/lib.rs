@@ -13,7 +13,10 @@
 //!   proprietary real-life dataset used in the paper (see `DESIGN.md` §2);
 //! * [`io`] — JSON-lines / CSV import & export;
 //! * [`window`] — day-window partitioning ([`WindowedDataset`]) that replays
-//!   a dataset as a stream of daily deltas for streaming publication.
+//!   a dataset as a stream of daily deltas for streaming publication;
+//! * [`filter`] — [`ParticipantFilter`] recruitment rules (user subsets,
+//!   regions, daily hours) scoping a campaign's view of the shared
+//!   population stream.
 //!
 //! # Example
 //!
@@ -37,6 +40,7 @@ mod error;
 mod record;
 mod time;
 
+pub mod filter;
 pub mod gen;
 pub mod io;
 pub mod poi;
@@ -44,6 +48,7 @@ pub mod staypoint;
 pub mod window;
 
 pub use error::MobilityError;
+pub use filter::ParticipantFilter;
 pub use record::{Dataset, LocationRecord, Trajectory, UserId};
 pub use time::{Timestamp, DAY_SECONDS, HOUR_SECONDS, MINUTE_SECONDS};
 pub use window::{DatasetWindow, WindowedDataset};

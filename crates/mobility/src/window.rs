@@ -34,6 +34,14 @@ pub struct DatasetWindow {
 }
 
 impl DatasetWindow {
+    /// Assembles a window from a day index and an already-canonical
+    /// dataset (users sorted, one time-sorted trajectory per user) —
+    /// how [`crate::filter::ParticipantFilter::filter_window`] rebuilds a
+    /// campaign's view of a partitioned window without re-bucketing.
+    pub fn from_parts(day: i64, dataset: Dataset) -> Self {
+        Self { day, dataset }
+    }
+
     /// The day index this window covers.
     pub fn day(&self) -> i64 {
         self.day

@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 
 pub use apisense;
+pub use campaign;
 pub use geo;
 pub use mobility;
 pub use privapi;
