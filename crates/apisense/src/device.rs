@@ -11,12 +11,13 @@
 use crate::error::ApisenseError;
 use crate::hive::TaskId;
 use crate::privacy::PrivacyPreferences;
-use crate::script::{Host, Script, Value};
+use crate::script::{CompiledProgram, Host, Script, Value, Vm};
 use geo::GeoPoint;
 use mobility::{Timestamp, Trajectory, UserId};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::Arc;
 
 /// Identifier of a device in the fleet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -176,10 +177,16 @@ impl SensedRecord {
 }
 
 /// A task deployed on a device.
+///
+/// The script's [`CompiledProgram`] is shared (via `Arc`) with every other
+/// deployment of the same task; the [`Vm`] is this installation's private
+/// executor, reused across readings so its stack, frame and inline-cache
+/// allocations are paid once.
 #[derive(Debug, Clone)]
 struct InstalledTask {
     id: TaskId,
     script: Script,
+    vm: Vm,
     sampling_interval_s: i64,
     min_battery: f64,
     next_run: Timestamp,
@@ -297,6 +304,7 @@ impl Device {
         self.installed.push(InstalledTask {
             id,
             script,
+            vm: Vm::new(),
             sampling_interval_s: sampling_interval_s.max(1),
             min_battery: min_battery.clamp(0.0, 1.0),
             next_run: start,
@@ -340,33 +348,62 @@ impl Device {
             }
         }
         for i in due {
-            let (id, script, interval) = {
+            let (id, compiled, interval) = {
                 let t = &self.installed[i];
-                (t.id, t.script.clone(), t.sampling_interval_s)
+                (t.id, Arc::clone(t.script.compiled()), t.sampling_interval_s)
             };
             self.installed[i].next_run = now + interval;
-            self.run_task(id, &script, now);
+            // Take the task's VM so the run can borrow `self` mutably; the
+            // program itself is only an `Arc` bump, never a re-compile.
+            let mut vm = std::mem::take(&mut self.installed[i].vm);
+            let records = self.execute_compiled(id, &compiled, &mut vm, now);
+            self.installed[i].vm = vm;
+            self.outbox.extend(records);
         }
     }
 
-    /// Runs one task script at `now`.
-    fn run_task(&mut self, task: TaskId, script: &Script, now: Timestamp) {
-        let position = self.position_at(now);
-        let mut host = DeviceHost {
+    /// Runs one compiled task program at `now` on the given VM, returning the
+    /// records that survived the privacy filter.
+    fn execute_compiled(
+        &mut self,
+        task: TaskId,
+        compiled: &CompiledProgram,
+        vm: &mut Vm,
+        now: Timestamp,
+    ) -> Vec<SensedRecord> {
+        let mut host = self.host_at(now);
+        // Script failures are logged, not fatal: one bad task must not take
+        // down the client (the platform is multi-tenant).
+        let _ = vm.run(compiled, &mut host, self.script_fuel);
+        let (emitted, costs) = (host.emitted, host.sensor_costs);
+        self.finish_run(task, emitted, costs, now)
+    }
+
+    /// Builds the script host view of this device at `now`.
+    fn host_at(&self, now: Timestamp) -> DeviceHost<'_> {
+        DeviceHost {
             device_sensors: &self.sensors,
             prefs: &self.prefs,
             battery_level: self.battery.level(),
-            position,
+            position: self.position_at(now),
             now,
             speed: self.speed_at(now),
             emitted: Vec::new(),
             sensor_costs: 0.0,
-        };
-        // Script failures are logged, not fatal: one bad task must not take
-        // down the client (the platform is multi-tenant).
-        let _ = script.run(&mut host, self.script_fuel);
-        self.battery.drain(host.sensor_costs);
-        let emitted = host.emitted;
+        }
+    }
+
+    /// Applies a finished run's side effects: battery drain, record wrapping
+    /// and the privacy filter. Returns the surviving records.
+    fn finish_run(
+        &mut self,
+        task: TaskId,
+        emitted: Vec<Value>,
+        sensor_costs: f64,
+        now: Timestamp,
+    ) -> Vec<SensedRecord> {
+        self.battery.drain(sensor_costs);
+        let mut kept = Vec::with_capacity(emitted.len());
         for value in emitted {
             self.records_produced += 1;
             let record = SensedRecord {
@@ -377,10 +414,40 @@ impl Device {
                 payload: value,
             };
             match self.prefs.filter_record(record) {
-                Some(filtered) => self.outbox.push(filtered),
+                Some(filtered) => kept.push(filtered),
                 None => self.records_suppressed += 1,
             }
         }
+        kept
+    }
+
+    /// Executes `script` once at `now` through the bytecode VM, outside the
+    /// normal tick schedule, returning the surviving records directly instead
+    /// of queueing them in the outbox. The caller owns the `Vm` so repeated
+    /// samples of the same task reuse its stack and inline caches.
+    pub fn sample_scripted(
+        &mut self,
+        task: TaskId,
+        script: &Script,
+        vm: &mut Vm,
+        now: Timestamp,
+    ) -> Vec<SensedRecord> {
+        let compiled = Arc::clone(script.compiled());
+        self.execute_compiled(task, &compiled, vm, now)
+    }
+
+    /// Executes `script` once at `now` through the tree-walking interpreter —
+    /// the differential baseline for [`Device::sample_scripted`].
+    pub fn sample_interpreted(
+        &mut self,
+        task: TaskId,
+        script: &Script,
+        now: Timestamp,
+    ) -> Vec<SensedRecord> {
+        let mut host = self.host_at(now);
+        let _ = script.run_interpreted(&mut host, self.script_fuel);
+        let (emitted, costs) = (host.emitted, host.sensor_costs);
+        self.finish_run(task, emitted, costs, now)
     }
 
     /// Approximate speed at `time` (m/s), for the accelerometer model.
@@ -437,18 +504,64 @@ impl DeviceHost<'_> {
     }
 }
 
+/// Endpoint ids [`DeviceHost`] hands to the VM through [`Host::resolve`];
+/// both dispatch paths route through [`Host::call_resolved`].
+const EP_EMIT: u32 = 0;
+const EP_LOG: u32 = 1;
+const EP_TIME_NOW: u32 = 2;
+const EP_TIME_HOUR: u32 = 3;
+const EP_GPS: u32 = 4;
+const EP_BATTERY: u32 = 5;
+const EP_ACCELEROMETER: u32 = 6;
+const EP_NETWORK: u32 = 7;
+
+/// Maps a host path to its endpoint id.
+fn endpoint_of(path: &str) -> Option<u32> {
+    match path {
+        "emit" => Some(EP_EMIT),
+        "log" => Some(EP_LOG),
+        "time.now" => Some(EP_TIME_NOW),
+        "time.hour" => Some(EP_TIME_HOUR),
+        "sensor.gps" => Some(EP_GPS),
+        "sensor.battery" => Some(EP_BATTERY),
+        "sensor.accelerometer" => Some(EP_ACCELEROMETER),
+        "sensor.network" => Some(EP_NETWORK),
+        _ => None,
+    }
+}
+
 impl Host for DeviceHost<'_> {
-    fn call(&mut self, path: &str, args: &[Value]) -> Result<Value, ApisenseError> {
-        match path {
-            "emit" => {
-                self.emitted
-                    .push(args.first().cloned().unwrap_or(Value::Null));
+    fn call(&mut self, path: &str, args: &mut [Value]) -> Result<Value, ApisenseError> {
+        match endpoint_of(path) {
+            Some(endpoint) => self.call_resolved(endpoint, args),
+            None => Err(ApisenseError::UnknownSensor(path.to_string())),
+        }
+    }
+
+    fn resolve(&mut self, path: &str) -> Option<u32> {
+        endpoint_of(path)
+    }
+
+    fn call_resolved(
+        &mut self,
+        endpoint: u32,
+        args: &mut [Value],
+    ) -> Result<Value, ApisenseError> {
+        match endpoint {
+            EP_EMIT => {
+                // The argument slice is owned by the call: take the record
+                // instead of deep-cloning it.
+                self.emitted.push(
+                    args.first_mut()
+                        .map(|v| std::mem::replace(v, Value::Null))
+                        .unwrap_or(Value::Null),
+                );
                 Ok(Value::Null)
             }
-            "log" => Ok(Value::Null),
-            "time.now" => Ok(Value::Num(self.now.seconds() as f64)),
-            "time.hour" => Ok(Value::Num(self.now.hour_of_day() as f64)),
-            "sensor.gps" => {
+            EP_LOG => Ok(Value::Null),
+            EP_TIME_NOW => Ok(Value::Num(self.now.seconds() as f64)),
+            EP_TIME_HOUR => Ok(Value::Num(self.now.hour_of_day() as f64)),
+            EP_GPS => {
                 if !self.sensor_allowed(SensorKind::Gps) {
                     return Ok(Value::Null);
                 }
@@ -467,14 +580,14 @@ impl Host for DeviceHost<'_> {
                     None => Ok(Value::Null),
                 }
             }
-            "sensor.battery" => {
+            EP_BATTERY => {
                 if !self.sensor_allowed(SensorKind::Battery) {
                     return Ok(Value::Null);
                 }
                 self.sensor_costs += SensorKind::Battery.sample_cost();
                 Ok(Value::Num(self.battery_level))
             }
-            "sensor.accelerometer" => {
+            EP_ACCELEROMETER => {
                 if !self.sensor_allowed(SensorKind::Accelerometer) {
                     return Ok(Value::Null);
                 }
@@ -483,7 +596,7 @@ impl Host for DeviceHost<'_> {
                 let magnitude = 9.81 + self.speed * 0.3 + self.noise(2) * 0.5;
                 Ok(Value::Num(magnitude))
             }
-            "sensor.network" => {
+            EP_NETWORK => {
                 if !self.sensor_allowed(SensorKind::NetworkQuality) {
                     return Ok(Value::Null);
                 }
@@ -493,7 +606,9 @@ impl Host for DeviceHost<'_> {
                 let rssi = -50.0 - 60.0 * self.noise(3);
                 Ok(Value::Num(rssi))
             }
-            other => Err(ApisenseError::UnknownSensor(other.to_string())),
+            other => Err(ApisenseError::Runtime(format!(
+                "unknown host endpoint {other}"
+            ))),
         }
     }
 }

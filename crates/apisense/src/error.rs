@@ -22,6 +22,28 @@ pub enum ApisenseError {
     },
     /// A script failed at runtime.
     Runtime(String),
+    /// The bytecode compiler hit a capacity limit while lowering a program
+    /// (which interned table overflowed, how many entries were requested,
+    /// and the table's limit).
+    ScriptCompile {
+        /// The table that overflowed (`"interned names"`, `"frame locals"`, …).
+        table: &'static str,
+        /// Entries the program needed.
+        count: usize,
+        /// The compiler's limit for that table.
+        limit: usize,
+    },
+    /// The bytecode VM detected an internal inconsistency (malformed op
+    /// stream, stack underflow). Never produced by programs lowered through
+    /// [`crate::script::Script::compile`]; carries the offending op and pc.
+    ScriptVmFault {
+        /// Mnemonic of the offending op.
+        op: &'static str,
+        /// Program counter of the offending op.
+        pc: usize,
+        /// What went wrong.
+        message: &'static str,
+    },
     /// A script exceeded its execution budget (possible infinite loop).
     FuelExhausted,
     /// A task referenced an unknown sensor.
@@ -47,6 +69,19 @@ impl fmt::Display for ApisenseError {
                 write!(f, "parse error at line {line}: {message}")
             }
             ApisenseError::Runtime(m) => write!(f, "script runtime error: {m}"),
+            ApisenseError::ScriptCompile {
+                table,
+                count,
+                limit,
+            } => {
+                write!(
+                    f,
+                    "script compile error: {table} needs {count} entries (limit {limit})"
+                )
+            }
+            ApisenseError::ScriptVmFault { op, pc, message } => {
+                write!(f, "script vm fault at pc {pc} ({op}): {message}")
+            }
             ApisenseError::FuelExhausted => {
                 write!(f, "script exceeded its execution budget")
             }
@@ -75,6 +110,28 @@ mod tests {
         assert_eq!(
             ApisenseError::NotFound("task", 9).to_string(),
             "task 9 not found"
+        );
+    }
+
+    #[test]
+    fn script_engine_errors_carry_their_context() {
+        let compile = ApisenseError::ScriptCompile {
+            table: "frame locals",
+            count: 4097,
+            limit: 4096,
+        };
+        assert_eq!(
+            compile.to_string(),
+            "script compile error: frame locals needs 4097 entries (limit 4096)"
+        );
+        let fault = ApisenseError::ScriptVmFault {
+            op: "Const",
+            pc: 12,
+            message: "constant index out of range",
+        };
+        assert_eq!(
+            fault.to_string(),
+            "script vm fault at pc 12 (Const): constant index out of range"
         );
     }
 

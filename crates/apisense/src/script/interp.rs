@@ -4,6 +4,7 @@ use super::parser::{BinaryOp, Expr, Program, Stmt, UnaryOp};
 use super::Value;
 use crate::error::ApisenseError;
 use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
 
 /// The device-side API surface exposed to scripts.
 ///
@@ -14,11 +15,44 @@ use std::collections::{BTreeMap, HashMap};
 pub trait Host {
     /// Invokes a host function.
     ///
+    /// The argument slice is owned by the call: the host may consume the
+    /// values (e.g. `std::mem::replace` them with `Value::Null`) instead of
+    /// cloning, and the engine discards whatever is left afterwards.
+    ///
     /// # Errors
     ///
     /// Implementations should return [`ApisenseError::UnknownSensor`] for
     /// unknown paths and may fail for domain-specific reasons.
-    fn call(&mut self, path: &str, args: &[Value]) -> Result<Value, ApisenseError>;
+    fn call(&mut self, path: &str, args: &mut [Value]) -> Result<Value, ApisenseError>;
+
+    /// Optional fast-path dispatch: maps `path` to a host-chosen endpoint
+    /// id accepted by [`Host::call_resolved`]. The bytecode VM resolves
+    /// each call site once per run and dispatches by id from then on; the
+    /// tree-walker has no per-site storage and always takes the string
+    /// path. Hosts that return `None` (the default) stay on string
+    /// dispatch everywhere.
+    ///
+    /// `resolve(p) == Some(e)` must imply that `call_resolved(e, args)`
+    /// behaves exactly like `call(p, args)` — the differential tests hold
+    /// both tiers to identical results.
+    fn resolve(&mut self, _path: &str) -> Option<u32> {
+        None
+    }
+
+    /// Invokes an endpoint previously returned by [`Host::resolve`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Host::call`] for the resolved path.
+    fn call_resolved(
+        &mut self,
+        _endpoint: u32,
+        _args: &mut [Value],
+    ) -> Result<Value, ApisenseError> {
+        Err(ApisenseError::Runtime(
+            "host does not support endpoint dispatch".into(),
+        ))
+    }
 }
 
 /// Control-flow result of executing a statement.
@@ -27,8 +61,8 @@ enum Flow {
     Return(Value),
 }
 
-/// A user-defined function.
-#[derive(Clone)]
+/// A user-defined function. Declarations store it behind an [`Rc`] so
+/// calling it shares the body instead of cloning the statement tree.
 struct Function {
     params: Vec<String>,
     body: Vec<Stmt>,
@@ -39,11 +73,13 @@ pub struct Interpreter<'h> {
     host: &'h mut dyn Host,
     fuel: u64,
     scopes: Vec<HashMap<String, Value>>,
-    functions: HashMap<String, Function>,
+    functions: HashMap<String, Rc<Function>>,
     call_depth: usize,
 }
 
-const MAX_CALL_DEPTH: usize = 64;
+/// Maximum user-function call depth, shared with the bytecode VM so both
+/// tiers reject recursion at the same point.
+pub(crate) const MAX_CALL_DEPTH: usize = 64;
 
 impl<'h> Interpreter<'h> {
     /// Creates an interpreter with an execution budget.
@@ -111,10 +147,10 @@ impl<'h> Interpreter<'h> {
             Stmt::Fn { name, params, body } => {
                 self.functions.insert(
                     name.clone(),
-                    Function {
+                    Rc::new(Function {
                         params: params.clone(),
                         body: body.clone(),
-                    },
+                    }),
                 );
                 Ok(Flow::Normal(Value::Null))
             }
@@ -321,7 +357,7 @@ impl<'h> Interpreter<'h> {
             }
         }
         match Self::host_path(callee) {
-            Some(path) => self.host.call(&path, &values),
+            Some(path) => self.host.call(&path, &mut values),
             None => Err(ApisenseError::Runtime(
                 "callee is not a function name or host path".into(),
             )),
@@ -466,7 +502,7 @@ mod tests {
     }
 
     impl Host for TestHost {
-        fn call(&mut self, path: &str, args: &[Value]) -> Result<Value, ApisenseError> {
+        fn call(&mut self, path: &str, args: &mut [Value]) -> Result<Value, ApisenseError> {
             self.calls.push(path.to_string());
             match path {
                 "emit" => {
@@ -487,17 +523,29 @@ mod tests {
         }
     }
 
+    /// Runs `src` on both execution tiers, asserts they agree on the
+    /// result and the host interaction, and returns the interpreter's view.
     fn run(src: &str) -> (Value, TestHost) {
         let script = Script::compile(src).unwrap();
         let mut host = TestHost::default();
-        let value = script.run(&mut host, 100_000).unwrap();
+        let value = script.run_interpreted(&mut host, 100_000).unwrap();
+        let mut vm_host = TestHost::default();
+        let vm_value = script.run(&mut vm_host, 100_000).unwrap();
+        assert_eq!(value, vm_value, "tiers disagree on {src:?}");
+        assert_eq!(host.calls, vm_host.calls, "host traces differ on {src:?}");
+        assert_eq!(host.emitted, vm_host.emitted);
         (value, host)
     }
 
+    /// Error-path twin of [`run`]: both tiers must fail identically.
     fn run_err(src: &str) -> ApisenseError {
         let script = Script::compile(src).unwrap();
         let mut host = TestHost::default();
-        script.run(&mut host, 100_000).unwrap_err()
+        let err = script.run_interpreted(&mut host, 100_000).unwrap_err();
+        let mut vm_host = TestHost::default();
+        let vm_err = script.run(&mut vm_host, 100_000).unwrap_err();
+        assert_eq!(err, vm_err, "tiers disagree on {src:?}");
+        err
     }
 
     #[test]
@@ -602,6 +650,10 @@ mod tests {
         let script = Script::compile("while (true) { }").unwrap();
         let mut host = TestHost::default();
         assert_eq!(
+            script.run_interpreted(&mut host, 10_000),
+            Err(ApisenseError::FuelExhausted)
+        );
+        assert_eq!(
             script.run(&mut host, 10_000),
             Err(ApisenseError::FuelExhausted)
         );
@@ -629,6 +681,40 @@ mod tests {
         assert_eq!(run("return 5; emit(1);").0, Value::Num(5.0));
         let (_, host) = run("return 5; emit(1);");
         assert!(host.emitted.is_empty());
+    }
+
+    /// Leaf calls the compiler inlines must stay observationally identical
+    /// to the tree-walker (the `run` harness asserts tier agreement).
+    #[test]
+    fn inlined_leaf_calls_match_the_interpreter() {
+        // Slot- and constant-substituted arguments.
+        assert_eq!(
+            run("fn lerp(a, b, t) { return a + t * (b - a); }\n\
+                 let x = 0; let y = 10; lerp(x, y, 0.25)")
+            .0,
+            Value::Num(2.5)
+        );
+        // Complex arguments spill onto the stack, evaluated left to right
+        // in the caller's scope.
+        assert_eq!(
+            run("fn sum3(a, b, c) { return a + b + c; }\n\
+                 let x = 1; sum3(x + 1, 2 * 3, x * 10)")
+            .0,
+            Value::Num(18.0)
+        );
+        // An argument-position assignment disables slot aliasing: the first
+        // argument must read `x` as it was before the second mutates it.
+        assert_eq!(
+            run("fn g(a, b) { return a + b; }\n\
+                 let x = 1; g(x, (x = 5)) + x")
+            .0,
+            Value::Num(11.0)
+        );
+        // Inlined bodies still reach the host through spilled arguments.
+        let (value, host) = run("fn tag(v, k) { return k + v; }\n\
+             emit(tag(sensor.battery(), \"b=\"));");
+        assert_eq!(value, Value::Null);
+        assert_eq!(host.emitted, [Value::Str("b=0.75".into())]);
     }
 
     #[test]

@@ -5,9 +5,16 @@
 //! §2). This module provides the equivalent code-as-data capability with a
 //! purpose-built language (see `DESIGN.md` §2 for the substitution
 //! rationale): a C-like expression language with `let`, `fn`, `if`, `while`,
-//! lists and maps, executed by a sandboxed tree-walking interpreter with an
-//! execution-fuel budget and a pluggable [`Host`] API exposing the device's
-//! sensors.
+//! lists and maps, executed sandboxed with an execution-fuel budget and a
+//! pluggable [`Host`] API exposing the device's sensors.
+//!
+//! Execution has two tiers. [`Script::compile`] lowers the AST to a
+//! [`CompiledProgram`] executed by the stack-based bytecode [`Vm`] — the
+//! default, built for compile-once / run-many sensing loops. The
+//! tree-walking [`Interpreter`] is retained as the behavioural baseline
+//! ([`Script::run_interpreted`]) and is differentially tested against the
+//! VM; both tiers produce identical values, errors and fuel-exhaustion
+//! classifications.
 //!
 //! # Example
 //!
@@ -17,7 +24,7 @@
 //!
 //! struct FakeDevice;
 //! impl Host for FakeDevice {
-//!     fn call(&mut self, path: &str, _args: &[Value]) -> Result<Value, ApisenseError> {
+//!     fn call(&mut self, path: &str, _args: &mut [Value]) -> Result<Value, ApisenseError> {
 //!         match path {
 //!             "sensor.battery" => Ok(Value::Num(0.83)),
 //!             "emit" => Ok(Value::Null),
@@ -35,17 +42,22 @@
 //! assert_eq!(result, Value::Num(0.83));
 //! ```
 
+mod compile;
 mod interp;
 mod lexer;
 mod parser;
+mod vm;
 
+pub use compile::CompiledProgram;
 pub use interp::{Host, Interpreter};
 pub use parser::{BinaryOp, Expr, Program, Stmt, UnaryOp};
+pub use vm::Vm;
 
 use crate::error::ApisenseError;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// A runtime value of the scripting language.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -399,28 +411,36 @@ impl From<&str> for Value {
 
 /// A compiled, reusable crowd-sensing script.
 ///
-/// Compilation happens once on the Honeycomb; the compiled program is what
+/// Compilation happens once on the Honeycomb; the compiled script is what
 /// the Hive offloads to devices (source travels with it for display and
-/// re-compilation on heterogeneous clients).
+/// re-compilation on heterogeneous clients). Both representations are
+/// behind [`Arc`]s, so cloning a `Script` — per deployment, per device —
+/// shares one AST and one [`CompiledProgram`] fleet-wide.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Script {
     source: String,
-    program: Program,
+    program: Arc<Program>,
+    compiled: Arc<CompiledProgram>,
 }
 
 impl Script {
-    /// Compiles source text into a script.
+    /// Compiles source text into a script: lexes, parses, and lowers the
+    /// AST to bytecode for the VM execution tier.
     ///
     /// # Errors
     ///
     /// Returns [`ApisenseError::Lex`] / [`ApisenseError::Parse`] with
-    /// 1-based line numbers on malformed input.
+    /// 1-based line numbers on malformed input, or
+    /// [`ApisenseError::ScriptCompile`] when the program exceeds a bytecode
+    /// capacity limit.
     pub fn compile(source: &str) -> Result<Self, ApisenseError> {
         let tokens = lexer::tokenize(source)?;
         let program = parser::parse(tokens)?;
+        let compiled = compile::compile(&program)?;
         Ok(Self {
             source: source.to_string(),
-            program,
+            program: Arc::new(program),
+            compiled: Arc::new(compiled),
         })
     }
 
@@ -434,8 +454,20 @@ impl Script {
         &self.program
     }
 
+    /// The bytecode lowering, shared (via [`Arc`]) by all clones of this
+    /// script. Hand it to a cached [`Vm`] for compile-once / run-many
+    /// execution.
+    pub fn compiled(&self) -> &Arc<CompiledProgram> {
+        &self.compiled
+    }
+
     /// Runs the script against a host with an execution budget (`fuel` is
-    /// roughly the number of AST nodes evaluated).
+    /// roughly the number of AST nodes evaluated; the VM charges it in
+    /// per-basic-block batches with identical exhaustion behaviour).
+    ///
+    /// Executes on the bytecode VM tier. Callers on a hot path should keep
+    /// a [`Vm`] and use [`Script::run_vm`] to reuse its allocations;
+    /// [`Script::run_interpreted`] selects the tree-walking tier instead.
     ///
     /// Returns the value of the last expression statement, or [`Value::Null`].
     ///
@@ -444,6 +476,36 @@ impl Script {
     /// Propagates host errors, runtime type errors and
     /// [`ApisenseError::FuelExhausted`] when the budget runs out.
     pub fn run(&self, host: &mut dyn Host, fuel: u64) -> Result<Value, ApisenseError> {
+        Vm::new().run(&self.compiled, host, fuel)
+    }
+
+    /// Runs the script on the VM tier with a caller-provided [`Vm`],
+    /// reusing its stack/frame allocations and inline caches across
+    /// readings.
+    ///
+    /// # Errors
+    ///
+    /// Same classification as [`Script::run`].
+    pub fn run_vm(
+        &self,
+        vm: &mut Vm,
+        host: &mut dyn Host,
+        fuel: u64,
+    ) -> Result<Value, ApisenseError> {
+        vm.run(&self.compiled, host, fuel)
+    }
+
+    /// Runs the script on the tree-walking interpreter tier — the
+    /// differential baseline the VM is verified against.
+    ///
+    /// # Errors
+    ///
+    /// Same classification as [`Script::run`].
+    pub fn run_interpreted(
+        &self,
+        host: &mut dyn Host,
+        fuel: u64,
+    ) -> Result<Value, ApisenseError> {
         Interpreter::new(host, fuel).run(&self.program)
     }
 }

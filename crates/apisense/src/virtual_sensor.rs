@@ -8,7 +8,7 @@
 
 use crate::device::{Device, SensedRecord, SensorKind};
 use crate::hive::TaskId;
-use crate::script::Value;
+use crate::script::{Script, Value, Vm};
 use geo::{GeoPoint, Meters};
 use mobility::Timestamp;
 use serde::{Deserialize, Serialize};
@@ -59,6 +59,9 @@ pub struct VirtualSensor {
     per_query: usize,
     cursor: usize,
     queries: u64,
+    /// Bytecode VM reused across scripted queries, keyed by the task it was
+    /// last used for so a task switch starts from a clean executor.
+    script_vm: Option<(TaskId, Vm)>,
 }
 
 impl VirtualSensor {
@@ -70,6 +73,7 @@ impl VirtualSensor {
             per_query: per_query.max(1),
             cursor: 0,
             queries: 0,
+            script_vm: None,
         }
     }
 
@@ -194,6 +198,40 @@ impl VirtualSensor {
                     payload: Value::Map(payload),
                 },
             });
+        }
+        readings
+    }
+
+    /// Issues a scripted query at `now`: selected devices each run `script`
+    /// once through the bytecode VM and return the surviving records as
+    /// readings.
+    ///
+    /// The compiled program is shared by every selected device and the
+    /// sensor's cached VM is reused across queries, so steady-state cost is
+    /// pure execution — no re-parsing, re-compilation or executor setup.
+    pub fn query_scripted(
+        &mut self,
+        members: &mut [Device],
+        task: TaskId,
+        script: &Script,
+        now: Timestamp,
+    ) -> Vec<Reading> {
+        self.queries += 1;
+        let selected = self.select(members, now);
+        let needs_reset = !matches!(&self.script_vm, Some((t, _)) if *t == task);
+        if needs_reset {
+            self.script_vm = Some((task, Vm::new()));
+        }
+        let (_, vm) = self.script_vm.as_mut().expect("vm cached above");
+        let mut readings = Vec::with_capacity(selected.len());
+        for idx in selected {
+            let device = &mut members[idx];
+            for record in device.sample_scripted(task, script, vm, now) {
+                readings.push(Reading {
+                    member: idx,
+                    record,
+                });
+            }
         }
         readings
     }
@@ -341,6 +379,52 @@ mod tests {
         // Neighbouring devices are ~780 m apart on the 0.01-degree line.
         assert!(d.get() > 500.0 && d.get() < 1_500.0, "dispersion {d}");
         assert_eq!(dispersion(&[]).get(), 0.0);
+    }
+
+    const SENSE_SRC: &str = r#"
+        let g = sensor.gps();
+        let b = sensor.battery();
+        emit({"lat": g.lat, "lon": g.lon, "battery": b});
+    "#;
+
+    #[test]
+    fn scripted_query_matches_the_interpreter_baseline() {
+        let mut vm_fleet = fleet(4);
+        let mut interp_fleet = fleet(4);
+        let script = Script::compile(SENSE_SRC).expect("script compiles");
+        let mut vs = VirtualSensor::new(SelectionStrategy::Broadcast, 1);
+        let before: Vec<f64> = vm_fleet.iter().map(|d| d.battery().level()).collect();
+        let now = Timestamp::new(50);
+        let readings = vs.query_scripted(&mut vm_fleet, TaskId(7), &script, now);
+        assert_eq!(readings.len(), 4);
+        assert_eq!(vs.queries(), 1);
+        let mut baseline = Vec::new();
+        for (i, device) in interp_fleet.iter_mut().enumerate() {
+            for record in device.sample_interpreted(TaskId(7), &script, now) {
+                baseline.push(Reading { member: i, record });
+            }
+        }
+        assert_eq!(readings, baseline);
+        for (device, level) in vm_fleet.iter().zip(before) {
+            assert!(
+                device.battery().level() < level,
+                "scripted query must cost battery"
+            );
+        }
+    }
+
+    #[test]
+    fn scripted_query_caches_the_vm_per_task() {
+        let mut members = fleet(3);
+        let script = Script::compile(SENSE_SRC).expect("script compiles");
+        let mut vs = VirtualSensor::new(SelectionStrategy::RoundRobin, 1);
+        assert!(vs.script_vm.is_none());
+        vs.query_scripted(&mut members, TaskId(1), &script, Timestamp::new(0));
+        assert!(matches!(&vs.script_vm, Some((TaskId(1), _))));
+        vs.query_scripted(&mut members, TaskId(1), &script, Timestamp::new(60));
+        assert!(matches!(&vs.script_vm, Some((TaskId(1), _))));
+        vs.query_scripted(&mut members, TaskId(2), &script, Timestamp::new(120));
+        assert!(matches!(&vs.script_vm, Some((TaskId(2), _))));
     }
 
     #[test]

@@ -8,7 +8,7 @@ use proptest::prelude::*;
 
 struct NullHost;
 impl Host for NullHost {
-    fn call(&mut self, _path: &str, args: &[Value]) -> Result<Value, ApisenseError> {
+    fn call(&mut self, _path: &str, args: &mut [Value]) -> Result<Value, ApisenseError> {
         Ok(args.first().cloned().unwrap_or(Value::Null))
     }
 }

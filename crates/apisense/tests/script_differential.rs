@@ -1,0 +1,486 @@
+//! Differential tests: the bytecode VM against the tree-walking
+//! interpreter.
+//!
+//! The VM (`script/vm.rs`) claims behavioural equivalence with the
+//! interpreter (`script/interp.rs`): identical values, identical error
+//! classifications and messages, identical fuel-exhaustion points, and an
+//! identical host-call trace. This suite checks that claim two ways:
+//!
+//! - a seeded program generator produces random-but-valid scripts covering
+//!   the whole surface (functions, recursion past `MAX_CALL_DEPTH`,
+//!   dynamic scoping, shadowed host names, failing host calls, unbounded
+//!   loops, invalid assignments), each executed under a ladder of fuel
+//!   budgets on both tiers;
+//! - targeted fuel sweeps pin the boundary behaviour: at every budget the
+//!   two tiers must flip from `FuelExhausted` to success (or to the same
+//!   runtime error) at exactly the same point.
+//!
+//! Numeric comparison is NaN-aware (`0 / 0` must be "equal" across tiers
+//! even though `NaN != NaN`).
+
+use apisense::script::{Host, Script, Value, Vm};
+use apisense::ApisenseError;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Deterministic host with internal state (`seq.next`) and a failing path
+/// (`boom.fail`), recording every call for trace comparison.
+#[derive(Default)]
+struct DiffHost {
+    counter: u64,
+    trace: Vec<(String, Vec<Value>)>,
+}
+
+impl Host for DiffHost {
+    fn call(&mut self, path: &str, args: &mut [Value]) -> Result<Value, ApisenseError> {
+        self.trace.push((path.to_string(), args.to_vec()));
+        match path {
+            "emit" | "log" => Ok(Value::Null),
+            "seq.next" => {
+                self.counter += 1;
+                Ok(Value::Num(self.counter as f64))
+            }
+            "sensor.battery" => {
+                self.counter += 1;
+                Ok(Value::Num((self.counter % 10) as f64 / 10.0))
+            }
+            "sensor.gps" => {
+                let mut m = BTreeMap::new();
+                m.insert("lat".to_string(), Value::Num(45.75));
+                m.insert("lon".to_string(), Value::Num(4.85));
+                Ok(Value::Map(m))
+            }
+            "math.floor" => Ok(Value::Num(
+                args.first()
+                    .and_then(Value::as_num)
+                    .unwrap_or(f64::NAN)
+                    .floor(),
+            )),
+            other => Err(ApisenseError::UnknownSensor(other.to_string())),
+        }
+    }
+}
+
+/// Structural equality with NaN == NaN (derived `PartialEq` on `Value`
+/// would report a spurious mismatch when both tiers compute `NaN`).
+fn values_equivalent(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Num(x), Value::Num(y)) => x == y || (x.is_nan() && y.is_nan()),
+        (Value::List(xs), Value::List(ys)) => {
+            xs.len() == ys.len() && xs.iter().zip(ys).all(|(x, y)| values_equivalent(x, y))
+        }
+        (Value::Map(xm), Value::Map(ym)) => {
+            xm.len() == ym.len()
+                && xm
+                    .iter()
+                    .zip(ym)
+                    .all(|((ka, va), (kb, vb))| ka == kb && values_equivalent(va, vb))
+        }
+        _ => a == b,
+    }
+}
+
+fn outcomes_equivalent(
+    a: &Result<Value, ApisenseError>,
+    b: &Result<Value, ApisenseError>,
+) -> bool {
+    match (a, b) {
+        (Ok(x), Ok(y)) => values_equivalent(x, y),
+        (Err(x), Err(y)) => x == y,
+        _ => false,
+    }
+}
+
+fn traces_equivalent(a: &[(String, Vec<Value>)], b: &[(String, Vec<Value>)]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|((pa, xa), (pb, xb))| {
+            pa == pb
+                && xa.len() == xb.len()
+                && xa.iter().zip(xb).all(|(x, y)| values_equivalent(x, y))
+        })
+}
+
+/// Runs `script` on both tiers with the same budget and asserts outcome
+/// and host-trace parity. The `vm` is reused across calls on purpose: a
+/// production VM lives across readings, so cache reuse is part of what is
+/// under test.
+fn assert_parity(script: &Script, vm: &mut Vm, fuel: u64, src: &str) {
+    let mut interp_host = DiffHost::default();
+    let interp = script.run_interpreted(&mut interp_host, fuel);
+    let mut vm_host = DiffHost::default();
+    let by_vm = script.run_vm(vm, &mut vm_host, fuel);
+    assert!(
+        outcomes_equivalent(&interp, &by_vm),
+        "tiers disagree at fuel {fuel}:\n interp: {interp:?}\n vm:     {by_vm:?}\n script:\n{src}"
+    );
+    assert!(
+        traces_equivalent(&interp_host.trace, &vm_host.trace),
+        "host traces differ at fuel {fuel}:\n interp: {:?}\n vm:     {:?}\n script:\n{src}",
+        interp_host.trace,
+        vm_host.trace
+    );
+}
+
+const FUEL_LADDER: [u64; 12] = [0, 1, 2, 3, 5, 8, 13, 21, 60, 200, 1_000, 50_000];
+
+fn assert_parity_across_budgets(src: &str) {
+    let script = Script::compile(src)
+        .unwrap_or_else(|e| panic!("generated script failed to compile: {e}\n{src}"));
+    let mut vm = Vm::new();
+    for fuel in FUEL_LADDER {
+        assert_parity(&script, &mut vm, fuel, src);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Program generator
+// ---------------------------------------------------------------------------
+
+/// Generates random-but-parseable scripts. Biased toward valid programs
+/// (declared variables, right arities) with deliberate error injection:
+/// undeclared names, wrong arities, unknown host paths, nested assignment
+/// targets, invalid callees and unbounded loops.
+struct ProgramGen {
+    rng: StdRng,
+    out: String,
+    /// Scope stack of declared variable names (compile-visible scoping).
+    scopes: Vec<Vec<String>>,
+    /// Declared function names with arities.
+    fns: Vec<(String, usize)>,
+    var_counter: usize,
+    /// Remaining statement allowance (bounds program size).
+    budget: usize,
+}
+
+const HOST_PATHS: [&str; 6] = [
+    "emit",
+    "seq.next",
+    "sensor.battery",
+    "sensor.gps",
+    "math.floor",
+    "boom.fail",
+];
+
+impl ProgramGen {
+    fn generate(seed: u64) -> String {
+        let mut g = ProgramGen {
+            rng: StdRng::seed_from_u64(seed),
+            out: String::new(),
+            scopes: vec![Vec::new()],
+            fns: Vec::new(),
+            var_counter: 0,
+            budget: 24,
+        };
+        let fn_count = g.rng.gen_range(0..3);
+        for _ in 0..fn_count {
+            g.fn_decl();
+        }
+        let stmts = g.rng.gen_range(3..9);
+        for _ in 0..stmts {
+            g.stmt(0);
+        }
+        // End on an expression so the program has an interesting result.
+        let tail = g.expr(0);
+        g.out.push_str(&format!("{tail};\n"));
+        g.out
+    }
+
+    fn fresh_var(&mut self) -> String {
+        self.var_counter += 1;
+        format!("v{}", self.var_counter)
+    }
+
+    fn declared_var(&mut self) -> Option<String> {
+        let all: Vec<&String> = self.scopes.iter().flatten().collect();
+        if all.is_empty() {
+            return None;
+        }
+        let i = self.rng.gen_range(0..all.len());
+        Some(all[i].clone())
+    }
+
+    fn fn_decl(&mut self) {
+        let name = format!("f{}", self.fns.len());
+        let arity = self.rng.gen_range(0..3);
+        let params: Vec<String> = (0..arity).map(|i| format!("p{i}")).collect();
+        self.fns.push((name.clone(), arity));
+        self.out
+            .push_str(&format!("fn {name}({}) {{\n", params.join(", ")));
+        self.scopes.push(params);
+        let body = self.rng.gen_range(1..4);
+        for _ in 0..body {
+            self.stmt(1);
+        }
+        if self.rng.gen_bool(0.7) {
+            let e = self.expr(1);
+            self.out.push_str(&format!("return {e};\n"));
+        }
+        self.scopes.pop();
+        self.out.push_str("}\n");
+    }
+
+    fn stmt(&mut self, depth: usize) {
+        if self.budget == 0 {
+            return;
+        }
+        self.budget -= 1;
+        match self.rng.gen_range(0..10) {
+            0..=3 => {
+                let e = self.expr(depth);
+                let name = self.fresh_var();
+                self.out.push_str(&format!("let {name} = {e};\n"));
+                self.scopes.last_mut().expect("scope").push(name);
+            }
+            4 => {
+                let value = self.expr(depth);
+                match (self.declared_var(), self.rng.gen_range(0..4)) {
+                    (Some(v), 0) => self.out.push_str(&format!("{v} = {value};\n")),
+                    (Some(v), 1) => self.out.push_str(&format!("{v}.field = {value};\n")),
+                    (Some(v), 2) => {
+                        let idx = self.expr(depth + 1);
+                        self.out.push_str(&format!("{v}[{idx}] = {value};\n"));
+                    }
+                    // Nested / undeclared targets: error-path coverage.
+                    (Some(v), _) => self.out.push_str(&format!("{v}.a.b = {value};\n")),
+                    (None, _) => self.out.push_str(&format!("ghost = {value};\n")),
+                }
+            }
+            5 => {
+                let cond = self.expr(depth);
+                self.out.push_str(&format!("if ({cond}) {{\n"));
+                self.scopes.push(Vec::new());
+                self.stmt(depth + 1);
+                self.scopes.pop();
+                if self.rng.gen_bool(0.5) {
+                    self.out.push_str("} else {\n");
+                    self.scopes.push(Vec::new());
+                    self.stmt(depth + 1);
+                    self.scopes.pop();
+                }
+                self.out.push_str("}\n");
+            }
+            6 => {
+                let i = self.fresh_var();
+                let bound = self.rng.gen_range(0..6);
+                self.out.push_str(&format!("let {i} = 0;\n"));
+                self.scopes.last_mut().expect("scope").push(i.clone());
+                if self.rng.gen_bool(0.85) {
+                    self.out.push_str(&format!("while ({i} < {bound}) {{\n"));
+                } else {
+                    // Unbounded: exercises fuel exhaustion on every budget.
+                    self.out.push_str(&format!("while ({i} >= 0) {{\n"));
+                }
+                self.scopes.push(Vec::new());
+                if self.rng.gen_bool(0.6) {
+                    self.stmt(depth + 1);
+                }
+                self.scopes.pop();
+                self.out.push_str(&format!("{i} = {i} + 1;\n}}\n"));
+            }
+            7 if depth > 0 => {
+                let e = self.expr(depth);
+                self.out.push_str(&format!("return {e};\n"));
+            }
+            _ => {
+                let e = self.expr(depth);
+                self.out.push_str(&format!("{e};\n"));
+            }
+        }
+    }
+
+    fn expr(&mut self, depth: usize) -> String {
+        if depth >= 4 {
+            return self.leaf();
+        }
+        match self.rng.gen_range(0..12) {
+            0..=3 => self.leaf(),
+            4 => {
+                let op = [
+                    "+", "-", "*", "/", "%", "==", "!=", "<", "<=", ">", ">=", "&&", "||",
+                ][self.rng.gen_range(0..13)];
+                let l = self.expr(depth + 1);
+                let r = self.expr(depth + 1);
+                format!("({l} {op} {r})")
+            }
+            5 => {
+                let e = self.expr(depth + 1);
+                if self.rng.gen_bool(0.5) {
+                    format!("(-{e})")
+                } else {
+                    format!("(!{e})")
+                }
+            }
+            6 => {
+                let n = self.rng.gen_range(0..3);
+                let items: Vec<String> = (0..n).map(|_| self.expr(depth + 1)).collect();
+                format!("[{}]", items.join(", "))
+            }
+            7 => {
+                let n = self.rng.gen_range(0..3);
+                let entries: Vec<String> = (0..n)
+                    .map(|i| format!("\"k{i}\": {}", self.expr(depth + 1)))
+                    .collect();
+                format!("{{ {} }}", entries.join(", "))
+            }
+            8 => {
+                // Parenthesized: a bare number literal would lex `42.lat`
+                // as the number `42.` followed by a stray identifier.
+                let e = self.expr(depth + 1);
+                let field = ["lat", "lon", "length", "k0", "missing"][self.rng.gen_range(0..5)];
+                format!("({e}).{field}")
+            }
+            9 => {
+                let e = self.expr(depth + 1);
+                let i = self.expr(depth + 1);
+                format!("{e}[{i}]")
+            }
+            10 => self.call(depth),
+            _ => self.leaf(),
+        }
+    }
+
+    fn call(&mut self, depth: usize) -> String {
+        let roll = self.rng.gen_range(0..10);
+        if roll < 4 && !self.fns.is_empty() {
+            let i = self.rng.gen_range(0..self.fns.len());
+            let (name, arity) = self.fns[i].clone();
+            // Occasionally call with the wrong arity (runtime error parity).
+            let argc = if self.rng.gen_bool(0.85) {
+                arity
+            } else {
+                arity + 1
+            };
+            let args: Vec<String> = (0..argc).map(|_| self.expr(depth + 1)).collect();
+            format!("{name}({})", args.join(", "))
+        } else if roll < 9 {
+            let path = HOST_PATHS[self.rng.gen_range(0..HOST_PATHS.len())];
+            let argc = self.rng.gen_range(0..2);
+            let args: Vec<String> = (0..argc).map(|_| self.expr(depth + 1)).collect();
+            format!("{path}({})", args.join(", "))
+        } else {
+            // Invalid callee: a literal is neither a name nor a host path.
+            format!("(3)({})", self.expr(depth + 1))
+        }
+    }
+
+    fn leaf(&mut self) -> String {
+        match self.rng.gen_range(0..10) {
+            0..=2 => format!("{}", self.rng.gen_range(0..100)),
+            3 => format!("{:.2}", self.rng.gen_range(-10.0..10.0).abs()),
+            4 => ["true", "false", "null"][self.rng.gen_range(0..3)].to_string(),
+            5 => format!("\"s{}\"", self.rng.gen_range(0..5)),
+            6..=8 => self
+                .declared_var()
+                .unwrap_or_else(|| format!("{}", self.rng.gen_range(0..10))),
+            // Undeclared name: error-path coverage.
+            _ => "phantom".to_string(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(150))]
+
+    /// Generated programs — including ones that exhaust fuel, recurse past
+    /// the depth limit, or fail in host calls — behave identically on both
+    /// tiers across the whole fuel ladder.
+    #[test]
+    fn vm_matches_interpreter_on_generated_programs(seed in any::<u64>()) {
+        let src = ProgramGen::generate(seed);
+        assert_parity_across_budgets(&src);
+    }
+}
+
+/// Fuel boundary sweep around a mid-block runtime error: both tiers must
+/// flip from `FuelExhausted` to `cannot add` at exactly the same budget
+/// (this is the per-basic-block fuel accounting's hardest case).
+#[test]
+fn fuel_boundary_around_runtime_error() {
+    let src = "let a = 1; let b = null + a; emit(b);";
+    let script = Script::compile(src).unwrap();
+    let mut vm = Vm::new();
+    let mut saw_error = false;
+    for fuel in 0..25 {
+        assert_parity(&script, &mut vm, fuel, src);
+        let mut host = DiffHost::default();
+        if let Err(ApisenseError::Runtime(m)) = script.run_vm(&mut vm, &mut host, fuel) {
+            assert!(m.contains("cannot add"));
+            saw_error = true;
+        }
+    }
+    assert!(saw_error, "sweep never reached the runtime error");
+}
+
+/// Fuel sweep over a host-calling loop: host-call traces must match at
+/// every budget, including exhausting ones.
+#[test]
+fn fuel_sweep_preserves_host_traces() {
+    let src = "let i = 0;\n\
+               while (i < 6) {\n\
+                 emit(seq.next());\n\
+                 i = i + 1;\n\
+               }\n\
+               i;";
+    let script = Script::compile(src).unwrap();
+    let mut vm = Vm::new();
+    for fuel in 0..120 {
+        assert_parity(&script, &mut vm, fuel, src);
+    }
+}
+
+/// The recursion limit trips at the same depth on both tiers.
+#[test]
+fn call_depth_boundary_is_identical() {
+    for depth in [63, 64, 65] {
+        let src =
+            format!("fn f(n) {{ if (n == 0) {{ return 0; }} return f(n - 1); }} f({depth});");
+        assert_parity_across_budgets(&src);
+    }
+}
+
+/// A user function declared mid-script shadows the host path from that
+/// point on; inline caches must follow the re-binding.
+#[test]
+fn host_shadowing_and_redeclaration_parity() {
+    assert_parity_across_budgets(
+        "let a = emit(1);\n\
+         fn emit(x) { return x * 2; }\n\
+         let b = emit(2);\n\
+         fn emit(x) { return x * 3; }\n\
+         let c = emit(2);\n\
+         [a, b, c];",
+    );
+}
+
+/// Dynamic scoping: a function body reads and assigns its caller's locals.
+#[test]
+fn dynamic_scoping_parity() {
+    assert_parity_across_budgets(
+        "let total = 0;\n\
+         fn bump(n) { total = total + n; return total; }\n\
+         bump(2);\n\
+         bump(3);\n\
+         total;",
+    );
+}
+
+/// Error-message parity for the whole assignment-target error family.
+#[test]
+fn assignment_error_parity() {
+    for src in [
+        "ghost = 1;",
+        "let m = { \"a\": { \"b\": 1 } }; m.a.b = 2;",
+        "ghost.a.b = 2;",
+        "let xs = [1]; xs[9] = 0;",
+        "let n = 4; n.field = 1;",
+        "sensor.gps().lat = 3;",
+    ] {
+        assert_parity_across_budgets(src);
+    }
+}

@@ -1,0 +1,56 @@
+//! Criterion bench for the script execution tiers (E14).
+//!
+//! Measures one device running the E14 sensing script per reading through
+//! both tiers:
+//!
+//! * `interpret_per_reading` — the tree-walking interpreter baseline,
+//!   walking the AST on every execution;
+//! * `vm_compile_once` — the bytecode VM executing the pre-compiled
+//!   program with a reused executor (the deployed client-runtime shape).
+//!
+//! The acceptance target for the VM tier is ≥5× interpreter throughput on
+//! this workload; `bench_summary --out-e14` records the measured ratio in
+//! `BENCH_e14.json`.
+
+use apisense::device::Battery;
+use apisense::hive::TaskId;
+use apisense::script::{Script, Vm};
+use bench::e14::SENSING_SCRIPT;
+use bench::e7::build_fleet;
+use criterion::{criterion_group, criterion_main, Criterion};
+use mobility::Timestamp;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_script_tiers(c: &mut Criterion) {
+    let script = Script::compile(SENSING_SCRIPT).expect("sensing script compiles");
+    let mut fleet = build_fleet(4, 2, 0xE14);
+    let device = &mut fleet[0];
+    let task = TaskId(14);
+    let now = Timestamp::from_day_time(0, 9, 0, 0);
+
+    let mut group = c.benchmark_group("e14_script");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+
+    group.bench_function("interpret_per_reading", |b| {
+        b.iter(|| {
+            // Reset charge so battery depletion never gates the sampling.
+            *device.battery_mut() = Battery::at_level(1.0);
+            black_box(device.sample_interpreted(task, black_box(&script), now))
+        })
+    });
+    group.bench_function("vm_compile_once", |b| {
+        let mut vm = Vm::new();
+        b.iter(|| {
+            *device.battery_mut() = Battery::at_level(1.0);
+            black_box(device.sample_scripted(task, black_box(&script), &mut vm, now))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_script_tiers);
+criterion_main!(benches);

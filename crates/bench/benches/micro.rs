@@ -11,7 +11,11 @@ use std::time::Duration;
 
 struct NullHost;
 impl Host for NullHost {
-    fn call(&mut self, _path: &str, args: &[Value]) -> Result<Value, apisense::ApisenseError> {
+    fn call(
+        &mut self,
+        _path: &str,
+        args: &mut [Value],
+    ) -> Result<Value, apisense::ApisenseError> {
         Ok(args.first().cloned().unwrap_or(Value::Null))
     }
 }

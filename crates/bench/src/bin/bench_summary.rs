@@ -1,29 +1,32 @@
-//! Attack-path, streaming-publication and multi-campaign perf summary:
-//! runs E10, E11 and E12 and emits `BENCH_e10.json` + `BENCH_e11.json` +
-//! `BENCH_e12.json`.
+//! Attack-path, streaming-publication, multi-campaign and script-tier
+//! perf summary: runs E10, E11, E12 and E14 and emits `BENCH_e10.json` +
+//! `BENCH_e11.json` + `BENCH_e12.json` + `BENCH_e14.json`.
 //!
 //! ```bash
 //! cargo run -p bench --bin bench_summary --release -- --scale smoke
 //! cargo run -p bench --bin bench_summary --release -- --scale medium \
-//!     --out BENCH_e10.json --out-e11 BENCH_e11.json --out-e12 BENCH_e12.json
+//!     --out BENCH_e10.json --out-e11 BENCH_e11.json --out-e12 BENCH_e12.json \
+//!     --out-e14 BENCH_e14.json
 //! ```
 //!
 //! CI runs the smoke shape on every PR and uploads the JSON files as
 //! artifacts, so the perf trajectories of the attack pipeline (serial vs
 //! sharded extraction, scan vs indexed matching, publish end to end), of
 //! streaming publication (batch re-publish vs incremental day windows)
-//! and of multi-campaign orchestration (N independent sessions vs one
-//! shared-population orchestrator) accumulate data points instead of
+//! of multi-campaign orchestration (N independent sessions vs one
+//! shared-population orchestrator) and of script execution (tree-walking
+//! interpreter vs bytecode VM) accumulate data points instead of
 //! anecdotes. Every run also asserts the pipelines' invariants —
 //! extraction parity, matcher parity, the
 //! single-original-extraction-per-publish budget, streaming winner
-//! parity, and per-campaign orchestration parity — and fails loudly if
-//! any regresses. Unknown `--scale` values (and unknown flags) are
+//! parity, per-campaign orchestration parity, and interpreter/VM record
+//! parity — and fails loudly if any regresses. Unknown `--scale` values (and unknown flags) are
 //! rejected, never silently defaulted.
 
 use bench::e10::{self, E10Config};
 use bench::e11::{self, E11Config};
 use bench::e12::{self, E12Config};
+use bench::e14::{self, E14Config};
 use bench::Scale;
 
 fn main() {
@@ -37,10 +40,13 @@ fn main() {
             continue;
         }
         match arg.as_str() {
-            "--scale" | "--out" | "--out-e11" | "--out-e12" => expects_value = true,
+            "--scale" | "--out" | "--out-e11" | "--out-e12" | "--out-e14" => {
+                expects_value = true
+            }
             other => {
                 eprintln!(
-                    "unexpected argument {other:?}; use --scale, --out, --out-e11, --out-e12"
+                    "unexpected argument {other:?}; use --scale, --out, --out-e11, \
+                     --out-e12, --out-e14"
                 );
                 std::process::exit(2);
             }
@@ -62,13 +68,20 @@ fn main() {
     let out_e10 = value_of("--out").unwrap_or_else(|| "BENCH_e10.json".into());
     let out_e11 = value_of("--out-e11").unwrap_or_else(|| "BENCH_e11.json".into());
     let out_e12 = value_of("--out-e12").unwrap_or_else(|| "BENCH_e12.json".into());
-    let (e10_config, e11_config, e12_config) = match scale.as_str() {
-        "smoke" => (E10Config::smoke(), E11Config::smoke(), E12Config::smoke()),
+    let out_e14 = value_of("--out-e14").unwrap_or_else(|| "BENCH_e14.json".into());
+    let (e10_config, e11_config, e12_config, e14_config) = match scale.as_str() {
+        "smoke" => (
+            E10Config::smoke(),
+            E11Config::smoke(),
+            E12Config::smoke(),
+            E14Config::smoke(),
+        ),
         other => match Scale::parse(other) {
             Ok(scale) => (
                 E10Config::from_scale(scale),
                 E11Config::from_scale(scale),
                 E12Config::from_scale(scale),
+                E14Config::from_scale(scale),
             ),
             Err(_) => {
                 eprintln!("unknown --scale {other:?}; use smoke|small|medium|full");
@@ -108,4 +121,12 @@ fn main() {
     let e12_report = e12::run(&e12_config);
     println!("{e12_report}");
     write(&out_e12, e12_report.to_json());
+
+    eprintln!(
+        "e14 script-tier summary: scale={}, {} devices, {} queries x {} per query",
+        e14_config.label, e14_config.devices, e14_config.queries, e14_config.per_query
+    );
+    let e14_report = e14::run(&e14_config);
+    println!("{e14_report}");
+    write(&out_e14, e14_report.to_json());
 }

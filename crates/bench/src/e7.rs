@@ -69,7 +69,10 @@ impl fmt::Display for E7Table {
     }
 }
 
-fn build_fleet(n: usize, days: usize, seed: u64) -> Vec<Device> {
+/// Builds a fleet of `n` devices over `days` of synthetic mobility, with
+/// heterogeneous starting charge (shared with E14, which compares script
+/// execution tiers over the same fleet shape).
+pub fn build_fleet(n: usize, days: usize, seed: u64) -> Vec<Device> {
     let data = dataset(n, days, 120, seed);
     let mut rng = StdRng::seed_from_u64(seed ^ 0xF1EE7);
     data.dataset
