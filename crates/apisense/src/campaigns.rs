@@ -163,6 +163,21 @@ impl CampaignGateway {
         self.orchestrator.advance_day(window)
     }
 
+    /// Publishes a day window assembled by the reliable ingestion layer
+    /// (see [`crate::collect`]), stamping its
+    /// [`privapi::streaming::IngestDelta`] provenance into the report.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors of [`CampaignGateway::publish_day`].
+    pub fn publish_day_with_ingest(
+        &mut self,
+        window: &DatasetWindow,
+        ingest: privapi::streaming::IngestDelta,
+    ) -> Result<DayReport, CampaignError> {
+        self.orchestrator.advance_day_with_ingest(window, ingest)
+    }
+
     /// The release a task's campaign published in a day report, if any.
     pub fn release_for<'a>(
         &self,

@@ -1,0 +1,364 @@
+//! Fault-injected fleet runs: a device population uploading through
+//! [`crate::collect`] over the [`simnet`] discrete-event simulator.
+//!
+//! This is the harness behind the chaos tests and experiment E13: generate a
+//! synthetic population, give every user a device actor that stages day
+//! batches into a reliable outbox, wire all devices to one Hive actor over
+//! fault-injected links ([`simnet::FaultPlan`]), then advance the clock day
+//! by day, closing each day window after a grace period.
+//!
+//! Time mapping: **1 simulated millisecond = 1 dataset second**, so one
+//! mobility day (86 400 s) is 86 400 sim-ms and link latencies (a few sim-ms)
+//! are a few seconds of dataset time — generous but realistic for periodic
+//! mobile uploads.
+//!
+//! The fault-free run of the same seed is the *oracle*: its published
+//! windows are exactly [`mobility::WindowedDataset::partition`] of the
+//! generated population, and the chaos invariant says any faulted run in
+//! which all data eventually arrives must publish byte-identical windows
+//! (see [`crate::collect::window_fingerprint`]).
+
+use crate::collect::{Collector, DeviceOutbox};
+use mobility::gen::{CityModel, PopulationConfig};
+use mobility::{DatasetWindow, WindowedDataset, DAY_SECONDS};
+use privapi::streaming::IngestDelta;
+use simnet::reliable::{AckFrame, DataFrame, ReliableConfig};
+use simnet::{
+    Actor, Context, FaultPlan, LinkModel, Message, NetworkStats, NodeId, SimTime, Simulation,
+};
+
+/// Timer id for a device's periodic upload tick.
+const TICK_UPLOAD: u64 = 1;
+/// Timer id for a pending retransmission deadline.
+const TICK_RETRY: u64 = 2;
+
+/// Configuration of one fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Seed for the population generator, the simulator and (indirectly)
+    /// the fault plan.
+    pub seed: u64,
+    /// Fleet size: one device per generated user.
+    pub users: usize,
+    /// Days of sensing to generate, upload and publish.
+    pub days: i64,
+    /// Sensing interval of the generated trajectories, in seconds.
+    pub sampling_interval_s: i64,
+    /// How often devices stage + transmit, in dataset seconds (= sim ms).
+    pub upload_every_s: u64,
+    /// Slack after each day boundary before the Hive closes the window, in
+    /// dataset seconds. Data later than this is quarantined.
+    pub grace_s: u64,
+    /// The link model between every device and the Hive.
+    pub link: LinkModel,
+    /// The injected fault schedule ([`FaultPlan::none`] for the oracle run).
+    pub faults: FaultPlan,
+    /// Transport tuning for every device's reliable sender.
+    pub reliable: ReliableConfig,
+}
+
+impl FleetConfig {
+    /// A small, fast fleet: used by unit tests and the smoke benches.
+    pub fn small(seed: u64) -> Self {
+        Self {
+            seed,
+            users: 6,
+            days: 2,
+            sampling_interval_s: 900,
+            upload_every_s: 1_800,
+            grace_s: 14_400,
+            link: LinkModel::mobile(),
+            faults: FaultPlan::none(),
+            reliable: ReliableConfig::default(),
+        }
+    }
+}
+
+/// Everything a fleet run produced, for assertions and reporting.
+#[derive(Debug)]
+pub struct FleetOutcome {
+    /// One closed window per day `0..days` (possibly empty datasets), plus
+    /// a trailing drain window when stragglers were still in flight after
+    /// the last scheduled close.
+    pub windows: Vec<DatasetWindow>,
+    /// The per-window ingestion audit, parallel to `windows`.
+    pub deltas: Vec<IngestDelta>,
+    /// Network counters: traffic, injected faults, transport retries.
+    pub stats: NetworkStats,
+    /// Per-chunk delivery latency samples (enqueue→ack), in sim-ms.
+    pub ack_latencies_ms: Vec<u64>,
+    /// The fault-free oracle: the generated population partitioned by day.
+    pub baseline: WindowedDataset,
+    /// Total records generated (and therefore eventually uploadable).
+    pub generated_records: u64,
+}
+
+impl FleetOutcome {
+    /// Windows actually carrying data (the baseline never has empty days in
+    /// dense generated populations, so these are what it compares against).
+    pub fn nonempty_windows(&self) -> impl Iterator<Item = &DatasetWindow> {
+        self.windows.iter().filter(|w| w.record_count() > 0)
+    }
+
+    /// Total records published across all windows.
+    pub fn published_records(&self) -> u64 {
+        self.windows.iter().map(|w| w.record_count() as u64).sum()
+    }
+
+    /// Whether every window was assembled without degradation.
+    pub fn is_clean(&self) -> bool {
+        self.deltas.iter().all(IngestDelta::is_clean)
+    }
+}
+
+/// A simulated smartphone: stages day batches on a timer, pumps the
+/// reliable sender, applies acks, and survives crash/restart by requeueing
+/// its volatile in-flight window.
+struct DeviceActor {
+    hive: NodeId,
+    outbox: DeviceOutbox,
+    upload_every_ms: u64,
+    /// Last day of the schedule: ticking stops once drained past it.
+    last_day: i64,
+    ack_latencies_ms: Vec<u64>,
+}
+
+impl DeviceActor {
+    fn pump(&mut self, ctx: &mut Context<'_>) {
+        let now = ctx.now().as_millis();
+        for tx in self.outbox.sender_mut().poll(now) {
+            if tx.retransmit {
+                ctx.note_retry();
+            }
+            ctx.send(self.hive, tx.frame.to_message());
+        }
+        if let Some(due) = self.outbox.sender().next_due() {
+            ctx.set_timer(due.saturating_sub(now).max(1), TICK_RETRY);
+        }
+    }
+}
+
+impl Actor for DeviceActor {
+    fn on_message(&mut self, ctx: &mut Context<'_>, _from: NodeId, msg: Message) {
+        if let Ok(ack) = AckFrame::from_message(&msg) {
+            let now = ctx.now().as_millis();
+            self.ack_latencies_ms
+                .extend(self.outbox.sender_mut().on_ack(&ack, now));
+            self.pump(ctx);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, timer_id: u64) {
+        match timer_id {
+            TICK_UPLOAD => {
+                let now_s = ctx.now().as_millis() as i64;
+                self.outbox.stage(now_s);
+                self.pump(ctx);
+                if !self.outbox.drained(self.last_day) {
+                    ctx.set_timer(self.upload_every_ms, TICK_UPLOAD);
+                }
+            }
+            _ => self.pump(ctx),
+        }
+    }
+
+    fn on_restart(&mut self, ctx: &mut Context<'_>) {
+        // Volatile transport state is gone; the staged outbox and cursor
+        // are flash-durable. Requeue and resume ticking immediately.
+        self.outbox.sender_mut().crash();
+        ctx.set_timer(1, TICK_UPLOAD);
+    }
+}
+
+/// The Hive's ingestion front: one [`Collector`] absorbing every device's
+/// frames and answering acks.
+struct HiveActor {
+    collector: Collector,
+}
+
+impl Actor for HiveActor {
+    fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: Message) {
+        if let Ok(frame) = DataFrame::from_message(&msg) {
+            if let Ok(ack) = self.collector.ingest(&frame) {
+                ctx.send(from, ack.to_message());
+            }
+        }
+    }
+}
+
+/// Runs one fleet end to end and returns every published window with its
+/// audit trail, the network counters and the fault-free oracle.
+///
+/// Determinism: the same `config` (seed, faults and all) always produces
+/// the same outcome, byte for byte — the chaos proptests rely on it.
+///
+/// # Panics
+///
+/// Panics if the simulated Hive violates the close-in-order protocol —
+/// impossible by construction (days are closed by a monotone loop).
+pub fn run_fleet(config: &FleetConfig) -> FleetOutcome {
+    let population = CityModel::builder()
+        .seed(config.seed)
+        .build()
+        .generate_population(&PopulationConfig {
+            users: config.users,
+            days: config.days as usize,
+            sampling_interval_s: config.sampling_interval_s,
+            ..PopulationConfig::default()
+        });
+    let baseline = WindowedDataset::partition(&population);
+    let generated_records = population.record_count() as u64;
+
+    let mut sim = Simulation::new(config.seed);
+    sim.set_default_link(config.link);
+
+    // One device per user: the generator emits one trajectory per
+    // (user, day), so collect each user's full schedule first.
+    let users = population.users();
+    let mut collector = Collector::new();
+    for &user in &users {
+        collector.register(user.0, user);
+    }
+    let hive = sim.add_node("hive", Box::new(HiveActor { collector }));
+
+    let mut device_nodes = Vec::with_capacity(users.len());
+    for &user in &users {
+        let outbox =
+            DeviceOutbox::new(user.0, user, config.reliable, population.records_of(user));
+        let node = sim.add_node(
+            &format!("device-{}", user.0),
+            Box::new(DeviceActor {
+                hive,
+                outbox,
+                upload_every_ms: config.upload_every_s,
+                last_day: config.days - 1,
+                ack_latencies_ms: Vec::new(),
+            }),
+        );
+        device_nodes.push(node);
+    }
+    sim.set_fault_plan(config.faults.clone());
+    for (i, &node) in device_nodes.iter().enumerate() {
+        // Stagger first ticks so the fleet does not thunder in lockstep.
+        sim.post_timer(node, 1 + (i as u64 % 97), TICK_UPLOAD);
+    }
+
+    let mut windows = Vec::new();
+    let mut deltas = Vec::new();
+    for day in 0..config.days {
+        let close_at = (day + 1) as u64 * DAY_SECONDS as u64 + config.grace_s;
+        sim.run_until(SimTime::from_millis(close_at));
+        let hive_actor = sim.actor_as_mut::<HiveActor>(hive).expect("hive actor");
+        let (window, delta) = hive_actor
+            .collector
+            .close_day(day)
+            .expect("days close in order");
+        windows.push(window);
+        deltas.push(delta);
+    }
+    // Drain whatever the faults delayed past the last scheduled close; if
+    // stragglers remain, publish them in one trailing quarantine window.
+    sim.run();
+    let hive_actor = sim.actor_as_mut::<HiveActor>(hive).expect("hive actor");
+    if hive_actor.collector.has_backlog() {
+        let (window, delta) = hive_actor
+            .collector
+            .close_day(config.days)
+            .expect("trailing close follows the last day");
+        windows.push(window);
+        deltas.push(delta);
+    }
+
+    let mut ack_latencies_ms = Vec::new();
+    for &node in &device_nodes {
+        let device = sim.actor_as::<DeviceActor>(node).expect("device actor");
+        ack_latencies_ms.extend_from_slice(&device.ack_latencies_ms);
+    }
+    FleetOutcome {
+        windows,
+        deltas,
+        stats: sim.stats(),
+        ack_latencies_ms,
+        baseline,
+        generated_records,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::window_fingerprint;
+
+    #[test]
+    fn fault_free_fleet_reproduces_the_partition_oracle() {
+        let outcome = run_fleet(&FleetConfig::small(11));
+        assert!(outcome.is_clean(), "no faults → clean deltas");
+        assert_eq!(outcome.published_records(), outcome.generated_records);
+        let published: Vec<_> = outcome.nonempty_windows().collect();
+        assert_eq!(published.len(), outcome.baseline.len());
+        for (got, want) in published.iter().zip(&outcome.baseline) {
+            assert_eq!(window_fingerprint(got), window_fingerprint(want));
+        }
+        assert!(outcome.stats.retries == 0 || outcome.stats.delivered > 0);
+        assert!(!outcome.ack_latencies_ms.is_empty());
+    }
+
+    #[test]
+    fn chaotic_fleet_still_reproduces_the_oracle_when_data_arrives() {
+        // Moderate chaos without partitions or crashes near day ends: all
+        // data arrives before each grace deadline, so windows match the
+        // oracle byte for byte even though the transport had to sweat.
+        let mut config = FleetConfig::small(12);
+        config.faults = FaultPlan::chaos(12);
+        let outcome = run_fleet(&config);
+        assert!(outcome.is_clean(), "deltas: {:?}", outcome.deltas);
+        let published: Vec<_> = outcome.nonempty_windows().collect();
+        assert_eq!(published.len(), outcome.baseline.len());
+        for (got, want) in published.iter().zip(&outcome.baseline) {
+            assert_eq!(window_fingerprint(got), window_fingerprint(want));
+        }
+        let stats = outcome.stats;
+        assert!(
+            stats.dropped_by_fault + stats.duplicated + stats.reordered > 0,
+            "chaos must actually injure the network: {stats}"
+        );
+    }
+
+    #[test]
+    fn partition_over_a_day_end_quarantines_stragglers_exactly() {
+        // Sever half the fleet across the day-0 close deadline. Their day-0
+        // data misses the window and must be quarantined into day 1, with
+        // the audit counters conserving every record.
+        let mut config = FleetConfig::small(13);
+        let day_end = DAY_SECONDS as u64;
+        config.faults = FaultPlan::none().with_partition(simnet::fault::Partition {
+            from_ms: day_end - 20_000,
+            until_ms: day_end + config.grace_s + 10_000,
+            nodes: (0..3).map(|i| NodeId(1 + i)).collect(),
+        });
+        let outcome = run_fleet(&config);
+        assert!(!outcome.is_clean());
+        let d0 = &outcome.deltas[0];
+        assert!(d0.straggler_devices > 0, "{d0}");
+        let quarantined_total: u64 = outcome.deltas.iter().map(|d| d.records_quarantined).sum();
+        assert!(quarantined_total > 0, "stragglers must surface late");
+        // Conservation: everything generated is published exactly once.
+        assert_eq!(outcome.published_records(), outcome.generated_records);
+        let published: u64 = outcome.deltas.iter().map(|d| d.records).sum();
+        assert_eq!(published + quarantined_total, outcome.generated_records);
+    }
+
+    #[test]
+    fn crashed_devices_resume_from_their_outbox() {
+        let mut config = FleetConfig::small(14);
+        // Crash device node 1 mid-day-0 for a long outage.
+        config.faults = FaultPlan::none().with_crash(simnet::fault::Crash {
+            node: NodeId(1),
+            at_ms: 20_000,
+            restart_ms: 45_000,
+        });
+        let outcome = run_fleet(&config);
+        assert_eq!(outcome.published_records(), outcome.generated_records);
+        assert!(outcome.stats.retries > 0, "crash forces retransmission");
+    }
+}

@@ -32,6 +32,14 @@
 //!   incentive strategies with a participation model;
 //! * [`deploy`] — end-to-end campaigns over the [`simnet`] network
 //!   simulator (experiment E4);
+//! * [`collect`] — the reliable device→Hive ingestion endpoint:
+//!   at-least-once day-batch delivery with (device, sequence) dedup,
+//!   out-of-order buffering and straggler quarantine, so the publication
+//!   stream's ascending-day contract holds by protocol under network
+//!   faults;
+//! * [`fleet`] — fault-injected fleet runs (experiment E13): a device
+//!   population uploading through [`collect`] over [`simnet::FaultPlan`]
+//!   chaos, with the fault-free partition as byte-identity oracle;
 //! * [`campaigns`] — the multi-campaign publication surface: every
 //!   deployed task mapped onto a [`campaign::Orchestrator`] campaign, so
 //!   N concurrent tasks release daily over one shared population stream
@@ -60,8 +68,10 @@
 mod error;
 
 pub mod campaigns;
+pub mod collect;
 pub mod deploy;
 pub mod device;
+pub mod fleet;
 pub mod hive;
 pub mod honeycomb;
 pub mod incentives;

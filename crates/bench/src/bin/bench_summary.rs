@@ -1,12 +1,13 @@
-//! Attack-path, streaming-publication, multi-campaign and script-tier
-//! perf summary: runs E10, E11, E12 and E14 and emits `BENCH_e10.json` +
-//! `BENCH_e11.json` + `BENCH_e12.json` + `BENCH_e14.json`.
+//! Attack-path, streaming-publication, multi-campaign, reliable-ingestion
+//! and script-tier perf summary: runs E10, E11, E12, E13 and E14 and emits
+//! `BENCH_e10.json` + `BENCH_e11.json` + `BENCH_e12.json` +
+//! `BENCH_e13.json` + `BENCH_e14.json`.
 //!
 //! ```bash
 //! cargo run -p bench --bin bench_summary --release -- --scale smoke
 //! cargo run -p bench --bin bench_summary --release -- --scale medium \
 //!     --out BENCH_e10.json --out-e11 BENCH_e11.json --out-e12 BENCH_e12.json \
-//!     --out-e14 BENCH_e14.json
+//!     --out-e13 BENCH_e13.json --out-e14 BENCH_e14.json
 //! ```
 //!
 //! CI runs the smoke shape on every PR and uploads the JSON files as
@@ -14,18 +15,23 @@
 //! sharded extraction, scan vs indexed matching, publish end to end), of
 //! streaming publication (batch re-publish vs incremental day windows)
 //! of multi-campaign orchestration (N independent sessions vs one
-//! shared-population orchestrator) and of script execution (tree-walking
-//! interpreter vs bytecode VM) accumulate data points instead of
+//! shared-population orchestrator), of reliable device→Hive ingestion
+//! under injected faults (delivery-latency percentiles, retry/dup/drop
+//! counters, byte-identical chaos windows) and of script execution
+//! (tree-walking interpreter vs bytecode VM) accumulate data points
+//! instead of
 //! anecdotes. Every run also asserts the pipelines' invariants —
 //! extraction parity, matcher parity, the
 //! single-original-extraction-per-publish budget, streaming winner
-//! parity, per-campaign orchestration parity, and interpreter/VM record
-//! parity — and fails loudly if any regresses. Unknown `--scale` values (and unknown flags) are
+//! parity, per-campaign orchestration parity, chaos byte-identity with
+//! quarantine conservation, and interpreter/VM record parity — and fails
+//! loudly if any regresses. Unknown `--scale` values (and unknown flags) are
 //! rejected, never silently defaulted.
 
 use bench::e10::{self, E10Config};
 use bench::e11::{self, E11Config};
 use bench::e12::{self, E12Config};
+use bench::e13::{self, E13Config};
 use bench::e14::{self, E14Config};
 use bench::Scale;
 
@@ -40,13 +46,13 @@ fn main() {
             continue;
         }
         match arg.as_str() {
-            "--scale" | "--out" | "--out-e11" | "--out-e12" | "--out-e14" => {
+            "--scale" | "--out" | "--out-e11" | "--out-e12" | "--out-e13" | "--out-e14" => {
                 expects_value = true
             }
             other => {
                 eprintln!(
                     "unexpected argument {other:?}; use --scale, --out, --out-e11, \
-                     --out-e12, --out-e14"
+                     --out-e12, --out-e13, --out-e14"
                 );
                 std::process::exit(2);
             }
@@ -68,12 +74,14 @@ fn main() {
     let out_e10 = value_of("--out").unwrap_or_else(|| "BENCH_e10.json".into());
     let out_e11 = value_of("--out-e11").unwrap_or_else(|| "BENCH_e11.json".into());
     let out_e12 = value_of("--out-e12").unwrap_or_else(|| "BENCH_e12.json".into());
+    let out_e13 = value_of("--out-e13").unwrap_or_else(|| "BENCH_e13.json".into());
     let out_e14 = value_of("--out-e14").unwrap_or_else(|| "BENCH_e14.json".into());
-    let (e10_config, e11_config, e12_config, e14_config) = match scale.as_str() {
+    let (e10_config, e11_config, e12_config, e13_config, e14_config) = match scale.as_str() {
         "smoke" => (
             E10Config::smoke(),
             E11Config::smoke(),
             E12Config::smoke(),
+            E13Config::smoke(),
             E14Config::smoke(),
         ),
         other => match Scale::parse(other) {
@@ -81,6 +89,7 @@ fn main() {
                 E10Config::from_scale(scale),
                 E11Config::from_scale(scale),
                 E12Config::from_scale(scale),
+                E13Config::from_scale(scale),
                 E14Config::from_scale(scale),
             ),
             Err(_) => {
@@ -121,6 +130,14 @@ fn main() {
     let e12_report = e12::run(&e12_config);
     println!("{e12_report}");
     write(&out_e12, e12_report.to_json());
+
+    eprintln!(
+        "e13 reliable-ingestion summary: scale={}, {} devices x {} days @ {} s",
+        e13_config.label, e13_config.users, e13_config.days, e13_config.sampling_interval_s
+    );
+    let e13_report = e13::run(&e13_config);
+    println!("{e13_report}");
+    write(&out_e13, e13_report.to_json());
 
     eprintln!(
         "e14 script-tier summary: scale={}, {} devices, {} queries x {} per query",

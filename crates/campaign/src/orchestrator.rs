@@ -49,7 +49,8 @@ use mobility::{DatasetWindow, UserId};
 use privapi::attack::{PoiAttack, PoiAttackConfig};
 use privapi::pipeline::PublishedDataset;
 use privapi::streaming::{
-    PopulationCache, StrategyCacheDelta, StrategySessionCache, WindowDelta, WindowUpdate,
+    IngestDelta, PopulationCache, StrategyCacheDelta, StrategySessionCache, WindowDelta,
+    WindowUpdate,
 };
 use privapi::PrivapiError;
 use rayon::prelude::*;
@@ -142,12 +143,25 @@ pub struct DayReport {
     pub sessions: Vec<WindowDelta>,
     /// Per-campaign outcomes, in registration order.
     pub outcomes: Vec<(CampaignId, CampaignOutcome)>,
+    /// Provenance of the window itself, when it was assembled by the
+    /// reliable ingestion layer (see
+    /// [`Orchestrator::advance_day_with_ingest`]): how many batches were
+    /// folded in, what was deduplicated, and whether straggler data was
+    /// quarantined into this window. `None` for windows fed directly from
+    /// a materialized dataset.
+    pub ingest: Option<IngestDelta>,
 }
 
 impl DayReport {
     /// The releases published this day, in registration order.
     pub fn published(&self) -> impl Iterator<Item = &CampaignRelease> {
         self.outcomes.iter().filter_map(|(_, o)| o.release())
+    }
+
+    /// Whether this day's window was assembled in degraded mode (straggler
+    /// data quarantined or deferred by the ingestion layer).
+    pub fn degraded(&self) -> bool {
+        self.ingest.is_some_and(|d| !d.is_clean())
     }
 
     /// The release of one campaign, if it published.
@@ -319,6 +333,7 @@ impl Orchestrator {
                 day,
                 sessions: Vec::new(),
                 outcomes,
+                ingest: None,
             });
         }
 
@@ -362,7 +377,35 @@ impl Orchestrator {
             day,
             sessions: session_deltas.into_iter().flatten().collect(),
             outcomes,
+            ingest: None,
         })
+    }
+
+    /// [`Orchestrator::advance_day`] for a window assembled by the
+    /// reliable ingestion layer, stamping its [`IngestDelta`] provenance
+    /// into the report.
+    ///
+    /// This is the degraded-mode path: the ingestion protocol closes days
+    /// strictly in order and quarantines straggler data into the next
+    /// window, so a partitioned region can never poison the stream with a
+    /// stale day — the window publishes normally and the report carries
+    /// the audit of what was quarantined or deferred.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors of [`Orchestrator::advance_day`]. The ingestion
+    /// protocol satisfies the ascending-day contract by construction, so
+    /// [`CampaignError::Stream`] here indicates a harness bug, not a
+    /// network fault.
+    pub fn advance_day_with_ingest(
+        &mut self,
+        window: &DatasetWindow,
+        ingest: IngestDelta,
+    ) -> Result<DayReport, CampaignError> {
+        debug_assert_eq!(window.day(), ingest.day, "ingest audit for wrong day");
+        let mut report = self.advance_day(window)?;
+        report.ingest = Some(ingest);
+        Ok(report)
     }
 
     /// An existing, joinable session matching the campaign's attack

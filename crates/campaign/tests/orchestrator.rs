@@ -390,3 +390,35 @@ fn retired_campaigns_stop_observing_and_sessions_stop_with_them() {
     ));
     assert_eq!(probe.user_extractions(), after_first);
 }
+
+#[test]
+fn ingest_provenance_is_stamped_and_flags_degradation() {
+    use privapi::streaming::IngestDelta;
+    let windows = WindowedDataset::partition(&dataset(67, 3, 2));
+    let mut orchestrator = Orchestrator::new();
+    orchestrator
+        .register(Campaign::new(1, "c", PrivApiConfig::default()))
+        .unwrap();
+
+    let clean = IngestDelta::new(windows.windows()[0].day());
+    let report = orchestrator
+        .advance_day_with_ingest(&windows.windows()[0], clean)
+        .unwrap();
+    assert_eq!(report.ingest, Some(clean));
+    assert!(!report.degraded(), "clean delta is not degradation");
+
+    let mut dirty = IngestDelta::new(windows.windows()[1].day());
+    dirty.records_quarantined = 3;
+    dirty.straggler_devices = 1;
+    let report = orchestrator
+        .advance_day_with_ingest(&windows.windows()[1], dirty)
+        .unwrap();
+    assert!(report.degraded(), "quarantine flags the window as degraded");
+
+    // The ascending-day stream guard holds on the ingest path too; a
+    // replayed window is a harness bug, not a network fault.
+    assert!(matches!(
+        orchestrator.advance_day_with_ingest(&windows.windows()[1], dirty),
+        Err(CampaignError::Stream { .. })
+    ));
+}

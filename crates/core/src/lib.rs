@@ -100,7 +100,8 @@ pub mod prelude {
     };
     pub use crate::strategy::{AnonymizationStrategy, StrategyInfo, UserLocality};
     pub use crate::streaming::{
-        CandidateDelta, PopulationCache, PublishedWindow, SessionCache, StrategyCacheDelta,
-        StrategySessionCache, StreamingPublisher, WindowDelta, WindowUpdate,
+        CandidateDelta, IngestDelta, PopulationCache, PublishedWindow, SessionCache,
+        StrategyCacheDelta, StrategySessionCache, StreamingPublisher, WindowDelta,
+        WindowUpdate,
     };
 }

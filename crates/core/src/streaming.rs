@@ -106,6 +106,78 @@ pub struct WindowDelta {
     pub users_derived: usize,
 }
 
+/// Per-window audit of what the reliable ingestion layer fed the stream —
+/// the degraded-mode record of a window assembled under network faults.
+///
+/// The ingestion protocol (the platform's `collect` endpoint) guarantees
+/// the strictly-ascending-day contract of [`PopulationCache::advance`] by
+/// construction: a day window is closed exactly once, in order, after a
+/// delivery deadline. Data that misses its deadline — e.g. a partitioned
+/// region's stragglers — is **quarantined into the next window** instead of
+/// poisoning the stream with a stale day, and this struct counts exactly
+/// what happened so every published window carries its provenance.
+///
+/// A fault-free run has [`IngestDelta::is_clean`] deltas everywhere; the
+/// chaos tests assert that such runs publish byte-identical windows.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestDelta {
+    /// Day index of the closed window.
+    pub day: i64,
+    /// Day batches folded into this window (deduplicated, in order).
+    pub batches_applied: u64,
+    /// Duplicate batch deliveries absorbed by the (device, sequence)
+    /// watermark — retransmissions and fault-injected copies.
+    pub batches_duplicate: u64,
+    /// Records published in this window for its own day.
+    pub records: u64,
+    /// Records for earlier, already-closed days quarantined into this
+    /// window (stragglers that eventually arrived).
+    pub records_quarantined: u64,
+    /// Devices that had not completed this window's day when it closed.
+    pub straggler_devices: u64,
+    /// Records for this day (or earlier) already delivered to the endpoint
+    /// but still stuck behind a sequence gap in a device's reorder buffer
+    /// at close time — once the gap fills they are released and quarantined
+    /// into a later window.
+    pub records_deferred: u64,
+}
+
+impl IngestDelta {
+    /// A zeroed delta for `day`.
+    pub fn new(day: i64) -> Self {
+        Self {
+            day,
+            ..Self::default()
+        }
+    }
+
+    /// Whether the window was assembled without degradation: nothing
+    /// quarantined, nothing deferred, no straggler devices.
+    pub fn is_clean(&self) -> bool {
+        self.records_quarantined == 0
+            && self.straggler_devices == 0
+            && self.records_deferred == 0
+    }
+}
+
+impl std::fmt::Display for IngestDelta {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "day {}: {} batches ({} dup), {} records",
+            self.day, self.batches_applied, self.batches_duplicate, self.records
+        )?;
+        if !self.is_clean() {
+            write!(
+                f,
+                " [degraded: {} quarantined, {} deferred, {} stragglers]",
+                self.records_quarantined, self.records_deferred, self.straggler_devices
+            )?;
+        }
+        Ok(())
+    }
+}
+
 /// Cross-window **original-side** attack state: the accumulated prefix,
 /// the per-user shards extracted from it, and the reference POIs + spatial
 /// index the engine scores candidates against.

@@ -74,6 +74,11 @@ pub(crate) enum EventKind {
         /// Application-chosen timer identifier.
         timer_id: u64,
     },
+    /// End a scheduled crash window: notify the node it restarted.
+    Restart {
+        /// The node coming back up.
+        node: NodeId,
+    },
 }
 
 /// A scheduled event. Ordered by `(time, seq)` so that simultaneous events

@@ -1,0 +1,352 @@
+//! Seeded, deterministic fault injection.
+//!
+//! A [`FaultPlan`] layers adversarial network behaviour on top of the base
+//! [`crate::LinkModel`]s of a [`crate::Simulation`]: bursty (correlated)
+//! loss, duplication, reordering, scheduled partitions and device
+//! crash/restart windows. The plan owns its own RNG seed, so the same plan
+//! over the same traffic replays the exact same fault sequence — which is
+//! what lets the chaos tests assert byte-identical end-to-end outcomes.
+//!
+//! Faults are applied in two places:
+//!
+//! * at *send* time (`FaultState::judge`, simulator-internal): burst loss,
+//!   partitions,
+//!   duplication and reordering;
+//! * at *delivery* time: messages and timers addressed to a node inside one
+//!   of its crash windows are suppressed, and
+//!   [`crate::Actor::on_restart`] fires when the window ends.
+
+use crate::event::SimTime;
+use crate::sim::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Correlated (Gilbert–Elliott) loss: the link flips between a good state
+/// (no extra loss) and a burst state where each message is dropped with
+/// probability [`BurstLoss::loss_in_burst`]. Transitions are evaluated per
+/// message sent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstLoss {
+    /// Probability per message of entering a burst from the good state.
+    pub enter: f64,
+    /// Probability per message of leaving an ongoing burst.
+    pub exit: f64,
+    /// Drop probability for each message sent during a burst.
+    pub loss_in_burst: f64,
+}
+
+/// A scheduled partition: during `[from_ms, until_ms)` every message sent
+/// to **or** from one of `nodes` is dropped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Partition {
+    /// Partition start (inclusive), in simulated milliseconds.
+    pub from_ms: u64,
+    /// Partition end (exclusive), in simulated milliseconds.
+    pub until_ms: u64,
+    /// The nodes cut off from the rest of the network.
+    pub nodes: Vec<NodeId>,
+}
+
+impl Partition {
+    /// Whether `now` falls inside the partition window.
+    pub fn active_at(&self, now: SimTime) -> bool {
+        (self.from_ms..self.until_ms).contains(&now.as_millis())
+    }
+
+    /// Whether this partition severs traffic between `from` and `to`.
+    pub fn severs(&self, from: NodeId, to: NodeId) -> bool {
+        self.nodes.contains(&from) != self.nodes.contains(&to)
+    }
+}
+
+/// A scheduled crash: the node is down during `[at_ms, restart_ms)`.
+///
+/// While down, deliveries and timer firings addressed to the node are
+/// suppressed; at `restart_ms` the simulator invokes
+/// [`crate::Actor::on_restart`] so the actor can discard volatile state and
+/// resume (e.g. re-offer its persistent outbox).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Crash {
+    /// The crashing node.
+    pub node: NodeId,
+    /// Crash instant (inclusive), in simulated milliseconds.
+    pub at_ms: u64,
+    /// Restart instant (exclusive end of the outage), in milliseconds.
+    pub restart_ms: u64,
+}
+
+/// A deterministic, seeded schedule of injected faults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the fault RNG (independent from the simulation seed).
+    pub seed: u64,
+    /// Correlated loss bursts, if any.
+    pub burst: Option<BurstLoss>,
+    /// Per-message duplication probability in `[0, 1]`.
+    pub duplicate: f64,
+    /// Per-message probability of an extra reordering delay in `[0, 1]`.
+    pub reorder: f64,
+    /// Maximum extra delay (ms) a reordered or duplicated copy receives.
+    pub reorder_extra_ms: u64,
+    /// Scheduled partitions.
+    pub partitions: Vec<Partition>,
+    /// Scheduled crash/restart windows.
+    pub crashes: Vec<Crash>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (the fault-free baseline).
+    pub fn none() -> Self {
+        Self {
+            seed: 0,
+            burst: None,
+            duplicate: 0.0,
+            reorder: 0.0,
+            reorder_extra_ms: 0,
+            partitions: Vec::new(),
+            crashes: Vec::new(),
+        }
+    }
+
+    /// A moderate everything-at-once plan: occasional loss bursts, 2 %
+    /// duplication and 5 % reordering. Partitions and crashes are added per
+    /// scenario via [`FaultPlan::with_partition`] / [`FaultPlan::with_crash`].
+    pub fn chaos(seed: u64) -> Self {
+        Self {
+            seed,
+            burst: Some(BurstLoss {
+                enter: 0.02,
+                exit: 0.25,
+                loss_in_burst: 0.6,
+            }),
+            duplicate: 0.02,
+            reorder: 0.05,
+            reorder_extra_ms: 400,
+            partitions: Vec::new(),
+            crashes: Vec::new(),
+        }
+    }
+
+    /// Returns a copy with a burst-loss model.
+    pub fn with_burst(mut self, burst: BurstLoss) -> Self {
+        self.burst = Some(burst);
+        self
+    }
+
+    /// Returns a copy with the duplication probability replaced.
+    pub fn with_duplication(mut self, prob: f64) -> Self {
+        self.duplicate = prob.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Returns a copy with the reordering probability and extra delay set.
+    pub fn with_reordering(mut self, prob: f64, extra_ms: u64) -> Self {
+        self.reorder = prob.clamp(0.0, 1.0);
+        self.reorder_extra_ms = extra_ms;
+        self
+    }
+
+    /// Returns a copy with a partition appended.
+    pub fn with_partition(mut self, partition: Partition) -> Self {
+        self.partitions.push(partition);
+        self
+    }
+
+    /// Returns a copy with a crash window appended.
+    pub fn with_crash(mut self, crash: Crash) -> Self {
+        self.crashes.push(crash);
+        self
+    }
+
+    /// Whether this plan can never perturb traffic.
+    pub fn is_noop(&self) -> bool {
+        self.burst.is_none()
+            && self.duplicate == 0.0
+            && self.reorder == 0.0
+            && self.partitions.is_empty()
+            && self.crashes.is_empty()
+    }
+
+    /// Whether `node` is inside one of its crash windows at `now`.
+    pub fn node_down(&self, node: NodeId, now: SimTime) -> bool {
+        self.crashes
+            .iter()
+            .any(|c| c.node == node && (c.at_ms..c.restart_ms).contains(&now.as_millis()))
+    }
+
+    /// Whether a partition severs `from → to` at `now`.
+    pub fn partitioned(&self, from: NodeId, to: NodeId, now: SimTime) -> bool {
+        self.partitions
+            .iter()
+            .any(|p| p.active_at(now) && p.severs(from, to))
+    }
+}
+
+impl Default for FaultPlan {
+    /// Defaults to [`FaultPlan::none`].
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// What the fault layer decided for one message at send time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FaultVerdict {
+    /// Drop the message (burst loss or partition).
+    Drop,
+    /// Deliver, possibly perturbed.
+    Deliver {
+        /// Schedule an extra duplicate copy this many ms later.
+        duplicate_after_ms: Option<u64>,
+        /// Extra delay added to the primary copy (reordering).
+        extra_delay_ms: u64,
+    },
+}
+
+/// Runtime state of a [`FaultPlan`]: the fault RNG and the burst flag.
+#[derive(Debug)]
+pub(crate) struct FaultState {
+    plan: FaultPlan,
+    rng: StdRng,
+    in_burst: bool,
+}
+
+impl FaultState {
+    pub fn new(plan: FaultPlan) -> Self {
+        let rng = StdRng::seed_from_u64(plan.seed);
+        Self {
+            plan,
+            rng,
+            in_burst: false,
+        }
+    }
+
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Judges one message sent `from → to` at `now`.
+    pub fn judge(&mut self, from: NodeId, to: NodeId, now: SimTime) -> FaultVerdict {
+        if self.plan.partitioned(from, to, now) {
+            return FaultVerdict::Drop;
+        }
+        if let Some(burst) = self.plan.burst {
+            if self.in_burst {
+                if burst.exit > 0.0 && self.rng.gen_bool(burst.exit.clamp(0.0, 1.0)) {
+                    self.in_burst = false;
+                }
+            } else if burst.enter > 0.0 && self.rng.gen_bool(burst.enter.clamp(0.0, 1.0)) {
+                self.in_burst = true;
+            }
+            if self.in_burst
+                && burst.loss_in_burst > 0.0
+                && self.rng.gen_bool(burst.loss_in_burst.clamp(0.0, 1.0))
+            {
+                return FaultVerdict::Drop;
+            }
+        }
+        let extra = self.plan.reorder_extra_ms.max(1);
+        let duplicate_after_ms =
+            if self.plan.duplicate > 0.0 && self.rng.gen_bool(self.plan.duplicate) {
+                Some(self.rng.gen_range(0..=extra))
+            } else {
+                None
+            };
+        let extra_delay_ms = if self.plan.reorder > 0.0 && self.rng.gen_bool(self.plan.reorder)
+        {
+            self.rng.gen_range(1..=extra)
+        } else {
+            0
+        };
+        FaultVerdict::Deliver {
+            duplicate_after_ms,
+            extra_delay_ms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_plan_never_perturbs() {
+        let mut state = FaultState::new(FaultPlan::none());
+        assert!(state.plan().is_noop());
+        for i in 0..1_000u64 {
+            let verdict = state.judge(NodeId(0), NodeId(1), SimTime::from_millis(i));
+            assert_eq!(
+                verdict,
+                FaultVerdict::Deliver {
+                    duplicate_after_ms: None,
+                    extra_delay_ms: 0
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn partition_severs_only_crossing_traffic() {
+        let plan = FaultPlan::none().with_partition(Partition {
+            from_ms: 100,
+            until_ms: 200,
+            nodes: vec![NodeId(1), NodeId(2)],
+        });
+        let t = SimTime::from_millis(150);
+        assert!(plan.partitioned(NodeId(1), NodeId(5), t));
+        assert!(plan.partitioned(NodeId(5), NodeId(2), t));
+        // Traffic within the partitioned island still flows.
+        assert!(!plan.partitioned(NodeId(1), NodeId(2), t));
+        // And so does traffic entirely outside it.
+        assert!(!plan.partitioned(NodeId(5), NodeId(6), t));
+        // Outside the window nothing is severed.
+        assert!(!plan.partitioned(NodeId(1), NodeId(5), SimTime::from_millis(250)));
+    }
+
+    #[test]
+    fn crash_window_bounds() {
+        let plan = FaultPlan::none().with_crash(Crash {
+            node: NodeId(3),
+            at_ms: 50,
+            restart_ms: 80,
+        });
+        assert!(!plan.node_down(NodeId(3), SimTime::from_millis(49)));
+        assert!(plan.node_down(NodeId(3), SimTime::from_millis(50)));
+        assert!(plan.node_down(NodeId(3), SimTime::from_millis(79)));
+        assert!(!plan.node_down(NodeId(3), SimTime::from_millis(80)));
+        assert!(!plan.node_down(NodeId(4), SimTime::from_millis(60)));
+    }
+
+    #[test]
+    fn burst_loss_drops_in_bursts() {
+        let plan = FaultPlan::none().with_burst(BurstLoss {
+            enter: 0.1,
+            exit: 0.2,
+            loss_in_burst: 1.0,
+        });
+        let mut state = FaultState::new(FaultPlan { seed: 7, ..plan });
+        let drops = (0..5_000)
+            .filter(|i| {
+                state.judge(NodeId(0), NodeId(1), SimTime::from_millis(*i))
+                    == FaultVerdict::Drop
+            })
+            .count();
+        // Steady state of the 2-state chain: enter/(enter+exit) = 1/3.
+        assert!(drops > 1_000 && drops < 2_500, "drops {drops}");
+    }
+
+    #[test]
+    fn judgements_replay_identically_for_same_seed() {
+        let run = |seed: u64| {
+            let mut state = FaultState::new(FaultPlan {
+                seed,
+                ..FaultPlan::chaos(0)
+            });
+            (0..500u64)
+                .map(|i| state.judge(NodeId(0), NodeId(1), SimTime::from_millis(i)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
+    }
+}

@@ -9,9 +9,16 @@
 //!   randomness;
 //! * [`Message`] / [`wire`] — a compact framed binary codec (over [`bytes`])
 //!   shared by the simulated and the real transport;
+//! * [`fault`] — seeded, deterministic fault injection on top of the link
+//!   models: bursty loss, duplication, reordering, scheduled partitions and
+//!   device crash/restart windows;
+//! * [`reliable`] — sequenced, acknowledged, at-least-once frame delivery
+//!   (bounded in-flight window, per-peer retry queues, exponential backoff)
+//!   that survives everything [`fault`] injects;
 //! * [`tcp`] — a real `std::net` TCP loopback transport speaking the same
 //!   frames, proving the stack runs over real sockets;
-//! * [`NetworkStats`] — counters for sent/delivered/dropped traffic.
+//! * [`NetworkStats`] — counters for sent/delivered/dropped traffic and the
+//!   injected-fault/retry pressure.
 //!
 //! # Example
 //!
@@ -50,10 +57,13 @@ mod message;
 mod sim;
 mod stats;
 
+pub mod fault;
+pub mod reliable;
 pub mod tcp;
 pub mod wire;
 
 pub use event::SimTime;
+pub use fault::FaultPlan;
 pub use link::LinkModel;
 pub use message::Message;
 pub use sim::{Actor, Context, NodeId, Simulation};

@@ -1,6 +1,7 @@
 //! The actor-style discrete-event simulation driver.
 
 use crate::event::{EventKind, EventQueue, SimTime};
+use crate::fault::{FaultPlan, FaultState, FaultVerdict};
 use crate::link::LinkModel;
 use crate::message::Message;
 use crate::stats::NetworkStats;
@@ -33,6 +34,17 @@ pub trait Actor: std::any::Any {
     fn on_timer(&mut self, ctx: &mut Context<'_>, timer_id: u64) {
         let _ = (ctx, timer_id);
     }
+
+    /// Called when the node comes back up after a scheduled
+    /// [`crate::fault::Crash`] window.
+    ///
+    /// Deliveries and timers addressed to the node while it was down were
+    /// suppressed; this hook is where the actor discards volatile state and
+    /// resumes from whatever it persisted (e.g. re-arms its driving timer
+    /// and re-offers an outbox).
+    fn on_restart(&mut self, ctx: &mut Context<'_>) {
+        let _ = ctx;
+    }
 }
 
 /// Deferred side effects an actor requests during a callback.
@@ -40,6 +52,7 @@ pub trait Actor: std::any::Any {
 enum Action {
     Send { to: NodeId, msg: Message },
     Timer { delay_ms: u64, timer_id: u64 },
+    Retry,
 }
 
 /// Execution context handed to actors during callbacks.
@@ -70,6 +83,15 @@ impl Context<'_> {
     pub fn set_timer(&mut self, delay_ms: u64, timer_id: u64) {
         self.actions.push(Action::Timer { delay_ms, timer_id });
     }
+
+    /// Records one retransmission in [`NetworkStats::retries`].
+    ///
+    /// Reliable-delivery endpoints (see [`crate::reliable`]) call this for
+    /// every frame they send again, so a run's retry pressure shows up in
+    /// the simulation-wide counters.
+    pub fn note_retry(&mut self) {
+        self.actions.push(Action::Retry);
+    }
 }
 
 struct NodeSlot {
@@ -90,6 +112,7 @@ pub struct Simulation {
     rng: StdRng,
     stats: NetworkStats,
     inflight: Vec<Action>,
+    fault: Option<FaultState>,
 }
 
 impl fmt::Debug for Simulation {
@@ -115,6 +138,7 @@ impl Simulation {
             rng: StdRng::seed_from_u64(seed),
             stats: NetworkStats::default(),
             inflight: Vec::new(),
+            fault: None,
         }
     }
 
@@ -161,22 +185,71 @@ impl Simulation {
             .unwrap_or(self.default_link)
     }
 
+    /// Installs a [`FaultPlan`] and schedules its restart notifications.
+    ///
+    /// Must be called before the run starts (restart events are scheduled
+    /// relative to the current clock). Replaces any previous plan.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        for crash in &plan.crashes {
+            self.queue.push(
+                SimTime::from_millis(crash.restart_ms),
+                EventKind::Restart { node: crash.node },
+            );
+        }
+        self.fault = Some(FaultState::new(plan));
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref().map(FaultState::plan)
+    }
+
     /// Injects a message from `from` to `to` at the current time (external
     /// stimulus, e.g. a Honeycomb uploading a task).
     pub fn post(&mut self, from: NodeId, to: NodeId, msg: Message) {
         self.stats.sent += 1;
         self.stats.bytes_sent += msg.wire_size() as u64;
         let link = self.link_for(from, to);
-        match link.sample_delay(msg.wire_size(), &mut self.rng) {
-            Some(delay) => self.queue.push(
-                self.clock + delay,
-                EventKind::Deliver {
-                    from,
-                    to,
-                    message: msg,
-                },
-            ),
-            None => self.stats.dropped += 1,
+        let Some(delay) = link.sample_delay(msg.wire_size(), &mut self.rng) else {
+            self.stats.dropped += 1;
+            return;
+        };
+        let verdict = match self.fault.as_mut() {
+            Some(state) => state.judge(from, to, self.clock),
+            None => FaultVerdict::Deliver {
+                duplicate_after_ms: None,
+                extra_delay_ms: 0,
+            },
+        };
+        match verdict {
+            FaultVerdict::Drop => self.stats.dropped_by_fault += 1,
+            FaultVerdict::Deliver {
+                duplicate_after_ms,
+                extra_delay_ms,
+            } => {
+                if extra_delay_ms > 0 {
+                    self.stats.reordered += 1;
+                }
+                if let Some(dup_after) = duplicate_after_ms {
+                    self.stats.duplicated += 1;
+                    self.queue.push(
+                        self.clock + delay + dup_after,
+                        EventKind::Deliver {
+                            from,
+                            to,
+                            message: msg.clone(),
+                        },
+                    );
+                }
+                self.queue.push(
+                    self.clock + delay + extra_delay_ms,
+                    EventKind::Deliver {
+                        from,
+                        to,
+                        message: msg,
+                    },
+                );
+            }
         }
     }
 
@@ -211,16 +284,36 @@ impl Simulation {
         self.clock = event.time;
         match event.kind {
             EventKind::Deliver { from, to, message } => {
-                self.stats.delivered += 1;
-                self.stats.bytes_delivered += message.wire_size() as u64;
-                self.dispatch(to, |actor, ctx| actor.on_message(ctx, from, message));
+                if self.node_down(to) {
+                    // The destination is inside a crash window: the message
+                    // is lost, exactly like a packet arriving at a dead host.
+                    self.stats.dropped_by_fault += 1;
+                } else {
+                    self.stats.delivered += 1;
+                    self.stats.bytes_delivered += message.wire_size() as u64;
+                    self.dispatch(to, |actor, ctx| actor.on_message(ctx, from, message));
+                }
             }
             EventKind::Timer { node, timer_id } => {
-                self.stats.timers_fired += 1;
-                self.dispatch(node, |actor, ctx| actor.on_timer(ctx, timer_id));
+                // Timers firing during an outage are suppressed (a crashed
+                // process runs nothing); timers that out-survive the outage
+                // still fire after restart.
+                if !self.node_down(node) {
+                    self.stats.timers_fired += 1;
+                    self.dispatch(node, |actor, ctx| actor.on_timer(ctx, timer_id));
+                }
+            }
+            EventKind::Restart { node } => {
+                self.dispatch(node, |actor, ctx| actor.on_restart(ctx));
             }
         }
         true
+    }
+
+    fn node_down(&self, node: NodeId) -> bool {
+        self.fault
+            .as_ref()
+            .is_some_and(|f| f.plan().node_down(node, self.clock))
     }
 
     fn dispatch<F>(&mut self, node: NodeId, f: F)
@@ -253,6 +346,7 @@ impl Simulation {
                     self.queue
                         .push(self.clock + delay_ms, EventKind::Timer { node, timer_id });
                 }
+                Action::Retry => self.stats.retries += 1,
             }
         }
         self.inflight = actions;
@@ -499,6 +593,152 @@ mod tests {
         assert_eq!(sim.node_count(), 1);
         assert!(sim.actor(a).is_some());
         assert!(sim.actor(NodeId(42)).is_none());
+    }
+
+    #[test]
+    fn partition_drops_crossing_traffic_and_counts_it() {
+        use crate::fault::{FaultPlan, Partition};
+        let mut sim = Simulation::new(1);
+        let a = sim.add_node("a", Box::new(Sink::default()));
+        let b = sim.add_node("b", Box::new(Sink::default()));
+        sim.set_fault_plan(FaultPlan::none().with_partition(Partition {
+            from_ms: 0,
+            until_ms: 1_000,
+            nodes: vec![a],
+        }));
+        for _ in 0..5 {
+            sim.post(a, b, Message::event(1, vec![]));
+        }
+        sim.run();
+        assert_eq!(sim.stats().dropped_by_fault, 5);
+        assert_eq!(sim.stats().delivered, 0);
+        // After the partition heals, traffic flows again.
+        sim.run_until(SimTime::from_millis(1_000));
+        sim.post(a, b, Message::event(1, vec![]));
+        sim.run();
+        assert_eq!(sim.stats().delivered, 1);
+    }
+
+    #[test]
+    fn duplication_injects_extra_copies() {
+        use crate::fault::FaultPlan;
+        let mut sim = Simulation::new(2);
+        let a = sim.add_node("a", Box::new(Sink::default()));
+        let b = sim.add_node("b", Box::new(Sink::default()));
+        sim.set_fault_plan(FaultPlan {
+            seed: 9,
+            ..FaultPlan::none().with_duplication(1.0)
+        });
+        for _ in 0..10 {
+            sim.post(a, b, Message::event(1, vec![]));
+        }
+        sim.run();
+        assert_eq!(sim.stats().duplicated, 10);
+        assert_eq!(sim.stats().delivered, 20);
+        assert_eq!(sim.actor_as::<Sink>(b).unwrap().received.len(), 20);
+    }
+
+    #[test]
+    fn reordering_counts_and_still_delivers() {
+        use crate::fault::FaultPlan;
+        let mut sim = Simulation::new(3);
+        let a = sim.add_node("a", Box::new(Sink::default()));
+        let b = sim.add_node("b", Box::new(Sink::default()));
+        sim.set_fault_plan(FaultPlan {
+            seed: 4,
+            ..FaultPlan::none().with_reordering(1.0, 100)
+        });
+        for _ in 0..10 {
+            sim.post(a, b, Message::event(1, vec![]));
+        }
+        sim.run();
+        assert_eq!(sim.stats().reordered, 10);
+        assert_eq!(sim.stats().delivered, 10);
+    }
+
+    #[test]
+    fn crash_window_suppresses_then_restarts() {
+        use crate::fault::{Crash, FaultPlan};
+
+        /// Remembers whether it was restarted; counts deliveries.
+        #[derive(Default)]
+        struct Phoenix {
+            received: u32,
+            restarts: u32,
+        }
+        impl Actor for Phoenix {
+            fn on_message(&mut self, _ctx: &mut Context<'_>, _from: NodeId, _msg: Message) {
+                self.received += 1;
+            }
+            fn on_restart(&mut self, ctx: &mut Context<'_>) {
+                self.restarts += 1;
+                // Typical recovery: re-arm the driving timer.
+                ctx.set_timer(1, 42);
+            }
+        }
+
+        let mut sim = Simulation::new(4);
+        let a = sim.add_node("a", Box::new(Sink::default()));
+        let b = sim.add_node("b", Box::new(Phoenix::default()));
+        sim.set_fault_plan(FaultPlan::none().with_crash(Crash {
+            node: b,
+            at_ms: 0,
+            restart_ms: 500,
+        }));
+        // Sent while b is down: lost at delivery time.
+        sim.post(a, b, Message::event(1, vec![]));
+        sim.run_until(SimTime::from_millis(400));
+        assert_eq!(sim.stats().dropped_by_fault, 1);
+        // After restart the node receives again and saw the restart hook.
+        sim.run();
+        sim.post(a, b, Message::event(1, vec![]));
+        sim.run();
+        let phoenix = sim.actor_as::<Phoenix>(b).unwrap();
+        assert_eq!(phoenix.restarts, 1);
+        assert_eq!(phoenix.received, 1);
+        assert_eq!(sim.stats().timers_fired, 1);
+    }
+
+    #[test]
+    fn note_retry_reaches_stats() {
+        /// Reports a retry for every timer firing.
+        struct Retrier;
+        impl Actor for Retrier {
+            fn on_message(&mut self, _: &mut Context<'_>, _: NodeId, _: Message) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_>, _: u64) {
+                ctx.note_retry();
+            }
+        }
+        let mut sim = Simulation::new(5);
+        let a = sim.add_node("a", Box::new(Retrier));
+        sim.post_timer(a, 1, 0);
+        sim.post_timer(a, 2, 0);
+        sim.run();
+        assert_eq!(sim.stats().retries, 2);
+    }
+
+    #[test]
+    fn fault_runs_replay_identically() {
+        use crate::fault::FaultPlan;
+        fn run_once(seed: u64) -> (NetworkStats, u64) {
+            let mut sim = Simulation::new(7);
+            sim.set_default_link(LinkModel::mobile());
+            sim.set_fault_plan(FaultPlan::chaos(seed));
+            let a = sim.add_node("a", Box::new(Sink::default()));
+            let b = sim.add_node(
+                "b",
+                Box::new(Responder {
+                    received: 0,
+                    replies: 100,
+                }),
+            );
+            for _ in 0..200 {
+                sim.post(a, b, Message::event(1, vec![0; 48]));
+            }
+            sim.run();
+            (sim.stats(), sim.now().as_millis())
+        }
+        assert_eq!(run_once(31), run_once(31));
     }
 
     #[test]

@@ -11,6 +11,17 @@ pub struct NetworkStats {
     pub delivered: u64,
     /// Messages dropped by lossy links.
     pub dropped: u64,
+    /// Messages dropped by an injected fault (burst loss, partition, or a
+    /// crashed destination) rather than the link's base loss model.
+    pub dropped_by_fault: u64,
+    /// Extra copies injected by a duplication fault.
+    pub duplicated: u64,
+    /// Messages whose delivery was delayed past later traffic by a
+    /// reordering fault.
+    pub reordered: u64,
+    /// Retransmissions reported by reliable-delivery endpoints (see
+    /// [`crate::Context::note_retry`]).
+    pub retries: u64,
     /// Total bytes handed to the network (wire size).
     pub bytes_sent: u64,
     /// Total bytes delivered (wire size).
@@ -28,6 +39,11 @@ impl NetworkStats {
             self.delivered as f64 / self.sent as f64
         }
     }
+
+    /// Messages lost for any reason (link loss plus injected faults).
+    pub fn lost(&self) -> u64 {
+        self.dropped + self.dropped_by_fault
+    }
 }
 
 impl fmt::Display for NetworkStats {
@@ -40,7 +56,15 @@ impl fmt::Display for NetworkStats {
             self.dropped,
             self.delivery_ratio() * 100.0,
             self.bytes_sent
-        )
+        )?;
+        if self.dropped_by_fault + self.duplicated + self.reordered + self.retries > 0 {
+            write!(
+                f,
+                "; faults: dropped={} duplicated={} reordered={} retries={}",
+                self.dropped_by_fault, self.duplicated, self.reordered, self.retries
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -62,6 +86,16 @@ mod tests {
     }
 
     #[test]
+    fn lost_sums_link_and_fault_drops() {
+        let s = NetworkStats {
+            dropped: 3,
+            dropped_by_fault: 4,
+            ..Default::default()
+        };
+        assert_eq!(s.lost(), 7);
+    }
+
+    #[test]
     fn display_mentions_counts() {
         let s = NetworkStats {
             sent: 4,
@@ -71,5 +105,19 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("sent=4"));
         assert!(text.contains("100.0%"));
+        // The fault summary only appears when a fault counter is non-zero.
+        assert!(!text.contains("faults:"));
+        let faulty = NetworkStats {
+            sent: 4,
+            delivered: 3,
+            dropped_by_fault: 1,
+            duplicated: 2,
+            reordered: 1,
+            retries: 5,
+            ..Default::default()
+        };
+        let text = faulty.to_string();
+        assert!(text.contains("faults:"));
+        assert!(text.contains("retries=5"));
     }
 }

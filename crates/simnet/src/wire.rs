@@ -26,8 +26,13 @@ use std::fmt;
 /// Errors produced while decoding wire data.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WireError {
-    /// The buffer ended before the value was complete.
-    UnexpectedEof,
+    /// The buffer ended before the value was complete (recoverable with
+    /// more bytes when decoding a stream; fatal for a fixed slice).
+    Truncated,
+    /// The bytes are structurally impossible — no suffix can complete them
+    /// into a valid value (e.g. a frame whose length prefix is smaller than
+    /// the fixed frame header).
+    Corrupt(&'static str),
     /// A string field held invalid UTF-8.
     InvalidUtf8,
     /// An enum tag byte was not recognised (context, value).
@@ -39,7 +44,8 @@ pub enum WireError {
 impl fmt::Display for WireError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            WireError::UnexpectedEof => write!(f, "unexpected end of buffer"),
+            WireError::Truncated => write!(f, "buffer truncated before value was complete"),
+            WireError::Corrupt(what) => write!(f, "corrupt wire data: {what}"),
             WireError::InvalidUtf8 => write!(f, "invalid utf-8 in string field"),
             WireError::InvalidTag(ctx, v) => write!(f, "invalid tag {v} for {ctx}"),
             WireError::LengthOverflow(n) => write!(f, "length prefix {n} too large"),
@@ -84,7 +90,7 @@ pub trait Decode: Sized {
 
 fn need(buf: &Bytes, n: usize) -> Result<(), WireError> {
     if buf.remaining() < n {
-        Err(WireError::UnexpectedEof)
+        Err(WireError::Truncated)
     } else {
         Ok(())
     }
@@ -238,7 +244,11 @@ pub fn encode_frame(msg: &Message) -> Vec<u8> {
 ///
 /// # Errors
 ///
-/// Returns [`WireError::LengthOverflow`] for frames above the 16 MiB cap.
+/// Returns [`WireError::LengthOverflow`] for frames above the 16 MiB cap
+/// and [`WireError::Corrupt`] for frames whose length prefix is smaller
+/// than the fixed `kind + request_id` header — no further bytes can ever
+/// complete such a frame, so the connection must be torn down rather than
+/// waited on.
 pub fn decode_frame(buf: &mut BytesMut) -> Result<Option<Message>, WireError> {
     if buf.len() < 4 {
         return Ok(None);
@@ -248,7 +258,7 @@ pub fn decode_frame(buf: &mut BytesMut) -> Result<Option<Message>, WireError> {
         return Err(WireError::LengthOverflow(body_len));
     }
     if body_len < 10 {
-        return Err(WireError::UnexpectedEof);
+        return Err(WireError::Corrupt("frame body shorter than header"));
     }
     if (buf.len() as u64) < 4 + body_len {
         return Ok(None);
@@ -308,7 +318,17 @@ mod tests {
     fn truncated_buffer_errors() {
         let encoded = 12345u64.encode_to_vec();
         let r = u64::decode_from_slice(&encoded[..4]);
-        assert_eq!(r, Err(WireError::UnexpectedEof));
+        assert_eq!(r, Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn undersized_frame_body_is_corrupt_not_truncated() {
+        // A length prefix of 3 can never hold the 10-byte frame header:
+        // waiting for more bytes would hang forever.
+        let mut buf = BytesMut::new();
+        buf.put_u32(3);
+        buf.put_slice(&[0, 0, 0]);
+        assert!(matches!(decode_frame(&mut buf), Err(WireError::Corrupt(_))));
     }
 
     #[test]
@@ -372,7 +392,8 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(WireError::UnexpectedEof.to_string().contains("unexpected"));
+        assert!(WireError::Truncated.to_string().contains("truncated"));
+        assert!(WireError::Corrupt("frame").to_string().contains("frame"));
         assert!(WireError::InvalidTag("bool", 9)
             .to_string()
             .contains("bool"));

@@ -72,6 +72,49 @@ proptest! {
         let _ = decode_frame(&mut buf);
     }
 
+    /// Mutation fuzzing: take a valid frame, flip one byte and/or truncate
+    /// it, and drive the result through the decoder. The decoder must never
+    /// panic, and whenever it accepts a frame the frame must be
+    /// well-formed (payload length consistent with the prefix).
+    #[test]
+    fn frame_decoder_survives_mutated_frames(
+        kind in any::<u16>(),
+        rid in any::<u64>(),
+        payload in prop::collection::vec(any::<u8>(), 0..128),
+        flip_at in any::<usize>(),
+        flip_bits in any::<u8>(),
+        cut in any::<usize>(),
+    ) {
+        let msg = Message { kind, request_id: rid, payload: payload.into() };
+        let mut framed = encode_frame(&msg);
+        let idx = flip_at % framed.len();
+        framed[idx] ^= flip_bits;
+        let keep = cut % (framed.len() + 1);
+        framed.truncate(keep);
+        let mut buf = BytesMut::from(framed.as_slice());
+        if let Ok(Some(decoded)) = decode_frame(&mut buf) {
+            // Anything the decoder accepts satisfies the framing contract.
+            prop_assert!(decoded.payload.len() <= framed.len());
+        }
+    }
+
+    /// A truncated prefix of a valid frame is never misread as complete:
+    /// the decoder asks for more bytes (or reports corruption if the
+    /// mutation made the header impossible), but never yields a frame.
+    #[test]
+    fn truncated_frames_never_decode(
+        kind in any::<u16>(),
+        rid in any::<u64>(),
+        payload in prop::collection::vec(any::<u8>(), 0..128),
+        cut in any::<usize>(),
+    ) {
+        let msg = Message { kind, request_id: rid, payload: payload.into() };
+        let framed = encode_frame(&msg);
+        let keep = cut % framed.len(); // strictly shorter than the frame
+        let mut buf = BytesMut::from(&framed[..keep]);
+        prop_assert_eq!(decode_frame(&mut buf).unwrap(), None);
+    }
+
     #[test]
     fn truncated_values_error_not_panic(
         v in any::<u64>(),
