@@ -9,7 +9,10 @@
 //!   two deployment models end to end: every day re-publishes the whole
 //!   accumulated prefix from scratch vs a `StreamingPublisher` session
 //!   reusing yesterday's shards and index (winners byte-identical, see
-//!   `bench::e11`).
+//!   `bench::e11`);
+//! * `stream_publish_fold_baselines` — the same streaming session with
+//!   the per-window `BaselineDelta` counters summed, pinning the §3.11
+//!   in-place utility-baseline folds to a measured data point.
 
 use bench::data::dataset;
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -57,6 +60,22 @@ fn bench_streaming(c: &mut Criterion) {
         b.iter(|| {
             let mut publisher = StreamingPublisher::new(PrivApiConfig::default());
             black_box(publisher.publish_all(&windows).ok());
+        })
+    });
+
+    // The §3.11 in-place baseline folds, surfaced through the per-window
+    // `BaselineDelta` counters (rebuilds stay 0 on a stationary box).
+    group.bench_function("stream_publish_fold_baselines", |b| {
+        b.iter(|| {
+            let mut publisher = StreamingPublisher::new(PrivApiConfig::default());
+            let mut cells_updated = 0usize;
+            let mut rebuilds = 0usize;
+            for window in &windows {
+                let release = publisher.publish_window(window).expect("ascending windows");
+                cells_updated += release.baseline.cells_updated;
+                rebuilds += usize::from(release.baseline.rebuilt);
+            }
+            black_box((cells_updated, rebuilds))
         })
     });
 

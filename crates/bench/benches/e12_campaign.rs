@@ -7,6 +7,9 @@
 //!   `StreamingPublisher` re-extracting the original side per session;
 //! * `orchestrated_campaigns` — the same K campaigns through one
 //!   `campaign::Orchestrator` sharing the original-side session;
+//! * `orchestrated_donor_sharing` — the same orchestrated shape with the
+//!   §3.11 donor counters (`users_donated`/`shards_donated`) summed into
+//!   the measurement;
 //! * `orchestrator_register` — registry overhead (register + duplicate
 //!   rejection + retire), separate from the per-window work.
 
@@ -52,6 +55,33 @@ fn bench_campaigns(c: &mut Criterion) {
             for window in &windows {
                 black_box(orchestrator.advance_day(window).expect("ascending days"));
             }
+        })
+    });
+
+    // The §3.11 donor scheme: K fingerprint-identical campaigns, the
+    // followers adopting the leader's protected side — the summed
+    // `users_donated`/`shards_donated` counters are black-boxed so the
+    // donor bookkeeping itself is inside the measurement.
+    group.bench_function("orchestrated_donor_sharing", |b| {
+        b.iter(|| {
+            let mut orchestrator = Orchestrator::new();
+            for id in 0..CAMPAIGNS {
+                orchestrator
+                    .register(Campaign::new(id, format!("c{id}"), config))
+                    .expect("distinct ids");
+            }
+            let mut users_donated = 0usize;
+            let mut shards_donated = 0usize;
+            for window in &windows {
+                let report = orchestrator.advance_day(window).expect("ascending days");
+                for id in 0..CAMPAIGNS {
+                    if let Some(release) = report.release_of(CampaignId(id)) {
+                        users_donated += release.strategies.users_donated;
+                        shards_donated += release.strategies.shards_donated;
+                    }
+                }
+            }
+            black_box((users_donated, shards_donated))
         })
     });
 

@@ -8,6 +8,10 @@
 //! cargo run -p bench --bin bench_summary --release -- --scale medium \
 //!     --out BENCH_e10.json --out-e11 BENCH_e11.json --out-e12 BENCH_e12.json \
 //!     --out-e13 BENCH_e13.json --out-e14 BENCH_e14.json
+//! # the 10k-user sparse-participation streaming stress shape
+//! cargo run -p bench --bin bench_summary --release -- --scale large
+//! # participation sensitivity sweep (overrides E11's daily percentage)
+//! cargo run -p bench --bin bench_summary --release -- --scale large --participation 10
 //! ```
 //!
 //! CI runs the smoke shape on every PR and uploads the JSON files as
@@ -46,13 +50,12 @@ fn main() {
             continue;
         }
         match arg.as_str() {
-            "--scale" | "--out" | "--out-e11" | "--out-e12" | "--out-e13" | "--out-e14" => {
-                expects_value = true
-            }
+            "--scale" | "--participation" | "--out" | "--out-e11" | "--out-e12"
+            | "--out-e13" | "--out-e14" => expects_value = true,
             other => {
                 eprintln!(
-                    "unexpected argument {other:?}; use --scale, --out, --out-e11, \
-                     --out-e12, --out-e13, --out-e14"
+                    "unexpected argument {other:?}; use --scale, --participation, --out, \
+                     --out-e11, --out-e12, --out-e13, --out-e14"
                 );
                 std::process::exit(2);
             }
@@ -76,7 +79,8 @@ fn main() {
     let out_e12 = value_of("--out-e12").unwrap_or_else(|| "BENCH_e12.json".into());
     let out_e13 = value_of("--out-e13").unwrap_or_else(|| "BENCH_e13.json".into());
     let out_e14 = value_of("--out-e14").unwrap_or_else(|| "BENCH_e14.json".into());
-    let (e10_config, e11_config, e12_config, e13_config, e14_config) = match scale.as_str() {
+    let (e10_config, mut e11_config, e12_config, e13_config, e14_config) = match scale.as_str()
+    {
         "smoke" => (
             E10Config::smoke(),
             E11Config::smoke(),
@@ -93,11 +97,22 @@ fn main() {
                 E14Config::from_scale(scale),
             ),
             Err(_) => {
-                eprintln!("unknown --scale {other:?}; use smoke|small|medium|full");
+                eprintln!("unknown --scale {other:?}; use smoke|small|medium|full|large");
                 std::process::exit(2);
             }
         },
     };
+    if let Some(pct) = value_of("--participation") {
+        // Overrides E11's daily participation (percent of users reporting
+        // on any day after the first) for sensitivity sweeps at any scale.
+        match pct.parse::<u64>() {
+            Ok(pct @ 1..=100) => e11_config.participation_pct = pct,
+            _ => {
+                eprintln!("--participation must be an integer in 1..=100, got {pct:?}");
+                std::process::exit(2);
+            }
+        }
+    }
 
     let write = |path: &str, json: String| {
         std::fs::write(path, json).unwrap_or_else(|e| {
@@ -116,8 +131,12 @@ fn main() {
     write(&out_e10, e10_report.to_json());
 
     eprintln!(
-        "e11 streaming summary: scale={}, {} users x {} days @ {} s",
-        e11_config.label, e11_config.users, e11_config.days, e11_config.interval_s
+        "e11 streaming summary: scale={}, {} users x {} days @ {} s, {} % participation",
+        e11_config.label,
+        e11_config.users,
+        e11_config.days,
+        e11_config.interval_s,
+        e11_config.participation_pct
     );
     let e11_report = e11::run(&e11_config);
     println!("{e11_report}");

@@ -28,7 +28,7 @@ fn main() {
         match arg.as_str() {
             "--scale" => {
                 let Some(value) = iter.next() else {
-                    eprintln!("--scale requires a value: small|medium|full");
+                    eprintln!("--scale requires a value: small|medium|full|large");
                     std::process::exit(2);
                 };
                 scale = Scale::parse(value).unwrap_or_else(|e| {
@@ -39,10 +39,11 @@ fn main() {
             "--small" => scale = Scale::Small,
             "--medium" => scale = Scale::Medium,
             "--full" => scale = Scale::Full,
+            "--large" => scale = Scale::Large,
             flag if flag.starts_with("--") => {
                 eprintln!(
-                    "unknown flag {flag:?}; use --scale small|medium|full \
-                     (or the shorthands --small/--medium/--full)"
+                    "unknown flag {flag:?}; use --scale small|medium|full|large \
+                     (or the shorthands --small/--medium/--full/--large)"
                 );
                 std::process::exit(2);
             }
@@ -65,7 +66,7 @@ fn main() {
 
     println!(
         "== crowdsense experiment suite (scale: {scale:?}) ==\n\
-         ids: e1 e2 e3 e4 e5 e6 e7 e8 f1; pass --scale medium or --scale full to scale up\n"
+         ids: e1 e2 e3 e4 e5 e6 e7 e8 f1; pass --scale medium|full|large to scale up\n"
     );
 
     if want("f1") {

@@ -4,13 +4,14 @@ use crate::Scale;
 use mobility::gen::{CityModel, GeneratedData, PopulationConfig};
 
 /// Picks the per-experiment parameter set for `scale` — the one place the
-/// `Small`/`Medium`/`Full` fan-out lives, so adding a scale (or an
-/// experiment) never grows another three-armed `match`.
-pub fn by_scale<T>(scale: Scale, small: T, medium: T, full: T) -> T {
+/// `Small`/`Medium`/`Full`/`Large` fan-out lives, so adding a scale (or an
+/// experiment) never grows another multi-armed `match`.
+pub fn by_scale<T>(scale: Scale, small: T, medium: T, full: T, large: T) -> T {
     match scale {
         Scale::Small => small,
         Scale::Medium => medium,
         Scale::Full => full,
+        Scale::Large => large,
     }
 }
 

@@ -50,9 +50,18 @@ impl E10Config {
         }
     }
 
-    /// The canonical population for `scale`.
+    /// The canonical population for `scale`. `Large` is bounded below the
+    /// streaming population: this experiment re-runs full-dataset
+    /// extractions `reps` times, so the O(active-users) claim itself is
+    /// measured by E11 at the full `Scale::Large` population instead.
     pub fn from_scale(scale: Scale) -> Self {
-        let (users, days, interval_s) = scale.population();
+        let (users, days, interval_s) = crate::data::by_scale(
+            scale,
+            scale.population(),
+            scale.population(),
+            scale.population(),
+            (1_000, 8, 1_200),
+        );
         Self {
             label: format!("{scale:?}").to_lowercase(),
             users,

@@ -57,9 +57,20 @@ impl E12Config {
         }
     }
 
-    /// The canonical population for `scale`.
+    /// The canonical population for `scale`. `Large` is bounded below the
+    /// streaming population: the experiment's baseline replays the whole
+    /// stream once per campaign (K + 2 times), so the O(active-users)
+    /// claim itself is measured by E11 at the full `Scale::Large`
+    /// population instead.
     pub fn from_scale(scale: Scale) -> Self {
         let (users, days, _) = scale.population();
+        let (users, days) = crate::data::by_scale(
+            scale,
+            (users, days),
+            (users, days),
+            (users, days),
+            (1_000, 6),
+        );
         Self {
             label: format!("{scale:?}").to_lowercase(),
             users,
@@ -165,6 +176,18 @@ pub struct E12Report {
     pub orchestrated_extractions: usize,
     /// Subset-campaign shards derived (cloned) from the shared session.
     pub shards_derived: usize,
+    /// Protected-side anonymizations the same-config followers adopted
+    /// from their group leader's donor snapshot instead of recomputing.
+    pub users_donated: usize,
+    /// Protected-side extraction shards adopted from the donor snapshot.
+    pub shards_donated: usize,
+    /// Orchestrated releases where a stale utility-baseline fold was
+    /// discarded and rebuilt (a quantized-grid move; a session's first
+    /// build is not counted, and windows fold in place otherwise).
+    pub baseline_rebuilds: usize,
+    /// Baseline cells / day-histogram entries touched by in-place folds
+    /// across all orchestrated releases.
+    pub baseline_cells_updated: usize,
 }
 
 impl E12Report {
@@ -195,7 +218,9 @@ impl E12Report {
              \"original_side_user_extractions\": {},\n  \
              \"independent_original_user_extractions\": {},\n  \
              \"original_side_ratio\": {:.3},\n  \"independent_extractions\": {},\n  \
-             \"orchestrated_extractions\": {},\n  \"shards_derived\": {}\n}}\n",
+             \"orchestrated_extractions\": {},\n  \"shards_derived\": {},\n  \
+             \"users_donated\": {},\n  \"shards_donated\": {},\n  \
+             \"baseline_rebuilds\": {},\n  \"baseline_cells_updated\": {}\n}}\n",
             self.label,
             self.threads,
             self.users,
@@ -216,6 +241,10 @@ impl E12Report {
             self.independent_extractions,
             self.orchestrated_extractions,
             self.shards_derived,
+            self.users_donated,
+            self.shards_donated,
+            self.baseline_rebuilds,
+            self.baseline_cells_updated,
         )
     }
 }
@@ -271,7 +300,7 @@ impl fmt::Display for E12Report {
             self.original_side_user_extractions,
             self.original_side_ratio()
         )?;
-        write!(
+        writeln!(
             f,
             "full passes: {} independent vs {} orchestrated; {} shared sessions, \
              {} releases, {} subset shards derived",
@@ -280,6 +309,15 @@ impl fmt::Display for E12Report {
             self.shared_sessions,
             self.releases,
             self.shards_derived
+        )?;
+        write!(
+            f,
+            "donor sharing: {} anonymizations / {} shards adopted by followers; \
+             baselines: {} rebuilds, {} cells folded",
+            self.users_donated,
+            self.shards_donated,
+            self.baseline_rebuilds,
+            self.baseline_cells_updated
         )
     }
 }
@@ -396,6 +434,10 @@ pub fn run(config: &E12Config) -> E12Report {
     let mut orchestrated_total_ms = 0.0;
     let mut releases = 0;
     let mut shards_derived = 0;
+    let mut users_donated = 0;
+    let mut shards_donated = 0;
+    let mut baseline_rebuilds = 0;
+    let mut baseline_cells_updated = 0;
     for (w, window) in windows.iter().enumerate() {
         let start = Instant::now();
         let report = orchestrator.advance_day(window).expect("ascending days");
@@ -412,6 +454,10 @@ pub fn run(config: &E12Config) -> E12Report {
                     assert_eq!(a.published.dataset, b.published.dataset);
                     releases += 1;
                     shards_derived += a.delta.users_derived;
+                    users_donated += a.strategies.users_donated;
+                    shards_donated += a.strategies.shards_donated;
+                    baseline_rebuilds += usize::from(a.baseline.rebuilt);
+                    baseline_cells_updated += a.baseline.cells_updated;
                 }
                 (None, None) => {}
                 (a, b) => panic!(
@@ -449,6 +495,10 @@ pub fn run(config: &E12Config) -> E12Report {
         independent_extractions,
         orchestrated_extractions,
         shards_derived,
+        users_donated,
+        shards_donated,
+        baseline_rebuilds,
+        baseline_cells_updated,
     }
 }
 
@@ -492,6 +542,14 @@ mod tests {
         // paths (the default pool is fully local).
         assert_eq!(report.independent_extractions, 0);
         assert_eq!(report.orchestrated_extractions, 0);
+        // K = 3 same-config campaigns means two followers per window, and
+        // followers adopt the leader's protected side wholesale.
+        assert!(report.users_donated > 0, "{report:?}");
+        assert!(report.shards_donated > 0, "{report:?}");
+        // The beacon-pinned bounding box never moves, so no baseline fold
+        // is ever discarded — every window folds in place.
+        assert_eq!(report.baseline_rebuilds, 0, "{report:?}");
+        assert!(report.baseline_cells_updated > 0, "{report:?}");
         let json = report.to_json();
         for key in [
             "\"experiment\": \"e12_multi_campaign\"",
@@ -500,12 +558,17 @@ mod tests {
             "\"original_side_ratio\"",
             "\"independent_original_user_extractions\"",
             "\"shards_derived\"",
+            "\"users_donated\"",
+            "\"shards_donated\"",
+            "\"baseline_rebuilds\"",
+            "\"baseline_cells_updated\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
         let text = report.to_string();
         assert!(text.contains("all campaigns"));
         assert!(text.contains("per-user extractions:"));
+        assert!(text.contains("donor sharing:"));
     }
 
     #[test]

@@ -59,9 +59,19 @@ impl E13Config {
         }
     }
 
-    /// The canonical population for `scale`.
+    /// The canonical population for `scale`. `Large` is bounded below the
+    /// streaming population: fault-injected ingestion replays every
+    /// device's upload schedule twice (chaos + control), so the
+    /// O(active-users) claim itself is measured by E11 at the full
+    /// `Scale::Large` population instead.
     pub fn from_scale(scale: Scale) -> Self {
-        let (users, days, interval) = scale.population();
+        let (users, days, interval) = crate::data::by_scale(
+            scale,
+            scale.population(),
+            scale.population(),
+            scale.population(),
+            (2_000, 8, 1_200),
+        );
         Self {
             label: format!("{scale:?}").to_lowercase(),
             seed: 0xE13,

@@ -94,7 +94,8 @@ impl E14Config {
 
     /// The canonical fleet for `scale`.
     pub fn from_scale(scale: Scale) -> Self {
-        let (devices, queries) = crate::data::by_scale(scale, (40, 60), (70, 120), (100, 240));
+        let (devices, queries) =
+            crate::data::by_scale(scale, (40, 60), (70, 120), (100, 240), (150, 360));
         Self {
             label: format!("{scale:?}").to_lowercase(),
             devices,

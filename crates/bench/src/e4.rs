@@ -97,6 +97,7 @@ pub fn run(scale: crate::Scale) -> E4Table {
         (&[10, 25, 50], 2 * 3_600),
         (&[10, 50, 100, 250], 4 * 3_600),
         (&[10, 50, 100, 250, 500], 6 * 3_600),
+        (&[10, 100, 500, 1_000], 6 * 3_600),
     );
     run_sweep(fleets, duration_s)
 }

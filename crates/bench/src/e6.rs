@@ -45,7 +45,8 @@ impl fmt::Display for E6Table {
 
 /// Runs E6.
 pub fn run(scale: crate::Scale) -> E6Table {
-    let (users, days) = crate::data::by_scale(scale, (150, 21), (200, 21), (300, 28));
+    let (users, days) =
+        crate::data::by_scale(scale, (150, 21), (200, 21), (300, 28), (400, 28));
     let config = CampaignConfig {
         users,
         days,

@@ -135,7 +135,8 @@ pub fn run_strategy(
 
 /// Runs E7 across all strategies.
 pub fn run(scale: crate::Scale) -> E7Table {
-    let (fleet, queries) = crate::data::by_scale(scale, (40, 480), (70, 1_440), (100, 2_880));
+    let (fleet, queries) =
+        crate::data::by_scale(scale, (40, 480), (70, 1_440), (100, 2_880), (150, 2_880));
     let per_query = 5;
     let rows = [
         SelectionStrategy::RoundRobin,

@@ -63,7 +63,7 @@ impl fmt::Display for E8Table {
 /// Runs E8: a population of devices replays its mobility under different
 /// preference profiles; the published stream is attacked.
 pub fn run(scale: crate::Scale) -> E8Table {
-    let (users, days) = crate::data::by_scale(scale, (8, 3), (15, 5), (25, 7));
+    let (users, days) = crate::data::by_scale(scale, (8, 3), (15, 5), (25, 7), (30, 8));
     let data = dataset(users, days, 60, 0xE8);
     let script = Script::compile(
         r#"let fix = sensor.gps(); if (fix != null) { emit({ "lat": fix.lat, "lon": fix.lon }); }"#,

@@ -51,7 +51,7 @@ impl fmt::Display for F1Figure {
 
 /// Runs the demonstration topology.
 pub fn run(scale: crate::Scale) -> F1Figure {
-    let devices = crate::data::by_scale(scale, 10, 25, 50);
+    let devices = crate::data::by_scale(scale, 10, 25, 50, 75);
     let report = run_campaign(
         &e4::task(),
         &CampaignConfig {

@@ -24,8 +24,12 @@ pub mod f1;
 
 /// Experiment scale: `Small` keeps every experiment under a few seconds,
 /// `Medium` is the attack-path regression point (large enough for the
-/// indexed-vs-scan and parallel-vs-serial gaps to be visible), and `Full`
-/// approaches the population sizes a real deployment would see.
+/// indexed-vs-scan and parallel-vs-serial gaps to be visible), `Full`
+/// approaches the population sizes a real deployment would see, and
+/// `Large` is the streaming stress shape — a five-digit population with
+/// sparse daily participation, where per-window cost must track *active*
+/// users, not the accumulated prefix (E11's last/first-window wall ratio
+/// is the headline number).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
     /// CI-friendly: tens of users, a week of data.
@@ -34,13 +38,21 @@ pub enum Scale {
     Medium,
     /// Paper-scale: hundreds of users, two weeks of data.
     Full,
+    /// Streaming stress scale: ten thousand users, sparse participation.
+    Large,
 }
 
 impl Scale {
     /// (users, days, sampling interval seconds) for dataset-driven
     /// experiments.
     pub fn population(&self) -> (usize, usize, i64) {
-        data::by_scale(*self, (30, 7, 120), (80, 10, 90), (200, 14, 60))
+        data::by_scale(
+            *self,
+            (30, 7, 120),
+            (80, 10, 90),
+            (200, 14, 60),
+            (10_000, 8, 1_200),
+        )
     }
 
     /// Parses a `--scale` argument. Unknown values are an *error*, never a
@@ -51,7 +63,10 @@ impl Scale {
             "small" => Ok(Scale::Small),
             "medium" => Ok(Scale::Medium),
             "full" => Ok(Scale::Full),
-            other => Err(format!("unknown --scale {other:?}; use small|medium|full")),
+            "large" => Ok(Scale::Large),
+            other => Err(format!(
+                "unknown --scale {other:?}; use small|medium|full|large"
+            )),
         }
     }
 }
@@ -74,10 +89,11 @@ mod tests {
         assert_eq!(Scale::parse("small"), Ok(Scale::Small));
         assert_eq!(Scale::parse("medium"), Ok(Scale::Medium));
         assert_eq!(Scale::parse("full"), Ok(Scale::Full));
-        for bad in ["smoke", "mediun", "MEDIUM", "", "large"] {
+        assert_eq!(Scale::parse("large"), Ok(Scale::Large));
+        for bad in ["smoke", "mediun", "MEDIUM", "", "LARGE", "huge"] {
             let err = Scale::parse(bad).unwrap_err();
             assert!(err.contains("unknown --scale"), "{err}");
-            assert!(err.contains("small|medium|full"), "{err}");
+            assert!(err.contains("small|medium|full|large"), "{err}");
         }
     }
 
@@ -86,6 +102,8 @@ mod tests {
         assert_eq!(Scale::Small.population(), (30, 7, 120));
         assert_eq!(Scale::Medium.population(), (80, 10, 90));
         assert_eq!(Scale::Full.population(), (200, 14, 60));
-        assert_eq!(data::by_scale(Scale::Medium, 1, 2, 3), 2);
+        assert_eq!(Scale::Large.population(), (10_000, 8, 1_200));
+        assert_eq!(data::by_scale(Scale::Medium, 1, 2, 3, 4), 2);
+        assert_eq!(data::by_scale(Scale::Large, 1, 2, 3, 4), 4);
     }
 }

@@ -49,11 +49,12 @@ use mobility::{DatasetWindow, UserId};
 use privapi::attack::{PoiAttack, PoiAttackConfig};
 use privapi::pipeline::PublishedDataset;
 use privapi::streaming::{
-    IngestDelta, PopulationCache, StrategyCacheDelta, StrategySessionCache, WindowDelta,
-    WindowUpdate,
+    BaselineDelta, IngestDelta, PopulationCache, StrategyCacheDelta, StrategyDonor,
+    StrategySessionCache, WindowDelta, WindowUpdate,
 };
 use privapi::PrivapiError;
 use rayon::prelude::*;
+use std::collections::HashMap;
 
 /// One shared original-side extraction session: the population's
 /// [`PopulationCache`] under one attack configuration, advanced once per
@@ -124,7 +125,13 @@ pub struct CampaignRelease {
     /// cloned from a donor session.
     pub delta: WindowDelta,
     /// Protected-side audit summed over the campaign's candidate pool.
+    /// [`StrategyCacheDelta::users_donated`] counts per-user protected
+    /// states adopted from a fingerprint-identical campaign on the same
+    /// shared session instead of being re-anonymized.
     pub strategies: StrategyCacheDelta,
+    /// Incremental utility-baseline audit for this release: cells folded
+    /// in place versus grids rebuilt from scratch.
+    pub baseline: BaselineDelta,
     /// Whether the campaign read a shared session (original-side work
     /// amortized across campaigns) rather than a private cache.
     pub shared: bool,
@@ -274,15 +281,71 @@ impl Orchestrator {
     }
 
     /// Retires an active campaign: it stops observing the stream
-    /// immediately and its id becomes reusable. Its shared session lives
-    /// on while other campaigns consume it (and stops advancing once none
-    /// do).
+    /// immediately and its id becomes reusable. A shared session whose
+    /// last non-retired consumer retires is garbage-collected on the spot
+    /// (its cache freed, surviving session indices remapped); a later
+    /// campaign with the same configuration starts a fresh session rather
+    /// than resurrecting the dead one's shards.
     ///
     /// # Errors
     ///
     /// [`CampaignError::Unknown`] when no active campaign holds the id.
     pub fn retire(&mut self, id: CampaignId) -> Result<(), CampaignError> {
-        self.registry.retire(id)
+        self.registry.retire(id)?;
+        self.collect_sessions();
+        Ok(())
+    }
+
+    /// Drops every shared session left without a non-retired `Shared`
+    /// consumer and remaps the indices held by surviving views. Retired
+    /// campaigns whose session died are detached; private donor links to a
+    /// dead session are severed (they were already best-effort).
+    fn collect_sessions(&mut self) {
+        let mut keep = vec![false; self.sessions.len()];
+        for entry in &self.registry.entries {
+            if let (false, Some(index)) = (entry.retired, entry.view.shared_session()) {
+                keep[index] = true;
+            }
+        }
+        if keep.iter().all(|k| *k) {
+            return;
+        }
+        let mut next = 0;
+        let remap: Vec<Option<usize>> = keep
+            .iter()
+            .map(|kept| {
+                kept.then(|| {
+                    next += 1;
+                    next - 1
+                })
+            })
+            .collect();
+        let mut index = 0;
+        self.sessions.retain(|_| {
+            index += 1;
+            keep[index - 1]
+        });
+        for entry in &mut self.registry.entries {
+            let detach = match &mut entry.view {
+                View::Shared(i) => match remap[*i] {
+                    Some(new) => {
+                        *i = new;
+                        false
+                    }
+                    None => true,
+                },
+                View::Private { donor, .. } => {
+                    if let Some(d) = *donor {
+                        *donor = remap[d];
+                    }
+                    false
+                }
+                View::Detached => false,
+            };
+            if detach {
+                entry.view = View::Detached;
+            }
+        }
     }
 
     /// Processes one population day window: advances every consumed shared
@@ -361,18 +424,63 @@ impl Orchestrator {
         }
 
         // Phase 2 — evaluate every campaign against its view, in
-        // parallel, collecting in registration order.
+        // parallel, collecting in registration order. Campaigns on the
+        // same shared session with identical (pool, seed, attack,
+        // objective) fingerprints share protected-side work too: the
+        // registration-order leader of each group evaluates first, then
+        // its followers adopt the leader's per-candidate snapshot
+        // ([`StrategyDonor`]) instead of re-anonymizing and re-attacking
+        // the same prefix.
+        let leader_of = self.donor_leaders(day);
         let sessions = &self.sessions;
         let deltas = &session_deltas;
-        let outcomes: Vec<(CampaignId, CampaignOutcome)> = self
+        let (mut followers, mut leads): (Vec<_>, Vec<_>) = self
             .registry
             .entries
+            .iter_mut()
+            .enumerate()
+            .partition(|(i, _)| leader_of[*i].is_some());
+        let mut indexed: Vec<(usize, (CampaignId, CampaignOutcome))> = leads
             .par_iter_mut()
-            .map(|entry| {
+            .map(|(i, entry)| {
                 let id = entry.campaign.id();
-                (id, evaluate_campaign(entry, window, sessions, deltas))
+                (
+                    *i,
+                    (id, evaluate_campaign(entry, window, sessions, deltas, None)),
+                )
             })
             .collect();
+        if !followers.is_empty() {
+            let donors: HashMap<usize, StrategyDonor> = leads
+                .iter()
+                .filter(|(i, _)| leader_of.contains(&Some(*i)))
+                .filter_map(|(i, entry)| {
+                    let windows = entry
+                        .view
+                        .shared_session()
+                        .map(|s| sessions[s].cache.windows_ingested())?;
+                    Some((*i, entry.strategies.donor_snapshot(windows)?))
+                })
+                .collect();
+            let donors = &donors;
+            let follower_outcomes: Vec<(usize, (CampaignId, CampaignOutcome))> = followers
+                .par_iter_mut()
+                .map(|(i, entry)| {
+                    let donor = leader_of[*i].and_then(|l| donors.get(&l));
+                    let id = entry.campaign.id();
+                    (
+                        *i,
+                        (
+                            id,
+                            evaluate_campaign(entry, window, sessions, deltas, donor),
+                        ),
+                    )
+                })
+                .collect();
+            indexed.extend(follower_outcomes);
+        }
+        indexed.sort_by_key(|(i, _)| *i);
+        let outcomes = indexed.into_iter().map(|(_, o)| o).collect();
         Ok(DayReport {
             day,
             sessions: session_deltas.into_iter().flatten().collect(),
@@ -408,6 +516,49 @@ impl Orchestrator {
         Ok(report)
     }
 
+    /// For each campaign observing `day` on a shared session, the
+    /// registration-order leader it may adopt protected-side state from:
+    /// the earliest non-retired campaign on the *same* session with an
+    /// identical `(pool, seed, attack, objective)` fingerprint. Leaders
+    /// (and every campaign without one) map to `None`. Privacy floors may
+    /// differ — the floor gates acceptance, not the per-candidate
+    /// protected state being shared.
+    fn donor_leaders(&self, day: i64) -> Vec<Option<usize>> {
+        let entries = &self.registry.entries;
+        let eligible: Vec<Option<usize>> = entries
+            .iter()
+            .map(|e| {
+                if e.retired || !e.campaign.covers(day) {
+                    None
+                } else {
+                    e.view.shared_session()
+                }
+            })
+            .collect();
+        let mut leader: Vec<Option<usize>> = vec![None; entries.len()];
+        for i in 0..entries.len() {
+            let Some(session) = eligible[i] else { continue };
+            if leader[i].is_some() {
+                continue;
+            }
+            let a = entries[i].campaign.privapi();
+            for j in (i + 1)..entries.len() {
+                if leader[j].is_some() || eligible[j] != Some(session) {
+                    continue;
+                }
+                let b = entries[j].campaign.privapi();
+                if a.config().seed == b.config().seed
+                    && a.config().objective == b.config().objective
+                    && a.attack().config() == b.attack().config()
+                    && a.pool().infos() == b.pool().infos()
+                {
+                    leader[j] = Some(i);
+                }
+            }
+        }
+        leader
+    }
+
     /// An existing, joinable session matching the campaign's attack
     /// configuration, start day and stream position (nothing ingested
     /// yet — a session that already absorbed windows holds a prefix the
@@ -437,12 +588,15 @@ impl Orchestrator {
 
 /// One campaign's step for one day: scope checks, view ingest (shared
 /// read / private advance with optional donor derivation), then the
-/// standard [`privapi::pipeline::PrivApi::publish_session`] evaluation.
+/// standard [`privapi::pipeline::PrivApi::publish_session`] evaluation —
+/// with an optional protected-side [`StrategyDonor`] from a
+/// fingerprint-identical leader campaign on the same shared session.
 fn evaluate_campaign(
     entry: &mut CampaignEntry,
     window: &DatasetWindow,
     sessions: &[SharedSession],
     session_deltas: &[Option<WindowDelta>],
+    donor: Option<&StrategyDonor>,
 ) -> CampaignOutcome {
     let day = window.day();
     if entry.retired {
@@ -454,6 +608,10 @@ fn evaluate_campaign(
         strategies,
         ..
     } = entry;
+    debug_assert!(
+        donor.is_none() || matches!(view, View::Shared(_)),
+        "donors are only selected among same-session shared campaigns"
+    );
     if campaign.start_day().is_some_and(|s| day < s) {
         return CampaignOutcome::Skipped(SkipReason::NotStarted);
     }
@@ -488,6 +646,7 @@ fn evaluate_campaign(
             };
             (&**cache, delta, filtered_window.users(), false)
         }
+        View::Detached => unreachable!("only retired campaigns are detached"),
     };
     let update = WindowUpdate {
         changed_users,
@@ -495,9 +654,9 @@ fn evaluate_campaign(
     };
     match campaign
         .privapi()
-        .publish_session(population, strategies, &update)
+        .publish_session(population, strategies, &update, donor)
     {
-        Ok((published, strategy_delta)) => {
+        Ok((published, strategy_delta, baseline)) => {
             entry.windows_published += 1;
             entry.last_published_day = Some(day);
             CampaignOutcome::Published(Box::new(CampaignRelease {
@@ -505,6 +664,7 @@ fn evaluate_campaign(
                 day,
                 delta,
                 strategies: strategy_delta,
+                baseline,
                 shared,
                 published,
             }))

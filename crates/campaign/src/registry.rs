@@ -30,6 +30,10 @@ pub(crate) enum View {
         /// Shared-session index shards may be derived from, when exact.
         donor: Option<usize>,
     },
+    /// A retired shared campaign whose session was garbage-collected: the
+    /// index it held is gone, and a detached view can never be read again
+    /// (retired campaigns skip every window before touching their view).
+    Detached,
 }
 
 impl View {
@@ -38,7 +42,7 @@ impl View {
     pub(crate) fn shared_session(&self) -> Option<usize> {
         match self {
             View::Shared(i) => Some(*i),
-            View::Private { .. } => None,
+            View::Private { .. } | View::Detached => None,
         }
     }
 }

@@ -53,11 +53,13 @@ fn standalone_cost(windows: &WindowedDataset, config: PrivApiConfig) -> usize {
 
 #[test]
 fn same_config_campaigns_share_the_original_side_extraction() {
-    // The headline counter: K campaigns with the same attack
-    // configuration pay the original-side per-user extraction ONCE, not
-    // K times. Protected-side work (per-candidate anonymize +
-    // self-attack) remains per campaign — so the orchestrator's total is
-    // exactly `original + K × (standalone − original)`.
+    // The headline counter: K campaigns with identical (pool, seed,
+    // attack, objective) fingerprints on one session pay the whole
+    // per-user extraction bill ONCE, not K times — the original side
+    // through the shared session, the protected side through donor
+    // snapshots (the registration-order leader evaluates; followers
+    // adopt its per-candidate state by pointer clone). The
+    // orchestrator's total is exactly one standalone replay.
     let windows = WindowedDataset::partition(&dataset(61, 4, 3));
     let config = PrivApiConfig::default();
     let original = original_side_cost(&windows);
@@ -83,14 +85,27 @@ fn same_config_campaigns_share_the_original_side_extraction() {
         let report = orchestrator.advance_day(window).unwrap();
         assert_eq!(report.published().count(), K);
         assert_eq!(report.sessions.len(), 1, "the session advanced once");
-        for release in report.published() {
-            assert!(release.shared);
+        let releases: Vec<_> = report.published().collect();
+        let leader = releases[0];
+        assert!(leader.shared);
+        assert_eq!(leader.strategies.users_donated, 0, "the leader pays");
+        for follower in &releases[1..] {
+            assert!(follower.shared);
+            // Followers re-anonymize and re-attack nobody: every
+            // candidate's protected state arrives from the leader.
+            assert_eq!(follower.strategies.users_refreshed, 0);
+            assert_eq!(follower.strategies.shards_refreshed, 0);
+            assert!(follower.strategies.users_donated > 0);
+            assert!(follower.strategies.shards_donated > 0);
+            // Donor adoption is exact: byte-identical releases.
+            assert_eq!(follower.published.selection, leader.published.selection);
+            assert_eq!(follower.published.dataset, leader.published.dataset);
         }
     }
     assert_eq!(
         probe.user_extractions(),
-        original + K * (standalone - original),
-        "original-side work must be paid once, not {K}×"
+        standalone,
+        "K identical campaigns must cost one standalone replay, not {K}×"
     );
     // And no full-dataset pass anywhere: both cache layers stay on the
     // per-user delta paths for the (fully local) default pool.
@@ -119,8 +134,6 @@ fn differing_config_campaigns_pay_exactly_their_own_pass() {
         }
         probe.user_extractions()
     };
-    let original_default = original_side_cost(&windows);
-
     // Two same-config campaigns + one with its own attack parameters.
     let mut orchestrator = Orchestrator::new();
     for k in 0..2u64 {
@@ -143,12 +156,11 @@ fn differing_config_campaigns_pay_exactly_their_own_pass() {
         assert_eq!(report.published().count(), 3);
         assert_eq!(report.sessions.len(), 2);
     }
-    // The same-config pair shares one original-side pass; the custom
-    // campaign pays exactly its own standalone cost — no more, no less.
-    assert_eq!(
-        shared_probe.user_extractions(),
-        original_default + 2 * (standalone_default - original_default)
-    );
+    // The same-config pair shares everything — one original-side pass
+    // through the session, one protected-side pass through the donor
+    // snapshot; the custom campaign pays exactly its own standalone cost
+    // — no more, no less.
+    assert_eq!(shared_probe.user_extractions(), standalone_default);
     assert_eq!(custom_probe.user_extractions(), standalone_custom);
 }
 
@@ -389,6 +401,81 @@ fn retired_campaigns_stop_observing_and_sessions_stop_with_them() {
         CampaignOutcome::Skipped(SkipReason::Retired)
     ));
     assert_eq!(probe.user_extractions(), after_first);
+}
+
+#[test]
+fn retiring_the_last_consumer_garbage_collects_the_session() {
+    let windows = WindowedDataset::partition(&dataset(31, 3, 3));
+    let config = PrivApiConfig::default();
+    let probe = PoiAttack::default();
+    let mut orchestrator = Orchestrator::new();
+    orchestrator
+        .register(Campaign::new(1, "a", config).with_attack(probe.clone()))
+        .unwrap();
+    orchestrator
+        .register(Campaign::new(2, "b", config).with_attack(probe.clone()))
+        .unwrap();
+    assert_eq!(orchestrator.shared_sessions(), 1);
+    orchestrator.advance_day(&windows.windows()[0]).unwrap();
+    // Retiring one sharer keeps the session alive; retiring the last
+    // consumer frees it on the spot.
+    orchestrator.retire(CampaignId(1)).unwrap();
+    assert_eq!(orchestrator.shared_sessions(), 1);
+    orchestrator.retire(CampaignId(2)).unwrap();
+    assert_eq!(orchestrator.shared_sessions(), 0, "empty group collected");
+    // A same-config newcomer gets a FRESH session: the dead session's
+    // ingested prefix (and its shards) must not resurrect — the
+    // newcomer's view of the stream begins at the next window, exactly
+    // like any mid-stream registration.
+    orchestrator
+        .register(Campaign::new(3, "c", config).with_attack(probe.clone()))
+        .unwrap();
+    assert_eq!(orchestrator.shared_sessions(), 1);
+    let report = orchestrator.advance_day(&windows.windows()[1]).unwrap();
+    let release = report.release_of(CampaignId(3)).expect("newcomer releases");
+    let standalone = privapi::pipeline::PrivApi::new(config)
+        .publish(windows.windows()[1].dataset())
+        .unwrap();
+    assert_eq!(release.published.selection, standalone.selection);
+    assert_eq!(release.published.dataset, standalone.dataset);
+}
+
+#[test]
+fn session_gc_remaps_surviving_shared_indices() {
+    let windows = WindowedDataset::partition(&dataset(37, 3, 3));
+    let config = PrivApiConfig::default();
+    let custom_attack_config = PoiAttackConfig {
+        match_distance: geo::Meters::new(500.0),
+        ..PoiAttackConfig::default()
+    };
+    let mut orchestrator = Orchestrator::new();
+    // Session 0 (default attack) and session 1 (custom attack).
+    orchestrator
+        .register(Campaign::new(1, "default", config))
+        .unwrap();
+    orchestrator
+        .register(
+            Campaign::new(2, "custom", config)
+                .with_attack(PoiAttack::new(custom_attack_config.clone())),
+        )
+        .unwrap();
+    assert_eq!(orchestrator.shared_sessions(), 2);
+    orchestrator.advance_day(&windows.windows()[0]).unwrap();
+    // Collecting session 0 shifts session 1 down; campaign 2's view must
+    // follow it to the remapped slot and keep publishing byte-identical
+    // releases.
+    orchestrator.retire(CampaignId(1)).unwrap();
+    assert_eq!(orchestrator.shared_sessions(), 1);
+    let report = orchestrator.advance_day(&windows.windows()[1]).unwrap();
+    let release = report.release_of(CampaignId(2)).expect("survivor releases");
+    let mut standalone = StreamingPublisher::from_privapi(
+        privapi::pipeline::PrivApi::new(config)
+            .with_attack(PoiAttack::new(custom_attack_config)),
+    );
+    standalone.publish_window(&windows.windows()[0]).unwrap();
+    let expected = standalone.publish_window(&windows.windows()[1]).unwrap();
+    assert_eq!(release.published.selection, expected.published.selection);
+    assert_eq!(release.published.dataset, expected.published.dataset);
 }
 
 #[test]

@@ -48,10 +48,15 @@ proptest! {
             seed: seed ^ 0x5EED,
             ..PrivApiConfig::default()
         };
+        // Campaign 4 is fingerprint-identical to campaign 1 (same pool,
+        // seed, attack and objective on the same session), so it rides
+        // the protected-side donor path — its releases must STILL be
+        // bitwise-equal to its own standalone replay.
         let campaigns: Vec<(u64, PrivApiConfig, ParticipantFilter)> = vec![
             (1, PrivApiConfig::default(), ParticipantFilter::All),
             (2, PrivApiConfig::default(), subset),
             (3, other_seed, ParticipantFilter::All),
+            (4, PrivApiConfig::default(), ParticipantFilter::All),
         ];
 
         let mut orchestrator = Orchestrator::new();
@@ -69,6 +74,18 @@ proptest! {
         let mut reports = Vec::new();
         for window in &windows {
             reports.push(orchestrator.advance_day(window).unwrap());
+        }
+
+        // The follower campaign adopted every protected state it
+        // published with — never re-anonymizing a user the leader
+        // already covered.
+        for report in &reports {
+            if let Some(release) = report.release_of(CampaignId(4)) {
+                prop_assert!(release.strategies.users_donated > 0,
+                    "day {}: follower must adopt the leader's states", report.day);
+                prop_assert_eq!(release.strategies.users_refreshed, 0);
+                prop_assert_eq!(release.strategies.shards_refreshed, 0);
+            }
         }
 
         for (id, config, filter) in &campaigns {

@@ -320,8 +320,14 @@ impl PoiAttack {
     /// ([`geo::BoundingBox::union`] is exact under append) and the grid
     /// derived from it here is identical to
     /// [`PoiAttack::extraction_grid`] over the full dataset.
+    ///
+    /// The grid is anchored on the *quantized* padded box
+    /// ([`geo::BoundingBox::grid_anchor`]), not the raw data box: anchor
+    /// corners snap outward to a 0.05° lattice, so per-window bounding-box
+    /// drift inside the lattice leaves every cell boundary — and every
+    /// cached per-user shard — untouched.
     pub fn grid_for(&self, bbox: geo::BoundingBox) -> UniformGrid {
-        UniformGrid::new(bbox.expanded(0.001), self.config.density_cell)
+        UniformGrid::new(bbox.grid_anchor(), self.config.density_cell)
             .expect("cell size validated by config")
     }
 

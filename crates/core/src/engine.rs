@@ -34,10 +34,15 @@ use crate::error::PrivapiError;
 use crate::metrics::{spatial_distortion, CrowdedBaseline, TrafficBaseline};
 use crate::pool::StrategyPool;
 use crate::selection::{CandidateResult, Objective, SelectionReport};
-use crate::streaming::{CandidateDelta, CandidateState, StrategySessionCache, WindowUpdate};
-use mobility::Dataset;
+use crate::streaming::{
+    CandidateDelta, CandidateState, StrategyDonor, StrategySessionCache, WindowUpdate,
+};
+use geo::BoundingBox;
+use mobility::{Dataset, Trajectory, UserId};
 use rayon::prelude::*;
 use std::borrow::Cow;
+use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// How the engine schedules candidate evaluations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -66,11 +71,24 @@ pub struct EvalContext<'a> {
     shards: Option<Vec<UserAttackShard>>,
     reference_index: Cow<'a, ReferenceIndex>,
     baseline: ObjectiveBaseline,
+    /// The caller's per-user decomposition of `original` (shared trajectory
+    /// handles, prefix order) — set on the streaming path so candidate
+    /// refreshes can re-anonymize one user against a minimal view instead
+    /// of scanning the whole prefix. `None` on the batch paths.
+    by_user: Option<&'a BTreeMap<UserId, Vec<Arc<Trajectory>>>>,
+    /// `original`'s bounding box, when the caller already tracks it — the
+    /// pin for grid-anchored per-user mini-views.
+    original_bbox: Option<BoundingBox>,
 }
 
-/// The objective-specific precomputation.
+/// The objective-specific precomputation over the original dataset: what
+/// [`EvalContext::utility_of`] scores every candidate against. Built once
+/// per batch run by the context itself, or folded forward window to window
+/// by the streaming session cache
+/// ([`crate::streaming::PopulationCache`]) and handed to
+/// [`EvalContext::from_cache`].
 #[derive(Debug)]
-enum ObjectiveBaseline {
+pub enum ObjectiveBaseline {
     /// Crowded places: grid + original top-k hot cells.
     Crowded(CrowdedBaseline),
     /// Traffic: grid, day split and final-day ground truth.
@@ -86,7 +104,7 @@ enum ObjectiveBaseline {
 
 impl ObjectiveBaseline {
     /// Precomputes the original-side projection for `objective`.
-    fn build(original: &Dataset, objective: Objective) -> Self {
+    pub(crate) fn build(original: &Dataset, objective: Objective) -> Self {
         match objective {
             Objective::CrowdedPlaces { cell, k } => CrowdedBaseline::new(original, cell, k)
                 .map(ObjectiveBaseline::Crowded)
@@ -119,6 +137,8 @@ impl<'a> EvalContext<'a> {
             shards: None,
             reference_index: Cow::Owned(reference_index),
             baseline: ObjectiveBaseline::build(original, objective),
+            by_user: None,
+            original_bbox: None,
         }
     }
 
@@ -127,25 +147,42 @@ impl<'a> EvalContext<'a> {
     /// (the streaming publisher's session cache, amended window by window)
     /// instead of being extracted or indexed here.
     ///
-    /// Only the objective baseline is (re)computed — it projects the whole
-    /// accumulated `original`, which grows every window, so it cannot be
-    /// carried across windows without changing results. This is how the
+    /// The objective `baseline` is caller-supplied too: the streaming
+    /// session cache folds it forward window to window
+    /// (`PopulationCache::baseline_for`) instead of
+    /// re-projecting the whole accumulated prefix here. This is how the
     /// engine advances from one day window to the next with warm
-    /// original-side attack state: zero extraction work for unchanged
-    /// users, one baseline build per window.
+    /// original-side state: zero extraction work for unchanged users,
+    /// baseline work proportional to the new window's records.
     pub fn from_cache(
         original: &'a Dataset,
         reference: &'a ReferencePois,
         reference_index: &'a ReferenceIndex,
-        objective: Objective,
+        baseline: ObjectiveBaseline,
     ) -> Self {
         Self {
             original,
             reference: Cow::Borrowed(reference),
             shards: None,
             reference_index: Cow::Borrowed(reference_index),
-            baseline: ObjectiveBaseline::build(original, objective),
+            baseline,
+            by_user: None,
+            original_bbox: None,
         }
+    }
+
+    /// Attaches the caller's per-user decomposition of the original prefix
+    /// (and its tracked bounding box) so candidate refreshes can
+    /// re-anonymize single users against minimal views — the streaming
+    /// publish path's O(active users) lever.
+    pub(crate) fn with_population(
+        mut self,
+        by_user: &'a BTreeMap<UserId, Vec<Arc<Trajectory>>>,
+        bbox: Option<BoundingBox>,
+    ) -> Self {
+        self.by_user = Some(by_user);
+        self.original_bbox = bbox;
+        self
     }
 
     /// Like [`EvalContext::new`], but the context *owns* the reference:
@@ -172,6 +209,8 @@ impl<'a> EvalContext<'a> {
             shards: Some(shards),
             reference_index: Cow::Owned(reference_index),
             baseline: ObjectiveBaseline::build(original, objective),
+            by_user: None,
+            original_bbox: None,
         }
     }
 
@@ -195,6 +234,22 @@ impl<'a> EvalContext<'a> {
     /// performed the extraction itself ([`EvalContext::extracting`]).
     pub fn shards(&self) -> Option<&[UserAttackShard]> {
         self.shards.as_deref()
+    }
+
+    /// The objective baseline candidates are scored against.
+    pub(crate) fn baseline(&self) -> &ObjectiveBaseline {
+        &self.baseline
+    }
+
+    /// The caller's per-user decomposition of the original prefix, when
+    /// attached ([`EvalContext::with_population`]).
+    pub(crate) fn original_by_user(&self) -> Option<&BTreeMap<UserId, Vec<Arc<Trajectory>>>> {
+        self.by_user
+    }
+
+    /// The original prefix's tracked bounding box, when attached.
+    pub(crate) fn original_bbox(&self) -> Option<BoundingBox> {
+        self.original_bbox
     }
 
     /// Scores the utility of one protected candidate (in `[0, 1]`) against
@@ -392,16 +447,31 @@ impl EvaluationEngine {
         context: &EvalContext<'_>,
         strategies: &mut StrategySessionCache,
         update: &WindowUpdate,
+        donor: Option<&StrategyDonor>,
     ) -> Result<(SelectionReport, Option<WinnerRelease>), PrivapiError> {
         Self::check_nonempty(pool, context.original())?;
         strategies.align(pool, self.seed, &self.attack);
+        // Hoisted once per sweep: every candidate reuses the same user
+        // list instead of re-deriving it from the prefix.
+        let all_users: Vec<UserId> = match context.original_by_user() {
+            Some(by_user) => by_user.keys().copied().collect(),
+            None => context.original().users(),
+        };
         let candidates: Vec<&dyn crate::strategy::AnonymizationStrategy> =
             pool.iter().collect();
         let mut work: Vec<(usize, &mut CandidateState)> =
             strategies.states.iter_mut().enumerate().collect();
         let eval = |slot: &mut (usize, &mut CandidateState)| {
             let (index, state) = slot;
-            self.evaluate_candidate_cached(candidates[*index], state, context, update)
+            self.evaluate_candidate_cached(
+                *index,
+                candidates[*index],
+                state,
+                context,
+                update,
+                &all_users,
+                donor,
+            )
         };
         let scored: Vec<(CandidateResult, PoiAttackReport, CandidateDelta)> = match self.mode {
             ExecutionMode::Sequential => work.iter_mut().map(eval).collect(),
@@ -440,31 +510,73 @@ impl EvaluationEngine {
         Ok((report, winner))
     }
 
-    /// One candidate of the cached streaming sweep: refresh its
-    /// protected-side cache per the declared locality, then score privacy
-    /// from the cached shards and utility from the assembled protected
-    /// prefix. Falls back to the full [`EvaluationEngine::evaluate_candidate`]
-    /// path when the candidate cannot be cached.
+    /// One candidate of the cached streaming sweep. Preference order:
+    ///
+    /// 1. **Adopt a donor state** — when a compatible donor campaign
+    ///    already refreshed this slot for the same window, its state is
+    ///    pointer-cloned wholesale: zero anonymization and zero extraction
+    ///    here. Privacy matching (and the feasibility verdict under *this*
+    ///    engine's floor) still runs locally.
+    /// 2. **Refresh the local cache** per the declared locality, scoring
+    ///    privacy from the cached shards and utility from the incremental
+    ///    counts.
+    /// 3. **Full fallback** to [`EvaluationEngine::evaluate_candidate`]
+    ///    when the candidate cannot be cached.
+    #[allow(clippy::too_many_arguments)]
     fn evaluate_candidate_cached(
         &self,
+        index: usize,
         strategy: &dyn crate::strategy::AnonymizationStrategy,
         state: &mut CandidateState,
         context: &EvalContext<'_>,
         update: &WindowUpdate,
+        all_users: &[UserId],
+        donor: Option<&StrategyDonor>,
     ) -> (CandidateResult, PoiAttackReport, CandidateDelta) {
-        let (cached, delta) = state.refresh(
-            strategy,
-            &self.attack,
-            context.original(),
-            update,
-            self.seed,
-        );
-        match cached {
-            Some((protected, extracted)) => {
+        if let Some(donated) = donor.and_then(|d| d.state_for(index, &strategy.info())) {
+            // `utility_for` is None only when the donated shape cannot be
+            // aligned with this prefix — an incompatible donor, which the
+            // local refresh path below then handles from scratch.
+            if let Some(utility) = donated.utility_for(context) {
+                *state = donated.clone();
+                let extracted = state.extracted_pois();
                 let privacy = self
                     .attack
                     .match_extracted(&extracted, context.reference_index());
-                let utility = context.utility_of(&protected);
+                let delta = CandidateDelta {
+                    info: strategy.info(),
+                    locality: strategy.locality(),
+                    users_refreshed: 0,
+                    users_reused: 0,
+                    users_donated: all_users.len(),
+                    shards_refreshed: 0,
+                    shards_reused: 0,
+                    shards_donated: state.shard_count(),
+                    protected_grid_rebuilt: false,
+                    full_fallback: false,
+                };
+                let result = CandidateResult {
+                    info: strategy.info(),
+                    poi_recall: privacy.recall,
+                    utility,
+                    feasible: privacy.recall <= self.privacy_floor,
+                };
+                return (result, privacy, delta);
+            }
+        }
+        let (cached, delta) = state.refresh(
+            strategy,
+            &self.attack,
+            context,
+            update,
+            all_users,
+            self.seed,
+        );
+        match cached {
+            Some((extracted, utility)) => {
+                let privacy = self
+                    .attack
+                    .match_extracted(&extracted, context.reference_index());
                 let result = CandidateResult {
                     info: strategy.info(),
                     poi_recall: privacy.recall,

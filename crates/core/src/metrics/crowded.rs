@@ -7,7 +7,10 @@ use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
 /// Distinct-visitor count per cell.
-fn visitor_histogram(dataset: &Dataset, grid: &UniformGrid) -> HashMap<geo::CellId, u64> {
+pub(crate) fn visitor_histogram(
+    dataset: &Dataset,
+    grid: &UniformGrid,
+) -> HashMap<geo::CellId, u64> {
     let mut visitors: HashMap<geo::CellId, HashSet<mobility::UserId>> = HashMap::new();
     for r in dataset.iter_records() {
         visitors
@@ -68,7 +71,7 @@ impl CrowdedBaseline {
         let bbox = original
             .bounding_box()
             .ok_or(PrivapiError::EmptyDataset)?
-            .expanded(0.001);
+            .grid_anchor();
         let grid =
             UniformGrid::new(bbox, cell_size).map_err(|e| PrivapiError::InvalidParameter {
                 name: "cell_size",
@@ -87,10 +90,43 @@ impl CrowdedBaseline {
         })
     }
 
+    /// Assembles a baseline from already-computed parts — the streaming
+    /// cache's projection surface: an incrementally folded visitor
+    /// histogram is reduced to (`grid`, top-k set) outside this module and
+    /// handed over here, so the scoring arithmetic stays in one place.
+    pub(crate) fn from_parts(
+        grid: UniformGrid,
+        top_orig: HashSet<geo::CellId>,
+        k: usize,
+        cell_size: Meters,
+    ) -> Self {
+        Self {
+            grid,
+            top_orig,
+            k,
+            cell_size,
+        }
+    }
+
+    /// The tessellation both sides are histogrammed on.
+    pub(crate) fn grid(&self) -> &UniformGrid {
+        &self.grid
+    }
+
     /// Scores one protected dataset against the precomputed original top-k.
     pub fn score(&self, protected: &Dataset) -> CrowdedPlacesReport {
-        let hist_prot = visitor_histogram(protected, &self.grid);
-        let top_prot: HashSet<geo::CellId> = UniformGrid::top_k(&hist_prot, self.k)
+        self.score_counts(&visitor_histogram(protected, &self.grid))
+    }
+
+    /// Scores a protected-side distinct-visitor histogram directly — the
+    /// entry point for incrementally maintained counts; [`Self::score`] is
+    /// exactly `score_counts(visitor_histogram(..))`, so both paths are
+    /// byte-identical by construction.
+    pub(crate) fn score_counts(
+        &self,
+        hist_prot: &HashMap<geo::CellId, u64>,
+    ) -> CrowdedPlacesReport {
+        let top_prot: HashSet<geo::CellId> = UniformGrid::top_k(hist_prot, self.k)
             .into_iter()
             .map(|(c, _)| c)
             .collect();

@@ -36,7 +36,7 @@ impl TrafficReport {
 
 /// Hourly visit counts per cell, keyed by `(cell, hour_of_day)`, restricted
 /// to a day filter.
-fn hourly_histogram<F>(
+pub(crate) fn hourly_histogram<F>(
     dataset: &Dataset,
     grid: &UniformGrid,
     day_filter: F,
@@ -78,7 +78,7 @@ impl TrafficBaseline {
         let bbox = original
             .bounding_box()
             .ok_or(PrivapiError::EmptyDataset)?
-            .expanded(0.001);
+            .grid_anchor();
         let grid =
             UniformGrid::new(bbox, cell_size).map_err(|e| PrivapiError::InvalidParameter {
                 name: "cell_size",
@@ -111,12 +111,51 @@ impl TrafficBaseline {
         })
     }
 
+    /// Assembles a baseline from already-computed parts — the streaming
+    /// cache's projection surface: incrementally folded per-day histograms
+    /// yield the day split and final-day truth outside this module and are
+    /// handed over here, keeping the scoring arithmetic in one place.
+    pub(crate) fn from_parts(
+        grid: UniformGrid,
+        eval_day: i64,
+        train_days: f64,
+        truth: HashMap<(CellId, i64), f64>,
+    ) -> Self {
+        Self {
+            grid,
+            eval_day,
+            train_days,
+            truth,
+        }
+    }
+
+    /// The tessellation both sides are histogrammed on.
+    pub(crate) fn grid(&self) -> &UniformGrid {
+        &self.grid
+    }
+
+    /// The day index used as the evaluation target.
+    pub(crate) fn eval_day(&self) -> i64 {
+        self.eval_day
+    }
+
     /// Trains the hourly forecast on one protected dataset and scores it
     /// against the precomputed ground truth.
     pub fn score(&self, protected: &Dataset) -> TrafficReport {
         // Train on the protected dataset, all days but the last.
-        let train = hourly_histogram(protected, &self.grid, |d| d != self.eval_day);
+        self.score_train(&hourly_histogram(protected, &self.grid, |d| {
+            d != self.eval_day
+        }))
+    }
 
+    /// Scores an already-built protected-side training histogram (all days
+    /// except [`Self::eval_day`]) — the entry point for incrementally
+    /// maintained counts; [`Self::score`] is exactly
+    /// `score_train(hourly_histogram(..))`, so both paths are
+    /// byte-identical by construction. Callers must prune exact-zero
+    /// entries the same way `hourly_histogram` never creates them: the key
+    /// set feeds `evaluated_pairs` and the correlation.
+    pub(crate) fn score_train(&self, train: &HashMap<(CellId, i64), f64>) -> TrafficReport {
         // Forecast for (cell, hour) = mean daily count over training days.
         let mut keys: Vec<(CellId, i64)> = self.truth.keys().copied().collect();
         for k in train.keys() {

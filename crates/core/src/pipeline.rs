@@ -18,8 +18,8 @@ use crate::pool::StrategyPool;
 use crate::selection::{Objective, SelectionReport};
 use crate::strategy::StrategyInfo;
 use crate::streaming::{
-    PopulationCache, PublishedWindow, SessionCache, StrategyCacheDelta, StrategySessionCache,
-    WindowUpdate,
+    BaselineDelta, PopulationCache, PublishedWindow, SessionCache, StrategyCacheDelta,
+    StrategyDonor, StrategySessionCache, WindowUpdate,
 };
 use geo::Meters;
 use mobility::{Dataset, DatasetWindow};
@@ -244,12 +244,13 @@ impl PrivApi {
             ..update
         };
         let (population, strategies) = cache.split_for_evaluation();
-        let (published, strategy_delta) =
-            self.publish_session(population, strategies, &update)?;
+        let (published, strategy_delta, baseline) =
+            self.publish_session(population, strategies, &update, None)?;
         Ok(PublishedWindow {
             day: window.day(),
             delta,
             strategies: strategy_delta,
+            baseline,
             published,
         })
     }
@@ -269,6 +270,12 @@ impl PrivApi {
     /// changed (its active users, and whether the extraction grid was
     /// rebuilt), exactly as [`PrivApi::publish_window`] would build it.
     ///
+    /// `donor`, when given, is another campaign's frozen protected-side
+    /// snapshot for the *same* window: candidates whose slot it covers are
+    /// adopted by pointer clone instead of re-anonymized (the orchestrator
+    /// pre-checks [`StrategyDonor::compatible`]; per-slot identity is
+    /// checked again here). Pass `None` on standalone sessions.
+    ///
     /// # Errors
     ///
     /// * [`PrivapiError::EmptyDataset`] when the population cache holds no
@@ -280,24 +287,38 @@ impl PrivApi {
         population: &PopulationCache,
         strategies: &mut StrategySessionCache,
         update: &WindowUpdate,
-    ) -> Result<(PublishedDataset, StrategyCacheDelta), PrivapiError> {
+        donor: Option<&StrategyDonor>,
+    ) -> Result<(PublishedDataset, StrategyCacheDelta, BaselineDelta), PrivapiError> {
         let Some(index) = population.reference_index() else {
             return Err(PrivapiError::EmptyDataset);
         };
+        let donor = donor.filter(|d| {
+            d.compatible(
+                self.config.seed,
+                self.attack.config(),
+                population.windows_ingested(),
+            )
+        });
+        let (baseline, baseline_delta) = population.baseline_for(self.config.objective);
         let context = EvalContext::from_cache(
             population.prefix(),
             population.reference(),
             index,
-            self.config.objective,
-        );
+            baseline,
+        )
+        .with_population(population.by_user(), population.bounding_box());
         let (selection, winner) = self
             .engine()
-            .evaluate_release_with(&self.pool, &context, strategies, update)?;
+            .evaluate_release_with(&self.pool, &context, strategies, update, donor)?;
         let strategy_delta = strategies.last_window();
         let Some(winner) = winner else {
             return Err(selection.no_feasible_error());
         };
-        Ok((self.assemble(selection, winner)?, strategy_delta))
+        Ok((
+            self.assemble(selection, winner)?,
+            strategy_delta,
+            baseline_delta,
+        ))
     }
 
     /// The evaluation engine every publish entry point drives, configured

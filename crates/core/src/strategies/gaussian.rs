@@ -7,6 +7,7 @@ use geo::{GeoPoint, Meters};
 use mobility::{Dataset, Trajectory, UserId};
 use rand::rngs::StdRng;
 use rand::Rng;
+use std::sync::Arc;
 
 /// Adds iid Gaussian noise of standard deviation `sigma` to every fix.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -75,7 +76,12 @@ impl AnonymizationStrategy for GaussianPerturbation {
         UserLocality::UserLocal
     }
 
-    fn anonymize_user(&self, dataset: &Dataset, user: UserId, seed: u64) -> Vec<Trajectory> {
+    fn anonymize_user(
+        &self,
+        dataset: &Dataset,
+        user: UserId,
+        seed: u64,
+    ) -> Vec<Arc<Trajectory>> {
         map_user_trajectories(dataset, user, |t| {
             perturb_trajectory(t, seed, |p, rng| self.perturb(p, rng))
         })

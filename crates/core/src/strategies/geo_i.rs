@@ -16,6 +16,7 @@ use geo::{Degrees, GeoPoint, Meters};
 use mobility::{Dataset, Trajectory, UserId};
 use rand::rngs::StdRng;
 use rand::Rng;
+use std::sync::Arc;
 
 /// The planar Laplace (geo-indistinguishability) mechanism.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -135,7 +136,12 @@ impl AnonymizationStrategy for GeoIndistinguishability {
         UserLocality::UserLocal
     }
 
-    fn anonymize_user(&self, dataset: &Dataset, user: UserId, seed: u64) -> Vec<Trajectory> {
+    fn anonymize_user(
+        &self,
+        dataset: &Dataset,
+        user: UserId,
+        seed: u64,
+    ) -> Vec<Arc<Trajectory>> {
         map_user_trajectories(dataset, user, |t| {
             perturb_trajectory(t, seed, |p, rng| self.perturb(p, rng))
         })

@@ -3,6 +3,7 @@
 use crate::strategies::map_user_trajectories;
 use crate::strategy::{AnonymizationStrategy, StrategyInfo, UserLocality};
 use mobility::{Dataset, Trajectory, UserId};
+use std::sync::Arc;
 
 /// Publishes the dataset unchanged. Used as the utility upper bound and the
 /// privacy lower bound in every experiment.
@@ -33,7 +34,12 @@ impl AnonymizationStrategy for Identity {
         UserLocality::UserLocal
     }
 
-    fn anonymize_user(&self, dataset: &Dataset, user: UserId, _seed: u64) -> Vec<Trajectory> {
+    fn anonymize_user(
+        &self,
+        dataset: &Dataset,
+        user: UserId,
+        _seed: u64,
+    ) -> Vec<Arc<Trajectory>> {
         map_user_trajectories(dataset, user, Trajectory::clone)
     }
 }

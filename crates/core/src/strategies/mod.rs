@@ -28,6 +28,7 @@ use geo::GeoPoint;
 use mobility::{Dataset, LocationRecord, Trajectory, UserId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// Derives a per-trajectory RNG from the run seed, the user id and the
 /// trajectory's start time, so each trajectory's randomness is independent
@@ -49,7 +50,11 @@ pub(crate) fn trajectory_rng(seed: u64, user: u64, start_s: i64) -> StdRng {
 /// body of the per-trajectory strategies' `anonymize_user` overrides, kept
 /// in one place so the filter semantics the locality contract depends on
 /// cannot drift between mechanisms.
-pub(crate) fn map_user_trajectories<F>(dataset: &Dataset, user: UserId, f: F) -> Vec<Trajectory>
+pub(crate) fn map_user_trajectories<F>(
+    dataset: &Dataset,
+    user: UserId,
+    mut f: F,
+) -> Vec<Arc<Trajectory>>
 where
     F: FnMut(&Trajectory) -> Trajectory,
 {
@@ -57,7 +62,7 @@ where
         .trajectories()
         .iter()
         .filter(|t| t.user() == user)
-        .map(f)
+        .map(|t| Arc::new(f(t)))
         .collect()
 }
 

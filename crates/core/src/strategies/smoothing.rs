@@ -35,6 +35,7 @@ use crate::strategies::map_user_trajectories;
 use crate::strategy::{AnonymizationStrategy, StrategyInfo, UserLocality};
 use geo::Meters;
 use mobility::{Dataset, LocationRecord, Timestamp, Trajectory, UserId};
+use std::sync::Arc;
 
 /// The speed-smoothing (Promesse) strategy.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -197,7 +198,12 @@ impl AnonymizationStrategy for SpeedSmoothing {
         UserLocality::UserLocal
     }
 
-    fn anonymize_user(&self, dataset: &Dataset, user: UserId, _seed: u64) -> Vec<Trajectory> {
+    fn anonymize_user(
+        &self,
+        dataset: &Dataset,
+        user: UserId,
+        _seed: u64,
+    ) -> Vec<Arc<Trajectory>> {
         map_user_trajectories(dataset, user, |t| self.smooth_trajectory(t))
     }
 }

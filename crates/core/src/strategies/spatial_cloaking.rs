@@ -9,6 +9,7 @@ use crate::strategies::map_user_trajectories;
 use crate::strategy::{AnonymizationStrategy, StrategyInfo, UserLocality};
 use geo::{BoundingBox, Meters, UniformGrid};
 use mobility::{Dataset, LocationRecord, Trajectory, UserId};
+use std::sync::Arc;
 
 /// Grid-cloaking strategy with a configurable cell size.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -38,11 +39,14 @@ impl SpatialCloaking {
     }
 
     /// The dataset-wide tessellation every trajectory is snapped to, or
-    /// `None` when the dataset cannot anchor one (empty, or a degenerate
-    /// box the grid constructor rejects) — in which case cloaking is a
-    /// no-op.
+    /// `None` when the dataset is empty — in which case cloaking is a
+    /// no-op. The grid is anchored on the quantized padded box
+    /// ([`BoundingBox::grid_anchor`]) so that, in a streaming session,
+    /// bounding-box drift inside the 0.05° lattice leaves the tessellation
+    /// (and every cached per-user cloaking) untouched; the quantized span
+    /// is never degenerate, so single-point datasets need no special case.
     fn cloaking_grid(&self, dataset: &Dataset) -> Option<UniformGrid> {
-        let bbox = grow_degenerate(dataset.bounding_box()?);
+        let bbox: BoundingBox = dataset.bounding_box()?.grid_anchor();
         UniformGrid::new(bbox, self.cell_size).ok()
     }
 
@@ -86,21 +90,17 @@ impl AnonymizationStrategy for SpatialCloaking {
         UserLocality::GridAnchored
     }
 
-    fn anonymize_user(&self, dataset: &Dataset, user: UserId, _seed: u64) -> Vec<Trajectory> {
+    fn anonymize_user(
+        &self,
+        dataset: &Dataset,
+        user: UserId,
+        _seed: u64,
+    ) -> Vec<Arc<Trajectory>> {
         let grid = self.cloaking_grid(dataset);
         map_user_trajectories(dataset, user, |t| match &grid {
             Some(grid) => self.cloak_trajectory(t, grid),
             None => t.clone(),
         })
-    }
-}
-
-/// Ensures a bounding box has non-zero extent (single-point datasets).
-fn grow_degenerate(bbox: BoundingBox) -> BoundingBox {
-    if bbox.lat_span() > 0.0 && bbox.lon_span() > 0.0 {
-        bbox
-    } else {
-        bbox.expanded(0.001)
     }
 }
 

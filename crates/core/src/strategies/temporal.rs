@@ -4,6 +4,7 @@ use crate::error::PrivapiError;
 use crate::strategies::map_user_trajectories;
 use crate::strategy::{AnonymizationStrategy, StrategyInfo, UserLocality};
 use mobility::{Dataset, LocationRecord, Trajectory, UserId};
+use std::sync::Arc;
 
 /// Keeps at most one record per `window_s`-second window per trajectory.
 ///
@@ -67,7 +68,12 @@ impl AnonymizationStrategy for TemporalDownsampling {
         UserLocality::UserLocal
     }
 
-    fn anonymize_user(&self, dataset: &Dataset, user: UserId, _seed: u64) -> Vec<Trajectory> {
+    fn anonymize_user(
+        &self,
+        dataset: &Dataset,
+        user: UserId,
+        _seed: u64,
+    ) -> Vec<Arc<Trajectory>> {
         map_user_trajectories(dataset, user, |t| self.thin_trajectory(t))
     }
 }

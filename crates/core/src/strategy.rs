@@ -9,6 +9,7 @@
 use mobility::{Dataset, Trajectory, UserId};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// How much of the dataset one user's protected output depends on — the
 /// determinism contract behind per-user incremental re-anonymization.
@@ -30,11 +31,13 @@ use std::fmt;
 ///   mechanism drawing from one dataset-wide RNG stream would couple users
 ///   through record ordering and must declare [`UserLocality::NonLocal`].
 /// * [`UserLocality::GridAnchored`] — like `UserLocal`, plus the dataset's
-///   bounding box (the strategy anchors a grid/tessellation on it, e.g.
+///   bounding box (the strategy anchors a grid/tessellation on its
+///   *quantized* padded form, [`geo::BoundingBox::grid_anchor`], e.g.
 ///   [`crate::strategies::SpatialCloaking`]). A window that widens the
-///   prefix bounding box shifts every cell and invalidates **every**
-///   user's cached output for this strategy; otherwise only changed users
-///   are re-anonymized.
+///   prefix bounding box past a lattice line shifts every cell and
+///   invalidates **every** user's cached output for this strategy;
+///   drift inside the lattice — the common case — and windows touching
+///   only some users re-anonymize the changed users alone.
 /// * [`UserLocality::NonLocal`] — the output may depend on anything in the
 ///   dataset. Nothing is cached: every window re-runs the full
 ///   [`AnonymizationStrategy::anonymize`] and a full protected-side
@@ -44,7 +47,8 @@ pub enum UserLocality {
     /// Output for user `u` is a function of (`u`'s records, seed) only.
     UserLocal,
     /// Output for user `u` is a function of (`u`'s records, seed, dataset
-    /// bounding box) only.
+    /// bounding box) only — and of the box only through its quantized
+    /// anchor form ([`geo::BoundingBox::grid_anchor`]).
     GridAnchored,
     /// Output may depend on the whole dataset (the conservative default).
     NonLocal,
@@ -116,13 +120,19 @@ pub trait AnonymizationStrategy: Send + Sync {
     ///
     /// The default implementation anonymizes the whole dataset and filters
     /// — always correct, never cheaper; local strategies override it to
-    /// touch only `user`'s trajectories.
-    fn anonymize_user(&self, dataset: &Dataset, user: UserId, seed: u64) -> Vec<Trajectory> {
+    /// touch only `user`'s trajectories. Outputs are shared handles so the
+    /// streaming cache can store and re-interleave them without copying
+    /// record data.
+    fn anonymize_user(
+        &self,
+        dataset: &Dataset,
+        user: UserId,
+        seed: u64,
+    ) -> Vec<Arc<Trajectory>> {
         self.anonymize(dataset, seed)
-            .trajectories()
-            .iter()
+            .into_shared()
+            .into_iter()
             .filter(|t| t.user() == user)
-            .cloned()
             .collect()
     }
 }

@@ -73,13 +73,26 @@
 use crate::attack::{
     PoiAttack, PoiAttackConfig, ReferenceIndex, ReferencePois, UserAttackShard,
 };
+use crate::engine::{EvalContext, ObjectiveBaseline};
 use crate::error::PrivapiError;
+use crate::metrics::{CrowdedBaseline, TrafficBaseline};
 use crate::pipeline::{PrivApi, PrivApiConfig, PublishedDataset};
 use crate::pool::StrategyPool;
+use crate::selection::Objective;
 use crate::strategy::{AnonymizationStrategy, StrategyInfo, UserLocality};
-use mobility::{Dataset, DatasetWindow, Trajectory, UserId, WindowedDataset};
+use geo::{BoundingBox, CellId, Meters, UniformGrid};
+use mobility::{
+    Dataset, DatasetWindow, LocationRecord, Timestamp, Trajectory, UserId, WindowedDataset,
+};
 use rayon::prelude::*;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::{Arc, Mutex};
+
+/// Reserved synthetic user id used to pin a per-user mini-dataset's
+/// bounding box to the full prefix box (see `pinned_view`); never a real
+/// participant — a dataset that does contain it falls back to full-prefix
+/// per-user anonymization rather than risking a pin collision.
+const BBOX_PIN_USER: UserId = UserId(u64::MAX);
 
 /// What [`SessionCache::advance`] did with one day window — the audit
 /// record of the incremental path's cache behaviour.
@@ -104,6 +117,35 @@ pub struct WindowDelta {
     /// Always zero on the single-session [`PopulationCache::advance`]
     /// path.
     pub users_derived: usize,
+    /// Lattice pitch of the padded extraction-grid anchor, in millidegrees
+    /// ([`geo::GRID_ANCHOR_QUANTUM_DEG`]): the documented tolerance within
+    /// which bounding-box growth does **not** move the grid. Recorded in
+    /// every delta so downstream audit rows carry the padding factor the
+    /// `grid_rebuilt` flag was judged under.
+    pub grid_quantum_millideg: u32,
+}
+
+/// [`WindowDelta::grid_quantum_millideg`], derived from the geo constant.
+fn grid_quantum_millideg() -> u32 {
+    (geo::GRID_ANCHOR_QUANTUM_DEG * 1000.0).round() as u32
+}
+
+/// Original-side audit of the incremental utility-baseline fold for one
+/// published window: whether the per-objective projection (crowded top-k /
+/// traffic day histograms) was folded forward from the cached counts or
+/// rebuilt from scratch, and how much it touched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BaselineDelta {
+    /// The cached fold was discarded and rebuilt over the whole prefix
+    /// (first window for this objective, an objective change, or a
+    /// quantized-grid move).
+    pub rebuilt: bool,
+    /// The cached fold was reused and extended by only the new window's
+    /// trajectories.
+    pub reused: bool,
+    /// Distinct baseline cells (crowded) or `(cell, hour)` day-histogram
+    /// entries (traffic) touched while folding this window.
+    pub cells_updated: usize,
 }
 
 /// Per-window audit of what the reliable ingestion layer fed the stream —
@@ -196,11 +238,24 @@ impl std::fmt::Display for IngestDelta {
 #[derive(Debug, Default)]
 pub struct PopulationCache {
     prefix: Dataset,
+    /// The prefix decomposed per user: each user's trajectories in prefix
+    /// order, as shared handles into the same allocations `prefix` holds.
+    /// This is what makes every per-user path — shard re-extraction,
+    /// per-user re-anonymization, protected-prefix assembly — O(that
+    /// user's history) instead of O(prefix): a mini-dataset view is a
+    /// `Vec<Arc>` clone, never a record copy or a full-prefix filter scan.
+    by_user: BTreeMap<UserId, Vec<Arc<Trajectory>>>,
     /// The prefix's bounding box, maintained incrementally
     /// ([`geo::BoundingBox::union`] per window — exact under append, so
     /// the derived grid equals a from-scratch scan's without re-touching
     /// old records).
     bbox: Option<geo::BoundingBox>,
+    /// The quantized anchor ([`geo::BoundingBox::grid_anchor`]) of `bbox`
+    /// after the last window — the box the extraction grid is actually
+    /// built on. Shards are invalidated when *this* moves, not on every
+    /// raw-box drift: growth inside the padded 0.05° lattice keeps every
+    /// cached shard valid.
+    grid_box: Option<geo::BoundingBox>,
     shards: BTreeMap<UserId, UserAttackShard>,
     reference: ReferencePois,
     index: Option<ReferenceIndex>,
@@ -212,6 +267,155 @@ pub struct PopulationCache {
     /// itself stays valid) and re-extracts everyone instead of silently
     /// matching at stale parameters.
     attack_config: Option<PoiAttackConfig>,
+    /// Incrementally folded per-objective utility baselines (interior
+    /// mutability: folding is a cache amendment, not an observable state
+    /// change — `publish_session` borrows the population immutably).
+    baselines: Mutex<BaselineFold>,
+}
+
+/// The incrementally folded original-side utility projections, one slot
+/// per objective the session has been published under.
+#[derive(Debug, Default)]
+struct BaselineFold {
+    slots: Vec<BaselineSlot>,
+}
+
+/// One objective's folded projection of the prefix.
+#[derive(Debug)]
+struct BaselineSlot {
+    objective: Objective,
+    /// The quantized prefix box the slot's grid is anchored on; a window
+    /// that moves it invalidates every folded count.
+    grid_box: BoundingBox,
+    /// Number of prefix trajectories folded so far — the lazy-fold cursor
+    /// into [`PopulationCache::prefix`].
+    folded: usize,
+    kind: SlotKind,
+}
+
+/// The objective-specific folded counts.
+#[derive(Debug)]
+enum SlotKind {
+    /// Crowded places: distinct visitors per cell (insert-only under
+    /// append, so the fold needs no retraction logic).
+    Crowded {
+        grid: UniformGrid,
+        visitors: HashMap<CellId, HashSet<UserId>>,
+    },
+    /// Traffic: hourly `(cell, hour)` histograms per day — the day keys
+    /// give the train/eval split, the last day's map is the ground truth.
+    Traffic {
+        grid: UniformGrid,
+        by_day: BTreeMap<i64, HashMap<(CellId, i64), f64>>,
+    },
+}
+
+impl SlotKind {
+    /// An empty fold for `objective` on the already-quantized `grid_box`,
+    /// or `None` when the objective's parameters cannot back a baseline
+    /// (zero `k`, invalid cell size) — mirroring the constructor errors
+    /// the legacy per-window build mapped to the `Unavailable` baseline.
+    fn fresh(objective: Objective, grid_box: BoundingBox) -> Option<Self> {
+        match objective {
+            Objective::CrowdedPlaces { cell, k } => {
+                if k == 0 {
+                    return None;
+                }
+                let grid = UniformGrid::new(grid_box, cell).ok()?;
+                Some(SlotKind::Crowded {
+                    grid,
+                    visitors: HashMap::new(),
+                })
+            }
+            Objective::Traffic { cell } => {
+                let grid = UniformGrid::new(grid_box, cell).ok()?;
+                Some(SlotKind::Traffic {
+                    grid,
+                    by_day: BTreeMap::new(),
+                })
+            }
+            Objective::Distortion => None,
+        }
+    }
+}
+
+impl BaselineSlot {
+    /// Folds the trajectories appended since the last call into the
+    /// counts, returning how many distinct cells / day-histogram entries
+    /// were touched.
+    fn fold(&mut self, trajectories: &[Arc<Trajectory>]) -> usize {
+        let fresh = &trajectories[self.folded..];
+        self.folded = trajectories.len();
+        let mut touched: HashSet<(CellId, i64)> = HashSet::new();
+        match &mut self.kind {
+            SlotKind::Crowded { grid, visitors } => {
+                for t in fresh {
+                    for r in t.records() {
+                        let cell = grid.cell_of(&r.point);
+                        visitors.entry(cell).or_default().insert(r.user);
+                        touched.insert((cell, 0));
+                    }
+                }
+            }
+            SlotKind::Traffic { grid, by_day } => {
+                for t in fresh {
+                    for r in t.records() {
+                        let cell = grid.cell_of(&r.point);
+                        let hour = r.time.hour_of_day();
+                        *by_day
+                            .entry(r.time.day_index())
+                            .or_default()
+                            .entry((cell, hour))
+                            .or_insert(0.0) += 1.0;
+                        touched.insert((cell, hour));
+                    }
+                }
+            }
+        }
+        touched.len()
+    }
+
+    /// Projects the folded counts into the engine's baseline — the same
+    /// values [`CrowdedBaseline::new`]/[`TrafficBaseline::new`] compute
+    /// from scratch, handed through their `from_parts` surface so the
+    /// scoring arithmetic stays in the metrics module.
+    fn project(&self, objective: Objective) -> ObjectiveBaseline {
+        match (&self.kind, objective) {
+            (SlotKind::Crowded { grid, visitors }, Objective::CrowdedPlaces { cell, k }) => {
+                let counts: HashMap<CellId, u64> = visitors
+                    .iter()
+                    .map(|(cell, users)| (*cell, users.len() as u64))
+                    .collect();
+                let top: HashSet<CellId> = UniformGrid::top_k(&counts, k)
+                    .into_iter()
+                    .map(|(c, _)| c)
+                    .collect();
+                ObjectiveBaseline::Crowded(CrowdedBaseline::from_parts(
+                    grid.clone(),
+                    top,
+                    k,
+                    cell,
+                ))
+            }
+            (SlotKind::Traffic { grid, by_day }, Objective::Traffic { .. }) => {
+                if by_day.len() < 2 {
+                    // No train/eval split possible yet — same zero-utility
+                    // outcome as the legacy single-day constructor error.
+                    return ObjectiveBaseline::Unavailable;
+                }
+                let eval_day = *by_day.keys().next_back().expect("non-empty");
+                let train_days = (by_day.len() - 1) as f64;
+                let truth = by_day[&eval_day].clone();
+                ObjectiveBaseline::Traffic(TrafficBaseline::from_parts(
+                    grid.clone(),
+                    eval_day,
+                    train_days,
+                    truth,
+                ))
+            }
+            _ => ObjectiveBaseline::Unavailable,
+        }
+    }
 }
 
 impl PopulationCache {
@@ -256,6 +460,77 @@ impl PopulationCache {
     /// The prefix's bounding box after the last ingested window.
     pub fn bounding_box(&self) -> Option<geo::BoundingBox> {
         self.bbox
+    }
+
+    /// The quantized anchor box the extraction grid is built on — moves
+    /// only when the raw box crosses the padded 0.05° lattice.
+    pub fn grid_box(&self) -> Option<geo::BoundingBox> {
+        self.grid_box
+    }
+
+    /// The prefix decomposed per user (shared handles, prefix order).
+    pub(crate) fn by_user(&self) -> &BTreeMap<UserId, Vec<Arc<Trajectory>>> {
+        &self.by_user
+    }
+
+    /// The original-side utility projection for `objective` over the
+    /// current prefix, folded **incrementally**: only trajectories
+    /// appended since the last call for the same objective are touched,
+    /// instead of re-gridding the whole prefix every window. Byte-exact by
+    /// construction — visitor sets and integer-valued `f64` counts are
+    /// order-independent, and the projection goes through the same
+    /// [`CrowdedBaseline`]/[`TrafficBaseline`] scoring arithmetic as a
+    /// from-scratch build (pinned by parity property tests).
+    ///
+    /// An objective change or a quantized-grid move discards the stale
+    /// fold and rebuilds (reported in the [`BaselineDelta`]); several
+    /// objectives can stay folded side by side for multi-campaign use.
+    pub(crate) fn baseline_for(
+        &self,
+        objective: Objective,
+    ) -> (ObjectiveBaseline, BaselineDelta) {
+        let mut delta = BaselineDelta::default();
+        let (Some(grid_box), false) = (self.grid_box, self.prefix.record_count() == 0) else {
+            // Empty prefix: mirror the legacy per-window build, which
+            // errors into the zero-utility `Unavailable` baseline.
+            return (ObjectiveBaseline::Unavailable, delta);
+        };
+        if matches!(objective, Objective::Distortion) {
+            // Distortion has no original-only projection to fold.
+            return (ObjectiveBaseline::Distortion, delta);
+        }
+        let mut fold = self.baselines.lock().unwrap_or_else(|e| e.into_inner());
+        let slot = match fold
+            .slots
+            .iter()
+            .position(|s| s.objective == objective && s.grid_box == grid_box)
+        {
+            Some(at) => {
+                delta.reused = true;
+                &mut fold.slots[at]
+            }
+            None => {
+                // Discard any stale fold of the same objective (moved
+                // grid) before starting a fresh one. A rebuild is only
+                // reported when a fold actually existed and was thrown
+                // away — a session's first build is not a rebuild.
+                let had_stale = fold.slots.iter().any(|s| s.objective == objective);
+                fold.slots.retain(|s| s.objective != objective);
+                let Some(kind) = SlotKind::fresh(objective, grid_box) else {
+                    return (ObjectiveBaseline::Unavailable, delta);
+                };
+                delta.rebuilt = had_stale;
+                fold.slots.push(BaselineSlot {
+                    objective,
+                    grid_box,
+                    folded: 0,
+                    kind,
+                });
+                fold.slots.last_mut().expect("just pushed")
+            }
+        };
+        delta.cells_updated = slot.fold(self.prefix.trajectories());
+        (slot.project(objective), delta)
     }
 
     /// The attack configuration the cached extraction was derived under
@@ -351,6 +626,12 @@ impl PopulationCache {
             self.attack_config = Some(attack.config().clone());
         }
         let changed = window.users();
+        for t in window.dataset().trajectories() {
+            self.by_user
+                .entry(t.user())
+                .or_default()
+                .push(Arc::clone(t));
+        }
         self.prefix
             .extend(window.dataset().trajectories().iter().cloned());
         self.windows_ingested += 1;
@@ -369,23 +650,29 @@ impl PopulationCache {
                 indexes_extended: 0,
                 grid_rebuilt: false,
                 users_derived: 0,
+                grid_quantum_millideg: grid_quantum_millideg(),
             });
         };
-        let grid_rebuilt = config_changed || (self.bbox.is_some() && self.bbox != Some(bbox));
+        // The extraction grid is anchored on the *quantized* padded box:
+        // raw bounding-box growth inside the 0.05° lattice keeps every
+        // cached shard valid, so only a lattice crossing rebuilds.
+        let grid_box = bbox.grid_anchor();
+        let grid_rebuilt =
+            config_changed || (self.grid_box.is_some() && self.grid_box != Some(grid_box));
         let to_refresh: Vec<UserId> = if grid_rebuilt {
-            self.prefix.users()
+            self.by_user.keys().copied().collect()
         } else {
             changed
         };
         // A donor's shard for user `u` equals our own extraction iff the
         // donor extracted under the same attack parameters, over the same
-        // accumulated stream position, on the same grid (same bounding
-        // box) — and, per the caller's contract, holds bitwise our
+        // accumulated stream position, on the same grid (same quantized
+        // anchor box) — and, per the caller's contract, holds bitwise our
         // records for `u`. Anything else disqualifies the donor entirely.
         let donor = donor.filter(|d| {
             d.attack_config.as_ref() == Some(attack.config())
                 && d.last_day == Some(window.day())
-                && d.bbox == Some(bbox)
+                && d.grid_box == Some(grid_box)
         });
         let mut derived: Vec<UserAttackShard> = Vec::new();
         let mut to_extract: Vec<UserId> = Vec::new();
@@ -401,9 +688,15 @@ impl PopulationCache {
             None => to_extract = to_refresh.clone(),
         }
         let grid = attack.grid_for(bbox);
+        // Each refresh reads only the user's own history through the
+        // per-user decomposition — a `Vec<Arc>` clone, not a prefix scan.
         let refreshed: Vec<UserAttackShard> = to_extract
             .par_iter()
-            .map(|&user| attack.extract_user(&self.prefix, user, &grid))
+            .map(|&user| {
+                let history =
+                    Dataset::from_shared(self.by_user.get(&user).cloned().unwrap_or_default());
+                attack.extract_user(&history, user, &grid)
+            })
             .collect();
         let index = self
             .index
@@ -418,6 +711,7 @@ impl PopulationCache {
             self.shards.insert(shard.user, shard);
         }
         self.bbox = Some(bbox);
+        self.grid_box = Some(grid_box);
         Ok(WindowDelta {
             day: window.day(),
             users_refreshed: to_refresh.len() - users_derived,
@@ -425,6 +719,7 @@ impl PopulationCache {
             indexes_extended,
             grid_rebuilt,
             users_derived,
+            grid_quantum_millideg: grid_quantum_millideg(),
         })
     }
 }
@@ -549,11 +844,19 @@ pub struct CandidateDelta {
     pub users_refreshed: usize,
     /// Users whose cached protected trajectories were reused untouched.
     pub users_reused: usize,
+    /// Users whose protected trajectories were **adopted from a donor
+    /// campaign's** already-refreshed state ([`StrategyDonor`]) — zero
+    /// anonymization work here; always zero outside the multi-campaign
+    /// orchestrator's donor path.
+    pub users_donated: usize,
     /// Users whose protected-side [`UserAttackShard`] was re-extracted via
     /// the per-user delta path.
     pub shards_refreshed: usize,
     /// Users whose cached protected-side shard was reused untouched.
     pub shards_reused: usize,
+    /// Protected-side shards adopted from a donor campaign's state —
+    /// the cross-campaign twin of `shards_reused`.
+    pub shards_donated: usize,
     /// Whether the candidate's **protected** bounding box moved, forcing a
     /// new extraction grid and a full per-user shard refresh (independent
     /// of the original-side grid: noise can widen a protected box on a
@@ -576,10 +879,14 @@ pub struct StrategyCacheDelta {
     pub users_refreshed: usize,
     /// Total per-candidate users whose protected trajectories were reused.
     pub users_reused: usize,
+    /// Total per-candidate users adopted from a donor campaign's state.
+    pub users_donated: usize,
     /// Total per-candidate protected-side shard re-extractions.
     pub shards_refreshed: usize,
     /// Total per-candidate protected-side shards reused untouched.
     pub shards_reused: usize,
+    /// Total protected-side shards adopted from a donor campaign's state.
+    pub shards_donated: usize,
     /// Candidates whose protected extraction grid moved this window.
     pub protected_grid_rebuilds: usize,
     /// Candidates that took the full uncached path.
@@ -596,8 +903,10 @@ impl StrategyCacheDelta {
         for d in deltas {
             total.users_refreshed += d.users_refreshed;
             total.users_reused += d.users_reused;
+            total.users_donated += d.users_donated;
             total.shards_refreshed += d.shards_refreshed;
             total.shards_reused += d.shards_reused;
+            total.shards_donated += d.shards_donated;
             total.protected_grid_rebuilds += usize::from(d.protected_grid_rebuilt);
             total.full_fallbacks += usize::from(d.full_fallback);
         }
@@ -609,30 +918,88 @@ impl StrategyCacheDelta {
 /// per-user protected trajectories of the accumulated prefix, the
 /// protected bounding box the extraction grid is anchored on, and the
 /// per-user self-attack shards extracted from the protected data.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub(crate) struct CandidateState {
     /// Identity card of the candidate this state belongs to (`None` until
     /// first primed). A pool edit that changes the candidate at this slot
     /// resets the state.
     pub(crate) info: Option<StrategyInfo>,
-    /// Protected trajectories per user, each in the user's prefix order.
-    protected: BTreeMap<UserId, Vec<Trajectory>>,
-    /// Bounding box of the assembled protected prefix after the last
-    /// window — the anchor of the protected-side extraction grid.
+    /// Protected trajectories per user, each in the user's prefix order —
+    /// shared handles, so cloning a state (the donor path) or assembling
+    /// the release copies pointers, never record data.
+    protected: BTreeMap<UserId, Vec<Arc<Trajectory>>>,
+    /// Per-user bounding boxes of the protected trajectories, so the
+    /// protected prefix box is a union fold over users — O(users) —
+    /// instead of a record scan over the assembled dataset.
+    boxes: BTreeMap<UserId, Option<geo::BoundingBox>>,
+    /// Bounding box of the protected prefix after the last window (union
+    /// of `boxes`).
     bbox: Option<geo::BoundingBox>,
+    /// The quantized anchor ([`geo::BoundingBox::grid_anchor`]) of `bbox`
+    /// — the box the protected-side extraction grid is actually built on.
+    /// Shards survive raw protected-box drift inside the padded lattice.
+    grid_box: Option<geo::BoundingBox>,
     /// Per-user protected-side shards (the candidate's own self-attack
-    /// decomposition).
-    shards: BTreeMap<UserId, UserAttackShard>,
+    /// decomposition), shared so donor clones are pointer copies.
+    shards: BTreeMap<UserId, Arc<UserAttackShard>>,
+    /// Incrementally maintained protected-side utility counts, keyed on
+    /// the *baseline* grid.
+    utility: UtilityCache,
     /// Whether this state has absorbed at least one window.
     primed: bool,
+}
+
+/// The protected side of the incremental utility computation: per-user
+/// contributions to the objective's histogram plus the folded global
+/// counts, so a window re-scores `O(changed users' records)` instead of
+/// re-histogramming the whole assembled protected prefix.
+///
+/// Keyed on the **baseline** grid (anchor box + cell size): a baseline
+/// whose grid moved — prefix crossed the anchor lattice, objective changed
+/// — mismatches the key and forces a rebuild over all users.
+#[derive(Debug, Clone, Default)]
+enum UtilityCache {
+    /// No incremental projection (distortion / unavailable baseline).
+    #[default]
+    None,
+    /// Crowded places. Distinct-visitor semantics need refcounts: a cell's
+    /// count is the number of distinct `(cell, record-user)` pairs alive,
+    /// and a pair stays alive while *any* map-user's trajectories carry it
+    /// — exact for arbitrary record ownership, not just the common
+    /// `record.user == trajectory.user` case.
+    Crowded {
+        anchor: BoundingBox,
+        cell: Meters,
+        /// Each user's distinct `(cell, record-user)` contribution.
+        by_user: BTreeMap<UserId, Vec<(CellId, UserId)>>,
+        /// How many users contribute each pair.
+        pair_refs: HashMap<(CellId, UserId), u32>,
+        /// Distinct visitors per cell — fed to
+        /// [`CrowdedBaseline::score_counts`] verbatim.
+        counts: HashMap<CellId, u64>,
+    },
+    /// Traffic. Counts are additive, so plain per-user histograms keyed
+    /// `(cell, hour, day)` suffice; the train histogram for eval day `d`
+    /// is `total − by_day[d]` with exact-zero keys pruned (integer-valued
+    /// `f64`, so the subtraction is exact).
+    Traffic {
+        anchor: BoundingBox,
+        cell: Meters,
+        by_user: BTreeMap<UserId, HashMap<(CellId, i64, i64), f64>>,
+        total: HashMap<(CellId, i64), f64>,
+        by_day: BTreeMap<i64, HashMap<(CellId, i64), f64>>,
+    },
 }
 
 impl CandidateState {
     /// Drops all cached data (keeps the identity card).
     fn clear(&mut self) {
         self.protected.clear();
+        self.boxes.clear();
         self.bbox = None;
+        self.grid_box = None;
         self.shards.clear();
+        self.utility = UtilityCache::None;
         self.primed = false;
     }
 
@@ -652,7 +1019,7 @@ impl CandidateState {
         let mut trajectories = Vec::with_capacity(original.trajectory_count());
         for t in original.trajectories() {
             let cursor = cursors.get_mut(&t.user())?;
-            trajectories.push(self.protected.get(&t.user())?.get(*cursor)?.clone());
+            trajectories.push(Arc::clone(self.protected.get(&t.user())?.get(*cursor)?));
             *cursor += 1;
         }
         // Every cached trajectory must have been consumed: leftovers mean
@@ -662,7 +1029,7 @@ impl CandidateState {
                 return None;
             }
         }
-        Some(Dataset::from_trajectories(trajectories))
+        Some(Dataset::from_shared(trajectories))
     }
 
     /// The assembled protected prefix of a *primed* state — what the last
@@ -676,13 +1043,68 @@ impl CandidateState {
         self.assemble(original)
     }
 
+    /// The candidate's extracted protected-side POIs, re-keyed from the
+    /// cached shards — what [`PoiAttack::extract`] over its assembled
+    /// protected prefix would return.
+    pub(crate) fn extracted_pois(&self) -> ReferencePois {
+        self.shards
+            .iter()
+            .map(|(user, shard)| (*user, shard.pois.clone()))
+            .collect()
+    }
+
+    /// Number of protected-side shards currently cached.
+    pub(crate) fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Utility of this (primed) state under `context`, **without**
+    /// refreshing anything: scores the incrementally maintained counts
+    /// when their key matches the context's baseline grid, and otherwise
+    /// falls back to assembling the protected prefix (pointer clones) and
+    /// scoring it whole. `None` only when the cached shape cannot be
+    /// aligned with the context's original — a donated state from a
+    /// different prefix, which the caller must reject.
+    pub(crate) fn utility_for(&self, context: &EvalContext<'_>) -> Option<f64> {
+        match (context.baseline(), &self.utility) {
+            (ObjectiveBaseline::Unavailable, _) => Some(0.0),
+            (
+                ObjectiveBaseline::Crowded(b),
+                UtilityCache::Crowded {
+                    anchor,
+                    cell,
+                    counts,
+                    ..
+                },
+            ) if *anchor == b.grid().bbox() && *cell == b.grid().cell_size() => {
+                Some(b.score_counts(counts).precision_at_k)
+            }
+            (
+                ObjectiveBaseline::Traffic(b),
+                UtilityCache::Traffic {
+                    anchor,
+                    cell,
+                    total,
+                    by_day,
+                    ..
+                },
+            ) if *anchor == b.grid().bbox() && *cell == b.grid().cell_size() => Some(
+                b.score_train(&Self::traffic_train(total, by_day, b.eval_day()))
+                    .utility_score(),
+            ),
+            _ => self
+                .assemble(context.original())
+                .map(|assembled| context.utility_of(&assembled)),
+        }
+    }
+
     /// Folds one window into this candidate's cache: re-anonymizes the
     /// invalidated users (per the declared [`UserLocality`]), re-extracts
-    /// the invalidated protected-side shards, and returns the assembled
-    /// protected prefix together with its extracted POIs — exactly what
-    /// [`PoiAttack::extract`] over a fresh
-    /// [`AnonymizationStrategy::anonymize`] would produce, without paying
-    /// for the unchanged users.
+    /// the invalidated protected-side shards, folds the refreshed users
+    /// into the incremental utility counts, and returns the extracted POIs
+    /// plus the utility score — exactly what [`PoiAttack::extract`] +
+    /// utility scoring over a fresh [`AnonymizationStrategy::anonymize`]
+    /// would produce, without paying for the unchanged users.
     ///
     /// Returns `(None, delta)` when the candidate cannot be cached
     /// ([`UserLocality::NonLocal`], or a shape-contract violation): the
@@ -691,10 +1113,11 @@ impl CandidateState {
         &mut self,
         strategy: &dyn AnonymizationStrategy,
         attack: &PoiAttack,
-        original: &Dataset,
+        context: &EvalContext<'_>,
         update: &WindowUpdate,
+        all_users: &[UserId],
         seed: u64,
-    ) -> (Option<(Dataset, ReferencePois)>, CandidateDelta) {
+    ) -> (Option<(ReferencePois, f64)>, CandidateDelta) {
         let info = strategy.info();
         let locality = strategy.locality();
         let mut delta = CandidateDelta {
@@ -702,8 +1125,10 @@ impl CandidateState {
             locality,
             users_refreshed: 0,
             users_reused: 0,
+            users_donated: 0,
             shards_refreshed: 0,
             shards_reused: 0,
+            shards_donated: 0,
             protected_grid_rebuilt: false,
             full_fallback: false,
         };
@@ -713,41 +1138,59 @@ impl CandidateState {
             delta.full_fallback = true;
             return (None, delta);
         }
-        let all_users = original.users();
+        let original = context.original();
         let to_refresh: &[UserId] = if !self.primed
             || (locality == UserLocality::GridAnchored && update.grid_rebuilt)
         {
-            &all_users
+            all_users
         } else {
             &update.changed_users
         };
         delta.users_refreshed = to_refresh.len();
         delta.users_reused = all_users.len() - to_refresh.len();
-        if to_refresh.len() == all_users.len() {
+        let full = to_refresh.len() == all_users.len();
+        if full {
             // Full refresh (first window, or a grid-anchored candidate
-            // after a bbox widening): one whole-dataset `anonymize` pass,
-            // decomposed per user, beats `users` separate
+            // after a quantized-anchor move): one whole-dataset `anonymize`
+            // pass, decomposed per user, beats `users` separate
             // `anonymize_user` scans over the full trajectory list — and
             // is the canonical output the per-user surface must agree
             // with anyway.
-            let mut grouped: BTreeMap<UserId, Vec<Trajectory>> = BTreeMap::new();
-            for trajectory in strategy.anonymize(original, seed).into_trajectories() {
+            let mut grouped: BTreeMap<UserId, Vec<Arc<Trajectory>>> = BTreeMap::new();
+            for trajectory in strategy.anonymize(original, seed).into_shared() {
                 grouped
                     .entry(trajectory.user())
                     .or_default()
                     .push(trajectory);
             }
+            self.boxes = grouped
+                .iter()
+                .map(|(user, mine)| (*user, user_bounding_box(mine)))
+                .collect();
             self.protected = grouped;
         } else {
-            let refreshed: Vec<(UserId, Vec<Trajectory>)> = to_refresh
+            let refreshed: Vec<(UserId, Vec<Arc<Trajectory>>)> = to_refresh
                 .par_iter()
-                .map(|&user| (user, strategy.anonymize_user(original, user, seed)))
+                .map(|&user| (user, anonymize_one_user(strategy, context, user, seed)))
                 .collect();
             for (user, trajectories) in refreshed {
+                self.boxes.insert(user, user_bounding_box(&trajectories));
                 self.protected.insert(user, trajectories);
             }
         }
-        let Some(protected) = self.assemble(original) else {
+        // Shape check, O(users): the cached decomposition re-interleaves
+        // into the prefix iff it covers exactly the prefix's users with
+        // exactly the prefix's per-user trajectory counts (the
+        // one-output-per-input contract).
+        let mut expected: BTreeMap<UserId, usize> = BTreeMap::new();
+        for t in original.trajectories() {
+            *expected.entry(t.user()).or_insert(0) += 1;
+        }
+        let shape_ok = expected.len() == self.protected.len()
+            && expected
+                .iter()
+                .all(|(user, n)| self.protected.get(user).map(Vec::len) == Some(*n));
+        if !shape_ok {
             // Shape-contract violation: drop everything and let the caller
             // take the always-correct full path.
             self.clear();
@@ -755,14 +1198,16 @@ impl CandidateState {
             delta.users_refreshed = 0;
             delta.users_reused = 0;
             return (None, delta);
-        };
+        }
         // The protected-side extraction grid is anchored on the *protected*
-        // bounding box: if it moved, every user's shard is invalid no
-        // matter whose records changed.
-        let bbox = protected.bounding_box();
-        delta.protected_grid_rebuilt = self.primed && bbox != self.bbox;
+        // bounding box — through its quantized padded form, so drift inside
+        // the lattice reuses every shard; only an anchor move invalidates
+        // them all, no matter whose records changed.
+        let bbox = union_of(&self.boxes);
+        let grid_box = bbox.map(|b| b.grid_anchor());
+        delta.protected_grid_rebuilt = self.primed && grid_box != self.grid_box;
         let shard_refresh: &[UserId] = if !self.primed || delta.protected_grid_rebuilt {
-            &all_users
+            all_users
         } else {
             to_refresh
         };
@@ -773,10 +1218,19 @@ impl CandidateState {
                 let grid = attack.grid_for(bbox);
                 let shards: Vec<UserAttackShard> = shard_refresh
                     .par_iter()
-                    .map(|&user| attack.extract_user(&protected, user, &grid))
+                    .map(|&user| {
+                        // The shard depends only on the user's own records
+                        // and the grid: extract from the user's protected
+                        // trajectories alone instead of the assembled
+                        // prefix.
+                        let mine = Dataset::from_shared(
+                            self.protected.get(&user).cloned().unwrap_or_default(),
+                        );
+                        attack.extract_user(&mine, user, &grid)
+                    })
                     .collect();
                 for shard in shards {
-                    self.shards.insert(shard.user, shard);
+                    self.shards.insert(shard.user, Arc::new(shard));
                 }
             }
             None => {
@@ -788,13 +1242,352 @@ impl CandidateState {
             }
         }
         self.bbox = bbox;
+        self.grid_box = grid_box;
         self.primed = true;
-        let extracted: ReferencePois = self
-            .shards
+        let utility = self.refresh_utility(context, to_refresh, full);
+        (Some((self.extracted_pois(), utility)), delta)
+    }
+
+    /// Folds the `refreshed` users into the incremental utility counts
+    /// (rebuilding them when `full` or when the baseline grid moved) and
+    /// scores the candidate — byte-identical to scoring the assembled
+    /// protected prefix, because [`CrowdedBaseline::score_counts`] /
+    /// [`TrafficBaseline::score_train`] are fed histograms equal to what
+    /// the full per-record scan would produce.
+    fn refresh_utility(
+        &mut self,
+        context: &EvalContext<'_>,
+        refreshed: &[UserId],
+        full: bool,
+    ) -> f64 {
+        match context.baseline() {
+            ObjectiveBaseline::Crowded(b) => {
+                let grid = b.grid();
+                let keyed = matches!(
+                    &self.utility,
+                    UtilityCache::Crowded { anchor, cell, .. }
+                        if *anchor == grid.bbox() && *cell == grid.cell_size()
+                );
+                let rebuild = full || !keyed;
+                if rebuild {
+                    self.utility = UtilityCache::Crowded {
+                        anchor: grid.bbox(),
+                        cell: grid.cell_size(),
+                        by_user: BTreeMap::new(),
+                        pair_refs: HashMap::new(),
+                        counts: HashMap::new(),
+                    };
+                }
+                let users: Vec<UserId> = if rebuild {
+                    self.protected.keys().copied().collect()
+                } else {
+                    refreshed.to_vec()
+                };
+                let protected = &self.protected;
+                let UtilityCache::Crowded {
+                    by_user,
+                    pair_refs,
+                    counts,
+                    ..
+                } = &mut self.utility
+                else {
+                    unreachable!("rebuilt above")
+                };
+                for user in users {
+                    Self::fold_crowded(protected, grid, user, by_user, pair_refs, counts);
+                }
+                b.score_counts(counts).precision_at_k
+            }
+            ObjectiveBaseline::Traffic(b) => {
+                let grid = b.grid();
+                let keyed = matches!(
+                    &self.utility,
+                    UtilityCache::Traffic { anchor, cell, .. }
+                        if *anchor == grid.bbox() && *cell == grid.cell_size()
+                );
+                let rebuild = full || !keyed;
+                if rebuild {
+                    self.utility = UtilityCache::Traffic {
+                        anchor: grid.bbox(),
+                        cell: grid.cell_size(),
+                        by_user: BTreeMap::new(),
+                        total: HashMap::new(),
+                        by_day: BTreeMap::new(),
+                    };
+                }
+                let users: Vec<UserId> = if rebuild {
+                    self.protected.keys().copied().collect()
+                } else {
+                    refreshed.to_vec()
+                };
+                let protected = &self.protected;
+                let UtilityCache::Traffic {
+                    by_user,
+                    total,
+                    by_day,
+                    ..
+                } = &mut self.utility
+                else {
+                    unreachable!("rebuilt above")
+                };
+                for user in users {
+                    Self::fold_traffic(protected, grid, user, by_user, total, by_day);
+                }
+                b.score_train(&Self::traffic_train(total, by_day, b.eval_day()))
+                    .utility_score()
+            }
+            ObjectiveBaseline::Distortion => {
+                // Distortion pairs original and protected records directly;
+                // there is no histogram to maintain. Assembling is pointer
+                // clones, so the candidate still avoids re-anonymization.
+                self.utility = UtilityCache::None;
+                let assembled = self
+                    .assemble(context.original())
+                    .expect("shape checked before scoring");
+                context.utility_of(&assembled)
+            }
+            ObjectiveBaseline::Unavailable => {
+                self.utility = UtilityCache::None;
+                0.0
+            }
+        }
+    }
+
+    /// Replaces `user`'s contribution to the crowded-places visitor counts:
+    /// refcounted `(cell, record-user)` pairs make removal exact even when
+    /// several map-users carry records of the same record-user.
+    fn fold_crowded(
+        protected: &BTreeMap<UserId, Vec<Arc<Trajectory>>>,
+        grid: &UniformGrid,
+        user: UserId,
+        by_user: &mut BTreeMap<UserId, Vec<(CellId, UserId)>>,
+        pair_refs: &mut HashMap<(CellId, UserId), u32>,
+        counts: &mut HashMap<CellId, u64>,
+    ) {
+        if let Some(old) = by_user.remove(&user) {
+            for pair in old {
+                let Some(refs) = pair_refs.get_mut(&pair) else {
+                    continue;
+                };
+                *refs -= 1;
+                if *refs == 0 {
+                    pair_refs.remove(&pair);
+                    if let Some(count) = counts.get_mut(&pair.0) {
+                        *count -= 1;
+                        if *count == 0 {
+                            counts.remove(&pair.0);
+                        }
+                    }
+                }
+            }
+        }
+        let mut distinct: HashSet<(CellId, UserId)> = HashSet::new();
+        if let Some(mine) = protected.get(&user) {
+            for t in mine {
+                for r in t.records() {
+                    distinct.insert((grid.cell_of(&r.point), r.user));
+                }
+            }
+        }
+        let pairs: Vec<(CellId, UserId)> = distinct.into_iter().collect();
+        for &pair in &pairs {
+            let refs = pair_refs.entry(pair).or_insert(0);
+            *refs += 1;
+            if *refs == 1 {
+                *counts.entry(pair.0).or_insert(0) += 1;
+            }
+        }
+        by_user.insert(user, pairs);
+    }
+
+    /// Replaces `user`'s contribution to the traffic histograms. All counts
+    /// are integer-valued `f64` sums of `1.0`, so additions and the removal
+    /// subtractions are exact in any order; entries are pruned at exact
+    /// zero so key sets match what a fresh scan would produce.
+    fn fold_traffic(
+        protected: &BTreeMap<UserId, Vec<Arc<Trajectory>>>,
+        grid: &UniformGrid,
+        user: UserId,
+        by_user: &mut BTreeMap<UserId, HashMap<(CellId, i64, i64), f64>>,
+        total: &mut HashMap<(CellId, i64), f64>,
+        by_day: &mut BTreeMap<i64, HashMap<(CellId, i64), f64>>,
+    ) {
+        if let Some(old) = by_user.remove(&user) {
+            for ((cell, hour, day), v) in old {
+                let key = (cell, hour);
+                if let Some(t) = total.get_mut(&key) {
+                    *t -= v;
+                    if *t == 0.0 {
+                        total.remove(&key);
+                    }
+                }
+                if let Some(day_map) = by_day.get_mut(&day) {
+                    if let Some(t) = day_map.get_mut(&key) {
+                        *t -= v;
+                        if *t == 0.0 {
+                            day_map.remove(&key);
+                        }
+                    }
+                    if day_map.is_empty() {
+                        by_day.remove(&day);
+                    }
+                }
+            }
+        }
+        let mut mine: HashMap<(CellId, i64, i64), f64> = HashMap::new();
+        if let Some(ts) = protected.get(&user) {
+            for t in ts {
+                for r in t.records() {
+                    let key = (
+                        grid.cell_of(&r.point),
+                        r.time.hour_of_day(),
+                        r.time.day_index(),
+                    );
+                    *mine.entry(key).or_insert(0.0) += 1.0;
+                }
+            }
+        }
+        for (&(cell, hour, day), &v) in &mine {
+            *total.entry((cell, hour)).or_insert(0.0) += v;
+            *by_day
+                .entry(day)
+                .or_default()
+                .entry((cell, hour))
+                .or_insert(0.0) += v;
+        }
+        by_user.insert(user, mine);
+    }
+
+    /// The protected-side training histogram for `eval_day`:
+    /// `total − by_day[eval_day]`, pruned at exact zero — equal to
+    /// `hourly_histogram(assembled, grid, |d| d != eval_day)`.
+    fn traffic_train(
+        total: &HashMap<(CellId, i64), f64>,
+        by_day: &BTreeMap<i64, HashMap<(CellId, i64), f64>>,
+        eval_day: i64,
+    ) -> HashMap<(CellId, i64), f64> {
+        let mut train = total.clone();
+        if let Some(eval) = by_day.get(&eval_day) {
+            for (key, v) in eval {
+                if let Some(t) = train.get_mut(key) {
+                    *t -= v;
+                    if *t == 0.0 {
+                        train.remove(key);
+                    }
+                }
+            }
+        }
+        train
+    }
+}
+
+/// Re-anonymizes one user against a minimal view of the prefix: a
+/// [`UserLocality::UserLocal`] candidate sees only the user's own (shared)
+/// trajectories; a [`UserLocality::GridAnchored`] candidate sees them plus
+/// two synthetic single-record pins at the prefix bounding box's corners
+/// ([`pinned_view`]), so the view's box — the only dataset-global input the
+/// locality contract admits — equals the prefix box and the output is
+/// byte-identical to a full-prefix `anonymize_user` at `O(user records)`
+/// cost. Falls back to the full-prefix scan when the context carries no
+/// per-user decomposition or the pin id collides with a real participant.
+fn anonymize_one_user(
+    strategy: &dyn AnonymizationStrategy,
+    context: &EvalContext<'_>,
+    user: UserId,
+    seed: u64,
+) -> Vec<Arc<Trajectory>> {
+    let original = context.original();
+    let Some(by_user) = context.original_by_user() else {
+        return strategy.anonymize_user(original, user, seed);
+    };
+    if by_user.contains_key(&BBOX_PIN_USER) {
+        return strategy.anonymize_user(original, user, seed);
+    }
+    let mine = by_user.get(&user).cloned().unwrap_or_default();
+    match strategy.locality() {
+        UserLocality::UserLocal => {
+            let view = Dataset::from_shared(mine);
+            strategy.anonymize_user(&view, user, seed)
+        }
+        UserLocality::GridAnchored => {
+            let Some(bbox) = context.original_bbox().or_else(|| original.bounding_box()) else {
+                return strategy.anonymize_user(original, user, seed);
+            };
+            let view = pinned_view(mine, bbox);
+            strategy.anonymize_user(&view, user, seed)
+        }
+        // NonLocal never reaches the per-user path; keep the correct
+        // full-prefix fallback anyway.
+        UserLocality::NonLocal => strategy.anonymize_user(original, user, seed),
+    }
+}
+
+/// A mini-dataset whose bounding box is pinned to `bbox`: the user's shared
+/// trajectories plus two single-record [`BBOX_PIN_USER`] trajectories at the
+/// box corners. The pin user's protected output is discarded by the
+/// `anonymize_user` filter.
+fn pinned_view(mut mine: Vec<Arc<Trajectory>>, bbox: BoundingBox) -> Dataset {
+    let pin = |point| {
+        Arc::new(Trajectory::new(
+            BBOX_PIN_USER,
+            vec![LocationRecord::new(BBOX_PIN_USER, Timestamp::new(0), point)],
+        ))
+    };
+    mine.push(pin(bbox.min()));
+    mine.push(pin(bbox.max()));
+    Dataset::from_shared(mine)
+}
+
+/// Bounding box of one user's protected trajectories (`None` when they hold
+/// no records).
+fn user_bounding_box(trajectories: &[Arc<Trajectory>]) -> Option<BoundingBox> {
+    BoundingBox::from_points(
+        trajectories
             .iter()
-            .map(|(user, shard)| (*user, shard.pois.clone()))
-            .collect();
-        (Some((protected, extracted)), delta)
+            .flat_map(|t| t.records().iter().map(|r| &r.point)),
+    )
+    .ok()
+}
+
+/// Union of the per-user boxes — the protected prefix's bounding box as an
+/// O(users) fold.
+fn union_of(boxes: &BTreeMap<UserId, Option<BoundingBox>>) -> Option<BoundingBox> {
+    boxes.values().flatten().copied().reduce(|a, b| a.union(&b))
+}
+
+/// A frozen snapshot of one campaign's protected-side caches, offered to
+/// *follower* campaigns whose `(pool, seed, attack)` fingerprint matches:
+/// their per-candidate states become pointer-cloned copies of the donor's,
+/// so the whole pool's anonymize + self-attack for the window is paid once
+/// per fingerprint instead of once per campaign. Privacy matching and the
+/// feasibility verdict still run per follower (floors differ), and
+/// validity is structural — a primed `CandidateState` is a pure function
+/// of `(prefix, seed, attack, strategy)`, all of which the fingerprint
+/// pins.
+#[derive(Debug, Clone)]
+pub struct StrategyDonor {
+    seed: u64,
+    attack_config: PoiAttackConfig,
+    windows: usize,
+    states: Vec<CandidateState>,
+}
+
+impl StrategyDonor {
+    /// Whether this snapshot may seed a follower at `(seed, attack)` that
+    /// has ingested exactly `windows` windows of the same shared prefix.
+    pub fn compatible(&self, seed: u64, attack: &PoiAttackConfig, windows: usize) -> bool {
+        self.seed == seed && &self.attack_config == attack && self.windows == windows
+    }
+
+    /// The donated state for candidate slot `index`, if it is primed and
+    /// carries the expected identity card.
+    pub(crate) fn state_for(
+        &self,
+        index: usize,
+        info: &StrategyInfo,
+    ) -> Option<&CandidateState> {
+        let state = self.states.get(index)?;
+        (state.primed && state.info.as_ref() == Some(info)).then_some(state)
     }
 }
 
@@ -862,6 +1655,20 @@ impl StrategySessionCache {
         self.states.is_empty()
     }
 
+    /// Freezes this cache's per-candidate states into a [`StrategyDonor`]
+    /// for follower campaigns that have ingested exactly `windows` windows
+    /// of the same shared prefix. Pointer clones only — the states' record
+    /// data is shared, not copied. `None` before the first cached sweep
+    /// (nothing to donate).
+    pub fn donor_snapshot(&self, windows: usize) -> Option<StrategyDonor> {
+        Some(StrategyDonor {
+            seed: self.seed?,
+            attack_config: self.attack_config.clone()?,
+            windows,
+            states: self.states.clone(),
+        })
+    }
+
     /// Sizes the cache to `pool` and resets every slot whose fingerprint
     /// (candidate identity, seed, attack parameters) no longer matches —
     /// called by the engine before each cached sweep.
@@ -894,6 +1701,9 @@ pub struct PublishedWindow {
     /// What the per-strategy protected-side caches reused vs. recomputed
     /// for this window, summed over the pool.
     pub strategies: StrategyCacheDelta,
+    /// Whether the original-side utility baseline was folded forward from
+    /// the cached counts or rebuilt, and how much it touched.
+    pub baseline: BaselineDelta,
     /// The release over the full accumulated prefix — same shape as a
     /// batch [`crate::pipeline::PrivApi::publish`] of that prefix.
     pub published: PublishedDataset,

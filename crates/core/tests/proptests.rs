@@ -278,6 +278,77 @@ proptest! {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
+    /// Bounding-box-widening parity: a far-out record on the last day
+    /// drifts the prefix bounding box — often across a quantized
+    /// 0.05°-lattice line, shifting every grid-anchored cell. Streaming
+    /// must stay byte-identical to batch prefixes with zero full
+    /// extractions: the copy-on-write store re-anonymizes only what the
+    /// anchor shift invalidates, and the incremental utility baselines
+    /// rebuild their grids without touching the scoring entry points.
+    #[test]
+    fn bbox_widening_keeps_streaming_parity(
+        seed in any::<u64>(),
+        users in 2usize..4,
+        widen_deg in 0.01..0.25f64,
+    ) {
+        use mobility::{WindowedDataset, DAY_SECONDS};
+        use privapi::streaming::StreamingPublisher;
+
+        let days = 3usize;
+        let data = mobility::gen::CityModel::builder()
+            .seed(seed ^ 0xB0B)
+            .build()
+            .generate_population(&mobility::gen::PopulationConfig {
+                users,
+                days,
+                sampling_interval_s: 600,
+                gps_noise_m: 5.0,
+                leisure_probability: 0.3,
+            });
+        // Last-day outlier: user 0 wanders `widen_deg` north-east of the
+        // city, widening every later prefix's box.
+        let bbox = data.bounding_box().unwrap();
+        let outlier = GeoPoint::new(
+            bbox.max().latitude() + widen_deg,
+            bbox.max().longitude() + widen_deg,
+        ).unwrap();
+        let mut records: Vec<LocationRecord> = data.iter_records().cloned().collect();
+        records.push(LocationRecord::new(
+            UserId(0),
+            Timestamp::new((days as i64 - 1) * DAY_SECONDS + 3_600),
+            outlier,
+        ));
+        let data = Dataset::from_records(records);
+        let windows = WindowedDataset::partition(&data);
+        let mut publisher = StreamingPublisher::new(PrivApiConfig::default());
+        let probe = publisher.privapi().attack().clone();
+        for (i, window) in windows.iter().enumerate() {
+            let before = probe.extractions();
+            let incremental = publisher.publish_window(window);
+            prop_assert_eq!(
+                probe.extractions() - before,
+                0,
+                "window {}: widening must stay on the incremental paths",
+                i
+            );
+            let batch = PrivApi::default().publish(&windows.prefix(i));
+            match (incremental, batch) {
+                (Ok(inc), Ok(batch)) => {
+                    prop_assert_eq!(&inc.published.selection, &batch.selection, "window {}", i);
+                    prop_assert_eq!(&inc.published.dataset, &batch.dataset, "window {}", i);
+                }
+                (Err(a), Err(b)) => {
+                    prop_assert_eq!(format!("{a}"), format!("{b}"), "window {}", i);
+                }
+                (inc, batch) => {
+                    return Err(TestCaseError::fail(format!(
+                        "window {i}: streaming {inc:?} vs batch {batch:?} disagree"
+                    )));
+                }
+            }
+        }
+    }
+
     /// The streaming-publication contract: replaying a dataset as day
     /// windows selects byte-identical winners (same selection report, same
     /// released data) as batch-publishing each concatenated prefix, for

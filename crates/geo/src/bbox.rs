@@ -5,6 +5,18 @@ use crate::point::GeoPoint;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// Lattice pitch (degrees) of the padded grid anchor
+/// ([`BoundingBox::grid_anchor`]): anchor corners snap outward to multiples
+/// of this quantum, so a data bounding box can wander anywhere inside the
+/// current lattice cell without moving any grid anchored on it.
+pub const GRID_ANCHOR_QUANTUM_DEG: f64 = 0.05;
+
+/// Safety margin (degrees) applied before snapping in
+/// [`BoundingBox::grid_anchor`]: data sitting exactly on a lattice line
+/// still gets strictly padded, mirroring the legacy `expanded(0.001)`
+/// tolerance the un-quantized grids used.
+pub const GRID_ANCHOR_MARGIN_DEG: f64 = 0.001;
+
 /// An axis-aligned bounding box in latitude/longitude space.
 ///
 /// The box never crosses the antimeridian; callers working near ±180°
@@ -136,6 +148,34 @@ impl BoundingBox {
         }
     }
 
+    /// Snaps the box outward to a lattice with pitch `quantum_deg`, after
+    /// padding by `margin_deg` on every side: each `min` coordinate rounds
+    /// down to a multiple of the quantum, each `max` coordinate rounds up.
+    ///
+    /// The result is monotone (`a ⊆ b` implies `a.quantized(..) ⊆
+    /// b.quantized(..)`) and idempotent for boxes already on the lattice
+    /// with zero margin, and — the property streaming caches rely on — it
+    /// is *stable under small growth*: widening a box changes its quantized
+    /// form only when the padded box crosses a lattice line, so grids
+    /// anchored on the quantized box survive most per-window bounding-box
+    /// drift. The quantized span is always at least one quantum, so
+    /// degenerate (single-point) boxes need no separate handling.
+    pub fn quantized(&self, quantum_deg: f64, margin_deg: f64) -> BoundingBox {
+        let down = |v: f64| ((v - margin_deg) / quantum_deg).floor() * quantum_deg;
+        let up = |v: f64| ((v + margin_deg) / quantum_deg).ceil() * quantum_deg;
+        BoundingBox {
+            min: GeoPoint::clamped(down(self.min.latitude()), down(self.min.longitude())),
+            max: GeoPoint::clamped(up(self.max.latitude()), up(self.max.longitude())),
+        }
+    }
+
+    /// The canonical padded anchor box every grid in the pipeline is
+    /// anchored on: [`BoundingBox::quantized`] with
+    /// [`GRID_ANCHOR_QUANTUM_DEG`] and [`GRID_ANCHOR_MARGIN_DEG`].
+    pub fn grid_anchor(&self) -> BoundingBox {
+        self.quantized(GRID_ANCHOR_QUANTUM_DEG, GRID_ANCHOR_MARGIN_DEG)
+    }
+
     /// Latitude extent in degrees.
     pub fn lat_span(&self) -> f64 {
         self.max.latitude() - self.min.latitude()
@@ -230,6 +270,48 @@ mod tests {
         assert!(e.contains(&p(9.6, 9.6)));
         assert!(e.contains(&p(11.4, 11.4)));
         assert!((e.lat_span() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantized_contains_padded_box_and_is_stable() {
+        let a = BoundingBox::new(p(45.751, 4.801), p(45.762, 4.812)).unwrap();
+        let q = a.grid_anchor();
+        // Covers the data with margin to spare.
+        assert!(q.contains(&p(45.751 - 0.001, 4.801 - 0.001)));
+        assert!(q.contains(&p(45.762 + 0.001, 4.812 + 0.001)));
+        // Corners sit on the lattice.
+        for v in [
+            q.min().latitude(),
+            q.min().longitude(),
+            q.max().latitude(),
+            q.max().longitude(),
+        ] {
+            let cells = v / GRID_ANCHOR_QUANTUM_DEG;
+            assert!((cells - cells.round()).abs() < 1e-9, "{v} off-lattice");
+        }
+        // Growth inside the same lattice cells does not move the anchor.
+        let grown = a.union(&BoundingBox::new(p(45.755, 4.805), p(45.78, 4.83)).unwrap());
+        assert_eq!(grown.grid_anchor(), q);
+        // Growth past a lattice line does.
+        let jumped = a.union(&BoundingBox::new(p(45.95, 5.10), p(45.96, 5.11)).unwrap());
+        assert_ne!(jumped.grid_anchor(), q);
+        assert!(jumped.grid_anchor().contains(&p(45.96, 5.11)));
+        // Monotone: the bigger box's anchor contains the smaller one's.
+        assert!(jumped.grid_anchor().contains(&q.min()));
+        assert!(jumped.grid_anchor().contains(&q.max()));
+    }
+
+    #[test]
+    fn quantized_span_never_degenerate() {
+        let single = BoundingBox::new(p(45.75, 4.80), p(45.75, 4.80)).unwrap();
+        let q = single.grid_anchor();
+        assert!(q.lat_span() >= GRID_ANCHOR_QUANTUM_DEG - 1e-12);
+        assert!(q.lon_span() >= GRID_ANCHOR_QUANTUM_DEG - 1e-12);
+        // A point exactly on a lattice line still gets padded both ways.
+        let on_line = BoundingBox::new(p(45.75, 4.80), p(45.75, 4.80)).unwrap();
+        let q = on_line.quantized(0.05, 0.001);
+        assert!(q.min().latitude() < 45.75);
+        assert!(q.max().latitude() > 45.75);
     }
 
     #[test]

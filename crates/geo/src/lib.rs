@@ -43,7 +43,7 @@ mod units;
 
 pub mod polyline;
 
-pub use bbox::BoundingBox;
+pub use bbox::{BoundingBox, GRID_ANCHOR_MARGIN_DEG, GRID_ANCHOR_QUANTUM_DEG};
 pub use error::GeoError;
 pub use grid::{CellId, UniformGrid};
 pub use index::PointIndex;

@@ -6,6 +6,7 @@ use geo::{BoundingBox, GeoPoint, Meters, MetersPerSecond};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Opaque identifier of a participant.
 ///
@@ -240,9 +241,17 @@ impl Trajectory {
 
 /// A multi-user, multi-day mobility dataset — the unit PRIVAPI anonymizes
 /// and publishes.
+///
+/// Trajectories are held behind [`Arc`]s, making the dataset a
+/// **copy-on-write trajectory store**: cloning a dataset, assembling a
+/// dataset out of cached per-user trajectories ([`Dataset::from_shared`])
+/// and extending one stream prefix from another are all pointer-copy
+/// cheap — O(trajectories), never O(records). Equality still compares the
+/// pointed-to trajectories by value, so two datasets are equal iff their
+/// contents are, shared or not.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Dataset {
-    trajectories: Vec<Trajectory>,
+    trajectories: Vec<Arc<Trajectory>>,
 }
 
 impl Dataset {
@@ -253,6 +262,14 @@ impl Dataset {
 
     /// Creates a dataset from trajectories.
     pub fn from_trajectories(trajectories: Vec<Trajectory>) -> Self {
+        Self {
+            trajectories: trajectories.into_iter().map(Arc::new).collect(),
+        }
+    }
+
+    /// Creates a dataset from already-shared trajectories without copying
+    /// any record data (the copy-on-write assembly path).
+    pub fn from_shared(trajectories: Vec<Arc<Trajectory>>) -> Self {
         Self { trajectories }
     }
 
@@ -265,23 +282,39 @@ impl Dataset {
         Self {
             trajectories: by_user
                 .into_iter()
-                .map(|(u, rs)| Trajectory::new(u, rs))
+                .map(|(u, rs)| Arc::new(Trajectory::new(u, rs)))
                 .collect(),
         }
     }
 
     /// Adds a trajectory.
     pub fn push(&mut self, trajectory: Trajectory) {
+        self.trajectories.push(Arc::new(trajectory));
+    }
+
+    /// Adds an already-shared trajectory (no record data copied).
+    pub fn push_shared(&mut self, trajectory: Arc<Trajectory>) {
         self.trajectories.push(trajectory);
     }
 
-    /// All trajectories.
-    pub fn trajectories(&self) -> &[Trajectory] {
+    /// All trajectories (shared handles; deref to [`Trajectory`]).
+    pub fn trajectories(&self) -> &[Arc<Trajectory>] {
         &self.trajectories
     }
 
     /// Consumes the dataset into its trajectories, in dataset order.
+    /// Trajectories still shared with another dataset are deep-cloned;
+    /// uniquely-owned ones are moved out.
     pub fn into_trajectories(self) -> Vec<Trajectory> {
+        self.trajectories
+            .into_iter()
+            .map(Arc::unwrap_or_clone)
+            .collect()
+    }
+
+    /// Consumes the dataset into its shared trajectory handles, in dataset
+    /// order (never copies record data).
+    pub fn into_shared(self) -> Vec<Arc<Trajectory>> {
         self.trajectories
     }
 
@@ -313,6 +346,17 @@ impl Dataset {
         self.trajectories
             .iter()
             .filter(|t| t.user() == user)
+            .map(|t| t.as_ref())
+            .collect()
+    }
+
+    /// Shared handles of all trajectories belonging to `user`, in dataset
+    /// order (no record data copied).
+    pub fn shared_of(&self, user: UserId) -> Vec<Arc<Trajectory>> {
+        self.trajectories
+            .iter()
+            .filter(|t| t.user() == user)
+            .cloned()
             .collect()
     }
 
@@ -343,18 +387,26 @@ impl Dataset {
     ///
     /// This is the hook anonymization strategies use: each trajectory is
     /// rewritten independently.
-    pub fn map_trajectories<F>(&self, f: F) -> Dataset
+    pub fn map_trajectories<F>(&self, mut f: F) -> Dataset
     where
         F: FnMut(&Trajectory) -> Trajectory,
     {
         Dataset {
-            trajectories: self.trajectories.iter().map(f).collect(),
+            trajectories: self.trajectories.iter().map(|t| Arc::new(f(t))).collect(),
         }
     }
 }
 
 impl FromIterator<Trajectory> for Dataset {
     fn from_iter<I: IntoIterator<Item = Trajectory>>(iter: I) -> Self {
+        Dataset {
+            trajectories: iter.into_iter().map(Arc::new).collect(),
+        }
+    }
+}
+
+impl FromIterator<Arc<Trajectory>> for Dataset {
+    fn from_iter<I: IntoIterator<Item = Arc<Trajectory>>>(iter: I) -> Self {
         Dataset {
             trajectories: iter.into_iter().collect(),
         }
@@ -363,6 +415,12 @@ impl FromIterator<Trajectory> for Dataset {
 
 impl Extend<Trajectory> for Dataset {
     fn extend<I: IntoIterator<Item = Trajectory>>(&mut self, iter: I) {
+        self.trajectories.extend(iter.into_iter().map(Arc::new));
+    }
+}
+
+impl Extend<Arc<Trajectory>> for Dataset {
+    fn extend<I: IntoIterator<Item = Arc<Trajectory>>>(&mut self, iter: I) {
         self.trajectories.extend(iter);
     }
 }
