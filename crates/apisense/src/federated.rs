@@ -1,0 +1,1561 @@
+//! Federated release: device-local anonymization with byte-for-byte
+//! central parity under hostile fleets.
+//!
+//! The central pipeline ([`crate::collect`] + [`crate::privacy`]) ships raw
+//! fixes to the Hive and anonymizes there. This module inverts the trust
+//! relationship end to end:
+//!
+//! * the Hive broadcasts the winning strategy as a versioned
+//!   [`privapi::federated::StrategyConfig`] frame ([`ConfigFrame`]) over
+//!   the same at-least-once transport the data lanes use
+//!   ([`ConfigBroadcaster`], one [`simnet::reliable::ReliableSender`] per
+//!   device);
+//! * every device anonymizes its own day slices locally
+//!   ([`FederatedOutbox`], running
+//!   [`privapi::strategy::AnonymizationStrategy::anonymize_user`]) and
+//!   uploads only protected records as [`ProtectedBatch`] chunks on a
+//!   dedicated *protected lane*;
+//! * the Hive-side [`FederatedCollector`] admits uploads into a
+//!   [`privapi::federated::FederatedSession`] — version-checking first
+//!   (stale-config uploads are quarantined, counted and flagged, never
+//!   silently mixed), then gating each batch against the strategy's
+//!   plausibility region (a poisoning device cannot steer a release);
+//! * server-side *selection* still runs centrally, on the small opt-in
+//!   calibration cohort that keeps uploading raw through the ordinary
+//!   [`crate::collect`] lane.
+//!
+//! Lane multiplexing: all three lanes share one simulated link per device,
+//! so their transport endpoint ids must not collide. A device's raw lane
+//! uses its bare device id; its protected lane sets
+//! [`PROTECTED_LANE_BIT`]; the Hive→device config lane sets
+//! [`CONFIG_LANE_BIT`].
+//!
+//! The headline invariant (see `tests/federated.rs` and experiment E15):
+//! the federated release assembled from per-device uploads is
+//! **byte-identical** to the central release of the same windowed raw
+//! prefix ([`privapi::federated::central_release`]) for every `UserLocal`
+//! strategy — and when it cannot be (stale configs, dropouts, poisoning),
+//! the divergence is *exactly accounted* in the per-window
+//! [`privapi::federated::FederationDelta`].
+//!
+//! Whole-day uploads only: a device finalizes a day *after* it fully
+//! elapsed and uploads the whole protected day slice at once, because
+//! anonymizing a partial day is not a prefix of anonymizing the full day
+//! (smoothing resamples the entire polyline; the per-trajectory RNG is
+//! keyed by the trajectory start).
+
+use crate::collect::{CollectError, Collector, DayBatch, DeviceOutbox};
+use bytes::{Bytes, BytesMut};
+use geo::{BoundingBox, GeoPoint};
+use mobility::gen::{thin_participation, CityModel, PopulationConfig};
+use mobility::{
+    Dataset, DatasetWindow, LocationRecord, Timestamp, Trajectory, UserId, WindowedDataset,
+    DAY_SECONDS,
+};
+use privapi::federated::{
+    central_release, Admission, FederatedSession, FederationDelta, FederationPolicy,
+    SessionTotals, StrategyConfig, StrategySpec,
+};
+use privapi::pipeline::{PrivApi, PrivApiConfig};
+use privapi::streaming::{IngestDelta, SessionCache};
+use privapi::PrivapiError;
+use simnet::reliable::{
+    AckFrame, DataFrame, ReliableConfig, ReliableReceiver, ReliableSender, Transmission,
+};
+use simnet::wire::{Decode, Encode, WireError};
+use simnet::{Actor, Context, Message, NetworkStats, NodeId, SimTime, Simulation};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Transport-endpoint id bit marking a device's *protected* upload lane.
+pub const PROTECTED_LANE_BIT: u64 = 1 << 48;
+/// Transport-endpoint id bit marking the Hive→device *config* lane.
+pub const CONFIG_LANE_BIT: u64 = 1 << 49;
+
+/// Timer id for a device's periodic upload tick (shared with
+/// [`crate::fleet`]'s convention).
+const TICK_UPLOAD: u64 = 1;
+/// Timer id for a pending retransmission deadline.
+const TICK_RETRY: u64 = 2;
+
+// ---------------------------------------------------------------------------
+// Wire frames
+// ---------------------------------------------------------------------------
+
+/// The broadcast strategy config on the wire: a thin codec wrapper around
+/// [`StrategyConfig`] for the [`simnet::wire`] typed codec.
+///
+/// Layout: `version:u64 | seed:u64 | spec-tag:u8 | spec-params |
+/// anchor:Option<((lat,lon),(lat,lon))>`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfigFrame(pub StrategyConfig);
+
+const SPEC_SMOOTHING: u8 = 0;
+const SPEC_GEO_I: u8 = 1;
+const SPEC_CLOAKING: u8 = 2;
+const SPEC_GAUSSIAN: u8 = 3;
+const SPEC_TEMPORAL: u8 = 4;
+const SPEC_IDENTITY: u8 = 5;
+
+impl Encode for ConfigFrame {
+    fn encode(&self, buf: &mut BytesMut) {
+        let config = &self.0;
+        config.version.encode(buf);
+        config.seed.encode(buf);
+        match config.spec {
+            StrategySpec::SpeedSmoothing { epsilon_m } => {
+                SPEC_SMOOTHING.encode(buf);
+                epsilon_m.encode(buf);
+            }
+            StrategySpec::GeoIndistinguishability { epsilon } => {
+                SPEC_GEO_I.encode(buf);
+                epsilon.encode(buf);
+            }
+            StrategySpec::SpatialCloaking { cell_m } => {
+                SPEC_CLOAKING.encode(buf);
+                cell_m.encode(buf);
+            }
+            StrategySpec::GaussianPerturbation { sigma_m } => {
+                SPEC_GAUSSIAN.encode(buf);
+                sigma_m.encode(buf);
+            }
+            StrategySpec::TemporalDownsampling { window_s } => {
+                SPEC_TEMPORAL.encode(buf);
+                window_s.encode(buf);
+            }
+            StrategySpec::Identity => SPEC_IDENTITY.encode(buf),
+        }
+        let anchor = config.grid_anchor.map(|b| {
+            (
+                (b.min().latitude(), b.min().longitude()),
+                (b.max().latitude(), b.max().longitude()),
+            )
+        });
+        anchor.encode(buf);
+    }
+}
+
+impl Decode for ConfigFrame {
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        let version = u64::decode(buf)?;
+        let seed = u64::decode(buf)?;
+        let spec = match u8::decode(buf)? {
+            SPEC_SMOOTHING => StrategySpec::SpeedSmoothing {
+                epsilon_m: f64::decode(buf)?,
+            },
+            SPEC_GEO_I => StrategySpec::GeoIndistinguishability {
+                epsilon: f64::decode(buf)?,
+            },
+            SPEC_CLOAKING => StrategySpec::SpatialCloaking {
+                cell_m: f64::decode(buf)?,
+            },
+            SPEC_GAUSSIAN => StrategySpec::GaussianPerturbation {
+                sigma_m: f64::decode(buf)?,
+            },
+            SPEC_TEMPORAL => StrategySpec::TemporalDownsampling {
+                window_s: i64::decode(buf)?,
+            },
+            SPEC_IDENTITY => StrategySpec::Identity,
+            v => return Err(WireError::InvalidTag("strategy-spec", v)),
+        };
+        let anchor: Option<((f64, f64), (f64, f64))> = Option::decode(buf)?;
+        let grid_anchor = match anchor {
+            None => None,
+            Some(((min_lat, min_lon), (max_lat, max_lon))) => {
+                let min = GeoPoint::new(min_lat, min_lon)
+                    .map_err(|_| WireError::Corrupt("anchor min out of range"))?;
+                let max = GeoPoint::new(max_lat, max_lon)
+                    .map_err(|_| WireError::Corrupt("anchor max out of range"))?;
+                Some(
+                    BoundingBox::new(min, max)
+                        .map_err(|_| WireError::Corrupt("anchor box inverted"))?,
+                )
+            }
+        };
+        Ok(Self(StrategyConfig {
+            version,
+            spec,
+            seed,
+            grid_anchor,
+        }))
+    }
+}
+
+/// One device's protected upload unit: its *whole-day* anonymized
+/// trajectory, tagged with the config version it was produced under.
+///
+/// `had_data` disambiguates two empty-record cases that the parity
+/// invariant must keep apart: a device with **no raw fixes** that day
+/// contributes no trajectory to the central release (`had_data = false`,
+/// nothing is stored), while a device whose raw day slice **anonymized to
+/// empty** contributes an empty trajectory exactly like the central run
+/// would (`had_data = true`, an empty trajectory is stored).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtectedBatch {
+    /// The uploading device.
+    pub device: u64,
+    /// The participant the device belongs to.
+    pub user: UserId,
+    /// The [`StrategyConfig::version`] the records were anonymized under.
+    pub version: u64,
+    /// The day the batch protects.
+    pub day: i64,
+    /// Always `true` in the federated protocol (whole-day uploads only);
+    /// kept on the wire so the collector can reject partial uploads from
+    /// nonconforming clients.
+    pub end_of_day: bool,
+    /// Whether the device had any raw fixes for `day` (see type docs).
+    pub had_data: bool,
+    /// The protected fixes, in trajectory order.
+    pub records: Vec<LocationRecord>,
+}
+
+impl Encode for ProtectedBatch {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.device.encode(buf);
+        self.user.0.encode(buf);
+        self.version.encode(buf);
+        self.day.encode(buf);
+        self.end_of_day.encode(buf);
+        self.had_data.encode(buf);
+        let recs: Vec<(i64, f64, f64)> = self
+            .records
+            .iter()
+            .map(|r| (r.time.seconds(), r.point.latitude(), r.point.longitude()))
+            .collect();
+        recs.encode(buf);
+    }
+}
+
+impl Decode for ProtectedBatch {
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        let device = u64::decode(buf)?;
+        let user = UserId(u64::decode(buf)?);
+        let version = u64::decode(buf)?;
+        let day = i64::decode(buf)?;
+        let end_of_day = bool::decode(buf)?;
+        let had_data = bool::decode(buf)?;
+        let raw: Vec<(i64, f64, f64)> = Vec::decode(buf)?;
+        let mut records = Vec::with_capacity(raw.len());
+        for (t, lat, lon) in raw {
+            let point = GeoPoint::new(lat, lon)
+                .map_err(|_| WireError::Corrupt("record coordinates out of range"))?;
+            records.push(LocationRecord::new(user, Timestamp::new(t), point));
+        }
+        Ok(Self {
+            device,
+            user,
+            version,
+            day,
+            end_of_day,
+            had_data,
+            records,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Device side
+// ---------------------------------------------------------------------------
+
+/// The device-side federated staging store: holds the full raw sensing
+/// schedule (flash-durable — raw records never leave the device), the
+/// currently installed [`StrategyConfig`], and a finalize cursor walking
+/// day by day. Each fully elapsed day is anonymized locally and enqueued
+/// as one whole-day [`ProtectedBatch`] on the protected lane.
+///
+/// Version invalidation on the device: installing a *newer* config resets
+/// the finalize cursor to the schedule's first day, so the device
+/// re-anonymizes and re-uploads its full history under the new version —
+/// that is how a fleet converges back to parity after an upgrade.
+#[derive(Debug)]
+pub struct FederatedOutbox {
+    device: u64,
+    user: UserId,
+    tx: ReliableSender,
+    records: Vec<LocationRecord>,
+    first_day: i64,
+    finalize_next: i64,
+    config: Option<StrategyConfig>,
+    strategy: Option<Box<dyn privapi::strategy::AnonymizationStrategy>>,
+    poisoned: bool,
+    bytes_enqueued: u64,
+}
+
+impl FederatedOutbox {
+    /// A federated outbox over a pregenerated, time-sorted sensing
+    /// schedule. `poisoned` models a malicious client that substitutes
+    /// fabricated far-away fixes for its protected output.
+    pub fn new(
+        device: u64,
+        user: UserId,
+        config: ReliableConfig,
+        mut records: Vec<LocationRecord>,
+        poisoned: bool,
+    ) -> Self {
+        records.sort_by_key(|r| r.time);
+        let first_day = records.first().map_or(0, |r| r.time.day_index());
+        Self {
+            device,
+            user,
+            tx: ReliableSender::new(device | PROTECTED_LANE_BIT, config),
+            records,
+            first_day,
+            finalize_next: first_day,
+            config: None,
+            strategy: None,
+            poisoned,
+            bytes_enqueued: 0,
+        }
+    }
+
+    /// The device id (without the lane bit).
+    pub fn device(&self) -> u64 {
+        self.device
+    }
+
+    /// The currently installed config, if any arrived yet.
+    pub fn config(&self) -> Option<&StrategyConfig> {
+        self.config.as_ref()
+    }
+
+    /// Total protected payload bytes enqueued (first uploads plus
+    /// version-bump re-uploads; excludes transport retransmissions).
+    pub fn bytes_enqueued(&self) -> u64 {
+        self.bytes_enqueued
+    }
+
+    /// The protected-lane transport sender.
+    pub fn sender_mut(&mut self) -> &mut ReliableSender {
+        &mut self.tx
+    }
+
+    /// Read access to the protected-lane sender.
+    pub fn sender(&self) -> &ReliableSender {
+        &self.tx
+    }
+
+    /// Installs a broadcast config. Returns `true` when the version
+    /// advanced — the finalize cursor rewinds to the first scheduled day
+    /// and the full history is re-anonymized under the new version.
+    /// Redelivered (older or equal) versions are ignored.
+    ///
+    /// # Errors
+    ///
+    /// [`PrivapiError`] when the config does not instantiate (corrupt or
+    /// hostile broadcast); the previously installed config stays active.
+    pub fn install(&mut self, config: StrategyConfig) -> Result<bool, PrivapiError> {
+        if self.config.is_some_and(|c| config.version <= c.version) {
+            return Ok(false);
+        }
+        let strategy = config.instantiate()?;
+        self.config = Some(config);
+        self.strategy = Some(strategy);
+        self.finalize_next = self.first_day;
+        Ok(true)
+    }
+
+    /// Whether every elapsed day has been finalized under the installed
+    /// config and every upload acknowledged. A device with no config yet
+    /// is *not* drained (it has not reported anything).
+    pub fn drained(&self, last_day: i64) -> bool {
+        self.config.is_some() && self.finalize_next > last_day && self.tx.is_idle()
+    }
+
+    /// Anonymizes and enqueues every fully elapsed, not-yet-finalized day.
+    /// Returns the number of batches enqueued. Without an installed config
+    /// nothing is staged — raw data never leaves the device.
+    pub fn stage(&mut self, now_s: i64) -> usize {
+        let Some(config) = self.config else {
+            return 0;
+        };
+        let current_day = now_s.div_euclid(DAY_SECONDS);
+        let mut batches = 0;
+        while self.finalize_next < current_day {
+            let day = self.finalize_next;
+            let day_records: Vec<LocationRecord> = self
+                .records
+                .iter()
+                .copied()
+                .filter(|r| r.time.day_index() == day)
+                .collect();
+            let mut had_data = !day_records.is_empty();
+            let mut protected = if had_data {
+                let local =
+                    Dataset::from_trajectories(vec![Trajectory::new(self.user, day_records)]);
+                self.strategy
+                    .as_ref()
+                    .expect("strategy instantiated with config")
+                    .anonymize_user(&local, self.user, config.seed)
+                    .first()
+                    .map(|t| t.records().to_vec())
+                    .unwrap_or_default()
+            } else {
+                Vec::new()
+            };
+            if self.poisoned {
+                had_data = true;
+                protected = poison_records(self.user, day, &protected);
+            }
+            let batch = ProtectedBatch {
+                device: self.device,
+                user: self.user,
+                version: config.version,
+                day,
+                end_of_day: true,
+                had_data,
+                records: protected,
+            };
+            let chunk = batch.encode_to_vec();
+            self.bytes_enqueued += chunk.len() as u64;
+            self.tx.enqueue(chunk);
+            self.finalize_next += 1;
+            batches += 1;
+        }
+        batches
+    }
+}
+
+/// A poisoning client's substituted payload: every protected fix displaced
+/// ~220 km north (far outside any plausibility region), or one fabricated
+/// fix on a day the device sensed nothing. Deterministic so chaos runs
+/// stay replayable.
+fn poison_records(user: UserId, day: i64, protected: &[LocationRecord]) -> Vec<LocationRecord> {
+    if protected.is_empty() {
+        return vec![LocationRecord::new(
+            user,
+            Timestamp::new(day * DAY_SECONDS + 3_600),
+            GeoPoint::new(10.0, 10.0).expect("fixed fabricated point is valid"),
+        )];
+    }
+    protected
+        .iter()
+        .map(|r| {
+            let lat = (r.point.latitude() + 2.0).min(89.0);
+            LocationRecord::new(
+                r.user,
+                r.time,
+                GeoPoint::new(lat, r.point.longitude()).expect("shifted point stays in range"),
+            )
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Hive side: config broadcast
+// ---------------------------------------------------------------------------
+
+/// The Hive's config fan-out: one at-least-once [`ReliableSender`] per
+/// device on the config lane. Broadcast survives loss, duplication and
+/// partitions exactly like the data lanes do — a device that was deaf
+/// during the broadcast keeps receiving retransmissions until it acks, so
+/// config staleness is always *transient*.
+#[derive(Debug)]
+pub struct ConfigBroadcaster {
+    reliable: ReliableConfig,
+    senders: BTreeMap<u64, ReliableSender>,
+    frames_sent: u64,
+    bytes_sent: u64,
+}
+
+impl ConfigBroadcaster {
+    /// A broadcaster with no registered devices.
+    pub fn new(reliable: ReliableConfig) -> Self {
+        Self {
+            reliable,
+            senders: BTreeMap::new(),
+            frames_sent: 0,
+            bytes_sent: 0,
+        }
+    }
+
+    /// Registers a device's config lane.
+    pub fn register(&mut self, device: u64) {
+        self.senders
+            .entry(device)
+            .or_insert_with(|| ReliableSender::new(device | CONFIG_LANE_BIT, self.reliable));
+    }
+
+    /// Enqueues `config` to every registered device.
+    pub fn broadcast(&mut self, config: &StrategyConfig) {
+        let chunk = ConfigFrame(*config).encode_to_vec();
+        for sender in self.senders.values_mut() {
+            sender.enqueue(chunk.clone());
+        }
+    }
+
+    /// Polls every lane for due (re)transmissions, tagged with the target
+    /// device id.
+    pub fn poll(&mut self, now_ms: u64) -> Vec<(u64, Transmission)> {
+        let mut out = Vec::new();
+        for (&device, sender) in &mut self.senders {
+            for tx in sender.poll(now_ms) {
+                self.frames_sent += 1;
+                self.bytes_sent += tx.frame.chunk.len() as u64;
+                out.push((device, tx));
+            }
+        }
+        out
+    }
+
+    /// Applies a device's ack (routed by the ack's lane id).
+    pub fn on_ack(&mut self, ack: &AckFrame, now_ms: u64) {
+        let device = ack.sender & !CONFIG_LANE_BIT;
+        if let Some(sender) = self.senders.get_mut(&device) {
+            sender.on_ack(ack, now_ms);
+        }
+    }
+
+    /// The earliest retransmission deadline over all lanes.
+    pub fn next_due(&self) -> Option<u64> {
+        self.senders
+            .values()
+            .filter_map(ReliableSender::next_due)
+            .min()
+    }
+
+    /// Whether every device acknowledged every broadcast config.
+    pub fn is_idle(&self) -> bool {
+        self.senders.values().all(ReliableSender::is_idle)
+    }
+
+    /// Config frames put on the wire (first transmissions plus
+    /// retransmissions) — the broadcast overhead numerator.
+    pub fn frames_sent(&self) -> u64 {
+        self.frames_sent
+    }
+
+    /// Config bytes put on the wire.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hive side: protected-lane ingestion
+// ---------------------------------------------------------------------------
+
+/// Per-device protected-lane state: the dedup receiver plus the highest
+/// day this device has *validly* finished reporting under the current
+/// config version.
+#[derive(Debug)]
+struct ProtectedLane {
+    user: UserId,
+    rx: ReliableReceiver,
+    completed_through: Option<i64>,
+}
+
+/// The Hive-side federated ingestion endpoint: per-device deduplicating
+/// receivers in front of a [`FederatedSession`], with a version check and
+/// a plausibility gate between transport and store.
+///
+/// Hostile-fleet containment, in admission order:
+///
+/// 1. **version check** — batches tagged with an obsolete config version
+///    are quarantined whole (counted per batch, record and device), never
+///    mixed into the current-version store;
+/// 2. **plausibility gate** — a current-version batch containing any fix
+///    outside the installed strategy's
+///    [`StrategySpec::plausible_region`] is rejected *whole* and its
+///    device flagged as poisoned. Whole-batch rejection keeps the release
+///    equal to the central release over the honest sub-fleet — a partial
+///    accept would publish a window no central run could produce.
+///
+/// Both outcomes still acknowledge the transport frame: at-least-once
+/// delivery is about loss, not about trusting payloads, and an unacked
+/// hostile batch would be retried forever.
+#[derive(Debug)]
+pub struct FederatedCollector {
+    session: FederatedSession,
+    lanes: BTreeMap<u64, ProtectedLane>,
+    sensing_region: BoundingBox,
+    window_reuploaded: u64,
+    window_stale_batches: u64,
+    window_stale_records: u64,
+    window_stale_devices: BTreeSet<u64>,
+    window_implausible: u64,
+    poisoned: BTreeSet<u64>,
+    last_closed: Option<i64>,
+}
+
+impl FederatedCollector {
+    /// An endpoint gating against `sensing_region` (the fleet's raw
+    /// sensing bounding box, provisioned operator-side).
+    pub fn new(sensing_region: BoundingBox) -> Self {
+        Self {
+            session: FederatedSession::new(),
+            lanes: BTreeMap::new(),
+            sensing_region,
+            window_reuploaded: 0,
+            window_stale_batches: 0,
+            window_stale_records: 0,
+            window_stale_devices: BTreeSet::new(),
+            window_implausible: 0,
+            poisoned: BTreeSet::new(),
+            last_closed: None,
+        }
+    }
+
+    /// Registers a device's protected lane.
+    pub fn register(&mut self, device: u64, user: UserId) {
+        self.lanes.entry(device).or_insert_with(|| ProtectedLane {
+            user,
+            rx: ReliableReceiver::new(),
+            completed_through: None,
+        });
+    }
+
+    /// The underlying session (store, totals, stale users, release).
+    pub fn session(&self) -> &FederatedSession {
+        &self.session
+    }
+
+    /// Devices ever flagged by the plausibility gate.
+    pub fn poisoned_devices(&self) -> &BTreeSet<u64> {
+        &self.poisoned
+    }
+
+    /// Installs a broadcast config server-side. On a version bump the
+    /// session store clears *and* every lane's completion watermark resets
+    /// — devices must finish re-reporting under the new version before
+    /// they stop counting as stragglers.
+    pub fn install(&mut self, config: StrategyConfig) -> bool {
+        let bumped = self.session.install(config);
+        if bumped {
+            for lane in self.lanes.values_mut() {
+                lane.completed_through = None;
+            }
+        }
+        bumped
+    }
+
+    /// Whether anything still awaits a close: gapped chunks in a reorder
+    /// buffer, admitted days newer than the last close, or per-window
+    /// counters from uploads that arrived after it.
+    pub fn has_backlog(&self) -> bool {
+        self.lanes.values().any(|l| l.rx.buffered() > 0)
+            || self
+                .session
+                .days()
+                .iter()
+                .any(|&d| self.last_closed.is_none_or(|c| d > c))
+            || self.window_reuploaded > 0
+            || self.window_stale_batches > 0
+            || self.window_implausible > 0
+    }
+
+    /// Ingests one protected-lane transport frame, returning the ack.
+    ///
+    /// # Errors
+    ///
+    /// * [`CollectError::UnknownDevice`] — the lane never registered
+    ///   (nothing acked, the device keeps retrying);
+    /// * [`CollectError::Wire`] / [`CollectError::Misrouted`] — a released
+    ///   chunk is not a well-formed batch of this device (the transport
+    ///   has advanced; the batch is skipped and the error reported).
+    pub fn ingest(&mut self, frame: &DataFrame) -> Result<AckFrame, CollectError> {
+        let device = frame.sender & !PROTECTED_LANE_BIT;
+        let lane = self
+            .lanes
+            .get_mut(&device)
+            .ok_or(CollectError::UnknownDevice(device))?;
+        let (released, ack) = lane.rx.accept(frame.sender, frame.seq, frame.chunk.clone());
+        let mut result = Ok(ack);
+        for (_seq, chunk) in released {
+            if let Err(e) = self.apply(device, &chunk) {
+                result = result.and(Err(e));
+            }
+        }
+        result
+    }
+
+    /// Applies one in-sequence protected batch: decode, version-check,
+    /// gate, admit.
+    fn apply(&mut self, device: u64, chunk: &[u8]) -> Result<(), CollectError> {
+        let batch = ProtectedBatch::decode_from_slice(chunk)?;
+        if batch.device != device {
+            return Err(CollectError::Misrouted {
+                lane: device,
+                claimed: batch.device,
+            });
+        }
+        let lane = self.lanes.get_mut(&device).expect("lane exists");
+        if batch.user != lane.user {
+            return Err(CollectError::Wire(WireError::Corrupt(
+                "batch user does not match the device's registered owner",
+            )));
+        }
+        if !batch.end_of_day {
+            return Err(CollectError::Wire(WireError::Corrupt(
+                "federated uploads must cover whole days",
+            )));
+        }
+        let current = self.session.config().map(|c| c.version);
+        if current != Some(batch.version) {
+            // Stale (or pre-config) upload: quarantine whole, count at the
+            // collect layer (batches, devices) and the session layer
+            // (records, users). Never mixed into the store.
+            self.window_stale_batches += 1;
+            self.window_stale_records += batch.records.len() as u64;
+            self.window_stale_devices.insert(device);
+            let admission = self.session.accept(
+                batch.version,
+                batch.day,
+                batch.user,
+                Trajectory::new(batch.user, batch.records),
+            );
+            debug_assert!(!matches!(admission, Admission::Accepted));
+            return Ok(());
+        }
+        let spec = self.session.config().expect("version checked").spec;
+        let region = spec.plausible_region(&self.sensing_region);
+        if batch.records.iter().any(|r| !region.contains(&r.point)) {
+            // Implausible under the active mechanism: reject the whole
+            // batch (a partial accept would publish a window no central
+            // run could produce) and flag the device.
+            let rejected = batch.records.len() as u64;
+            self.window_implausible += rejected;
+            self.session.note_implausible(rejected);
+            self.poisoned.insert(device);
+            return Ok(());
+        }
+        if self.last_closed.is_some_and(|closed| batch.day <= closed) {
+            self.window_reuploaded += batch.records.len() as u64;
+        }
+        if batch.had_data {
+            let admission = self.session.accept(
+                batch.version,
+                batch.day,
+                batch.user,
+                Trajectory::new(batch.user, batch.records),
+            );
+            debug_assert_eq!(admission, Admission::Accepted);
+        }
+        lane.completed_through = Some(
+            lane.completed_through
+                .map_or(batch.day, |c| c.max(batch.day)),
+        );
+        Ok(())
+    }
+
+    /// Seals day `day`: the admitted protected trajectories become one
+    /// [`DatasetWindow`] and the [`FederationDelta`] audit records exactly
+    /// how cleanly (or not) the window was assembled.
+    ///
+    /// # Errors
+    ///
+    /// [`CollectError::CloseOutOfOrder`] when `day` does not exceed the
+    /// last closed day.
+    pub fn close_day(
+        &mut self,
+        day: i64,
+    ) -> Result<(DatasetWindow, FederationDelta), CollectError> {
+        if let Some(last) = self.last_closed {
+            if day <= last {
+                return Err(CollectError::CloseOutOfOrder {
+                    day,
+                    last_closed: last,
+                });
+            }
+        }
+        let version = self.session.config().map_or(0, |c| c.version);
+        let mut delta = FederationDelta::new(day, version);
+        let dataset = self.session.day_slice(day);
+        delta.protected_records = dataset.record_count() as u64;
+        delta.reuploaded_records = std::mem::take(&mut self.window_reuploaded);
+        delta.stale_batches = std::mem::take(&mut self.window_stale_batches);
+        delta.stale_records = std::mem::take(&mut self.window_stale_records);
+        delta.stale_devices = std::mem::take(&mut self.window_stale_devices).len() as u64;
+        delta.implausible_records = std::mem::take(&mut self.window_implausible);
+        delta.poisoned_devices = self.poisoned.len() as u64;
+        delta.straggler_devices = self
+            .lanes
+            .values()
+            .filter(|l| l.completed_through.is_none_or(|c| c < day))
+            .count() as u64;
+        self.last_closed = Some(day);
+        Ok((DatasetWindow::from_parts(day, dataset), delta))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fleet harness
+// ---------------------------------------------------------------------------
+
+/// A device's config-lane deafness window: `(device, from_ms, until_ms)`.
+/// While deaf the device drops incoming config frames (models a client
+/// that cannot apply an upgrade yet); the Hive keeps retransmitting, so
+/// the device converges once the window ends. Windows must end before the
+/// simulation does or the run never terminates.
+pub type DeafWindow = (u64, u64, u64);
+
+/// Configuration of one federated fleet run.
+#[derive(Debug, Clone)]
+pub struct FederatedFleetConfig {
+    /// The underlying fleet shape (population, faults, link, timers) —
+    /// shared with the central-mode harness [`crate::fleet`] so federated
+    /// and central runs are comparable.
+    pub fleet: crate::fleet::FleetConfig,
+    /// Per-(user, day) participation percentage; 100 keeps everyone.
+    pub participation_pct: u64,
+    /// The initially broadcast mechanism (config version 1).
+    pub spec: StrategySpec,
+    /// The anonymization seed broadcast inside every config version.
+    pub anonymization_seed: u64,
+    /// Size of the opt-in calibration cohort that keeps uploading raw.
+    pub cohort_size: usize,
+    /// Run server-side selection on the cohort's raw windows each close
+    /// and rebroadcast (version bump) whenever the winner changes.
+    pub select: bool,
+    /// Devices deaf to config frames during a window (stale-config
+    /// scenarios).
+    pub deaf: Vec<DeafWindow>,
+    /// Devices that substitute fabricated fixes for their protected
+    /// output.
+    pub poisoned: Vec<u64>,
+    /// Force a config upgrade to this spec right after closing this day
+    /// (upgrade-wave scenarios).
+    pub upgrade_at_close: Option<(i64, StrategySpec)>,
+}
+
+impl FederatedFleetConfig {
+    /// A small, fast federated fleet mirroring
+    /// [`crate::fleet::FleetConfig::small`].
+    pub fn small(seed: u64) -> Self {
+        Self {
+            fleet: crate::fleet::FleetConfig::small(seed),
+            participation_pct: 100,
+            spec: StrategySpec::SpeedSmoothing { epsilon_m: 100.0 },
+            anonymization_seed: 42,
+            cohort_size: 2,
+            select: false,
+            deaf: Vec::new(),
+            poisoned: Vec::new(),
+            upgrade_at_close: None,
+        }
+    }
+}
+
+/// Everything a federated fleet run produced.
+#[derive(Debug)]
+pub struct FederatedFleetOutcome {
+    /// One closed protected window per day (plus a trailing drain window
+    /// when late uploads were still in flight after the last close).
+    pub windows: Vec<DatasetWindow>,
+    /// The per-window federation audit, parallel to `windows`.
+    pub deltas: Vec<FederationDelta>,
+    /// The calibration cohort's raw windows (empty when no cohort).
+    pub cohort_windows: Vec<DatasetWindow>,
+    /// The cohort's reliable-ingest audit, parallel to `cohort_windows`.
+    pub cohort_deltas: Vec<IngestDelta>,
+    /// The final federated release (all admitted days, current version).
+    pub release: Dataset,
+    /// The config active at the end of the run.
+    pub final_config: StrategyConfig,
+    /// The session-layer ledger at the end of the run.
+    pub session_totals: SessionTotals,
+    /// Users that ever uploaded under an obsolete config version.
+    pub stale_users: BTreeSet<UserId>,
+    /// Devices flagged by the plausibility gate.
+    pub poisoned_devices: BTreeSet<u64>,
+    /// `(day, winner)` of each cohort selection run (when `select`).
+    pub selections: Vec<(i64, String)>,
+    /// Network counters: traffic, injected faults, transport retries.
+    pub stats: NetworkStats,
+    /// The raw oracle: the (thinned) generated population partitioned by
+    /// day. Only the test harness holds this — the simulated server never
+    /// sees raw non-cohort data.
+    pub baseline: WindowedDataset,
+    /// The whole population's calibration cohort.
+    pub cohort: BTreeSet<UserId>,
+    /// Total raw records generated after participation thinning.
+    pub generated_records: u64,
+    /// Raw payload bytes the federated deployment uplinks (cohort only),
+    /// canonical whole-day encoding.
+    pub raw_bytes_uplinked: u64,
+    /// Raw payload bytes a central deployment would uplink (every
+    /// device), same canonical encoding.
+    pub central_raw_bytes: u64,
+    /// Protected payload bytes devices enqueued (includes version-bump
+    /// re-uploads).
+    pub protected_bytes_uplinked: u64,
+    /// Config frames put on the wire (incl. retransmissions).
+    pub config_frames_broadcast: u64,
+    /// Config bytes put on the wire.
+    pub config_bytes_broadcast: u64,
+}
+
+impl FederatedFleetOutcome {
+    /// The central counterfactual under the final config: what the server
+    /// would have published had it seen every raw record itself.
+    pub fn central(&self) -> Dataset {
+        self.central_excluding(&BTreeSet::new())
+    }
+
+    /// The central counterfactual over the honest sub-fleet: the windowed
+    /// raw prefix minus `excluded` users, anonymized centrally under the
+    /// final config.
+    pub fn central_excluding(&self, excluded: &BTreeSet<UserId>) -> Dataset {
+        if self.baseline.is_empty() {
+            return Dataset::new();
+        }
+        let prefix = self.baseline.prefix(self.baseline.len() - 1);
+        let filtered = Dataset::from_shared(
+            prefix
+                .trajectories()
+                .iter()
+                .filter(|t| !excluded.contains(&t.user()))
+                .cloned()
+                .collect(),
+        );
+        central_release(&filtered, &self.final_config)
+            .expect("a broadcast config always instantiates")
+    }
+
+    /// Whether the headline invariant held: the federated release is
+    /// byte-identical to the full central counterfactual.
+    pub fn parity(&self) -> bool {
+        self.release == self.central()
+    }
+
+    /// Whether every protected window was assembled without degradation.
+    pub fn is_clean(&self) -> bool {
+        self.deltas.iter().all(FederationDelta::is_clean)
+    }
+}
+
+/// A federated smartphone: one actor multiplexing the raw lane (cohort
+/// members only), the protected lane and the config lane over its link to
+/// the Hive.
+struct FederatedDeviceActor {
+    hive: NodeId,
+    raw: Option<DeviceOutbox>,
+    fed: FederatedOutbox,
+    config_rx: ReliableReceiver,
+    deaf_from_ms: u64,
+    deaf_until_ms: u64,
+    upload_every_ms: u64,
+    last_day: i64,
+}
+
+impl FederatedDeviceActor {
+    fn deaf(&self, now_ms: u64) -> bool {
+        now_ms >= self.deaf_from_ms && now_ms < self.deaf_until_ms
+    }
+
+    fn pump(&mut self, ctx: &mut Context<'_>) {
+        let now = ctx.now().as_millis();
+        if let Some(raw) = self.raw.as_mut() {
+            for tx in raw.sender_mut().poll(now) {
+                if tx.retransmit {
+                    ctx.note_retry();
+                }
+                ctx.send(self.hive, tx.frame.to_message());
+            }
+        }
+        for tx in self.fed.sender_mut().poll(now) {
+            if tx.retransmit {
+                ctx.note_retry();
+            }
+            ctx.send(self.hive, tx.frame.to_message());
+        }
+        let due = [
+            self.raw.as_ref().and_then(|r| r.sender().next_due()),
+            self.fed.sender().next_due(),
+        ]
+        .into_iter()
+        .flatten()
+        .min();
+        if let Some(due) = due {
+            ctx.set_timer(due.saturating_sub(now).max(1), TICK_RETRY);
+        }
+    }
+
+    fn done(&self) -> bool {
+        let raw_done = self.raw.as_ref().is_none_or(|r| r.drained(self.last_day));
+        // An unconfigured device parks until a config frame wakes it.
+        let fed_done = self.fed.config().is_none() || self.fed.drained(self.last_day);
+        raw_done && fed_done
+    }
+}
+
+impl Actor for FederatedDeviceActor {
+    fn on_message(&mut self, ctx: &mut Context<'_>, _from: NodeId, msg: Message) {
+        let now = ctx.now().as_millis();
+        if let Ok(frame) = DataFrame::from_message(&msg) {
+            // Config lane (the only Hive→device data direction).
+            if self.deaf(now) {
+                return;
+            }
+            let (released, ack) =
+                self.config_rx
+                    .accept(frame.sender, frame.seq, frame.chunk.clone());
+            ctx.send(self.hive, ack.to_message());
+            let mut installed = false;
+            for (_seq, chunk) in released {
+                if let Ok(frame) = ConfigFrame::decode_from_slice(&chunk) {
+                    // A non-instantiating config is ignored: the device
+                    // keeps its previous mechanism.
+                    installed |= self.fed.install(frame.0).unwrap_or(false);
+                }
+            }
+            if installed {
+                ctx.set_timer(1, TICK_UPLOAD);
+            }
+        } else if let Ok(ack) = AckFrame::from_message(&msg) {
+            if ack.sender & PROTECTED_LANE_BIT != 0 {
+                self.fed.sender_mut().on_ack(&ack, now);
+            } else if let Some(raw) = self.raw.as_mut() {
+                raw.sender_mut().on_ack(&ack, now);
+            }
+            self.pump(ctx);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, timer_id: u64) {
+        match timer_id {
+            TICK_UPLOAD => {
+                let now_s = ctx.now().as_millis() as i64;
+                if let Some(raw) = self.raw.as_mut() {
+                    raw.stage(now_s);
+                }
+                self.fed.stage(now_s);
+                self.pump(ctx);
+                if !self.done() {
+                    ctx.set_timer(self.upload_every_ms, TICK_UPLOAD);
+                }
+            }
+            _ => self.pump(ctx),
+        }
+    }
+
+    fn on_restart(&mut self, ctx: &mut Context<'_>) {
+        // Volatile transport state is gone; schedules, cursors and the
+        // installed config are flash-durable.
+        if let Some(raw) = self.raw.as_mut() {
+            raw.sender_mut().crash();
+        }
+        self.fed.sender_mut().crash();
+        ctx.set_timer(1, TICK_UPLOAD);
+    }
+}
+
+/// The Hive's federated front: the cohort's raw [`Collector`], the
+/// [`FederatedCollector`] and the [`ConfigBroadcaster`], multiplexed by
+/// lane id.
+struct FederatedHiveActor {
+    cohort: Collector,
+    federated: FederatedCollector,
+    broadcaster: ConfigBroadcaster,
+    nodes: BTreeMap<u64, NodeId>,
+}
+
+impl FederatedHiveActor {
+    fn pump_broadcast(&mut self, ctx: &mut Context<'_>) {
+        let now = ctx.now().as_millis();
+        for (device, tx) in self.broadcaster.poll(now) {
+            if tx.retransmit {
+                ctx.note_retry();
+            }
+            if let Some(&node) = self.nodes.get(&device) {
+                ctx.send(node, tx.frame.to_message());
+            }
+        }
+        if let Some(due) = self.broadcaster.next_due() {
+            ctx.set_timer(due.saturating_sub(now).max(1), TICK_RETRY);
+        }
+    }
+}
+
+impl Actor for FederatedHiveActor {
+    fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, msg: Message) {
+        if let Ok(frame) = DataFrame::from_message(&msg) {
+            if frame.sender & PROTECTED_LANE_BIT != 0 {
+                if let Ok(ack) = self.federated.ingest(&frame) {
+                    ctx.send(from, ack.to_message());
+                }
+            } else if let Ok(ack) = self.cohort.ingest(&frame) {
+                ctx.send(from, ack.to_message());
+            }
+        } else if let Ok(ack) = AckFrame::from_message(&msg) {
+            self.broadcaster.on_ack(&ack, ctx.now().as_millis());
+            self.pump_broadcast(ctx);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, _timer_id: u64) {
+        self.pump_broadcast(ctx);
+    }
+}
+
+/// Canonical whole-day raw upload volume: what `users` would uplink if
+/// each encoded every day of `dataset` as one final [`DayBatch`]. Used for
+/// the raw-exposure accounting (federated cohort vs. central everyone).
+fn canonical_raw_bytes<'a>(
+    dataset: &Dataset,
+    users: impl Iterator<Item = &'a UserId>,
+    days: i64,
+) -> u64 {
+    let mut total = 0u64;
+    for &user in users {
+        let records = dataset.records_of(user);
+        for day in 0..days {
+            let batch = DayBatch {
+                device: user.0,
+                user,
+                day,
+                end_of_day: true,
+                records: records
+                    .iter()
+                    .copied()
+                    .filter(|r| r.time.day_index() == day)
+                    .collect(),
+            };
+            total += batch.encode_to_vec().len() as u64;
+        }
+    }
+    total
+}
+
+/// Runs one federated fleet end to end: thin the generated population,
+/// broadcast config v1, let every device anonymize locally and upload
+/// protected day batches under the configured fault schedule, close day
+/// windows with federation audits, optionally run cohort selection and
+/// config upgrades, then assemble the final release.
+///
+/// Determinism: the same `config` always produces the same outcome, byte
+/// for byte — the federated chaos proptests rely on it.
+///
+/// # Panics
+///
+/// Panics when the generated population is empty (degenerate
+/// configuration) or if a simulated endpoint violates the close-in-order
+/// protocol — impossible by construction.
+pub fn run_federated_fleet(config: &FederatedFleetConfig) -> FederatedFleetOutcome {
+    let fleet = &config.fleet;
+    let population = CityModel::builder()
+        .seed(fleet.seed)
+        .build()
+        .generate_population(&PopulationConfig {
+            users: fleet.users,
+            days: fleet.days as usize,
+            sampling_interval_s: fleet.sampling_interval_s,
+            ..PopulationConfig::default()
+        });
+    let population = thin_participation(&population, config.participation_pct);
+    let baseline = WindowedDataset::partition(&population);
+    let generated_records = population.record_count() as u64;
+    let users = population.users();
+    let region = population
+        .bounding_box()
+        .expect("generated population is non-empty");
+    let anchor = region.grid_anchor();
+    let policy = FederationPolicy::new(config.cohort_size);
+    let cohort = policy.cohort(&users);
+    let seed = config.anonymization_seed;
+    let mk_config = |version: u64, spec: StrategySpec| StrategyConfig {
+        version,
+        spec,
+        seed,
+        grid_anchor: spec.requires_anchor().then_some(anchor),
+    };
+    let mut current = mk_config(1, config.spec);
+
+    let mut sim = Simulation::new(fleet.seed);
+    sim.set_default_link(fleet.link);
+
+    let mut cohort_collector = Collector::new();
+    for &user in &cohort {
+        cohort_collector.register(user.0, user);
+    }
+    let mut federated = FederatedCollector::new(region);
+    let mut broadcaster = ConfigBroadcaster::new(fleet.reliable);
+    for &user in &users {
+        federated.register(user.0, user);
+        broadcaster.register(user.0);
+    }
+    federated.install(current);
+    broadcaster.broadcast(&current);
+    let hive = sim.add_node(
+        "hive",
+        Box::new(FederatedHiveActor {
+            cohort: cohort_collector,
+            federated,
+            broadcaster,
+            nodes: BTreeMap::new(),
+        }),
+    );
+
+    let mut nodes = BTreeMap::new();
+    let mut device_nodes = Vec::with_capacity(users.len());
+    for &user in &users {
+        let deaf = config
+            .deaf
+            .iter()
+            .find(|(d, _, _)| *d == user.0)
+            .copied()
+            .unwrap_or((user.0, 0, 0));
+        let fed = FederatedOutbox::new(
+            user.0,
+            user,
+            fleet.reliable,
+            population.records_of(user),
+            config.poisoned.contains(&user.0),
+        );
+        let raw = cohort.contains(&user).then(|| {
+            DeviceOutbox::new(user.0, user, fleet.reliable, population.records_of(user))
+        });
+        let node = sim.add_node(
+            &format!("device-{}", user.0),
+            Box::new(FederatedDeviceActor {
+                hive,
+                raw,
+                fed,
+                config_rx: ReliableReceiver::new(),
+                deaf_from_ms: deaf.1,
+                deaf_until_ms: deaf.2,
+                upload_every_ms: fleet.upload_every_s,
+                last_day: fleet.days - 1,
+            }),
+        );
+        nodes.insert(user.0, node);
+        device_nodes.push(node);
+    }
+    sim.actor_as_mut::<FederatedHiveActor>(hive)
+        .expect("hive actor")
+        .nodes = nodes;
+    sim.set_fault_plan(fleet.faults.clone());
+    for (i, &node) in device_nodes.iter().enumerate() {
+        sim.post_timer(node, 1 + (i as u64 % 97), TICK_UPLOAD);
+    }
+    // Kick the config broadcast.
+    sim.post_timer(hive, 1, TICK_RETRY);
+
+    let mut selection = config
+        .select
+        .then(|| (PrivApi::new(PrivApiConfig::default()), SessionCache::new()));
+    let mut windows = Vec::new();
+    let mut deltas = Vec::new();
+    let mut cohort_windows = Vec::new();
+    let mut cohort_deltas = Vec::new();
+    let mut selections = Vec::new();
+    for day in 0..fleet.days {
+        let close_at = (day + 1) as u64 * DAY_SECONDS as u64 + fleet.grace_s;
+        sim.run_until(SimTime::from_millis(close_at));
+        let mut next_config: Option<StrategyConfig> = None;
+        {
+            let hive_actor = sim
+                .actor_as_mut::<FederatedHiveActor>(hive)
+                .expect("hive actor");
+            if !cohort.is_empty() {
+                let (w, d) = hive_actor
+                    .cohort
+                    .close_day(day)
+                    .expect("cohort days close in order");
+                if let Some((api, cache)) = selection.as_mut() {
+                    if w.record_count() > 0 {
+                        if let Ok(p) = api.publish_window(cache, &w) {
+                            let info = p.published.strategy.clone();
+                            selections.push((day, info.to_string()));
+                            let winner_spec = api
+                                .pool()
+                                .iter()
+                                .find(|s| s.info() == info)
+                                .and_then(|s| s.spec());
+                            if let Some(spec) = winner_spec {
+                                if spec != current.spec {
+                                    next_config = Some(mk_config(current.version + 1, spec));
+                                }
+                            }
+                        }
+                    }
+                }
+                cohort_windows.push(w);
+                cohort_deltas.push(d);
+            }
+            let (w, d) = hive_actor
+                .federated
+                .close_day(day)
+                .expect("federated days close in order");
+            windows.push(w);
+            deltas.push(d);
+            if let Some((at, spec)) = config.upgrade_at_close {
+                if at == day && spec != current.spec {
+                    next_config = Some(mk_config(current.version + 1, spec));
+                }
+            }
+            if let Some(nc) = next_config {
+                current = nc;
+                hive_actor.federated.install(current);
+                hive_actor.broadcaster.broadcast(&current);
+            }
+        }
+        if next_config.is_some() {
+            sim.post_timer(hive, 1, TICK_RETRY);
+        }
+    }
+    // Drain everything the faults (or a late upgrade) delayed past the
+    // last scheduled close, then publish trailing quarantine windows.
+    sim.run();
+    {
+        let hive_actor = sim
+            .actor_as_mut::<FederatedHiveActor>(hive)
+            .expect("hive actor");
+        if !cohort.is_empty() && hive_actor.cohort.has_backlog() {
+            let (w, d) = hive_actor
+                .cohort
+                .close_day(fleet.days)
+                .expect("trailing cohort close follows the last day");
+            cohort_windows.push(w);
+            cohort_deltas.push(d);
+        }
+        if hive_actor.federated.has_backlog() {
+            let (w, d) = hive_actor
+                .federated
+                .close_day(fleet.days)
+                .expect("trailing federated close follows the last day");
+            windows.push(w);
+            deltas.push(d);
+        }
+    }
+
+    let mut protected_bytes_uplinked = 0u64;
+    for &node in &device_nodes {
+        let device = sim
+            .actor_as::<FederatedDeviceActor>(node)
+            .expect("device actor");
+        protected_bytes_uplinked += device.fed.bytes_enqueued();
+    }
+    let raw_bytes_uplinked = canonical_raw_bytes(&population, cohort.iter(), fleet.days);
+    let central_raw_bytes = canonical_raw_bytes(&population, users.iter(), fleet.days);
+    let stats = sim.stats();
+    let hive_actor = sim
+        .actor_as::<FederatedHiveActor>(hive)
+        .expect("hive actor");
+    let poisoned_devices = hive_actor.federated.poisoned_devices().clone();
+    let session = hive_actor.federated.session();
+    FederatedFleetOutcome {
+        windows,
+        deltas,
+        cohort_windows,
+        cohort_deltas,
+        release: session.release(),
+        final_config: current,
+        session_totals: session.totals(),
+        stale_users: session.stale_users().clone(),
+        poisoned_devices,
+        selections,
+        stats,
+        baseline,
+        cohort,
+        generated_records,
+        raw_bytes_uplinked,
+        central_raw_bytes,
+        protected_bytes_uplinked,
+        config_frames_broadcast: hive_actor.broadcaster.frames_sent(),
+        config_bytes_broadcast: hive_actor.broadcaster.bytes_sent(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(user: u64, t: i64, lat: f64, lon: f64) -> LocationRecord {
+        LocationRecord::new(
+            UserId(user),
+            Timestamp::new(t),
+            GeoPoint::new(lat, lon).unwrap(),
+        )
+    }
+
+    fn sample_region() -> BoundingBox {
+        BoundingBox::new(
+            GeoPoint::new(45.0, 4.0).unwrap(),
+            GeoPoint::new(46.0, 5.0).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn config_frame_roundtrips_for_every_spec() {
+        let anchor = sample_region().grid_anchor();
+        let specs = [
+            StrategySpec::SpeedSmoothing { epsilon_m: 100.0 },
+            StrategySpec::GeoIndistinguishability { epsilon: 0.01 },
+            StrategySpec::SpatialCloaking { cell_m: 250.0 },
+            StrategySpec::GaussianPerturbation { sigma_m: 50.0 },
+            StrategySpec::TemporalDownsampling { window_s: 600 },
+            StrategySpec::Identity,
+        ];
+        for (i, &spec) in specs.iter().enumerate() {
+            let config = StrategyConfig {
+                version: i as u64 + 1,
+                spec,
+                seed: 99,
+                grid_anchor: spec.requires_anchor().then_some(anchor),
+            };
+            let frame = ConfigFrame(config);
+            let back = ConfigFrame::decode_from_slice(&frame.encode_to_vec()).unwrap();
+            assert_eq!(back, frame, "spec {spec} must roundtrip");
+        }
+        let bad = {
+            let mut buf = BytesMut::new();
+            1u64.encode(&mut buf);
+            2u64.encode(&mut buf);
+            9u8.encode(&mut buf);
+            buf.to_vec()
+        };
+        assert!(matches!(
+            ConfigFrame::decode_from_slice(&bad),
+            Err(WireError::InvalidTag("strategy-spec", 9))
+        ));
+    }
+
+    #[test]
+    fn protected_batch_roundtrips_on_the_wire() {
+        let b = ProtectedBatch {
+            device: 7,
+            user: UserId(7),
+            version: 3,
+            day: 1,
+            end_of_day: true,
+            had_data: true,
+            records: vec![rec(7, DAY_SECONDS + 60, 45.5, 4.5)],
+        };
+        let back = ProtectedBatch::decode_from_slice(&b.encode_to_vec()).unwrap();
+        assert_eq!(back, b);
+    }
+
+    #[test]
+    fn collector_quarantines_stale_versions_and_rejects_implausible_batches() {
+        let region = sample_region();
+        let mut collector = FederatedCollector::new(region);
+        collector.register(1, UserId(1));
+        collector.register(2, UserId(2));
+        let config = StrategyConfig {
+            version: 2,
+            spec: StrategySpec::Identity,
+            seed: 0,
+            grid_anchor: None,
+        };
+        assert!(collector.install(config));
+
+        let send = |collector: &mut FederatedCollector, seq: u64, batch: &ProtectedBatch| {
+            let frame = DataFrame {
+                sender: batch.device | PROTECTED_LANE_BIT,
+                seq,
+                chunk: batch.encode_to_vec(),
+            };
+            collector.ingest(&frame).unwrap()
+        };
+        // Device 1: stale version 1 for day 0, then a current re-upload.
+        let stale = ProtectedBatch {
+            device: 1,
+            user: UserId(1),
+            version: 1,
+            day: 0,
+            end_of_day: true,
+            had_data: true,
+            records: vec![rec(1, 100, 45.5, 4.5)],
+        };
+        send(&mut collector, 1, &stale);
+        let good = ProtectedBatch {
+            version: 2,
+            ..stale.clone()
+        };
+        send(&mut collector, 2, &good);
+        // Device 2: a poisoned batch, far outside the plausible region.
+        let poisoned = ProtectedBatch {
+            device: 2,
+            user: UserId(2),
+            version: 2,
+            day: 0,
+            end_of_day: true,
+            had_data: true,
+            records: vec![rec(2, 200, 10.0, 10.0)],
+        };
+        send(&mut collector, 1, &poisoned);
+
+        let (window, delta) = collector.close_day(0).unwrap();
+        assert_eq!(window.record_count(), 1, "only the honest re-upload lands");
+        assert_eq!(delta.stale_batches, 1);
+        assert_eq!(delta.stale_records, 1);
+        assert_eq!(delta.stale_devices, 1);
+        assert_eq!(delta.implausible_records, 1);
+        assert_eq!(delta.poisoned_devices, 1);
+        assert_eq!(
+            delta.straggler_devices, 1,
+            "the poisoned device never validly reported"
+        );
+        assert!(!delta.is_clean());
+        // Session-layer ledger agrees with the collect-layer one.
+        let totals = collector.session().totals();
+        assert_eq!(totals.stale_records, 1);
+        assert_eq!(totals.implausible_records, 1);
+        assert!(collector.session().stale_users().contains(&UserId(1)));
+        assert_eq!(collector.poisoned_devices().len(), 1);
+    }
+
+    #[test]
+    fn unconfigured_devices_park_and_resume_on_config() {
+        let mut outbox = FederatedOutbox::new(
+            1,
+            UserId(1),
+            ReliableConfig::default(),
+            vec![rec(1, 100, 45.5, 4.5)],
+            false,
+        );
+        assert_eq!(
+            outbox.stage(2 * DAY_SECONDS),
+            0,
+            "no config → nothing staged"
+        );
+        assert!(!outbox.drained(0));
+        let config = StrategyConfig {
+            version: 1,
+            spec: StrategySpec::Identity,
+            seed: 0,
+            grid_anchor: None,
+        };
+        assert!(outbox.install(config).unwrap());
+        assert!(!outbox.install(config).unwrap(), "redelivery is idempotent");
+        assert_eq!(
+            outbox.stage(2 * DAY_SECONDS),
+            2,
+            "both elapsed days finalize"
+        );
+        assert!(outbox.bytes_enqueued() > 0);
+        // A version bump rewinds the finalize cursor: full re-upload.
+        let v2 = StrategyConfig {
+            version: 2,
+            ..config
+        };
+        assert!(outbox.install(v2).unwrap());
+        assert_eq!(
+            outbox.stage(2 * DAY_SECONDS),
+            2,
+            "history re-staged under v2"
+        );
+    }
+
+    #[test]
+    fn fault_free_federated_fleet_matches_the_central_counterfactual() {
+        let outcome = run_federated_fleet(&FederatedFleetConfig::small(21));
+        assert!(outcome.is_clean(), "deltas: {:?}", outcome.deltas);
+        assert!(outcome.parity(), "federated release must equal central");
+        assert_eq!(outcome.final_config.version, 1);
+        assert!(outcome.release.record_count() > 0);
+        assert_eq!(outcome.cohort.len(), 2);
+        assert_eq!(
+            outcome.cohort_windows.len(),
+            2,
+            "cohort raw windows close daily"
+        );
+        assert!(outcome.raw_bytes_uplinked < outcome.central_raw_bytes);
+        assert!(outcome.protected_bytes_uplinked > 0);
+        assert!(
+            outcome.config_frames_broadcast >= 6,
+            "one config per device"
+        );
+    }
+}

@@ -43,7 +43,13 @@
 //! * [`campaigns`] — the multi-campaign publication surface: every
 //!   deployed task mapped onto a [`campaign::Orchestrator`] campaign, so
 //!   N concurrent tasks release daily over one shared population stream
-//!   with the original-side attack extraction paid once.
+//!   with the original-side attack extraction paid once;
+//! * [`federated`] — device-local anonymization (experiment E15): the Hive
+//!   broadcasts the winning strategy as a versioned config, devices
+//!   anonymize their own day slices and upload only protected records,
+//!   and the server-side collector quarantines stale-config and poisoned
+//!   uploads while keeping the assembled release byte-identical to the
+//!   central counterfactual.
 //!
 //! # Example
 //!
@@ -71,6 +77,7 @@ pub mod campaigns;
 pub mod collect;
 pub mod deploy;
 pub mod device;
+pub mod federated;
 pub mod fleet;
 pub mod hive;
 pub mod honeycomb;

@@ -1,0 +1,48 @@
+//! Criterion bench for the federated release pipeline.
+//!
+//! Measures the hot paths of `bench::e15` on the smoke fleet:
+//!
+//! * `fleet_federated` — the full federated run: config broadcast,
+//!   device-local anonymization, protected upload, session assembly;
+//! * `fleet_federated_chaos` — the same fleet under `FaultPlan::chaos`
+//!   loss, duplication and reordering over every lane: the price of
+//!   at-least-once recovery when the config broadcast sweats too;
+//! * `central_counterfactual` — the server-side oracle alone
+//!   (`central_release` over the windowed prefix), isolating the
+//!   anonymization cost parity is measured against.
+
+use apisense::federated::{run_federated_fleet, FederatedFleetConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use simnet::FaultPlan;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_federated(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e15_federated");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+
+    group.bench_function("fleet_federated", |b| {
+        b.iter(|| black_box(run_federated_fleet(&FederatedFleetConfig::small(15))))
+    });
+
+    group.bench_function("fleet_federated_chaos", |b| {
+        b.iter(|| {
+            let mut config = FederatedFleetConfig::small(15);
+            config.fleet.faults = FaultPlan::chaos(15);
+            black_box(run_federated_fleet(&config))
+        })
+    });
+
+    group.bench_function("central_counterfactual", |b| {
+        let outcome = run_federated_fleet(&FederatedFleetConfig::small(15));
+        b.iter(|| black_box(outcome.central()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_federated);
+criterion_main!(benches);

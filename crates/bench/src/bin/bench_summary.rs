@@ -1,13 +1,13 @@
-//! Attack-path, streaming-publication, multi-campaign, reliable-ingestion
-//! and script-tier perf summary: runs E10, E11, E12, E13 and E14 and emits
+//! Attack-path, streaming-publication, multi-campaign, reliable-ingestion,
+//! script-tier and federated-release perf summary: runs E10–E15 and emits
 //! `BENCH_e10.json` + `BENCH_e11.json` + `BENCH_e12.json` +
-//! `BENCH_e13.json` + `BENCH_e14.json`.
+//! `BENCH_e13.json` + `BENCH_e14.json` + `BENCH_e15.json`.
 //!
 //! ```bash
 //! cargo run -p bench --bin bench_summary --release -- --scale smoke
 //! cargo run -p bench --bin bench_summary --release -- --scale medium \
 //!     --out BENCH_e10.json --out-e11 BENCH_e11.json --out-e12 BENCH_e12.json \
-//!     --out-e13 BENCH_e13.json --out-e14 BENCH_e14.json
+//!     --out-e13 BENCH_e13.json --out-e14 BENCH_e14.json --out-e15 BENCH_e15.json
 //! # the 10k-user sparse-participation streaming stress shape
 //! cargo run -p bench --bin bench_summary --release -- --scale large
 //! # participation sensitivity sweep (overrides E11's daily percentage)
@@ -21,14 +21,17 @@
 //! of multi-campaign orchestration (N independent sessions vs one
 //! shared-population orchestrator), of reliable device→Hive ingestion
 //! under injected faults (delivery-latency percentiles, retry/dup/drop
-//! counters, byte-identical chaos windows) and of script execution
-//! (tree-walking interpreter vs bytecode VM) accumulate data points
+//! counters, byte-identical chaos windows), of script execution
+//! (tree-walking interpreter vs bytecode VM) and of federated release
+//! (device-local anonymization with central byte-parity, raw-exposure
+//! reduction, config-broadcast overhead) accumulate data points
 //! instead of
 //! anecdotes. Every run also asserts the pipelines' invariants —
 //! extraction parity, matcher parity, the
 //! single-original-extraction-per-publish budget, streaming winner
 //! parity, per-campaign orchestration parity, chaos byte-identity with
-//! quarantine conservation, and interpreter/VM record parity — and fails
+//! quarantine conservation, interpreter/VM record parity, and federated
+//! parity with exact stale/poisoned quarantine accounting — and fails
 //! loudly if any regresses. Unknown `--scale` values (and unknown flags) are
 //! rejected, never silently defaulted.
 
@@ -37,6 +40,7 @@ use bench::e11::{self, E11Config};
 use bench::e12::{self, E12Config};
 use bench::e13::{self, E13Config};
 use bench::e14::{self, E14Config};
+use bench::e15::{self, E15Config};
 use bench::Scale;
 
 fn main() {
@@ -51,11 +55,11 @@ fn main() {
         }
         match arg.as_str() {
             "--scale" | "--participation" | "--out" | "--out-e11" | "--out-e12"
-            | "--out-e13" | "--out-e14" => expects_value = true,
+            | "--out-e13" | "--out-e14" | "--out-e15" => expects_value = true,
             other => {
                 eprintln!(
                     "unexpected argument {other:?}; use --scale, --participation, --out, \
-                     --out-e11, --out-e12, --out-e13, --out-e14"
+                     --out-e11, --out-e12, --out-e13, --out-e14, --out-e15"
                 );
                 std::process::exit(2);
             }
@@ -79,29 +83,32 @@ fn main() {
     let out_e12 = value_of("--out-e12").unwrap_or_else(|| "BENCH_e12.json".into());
     let out_e13 = value_of("--out-e13").unwrap_or_else(|| "BENCH_e13.json".into());
     let out_e14 = value_of("--out-e14").unwrap_or_else(|| "BENCH_e14.json".into());
-    let (e10_config, mut e11_config, e12_config, e13_config, e14_config) = match scale.as_str()
-    {
-        "smoke" => (
-            E10Config::smoke(),
-            E11Config::smoke(),
-            E12Config::smoke(),
-            E13Config::smoke(),
-            E14Config::smoke(),
-        ),
-        other => match Scale::parse(other) {
-            Ok(scale) => (
-                E10Config::from_scale(scale),
-                E11Config::from_scale(scale),
-                E12Config::from_scale(scale),
-                E13Config::from_scale(scale),
-                E14Config::from_scale(scale),
+    let out_e15 = value_of("--out-e15").unwrap_or_else(|| "BENCH_e15.json".into());
+    let (e10_config, mut e11_config, e12_config, e13_config, e14_config, e15_config) =
+        match scale.as_str() {
+            "smoke" => (
+                E10Config::smoke(),
+                E11Config::smoke(),
+                E12Config::smoke(),
+                E13Config::smoke(),
+                E14Config::smoke(),
+                E15Config::smoke(),
             ),
-            Err(_) => {
-                eprintln!("unknown --scale {other:?}; use smoke|small|medium|full|large");
-                std::process::exit(2);
-            }
-        },
-    };
+            other => match Scale::parse(other) {
+                Ok(scale) => (
+                    E10Config::from_scale(scale),
+                    E11Config::from_scale(scale),
+                    E12Config::from_scale(scale),
+                    E13Config::from_scale(scale),
+                    E14Config::from_scale(scale),
+                    E15Config::from_scale(scale),
+                ),
+                Err(_) => {
+                    eprintln!("unknown --scale {other:?}; use smoke|small|medium|full|large");
+                    std::process::exit(2);
+                }
+            },
+        };
     if let Some(pct) = value_of("--participation") {
         // Overrides E11's daily participation (percent of users reporting
         // on any day after the first) for sensitivity sweeps at any scale.
@@ -165,4 +172,12 @@ fn main() {
     let e14_report = e14::run(&e14_config);
     println!("{e14_report}");
     write(&out_e14, e14_report.to_json());
+
+    eprintln!(
+        "e15 federated-release summary: scale={}, {} devices x {} days @ {} s",
+        e15_config.label, e15_config.users, e15_config.days, e15_config.sampling_interval_s
+    );
+    let e15_report = e15::run(&e15_config);
+    println!("{e15_report}");
+    write(&out_e15, e15_report.to_json());
 }

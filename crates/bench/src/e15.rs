@@ -1,0 +1,452 @@
+//! E15 — federated release: device-local anonymization with byte-for-byte
+//! central parity under hostile fleets.
+//!
+//! Four federated fleet runs per scale, all over the same seeded
+//! population ([`apisense::federated::run_federated_fleet`]):
+//!
+//! * **fault-free** — the baseline: the release assembled from per-device
+//!   protected uploads must be byte-identical to the central release of
+//!   the same windowed raw prefix, with clean
+//!   [`privapi::federated::FederationDelta`]s;
+//! * **chaos** — [`simnet::FaultPlan::chaos`] bursty loss + duplication +
+//!   reordering over every lane (config broadcast included): the faults
+//!   must actually injure the network, and parity must hold anyway;
+//! * **upgrade** — a config version bump mid-stream with one device deaf
+//!   to config frames across it: the stale uploads are quarantined with
+//!   exact counters, the fleet re-uploads its history under the new
+//!   version, and the run converges back to parity;
+//! * **poisoned** — one device substitutes fabricated far-away fixes: the
+//!   plausibility gate rejects every batch whole, and the release equals
+//!   the central release over the *honest* sub-fleet.
+//!
+//! The headline economics: **raw bytes uplinked** shrink from the whole
+//! fleet (central deployment) to the opt-in calibration cohort, at the
+//! cost of the protected-lane payload plus the config-broadcast overhead
+//! — all three are reported, next to the per-scenario quarantine
+//! counters. Every invariant is asserted before any number is reported.
+//! The `bench_summary` binary drives [`run`] and emits `BENCH_e15.json`
+//! next to e10–e14.
+
+use crate::Scale;
+use apisense::federated::{run_federated_fleet, FederatedFleetConfig, FederatedFleetOutcome};
+use apisense::fleet::FleetConfig;
+use mobility::UserId;
+use privapi::federated::StrategySpec;
+use simnet::fault::Crash;
+use simnet::reliable::ReliableConfig;
+use simnet::{FaultPlan, LinkModel, NodeId};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::time::Instant;
+
+/// Workload shape for one E15 run.
+#[derive(Debug, Clone)]
+pub struct E15Config {
+    /// Label recorded in the report (`smoke`, `small`, `medium`, `full`).
+    pub label: String,
+    /// Seed for population, simulator and fault schedules.
+    pub seed: u64,
+    /// Fleet size (one device per user).
+    pub users: usize,
+    /// Days of sensing (= scheduled windows).
+    pub days: i64,
+    /// Sensing interval of the generated trajectories, in seconds.
+    pub sampling_interval_s: i64,
+}
+
+impl E15Config {
+    /// Tiny CI smoke shape: a couple of seconds end to end, still
+    /// exercising parity, the upgrade wave and the poisoning gate.
+    pub fn smoke() -> Self {
+        Self {
+            label: "smoke".into(),
+            seed: 0xE15,
+            users: 6,
+            days: 2,
+            sampling_interval_s: 900,
+        }
+    }
+
+    /// The canonical population for `scale`, bounded like E13's: the
+    /// federated harness replays every device's upload schedule four
+    /// times (baseline, chaos, upgrade, poisoned).
+    pub fn from_scale(scale: Scale) -> Self {
+        let (users, days, interval) = crate::data::by_scale(
+            scale,
+            scale.population(),
+            scale.population(),
+            scale.population(),
+            (2_000, 8, 1_200),
+        );
+        Self {
+            label: format!("{scale:?}").to_lowercase(),
+            seed: 0xE15,
+            users,
+            days: days as i64,
+            sampling_interval_s: interval,
+        }
+    }
+
+    fn fleet(&self) -> FederatedFleetConfig {
+        FederatedFleetConfig {
+            fleet: FleetConfig {
+                seed: self.seed,
+                users: self.users,
+                days: self.days,
+                sampling_interval_s: self.sampling_interval_s,
+                upload_every_s: 1_800,
+                grace_s: 14_400,
+                link: LinkModel::mobile(),
+                faults: FaultPlan::none(),
+                reliable: ReliableConfig::default(),
+            },
+            participation_pct: 100,
+            spec: StrategySpec::SpeedSmoothing { epsilon_m: 100.0 },
+            anonymization_seed: 42,
+            cohort_size: (self.users / 10).max(2),
+            select: false,
+            deaf: Vec::new(),
+            poisoned: Vec::new(),
+            upgrade_at_close: None,
+        }
+    }
+}
+
+/// Byte economics, audit counters and transport sweat of one federated
+/// fleet run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunNumbers {
+    /// Wall-clock time of the simulated run, ms (host time, not sim time).
+    pub wall_ms: f64,
+    /// Protected payload bytes devices enqueued (incl. re-uploads).
+    pub protected_bytes: u64,
+    /// Config frames put on the wire (incl. retransmissions).
+    pub config_frames: u64,
+    /// Config bytes put on the wire — the broadcast overhead.
+    pub config_bytes: u64,
+    /// Transport retransmissions across all lanes.
+    pub retries: u64,
+    /// Whole batches quarantined for carrying an obsolete config version.
+    pub stale_batches: u64,
+    /// Records inside those stale batches.
+    pub stale_records: u64,
+    /// Records rejected whole-batch by the plausibility gate.
+    pub implausible_records: u64,
+    /// Devices flagged by the gate.
+    pub poisoned_devices: u64,
+    /// Records superseding already-closed windows (catch-up re-uploads).
+    pub reuploaded_records: u64,
+    /// Windows published with a degraded (non-clean) federation delta.
+    pub degraded_windows: usize,
+    /// Whether the release was byte-identical to the full central
+    /// counterfactual (the poisoned run is *expected* to say `false` —
+    /// its parity target is the honest sub-fleet).
+    pub full_parity: bool,
+}
+
+fn numbers(outcome: &FederatedFleetOutcome, wall_ms: f64) -> RunNumbers {
+    RunNumbers {
+        wall_ms,
+        protected_bytes: outcome.protected_bytes_uplinked,
+        config_frames: outcome.config_frames_broadcast,
+        config_bytes: outcome.config_bytes_broadcast,
+        retries: outcome.stats.retries,
+        stale_batches: outcome.deltas.iter().map(|d| d.stale_batches).sum(),
+        stale_records: outcome.deltas.iter().map(|d| d.stale_records).sum(),
+        implausible_records: outcome.deltas.iter().map(|d| d.implausible_records).sum(),
+        poisoned_devices: outcome.poisoned_devices.len() as u64,
+        reuploaded_records: outcome.deltas.iter().map(|d| d.reuploaded_records).sum(),
+        degraded_windows: outcome.deltas.iter().filter(|d| !d.is_clean()).count(),
+        full_parity: outcome.parity(),
+    }
+}
+
+fn json_run(name: &str, n: &RunNumbers) -> String {
+    format!(
+        "  \"{name}\": {{\n    \"wall_ms\": {:.3},\n    \"protected_bytes\": {},\n    \
+         \"config_frames\": {},\n    \"config_bytes\": {},\n    \"retries\": {},\n    \
+         \"stale_batches\": {},\n    \"stale_records\": {},\n    \
+         \"implausible_records\": {},\n    \"poisoned_devices\": {},\n    \
+         \"reuploaded_records\": {},\n    \"degraded_windows\": {},\n    \
+         \"full_parity\": {}\n  }}",
+        n.wall_ms,
+        n.protected_bytes,
+        n.config_frames,
+        n.config_bytes,
+        n.retries,
+        n.stale_batches,
+        n.stale_records,
+        n.implausible_records,
+        n.poisoned_devices,
+        n.reuploaded_records,
+        n.degraded_windows,
+        n.full_parity,
+    )
+}
+
+/// Measured numbers of the four federated runs plus the raw-exposure
+/// economics they share (parity and quarantine exactness are asserted
+/// inside [`run`] before the report exists).
+#[derive(Debug, Clone)]
+pub struct E15Report {
+    /// Workload label.
+    pub label: String,
+    /// Fleet size.
+    pub users: usize,
+    /// Scheduled day windows.
+    pub days: i64,
+    /// Records generated per run.
+    pub records: u64,
+    /// Devices in the opt-in calibration cohort (raw uploads).
+    pub cohort: usize,
+    /// Raw payload bytes the federated deployment uplinks (cohort only).
+    pub raw_bytes_uplinked: u64,
+    /// Raw payload bytes a central deployment would uplink (everyone).
+    pub central_raw_bytes: u64,
+    /// The fault-free baseline run.
+    pub faultfree: RunNumbers,
+    /// The chaos run (burst loss + duplication + reordering + a crash).
+    pub chaos: RunNumbers,
+    /// The upgrade-wave run (version bump with one config-deaf device).
+    pub upgrade: RunNumbers,
+    /// The poisoning run (one device fabricating far-away fixes).
+    pub poisoned: RunNumbers,
+}
+
+impl E15Report {
+    /// Share of central raw exposure the federated deployment still
+    /// uplinks (the calibration cohort), in percent.
+    pub fn raw_exposure_pct(&self) -> f64 {
+        if self.central_raw_bytes == 0 {
+            return 0.0;
+        }
+        self.raw_bytes_uplinked as f64 / self.central_raw_bytes as f64 * 100.0
+    }
+
+    /// Renders the report as a JSON object (hand-rolled: the workspace
+    /// has no JSON serializer dependency).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"experiment\": \"e15_federated_release\",\n  \"scale\": \"{}\",\n  \
+             \"users\": {},\n  \"days\": {},\n  \"records\": {},\n  \"cohort\": {},\n  \
+             \"raw_bytes_uplinked\": {},\n  \"central_raw_bytes\": {},\n  \
+             \"raw_exposure_pct\": {:.2},\n{},\n{},\n{},\n{}\n}}\n",
+            self.label,
+            self.users,
+            self.days,
+            self.records,
+            self.cohort,
+            self.raw_bytes_uplinked,
+            self.central_raw_bytes,
+            self.raw_exposure_pct(),
+            json_run("faultfree", &self.faultfree),
+            json_run("chaos", &self.chaos),
+            json_run("upgrade", &self.upgrade),
+            json_run("poisoned", &self.poisoned),
+        )
+    }
+}
+
+impl fmt::Display for E15Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "E15 federated release ({}, {} devices, {} days, {} records, cohort {})",
+            self.label, self.users, self.days, self.records, self.cohort
+        )?;
+        writeln!(
+            f,
+            "raw exposure: {} of {} central bytes uplinked raw ({:.1} %); \
+             protected lane {} B, config broadcast {} B over {} frames",
+            self.raw_bytes_uplinked,
+            self.central_raw_bytes,
+            self.raw_exposure_pct(),
+            self.faultfree.protected_bytes,
+            self.faultfree.config_bytes,
+            self.faultfree.config_frames,
+        )?;
+        let widths = [10, 8, 7, 7, 9, 11, 9, 8, 7];
+        writeln!(
+            f,
+            "{}",
+            crate::row(
+                &[
+                    "run".into(),
+                    "retries".into(),
+                    "stale".into(),
+                    "reupl".into(),
+                    "poisoned".into(),
+                    "implausible".into(),
+                    "degraded".into(),
+                    "cfg fr".into(),
+                    "parity".into(),
+                ],
+                &widths
+            )
+        )?;
+        for (name, n) in [
+            ("fault-free", &self.faultfree),
+            ("chaos", &self.chaos),
+            ("upgrade", &self.upgrade),
+            ("poisoned", &self.poisoned),
+        ] {
+            writeln!(
+                f,
+                "{}",
+                crate::row(
+                    &[
+                        name.into(),
+                        n.retries.to_string(),
+                        n.stale_records.to_string(),
+                        n.reuploaded_records.to_string(),
+                        n.poisoned_devices.to_string(),
+                        n.implausible_records.to_string(),
+                        n.degraded_windows.to_string(),
+                        n.config_frames.to_string(),
+                        n.full_parity.to_string(),
+                    ],
+                    &widths
+                )
+            )?;
+        }
+        write!(
+            f,
+            "parity: fault-free, chaos and upgrade releases byte-identical to central; \
+             poisoned release byte-identical to the honest sub-fleet's central release"
+        )
+    }
+}
+
+/// Runs E15: four federated fleet runs over one population, asserting
+/// parity (fault-free, chaos, post-upgrade), quarantine exactness (stale
+/// and poisoned) and raw-exposure reduction before reporting the byte
+/// economics and audit counters.
+pub fn run(config: &E15Config) -> E15Report {
+    // Fault-free baseline.
+    let start = Instant::now();
+    let faultfree = run_federated_fleet(&config.fleet());
+    let faultfree_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert!(faultfree.is_clean(), "baseline must be clean");
+    assert!(faultfree.parity(), "baseline must reach central parity");
+    assert!(
+        faultfree.raw_bytes_uplinked < faultfree.central_raw_bytes,
+        "the cohort must uplink strictly less raw data than a central fleet"
+    );
+
+    // Chaos: loss, duplication, reordering plus a mid-day crash/restart —
+    // over every lane, the config broadcast included.
+    let mut chaos_config = config.fleet();
+    chaos_config.fleet.faults = FaultPlan::chaos(config.seed).with_crash(Crash {
+        node: NodeId(2),
+        at_ms: 10_000,
+        restart_ms: 45_000,
+    });
+    let start = Instant::now();
+    let chaos = run_federated_fleet(&chaos_config);
+    let chaos_ms = start.elapsed().as_secs_f64() * 1e3;
+    let chaos_stats = chaos.stats;
+    assert!(
+        chaos_stats.dropped_by_fault + chaos_stats.duplicated + chaos_stats.reordered > 0,
+        "chaos must actually perturb the network: {chaos_stats}"
+    );
+    assert!(chaos.is_clean(), "absorbed chaos leaves clean deltas");
+    assert!(chaos.parity(), "chaos must never change released bytes");
+
+    // Upgrade wave: bump the config after the first close while device 3
+    // is deaf to config frames — its next upload goes out stale, is
+    // quarantined, and the fleet converges under the new version.
+    let mut upgrade_config = config.fleet();
+    upgrade_config.upgrade_at_close =
+        Some((0, StrategySpec::GaussianPerturbation { sigma_m: 50.0 }));
+    upgrade_config.deaf = vec![(3, 100_000, 176_000)];
+    let start = Instant::now();
+    let upgrade = run_federated_fleet(&upgrade_config);
+    let upgrade_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(upgrade.final_config.version, 2);
+    let stale: u64 = upgrade.deltas.iter().map(|d| d.stale_records).sum();
+    assert!(stale > 0, "the deaf device must surface as stale");
+    assert_eq!(
+        upgrade.session_totals.stale_records, stale,
+        "collect- and session-layer stale ledgers must agree"
+    );
+    assert!(upgrade.parity(), "the upgrade wave must converge to parity");
+
+    // Poisoning: device 4 substitutes fabricated fixes; the gate rejects
+    // them whole and the release equals the honest central counterfactual.
+    let mut poisoned_config = config.fleet();
+    poisoned_config.poisoned = vec![4];
+    let start = Instant::now();
+    let poisoned = run_federated_fleet(&poisoned_config);
+    let poisoned_ms = start.elapsed().as_secs_f64() * 1e3;
+    let rejected: u64 = poisoned.deltas.iter().map(|d| d.implausible_records).sum();
+    assert!(rejected > 0, "the fabricated fixes must be rejected");
+    assert_eq!(poisoned.session_totals.implausible_records, rejected);
+    assert_eq!(
+        poisoned.release,
+        poisoned.central_excluding(&BTreeSet::from([UserId(4)])),
+        "the poisoned release must equal the honest sub-fleet's central release"
+    );
+    assert!(!poisoned.parity(), "the poisoned user's data is excluded");
+
+    E15Report {
+        label: config.label.clone(),
+        users: config.users,
+        days: config.days,
+        records: faultfree.generated_records,
+        cohort: faultfree.cohort.len(),
+        raw_bytes_uplinked: faultfree.raw_bytes_uplinked,
+        central_raw_bytes: faultfree.central_raw_bytes,
+        faultfree: numbers(&faultfree, faultfree_ms),
+        chaos: numbers(&chaos, chaos_ms),
+        upgrade: numbers(&upgrade, upgrade_ms),
+        poisoned: numbers(&poisoned, poisoned_ms),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_upholds_invariants_and_renders() {
+        let report = run(&E15Config::smoke());
+        assert_eq!(report.users, 6);
+        assert!(report.records > 0);
+        assert!(report.raw_bytes_uplinked < report.central_raw_bytes);
+        assert!(report.raw_exposure_pct() < 100.0);
+        assert!(report.faultfree.full_parity && report.faultfree.degraded_windows == 0);
+        assert!(report.chaos.full_parity && report.chaos.retries > 0);
+        assert!(report.upgrade.full_parity && report.upgrade.stale_records > 0);
+        assert!(report.upgrade.reuploaded_records > 0);
+        assert!(!report.poisoned.full_parity);
+        assert_eq!(report.poisoned.poisoned_devices, 1);
+        assert!(report.poisoned.implausible_records > 0);
+        let json = report.to_json();
+        for key in [
+            "\"experiment\": \"e15_federated_release\"",
+            "\"raw_bytes_uplinked\"",
+            "\"central_raw_bytes\"",
+            "\"raw_exposure_pct\"",
+            "\"config_frames\"",
+            "\"faultfree\"",
+            "\"chaos\"",
+            "\"upgrade\"",
+            "\"poisoned\"",
+            "\"stale_records\"",
+            "\"implausible_records\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        let text = report.to_string();
+        assert!(text.contains("raw exposure") && text.contains("poisoned"));
+    }
+
+    #[test]
+    fn config_constructors_cover_scales() {
+        assert_eq!(E15Config::smoke().users, 6);
+        let small = E15Config::from_scale(Scale::Small);
+        assert_eq!(small.label, "small");
+        assert_eq!(small.users, 30);
+        assert_eq!(small.days, 7);
+    }
+}

@@ -10,6 +10,7 @@
 
 use mobility::ParticipantFilter;
 use privapi::engine::ExecutionMode;
+use privapi::federated::FederationPolicy;
 use privapi::pipeline::{PrivApi, PrivApiConfig};
 use privapi::pool::StrategyPool;
 use privapi::prelude::PoiAttack;
@@ -65,6 +66,17 @@ pub enum CampaignError {
         /// Most recently processed day.
         last_day: i64,
     },
+    /// A campaign opted into federated release
+    /// ([`Campaign::with_federation`]) but its candidate pool holds a
+    /// strategy that cannot run device-locally. Rejected at registration:
+    /// a non-federable winner would force devices to upload raw data,
+    /// silently voiding the policy.
+    NonFederable {
+        /// The campaign that was rejected.
+        id: CampaignId,
+        /// The offending candidate, rendered as `name(params)`.
+        strategy: String,
+    },
 }
 
 impl fmt::Display for CampaignError {
@@ -81,6 +93,11 @@ impl fmt::Display for CampaignError {
                 f,
                 "window for day {day} arrived after day {last_day}: the campaign stream \
                  must ascend strictly"
+            ),
+            CampaignError::NonFederable { id, strategy } => write!(
+                f,
+                "{id} declares a federation policy but pools non-federable \
+                 strategy {strategy}: every candidate must run device-locally"
             ),
         }
     }
@@ -115,6 +132,7 @@ pub struct Campaign {
     filter: ParticipantFilter,
     start_day: Option<i64>,
     end_day: Option<i64>,
+    federation: Option<FederationPolicy>,
 }
 
 impl Campaign {
@@ -134,6 +152,7 @@ impl Campaign {
             filter: ParticipantFilter::All,
             start_day: None,
             end_day: None,
+            federation: None,
         }
     }
 
@@ -166,6 +185,18 @@ impl Campaign {
         self
     }
 
+    /// Opts the campaign into federated release: devices anonymize
+    /// locally under the broadcast winner and only the policy's
+    /// calibration cohort uploads raw. Registration validates that every
+    /// pooled candidate can actually run device-locally
+    /// ([`CampaignError::NonFederable`] otherwise), and day reports carry
+    /// the federated provenance ledger
+    /// ([`crate::DayReport::federation`]).
+    pub fn with_federation(mut self, policy: FederationPolicy) -> Self {
+        self.federation = Some(policy);
+        self
+    }
+
     /// First day (inclusive) the campaign observes.
     pub fn with_start_day(mut self, day: i64) -> Self {
         self.start_day = Some(day);
@@ -192,6 +223,12 @@ impl Campaign {
     /// attack).
     pub fn privapi(&self) -> &PrivApi {
         &self.privapi
+    }
+
+    /// The campaign's federation policy, when it opted into device-local
+    /// anonymization.
+    pub fn federation(&self) -> Option<&FederationPolicy> {
+        self.federation.as_ref()
     }
 
     /// The campaign's participant scope.

@@ -47,6 +47,7 @@ use crate::campaign::{Campaign, CampaignError, CampaignId, CampaignStatus};
 use crate::registry::{CampaignEntry, CampaignRegistry, View};
 use mobility::{DatasetWindow, UserId};
 use privapi::attack::{PoiAttack, PoiAttackConfig};
+use privapi::federated::FederationDelta;
 use privapi::pipeline::PublishedDataset;
 use privapi::streaming::{
     BaselineDelta, IngestDelta, PopulationCache, StrategyCacheDelta, StrategyDonor,
@@ -157,6 +158,13 @@ pub struct DayReport {
     /// quarantined into this window. `None` for windows fed directly from
     /// a materialized dataset.
     pub ingest: Option<IngestDelta>,
+    /// Federated-release provenance, when the window came from the
+    /// device-local pipeline (see
+    /// [`Orchestrator::advance_day_federated`]): which config version it
+    /// was assembled under, and exactly what was quarantined as stale,
+    /// rejected as implausible or superseded by catch-up re-uploads.
+    /// `None` for central (raw-upload) windows.
+    pub federation: Option<FederationDelta>,
 }
 
 impl DayReport {
@@ -169,6 +177,7 @@ impl DayReport {
     /// data quarantined or deferred by the ingestion layer).
     pub fn degraded(&self) -> bool {
         self.ingest.is_some_and(|d| !d.is_clean())
+            || self.federation.is_some_and(|d| !d.is_clean())
     }
 
     /// The release of one campaign, if it published.
@@ -257,6 +266,18 @@ impl Orchestrator {
     pub fn register(&mut self, campaign: Campaign) -> Result<CampaignId, CampaignError> {
         if self.registry.is_active(campaign.id()) {
             return Err(CampaignError::DuplicateId(campaign.id()));
+        }
+        if let Some(policy) = campaign.federation() {
+            if let Err(e) = policy.validate_pool(campaign.privapi().pool()) {
+                let strategy = match e {
+                    PrivapiError::NonFederable { strategy } => strategy,
+                    other => other.to_string(),
+                };
+                return Err(CampaignError::NonFederable {
+                    id: campaign.id(),
+                    strategy,
+                });
+            }
         }
         let view = if campaign.filter().is_all() {
             View::Shared(self.find_or_create_session(&campaign))
@@ -397,6 +418,7 @@ impl Orchestrator {
                 sessions: Vec::new(),
                 outcomes,
                 ingest: None,
+                federation: None,
             });
         }
 
@@ -486,6 +508,7 @@ impl Orchestrator {
             sessions: session_deltas.into_iter().flatten().collect(),
             outcomes,
             ingest: None,
+            federation: None,
         })
     }
 
@@ -513,6 +536,35 @@ impl Orchestrator {
         debug_assert_eq!(window.day(), ingest.day, "ingest audit for wrong day");
         let mut report = self.advance_day(window)?;
         report.ingest = Some(ingest);
+        Ok(report)
+    }
+
+    /// [`Orchestrator::advance_day`] for a *federated* window: the
+    /// dataset holds device-anonymized trajectories assembled by the
+    /// protected-lane collector, `ingest` is the calibration cohort's raw
+    /// ingestion audit (when the cohort fed this day's selection) and
+    /// `federation` is the protected lane's ledger. The report carries
+    /// both, and [`DayReport::degraded`] flags the day whenever either
+    /// ledger shows stale, implausible, superseded or straggling data —
+    /// the campaign-layer half of the "never silently mixed" invariant.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors of [`Orchestrator::advance_day`].
+    pub fn advance_day_federated(
+        &mut self,
+        window: &DatasetWindow,
+        ingest: Option<IngestDelta>,
+        federation: FederationDelta,
+    ) -> Result<DayReport, CampaignError> {
+        debug_assert_eq!(
+            window.day(),
+            federation.day,
+            "federation audit for wrong day"
+        );
+        let mut report = self.advance_day(window)?;
+        report.ingest = ingest;
+        report.federation = Some(federation);
         Ok(report)
     }
 

@@ -33,6 +33,20 @@ pub enum PrivapiError {
     },
     /// An underlying mobility-layer error.
     Mobility(mobility::MobilityError),
+    /// A federated deployment was asked to run a strategy that cannot be
+    /// executed device-locally: it declares
+    /// [`crate::strategy::UserLocality::NonLocal`] or exposes no
+    /// serializable [`crate::federated::StrategySpec`].
+    NonFederable {
+        /// The offending candidate, rendered as `name(params)`.
+        strategy: String,
+    },
+    /// A grid-anchored strategy config was instantiated without the
+    /// broadcast grid anchor it needs to cloak deterministically.
+    MissingGridAnchor {
+        /// The mechanism that needed the anchor.
+        strategy: String,
+    },
 }
 
 impl fmt::Display for PrivapiError {
@@ -52,6 +66,17 @@ impl fmt::Display for PrivapiError {
                  ascend strictly (duplicate ingest of an already-published window?)"
             ),
             PrivapiError::Mobility(e) => write!(f, "mobility error: {e}"),
+            PrivapiError::NonFederable { strategy } => write!(
+                f,
+                "strategy {strategy} cannot run device-locally: federated release \
+                 requires UserLocal (or anchored GridAnchored) candidates with a \
+                 serializable spec"
+            ),
+            PrivapiError::MissingGridAnchor { strategy } => write!(
+                f,
+                "strategy {strategy} is grid-anchored but no grid anchor was \
+                 broadcast in the strategy config"
+            ),
         }
     }
 }

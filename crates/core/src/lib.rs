@@ -29,6 +29,11 @@
 //!   search;
 //! * [`pipeline`] — the [`pipeline::PrivApi`] middleware facade a platform
 //!   (e.g. APISENSE) plugs in before releasing datasets;
+//! * [`federated`] — the device-local release contract: serializable
+//!   [`federated::StrategySpec`]/[`federated::StrategyConfig`] broadcast
+//!   frames, deterministic calibration-cohort selection, and the
+//!   server-side [`federated::FederatedSession`] that re-assembles
+//!   per-device protected uploads byte-identically to a central release;
 //! * [`streaming`] — day-windowed incremental publication
 //!   ([`streaming::StreamingPublisher`]): the original-side
 //!   [`streaming::SessionCache`] reuses per-user attack shards and the
@@ -68,6 +73,7 @@ mod error;
 
 pub mod attack;
 pub mod engine;
+pub mod federated;
 pub mod metrics;
 pub mod pipeline;
 pub mod pool;
@@ -86,6 +92,10 @@ pub mod prelude {
     };
     pub use crate::engine::{
         choose_winner, EvalContext, EvaluationEngine, ExecutionMode, WinnerRelease,
+    };
+    pub use crate::federated::{
+        calibration_cohort, central_release, FederatedSession, FederationDelta,
+        FederationPolicy, StrategyConfig, StrategySpec,
     };
     pub use crate::metrics::{
         crowded_places_utility, spatial_distortion, traffic_utility, CrowdedPlacesReport,

@@ -1,6 +1,7 @@
 //! Independent Gaussian perturbation — the naive noise baseline.
 
 use crate::error::PrivapiError;
+use crate::federated::StrategySpec;
 use crate::strategies::{map_user_trajectories, perturb_trajectory};
 use crate::strategy::{AnonymizationStrategy, StrategyInfo, UserLocality};
 use geo::{GeoPoint, Meters};
@@ -74,6 +75,12 @@ impl AnonymizationStrategy for GaussianPerturbation {
     /// records alone.
     fn locality(&self) -> UserLocality {
         UserLocality::UserLocal
+    }
+
+    fn spec(&self) -> Option<StrategySpec> {
+        Some(StrategySpec::GaussianPerturbation {
+            sigma_m: self.sigma().get(),
+        })
     }
 
     fn anonymize_user(

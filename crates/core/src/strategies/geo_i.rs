@@ -10,6 +10,7 @@
 //! inverting the Gamma(2, ε) CDF via the Lambert W₋₁ function.
 
 use crate::error::PrivapiError;
+use crate::federated::StrategySpec;
 use crate::strategies::{map_user_trajectories, perturb_trajectory};
 use crate::strategy::{AnonymizationStrategy, StrategyInfo, UserLocality};
 use geo::{Degrees, GeoPoint, Meters};
@@ -134,6 +135,12 @@ impl AnonymizationStrategy for GeoIndistinguishability {
     /// have to declare [`UserLocality::NonLocal`] instead.
     fn locality(&self) -> UserLocality {
         UserLocality::UserLocal
+    }
+
+    fn spec(&self) -> Option<StrategySpec> {
+        Some(StrategySpec::GeoIndistinguishability {
+            epsilon: self.epsilon(),
+        })
     }
 
     fn anonymize_user(

@@ -1,5 +1,6 @@
 //! The identity (no protection) control strategy.
 
+use crate::federated::StrategySpec;
 use crate::strategies::map_user_trajectories;
 use crate::strategy::{AnonymizationStrategy, StrategyInfo, UserLocality};
 use mobility::{Dataset, Trajectory, UserId};
@@ -32,6 +33,10 @@ impl AnonymizationStrategy for Identity {
     /// The no-op trivially depends on nothing but the user's own records.
     fn locality(&self) -> UserLocality {
         UserLocality::UserLocal
+    }
+
+    fn spec(&self) -> Option<StrategySpec> {
+        Some(StrategySpec::Identity)
     }
 
     fn anonymize_user(

@@ -31,6 +31,7 @@
 //! so step 1 can separate jitter from real movement.
 
 use crate::error::PrivapiError;
+use crate::federated::StrategySpec;
 use crate::strategies::map_user_trajectories;
 use crate::strategy::{AnonymizationStrategy, StrategyInfo, UserLocality};
 use geo::Meters;
@@ -196,6 +197,12 @@ impl AnonymizationStrategy for SpeedSmoothing {
     /// user `u`'s output depends only on `u`'s own records.
     fn locality(&self) -> UserLocality {
         UserLocality::UserLocal
+    }
+
+    fn spec(&self) -> Option<StrategySpec> {
+        Some(StrategySpec::SpeedSmoothing {
+            epsilon_m: self.epsilon().get(),
+        })
     }
 
     fn anonymize_user(

@@ -5,6 +5,7 @@
 //! for the utility-driven selector.
 
 use crate::error::PrivapiError;
+use crate::federated::StrategySpec;
 use crate::strategies::map_user_trajectories;
 use crate::strategy::{AnonymizationStrategy, StrategyInfo, UserLocality};
 use geo::{BoundingBox, Meters, UniformGrid};
@@ -12,9 +13,16 @@ use mobility::{Dataset, LocationRecord, Trajectory, UserId};
 use std::sync::Arc;
 
 /// Grid-cloaking strategy with a configurable cell size.
+///
+/// By default the tessellation is anchored on the *dataset's* quantized
+/// bounding box — fine centrally, where everyone sees the same dataset.
+/// A federated deployment instead pins the broadcast anchor with
+/// [`SpatialCloaking::with_anchor`], so a device cloaking against its own
+/// (drifted, partial) local data still lands on exactly the central grid.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SpatialCloaking {
     cell_size: Meters,
+    anchor: Option<BoundingBox>,
 }
 
 impl SpatialCloaking {
@@ -30,7 +38,31 @@ impl SpatialCloaking {
                 value: format!("{}", cell_size.get()),
             });
         }
-        Ok(Self { cell_size })
+        Ok(Self {
+            cell_size,
+            anchor: None,
+        })
+    }
+
+    /// Pins the tessellation to an explicit anchor box instead of deriving
+    /// it from each dataset's own bounding box. The box is used verbatim —
+    /// every party must pin the *same* bytes, so compute the canonical
+    /// form once (e.g. [`BoundingBox::grid_anchor`] of the sensing region,
+    /// which is what a federated gateway broadcasts) and distribute that.
+    /// Re-normalizing here would shear the grid: `grid_anchor` pads before
+    /// quantizing and is therefore not idempotent.
+    ///
+    /// With a pinned anchor the output no longer reads the dataset
+    /// bounding box at all, so [`SpatialCloaking::locality`] strengthens
+    /// to [`UserLocality::UserLocal`].
+    pub fn with_anchor(mut self, anchor: BoundingBox) -> Self {
+        self.anchor = Some(anchor);
+        self
+    }
+
+    /// The pinned anchor, when cloaking was fixed to a broadcast grid.
+    pub fn anchor(&self) -> Option<&BoundingBox> {
+        self.anchor.as_ref()
     }
 
     /// The cloaking cell side.
@@ -45,8 +77,13 @@ impl SpatialCloaking {
     /// bounding-box drift inside the 0.05° lattice leaves the tessellation
     /// (and every cached per-user cloaking) untouched; the quantized span
     /// is never degenerate, so single-point datasets need no special case.
+    /// A pinned anchor ([`SpatialCloaking::with_anchor`]) takes precedence
+    /// and never consults the dataset.
     fn cloaking_grid(&self, dataset: &Dataset) -> Option<UniformGrid> {
-        let bbox: BoundingBox = dataset.bounding_box()?.grid_anchor();
+        let bbox: BoundingBox = match self.anchor {
+            Some(anchor) => anchor,
+            None => dataset.bounding_box()?.grid_anchor(),
+        };
         UniformGrid::new(bbox, self.cell_size).ok()
     }
 
@@ -67,9 +104,21 @@ impl SpatialCloaking {
 
 impl AnonymizationStrategy for SpatialCloaking {
     fn info(&self) -> StrategyInfo {
+        // Anchored and free-floating instances cloak to different grids,
+        // so the anchor is part of the identity (cache/donor fingerprints
+        // must not conflate them).
+        let params = match &self.anchor {
+            Some(a) => format!(
+                "cell={:.0}m,anchor=({:.2},{:.2})",
+                self.cell_size.get(),
+                a.min().latitude(),
+                a.min().longitude()
+            ),
+            None => format!("cell={:.0}m", self.cell_size.get()),
+        };
         StrategyInfo {
             name: "spatial-cloaking".into(),
-            params: format!("cell={:.0}m", self.cell_size.get()),
+            params,
         }
     }
 
@@ -85,9 +134,20 @@ impl AnonymizationStrategy for SpatialCloaking {
     /// Snapping is per record, but the grid it snaps to is anchored on the
     /// **dataset** bounding box: user `u`'s output depends on `u`'s records
     /// plus that box. A window that widens the box shifts every cell
-    /// boundary and invalidates every user's cached output.
+    /// boundary and invalidates every user's cached output. A *pinned*
+    /// anchor removes the dataset dependence entirely, strengthening the
+    /// contract to [`UserLocality::UserLocal`].
     fn locality(&self) -> UserLocality {
-        UserLocality::GridAnchored
+        match self.anchor {
+            Some(_) => UserLocality::UserLocal,
+            None => UserLocality::GridAnchored,
+        }
+    }
+
+    fn spec(&self) -> Option<StrategySpec> {
+        Some(StrategySpec::SpatialCloaking {
+            cell_m: self.cell_size.get(),
+        })
     }
 
     fn anonymize_user(
@@ -193,5 +253,78 @@ mod tests {
         let mech = SpatialCloaking::new(Meters::new(500.0)).unwrap();
         assert_eq!(mech.info().to_string(), "spatial-cloaking(cell=500m)");
         assert_eq!(mech.cell_size(), Meters::new(500.0));
+    }
+
+    #[test]
+    fn anchored_instances_have_a_distinct_identity_and_stronger_locality() {
+        let free = SpatialCloaking::new(Meters::new(250.0)).unwrap();
+        let anchored = free.with_anchor(sample().bounding_box().unwrap());
+        assert_eq!(free.locality(), UserLocality::GridAnchored);
+        assert_eq!(anchored.locality(), UserLocality::UserLocal);
+        assert_ne!(free.info(), anchored.info(), "anchor is part of identity");
+        assert!(anchored.info().params.contains("anchor="));
+        assert!(anchored.anchor().is_some());
+    }
+
+    /// Satellite regression for the federated fix: a device cloaking its
+    /// own partial data — whose *local* bounding box has drifted well away
+    /// from the population's — still lands byte-identically on the central
+    /// grid, because the anchor is pinned from the broadcast config
+    /// instead of derived from whatever dataset the device happens to see.
+    #[test]
+    fn pinned_anchor_matches_central_under_drifted_local_bbox() {
+        let population = sample();
+        let central_anchor = population.bounding_box().unwrap().grid_anchor();
+        let central = SpatialCloaking::new(Meters::new(250.0))
+            .unwrap()
+            .anonymize(&population, 0);
+
+        let device = SpatialCloaking::new(Meters::new(250.0))
+            .unwrap()
+            .with_anchor(central_anchor);
+        for &user in &population.users() {
+            // The device-local dataset: only this user's records, so its
+            // bounding box is a strict (drifted) sub-box of the
+            // population's.
+            let local = Dataset::from_trajectories(
+                population
+                    .trajectories_of(user)
+                    .into_iter()
+                    .cloned()
+                    .collect(),
+            );
+            assert_ne!(
+                local.bounding_box().unwrap(),
+                population.bounding_box().unwrap(),
+                "the premise: local bbox must actually drift"
+            );
+            let local_out = device.anonymize_user(&local, user, 0);
+            let central_of_user = central.shared_of(user);
+            assert_eq!(local_out.len(), central_of_user.len());
+            for (got, want) in local_out.iter().zip(&central_of_user) {
+                assert_eq!(got.records(), want.records(), "user {user:?} must match");
+            }
+            // Negative control: deriving the grid from the drifted local
+            // bbox (no pinned anchor) shears the tessellation for at
+            // least one user.
+        }
+        let unpinned = SpatialCloaking::new(Meters::new(250.0)).unwrap();
+        let mismatch = population.users().iter().any(|&user| {
+            let local = Dataset::from_trajectories(
+                population
+                    .trajectories_of(user)
+                    .into_iter()
+                    .cloned()
+                    .collect(),
+            );
+            let got = unpinned.anonymize_user(&local, user, 0);
+            got.iter()
+                .zip(&central.shared_of(user))
+                .any(|(a, b)| a.records() != b.records())
+        });
+        assert!(
+            mismatch,
+            "negative control: local-bbox grids must actually drift for some user"
+        );
     }
 }

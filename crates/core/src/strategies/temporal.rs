@@ -1,6 +1,7 @@
 //! Temporal downsampling: publish at most one fix per time window.
 
 use crate::error::PrivapiError;
+use crate::federated::StrategySpec;
 use crate::strategies::map_user_trajectories;
 use crate::strategy::{AnonymizationStrategy, StrategyInfo, UserLocality};
 use mobility::{Dataset, LocationRecord, Trajectory, UserId};
@@ -66,6 +67,12 @@ impl AnonymizationStrategy for TemporalDownsampling {
     /// only on `u`'s own records.
     fn locality(&self) -> UserLocality {
         UserLocality::UserLocal
+    }
+
+    fn spec(&self) -> Option<StrategySpec> {
+        Some(StrategySpec::TemporalDownsampling {
+            window_s: self.window_s(),
+        })
     }
 
     fn anonymize_user(

@@ -6,6 +6,7 @@
 //! (paper, §3). Every mechanism implements [`AnonymizationStrategy`]; the
 //! [`crate::selection`] module searches over boxed strategies.
 
+use crate::federated::StrategySpec;
 use mobility::{Dataset, Trajectory, UserId};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -97,6 +98,17 @@ pub trait AnonymizationStrategy: Send + Sync {
     /// [`UserLocality::NonLocal`] (no per-user reuse).
     fn locality(&self) -> UserLocality {
         UserLocality::NonLocal
+    }
+
+    /// A serializable description of this instance that a gateway can
+    /// broadcast so a *device* reconstructs the exact mechanism (see
+    /// [`crate::federated::StrategySpec`]). `None` — the default — marks
+    /// the strategy as non-federable: it can only run centrally. Built-in
+    /// mechanisms override this; an implementation returning `Some` must
+    /// guarantee `spec().instantiate(..)` rebuilds a mechanism whose
+    /// outputs are byte-identical to its own.
+    fn spec(&self) -> Option<StrategySpec> {
+        None
     }
 
     /// The per-user incremental surface: protected trajectories of `user`,
