@@ -208,10 +208,13 @@ impl Collector {
     /// rejected; registered-but-silent devices count as stragglers on
     /// every close.
     pub fn register(&mut self, device: u64, user: UserId) {
-        self.lanes.entry(device).or_insert_with(|| DeviceLane {
-            user,
-            rx: ReliableReceiver::new(),
-            completed_through: None,
+        self.lanes.entry(device).or_insert_with(|| {
+            obs::count("collect.lanes", 1);
+            DeviceLane {
+                user,
+                rx: ReliableReceiver::new(),
+                completed_through: None,
+            }
         });
     }
 
@@ -273,6 +276,7 @@ impl Collector {
     fn apply(&mut self, lane_id: u64, chunk: &[u8]) -> Result<(), CollectError> {
         let batch = DayBatch::decode_from_slice(chunk)?;
         if batch.device != lane_id {
+            obs::count("collect.misrouted", 1);
             return Err(CollectError::Misrouted {
                 lane: lane_id,
                 claimed: batch.device,
@@ -284,11 +288,13 @@ impl Collector {
             )));
         }
         self.batches_applied += 1;
+        let mut quarantined_here: u64 = 0;
         for rec in &batch.records {
             let day = rec.time.day_index();
             if self.last_closed.is_some_and(|closed| day <= closed) {
                 self.quarantine.entry(rec.user).or_default().push(*rec);
                 self.quarantined_records += 1;
+                quarantined_here += 1;
             } else {
                 self.open
                     .entry(day)
@@ -297,6 +303,18 @@ impl Collector {
                     .or_default()
                     .push(*rec);
             }
+        }
+        if quarantined_here > 0 && obs::enabled() {
+            // One aggregated event per offending batch, carrying the
+            // quarantine reason for the trace.
+            obs::event(
+                "ingest.quarantine",
+                &[
+                    ("device", obs::AttrValue::U64(lane_id)),
+                    ("records", obs::AttrValue::U64(quarantined_here)),
+                    ("reason", obs::AttrValue::Str("day_already_closed".into())),
+                ],
+            );
         }
         if batch.end_of_day {
             let lane = self.lanes.get_mut(&lane_id).expect("lane exists");
@@ -376,8 +394,40 @@ impl Collector {
             .map(|(user, recs)| Trajectory::new(user, recs))
             .collect();
         self.last_closed = Some(day);
+        record_ingest_delta(&delta);
         Ok((DatasetWindow::from_parts(day, dataset), delta))
     }
+}
+
+/// Re-plumb one window's [`IngestDelta`] into the `ingest.*` obs
+/// instruments (the struct itself stays the public audit API). Emits a
+/// window-closed trace event alongside the counters. No-op while
+/// recording is off.
+fn record_ingest_delta(delta: &IngestDelta) {
+    if !obs::enabled() {
+        return;
+    }
+    obs::count("ingest.batches_applied", delta.batches_applied);
+    obs::count("ingest.batches_duplicate", delta.batches_duplicate);
+    obs::count("ingest.records", delta.records);
+    obs::count("ingest.quarantined", delta.records_quarantined);
+    obs::count("ingest.deferred", delta.records_deferred);
+    obs::count("ingest.stragglers", delta.straggler_devices);
+    obs::count("ingest.windows_closed", 1);
+    obs::event(
+        "ingest.window_closed",
+        &[
+            ("day", obs::AttrValue::I64(delta.day)),
+            ("records", obs::AttrValue::U64(delta.records)),
+            (
+                "quarantined",
+                obs::AttrValue::U64(delta.records_quarantined),
+            ),
+            ("deferred", obs::AttrValue::U64(delta.records_deferred)),
+            ("stragglers", obs::AttrValue::U64(delta.straggler_devices)),
+            ("clean", obs::AttrValue::Bool(delta.is_clean())),
+        ],
+    );
 }
 
 /// The device-side staging store: walks a pregenerated sensing schedule,

@@ -697,6 +697,18 @@ impl FederatedCollector {
             self.window_stale_batches += 1;
             self.window_stale_records += batch.records.len() as u64;
             self.window_stale_devices.insert(device);
+            obs::count("federated.stale_batches", 1);
+            obs::count("federated.stale_records", batch.records.len() as u64);
+            if obs::enabled() {
+                obs::event(
+                    "federated.quarantine",
+                    &[
+                        ("device", obs::AttrValue::U64(device)),
+                        ("records", obs::AttrValue::U64(batch.records.len() as u64)),
+                        ("reason", obs::AttrValue::Str("stale_config_version".into())),
+                    ],
+                );
+            }
             let admission = self.session.accept(
                 batch.version,
                 batch.day,
@@ -715,7 +727,20 @@ impl FederatedCollector {
             let rejected = batch.records.len() as u64;
             self.window_implausible += rejected;
             self.session.note_implausible(rejected);
-            self.poisoned.insert(device);
+            if self.poisoned.insert(device) {
+                obs::count("federated.poisoned_devices", 1);
+            }
+            obs::count("federated.implausible_records", rejected);
+            if obs::enabled() {
+                obs::event(
+                    "federated.quarantine",
+                    &[
+                        ("device", obs::AttrValue::U64(device)),
+                        ("records", obs::AttrValue::U64(rejected)),
+                        ("reason", obs::AttrValue::Str("implausible_region".into())),
+                    ],
+                );
+            }
             return Ok(());
         }
         if self.last_closed.is_some_and(|closed| batch.day <= closed) {

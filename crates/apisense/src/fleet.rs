@@ -197,6 +197,9 @@ impl Actor for HiveActor {
 /// Panics if the simulated Hive violates the close-in-order protocol —
 /// impossible by construction (days are closed by a monotone loop).
 pub fn run_fleet(config: &FleetConfig) -> FleetOutcome {
+    let mut fleet_span = obs::span("fleet.run");
+    fleet_span.set_attr("devices", config.users);
+    fleet_span.set_attr("days", config.days as u64);
     let population = CityModel::builder()
         .seed(config.seed)
         .build()

@@ -229,6 +229,22 @@ impl Vm {
         host: &mut dyn Host,
         fuel: u64,
     ) -> Result<Value, ApisenseError> {
+        let mut span = obs::span("vm.exec");
+        obs::count("vm.executions", 1);
+        let result = self.run_inner(program, host, fuel);
+        if result.is_err() {
+            obs::count("vm.faults", 1);
+            span.set_attr("fault", true);
+        }
+        result
+    }
+
+    fn run_inner(
+        &mut self,
+        program: &CompiledProgram,
+        host: &mut dyn Host,
+        fuel: u64,
+    ) -> Result<Value, ApisenseError> {
         self.reset(program);
         let mut fuel = fuel;
         let mut pc: usize = 0;
@@ -246,6 +262,7 @@ impl Vm {
                         return Err(ApisenseError::FuelExhausted);
                     }
                     fuel -= n;
+                    obs::count("vm.fuel_spent", n);
                 }
                 Op::Const(i) => self.push_const(program, i, cur)?,
                 Op::Null => self.stack.push(Value::Null),
@@ -580,6 +597,7 @@ impl Vm {
                         return Err(ApisenseError::FuelExhausted);
                     }
                     fuel -= n;
+                    obs::count("vm.fuel_spent", n);
                     self.add_top(cur)?;
                 }
                 Op::FuelNumeric(n, nop) => {
@@ -588,6 +606,7 @@ impl Vm {
                         return Err(ApisenseError::FuelExhausted);
                     }
                     fuel -= n;
+                    obs::count("vm.fuel_spent", n);
                     self.numeric_top(nop, cur)?;
                 }
                 Op::FuelJump(n, t) => {
@@ -596,6 +615,7 @@ impl Vm {
                         return Err(ApisenseError::FuelExhausted);
                     }
                     fuel -= n;
+                    obs::count("vm.fuel_spent", n);
                     pc = t as usize;
                 }
                 Op::FuelJumpIfFalse(n, t) => {
@@ -604,6 +624,7 @@ impl Vm {
                         return Err(ApisenseError::FuelExhausted);
                     }
                     fuel -= n;
+                    obs::count("vm.fuel_spent", n);
                     let value = self
                         .stack
                         .pop()
@@ -618,6 +639,7 @@ impl Vm {
                         return Err(ApisenseError::FuelExhausted);
                     }
                     fuel -= n;
+                    obs::count("vm.fuel_spent", n);
                     let rhs = self
                         .stack
                         .pop()
@@ -636,6 +658,7 @@ impl Vm {
                         return Err(ApisenseError::FuelExhausted);
                     }
                     fuel -= n;
+                    obs::count("vm.fuel_spent", n);
                     self.call_named(program, host, site, &mut pc, &mut base, cur)?;
                 }
                 Op::FuelCallHost(n, site) => {
@@ -644,6 +667,7 @@ impl Vm {
                         return Err(ApisenseError::FuelExhausted);
                     }
                     fuel -= n;
+                    obs::count("vm.fuel_spent", n);
                     let argc = program
                         .sites
                         .get(site as usize)
@@ -657,6 +681,7 @@ impl Vm {
                         return Err(ApisenseError::FuelExhausted);
                     }
                     fuel -= n;
+                    obs::count("vm.fuel_spent", n);
                     let rhs = self
                         .stack
                         .pop()
@@ -677,6 +702,7 @@ impl Vm {
                         return Err(ApisenseError::FuelExhausted);
                     }
                     fuel -= n;
+                    obs::count("vm.fuel_spent", n);
                     let rhs = self
                         .stack
                         .pop()
@@ -735,6 +761,7 @@ impl Vm {
                         return Err(ApisenseError::FuelExhausted);
                     }
                     fuel -= n;
+                    obs::count("vm.fuel_spent", n);
                     let value = self
                         .stack
                         .pop()
@@ -757,6 +784,7 @@ impl Vm {
                         return Err(ApisenseError::FuelExhausted);
                     }
                     fuel -= n;
+                    obs::count("vm.fuel_spent", n);
                 }
                 Op::SlotsFuelNumeric(a, b, n, nop) => {
                     let n = u64::from(n);
@@ -764,6 +792,7 @@ impl Vm {
                         return Err(ApisenseError::FuelExhausted);
                     }
                     fuel -= n;
+                    obs::count("vm.fuel_spent", n);
                     let out = {
                         let lhs = self.locals.get(base + a as usize).ok_or_else(|| {
                             fault("SlotsFuelNumeric", cur, "frame slot out of range")
@@ -781,6 +810,7 @@ impl Vm {
                         return Err(ApisenseError::FuelExhausted);
                     }
                     fuel -= n;
+                    obs::count("vm.fuel_spent", n);
                     let out = {
                         let lhs = self.locals.get(base + a as usize).ok_or_else(|| {
                             fault("SlotsFuelAdd", cur, "frame slot out of range")
@@ -799,6 +829,7 @@ impl Vm {
                         return Err(ApisenseError::FuelExhausted);
                     }
                     fuel -= n;
+                    obs::count("vm.fuel_spent", n);
                 }
                 Op::SlotFuelNumeric(slot, n, nop) => {
                     let n = u64::from(n);
@@ -806,6 +837,7 @@ impl Vm {
                         return Err(ApisenseError::FuelExhausted);
                     }
                     fuel -= n;
+                    obs::count("vm.fuel_spent", n);
                     let lhs = self
                         .stack
                         .pop()
@@ -822,6 +854,7 @@ impl Vm {
                         return Err(ApisenseError::FuelExhausted);
                     }
                     fuel -= n;
+                    obs::count("vm.fuel_spent", n);
                     let lhs = self
                         .stack
                         .pop()

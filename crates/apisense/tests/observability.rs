@@ -1,0 +1,159 @@
+//! Observation-parity property tests: turning the obs recorder on must
+//! never change what the pipeline publishes or audits.
+//!
+//! The obs layer promises recording is purely additive — atomic counter
+//! bumps and trace appends, no data-path branching. These tests drive the
+//! two paths with the densest instrumentation (the fault-injected fleet
+//! and the incremental streaming publisher) twice, recorder off then on,
+//! and require byte-identical published windows plus identical audit
+//! deltas ([`privapi::streaming::IngestDelta`],
+//! [`privapi::streaming::StrategyCacheDelta`]).
+//!
+//! The obs recorder is process-global, so every test here serializes on
+//! one lock; each `tests/*.rs` file is its own process, so nothing else
+//! races the enabled flag.
+
+use apisense::collect::window_fingerprint;
+use apisense::fleet::{run_fleet, FleetConfig};
+use mobility::gen::{CityModel, PopulationConfig};
+use mobility::WindowedDataset;
+use privapi::prelude::*;
+use privapi::streaming::{IngestDelta, StrategyCacheDelta};
+use proptest::prelude::*;
+use simnet::FaultPlan;
+
+static OBS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// One chaos fleet run: per-window byte fingerprints plus the ingestion
+/// audit, the pair the recorder must not perturb.
+fn chaos_fleet(seed: u64, users: usize, days: i64) -> (Vec<Vec<u8>>, Vec<IngestDelta>) {
+    let outcome = run_fleet(&FleetConfig {
+        users,
+        days,
+        faults: FaultPlan::chaos(seed),
+        ..FleetConfig::small(seed)
+    });
+    let fingerprints = outcome.windows.iter().map(window_fingerprint).collect();
+    (fingerprints, outcome.deltas)
+}
+
+/// One incremental streaming run: per-window released bytes plus the
+/// summed protected-side cache audit.
+fn stream(
+    seed: u64,
+    users: usize,
+    days: usize,
+) -> (
+    Vec<(SelectionReport, mobility::Dataset)>,
+    StrategyCacheDelta,
+) {
+    let data = CityModel::builder()
+        .seed(seed)
+        .build()
+        .generate_population(&PopulationConfig {
+            users,
+            days,
+            sampling_interval_s: 1_800,
+            ..PopulationConfig::default()
+        });
+    let mut publisher = StreamingPublisher::new(PrivApiConfig::default());
+    let mut totals = StrategyCacheDelta::default();
+    let mut releases = Vec::new();
+    for window in &WindowedDataset::partition(&data) {
+        let release = publisher.publish_window(window).expect("publish succeeds");
+        totals.users_reused += release.strategies.users_reused;
+        totals.users_refreshed += release.strategies.users_refreshed;
+        totals.shards_reused += release.strategies.shards_reused;
+        totals.shards_refreshed += release.strategies.shards_refreshed;
+        totals.protected_grid_rebuilds += release.strategies.protected_grid_rebuilds;
+        totals.full_fallbacks += release.strategies.full_fallbacks;
+        releases.push((release.published.selection, release.published.dataset));
+    }
+    (releases, totals)
+}
+
+/// Runs `work` with the recorder off, then on, restoring the prior state,
+/// and returns both results for equality assertions.
+fn off_then_on<T>(mut work: impl FnMut() -> T) -> (T, T) {
+    let was_enabled = obs::enabled();
+    obs::disable();
+    let off = work();
+    obs::enable();
+    let on = work();
+    if was_enabled {
+        obs::enable();
+    } else {
+        obs::disable();
+    }
+    (off, on)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// A fault-injected fleet publishes byte-identical windows with
+    /// identical ingestion audits whether or not the recorder is on.
+    #[test]
+    fn chaos_fleet_is_recorder_invariant(seed in 0u64..1_000, users in 3usize..7) {
+        let _guard = OBS_LOCK.lock().unwrap();
+        let ((off_windows, off_deltas), (on_windows, on_deltas)) =
+            off_then_on(|| chaos_fleet(seed, users, 2));
+        prop_assert_eq!(off_windows, on_windows, "published windows drifted under recording");
+        prop_assert_eq!(off_deltas, on_deltas, "IngestDelta audit drifted under recording");
+    }
+
+    /// The incremental streaming publisher releases identical bytes and
+    /// identical protected-side cache audits with the recorder on.
+    #[test]
+    fn streaming_is_recorder_invariant(seed in 0u64..1_000, users in 3usize..8) {
+        let _guard = OBS_LOCK.lock().unwrap();
+        let ((off_releases, off_totals), (on_releases, on_totals)) =
+            off_then_on(|| stream(seed, users, 3));
+        prop_assert!(!off_releases.is_empty(), "the run must publish at least one window");
+        prop_assert_eq!(off_releases, on_releases, "released bytes drifted under recording");
+        prop_assert_eq!(off_totals, on_totals, "StrategyCacheDelta drifted under recording");
+    }
+}
+
+/// While recording, the instrumented families actually accumulate — the
+/// parity above is not vacuous.
+#[test]
+fn recording_accumulates_the_instrumented_families() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    let was_enabled = obs::enabled();
+    let before: u64 = obs::metrics::snapshot()
+        .counters
+        .iter()
+        .map(|(_, v)| *v)
+        .sum();
+    obs::enable();
+    let _ = chaos_fleet(7, 4, 2);
+    let _ = stream(7, 4, 2);
+    if was_enabled {
+        obs::enable();
+    } else {
+        obs::disable();
+    }
+    let snapshot = obs::metrics::snapshot();
+    let after: u64 = snapshot.counters.iter().map(|(_, v)| *v).sum();
+    assert!(
+        after > before,
+        "recording a fleet + stream must move counters"
+    );
+    for family in [
+        "ingest.",
+        "reliable.",
+        "net.",
+        "streaming.",
+        "strategy.",
+        "engine.",
+    ] {
+        assert!(
+            snapshot
+                .counters
+                .iter()
+                .any(|(name, value)| name.starts_with(family) && *value > 0),
+            "no non-zero counter in family {family:?}"
+        );
+    }
+}

@@ -1,17 +1,22 @@
 //! Attack-path, streaming-publication, multi-campaign, reliable-ingestion,
-//! script-tier and federated-release perf summary: runs E10–E15 and emits
-//! `BENCH_e10.json` + `BENCH_e11.json` + `BENCH_e12.json` +
-//! `BENCH_e13.json` + `BENCH_e14.json` + `BENCH_e15.json`.
+//! script-tier, federated-release and observability perf summary: runs
+//! E10–E16 and emits `BENCH_e10.json` + `BENCH_e11.json` +
+//! `BENCH_e12.json` + `BENCH_e13.json` + `BENCH_e14.json` +
+//! `BENCH_e15.json` + `BENCH_e16.json`.
 //!
 //! ```bash
 //! cargo run -p bench --bin bench_summary --release -- --scale smoke
 //! cargo run -p bench --bin bench_summary --release -- --scale medium \
 //!     --out BENCH_e10.json --out-e11 BENCH_e11.json --out-e12 BENCH_e12.json \
-//!     --out-e13 BENCH_e13.json --out-e14 BENCH_e14.json --out-e15 BENCH_e15.json
+//!     --out-e13 BENCH_e13.json --out-e14 BENCH_e14.json --out-e15 BENCH_e15.json \
+//!     --out-e16 BENCH_e16.json
 //! # the 10k-user sparse-participation streaming stress shape
 //! cargo run -p bench --bin bench_summary --release -- --scale large
 //! # participation sensitivity sweep (overrides E11's daily percentage)
 //! cargo run -p bench --bin bench_summary --release -- --scale large --participation 10
+//! # record the obs trace across every experiment and export it for
+//! # obs_report (spans, counters, histograms, events as JSON lines)
+//! cargo run -p bench --bin bench_summary --release -- --scale smoke --trace trace.jsonl
 //! ```
 //!
 //! CI runs the smoke shape on every PR and uploads the JSON files as
@@ -41,6 +46,7 @@ use bench::e12::{self, E12Config};
 use bench::e13::{self, E13Config};
 use bench::e14::{self, E14Config};
 use bench::e15::{self, E15Config};
+use bench::e16::{self, E16Config};
 use bench::Scale;
 
 fn main() {
@@ -55,11 +61,13 @@ fn main() {
         }
         match arg.as_str() {
             "--scale" | "--participation" | "--out" | "--out-e11" | "--out-e12"
-            | "--out-e13" | "--out-e14" | "--out-e15" => expects_value = true,
+            | "--out-e13" | "--out-e14" | "--out-e15" | "--out-e16" | "--trace" => {
+                expects_value = true
+            }
             other => {
                 eprintln!(
                     "unexpected argument {other:?}; use --scale, --participation, --out, \
-                     --out-e11, --out-e12, --out-e13, --out-e14, --out-e15"
+                     --out-e11, --out-e12, --out-e13, --out-e14, --out-e15, --out-e16, --trace"
                 );
                 std::process::exit(2);
             }
@@ -84,31 +92,43 @@ fn main() {
     let out_e13 = value_of("--out-e13").unwrap_or_else(|| "BENCH_e13.json".into());
     let out_e14 = value_of("--out-e14").unwrap_or_else(|| "BENCH_e14.json".into());
     let out_e15 = value_of("--out-e15").unwrap_or_else(|| "BENCH_e15.json".into());
-    let (e10_config, mut e11_config, e12_config, e13_config, e14_config, e15_config) =
-        match scale.as_str() {
-            "smoke" => (
-                E10Config::smoke(),
-                E11Config::smoke(),
-                E12Config::smoke(),
-                E13Config::smoke(),
-                E14Config::smoke(),
-                E15Config::smoke(),
+    let out_e16 = value_of("--out-e16").unwrap_or_else(|| "BENCH_e16.json".into());
+    let trace_path = value_of("--trace");
+    #[allow(clippy::type_complexity)]
+    let (
+        e10_config,
+        mut e11_config,
+        e12_config,
+        e13_config,
+        e14_config,
+        e15_config,
+        e16_config,
+    ) = match scale.as_str() {
+        "smoke" => (
+            E10Config::smoke(),
+            E11Config::smoke(),
+            E12Config::smoke(),
+            E13Config::smoke(),
+            E14Config::smoke(),
+            E15Config::smoke(),
+            E16Config::smoke(),
+        ),
+        other => match Scale::parse(other) {
+            Ok(scale) => (
+                E10Config::from_scale(scale),
+                E11Config::from_scale(scale),
+                E12Config::from_scale(scale),
+                E13Config::from_scale(scale),
+                E14Config::from_scale(scale),
+                E15Config::from_scale(scale),
+                E16Config::from_scale(scale),
             ),
-            other => match Scale::parse(other) {
-                Ok(scale) => (
-                    E10Config::from_scale(scale),
-                    E11Config::from_scale(scale),
-                    E12Config::from_scale(scale),
-                    E13Config::from_scale(scale),
-                    E14Config::from_scale(scale),
-                    E15Config::from_scale(scale),
-                ),
-                Err(_) => {
-                    eprintln!("unknown --scale {other:?}; use smoke|small|medium|full|large");
-                    std::process::exit(2);
-                }
-            },
-        };
+            Err(_) => {
+                eprintln!("unknown --scale {other:?}; use smoke|small|medium|full|large");
+                std::process::exit(2);
+            }
+        },
+    };
     if let Some(pct) = value_of("--participation") {
         // Overrides E11's daily participation (percent of users reporting
         // on any day after the first) for sensitivity sweeps at any scale.
@@ -119,6 +139,13 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+
+    if trace_path.is_some() {
+        // Record the whole summary run: every experiment's spans, counters,
+        // histograms and events accumulate into one exported trace. E16
+        // briefly toggles recording for its off-leg and restores it.
+        obs::enable();
     }
 
     let write = |path: &str, json: String| {
@@ -180,4 +207,21 @@ fn main() {
     let e15_report = e15::run(&e15_config);
     println!("{e15_report}");
     write(&out_e15, e15_report.to_json());
+
+    eprintln!(
+        "e16 observability summary: scale={}, {} users x {} days @ {} s",
+        e16_config.label, e16_config.users, e16_config.days, e16_config.interval_s
+    );
+    let e16_report = e16::run(&e16_config);
+    println!("{e16_report}");
+    write(&out_e16, e16_report.to_json());
+
+    if let Some(path) = trace_path {
+        obs::disable();
+        obs::export::write_jsonl(&path).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("wrote {path}");
+    }
 }

@@ -114,13 +114,14 @@ impl E10Report {
     /// no JSON serializer dependency).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\n  \"experiment\": \"e10_attack_pipeline\",\n  \"scale\": \"{}\",\n  \
+            "{{\n  \"experiment\": \"e10_attack_pipeline\",\n{}  \"scale\": \"{}\",\n  \
              \"threads\": {},\n  \"users\": {},\n  \"records\": {},\n  \
              \"extract_serial_ms\": {:.3},\n  \"extract_parallel_ms\": {:.3},\n  \
              \"extract_speedup\": {:.3},\n  \"match_scan_ms\": {:.4},\n  \
              \"match_indexed_ms\": {:.4},\n  \"match_speedup\": {:.3},\n  \
              \"publish_ms\": {:.3},\n  \"pool_size\": {},\n  \
              \"extractions_per_publish\": {}\n}}\n",
+            crate::host_json(),
             self.label,
             self.threads,
             self.users,

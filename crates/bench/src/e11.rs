@@ -177,7 +177,7 @@ impl E11Report {
     /// no JSON serializer dependency).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\n  \"experiment\": \"e11_streaming_publication\",\n  \"scale\": \"{}\",\n  \
+            "{{\n  \"experiment\": \"e11_streaming_publication\",\n{}  \"scale\": \"{}\",\n  \
              \"threads\": {},\n  \"users\": {},\n  \"records\": {},\n  \
              \"participation_pct\": {},\n  \"windows\": {},\n  \
              \"batch_total_ms\": {:.3},\n  \"incremental_total_ms\": {:.3},\n  \
@@ -194,6 +194,7 @@ impl E11Report {
              \"strategy_grid_rebuilds\": {},\n  \"strategy_full_fallbacks\": {},\n  \
              \"baseline_reuses\": {},\n  \"baseline_rebuilds\": {},\n  \
              \"baseline_cells_updated\": {}\n}}\n",
+            crate::host_json(),
             self.label,
             self.threads,
             self.users,

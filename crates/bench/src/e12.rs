@@ -208,7 +208,7 @@ impl E12Report {
     /// has no JSON serializer dependency).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\n  \"experiment\": \"e12_multi_campaign\",\n  \"scale\": \"{}\",\n  \
+            "{{\n  \"experiment\": \"e12_multi_campaign\",\n{}  \"scale\": \"{}\",\n  \
              \"threads\": {},\n  \"users\": {},\n  \"records\": {},\n  \"windows\": {},\n  \
              \"campaigns\": {},\n  \"same_config_campaigns\": {},\n  \
              \"shared_sessions\": {},\n  \"releases\": {},\n  \
@@ -221,6 +221,7 @@ impl E12Report {
              \"orchestrated_extractions\": {},\n  \"shards_derived\": {},\n  \
              \"users_donated\": {},\n  \"shards_donated\": {},\n  \
              \"baseline_rebuilds\": {},\n  \"baseline_cells_updated\": {}\n}}\n",
+            crate::host_json(),
             self.label,
             self.threads,
             self.users,

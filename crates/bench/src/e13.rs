@@ -220,8 +220,9 @@ impl E13Report {
     /// has no JSON serializer dependency).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\n  \"experiment\": \"e13_reliable_ingestion\",\n  \"scale\": \"{}\",\n  \
+            "{{\n  \"experiment\": \"e13_reliable_ingestion\",\n{}  \"scale\": \"{}\",\n  \
              \"users\": {},\n  \"days\": {},\n  \"records\": {},\n{},\n{},\n{}\n}}\n",
+            crate::host_json(),
             self.label,
             self.users,
             self.days,
@@ -318,6 +319,7 @@ fn assert_byte_identical(outcome: &FleetOutcome, run: &str) {
 /// reporting latency percentiles and fault counters.
 pub fn run(config: &E13Config) -> E13Report {
     // Fault-free oracle run.
+    obs::phase("e13.faultfree");
     let start = Instant::now();
     let faultfree = run_fleet(&config.fleet(FaultPlan::none()));
     let faultfree_ms = start.elapsed().as_secs_f64() * 1e3;
@@ -328,6 +330,7 @@ pub fn run(config: &E13Config) -> E13Report {
     // Chaos run: loss bursts, duplication, reordering — but no partitions
     // or crashes, so everything arrives within each day's grace window and
     // the published windows must not change by a single byte.
+    obs::phase("e13.chaos");
     let start = Instant::now();
     let chaos = run_fleet(&config.fleet(FaultPlan::chaos(config.seed)));
     let chaos_ms = start.elapsed().as_secs_f64() * 1e3;
@@ -354,6 +357,7 @@ pub fn run(config: &E13Config) -> E13Report {
         until_ms: day_end + fleet.grace_s + 10_000,
         nodes: severed,
     });
+    obs::phase("e13.partition");
     let start = Instant::now();
     let partition = run_fleet(&fleet);
     let partition_ms = start.elapsed().as_secs_f64() * 1e3;

@@ -150,12 +150,13 @@ impl E14Report {
     /// no JSON serializer dependency).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\n  \"experiment\": \"e14_script_vm\",\n  \"scale\": \"{}\",\n  \
+            "{{\n  \"experiment\": \"e14_script_vm\",\n{}  \"scale\": \"{}\",\n  \
              \"devices\": {},\n  \"queries\": {},\n  \"per_query\": {},\n  \
              \"executions\": {},\n  \"records\": {},\n  \
              \"interp_total_ms\": {:.3},\n  \"vm_total_ms\": {:.3},\n  \
              \"interp_execs_per_sec\": {:.1},\n  \"vm_execs_per_sec\": {:.1},\n  \
              \"speedup\": {:.3},\n  \"parity_ok\": {}\n}}\n",
+            crate::host_json(),
             self.label,
             self.devices,
             self.queries,

@@ -227,10 +227,11 @@ impl E15Report {
     /// has no JSON serializer dependency).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\n  \"experiment\": \"e15_federated_release\",\n  \"scale\": \"{}\",\n  \
+            "{{\n  \"experiment\": \"e15_federated_release\",\n{}  \"scale\": \"{}\",\n  \
              \"users\": {},\n  \"days\": {},\n  \"records\": {},\n  \"cohort\": {},\n  \
              \"raw_bytes_uplinked\": {},\n  \"central_raw_bytes\": {},\n  \
              \"raw_exposure_pct\": {:.2},\n{},\n{},\n{},\n{}\n}}\n",
+            crate::host_json(),
             self.label,
             self.users,
             self.days,
@@ -323,6 +324,7 @@ impl fmt::Display for E15Report {
 /// economics and audit counters.
 pub fn run(config: &E15Config) -> E15Report {
     // Fault-free baseline.
+    obs::phase("e15.faultfree");
     let start = Instant::now();
     let faultfree = run_federated_fleet(&config.fleet());
     let faultfree_ms = start.elapsed().as_secs_f64() * 1e3;
@@ -341,6 +343,7 @@ pub fn run(config: &E15Config) -> E15Report {
         at_ms: 10_000,
         restart_ms: 45_000,
     });
+    obs::phase("e15.chaos");
     let start = Instant::now();
     let chaos = run_federated_fleet(&chaos_config);
     let chaos_ms = start.elapsed().as_secs_f64() * 1e3;
@@ -359,6 +362,7 @@ pub fn run(config: &E15Config) -> E15Report {
     upgrade_config.upgrade_at_close =
         Some((0, StrategySpec::GaussianPerturbation { sigma_m: 50.0 }));
     upgrade_config.deaf = vec![(3, 100_000, 176_000)];
+    obs::phase("e15.upgrade");
     let start = Instant::now();
     let upgrade = run_federated_fleet(&upgrade_config);
     let upgrade_ms = start.elapsed().as_secs_f64() * 1e3;
@@ -375,6 +379,7 @@ pub fn run(config: &E15Config) -> E15Report {
     // them whole and the release equals the honest central counterfactual.
     let mut poisoned_config = config.fleet();
     poisoned_config.poisoned = vec![4];
+    obs::phase("e15.poisoned");
     let start = Instant::now();
     let poisoned = run_federated_fleet(&poisoned_config);
     let poisoned_ms = start.elapsed().as_secs_f64() * 1e3;

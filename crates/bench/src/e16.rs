@@ -1,0 +1,436 @@
+//! E16 — observability overhead and trace completeness.
+//!
+//! The unified observability layer (`crates/obs`) promises two things the
+//! rest of the workspace leans on: the **disabled** fast path costs next
+//! to nothing on instrumented hot paths, and **enabling** it never
+//! changes published bytes. This experiment measures and asserts both:
+//!
+//! * **no-op cost** — a tight loop over the four instrument entry points
+//!   (counter, histogram, span, event) with recording off, reported as
+//!   nanoseconds per call;
+//! * **steady-window overhead** — the E11 incremental streaming workload
+//!   run twice, recording off then on. The recorder-off overhead of the
+//!   instrumented steady window is bounded by `(instrumented ops per
+//!   window) × (no-op cost)` over the off-run steady-window wall — the
+//!   op count taken from the recording run's own instruments, as an
+//!   upper bound (one `count(by)` call may add many to a counter) — and
+//!   asserted ≤ 2 %;
+//! * **recording parity** — both runs' releases compared window by
+//!   window: selection and dataset must be byte-identical (the proptest
+//!   in `crates/core/tests/observability.rs` covers the chaos path);
+//! * **trace completeness** — a fault-injected smoke fleet and a scripted
+//!   VM fleet run with recording on, asserting the `ingest`, `reliable`,
+//!   `net`, `streaming` and `vm` instrument families all accumulated.
+//!
+//! The `bench_summary` binary drives [`run`] and emits `BENCH_e16.json`;
+//! its `--trace` flag keeps recording on across every experiment and
+//! exports the combined JSONL trace for `obs_report`.
+
+use crate::e11::thin_participation;
+use crate::e14::SENSING_SCRIPT;
+use crate::e7::build_fleet;
+use crate::Scale;
+use apisense::fleet::{run_fleet, FleetConfig};
+use apisense::hive::TaskId;
+use apisense::script::{Script, Vm};
+use apisense::virtual_sensor::{SelectionStrategy, VirtualSensor};
+use mobility::{Dataset, Timestamp, WindowedDataset};
+use privapi::prelude::*;
+use simnet::reliable::ReliableConfig;
+use simnet::{FaultPlan, LinkModel};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Instant;
+
+/// Workload shape for one E16 run (the streaming parity leg; the fleet
+/// and VM completeness legs always run at smoke shape — they check that
+/// families accumulate, not how fast).
+#[derive(Debug, Clone)]
+pub struct E16Config {
+    /// Label recorded in the report (`smoke`, `small`, `medium`, `full`).
+    pub label: String,
+    /// Streaming population size.
+    pub users: usize,
+    /// Days of data per user (= number of windows).
+    pub days: usize,
+    /// Sampling interval, seconds.
+    pub interval_s: i64,
+    /// Daily participation percentage after day 0.
+    pub participation_pct: u64,
+}
+
+impl E16Config {
+    /// Tiny CI smoke shape: the E11 smoke population.
+    pub fn smoke() -> Self {
+        Self {
+            label: "smoke".into(),
+            users: 6,
+            days: 3,
+            interval_s: 300,
+            participation_pct: 50,
+        }
+    }
+
+    /// The canonical population for `scale`, bounded at `Large` like
+    /// E13's: the overhead bound is a per-window property, already
+    /// visible well below the full streaming stress population.
+    pub fn from_scale(scale: Scale) -> Self {
+        let (users, days, interval_s) = crate::data::by_scale(
+            scale,
+            scale.population(),
+            scale.population(),
+            scale.population(),
+            (2_000, 8, 1_200),
+        );
+        Self {
+            label: format!("{scale:?}").to_lowercase(),
+            users,
+            days,
+            interval_s,
+            participation_pct: crate::data::by_scale(scale, 40, 40, 40, 5),
+        }
+    }
+}
+
+/// The instrument families whose presence the completeness legs assert.
+pub const REQUIRED_FAMILIES: [&str; 5] = ["ingest", "reliable", "net", "streaming", "vm"];
+
+/// Measured no-op cost, steady-window overhead and per-family instrument
+/// activity of one E16 run.
+#[derive(Debug, Clone)]
+pub struct E16Report {
+    /// Workload label.
+    pub label: String,
+    /// Streaming population size.
+    pub users: usize,
+    /// Day windows published per streaming leg.
+    pub windows: usize,
+    /// Candidates in the strategy pool.
+    pub pool_size: usize,
+    /// Nanoseconds per disabled instrument call (counter + histogram +
+    /// span + event averaged).
+    pub noop_ns_per_op: f64,
+    /// Upper bound on instrumented calls per steady window (taken from
+    /// the recording run's counter/span/event accumulation).
+    pub instrumented_ops_per_window: f64,
+    /// Steady-state (post-bootstrap) window wall with recording off, ms.
+    pub off_steady_window_ms: f64,
+    /// Steady-state window wall with recording on, ms.
+    pub on_steady_window_ms: f64,
+    /// Total streaming wall with recording off, ms.
+    pub off_total_ms: f64,
+    /// Total streaming wall with recording on, ms.
+    pub on_total_ms: f64,
+    /// Estimated recorder-off overhead on the steady window, percent:
+    /// `instrumented_ops_per_window × noop_ns_per_op` over the off-run
+    /// steady-window wall. Asserted ≤ 2 in [`run`].
+    pub noop_overhead_pct: f64,
+    /// Whether both streaming runs released byte-identical windows
+    /// (asserted in [`run`]; recorded so the artifact carries it).
+    pub parity_ok: bool,
+    /// Counter activity per instrument family while recording was on
+    /// (family = name up to the first `.`), summed over counter deltas.
+    pub families: BTreeMap<String, u64>,
+}
+
+impl E16Report {
+    /// Renders the report as a JSON object (hand-rolled: the workspace
+    /// has no JSON serializer dependency).
+    pub fn to_json(&self) -> String {
+        let families = self
+            .families
+            .iter()
+            .map(|(name, total)| format!("    \"{name}\": {total}"))
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!(
+            "{{\n  \"experiment\": \"e16_observability\",\n{}  \"scale\": \"{}\",\n  \
+             \"users\": {},\n  \"windows\": {},\n  \"pool_size\": {},\n  \
+             \"noop_ns_per_op\": {:.3},\n  \"instrumented_ops_per_window\": {:.1},\n  \
+             \"off_steady_window_ms\": {:.3},\n  \"on_steady_window_ms\": {:.3},\n  \
+             \"off_total_ms\": {:.3},\n  \"on_total_ms\": {:.3},\n  \
+             \"noop_overhead_pct\": {:.4},\n  \"parity_ok\": {},\n  \
+             \"families\": {{\n{}\n  }}\n}}\n",
+            crate::host_json(),
+            self.label,
+            self.users,
+            self.windows,
+            self.pool_size,
+            self.noop_ns_per_op,
+            self.instrumented_ops_per_window,
+            self.off_steady_window_ms,
+            self.on_steady_window_ms,
+            self.off_total_ms,
+            self.on_total_ms,
+            self.noop_overhead_pct,
+            self.parity_ok,
+            families,
+        )
+    }
+}
+
+impl fmt::Display for E16Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "E16 observability ({}, {} users, {} windows, pool {})",
+            self.label, self.users, self.windows, self.pool_size
+        )?;
+        writeln!(
+            f,
+            "no-op cost {:.2} ns/call; ≤{:.1} instrumented ops per window → \
+             recorder-off steady-window overhead {:.4} % (bound 2 %)",
+            self.noop_ns_per_op, self.instrumented_ops_per_window, self.noop_overhead_pct
+        )?;
+        writeln!(
+            f,
+            "steady window: {:.3} ms off, {:.3} ms on; totals {:.3} / {:.3} ms; parity {}",
+            self.off_steady_window_ms,
+            self.on_steady_window_ms,
+            self.off_total_ms,
+            self.on_total_ms,
+            self.parity_ok
+        )?;
+        let families = self
+            .families
+            .iter()
+            .map(|(name, total)| format!("{name}={total}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        write!(f, "instrument families while recording: {families}")
+    }
+}
+
+/// Counter totals per family (prefix up to the first `.`) in a snapshot.
+fn family_totals(snap: &obs::metrics::MetricsSnapshot) -> BTreeMap<String, u64> {
+    let mut totals = BTreeMap::new();
+    for (name, value) in &snap.counters {
+        let family = name.split('.').next().unwrap_or(name).to_string();
+        *totals.entry(family).or_insert(0) += value;
+    }
+    totals
+}
+
+/// `after - before`, dropping families that did not move.
+fn family_deltas(
+    before: &BTreeMap<String, u64>,
+    after: &BTreeMap<String, u64>,
+) -> BTreeMap<String, u64> {
+    after
+        .iter()
+        .filter_map(|(name, total)| {
+            let delta = total - before.get(name).copied().unwrap_or(0);
+            (delta > 0).then(|| (name.clone(), delta))
+        })
+        .collect()
+}
+
+/// One pass of the incremental streaming workload; returns the releases
+/// (for parity), the total wall and the steady-state window wall (the
+/// minimum post-bootstrap window — the run least disturbed by the
+/// scheduler).
+fn stream_once(
+    windows: &WindowedDataset,
+    config: &PrivApiConfig,
+) -> (Vec<(SelectionReport, Dataset)>, f64, f64) {
+    let mut publisher = StreamingPublisher::new(*config);
+    let mut total_ms = 0.0;
+    let mut steady_ms = f64::MAX;
+    let mut releases = Vec::with_capacity(windows.len());
+    for (i, window) in windows.iter().enumerate() {
+        let start = Instant::now();
+        let release = publisher
+            .publish_window(window)
+            .expect("incremental publish succeeds");
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        total_ms += wall_ms;
+        if i > 0 || windows.len() == 1 {
+            steady_ms = steady_ms.min(wall_ms);
+        }
+        releases.push((release.published.selection, release.published.dataset));
+    }
+    (releases, total_ms, steady_ms)
+}
+
+/// Runs E16: measures the disabled fast-path cost, bounds the recorder-off
+/// steady-window overhead at 2 %, asserts recording parity on the
+/// streaming workload, and asserts the required instrument families all
+/// accumulate under a fault-injected fleet plus a scripted VM fleet.
+pub fn run(config: &E16Config) -> E16Report {
+    let was_enabled = obs::enabled();
+
+    // Leg A — disabled fast-path cost. Recording must be off.
+    obs::disable();
+    const NOOP_ITERS: u64 = 500_000;
+    let start = Instant::now();
+    for i in 0..NOOP_ITERS {
+        obs::count("e16.noop", std::hint::black_box(i));
+        obs::observe(
+            "e16.noop_hist",
+            obs::Buckets::LatencyMs,
+            std::hint::black_box(i),
+        );
+        let span = obs::span("e16.noop_span");
+        drop(std::hint::black_box(span));
+        obs::event("e16.noop_event", &[]);
+    }
+    let noop_ns_per_op = start.elapsed().as_secs_f64() * 1e9 / (NOOP_ITERS as f64 * 4.0);
+
+    // Leg B — streaming off vs on, with parity.
+    let data = crate::data::dataset(config.users, config.days, config.interval_s, 0xE16);
+    let dataset = thin_participation(&data.dataset, config.participation_pct);
+    let windows = WindowedDataset::partition(&dataset);
+    assert!(
+        !windows.is_empty(),
+        "generated data must span at least a day"
+    );
+    let privapi_config = PrivApiConfig::default();
+    let pool_size = PrivApi::new(privapi_config).pool().len();
+
+    let (off_releases, off_total_ms, off_steady_window_ms) =
+        stream_once(&windows, &privapi_config);
+
+    obs::enable();
+    obs::phase("e16.stream");
+    let counters_before = family_totals(&obs::metrics::snapshot());
+    let (spans_before, events_before, _) = obs::trace::snapshot();
+    let (on_releases, on_total_ms, on_steady_window_ms) =
+        stream_once(&windows, &privapi_config);
+    let counters_after = family_totals(&obs::metrics::snapshot());
+    let (spans_after, events_after, _) = obs::trace::snapshot();
+
+    let parity_ok = off_releases == on_releases;
+    assert!(
+        parity_ok,
+        "recording on must not change a single released byte"
+    );
+
+    // Upper bound on instrumented calls per window: every span and event
+    // is one call; each counter *increment* is counted as one call even
+    // though one call may add many.
+    let streaming_deltas = family_deltas(&counters_before, &counters_after);
+    let counter_ops: u64 = streaming_deltas.values().sum();
+    let trace_ops =
+        (spans_after.len() - spans_before.len()) + (events_after.len() - events_before.len());
+    let instrumented_ops_per_window =
+        (counter_ops as f64 + trace_ops as f64) / windows.len() as f64;
+    let noop_overhead_pct =
+        instrumented_ops_per_window * noop_ns_per_op / (off_steady_window_ms * 1e6) * 100.0;
+    assert!(
+        noop_overhead_pct <= 2.0,
+        "recorder-off overhead bound breached: {instrumented_ops_per_window:.1} ops × \
+         {noop_ns_per_op:.2} ns over a {off_steady_window_ms:.3} ms steady window \
+         = {noop_overhead_pct:.4} % > 2 %"
+    );
+
+    // Leg C — fault-injected smoke fleet: ingest/reliable/net families.
+    obs::phase("e16.fleet");
+    let fleet_before = family_totals(&obs::metrics::snapshot());
+    let outcome = run_fleet(&FleetConfig {
+        seed: 0xE16,
+        users: 6,
+        days: 2,
+        sampling_interval_s: 900,
+        upload_every_s: 1_800,
+        grace_s: 14_400,
+        link: LinkModel::mobile(),
+        faults: FaultPlan::chaos(0xE16),
+        reliable: ReliableConfig::default(),
+    });
+    assert!(outcome.published_records() > 0, "smoke fleet must publish");
+
+    // Leg D — scripted VM fleet: the vm family.
+    let script = Script::compile(SENSING_SCRIPT).expect("sensing script compiles");
+    let mut vm = Vm::new();
+    let mut fleet = build_fleet(4, 2, 0xE16);
+    let mut sensor = VirtualSensor::new(SelectionStrategy::RoundRobin, 2);
+    let task = TaskId(16);
+    let start_at = Timestamp::from_day_time(0, 8, 0, 0);
+    let mut vm_records = 0;
+    for q in 0..4 {
+        let now = start_at + (q as i64) * 60;
+        for idx in sensor.select(&fleet, now) {
+            vm_records += fleet[idx]
+                .sample_scripted(task, &script, &mut vm, now)
+                .len();
+        }
+    }
+    assert!(vm_records > 0, "the VM leg must execute the sensing script");
+    let completeness_deltas =
+        family_deltas(&fleet_before, &family_totals(&obs::metrics::snapshot()));
+
+    let mut families = streaming_deltas;
+    for (name, delta) in completeness_deltas {
+        *families.entry(name).or_insert(0) += delta;
+    }
+    for family in REQUIRED_FAMILIES {
+        assert!(
+            families.get(family).copied().unwrap_or(0) > 0,
+            "instrument family {family:?} recorded nothing: {families:?}"
+        );
+    }
+
+    if was_enabled {
+        obs::enable();
+    } else {
+        obs::disable();
+    }
+
+    E16Report {
+        label: config.label.clone(),
+        users: config.users,
+        windows: windows.len(),
+        pool_size,
+        noop_ns_per_op,
+        instrumented_ops_per_window,
+        off_steady_window_ms,
+        on_steady_window_ms,
+        off_total_ms,
+        on_total_ms,
+        noop_overhead_pct,
+        parity_ok,
+        families,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_bounds_overhead_and_covers_families() {
+        let report = run(&E16Config::smoke());
+        assert!(!obs::enabled(), "run must restore the disabled state");
+        assert!(report.parity_ok);
+        assert!(report.noop_overhead_pct <= 2.0);
+        assert!(report.noop_ns_per_op > 0.0);
+        assert!(report.instrumented_ops_per_window > 0.0);
+        for family in REQUIRED_FAMILIES {
+            assert!(report.families.contains_key(family), "missing {family}");
+        }
+        let json = report.to_json();
+        for key in [
+            "\"experiment\": \"e16_observability\"",
+            "\"host\"",
+            "\"noop_ns_per_op\"",
+            "\"noop_overhead_pct\"",
+            "\"parity_ok\": true",
+            "\"families\"",
+            "\"vm\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        let text = report.to_string();
+        assert!(text.contains("no-op cost") && text.contains("parity"));
+    }
+
+    #[test]
+    fn config_constructors_cover_scales() {
+        assert_eq!(E16Config::smoke().users, 6);
+        let small = E16Config::from_scale(Scale::Small);
+        assert_eq!(small.label, "small");
+        assert_eq!(small.users, 30);
+        let large = E16Config::from_scale(Scale::Large);
+        assert_eq!(large.users, 2_000);
+    }
+}

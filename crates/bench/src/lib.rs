@@ -14,6 +14,7 @@ pub mod e12;
 pub mod e13;
 pub mod e14;
 pub mod e15;
+pub mod e16;
 pub mod e2;
 pub mod e3;
 pub mod e4;
@@ -72,6 +73,29 @@ impl Scale {
     }
 }
 
+/// Renders the `"host"` block every `BENCH_*.json` report embeds: the
+/// machine and build-flag context a regression number is meaningless
+/// without. The block is a full line (trailing `,\n`) so experiment
+/// `to_json` renderers splice it right after their `"experiment"` key.
+pub fn host_json() -> String {
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let profile = if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    };
+    format!(
+        "  \"host\": {{\n    \"cores\": {cores},\n    \"arch\": \"{}\",\n    \
+         \"os\": \"{}\",\n    \"profile\": \"{profile}\",\n    \
+         \"debug_assertions\": {}\n  }},\n",
+        std::env::consts::ARCH,
+        std::env::consts::OS,
+        cfg!(debug_assertions),
+    )
+}
+
 /// Renders a markdown-style table row.
 pub fn row(cells: &[String], widths: &[usize]) -> String {
     let mut out = String::from("|");
@@ -95,6 +119,22 @@ mod tests {
             let err = Scale::parse(bad).unwrap_err();
             assert!(err.contains("unknown --scale"), "{err}");
             assert!(err.contains("small|medium|full|large"), "{err}");
+        }
+    }
+
+    #[test]
+    fn host_json_names_cores_and_build_flags() {
+        let host = host_json();
+        assert!(host.starts_with("  \"host\": {"));
+        assert!(host.ends_with("},\n"));
+        for key in [
+            "\"cores\"",
+            "\"arch\"",
+            "\"os\"",
+            "\"profile\"",
+            "\"debug_assertions\"",
+        ] {
+            assert!(host.contains(key), "missing {key} in {host}");
         }
     }
 

@@ -392,6 +392,9 @@ impl Orchestrator {
             }
         }
         self.last_day = Some(day);
+        let mut day_span = obs::span("campaign.day");
+        day_span.set_attr("day", day);
+        day_span.set_attr("campaigns", self.registry.entries.len() as u64);
         if window.record_count() == 0 {
             // An empty day changes nothing: every campaign skips it, each
             // for its own lifecycle reason (mirrors a standalone publisher
@@ -654,6 +657,9 @@ fn evaluate_campaign(
     if entry.retired {
         return CampaignOutcome::Skipped(SkipReason::Retired);
     }
+    let mut span = obs::span("campaign.publish");
+    span.set_attr("campaign", entry.campaign.id().0);
+    span.set_attr("day", day);
     let CampaignEntry {
         campaign,
         view,

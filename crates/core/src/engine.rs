@@ -450,6 +450,8 @@ impl EvaluationEngine {
         donor: Option<&StrategyDonor>,
     ) -> Result<(SelectionReport, Option<WinnerRelease>), PrivapiError> {
         Self::check_nonempty(pool, context.original())?;
+        let mut sweep_span = obs::span("engine.sweep");
+        sweep_span.set_attr("candidates", pool.len());
         strategies.align(pool, self.seed, &self.attack);
         // Hoisted once per sweep: every candidate reuses the same user
         // list instead of re-deriving it from the prefix.
@@ -486,6 +488,7 @@ impl EvaluationEngine {
             deltas.push(delta);
         }
         strategies.last_deltas = deltas;
+        record_candidate_deltas(&strategies.last_deltas);
         let chosen = choose_winner(&results);
         let report = SelectionReport {
             candidates: results,
@@ -533,6 +536,12 @@ impl EvaluationEngine {
         all_users: &[UserId],
         donor: Option<&StrategyDonor>,
     ) -> (CandidateResult, PoiAttackReport, CandidateDelta) {
+        // Per-candidate evaluation span. In parallel mode these run on
+        // rayon workers, so they root at the worker's (empty) span stack
+        // rather than under `engine.sweep` — the `candidate` attr keys
+        // them back to pool order.
+        let mut span = obs::span("engine.candidate");
+        span.set_attr("candidate", index);
         if let Some(donated) = donor.and_then(|d| d.state_for(index, &strategy.info())) {
             // `utility_for` is None only when the donated shape cannot be
             // aligned with this prefix — an incompatible donor, which the
@@ -561,6 +570,7 @@ impl EvaluationEngine {
                     utility,
                     feasible: privacy.recall <= self.privacy_floor,
                 };
+                span.set_attr("path", "donated");
                 return (result, privacy, delta);
             }
         }
@@ -583,10 +593,12 @@ impl EvaluationEngine {
                     utility,
                     feasible: privacy.recall <= self.privacy_floor,
                 };
+                span.set_attr("path", "cached");
                 (result, privacy, delta)
             }
             None => {
                 let (result, privacy) = self.evaluate_candidate(strategy, context);
+                span.set_attr("path", "full");
                 (result, privacy, delta)
             }
         }
@@ -668,6 +680,36 @@ impl EvaluationEngine {
         };
         (result, privacy)
     }
+}
+
+/// Re-plumb one sweep's [`CandidateDelta`]s into the `strategy.*` /
+/// `engine.*` obs instruments. The delta structs stay the public audit
+/// API; the instruments are the machine-readable mirror. A candidate
+/// that avoided the full fallback counts as a cache hit.
+fn record_candidate_deltas(deltas: &[CandidateDelta]) {
+    if !obs::enabled() {
+        return;
+    }
+    for delta in deltas {
+        obs::count("strategy.users_refreshed", delta.users_refreshed as u64);
+        obs::count("strategy.users_reused", delta.users_reused as u64);
+        obs::count("strategy.users_donated", delta.users_donated as u64);
+        obs::count("strategy.shards_refreshed", delta.shards_refreshed as u64);
+        obs::count("strategy.shards_reused", delta.shards_reused as u64);
+        obs::count("strategy.shards_donated", delta.shards_donated as u64);
+        obs::count(
+            "strategy.grid_rebuilds",
+            delta.protected_grid_rebuilt as u64,
+        );
+        obs::count("strategy.full_fallbacks", delta.full_fallback as u64);
+        let hit_or_miss = if delta.full_fallback {
+            "engine.cache_misses"
+        } else {
+            "engine.cache_hits"
+        };
+        obs::count(hit_or_miss, 1);
+    }
+    obs::count("engine.candidates_evaluated", deltas.len() as u64);
 }
 
 /// The winning candidate's release artifacts from

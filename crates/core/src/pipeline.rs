@@ -155,6 +155,8 @@ impl PrivApi {
         if dataset.record_count() == 0 {
             return Err(PrivapiError::EmptyDataset);
         }
+        let mut span = obs::span("privapi.publish");
+        span.set_attr("records", dataset.record_count());
         let (selection, winner) = self
             .engine()
             .evaluate_release_extracting(&self.pool, dataset)?;
@@ -234,6 +236,11 @@ impl PrivApi {
         if window.record_count() == 0 {
             return Err(PrivapiError::EmptyDataset);
         }
+        // Window-level wall span: `streaming.advance` and `engine.sweep`
+        // record as children, giving `obs_report` its per-window
+        // breakdown.
+        let mut span = obs::span("privapi.window");
+        span.set_attr("day", window.day());
         let update = WindowUpdate {
             changed_users: window.users(),
             grid_rebuilt: false,

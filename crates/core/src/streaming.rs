@@ -130,6 +130,35 @@ fn grid_quantum_millideg() -> u32 {
     (geo::GRID_ANCHOR_QUANTUM_DEG * 1000.0).round() as u32
 }
 
+/// Feed a window delta into the `streaming.*` obs instruments. The delta
+/// type is unchanged — observability rides alongside the audit structs,
+/// and is a no-op while recording is off.
+fn record_window_delta(delta: &WindowDelta) {
+    if !obs::enabled() {
+        return;
+    }
+    obs::count("streaming.users_refreshed", delta.users_refreshed as u64);
+    obs::count("streaming.users_reused", delta.users_reused as u64);
+    obs::count("streaming.users_derived", delta.users_derived as u64);
+    obs::count("streaming.indexes_extended", delta.indexes_extended as u64);
+    obs::count("streaming.grid_rebuilds", delta.grid_rebuilt as u64);
+    obs::count("streaming.windows_ingested", 1);
+}
+
+/// Feed a baseline-fold delta into the `streaming.baseline_*` obs
+/// instruments (no-op while recording is off).
+fn record_baseline_delta(delta: &BaselineDelta) {
+    if !obs::enabled() {
+        return;
+    }
+    obs::count("streaming.baseline_reuses", delta.reused as u64);
+    obs::count("streaming.baseline_rebuilds", delta.rebuilt as u64);
+    obs::count(
+        "streaming.baseline_cells_updated",
+        delta.cells_updated as u64,
+    );
+}
+
 /// Original-side audit of the incremental utility-baseline fold for one
 /// published window: whether the per-objective projection (crowded top-k /
 /// traffic day histograms) was folded forward from the cached counts or
@@ -530,6 +559,7 @@ impl PopulationCache {
             }
         };
         delta.cells_updated = slot.fold(self.prefix.trajectories());
+        record_baseline_delta(&delta);
         (slot.project(objective), delta)
     }
 
@@ -602,6 +632,8 @@ impl PopulationCache {
         window: &DatasetWindow,
         donor: Option<&PopulationCache>,
     ) -> Result<WindowDelta, PrivapiError> {
+        let mut span = obs::span("streaming.advance");
+        span.set_attr("day", window.day());
         if let Some(last) = self.last_day {
             if window.day() <= last {
                 return Err(PrivapiError::StreamError {
@@ -712,7 +744,7 @@ impl PopulationCache {
         }
         self.bbox = Some(bbox);
         self.grid_box = Some(grid_box);
-        Ok(WindowDelta {
+        let delta = WindowDelta {
             day: window.day(),
             users_refreshed: to_refresh.len() - users_derived,
             users_reused: self.shards.len() - to_refresh.len(),
@@ -720,7 +752,9 @@ impl PopulationCache {
             grid_rebuilt,
             users_derived,
             grid_quantum_millideg: grid_quantum_millideg(),
-        })
+        };
+        record_window_delta(&delta);
+        Ok(delta)
     }
 }
 

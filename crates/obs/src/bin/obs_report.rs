@@ -1,0 +1,71 @@
+//! Summarize a JSON-lines observability trace.
+//!
+//! ```bash
+//! cargo run -p obs --bin obs_report --release -- obs_trace.jsonl
+//! # CI gate: required instrument families must be present and non-empty
+//! cargo run -p obs --bin obs_report --release -- obs_trace.jsonl \
+//!     --require ingest,reliable,streaming,vm
+//! ```
+//!
+//! Prints the run summary (per-window wall breakdown, per-campaign
+//! cost, transport delivery-latency percentiles, cache hit rates).
+//! With `--require fam1,fam2,...` it exits 1 if any listed instrument
+//! family recorded nothing — the "Observability holds" CI step builds
+//! on this. Unknown flags exit 2, never silently default.
+
+use obs::report;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path: Option<String> = None;
+    let mut require: Vec<String> = Vec::new();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--require" => match iter.next() {
+                Some(value) if !value.starts_with("--") => {
+                    require.extend(value.split(',').map(|s| s.trim().to_string()));
+                }
+                _ => {
+                    eprintln!("--require needs a comma-separated family list");
+                    std::process::exit(2);
+                }
+            },
+            other if other.starts_with("--") => {
+                eprintln!("unexpected flag {other:?}; usage: obs_report <trace.jsonl> [--require fam1,fam2]");
+                std::process::exit(2);
+            }
+            other => {
+                if path.replace(other.to_string()).is_some() {
+                    eprintln!("exactly one trace path expected");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: obs_report <trace.jsonl> [--require fam1,fam2]");
+        std::process::exit(2);
+    };
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let summary = report::parse_trace(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        std::process::exit(1);
+    });
+    print!("{}", report::render(&summary));
+    if !require.is_empty() {
+        let missing = summary.missing_families(&require);
+        if missing.is_empty() {
+            println!("\nrequired families present: {}", require.join(", "));
+        } else {
+            eprintln!(
+                "\nmissing required instrument families: {}",
+                missing.join(", ")
+            );
+            std::process::exit(1);
+        }
+    }
+}

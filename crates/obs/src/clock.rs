@@ -1,0 +1,119 @@
+//! Time domains and the injected clock abstraction.
+//!
+//! Pipeline components stamp monotonic **wall** time; simnet components
+//! stamp **sim** time. Both are carried as nanoseconds so one trace can
+//! hold both, with the [`Domain`] tag keeping them from ever being
+//! compared across domains.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Which clock a stamp came from. Durations are only meaningful within
+/// one domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Domain {
+    /// Monotonic process wall time.
+    Wall,
+    /// Deterministic simulated time (1 sim-ms = 1 dataset-second in the
+    /// fleet harness).
+    Sim,
+}
+
+impl Domain {
+    /// Stable label used in the JSON-lines export.
+    pub fn label(self) -> &'static str {
+        match self {
+            Domain::Wall => "wall",
+            Domain::Sim => "sim",
+        }
+    }
+}
+
+/// A point in time: a domain tag plus nanoseconds since that domain's
+/// epoch (process start for wall, simulation start for sim).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stamp {
+    pub domain: Domain,
+    pub nanos: u64,
+}
+
+impl Stamp {
+    /// A sim-domain stamp from simulated milliseconds.
+    #[inline]
+    pub fn sim_ms(ms: u64) -> Self {
+        Stamp {
+            domain: Domain::Sim,
+            nanos: ms.saturating_mul(1_000_000),
+        }
+    }
+
+    /// A wall-domain stamp for "now".
+    #[inline]
+    pub fn wall_now() -> Self {
+        Stamp {
+            domain: Domain::Wall,
+            nanos: wall_nanos(),
+        }
+    }
+}
+
+/// Source of stamps, injected into spans and events so each component
+/// records in its native time domain.
+pub trait Clock {
+    fn stamp(&self) -> Stamp;
+}
+
+static WALL_EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Nanoseconds since the (lazily pinned) process wall epoch.
+#[inline]
+pub(crate) fn wall_nanos() -> u64 {
+    WALL_EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// Monotonic wall clock; the default for pipeline spans and events.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WallClock;
+
+impl Clock for WallClock {
+    #[inline]
+    fn stamp(&self) -> Stamp {
+        Stamp::wall_now()
+    }
+}
+
+/// Deterministic sim-time clock. The owning simulation advances it
+/// (`set_ms`) as its event loop steps; instrumented components anywhere
+/// downstream then stamp sim time without threading `now` through every
+/// call.
+#[derive(Debug, Default)]
+pub struct SimClock {
+    now_ms: AtomicU64,
+}
+
+impl SimClock {
+    pub const fn new() -> Self {
+        SimClock {
+            now_ms: AtomicU64::new(0),
+        }
+    }
+
+    /// Advance (or rewind, for a fresh run) the simulated clock.
+    #[inline]
+    pub fn set_ms(&self, ms: u64) {
+        self.now_ms.store(ms, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms.load(Ordering::Relaxed)
+    }
+}
+
+impl Clock for SimClock {
+    #[inline]
+    fn stamp(&self) -> Stamp {
+        Stamp::sim_ms(self.now_ms())
+    }
+}

@@ -1,0 +1,150 @@
+//! JSON-lines export of the recorded trace and metrics.
+//!
+//! One record per line, each a self-describing object tagged by `"t"`:
+//! `meta`, `counter`, `gauge`, `hist`, `span`, `event`. The format is
+//! hand-rolled (no serde_json in this offline build) and is parsed back
+//! by [`crate::json`] / summarized by [`crate::report`] and the
+//! `obs_report` bin.
+
+use crate::metrics;
+use crate::trace::{self, AttrValue};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Escape a string for embedding in a JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn attr_json(value: &AttrValue) -> String {
+    match value {
+        AttrValue::U64(v) => v.to_string(),
+        AttrValue::I64(v) => v.to_string(),
+        AttrValue::F64(v) if v.is_finite() => {
+            // Guarantee a float-shaped literal (1.0, not 1) so parsers
+            // keep integer/float distinction stable.
+            if v.fract() == 0.0 {
+                format!("{v:.1}")
+            } else {
+                format!("{v}")
+            }
+        }
+        AttrValue::F64(_) => "null".to_string(),
+        AttrValue::Bool(v) => v.to_string(),
+        AttrValue::Str(v) => format!("\"{}\"", escape_json(v)),
+    }
+}
+
+fn attrs_json(attrs: &[(&'static str, AttrValue)]) -> String {
+    let mut out = String::from("{");
+    for (i, (key, value)) in attrs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", escape_json(key), attr_json(value));
+    }
+    out.push('}');
+    out
+}
+
+/// Serialize the current metrics registry and trace buffer as JSON
+/// lines. Metrics come out in deterministic name order; spans and
+/// events in recording order.
+pub fn to_jsonl() -> String {
+    let snap = metrics::snapshot();
+    let (spans, events, dropped) = trace::snapshot();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{{\"t\":\"meta\",\"version\":1,\"spans\":{},\"events\":{},\"dropped\":{}}}",
+        spans.len(),
+        events.len(),
+        dropped
+    );
+    for (name, value) in &snap.counters {
+        let _ = writeln!(
+            out,
+            "{{\"t\":\"counter\",\"name\":\"{}\",\"value\":{}}}",
+            escape_json(name),
+            value
+        );
+    }
+    for (name, value) in &snap.gauges {
+        let _ = writeln!(
+            out,
+            "{{\"t\":\"gauge\",\"name\":\"{}\",\"value\":{}}}",
+            escape_json(name),
+            value
+        );
+    }
+    for hist in &snap.hists {
+        let bounds = hist
+            .bounds
+            .iter()
+            .map(|b| b.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        let counts = hist
+            .counts
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        let _ = writeln!(
+            out,
+            "{{\"t\":\"hist\",\"name\":\"{}\",\"unit\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"le\":[{}],\"counts\":[{}]}}",
+            escape_json(&hist.name),
+            hist.unit,
+            hist.count,
+            hist.sum,
+            hist.min,
+            hist.max,
+            bounds,
+            counts
+        );
+    }
+    for span in &spans {
+        let _ = writeln!(
+            out,
+            "{{\"t\":\"span\",\"id\":{},\"parent\":{},\"name\":\"{}\",\"domain\":\"{}\",\"start_ns\":{},\"end_ns\":{},\"attrs\":{}}}",
+            span.id,
+            span.parent,
+            escape_json(span.name),
+            span.domain.label(),
+            span.start_ns,
+            span.end_ns,
+            attrs_json(&span.attrs)
+        );
+    }
+    for event in &events {
+        let _ = writeln!(
+            out,
+            "{{\"t\":\"event\",\"seq\":{},\"name\":\"{}\",\"domain\":\"{}\",\"at_ns\":{},\"attrs\":{}}}",
+            event.seq,
+            event.name,
+            event.domain.label(),
+            event.at_ns,
+            attrs_json(&event.attrs)
+        );
+    }
+    out
+}
+
+/// Write [`to_jsonl`] to a file.
+pub fn write_jsonl(path: impl AsRef<Path>) -> std::io::Result<()> {
+    std::fs::write(path, to_jsonl())
+}

@@ -275,6 +275,12 @@ impl ReliableSender {
                     );
                 self.stats.transmissions += 1;
                 self.stats.retries += 1;
+                obs::count("reliable.retransmits", 1);
+                obs::observe(
+                    "reliable.backoff_ms",
+                    obs::Buckets::LatencyMs,
+                    entry.next_due_ms.saturating_sub(now_ms),
+                );
                 out.push(Transmission {
                     frame: DataFrame {
                         sender: self.id,
@@ -326,7 +332,24 @@ impl ReliableSender {
         for seq in confirmed {
             if let Some(entry) = self.in_flight.remove(&seq) {
                 self.stats.acked += 1;
-                latencies.push(now_ms.saturating_sub(entry.first_sent_ms));
+                let latency_ms = now_ms.saturating_sub(entry.first_sent_ms);
+                // One sim-stamped event per confirmed chunk carrying the
+                // exact latency sample (what E13 aggregates), plus the
+                // cheap histogram aggregate.
+                obs::observe(
+                    "reliable.delivery_latency_ms",
+                    obs::Buckets::LatencyMs,
+                    latency_ms,
+                );
+                obs::event_sim_ms(
+                    "reliable.delivered",
+                    now_ms,
+                    &[
+                        ("latency_ms", obs::AttrValue::U64(latency_ms)),
+                        ("seq", obs::AttrValue::U64(seq)),
+                    ],
+                );
+                latencies.push(latency_ms);
             }
         }
         // Chunks re-queued by a crash may have been delivered before the

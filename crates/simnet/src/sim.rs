@@ -9,6 +9,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Identifier of a node in the simulated network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -113,6 +114,11 @@ pub struct Simulation {
     stats: NetworkStats,
     inflight: Vec<Action>,
     fault: Option<FaultState>,
+    /// Injected sim-time clock for the obs layer: advanced with the
+    /// event-loop clock so components downstream of this simulation
+    /// (reliable endpoints, collectors) stamp sim-time events without
+    /// threading `now` through every call.
+    obs_clock: Arc<obs::SimClock>,
 }
 
 impl fmt::Debug for Simulation {
@@ -139,7 +145,14 @@ impl Simulation {
             stats: NetworkStats::default(),
             inflight: Vec::new(),
             fault: None,
+            obs_clock: Arc::new(obs::SimClock::new()),
         }
+    }
+
+    /// The sim-time [`obs::SimClock`] this simulation advances; share it
+    /// with actors that record sim-domain spans or events.
+    pub fn obs_clock(&self) -> Arc<obs::SimClock> {
+        Arc::clone(&self.obs_clock)
     }
 
     /// Registers a node with its behaviour; returns its id.
@@ -209,9 +222,17 @@ impl Simulation {
     pub fn post(&mut self, from: NodeId, to: NodeId, msg: Message) {
         self.stats.sent += 1;
         self.stats.bytes_sent += msg.wire_size() as u64;
+        obs::count("net.sent", 1);
+        obs::count("net.bytes_sent", msg.wire_size() as u64);
+        obs::observe(
+            "net.frame_bytes",
+            obs::Buckets::Bytes,
+            msg.wire_size() as u64,
+        );
         let link = self.link_for(from, to);
         let Some(delay) = link.sample_delay(msg.wire_size(), &mut self.rng) else {
             self.stats.dropped += 1;
+            obs::count("net.dropped", 1);
             return;
         };
         let verdict = match self.fault.as_mut() {
@@ -222,16 +243,21 @@ impl Simulation {
             },
         };
         match verdict {
-            FaultVerdict::Drop => self.stats.dropped_by_fault += 1,
+            FaultVerdict::Drop => {
+                self.stats.dropped_by_fault += 1;
+                obs::count("net.dropped_by_fault", 1);
+            }
             FaultVerdict::Deliver {
                 duplicate_after_ms,
                 extra_delay_ms,
             } => {
                 if extra_delay_ms > 0 {
                     self.stats.reordered += 1;
+                    obs::count("net.reordered", 1);
                 }
                 if let Some(dup_after) = duplicate_after_ms {
                     self.stats.duplicated += 1;
+                    obs::count("net.duplicated", 1);
                     self.queue.push(
                         self.clock + delay + dup_after,
                         EventKind::Deliver {
@@ -282,15 +308,19 @@ impl Simulation {
         };
         debug_assert!(event.time >= self.clock, "time went backwards");
         self.clock = event.time;
+        self.obs_clock.set_ms(self.clock.0);
         match event.kind {
             EventKind::Deliver { from, to, message } => {
                 if self.node_down(to) {
                     // The destination is inside a crash window: the message
                     // is lost, exactly like a packet arriving at a dead host.
                     self.stats.dropped_by_fault += 1;
+                    obs::count("net.dropped_by_fault", 1);
                 } else {
                     self.stats.delivered += 1;
                     self.stats.bytes_delivered += message.wire_size() as u64;
+                    obs::count("net.delivered", 1);
+                    obs::count("net.bytes_delivered", message.wire_size() as u64);
                     self.dispatch(to, |actor, ctx| actor.on_message(ctx, from, message));
                 }
             }
@@ -300,6 +330,7 @@ impl Simulation {
                 // still fire after restart.
                 if !self.node_down(node) {
                     self.stats.timers_fired += 1;
+                    obs::count("net.timers_fired", 1);
                     self.dispatch(node, |actor, ctx| actor.on_timer(ctx, timer_id));
                 }
             }
@@ -346,7 +377,10 @@ impl Simulation {
                     self.queue
                         .push(self.clock + delay_ms, EventKind::Timer { node, timer_id });
                 }
-                Action::Retry => self.stats.retries += 1,
+                Action::Retry => {
+                    self.stats.retries += 1;
+                    obs::count("reliable.retries", 1);
+                }
             }
         }
         self.inflight = actions;
